@@ -1,0 +1,89 @@
+//! Criterion bench behind experiment E8: isolation-primitive costs —
+//! domain calls, PKRU switches, nesting, and sandbox backends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdrad::{DomainConfig, DomainManager};
+use sdrad_ffi::Sandbox;
+use sdrad_mpk::{AccessRights, Pkru, PkruGuard, ProtectionKey};
+
+fn pkru_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8/pkru");
+    group.bench_function("set-rights", |b| {
+        let key = ProtectionKey::new(5).unwrap();
+        let mut pkru = Pkru::deny_all();
+        b.iter(|| {
+            pkru.set_rights(key, AccessRights::ReadWrite);
+            std::hint::black_box(pkru.rights(key));
+            pkru.set_rights(key, AccessRights::NoAccess);
+        });
+    });
+    group.bench_function("guard-enter-exit", |b| {
+        let pkru = Pkru::root_only();
+        b.iter(|| {
+            let guard = PkruGuard::enter(pkru);
+            std::hint::black_box(&guard);
+        });
+    });
+    group.finish();
+}
+
+fn domain_calls(c: &mut Criterion) {
+    sdrad::quiet_fault_traps();
+    let mut group = c.benchmark_group("e8/domain-call");
+    let mut mgr = DomainManager::new();
+    let domain = mgr.create_domain(DomainConfig::new("bench")).unwrap();
+    group.bench_function("empty", |b| {
+        b.iter(|| mgr.call(domain, |_env| std::hint::black_box(1u64)).unwrap());
+    });
+    group.bench_function("alloc-free-64B", |b| {
+        b.iter(|| {
+            mgr.call(domain, |env| {
+                let block = env.push_bytes(&[7u8; 64]);
+                env.free(block);
+            })
+            .unwrap();
+        });
+    });
+    let inner = mgr.create_domain(DomainConfig::new("inner")).unwrap();
+    group.bench_function("nested", |b| {
+        b.iter(|| {
+            mgr.call(domain, |env| env.call(inner, |_| std::hint::black_box(2u64)))
+                .unwrap()
+                .unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn sandbox_backends(c: &mut Criterion) {
+    sdrad::quiet_fault_traps();
+    let mut group = c.benchmark_group("e8/sandbox");
+    group.sample_size(20);
+    let payload = vec![7u8; 64];
+    let mut direct = Sandbox::direct();
+    group.bench_function("direct", |b| {
+        b.iter(|| {
+            let n: usize = direct
+                .invoke("len", &payload, |v: Vec<u8>| v.len())
+                .unwrap();
+            std::hint::black_box(n);
+        });
+    });
+    let mut in_process = Sandbox::in_process().unwrap();
+    group.bench_function("in-process", |b| {
+        b.iter(|| {
+            let n: usize = in_process
+                .invoke("len", &payload, |v: Vec<u8>| v.len())
+                .unwrap();
+            std::hint::black_box(n);
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = pkru_primitives, domain_calls, sandbox_backends
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench behind experiments E4/E5: the availability and energy
+//! models themselves (cheap, but regressions here would silently skew the
+//! experiment harnesses).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdrad_energy::availability::{availability, max_recoveries_in_budget, nines};
+use sdrad_energy::redundancy::{evaluate_lineup, Scenario};
+use sdrad_energy::restart::RestartModel;
+
+fn availability_math(c: &mut Criterion) {
+    c.bench_function("e4/availability-sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for rate in [1.0, 3.0, 10.0, 100.0] {
+                for recovery_us in [3.5, 5_000_000.0, 120_000_000.0] {
+                    let a = availability(rate, Duration::from_secs_f64(recovery_us / 1e6));
+                    acc += nines(a).min(12.0);
+                }
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    c.bench_function("e4/recovery-budget", |b| {
+        b.iter(|| {
+            std::hint::black_box(max_recoveries_in_budget(
+                0.99999,
+                Duration::from_nanos(3_500),
+            ))
+        });
+    });
+}
+
+fn strategy_lineup(c: &mut Criterion) {
+    c.bench_function("e5/strategy-lineup", |b| {
+        let scenario = Scenario::default();
+        b.iter(|| std::hint::black_box(evaluate_lineup(&scenario)));
+    });
+}
+
+fn restart_models(c: &mut Criterion) {
+    c.bench_function("e2/restart-model", |b| {
+        let model = RestartModel::process_restart();
+        b.iter(|| {
+            let mut acc = Duration::ZERO;
+            for gb in 1..=10u64 {
+                acc += model.recovery_time(gb * 1_000_000_000);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = availability_math, strategy_lineup, restart_models
+}
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Criterion bench behind experiment E11: the isolation-mechanism
+//! ablation — crossing costs, per-access enforcement, and rewind costs on
+//! each substrate (MPK domain, CHERI compartment, SFI sandbox).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdrad::{DomainConfig, DomainManager};
+use sdrad_cheri::CompartmentManager;
+use sdrad_sfi::{routines, EnforcementMode, Instr, Limits, Program, SfiSandbox};
+
+/// Empty-call round trip on each substrate.
+fn crossings(c: &mut Criterion) {
+    sdrad::quiet_fault_traps();
+    let mut group = c.benchmark_group("e11/crossing");
+
+    let mut mgr = DomainManager::new();
+    let domain = mgr.create_domain(DomainConfig::new("bench")).unwrap();
+    group.bench_function("mpk-domain", |b| {
+        b.iter(|| mgr.call(domain, |_env| std::hint::black_box(1u64)).unwrap());
+    });
+
+    let mut compartments = CompartmentManager::new(1 << 20);
+    let (_, entry) = compartments.create_compartment("bench", 4096).unwrap();
+    group.bench_function("cheri-invoke", |b| {
+        b.iter(|| {
+            compartments
+                .invoke(entry, |_env| Ok(std::hint::black_box(1u64)))
+                .unwrap()
+        });
+    });
+
+    let trivial = Program { locals: 0, params: 0, results: 0, instrs: vec![Instr::Return] };
+    let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked).unwrap();
+    group.bench_function("sfi-call", |b| {
+        b.iter(|| sandbox.call(&trivial, &[]).unwrap());
+    });
+
+    group.finish();
+}
+
+/// Per-access enforcement: the same 4 KiB checksum under each SFI mode.
+fn sfi_enforcement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11/sfi-access");
+    let program = routines::checksum();
+    for mode in [
+        EnforcementMode::Checked,
+        EnforcementMode::Masked,
+        EnforcementMode::Guarded { guard_bytes: 1 << 16 },
+    ] {
+        let mut sandbox = SfiSandbox::new(1, mode)
+            .unwrap()
+            .with_limits(Limits { fuel: 10_000_000, stack: 1024 });
+        sandbox.copy_in(0, &vec![7u8; 4096]).unwrap();
+        group.bench_with_input(BenchmarkId::new("checksum-4KiB", mode.name()), &(), |b, ()| {
+            b.iter(|| sandbox.call(&program, &[0, 4096]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Rewind (contained fault) cost on each substrate.
+fn rewinds(c: &mut Criterion) {
+    sdrad::quiet_fault_traps();
+    let mut group = c.benchmark_group("e11/rewind");
+
+    let mut mgr = DomainManager::new();
+    let domain = mgr.create_domain(DomainConfig::new("victim")).unwrap();
+    group.bench_function("mpk-domain", |b| {
+        b.iter(|| {
+            let result = mgr.call(domain, |env| {
+                let addr = env.alloc(16);
+                env.write(addr.offset(1 << 20), &[0x41]);
+            });
+            assert!(result.is_err());
+        });
+    });
+
+    let mut compartments = CompartmentManager::new(1 << 20);
+    let (_, entry) = compartments.create_compartment("victim", 4096).unwrap();
+    group.bench_function("cheri-compartment", |b| {
+        b.iter(|| {
+            let result = compartments.invoke(entry, |env| {
+                let buf = env.alloc(16)?;
+                let wild = buf.with_address(buf.top() + (1 << 10))?;
+                env.write(&wild, &[0x41])
+            });
+            assert!(result.is_err());
+        });
+    });
+
+    let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked).unwrap();
+    let oob = Program {
+        locals: 0,
+        params: 0,
+        results: 0,
+        instrs: vec![
+            Instr::I64Const(1 << 40),
+            Instr::I64Const(0x41),
+            Instr::Store8,
+            Instr::Return,
+        ],
+    };
+    group.bench_function("sfi-sandbox", |b| {
+        b.iter(|| {
+            let result = sandbox.call(&oob, &[]);
+            assert!(result.is_err());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = crossings, sfi_enforcement, rewinds
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench behind experiment E1: request-path cost, baseline vs
+//! SDRaD-isolated, for all three evaluation apps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdrad_faultsim::workload::{http_get_request, http_upload_request};
+use sdrad_httpd::HttpServer;
+use sdrad_kvstore::{Server, ServerConfig};
+use sdrad_tls::HeartbeatEngine;
+
+fn kvstore(c: &mut Criterion) {
+    sdrad::quiet_fault_traps();
+    let mut group = c.benchmark_group("e1/kvstore");
+    for (label, isolation) in [
+        ("baseline", sdrad_kvstore::Isolation::None),
+        ("sdrad", sdrad_kvstore::Isolation::Domain),
+    ] {
+        let mut server = Server::new(ServerConfig::default(), isolation).unwrap();
+        server.store_mut().set("bench-key", vec![7u8; 64]);
+        group.bench_function(BenchmarkId::new("get", label), |b| {
+            b.iter(|| std::hint::black_box(server.handle(b"get bench-key\r\n")));
+        });
+        let mut server = Server::new(ServerConfig::default(), isolation).unwrap();
+        let set_request: Vec<u8> = {
+            let mut r = b"set k 64\r\n".to_vec();
+            r.extend(std::iter::repeat_n(b'7', 64));
+            r.extend_from_slice(b"\r\n");
+            r
+        };
+        group.bench_function(BenchmarkId::new("set", label), |b| {
+            b.iter(|| std::hint::black_box(server.handle(&set_request)));
+        });
+    }
+    group.finish();
+}
+
+fn httpd(c: &mut Criterion) {
+    sdrad::quiet_fault_traps();
+    let mut group = c.benchmark_group("e1/httpd");
+    let get = http_get_request("/");
+    let upload = http_upload_request(4, 256);
+    for (label, isolation) in [
+        ("baseline", sdrad_httpd::Isolation::None),
+        ("sdrad", sdrad_httpd::Isolation::Domain),
+    ] {
+        let mut server = HttpServer::new(isolation).unwrap();
+        server.publish("/", "text/html", vec![b'x'; 1024]);
+        group.bench_function(BenchmarkId::new("static-get", label), |b| {
+            b.iter(|| std::hint::black_box(server.handle(&get)));
+        });
+        group.bench_function(BenchmarkId::new("chunked-upload", label), |b| {
+            b.iter(|| std::hint::black_box(server.handle(&upload)));
+        });
+    }
+    group.finish();
+}
+
+fn tls(c: &mut Criterion) {
+    sdrad::quiet_fault_traps();
+    let mut group = c.benchmark_group("e1/tls");
+    let payload = vec![7u8; 256];
+    let secret = vec![0x42u8; 48];
+    let mut leaky = HeartbeatEngine::unprotected(secret.clone());
+    group.bench_function("heartbeat/baseline", |b| {
+        b.iter(|| std::hint::black_box(leaky.respond(payload.len(), &payload)));
+    });
+    let mut safe = HeartbeatEngine::isolated(secret).unwrap();
+    group.bench_function("heartbeat/sdrad", |b| {
+        b.iter(|| std::hint::black_box(safe.respond(payload.len(), &payload)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = kvstore, httpd, tls
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench behind experiments E2/E3: rewind latency vs
+//! snapshot-replay restart across dataset sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdrad::{DomainConfig, DomainManager};
+use sdrad_kvstore::{Store, StoreConfig};
+
+/// One contained fault + rewind, the recovery path of experiment E2.
+fn rewind(c: &mut Criterion) {
+    sdrad::quiet_fault_traps();
+    let mut mgr = DomainManager::new();
+    let domain = mgr
+        .create_domain(DomainConfig::new("bench").heap_capacity(256 * 1024))
+        .unwrap();
+    c.bench_function("e2/rewind-after-double-free", |b| {
+        b.iter(|| {
+            let result = mgr.call(domain, |env| {
+                let block = env.push_bytes(b"data");
+                env.free(block);
+                env.free(block);
+            });
+            std::hint::black_box(result.unwrap_err());
+        });
+    });
+
+    // Rewind cost as a function of how much the faulting call allocated
+    // (discard poisons the whole heap region).
+    let mut group = c.benchmark_group("e2/rewind-vs-live-allocations");
+    for blocks in [1usize, 16, 256] {
+        group.bench_function(BenchmarkId::from_parameter(blocks), |b| {
+            b.iter(|| {
+                let result = mgr.call(domain, |env| {
+                    let mut last = env.push_bytes(b"block");
+                    for _ in 1..blocks {
+                        last = env.push_bytes(b"block");
+                    }
+                    env.free(last);
+                    env.free(last);
+                });
+                std::hint::black_box(result.unwrap_err());
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Snapshot replay (the state-rebuild term of a restart) across sizes.
+fn restart_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3/restart-replay");
+    group.sample_size(10);
+    for entries in [1_000usize, 10_000, 50_000] {
+        let mut store = Store::new(StoreConfig::default());
+        for i in 0..entries {
+            store.set(format!("key-{i:08}"), vec![(i % 251) as u8; 1024]);
+        }
+        let snapshot = store.snapshot();
+        group.throughput(Throughput::Bytes(snapshot.bytes()));
+        group.bench_function(BenchmarkId::from_parameter(entries), |b| {
+            b.iter(|| {
+                std::hint::black_box(Store::restore(StoreConfig::default(), &snapshot));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = rewind, restart_replay
+}
+criterion_main!(benches);

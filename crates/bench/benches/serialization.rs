@@ -1,0 +1,62 @@
+//! Criterion bench behind experiment E6: serialization format comparison
+//! for cross-domain argument passing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+use sdrad_serial::{from_bytes, to_bytes, Format};
+
+#[derive(Serialize, Deserialize, Clone)]
+struct FfiArgs {
+    request_id: u64,
+    flags: Vec<u32>,
+    name: String,
+    payload: Vec<u8>,
+}
+
+fn args_with_payload(len: usize) -> FfiArgs {
+    FfiArgs {
+        request_id: 0xDEAD_BEEF,
+        flags: vec![1, 2, 3, 4],
+        name: "legacy_decode".into(),
+        payload: (0..len).map(|i| (i % 251) as u8).collect(),
+    }
+}
+
+fn encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6/encode");
+    for len in [64usize, 4096, 65536] {
+        let args = args_with_payload(len);
+        group.throughput(Throughput::Bytes(len as u64));
+        for format in Format::ALL {
+            group.bench_function(BenchmarkId::new(format.name(), len), |b| {
+                b.iter(|| std::hint::black_box(to_bytes(format, &args).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6/decode");
+    for len in [64usize, 4096, 65536] {
+        let args = args_with_payload(len);
+        group.throughput(Throughput::Bytes(len as u64));
+        for format in Format::ALL {
+            let bytes = to_bytes(format, &args).unwrap();
+            group.bench_function(BenchmarkId::new(format.name(), len), |b| {
+                b.iter(|| {
+                    let back: FfiArgs = from_bytes(format, &bytes).unwrap();
+                    std::hint::black_box(back);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = encode, decode
+}
+criterion_main!(benches);

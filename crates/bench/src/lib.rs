@@ -1,0 +1,126 @@
+//! # sdrad-bench — experiment harnesses
+//!
+//! One binary per experiment (`e1_overhead` … `e14_case_study`), each
+//! regenerating one table or figure from the paper — or one of the
+//! paper's §IV proposals (E10–E14) — and printing paper-vs-measured rows.
+//! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
+//! recorded results.
+//!
+//! Criterion microbenches (`cargo bench -p sdrad-bench`) cover the hot
+//! paths behind the same experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use sdrad_energy::report::{fmt_bytes, fmt_duration};
+pub use sdrad_energy::TextTable;
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, title: &str, paper_claim: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_claim}");
+    println!("================================================================");
+}
+
+/// Times `iters` runs of `f`, returning the mean per-iteration duration.
+/// Runs a small warm-up first.
+pub fn measure<F: FnMut()>(iters: u32, mut f: F) -> Duration {
+    for _ in 0..(iters / 10).clamp(1, 50) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed() / iters
+}
+
+/// Times a single run of `f`, returning its result and duration.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed())
+}
+
+/// Throughput in operations/second for a per-op duration.
+#[must_use]
+pub fn ops_per_sec(per_op: Duration) -> f64 {
+    if per_op.is_zero() {
+        f64::INFINITY
+    } else {
+        1.0 / per_op.as_secs_f64()
+    }
+}
+
+/// Relative overhead of `slow` over `fast`, as a percentage.
+#[must_use]
+pub fn overhead_pct(fast: Duration, slow: Duration) -> f64 {
+    (slow.as_secs_f64() / fast.as_secs_f64() - 1.0) * 100.0
+}
+
+/// Locates the bundled `sdrad-ffi-worker` binary next to the current
+/// executable (both live in the same cargo target directory). `None` if it
+/// has not been built — harnesses then fall back to modeled costs.
+#[must_use]
+pub fn worker_binary() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_exe().ok()?;
+    dir.pop();
+    [dir.join("sdrad-ffi-worker"), dir.join("../sdrad-ffi-worker")]
+        .into_iter()
+        .find(|candidate| candidate.is_file())
+}
+
+/// Measures this build's SDRaD rewind latency: mean over `iters` contained
+/// double-free faults in a scratch domain.
+#[must_use]
+pub fn measured_rewind_latency(iters: u32) -> Duration {
+    use sdrad::{DomainConfig, DomainManager};
+    let mut mgr = DomainManager::new();
+    let domain = mgr
+        .create_domain(DomainConfig::new("rewind-probe").heap_capacity(64 * 1024))
+        .expect("fresh manager has keys");
+    for _ in 0..iters.max(1) {
+        let _ = mgr.call(domain, |env| {
+            let block = env.push_bytes(b"probe");
+            env.free(block);
+            env.free(block);
+        });
+    }
+    let info = mgr.domain_info(domain).expect("domain exists");
+    Duration::from_nanos(info.total_rewind_ns / u64::from(iters.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_duration() {
+        let d = measure(100, || {
+            std::hint::black_box(42u64.wrapping_mul(7));
+        });
+        assert!(d.as_nanos() < 1_000_000, "trivial op should be fast");
+    }
+
+    #[test]
+    fn overhead_pct_math() {
+        let fast = Duration::from_micros(100);
+        let slow = Duration::from_micros(103);
+        assert!((overhead_pct(fast, slow) - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ops_per_sec_math() {
+        assert!((ops_per_sec(Duration::from_millis(1)) - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rewind_probe_runs_and_is_fast() {
+        let rewind = measured_rewind_latency(50);
+        assert!(rewind.as_nanos() > 0);
+        assert!(rewind.as_millis() < 10, "rewind {rewind:?} implausibly slow");
+    }
+}

@@ -1,0 +1,454 @@
+//! The capability value itself and its monotonic derivation operations.
+
+use crate::fault::CapFault;
+use crate::otype::OType;
+use crate::perms::Perms;
+use std::fmt;
+
+/// Number of mantissa bits in the modelled compressed-capability encoding.
+///
+/// CHERI Concentrate encodes bounds with a shared exponent and a limited
+/// mantissa; bounds wider than `2^MANTISSA_BITS` bytes must be aligned to
+/// `2^e` where `e = bits(len) - MANTISSA_BITS`. 14 bits mirrors the
+/// 128-bit Morello encoding closely enough to reproduce the alignment
+/// constraint the paper's CHERI citation [17] discusses.
+pub const MANTISSA_BITS: u32 = 14;
+
+/// A CHERI capability: a bounded, permission-carrying, optionally sealed
+/// pointer with a validity tag.
+///
+/// All derivation operations are **monotonic**: the derived capability's
+/// bounds are within the parent's bounds and its permissions are a subset
+/// of the parent's. The only way to obtain more authority is to start from
+/// the root capability ([`Capability::root`]), which the compartment
+/// manager never hands to compartment code.
+///
+/// ```
+/// use sdrad_cheri::{Capability, Perms};
+///
+/// # fn main() -> Result<(), sdrad_cheri::CapFault> {
+/// let root = Capability::root(1 << 20);
+/// let heap = root.restricted(0x1000, 0x100)?.masked(Perms::DATA_RW)?;
+/// assert_eq!(heap.base(), 0x1000);
+/// assert!(heap.restricted(0x0, 0x10).is_err()); // can't widen
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Capability {
+    tag: bool,
+    sealed: Option<OType>,
+    perms: Perms,
+    base: u64,
+    len: u64,
+    cursor: u64,
+}
+
+impl Capability {
+    /// The root capability over `[0, len)` with all permissions — what the
+    /// firmware hands the runtime at reset.
+    #[must_use]
+    pub fn root(len: u64) -> Self {
+        Capability {
+            tag: true,
+            sealed: None,
+            perms: Perms::ALL,
+            base: 0,
+            len,
+            cursor: 0,
+        }
+    }
+
+    /// The canonical null capability: untagged, no authority.
+    #[must_use]
+    pub fn null() -> Self {
+        Capability {
+            tag: false,
+            sealed: None,
+            perms: Perms::NONE,
+            base: 0,
+            len: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Whether the validity tag is set.
+    #[must_use]
+    pub fn is_tagged(self) -> bool {
+        self.tag
+    }
+
+    /// The object type this capability is sealed with, if sealed.
+    #[must_use]
+    pub fn seal_otype(self) -> Option<OType> {
+        self.sealed
+    }
+
+    /// Whether the capability is sealed.
+    #[must_use]
+    pub fn is_sealed(self) -> bool {
+        self.sealed.is_some()
+    }
+
+    /// The permission mask.
+    #[must_use]
+    pub fn perms(self) -> Perms {
+        self.perms
+    }
+
+    /// Lower bound (inclusive).
+    #[must_use]
+    pub fn base(self) -> u64 {
+        self.base
+    }
+
+    /// Length of the bounded region in bytes.
+    #[must_use]
+    pub fn len(self) -> u64 {
+        self.len
+    }
+
+    /// True if the capability conveys no addressable bytes.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Upper bound (exclusive).
+    #[must_use]
+    pub fn top(self) -> u64 {
+        self.base.saturating_add(self.len)
+    }
+
+    /// The current cursor (the "pointer" part of the capability).
+    #[must_use]
+    pub fn cursor(self) -> u64 {
+        self.cursor
+    }
+
+    /// Returns an *untagged* copy — what a capability becomes when its
+    /// memory is overwritten by a plain data store.
+    #[must_use]
+    pub fn cleared(mut self) -> Self {
+        self.tag = false;
+        self
+    }
+
+    fn require_usable(self) -> Result<(), CapFault> {
+        if !self.tag {
+            return Err(CapFault::TagViolation);
+        }
+        if let Some(otype) = self.sealed {
+            return Err(CapFault::SealViolation { otype });
+        }
+        Ok(())
+    }
+
+    /// Moves the cursor to `addr` (a `CSetAddr`).
+    ///
+    /// The cursor may legally sit outside the bounds (CHERI allows
+    /// out-of-bounds pointers); only *dereference* checks bounds.
+    ///
+    /// # Errors
+    ///
+    /// Fails on untagged or sealed capabilities.
+    pub fn with_address(mut self, addr: u64) -> Result<Self, CapFault> {
+        self.require_usable()?;
+        self.cursor = addr;
+        Ok(self)
+    }
+
+    /// Offsets the cursor by `delta` bytes (a `CIncOffset`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on untagged or sealed capabilities.
+    pub fn incremented(mut self, delta: i64) -> Result<Self, CapFault> {
+        self.require_usable()?;
+        self.cursor = self.cursor.wrapping_add(delta as u64);
+        Ok(self)
+    }
+
+    /// Derives a capability with narrowed bounds `[new_base, new_base+new_len)`
+    /// (a `CSetBounds`). The new bounds must lie within the old bounds and
+    /// be representable in the compressed encoding.
+    ///
+    /// The derived cursor is placed at `new_base`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CapFault::MonotonicityViolation`] if the request widens bounds.
+    /// - [`CapFault::UnrepresentableBounds`] if alignment constraints of
+    ///   the compressed format reject the exact bounds.
+    /// - Tag/seal faults as for every derivation.
+    pub fn restricted(mut self, new_base: u64, new_len: u64) -> Result<Self, CapFault> {
+        self.require_usable()?;
+        let new_top = new_base
+            .checked_add(new_len)
+            .ok_or(CapFault::UnrepresentableBounds { base: new_base, len: new_len })?;
+        if new_base < self.base || new_top > self.top() {
+            return Err(CapFault::MonotonicityViolation);
+        }
+        if !bounds_representable(new_base, new_len) {
+            return Err(CapFault::UnrepresentableBounds { base: new_base, len: new_len });
+        }
+        self.base = new_base;
+        self.len = new_len;
+        self.cursor = new_base;
+        Ok(self)
+    }
+
+    /// Derives a capability with permissions `self.perms() ∩ mask`
+    /// (a `CAndPerm`).
+    ///
+    /// # Errors
+    ///
+    /// Tag/seal faults as for every derivation.
+    pub fn masked(mut self, mask: Perms) -> Result<Self, CapFault> {
+        self.require_usable()?;
+        self.perms = self.perms.intersect(mask);
+        Ok(self)
+    }
+
+    /// Seals this capability with the object type named by `authority`'s
+    /// cursor (a `CSeal`).
+    ///
+    /// `authority` must be tagged, unsealed, carry [`Perms::SEAL`], and its
+    /// cursor must address `otype` within its bounds.
+    ///
+    /// # Errors
+    ///
+    /// Permission/tag/seal/bounds faults on either operand.
+    pub fn sealed_by(mut self, authority: &Capability, otype: OType) -> Result<Self, CapFault> {
+        self.require_usable()?;
+        authority.authorize_otype(otype, Perms::SEAL)?;
+        self.sealed = Some(otype);
+        Ok(self)
+    }
+
+    /// Unseals a sealed capability (a `CUnseal`).
+    ///
+    /// `authority` must carry [`Perms::UNSEAL`] and cover the otype.
+    ///
+    /// # Errors
+    ///
+    /// [`CapFault::SealViolation`]-free path requires `self` to actually be
+    /// sealed; otherwise this is an [`CapFault::InvokeViolation`].
+    pub fn unsealed_by(mut self, authority: &Capability) -> Result<Self, CapFault> {
+        if !self.tag {
+            return Err(CapFault::TagViolation);
+        }
+        let otype = self
+            .sealed
+            .ok_or_else(|| CapFault::InvokeViolation("unseal of an unsealed capability".into()))?;
+        authority.authorize_otype(otype, Perms::UNSEAL)?;
+        self.sealed = None;
+        Ok(self)
+    }
+
+    fn authorize_otype(&self, otype: OType, perm: Perms) -> Result<(), CapFault> {
+        if !self.tag {
+            return Err(CapFault::TagViolation);
+        }
+        if let Some(sealed) = self.sealed {
+            return Err(CapFault::SealViolation { otype: sealed });
+        }
+        if !self.perms.contains(perm) {
+            return Err(CapFault::PermissionViolation { required: perm, held: self.perms });
+        }
+        let addr = u64::from(otype.raw());
+        if addr < self.base || addr >= self.top() {
+            return Err(CapFault::OTypeMismatch {
+                expected: otype,
+                found: OType::new((self.cursor.min(u64::from(OType::MAX - 1))) as u32),
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks that a `len`-byte access at the cursor is within bounds and
+    /// permitted, returning the absolute address on success.
+    ///
+    /// This is the per-access check a CHERI load/store performs in
+    /// hardware.
+    ///
+    /// # Errors
+    ///
+    /// Tag, seal, bounds, or permission faults.
+    pub fn check_access(self, required: Perms, len: usize) -> Result<u64, CapFault> {
+        self.require_usable()?;
+        if !self.perms.contains(required) {
+            return Err(CapFault::PermissionViolation { required, held: self.perms });
+        }
+        let addr = self.cursor;
+        let end = addr
+            .checked_add(len as u64)
+            .ok_or(CapFault::BoundsViolation { addr, len, base: self.base, top: self.top() })?;
+        if addr < self.base || end > self.top() {
+            return Err(CapFault::BoundsViolation { addr, len, base: self.base, top: self.top() });
+        }
+        Ok(addr)
+    }
+
+    /// True if `self`'s authority (bounds and permissions) is a subset of
+    /// `parent`'s — the invariant every derivation chain preserves.
+    #[must_use]
+    pub fn is_derivable_from(self, parent: &Capability) -> bool {
+        self.base >= parent.base
+            && self.top() <= parent.top()
+            && parent.perms.contains(self.perms)
+    }
+}
+
+impl fmt::Debug for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Cap{{{} {:?} [{:#x},{:#x}) @{:#x}{}}}",
+            if self.tag { "t" } else { "-" },
+            self.perms,
+            self.base,
+            self.top(),
+            self.cursor,
+            match self.sealed {
+                Some(otype) => format!(" sealed:{otype}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// Whether `[base, base+len)` is exactly representable in the modelled
+/// compressed encoding: lengths up to `2^MANTISSA_BITS` are always exact;
+/// longer regions need base and length aligned to `2^(bits(len)-MANTISSA_BITS)`.
+#[must_use]
+pub fn bounds_representable(base: u64, len: u64) -> bool {
+    if len < (1 << MANTISSA_BITS) {
+        return true;
+    }
+    let exponent = 64 - len.leading_zeros() - MANTISSA_BITS;
+    let align_mask = (1u64 << exponent) - 1;
+    base & align_mask == 0 && len & align_mask == 0
+}
+
+/// Rounds `len` up to the next representable length for `base`, the
+/// adjustment `CRepresentableAlignmentMask` supports in real allocators.
+#[must_use]
+pub fn representable_length(base: u64, len: u64) -> u64 {
+    if bounds_representable(base, len) {
+        return len;
+    }
+    let exponent = 64 - len.leading_zeros() - MANTISSA_BITS;
+    let align = 1u64 << exponent;
+    (len + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_covers_everything() {
+        let root = Capability::root(1 << 30);
+        assert!(root.is_tagged());
+        assert_eq!(root.base(), 0);
+        assert_eq!(root.top(), 1 << 30);
+        assert_eq!(root.perms(), Perms::ALL);
+    }
+
+    #[test]
+    fn null_is_untagged_and_unusable() {
+        let null = Capability::null();
+        assert!(!null.is_tagged());
+        assert_eq!(null.with_address(0), Err(CapFault::TagViolation));
+        assert_eq!(
+            null.check_access(Perms::LOAD, 1),
+            Err(CapFault::TagViolation)
+        );
+    }
+
+    #[test]
+    fn restriction_narrows_and_rejects_widening() {
+        let root = Capability::root(0x1_0000);
+        let mid = root.restricted(0x100, 0x200).unwrap();
+        assert!(mid.is_derivable_from(&root));
+        assert_eq!(mid.restricted(0x0, 0x50), Err(CapFault::MonotonicityViolation));
+        assert_eq!(
+            mid.restricted(0x100, 0x201),
+            Err(CapFault::MonotonicityViolation)
+        );
+    }
+
+    #[test]
+    fn masking_never_adds_permissions() {
+        let root = Capability::root(0x1000);
+        let ro = root.masked(Perms::LOAD).unwrap();
+        let attempt = ro.masked(Perms::LOAD | Perms::STORE).unwrap();
+        assert_eq!(attempt.perms(), Perms::LOAD);
+    }
+
+    #[test]
+    fn out_of_bounds_cursor_is_legal_until_dereference() {
+        let root = Capability::root(0x1000);
+        let cap = root.restricted(0x100, 0x100).unwrap();
+        let oob = cap.with_address(0x500).unwrap();
+        assert!(matches!(
+            oob.check_access(Perms::LOAD, 1),
+            Err(CapFault::BoundsViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn access_at_exact_top_is_rejected() {
+        let cap = Capability::root(0x100);
+        let at_top = cap.with_address(0xff).unwrap();
+        assert!(at_top.check_access(Perms::LOAD, 1).is_ok());
+        assert!(at_top.check_access(Perms::LOAD, 2).is_err());
+    }
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let root = Capability::root(0x10000);
+        let sealing = root
+            .restricted(5, 1)
+            .unwrap()
+            .masked(Perms::SEAL | Perms::UNSEAL)
+            .unwrap();
+        let otype = OType::new(5);
+        let data = root.restricted(0x1000, 0x100).unwrap();
+        let sealed = data.sealed_by(&sealing, otype).unwrap();
+        assert!(sealed.is_sealed());
+        assert_eq!(
+            sealed.with_address(0),
+            Err(CapFault::SealViolation { otype })
+        );
+        let unsealed = sealed.unsealed_by(&sealing).unwrap();
+        assert_eq!(unsealed, data.with_address(unsealed.cursor()).unwrap());
+    }
+
+    #[test]
+    fn seal_requires_otype_in_authority_bounds() {
+        let root = Capability::root(0x10000);
+        let sealing = root.restricted(5, 1).unwrap().masked(Perms::SEAL).unwrap();
+        let data = root.restricted(0x1000, 0x100).unwrap();
+        assert!(matches!(
+            data.sealed_by(&sealing, OType::new(7)),
+            Err(CapFault::OTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn small_bounds_always_representable() {
+        assert!(bounds_representable(0x1234_5677, (1 << MANTISSA_BITS) - 1));
+    }
+
+    #[test]
+    fn large_bounds_require_alignment() {
+        let len = 1u64 << 20; // needs 2^(21-14)=2^6… alignment
+        assert!(bounds_representable(0, len));
+        assert!(!bounds_representable(1, len));
+        let bumped = representable_length(1 << 7, len + 3);
+        assert!(bounds_representable(1 << 7, bumped));
+        assert!(bumped >= len + 3);
+    }
+}

@@ -1,0 +1,660 @@
+//! CHERI compartments with rewind-and-discard semantics.
+//!
+//! This layer rebuilds the SDRaD programming model (domains entered through
+//! a checked call, faults contained and answered with a rewind) on top of
+//! the capability machine instead of protection keys:
+//!
+//! * each compartment owns a slice of the shared [`CheriMemory`], reachable
+//!   only through its *data capability*;
+//! * entering a compartment goes through a **sealed entry pair** (code
+//!   capability + data capability sealed with the compartment's object
+//!   type), the `CInvoke` idiom — the caller holds only sealed, therefore
+//!   unusable, capabilities;
+//! * any [`CapFault`] raised inside the compartment rewinds the call and
+//!   discards the compartment's heap, mirroring `sdrad::DomainManager`.
+//!
+//! Where the MPK backend's per-thread PKRU decides *rights to keys*, here
+//! the reachable-capability graph decides what a compartment can touch:
+//! there is nothing to switch on entry except the sealed-pair unseal, which
+//! is what makes the CHERI crossing constant-cost in the E11 ablation.
+
+use crate::cap::Capability;
+use crate::cost::{CheriCostModel, CheriCostReport};
+use crate::fault::CapFault;
+use crate::memory::CheriMemory;
+use crate::otype::{OType, OTypeAllocator};
+use crate::perms::Perms;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a compartment within one [`CompartmentManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompartmentId(u64);
+
+impl CompartmentId {
+    /// The raw identifier.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for CompartmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compartment#{}", self.0)
+    }
+}
+
+/// A sealed entry pair: the caller-visible handle to a compartment.
+///
+/// Both halves are sealed with the compartment's object type; neither can
+/// be dereferenced or mutated by the holder. Only
+/// [`CompartmentManager::invoke`] (modelling `CInvoke`) can atomically
+/// unseal them together.
+#[derive(Debug, Clone, Copy)]
+pub struct EntryPair {
+    code: Capability,
+    data: Capability,
+}
+
+impl EntryPair {
+    /// The sealed code capability.
+    #[must_use]
+    pub fn code(&self) -> Capability {
+        self.code
+    }
+
+    /// The sealed data capability.
+    #[must_use]
+    pub fn data(&self) -> Capability {
+        self.data
+    }
+}
+
+#[derive(Debug)]
+struct Compartment {
+    id: CompartmentId,
+    name: String,
+    otype: OType,
+    /// Unsealed data capability over the compartment's heap slice.
+    heap: Capability,
+    /// Bump cursor for heap allocation, relative to the heap base.
+    brk: u64,
+    faults: u64,
+    invocations: u64,
+}
+
+impl Compartment {
+    /// The generation stamp sealed into this compartment's entry pair.
+    ///
+    /// Compartment ids are never reused within a manager, so a sealed
+    /// pair minted for an earlier compartment can never validate against
+    /// a successor even when the object type and heap region have been
+    /// recycled — the CHERI-world analogue of revoking stale entry
+    /// capabilities on compartment teardown.
+    fn generation(&self) -> u64 {
+        self.id.0
+    }
+}
+
+/// Statistics for one compartment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompartmentInfo {
+    /// The compartment's identifier.
+    pub id: CompartmentId,
+    /// Heap base address.
+    pub heap_base: u64,
+    /// Heap size in bytes.
+    pub heap_len: u64,
+    /// Bytes currently bump-allocated.
+    pub allocated: u64,
+    /// Number of contained faults (each one caused a rewind + discard).
+    pub faults: u64,
+    /// Number of successful or rewound invocations.
+    pub invocations: u64,
+}
+
+/// Owns the tagged memory, the object-type namespace, and all
+/// compartments; the CHERI counterpart of `sdrad::DomainManager`.
+///
+/// ```
+/// use sdrad_cheri::{CompartmentManager, CapFault, Perms};
+///
+/// # fn main() -> Result<(), CapFault> {
+/// let mut mgr = CompartmentManager::new(1 << 20);
+/// let (id, entry) = mgr.create_compartment("parser", 4096)?;
+///
+/// let reply = mgr.invoke(entry, |env| {
+///     let buf = env.alloc(64)?;
+///     env.write(&buf, b"parsed")?;
+///     env.read_vec(&buf, 6)
+/// })?;
+/// assert_eq!(reply, b"parsed");
+/// # let _ = id;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CompartmentManager {
+    memory: CheriMemory,
+    otypes: OTypeAllocator,
+    compartments: HashMap<u64, Compartment>,
+    next_id: u64,
+    /// Next free heap base in the memory, granule-aligned.
+    next_base: u64,
+    /// Reserved extents `(base, len)` returned by destroyed compartments,
+    /// available for reuse so long-lived managers do not leak address
+    /// space across create/destroy cycles.
+    free_slots: Vec<(u64, u64)>,
+    cost: CheriCostReport,
+    total_rewinds: u64,
+}
+
+impl CompartmentManager {
+    /// Creates a manager over `memory_size` bytes of tagged memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_size` is not a multiple of the capability granule.
+    #[must_use]
+    pub fn new(memory_size: u64) -> Self {
+        Self::with_cost_model(memory_size, CheriCostModel::calibrated())
+    }
+
+    /// Creates a manager charging capability costs against `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_size` is not a multiple of the capability granule.
+    #[must_use]
+    pub fn with_cost_model(memory_size: u64, model: CheriCostModel) -> Self {
+        CompartmentManager {
+            memory: CheriMemory::new(memory_size),
+            otypes: OTypeAllocator::new(),
+            compartments: HashMap::new(),
+            next_id: 1,
+            next_base: crate::memory::GRANULE * 4, // keep low addresses unmapped
+            free_slots: Vec::new(),
+            cost: model.account(),
+            total_rewinds: 0,
+        }
+    }
+
+    /// Creates a compartment with a private `heap_len`-byte heap, returning
+    /// its id and the sealed entry pair the caller will invoke through.
+    ///
+    /// # Errors
+    ///
+    /// - [`CapFault::OTypeExhausted`] when no object types remain.
+    /// - [`CapFault::UnrepresentableBounds`] when the heap would exceed the
+    ///   memory or violate the compressed-bounds alignment rules (the
+    ///   manager aligns `heap_len` up as real CHERI allocators do, so this
+    ///   only fires on out-of-memory).
+    pub fn create_compartment(
+        &mut self,
+        name: impl Into<String>,
+        heap_len: u64,
+    ) -> Result<(CompartmentId, EntryPair), CapFault> {
+        let otype = self.otypes.alloc()?;
+        let want = heap_len.max(crate::memory::GRANULE);
+        // Respect the compressed encoding: align the base to the alignment
+        // the (rounded) length requires, as a real CHERI malloc would.
+        let len = crate::cap::representable_length(self.next_base, want);
+        let bits = 64 - len.leading_zeros();
+        let align = if bits > crate::cap::MANTISSA_BITS {
+            1u64 << (bits - crate::cap::MANTISSA_BITS)
+        } else {
+            crate::memory::GRANULE
+        };
+
+        // Prefer a recycled extent from a destroyed compartment; fall back
+        // to bumping the high-water mark.
+        let (base, reclaimed) = match self.free_slots.iter().position(|&(slot_base, slot_len)| {
+            let aligned = (slot_base + align - 1) & !(align - 1);
+            aligned + len <= slot_base + slot_len
+        }) {
+            Some(index) => {
+                let (slot_base, _) = self.free_slots.swap_remove(index);
+                (((slot_base + align - 1) & !(align - 1)), true)
+            }
+            None => (((self.next_base + align - 1) & !(align - 1)), false),
+        };
+        let end = base + len;
+        if end > self.memory.size() {
+            self.otypes.free(otype);
+            return Err(CapFault::UnrepresentableBounds { base, len });
+        }
+
+        let root = self.memory.root();
+        self.cost.charge_cap_op(); // CSetBounds
+        let heap = root
+            .restricted(base, len)?
+            .masked(Perms::DATA_RW | Perms::LOAD_CAP | Perms::STORE_CAP)?;
+        self.cost.charge_cap_op(); // CAndPerm
+
+        // Build the sealed entry pair. The sealing authority covers exactly
+        // this compartment's otype.
+        let sealing = root
+            .restricted(u64::from(otype.raw()), 1)?
+            .masked(Perms::SEAL | Perms::UNSEAL)?;
+        let id = CompartmentId(self.next_id);
+        self.next_id += 1;
+        // The sealed code capability's cursor carries the compartment's
+        // generation (its never-reused id): `invoke` checks it so a pair
+        // minted for a destroyed compartment can never alias a successor
+        // that recycled the same otype or heap region.
+        let code = root
+            .restricted(base, len)?
+            .masked(Perms::EXECUTE | Perms::INVOKE)?
+            .with_address(id.0)?
+            .sealed_by(&sealing, otype)?;
+        let data = root
+            .restricted(base, len)?
+            .masked(Perms::DATA_RW | Perms::LOAD_CAP | Perms::STORE_CAP | Perms::INVOKE)?
+            .sealed_by(&sealing, otype)?;
+        for _ in 0..4 {
+            self.cost.charge_cap_op(); // two derivations + two seals
+        }
+
+        if !reclaimed {
+            self.next_base = end;
+        }
+        self.compartments.insert(
+            id.0,
+            Compartment {
+                id,
+                name: name.into(),
+                otype,
+                heap,
+                brk: 0,
+                faults: 0,
+                invocations: 0,
+            },
+        );
+        Ok((id, EntryPair { code, data }))
+    }
+
+    /// Destroys a compartment, freeing its object type. Its heap bytes are
+    /// zeroed so stale secrets cannot leak into future compartments.
+    ///
+    /// # Errors
+    ///
+    /// [`CapFault::InvokeViolation`] if the id is unknown.
+    pub fn destroy_compartment(&mut self, id: CompartmentId) -> Result<(), CapFault> {
+        let comp = self
+            .compartments
+            .remove(&id.0)
+            .ok_or_else(|| CapFault::InvokeViolation(format!("unknown {id}")))?;
+        let wipe = comp.heap.with_address(comp.heap.base())?;
+        self.memory.fill(&wipe, comp.heap.len() as usize, 0)?;
+        self.otypes.free(comp.otype);
+        self.free_slots.push((comp.heap.base(), comp.heap.len()));
+        Ok(())
+    }
+
+    /// Calls into the compartment named by `entry` — the model's `CInvoke`.
+    ///
+    /// The sealed pair is validated (both halves tagged, sealed with the
+    /// *same* otype, [`Perms::INVOKE`] present), unsealed atomically, and
+    /// `body` runs with a [`CompartmentEnv`] whose only memory authority is
+    /// the compartment's data capability. A [`CapFault`] raised by `body`
+    /// **rewinds** the call: the compartment heap is discarded (zeroed,
+    /// bump cursor reset) and the fault is returned as `Err`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CapFault::InvokeViolation`] for malformed entry pairs.
+    /// - Any fault raised by `body`, after the rewind completes.
+    pub fn invoke<R>(
+        &mut self,
+        entry: EntryPair,
+        body: impl FnOnce(&mut CompartmentEnv<'_>) -> Result<R, CapFault>,
+    ) -> Result<R, CapFault> {
+        let otype = Self::validate_entry(&entry)?;
+        let comp_id = self
+            .compartments
+            .values()
+            .find(|c| c.otype == otype && c.generation() == entry.code.cursor())
+            .map(|c| c.id)
+            .ok_or_else(|| {
+                CapFault::InvokeViolation(format!(
+                    "no live compartment for {otype} at generation {}",
+                    entry.code.cursor()
+                ))
+            })?;
+
+        self.cost.charge_cinvoke();
+        let comp = self.compartments.get_mut(&comp_id.0).expect("looked up above");
+        comp.invocations += 1;
+        let heap = comp.heap;
+        let mut env = CompartmentEnv {
+            memory: &mut self.memory,
+            heap,
+            brk: comp.brk,
+            id: comp_id,
+        };
+        let result = body(&mut env);
+        let brk = env.brk;
+        self.cost.charge_creturn();
+
+        let comp = self.compartments.get_mut(&comp_id.0).expect("still live");
+        match result {
+            Ok(value) => {
+                comp.brk = brk;
+                Ok(value)
+            }
+            Err(fault) => {
+                // Rewind & discard: zero the heap, reset the bump cursor.
+                comp.faults += 1;
+                comp.brk = 0;
+                self.total_rewinds += 1;
+                let wipe = heap.with_address(heap.base())?;
+                self.memory.fill(&wipe, heap.len() as usize, 0)?;
+                Err(fault)
+            }
+        }
+    }
+
+    fn validate_entry(entry: &EntryPair) -> Result<OType, CapFault> {
+        if !entry.code.is_tagged() || !entry.data.is_tagged() {
+            return Err(CapFault::TagViolation);
+        }
+        let code_otype = entry
+            .code
+            .seal_otype()
+            .ok_or_else(|| CapFault::InvokeViolation("code capability is unsealed".into()))?;
+        let data_otype = entry
+            .data
+            .seal_otype()
+            .ok_or_else(|| CapFault::InvokeViolation("data capability is unsealed".into()))?;
+        if code_otype != data_otype {
+            return Err(CapFault::InvokeViolation(format!(
+                "otype mismatch between pair halves: {code_otype} vs {data_otype}"
+            )));
+        }
+        if !entry.code.perms().contains(Perms::INVOKE)
+            || !entry.data.perms().contains(Perms::INVOKE)
+        {
+            return Err(CapFault::PermissionViolation {
+                required: Perms::INVOKE,
+                held: entry.code.perms().intersect(entry.data.perms()),
+            });
+        }
+        Ok(code_otype)
+    }
+
+    /// Information about a compartment.
+    ///
+    /// # Errors
+    ///
+    /// [`CapFault::InvokeViolation`] if the id is unknown.
+    pub fn compartment_info(&self, id: CompartmentId) -> Result<CompartmentInfo, CapFault> {
+        let comp = self
+            .compartments
+            .get(&id.0)
+            .ok_or_else(|| CapFault::InvokeViolation(format!("unknown {id}")))?;
+        Ok(CompartmentInfo {
+            id: comp.id,
+            heap_base: comp.heap.base(),
+            heap_len: comp.heap.len(),
+            allocated: comp.brk,
+            faults: comp.faults,
+            invocations: comp.invocations,
+        })
+    }
+
+    /// The name a compartment was created with.
+    #[must_use]
+    pub fn compartment_name(&self, id: CompartmentId) -> Option<&str> {
+        self.compartments.get(&id.0).map(|c| c.name.as_str())
+    }
+
+    /// Total rewinds performed across all compartments.
+    #[must_use]
+    pub fn total_rewinds(&self) -> u64 {
+        self.total_rewinds
+    }
+
+    /// The accumulated capability-cost ledger.
+    #[must_use]
+    pub fn cost(&self) -> CheriCostReport {
+        self.cost
+    }
+
+    /// Shared access to the underlying memory (for tests and diagnostics).
+    #[must_use]
+    pub fn memory(&self) -> &CheriMemory {
+        &self.memory
+    }
+}
+
+/// The environment a compartment body runs in: its data capability plus a
+/// bump allocator over its private heap.
+#[derive(Debug)]
+pub struct CompartmentEnv<'a> {
+    memory: &'a mut CheriMemory,
+    heap: Capability,
+    brk: u64,
+    id: CompartmentId,
+}
+
+impl CompartmentEnv<'_> {
+    /// The compartment this environment belongs to.
+    #[must_use]
+    pub fn id(&self) -> CompartmentId {
+        self.id
+    }
+
+    /// The compartment's (unsealed) data capability.
+    #[must_use]
+    pub fn heap_cap(&self) -> Capability {
+        self.heap
+    }
+
+    /// Bump-allocates `len` bytes from the compartment heap, returning a
+    /// capability whose bounds cover exactly the allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CapFault::BoundsViolation`] when the heap is exhausted, or an
+    /// [`CapFault::UnrepresentableBounds`] for pathological lengths.
+    pub fn alloc(&mut self, len: u64) -> Result<Capability, CapFault> {
+        let aligned = (len.max(1) + crate::memory::GRANULE - 1) & !(crate::memory::GRANULE - 1);
+        let base = self.heap.base() + self.brk;
+        if self.brk + aligned > self.heap.len() {
+            return Err(CapFault::BoundsViolation {
+                addr: base,
+                len: aligned as usize,
+                base: self.heap.base(),
+                top: self.heap.top(),
+            });
+        }
+        let cap = self.heap.restricted(base, aligned)?;
+        self.brk += aligned;
+        Ok(cap)
+    }
+
+    /// Writes `bytes` through `cap` at its cursor.
+    ///
+    /// # Errors
+    ///
+    /// Any capability fault; the fault will rewind the invocation if
+    /// propagated.
+    pub fn write(&mut self, cap: &Capability, bytes: &[u8]) -> Result<(), CapFault> {
+        self.memory.store(cap, bytes)
+    }
+
+    /// Reads `buf.len()` bytes through `cap` at its cursor.
+    ///
+    /// # Errors
+    ///
+    /// Any capability fault.
+    pub fn read(&mut self, cap: &Capability, buf: &mut [u8]) -> Result<(), CapFault> {
+        self.memory.load(cap, buf)
+    }
+
+    /// Reads `len` bytes through `cap`, returning a vector.
+    ///
+    /// # Errors
+    ///
+    /// Any capability fault.
+    pub fn read_vec(&mut self, cap: &Capability, len: usize) -> Result<Vec<u8>, CapFault> {
+        self.memory.load_vec(cap, len)
+    }
+
+    /// Stores a capability value through `cap` (requires
+    /// [`Perms::STORE_CAP`]).
+    ///
+    /// # Errors
+    ///
+    /// Any capability fault.
+    pub fn store_cap(&mut self, cap: &Capability, value: Capability) -> Result<(), CapFault> {
+        self.memory.store_cap(cap, value)
+    }
+
+    /// Loads a capability value through `cap` (requires
+    /// [`Perms::LOAD_CAP`]).
+    ///
+    /// # Errors
+    ///
+    /// Any capability fault.
+    pub fn load_cap(&mut self, cap: &Capability) -> Result<Capability, CapFault> {
+        self.memory.load_cap(cap)
+    }
+
+    /// Raises a software fault, aborting (and rewinding) the invocation
+    /// when propagated with `?`.
+    ///
+    /// # Errors
+    ///
+    /// Always returns [`CapFault::Abort`].
+    pub fn abort<T>(&self, reason: impl Into<String>) -> Result<T, CapFault> {
+        Err(CapFault::Abort(reason.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invoke_runs_body_with_private_heap() {
+        let mut mgr = CompartmentManager::new(1 << 16);
+        let (_, entry) = mgr.create_compartment("a", 4096).unwrap();
+        let out = mgr
+            .invoke(entry, |env| {
+                let buf = env.alloc(32)?;
+                env.write(&buf, b"hi")?;
+                env.read_vec(&buf, 2)
+            })
+            .unwrap();
+        assert_eq!(out, b"hi");
+    }
+
+    #[test]
+    fn fault_rewinds_and_discards_heap() {
+        let mut mgr = CompartmentManager::new(1 << 16);
+        let (id, entry) = mgr.create_compartment("victim", 4096).unwrap();
+
+        // Seed the heap, then fault.
+        let err = mgr.invoke(entry, |env| -> Result<(), CapFault> {
+            let buf = env.alloc(16)?;
+            env.write(&buf, b"secret-material!")?;
+            // Walk off the end of the allocation: bounds violation.
+            let oob = buf.with_address(buf.top())?;
+            env.write(&oob, &[0])?;
+            Ok(())
+        });
+        assert!(matches!(err, Err(CapFault::BoundsViolation { .. })));
+        assert_eq!(mgr.total_rewinds(), 1);
+
+        let info = mgr.compartment_info(id).unwrap();
+        assert_eq!(info.allocated, 0, "bump cursor reset on rewind");
+        assert_eq!(info.faults, 1);
+
+        // The discarded heap is zeroed: a fresh allocation sees no residue.
+        let residue = mgr
+            .invoke(entry, |env| {
+                let buf = env.alloc(16)?;
+                env.read_vec(&buf, 16)
+            })
+            .unwrap();
+        assert_eq!(residue, vec![0; 16]);
+    }
+
+    #[test]
+    fn compartment_cannot_reach_siblings() {
+        let mut mgr = CompartmentManager::new(1 << 16);
+        let (_, entry_a) = mgr.create_compartment("a", 4096).unwrap();
+        let (id_b, entry_b) = mgr.create_compartment("b", 4096).unwrap();
+        let b_base = mgr.compartment_info(id_b).unwrap().heap_base;
+
+        // Plant a secret in B.
+        mgr.invoke(entry_b, |env| {
+            let buf = env.alloc(8)?;
+            env.write(&buf, b"B-secret")
+        })
+        .unwrap();
+
+        // A tries to read B's heap: its capability cannot be widened there.
+        let steal = mgr.invoke(entry_a, |env| {
+            let heap = env.heap_cap();
+            let forged = heap.with_address(b_base)?;
+            env.read_vec(&forged, 8)
+        });
+        assert!(matches!(steal, Err(CapFault::BoundsViolation { .. })));
+        // And deriving bounds over B's heap is a monotonicity violation.
+        let widen = mgr.invoke(entry_a, |env| {
+            let heap = env.heap_cap();
+            heap.restricted(b_base, 8).map(|_| ())
+        });
+        assert!(matches!(widen, Err(CapFault::MonotonicityViolation)));
+    }
+
+    #[test]
+    fn unsealed_entry_pair_is_rejected() {
+        let mut mgr = CompartmentManager::new(1 << 16);
+        let (_, entry) = mgr.create_compartment("a", 4096).unwrap();
+        let forged = EntryPair { code: Capability::root(16), data: entry.data() };
+        assert!(matches!(
+            mgr.invoke(forged, |_| Ok(())),
+            Err(CapFault::InvokeViolation(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_pair_halves_rejected() {
+        let mut mgr = CompartmentManager::new(1 << 16);
+        let (_, entry_a) = mgr.create_compartment("a", 4096).unwrap();
+        let (_, entry_b) = mgr.create_compartment("b", 4096).unwrap();
+        let spliced = EntryPair { code: entry_a.code(), data: entry_b.data() };
+        assert!(matches!(
+            mgr.invoke(spliced, |_| Ok(())),
+            Err(CapFault::InvokeViolation(_))
+        ));
+    }
+
+    #[test]
+    fn destroy_zeroes_heap_and_frees_otype() {
+        let mut mgr = CompartmentManager::new(1 << 16);
+        let (id, entry) = mgr.create_compartment("a", 4096).unwrap();
+        mgr.invoke(entry, |env| {
+            let buf = env.alloc(8)?;
+            env.write(&buf, b"leakme!!")
+        })
+        .unwrap();
+        mgr.destroy_compartment(id).unwrap();
+        assert!(mgr.compartment_info(id).is_err());
+        // Invoking through the stale entry pair now fails.
+        assert!(mgr.invoke(entry, |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn allocation_exhaustion_is_contained() {
+        let mut mgr = CompartmentManager::new(1 << 16);
+        let (id, entry) = mgr.create_compartment("small", 64).unwrap();
+        let err = mgr.invoke(entry, |env| env.alloc(1 << 20).map(|_| ()));
+        assert!(matches!(err, Err(CapFault::BoundsViolation { .. })));
+        assert_eq!(mgr.compartment_info(id).unwrap().faults, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Capability faults — the exceptions a CHERI CPU delivers on a failed
+//! capability check.
+
+use crate::perms::Perms;
+use crate::otype::OType;
+use std::error::Error;
+use std::fmt;
+
+/// A capability violation, the CHERI analogue of [`sdrad_mpk::Fault`].
+///
+/// Every variant corresponds to one of the architectural capability
+/// exception causes; the compartment layer turns any of them into a
+/// rewind, exactly as the MPK backend turns `Fault::PkuViolation` into
+/// one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CapFault {
+    /// The capability's tag bit was clear (not a valid capability).
+    TagViolation,
+    /// A sealed capability was used for memory access or derivation.
+    SealViolation {
+        /// The object type the capability was sealed with.
+        otype: OType,
+    },
+    /// The access fell outside the capability's `[base, base+len)` bounds.
+    BoundsViolation {
+        /// Requested address.
+        addr: u64,
+        /// Requested access length in bytes.
+        len: usize,
+        /// The capability's lower bound.
+        base: u64,
+        /// The capability's upper bound (exclusive).
+        top: u64,
+    },
+    /// The capability lacks a required permission.
+    PermissionViolation {
+        /// Permissions the operation required.
+        required: Perms,
+        /// Permissions the capability actually carries.
+        held: Perms,
+    },
+    /// A derivation attempted to *grow* bounds or permissions.
+    MonotonicityViolation,
+    /// The requested bounds are not representable in the compressed
+    /// capability format and cannot be set exactly.
+    UnrepresentableBounds {
+        /// Requested lower bound.
+        base: u64,
+        /// Requested length.
+        len: u64,
+    },
+    /// Seal/unseal used mismatched object types.
+    OTypeMismatch {
+        /// Object type expected by the sealed capability.
+        expected: OType,
+        /// Object type offered by the authority capability.
+        found: OType,
+    },
+    /// `CInvoke` was given a code/data pair sealed with different otypes,
+    /// or an unsealed operand.
+    InvokeViolation(String),
+    /// The object-type namespace is exhausted.
+    OTypeExhausted,
+    /// The compartment explicitly aborted (software-raised fault).
+    Abort(String),
+}
+
+impl fmt::Display for CapFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapFault::TagViolation => write!(f, "tag violation: capability is untagged"),
+            CapFault::SealViolation { otype } => {
+                write!(f, "seal violation: capability is sealed with otype {otype}")
+            }
+            CapFault::BoundsViolation { addr, len, base, top } => write!(
+                f,
+                "bounds violation: access [{addr:#x}, {:#x}) outside [{base:#x}, {top:#x})",
+                addr + *len as u64
+            ),
+            CapFault::PermissionViolation { required, held } => write!(
+                f,
+                "permission violation: required {required}, held {held}"
+            ),
+            CapFault::MonotonicityViolation => {
+                write!(f, "monotonicity violation: derivation would widen authority")
+            }
+            CapFault::UnrepresentableBounds { base, len } => write!(
+                f,
+                "unrepresentable bounds: base {base:#x} length {len:#x} cannot be encoded"
+            ),
+            CapFault::OTypeMismatch { expected, found } => write!(
+                f,
+                "otype mismatch: sealed with {expected}, authority covers {found}"
+            ),
+            CapFault::InvokeViolation(why) => write!(f, "invoke violation: {why}"),
+            CapFault::OTypeExhausted => write!(f, "object-type namespace exhausted"),
+            CapFault::Abort(why) => write!(f, "compartment abort: {why}"),
+        }
+    }
+}
+
+impl Error for CapFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_bounds() {
+        let fault = CapFault::BoundsViolation { addr: 0x100, len: 8, base: 0, top: 0x100 };
+        let text = fault.to_string();
+        assert!(text.contains("0x100"), "{text}");
+        assert!(text.contains("bounds"), "{text}");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let fault: Box<dyn Error> = Box::new(CapFault::TagViolation);
+        assert!(fault.to_string().contains("tag"));
+    }
+}

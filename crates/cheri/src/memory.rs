@@ -1,0 +1,294 @@
+//! Tagged physical memory.
+//!
+//! CHERI memory carries one *tag bit* per capability-sized granule. A
+//! capability store sets the tag; any plain data store that touches the
+//! granule clears it, so forged pointer bytes can never be dereferenced as
+//! a capability. This module models that with a byte array, a tag bitmap,
+//! and a side table holding the capability values for tagged granules
+//! (the model does not bit-encode capabilities into the byte array — the
+//! tag semantics, which is what the experiments exercise, are identical).
+
+use crate::cap::Capability;
+use crate::fault::CapFault;
+use crate::perms::Perms;
+use std::collections::HashMap;
+
+/// Size of one capability granule in bytes (128-bit capabilities).
+pub const GRANULE: u64 = 16;
+
+/// A tagged memory of fixed size.
+///
+/// ```
+/// use sdrad_cheri::{CheriMemory, Capability, Perms};
+///
+/// # fn main() -> Result<(), sdrad_cheri::CapFault> {
+/// let mut mem = CheriMemory::new(4096);
+/// let cap = mem.root().restricted(0x100, 0x40)?.masked(Perms::DATA_RW)?;
+/// mem.store(&cap.with_address(0x100)?, b"hello")?;
+/// assert_eq!(mem.load_vec(&cap.with_address(0x100)?, 5)?, b"hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CheriMemory {
+    data: Vec<u8>,
+    tags: Vec<bool>,
+    caps: HashMap<u64, Capability>,
+    root: Capability,
+    loads: u64,
+    stores: u64,
+    tag_clears: u64,
+}
+
+impl CheriMemory {
+    /// Allocates `size` bytes of zeroed, untagged memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a multiple of [`GRANULE`].
+    #[must_use]
+    pub fn new(size: u64) -> Self {
+        assert!(size.is_multiple_of(GRANULE), "memory size must be granule-aligned");
+        CheriMemory {
+            data: vec![0; size as usize],
+            tags: vec![false; (size / GRANULE) as usize],
+            caps: HashMap::new(),
+            root: Capability::root(size),
+            loads: 0,
+            stores: 0,
+            tag_clears: 0,
+        }
+    }
+
+    /// The root capability covering all of memory. Runtime-only authority;
+    /// compartments receive restricted derivations.
+    #[must_use]
+    pub fn root(&self) -> Capability {
+        self.root
+    }
+
+    /// Total size in bytes.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Loads `buf.len()` bytes through `cap` at its cursor.
+    ///
+    /// # Errors
+    ///
+    /// Any capability fault from the access check.
+    pub fn load(&mut self, cap: &Capability, buf: &mut [u8]) -> Result<(), CapFault> {
+        let addr = cap.check_access(Perms::LOAD, buf.len())?;
+        self.loads += 1;
+        let start = addr as usize;
+        buf.copy_from_slice(&self.data[start..start + buf.len()]);
+        Ok(())
+    }
+
+    /// Loads `len` bytes through `cap`, returning them as a vector.
+    ///
+    /// # Errors
+    ///
+    /// Any capability fault from the access check.
+    pub fn load_vec(&mut self, cap: &Capability, len: usize) -> Result<Vec<u8>, CapFault> {
+        let mut buf = vec![0; len];
+        self.load(cap, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Stores `bytes` through `cap` at its cursor, clearing the tags of
+    /// every granule the store touches.
+    ///
+    /// # Errors
+    ///
+    /// Any capability fault from the access check.
+    pub fn store(&mut self, cap: &Capability, bytes: &[u8]) -> Result<(), CapFault> {
+        let addr = cap.check_access(Perms::STORE, bytes.len())?;
+        self.stores += 1;
+        let start = addr as usize;
+        self.data[start..start + bytes.len()].copy_from_slice(bytes);
+        self.clear_tags(addr, bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Fills `len` bytes with `byte` through `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Any capability fault from the access check.
+    pub fn fill(&mut self, cap: &Capability, len: usize, byte: u8) -> Result<(), CapFault> {
+        let addr = cap.check_access(Perms::STORE, len)?;
+        self.stores += 1;
+        let start = addr as usize;
+        self.data[start..start + len].fill(byte);
+        self.clear_tags(addr, len as u64);
+        Ok(())
+    }
+
+    /// Stores a capability value at `cap`'s cursor (a `CSC` instruction):
+    /// requires [`Perms::STORE_CAP`], a granule-aligned cursor, and sets
+    /// the granule's tag if `value` is tagged.
+    ///
+    /// # Errors
+    ///
+    /// Capability faults, plus an alignment-induced bounds fault if the
+    /// cursor is not granule-aligned.
+    pub fn store_cap(&mut self, cap: &Capability, value: Capability) -> Result<(), CapFault> {
+        let addr = cap.check_access(Perms::STORE | Perms::STORE_CAP, GRANULE as usize)?;
+        if addr % GRANULE != 0 {
+            return Err(CapFault::BoundsViolation {
+                addr,
+                len: GRANULE as usize,
+                base: cap.base(),
+                top: cap.top(),
+            });
+        }
+        self.stores += 1;
+        let granule = (addr / GRANULE) as usize;
+        self.tags[granule] = value.is_tagged();
+        if value.is_tagged() {
+            self.caps.insert(addr, value);
+        } else {
+            self.caps.remove(&addr);
+        }
+        Ok(())
+    }
+
+    /// Loads a capability from `cap`'s cursor (a `CLC` instruction):
+    /// requires [`Perms::LOAD_CAP`]. If the granule's tag is clear the
+    /// load succeeds but yields an *untagged* value, exactly as hardware
+    /// behaves — dereferencing it later raises [`CapFault::TagViolation`].
+    ///
+    /// # Errors
+    ///
+    /// Capability faults from the access check or misalignment.
+    pub fn load_cap(&mut self, cap: &Capability) -> Result<Capability, CapFault> {
+        let addr = cap.check_access(Perms::LOAD | Perms::LOAD_CAP, GRANULE as usize)?;
+        if addr % GRANULE != 0 {
+            return Err(CapFault::BoundsViolation {
+                addr,
+                len: GRANULE as usize,
+                base: cap.base(),
+                top: cap.top(),
+            });
+        }
+        self.loads += 1;
+        let granule = (addr / GRANULE) as usize;
+        if !self.tags[granule] {
+            return Ok(self.caps.get(&addr).copied().unwrap_or_else(Capability::null).cleared());
+        }
+        Ok(*self.caps.get(&addr).expect("tagged granule has a capability"))
+    }
+
+    /// Whether the granule containing `addr` is tagged.
+    #[must_use]
+    pub fn tag_at(&self, addr: u64) -> bool {
+        self.tags
+            .get((addr / GRANULE) as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// `(loads, stores, tag_clears)` counters for the cost model.
+    #[must_use]
+    pub fn access_counts(&self) -> (u64, u64, u64) {
+        (self.loads, self.stores, self.tag_clears)
+    }
+
+    fn clear_tags(&mut self, addr: u64, len: u64) {
+        let first = addr / GRANULE;
+        let last = (addr + len - 1) / GRANULE;
+        for granule in first..=last {
+            if self.tags[granule as usize] {
+                self.tags[granule as usize] = false;
+                self.caps.remove(&(granule * GRANULE));
+                self.tag_clears += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rw(mem: &CheriMemory, base: u64, len: u64) -> Capability {
+        mem.root()
+            .restricted(base, len)
+            .unwrap()
+            .masked(Perms::DATA_RW | Perms::LOAD_CAP | Perms::STORE_CAP)
+            .unwrap()
+    }
+
+    #[test]
+    fn data_round_trip() {
+        let mut mem = CheriMemory::new(1024);
+        let cap = rw(&mem, 0x40, 0x40);
+        mem.store(&cap.with_address(0x40).unwrap(), &[9, 8, 7]).unwrap();
+        assert_eq!(mem.load_vec(&cap.with_address(0x40).unwrap(), 3).unwrap(), [9, 8, 7]);
+    }
+
+    #[test]
+    fn store_outside_bounds_faults() {
+        let mut mem = CheriMemory::new(1024);
+        let cap = rw(&mem, 0x40, 0x10);
+        let oob = cap.with_address(0x50).unwrap();
+        assert!(matches!(mem.store(&oob, &[1]), Err(CapFault::BoundsViolation { .. })));
+    }
+
+    #[test]
+    fn cap_round_trip_preserves_tag() {
+        let mut mem = CheriMemory::new(1024);
+        let slot = rw(&mem, 0x100, 0x20).with_address(0x100).unwrap();
+        let value = rw(&mem, 0x200, 0x10);
+        mem.store_cap(&slot, value).unwrap();
+        assert!(mem.tag_at(0x100));
+        let loaded = mem.load_cap(&slot).unwrap();
+        assert!(loaded.is_tagged());
+        assert_eq!(loaded.base(), 0x200);
+    }
+
+    #[test]
+    fn data_store_clears_tag() {
+        let mut mem = CheriMemory::new(1024);
+        let slot = rw(&mem, 0x100, 0x20).with_address(0x100).unwrap();
+        let value = rw(&mem, 0x200, 0x10);
+        mem.store_cap(&slot, value).unwrap();
+
+        // Overwrite one byte of the granule with plain data: tag must drop.
+        mem.store(&slot.with_address(0x107).unwrap(), &[0xff]).unwrap();
+        assert!(!mem.tag_at(0x100));
+        let loaded = mem.load_cap(&slot).unwrap();
+        assert!(!loaded.is_tagged(), "forged capability must be untagged");
+        assert!(matches!(
+            loaded.check_access(Perms::LOAD, 1),
+            Err(CapFault::TagViolation)
+        ));
+    }
+
+    #[test]
+    fn load_cap_requires_permission() {
+        let mut mem = CheriMemory::new(1024);
+        let no_cap_perm = mem
+            .root()
+            .restricted(0x100, 0x20)
+            .unwrap()
+            .masked(Perms::DATA_RW)
+            .unwrap()
+            .with_address(0x100)
+            .unwrap();
+        assert!(matches!(
+            mem.load_cap(&no_cap_perm),
+            Err(CapFault::PermissionViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn misaligned_cap_store_faults() {
+        let mut mem = CheriMemory::new(1024);
+        let slot = rw(&mem, 0x100, 0x40).with_address(0x108).unwrap();
+        let value = rw(&mem, 0x200, 0x10);
+        assert!(mem.store_cap(&slot, value).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Capability permission bits.
+//!
+//! CHERI capabilities carry a permission mask that can only ever be
+//! *narrowed* by `CAndPerm`-style operations ([`Perms::intersect`]); no
+//! architectural operation widens it. The bit assignments below follow the
+//! CHERI ISA's architectural permissions (Morello/CHERI-RISC-V share the
+//! same core set), reduced to the ones this model exercises.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr};
+
+/// A set of capability permissions.
+///
+/// Construct with the associated constants and combine with `|`:
+///
+/// ```
+/// use sdrad_cheri::Perms;
+///
+/// let rw = Perms::LOAD | Perms::STORE;
+/// assert!(rw.contains(Perms::LOAD));
+/// assert!(!rw.contains(Perms::EXECUTE));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Perms(u16);
+
+impl Perms {
+    /// No permissions at all.
+    pub const NONE: Perms = Perms(0);
+    /// Capability may be stored through global-capability stores.
+    pub const GLOBAL: Perms = Perms(1 << 0);
+    /// Instructions may be fetched through this capability.
+    pub const EXECUTE: Perms = Perms(1 << 1);
+    /// Data may be loaded through this capability.
+    pub const LOAD: Perms = Perms(1 << 2);
+    /// Data may be stored through this capability.
+    pub const STORE: Perms = Perms(1 << 3);
+    /// Capabilities (with tags) may be loaded through this capability.
+    pub const LOAD_CAP: Perms = Perms(1 << 4);
+    /// Capabilities (with tags) may be stored through this capability.
+    pub const STORE_CAP: Perms = Perms(1 << 5);
+    /// This capability may be used to seal others.
+    pub const SEAL: Perms = Perms(1 << 6);
+    /// This capability may be used to unseal others.
+    pub const UNSEAL: Perms = Perms(1 << 7);
+    /// This capability may be the target of `CInvoke`.
+    pub const INVOKE: Perms = Perms(1 << 8);
+    /// Access to privileged system registers.
+    pub const SYSTEM: Perms = Perms(1 << 9);
+
+    /// Every permission bit set — the root capability's mask.
+    pub const ALL: Perms = Perms(0x3ff);
+
+    /// Read/write data permissions, the common compartment-heap mask.
+    pub const DATA_RW: Perms = Perms(Self::LOAD.0 | Self::STORE.0);
+
+    /// Returns true if every bit of `other` is present in `self`.
+    #[must_use]
+    pub fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Monotonic narrowing: the intersection of two permission sets.
+    ///
+    /// This is the only way permissions combine in the model; there is
+    /// deliberately no union-with-widening operation on a derived
+    /// capability.
+    #[must_use]
+    pub fn intersect(self, other: Perms) -> Perms {
+        Perms(self.0 & other.0)
+    }
+
+    /// Returns true if `other` is a (non-strict) subset of `self`.
+    #[must_use]
+    pub fn is_superset_of(self, other: Perms) -> bool {
+        self.contains(other)
+    }
+
+    /// Returns true if no permission bit is set.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw bit representation (for diagnostics and tests).
+    #[must_use]
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Reconstructs a permission set from raw bits, masking unknown bits.
+    #[must_use]
+    pub fn from_bits_truncate(bits: u16) -> Perms {
+        Perms(bits & Self::ALL.0)
+    }
+}
+
+impl Default for Perms {
+    fn default() -> Self {
+        Perms::NONE
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+    fn bitand(self, rhs: Perms) -> Perms {
+        self.intersect(rhs)
+    }
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [(Perms, &str); 10] = [
+            (Perms::GLOBAL, "G"),
+            (Perms::EXECUTE, "X"),
+            (Perms::LOAD, "R"),
+            (Perms::STORE, "W"),
+            (Perms::LOAD_CAP, "r"),
+            (Perms::STORE_CAP, "w"),
+            (Perms::SEAL, "S"),
+            (Perms::UNSEAL, "U"),
+            (Perms::INVOKE, "I"),
+            (Perms::SYSTEM, "P"),
+        ];
+        write!(f, "Perms(")?;
+        let mut any = false;
+        for (perm, name) in NAMES {
+            if self.contains(perm) {
+                f.write_str(name)?;
+                any = true;
+            }
+        }
+        if !any {
+            f.write_str("-")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_narrows() {
+        let a = Perms::LOAD | Perms::STORE | Perms::EXECUTE;
+        let b = Perms::LOAD | Perms::SEAL;
+        let c = a.intersect(b);
+        assert_eq!(c, Perms::LOAD);
+        assert!(a.contains(c));
+        assert!(b.contains(c));
+    }
+
+    #[test]
+    fn all_contains_everything() {
+        for bit in 0..10u16 {
+            let p = Perms::from_bits_truncate(1 << bit);
+            assert!(Perms::ALL.contains(p), "bit {bit} missing from ALL");
+        }
+    }
+
+    #[test]
+    fn from_bits_truncates_unknown() {
+        let p = Perms::from_bits_truncate(0xffff);
+        assert_eq!(p, Perms::ALL);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", Perms::NONE), "Perms(-)");
+        assert_eq!(format!("{:?}", Perms::LOAD | Perms::STORE), "Perms(RW)");
+    }
+}

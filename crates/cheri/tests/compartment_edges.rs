@@ -1,0 +1,199 @@
+//! Edge-case tests for the compartment manager: namespace exhaustion,
+//! lifecycle reuse, representability of large heaps, and authority
+//! boundaries of the sealing machinery.
+
+use sdrad_cheri::{
+    bounds_representable, CapFault, Capability, CompartmentManager, OType, Perms,
+};
+
+#[test]
+fn large_heaps_are_placed_representably() {
+    // Heaps beyond 2^14 bytes need aligned bounds; the manager must place
+    // them so that CSetBounds succeeds exactly.
+    let mut mgr = CompartmentManager::new(1 << 26);
+    // A small odd-sized compartment first, to misalign the next base.
+    mgr.create_compartment("small", 48).unwrap();
+    for (name, len) in [("1MiB", 1u64 << 20), ("5MiB", 5 << 20), ("16MiB", 1 << 24)] {
+        let (id, entry) = mgr.create_compartment(name, len).unwrap();
+        let info = mgr.compartment_info(id).unwrap();
+        assert!(info.heap_len >= len, "{name}: rounded down");
+        assert!(
+            bounds_representable(info.heap_base, info.heap_len),
+            "{name}: unrepresentable placement {info:?}"
+        );
+        // And the heap is actually usable end to end.
+        mgr.invoke(entry, |env| {
+            let buf = env.alloc(4096)?;
+            env.write(&buf, &[0xAA; 4096])
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn out_of_memory_is_reported_not_panicked() {
+    let mut mgr = CompartmentManager::new(1 << 16);
+    mgr.create_compartment("big", 48 * 1024).unwrap();
+    let err = mgr.create_compartment("too-big", 32 * 1024);
+    assert!(matches!(err, Err(CapFault::UnrepresentableBounds { .. })));
+}
+
+#[test]
+fn destroyed_compartment_frees_its_otype_for_reuse() {
+    let mut mgr = CompartmentManager::new(1 << 20);
+    let mut last = None;
+    // Create/destroy repeatedly; the otype namespace must not leak.
+    for round in 0..(OType::MAX + 10) as usize {
+        let (id, entry) = mgr
+            .create_compartment(format!("gen{round}"), 1024)
+            .expect("otype reuse must prevent exhaustion");
+        mgr.invoke(entry, |env| {
+            let buf = env.alloc(8)?;
+            env.write(&buf, &round.to_le_bytes())
+        })
+        .unwrap();
+        if let Some(prev) = last.replace(id) {
+            assert_ne!(prev, id);
+        }
+        mgr.destroy_compartment(id).unwrap();
+    }
+}
+
+#[test]
+fn stale_entry_pair_cannot_reach_a_successor_compartment() {
+    // After destroy + create, the successor recycles BOTH the otype and
+    // the heap region of the destroyed compartment — the worst case for
+    // aliasing. The stale pair must still be rejected: entry pairs carry
+    // the compartment generation, which is never reused.
+    let mut mgr = CompartmentManager::new(1 << 20);
+    let (old_id, old_entry) = mgr.create_compartment("old", 2048).unwrap();
+    let old_base = mgr.compartment_info(old_id).unwrap().heap_base;
+    mgr.destroy_compartment(old_id).unwrap();
+
+    let (new_id, new_entry) = mgr.create_compartment("new", 2048).unwrap();
+    assert_eq!(
+        mgr.compartment_info(new_id).unwrap().heap_base,
+        old_base,
+        "test setup: the successor must recycle the region to probe the alias"
+    );
+    mgr.invoke(new_entry, |env| {
+        let buf = env.alloc(16)?;
+        env.write(&buf, b"successor-secret")
+    })
+    .unwrap();
+
+    let theft = mgr.invoke(old_entry, |env| {
+        let heap = env.heap_cap();
+        let probe = heap.with_address(heap.base())?;
+        env.read_vec(&probe, 16)
+    });
+    assert!(
+        matches!(theft, Err(CapFault::InvokeViolation(_))),
+        "stale pair must be rejected, got {theft:?}"
+    );
+    // And the successor is unaffected.
+    assert_eq!(mgr.compartment_info(new_id).unwrap().faults, 0);
+}
+
+#[test]
+fn sealing_requires_the_seal_permission() {
+    let root = Capability::root(1 << 16);
+    let otype = sdrad_cheri::OTypeAllocator::new().alloc().unwrap(); // otype 0
+    // Authority covers the otype's address but lacks Perms::SEAL.
+    let no_seal_authority = root
+        .restricted(u64::from(otype.raw()), 1)
+        .unwrap()
+        .masked(Perms::LOAD | Perms::STORE)
+        .unwrap();
+    let victim = root.restricted(0x100, 0x100).unwrap();
+    let err = victim.sealed_by(&no_seal_authority, otype).unwrap_err();
+    assert!(
+        matches!(err, CapFault::PermissionViolation { required, .. } if required == Perms::SEAL),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn unseal_with_wrong_authority_fails() {
+    let root = Capability::root(1 << 16);
+    let mut otypes = sdrad_cheri::OTypeAllocator::new();
+    let otype_a = otypes.alloc().unwrap();
+    let otype_b = otypes.alloc().unwrap();
+
+    let seal_a = root
+        .restricted(u64::from(otype_a.raw()), 1)
+        .unwrap()
+        .masked(Perms::SEAL | Perms::UNSEAL)
+        .unwrap();
+    let seal_b = root
+        .restricted(u64::from(otype_b.raw()), 1)
+        .unwrap()
+        .masked(Perms::SEAL | Perms::UNSEAL)
+        .unwrap();
+
+    let sealed = root
+        .restricted(0x200, 0x40)
+        .unwrap()
+        .sealed_by(&seal_a, otype_a)
+        .unwrap();
+    // Authority B's bounds do not cover otype A.
+    assert!(sealed.unsealed_by(&seal_b).is_err());
+    // Authority A succeeds.
+    assert!(sealed.unsealed_by(&seal_a).is_ok());
+}
+
+#[test]
+fn sealed_capability_is_fully_inert() {
+    let root = Capability::root(1 << 16);
+    let mut otypes = sdrad_cheri::OTypeAllocator::new();
+    let otype = otypes.alloc().unwrap();
+    let sealer = root
+        .restricted(u64::from(otype.raw()), 1)
+        .unwrap()
+        .masked(Perms::SEAL)
+        .unwrap();
+    let sealed = root
+        .restricted(0x400, 0x100)
+        .unwrap()
+        .sealed_by(&sealer, otype)
+        .unwrap();
+
+    assert!(sealed.with_address(0x400).is_err());
+    assert!(sealed.incremented(8).is_err());
+    assert!(sealed.restricted(0x400, 0x10).is_err());
+    assert!(sealed.masked(Perms::LOAD).is_err());
+    assert!(sealed.check_access(Perms::LOAD, 1).is_err());
+}
+
+#[test]
+fn invocations_and_fault_counters_are_per_compartment() {
+    let mut mgr = CompartmentManager::new(1 << 20);
+    let (id_a, entry_a) = mgr.create_compartment("a", 1024).unwrap();
+    let (id_b, entry_b) = mgr.create_compartment("b", 1024).unwrap();
+
+    for _ in 0..3 {
+        mgr.invoke(entry_a, |_| Ok(())).unwrap();
+    }
+    let _ = mgr.invoke(entry_b, |env| env.abort::<()>("boom"));
+
+    let a = mgr.compartment_info(id_a).unwrap();
+    let b = mgr.compartment_info(id_b).unwrap();
+    assert_eq!((a.invocations, a.faults), (3, 0));
+    assert_eq!((b.invocations, b.faults), (1, 1));
+    assert_eq!(mgr.total_rewinds(), 1);
+    assert_eq!(mgr.compartment_name(id_a), Some("a"));
+}
+
+#[test]
+fn cost_ledger_charges_every_crossing() {
+    let mut mgr = CompartmentManager::new(1 << 20);
+    let (_, entry) = mgr.create_compartment("metered", 1024).unwrap();
+    let before = mgr.cost();
+    for _ in 0..10 {
+        mgr.invoke(entry, |_| Ok(())).unwrap();
+    }
+    let after = mgr.cost();
+    assert_eq!(after.cinvokes - before.cinvokes, 10);
+    assert_eq!(after.creturns - before.creturns, 10);
+    assert!(after.total_ns() > before.total_ns());
+}

@@ -1,0 +1,139 @@
+//! Property tests for the capability machine's safety invariants.
+//!
+//! The security argument of CHERI-based isolation rests on *monotonicity*
+//! (no derivation chain ever widens authority) and *tag integrity* (no
+//! sequence of data writes ever yields a dereferenceable capability).
+//! These properties are exactly what we fuzz here.
+
+use proptest::prelude::*;
+use sdrad_cheri::{bounds_representable, Capability, CheriMemory, Perms, GRANULE};
+
+const MEM: u64 = 1 << 16;
+
+/// One step of capability derivation, as an attacker inside a compartment
+/// could attempt it.
+#[derive(Debug, Clone)]
+enum Derivation {
+    SetAddress(u64),
+    Increment(i64),
+    Restrict { base: u64, len: u64 },
+    Mask(u16),
+}
+
+fn derivation() -> impl Strategy<Value = Derivation> {
+    prop_oneof![
+        (0..MEM * 2).prop_map(Derivation::SetAddress),
+        (-(MEM as i64)..MEM as i64).prop_map(Derivation::Increment),
+        (0..MEM, 0..MEM).prop_map(|(base, len)| Derivation::Restrict { base, len }),
+        any::<u16>().prop_map(Derivation::Mask),
+    ]
+}
+
+proptest! {
+    /// No sequence of derivations widens bounds or permissions beyond the
+    /// starting capability.
+    #[test]
+    fn derivation_chains_are_monotonic(
+        start_base in 0..MEM / 2,
+        start_len in 1..MEM / 2,
+        steps in proptest::collection::vec(derivation(), 0..24),
+    ) {
+        let root = Capability::root(MEM);
+        let Ok(start) = root.restricted(start_base, start_len) else {
+            // Unrepresentable starting bounds are legal to reject.
+            return Ok(());
+        };
+        let mut cap = start;
+        for step in steps {
+            let next = match step {
+                Derivation::SetAddress(addr) => cap.with_address(addr),
+                Derivation::Increment(delta) => cap.incremented(delta),
+                Derivation::Restrict { base, len } => cap.restricted(base, len),
+                Derivation::Mask(bits) => cap.masked(Perms::from_bits_truncate(bits)),
+            };
+            if let Ok(next) = next {
+                prop_assert!(
+                    next.is_derivable_from(&start),
+                    "derived {next:?} exceeds {start:?}"
+                );
+                cap = next;
+            }
+        }
+    }
+
+    /// Every successful checked access falls inside the capability bounds.
+    #[test]
+    fn checked_access_is_always_in_bounds(
+        base in 0..MEM / 2,
+        len in 1u64..4096,
+        cursor in 0..MEM,
+        access_len in 1usize..256,
+    ) {
+        let root = Capability::root(MEM);
+        let Ok(cap) = root.restricted(base, len) else { return Ok(()); };
+        let Ok(cap) = cap.with_address(cursor) else { return Ok(()); };
+        if let Ok(addr) = cap.check_access(Perms::LOAD, access_len) {
+            prop_assert!(addr >= cap.base());
+            prop_assert!(addr + access_len as u64 <= cap.top());
+        }
+    }
+
+    /// Representability: the helper's verdict matches a brute recheck, and
+    /// small lengths are always exact.
+    #[test]
+    fn representability_is_consistent(base in 0..u64::MAX / 4, len in 0..u64::MAX / 4) {
+        if len < (1 << sdrad_cheri::MANTISSA_BITS) {
+            prop_assert!(bounds_representable(base, len));
+        }
+        let padded = sdrad_cheri::representable_length(base & !0xfffu64, len.max(1));
+        prop_assert!(padded >= len.max(1));
+    }
+
+    /// Tag integrity: after arbitrary interleavings of data writes and
+    /// capability stores, `load_cap` only ever yields a *tagged* value for
+    /// granules whose last writer was a capability store.
+    #[test]
+    fn data_writes_never_forge_tags(
+        ops in proptest::collection::vec(
+            (0u8..2, 0..MEM / GRANULE, any::<u8>()),
+            1..64,
+        ),
+    ) {
+        let mut mem = CheriMemory::new(MEM);
+        let all = mem
+            .root()
+            .restricted(0, MEM)
+            .unwrap()
+            .masked(Perms::DATA_RW | Perms::LOAD_CAP | Perms::STORE_CAP)
+            .unwrap();
+        let value = all.restricted(0, GRANULE).unwrap();
+        // Tracks which granules legitimately hold a capability.
+        let mut expect_tag = vec![false; (MEM / GRANULE) as usize];
+
+        for (kind, granule, byte) in ops {
+            let addr = granule * GRANULE;
+            let slot = all.with_address(addr).unwrap();
+            if kind == 0 {
+                mem.store(&slot, &[byte]).unwrap();
+                expect_tag[granule as usize] = false;
+            } else {
+                mem.store_cap(&slot, value).unwrap();
+                expect_tag[granule as usize] = true;
+            }
+        }
+
+        for granule in 0..(MEM / GRANULE) {
+            let addr = granule * GRANULE;
+            let slot = all.with_address(addr).unwrap();
+            let loaded = mem.load_cap(&slot).unwrap();
+            prop_assert_eq!(
+                loaded.is_tagged(),
+                expect_tag[granule as usize],
+                "granule {} tag mismatch", granule
+            );
+            if !expect_tag[granule as usize] {
+                prop_assert!(loaded.check_access(Perms::LOAD, 1).is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Monte Carlo trials over the cluster simulator, with the summary
+//! statistics experiment E12 reports: mean, standard deviation, and a
+//! normal-approximation 95 % confidence interval per metric, next to the
+//! closed-form prediction from [`sdrad_energy`].
+
+use crate::cluster::{ClusterConfig, ClusterSim, RunMetrics};
+use sdrad_energy::availability::availability as analytic_availability;
+
+/// Summary statistics for one scalar metric across trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected).
+    pub std_dev: f64,
+    /// Half-width of the 95 % confidence interval around the mean.
+    pub ci95: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Stat {
+    /// Computes statistics over `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set — a harness bug, not a runtime
+    /// condition.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Stat {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = if samples.len() > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        Stat {
+            mean,
+            std_dev,
+            ci95: 1.96 * std_dev / n.sqrt(),
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// True if `value` lies inside the 95 % confidence interval.
+    #[must_use]
+    pub fn covers(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci95
+    }
+}
+
+/// Aggregated results of a Monte Carlo campaign.
+#[derive(Debug, Clone)]
+pub struct TrialSummary {
+    /// Number of trials run.
+    pub trials: u32,
+    /// Availability across trials.
+    pub availability: Stat,
+    /// Downtime seconds across trials.
+    pub downtime_seconds: Stat,
+    /// Annualized energy (kWh) across trials.
+    pub kwh: Stat,
+    /// Annualized carbon (kg CO₂e) across trials.
+    pub kgco2: Stat,
+    /// Faults injected across trials.
+    pub faults: Stat,
+    /// The closed-form availability prediction for the same scenario
+    /// (per-instance faults, no failover modelling) — what E12 compares
+    /// the simulation against.
+    pub analytic_availability: f64,
+    /// Every per-trial result, for callers that want the raw series.
+    pub runs: Vec<RunMetrics>,
+}
+
+/// Runs `trials` independent simulations of `config`, varying only the
+/// seed, and summarizes them.
+///
+/// The analytic reference treats the deployment as the redundancy model
+/// does: a single instance's availability under the configured fault rate
+/// and recovery model, with standby redundancy composed in parallel for
+/// multi-node strategies.
+#[must_use]
+pub fn run_trials(config: &ClusterConfig, trials: u32) -> TrialSummary {
+    assert!(trials > 0, "need at least one trial");
+    let mut runs = Vec::with_capacity(trials as usize);
+    for trial in 0..trials {
+        let seeded = config.clone().with_seed(config.seed ^ (0x9E37_79B9_7F4A_7C15u64
+            .wrapping_mul(u64::from(trial) + 1)));
+        runs.push(ClusterSim::new(seeded).run());
+    }
+
+    let collect = |f: fn(&RunMetrics) -> f64| -> Vec<f64> { runs.iter().map(f).collect() };
+    let availability = Stat::of(&collect(|r| r.availability()));
+    let downtime_seconds = Stat::of(&collect(|r| r.downtime_seconds));
+    let kwh = Stat::of(&collect(|r| r.kwh));
+    let kgco2 = Stat::of(&collect(|r| r.kgco2));
+    let faults = Stat::of(&collect(|r| r.faults as f64));
+
+    let recovery = config
+        .recovery_model()
+        .recovery_time(config.state_bytes);
+    let single = analytic_availability(config.faults_per_year, recovery);
+    let (_, standbys, _) = config.layout();
+    // Parallel composition for the standby, with the failover window as
+    // its "recovery" contribution.
+    let analytic = if standbys > 0 {
+        let failover_a = analytic_availability(config.faults_per_year, config.failover);
+        1.0 - (1.0 - single.max(failover_a)) * (1.0 - single)
+    } else {
+        single
+    };
+
+    TrialSummary {
+        trials,
+        availability,
+        downtime_seconds,
+        kwh,
+        kgco2,
+        faults,
+        analytic_availability: analytic,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdrad_energy::Strategy;
+
+    #[test]
+    fn stat_of_constant_series_has_zero_spread() {
+        let stat = Stat::of(&[5.0, 5.0, 5.0]);
+        assert_eq!(stat.mean, 5.0);
+        assert_eq!(stat.std_dev, 0.0);
+        assert!(stat.covers(5.0));
+        assert!(!stat.covers(5.1));
+    }
+
+    #[test]
+    fn stat_of_known_series() {
+        let stat = Stat::of(&[1.0, 2.0, 3.0]);
+        assert!((stat.mean - 2.0).abs() < 1e-12);
+        assert!((stat.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!(stat.min, 1.0);
+        assert_eq!(stat.max, 3.0);
+    }
+
+    #[test]
+    fn trials_vary_with_seed_but_cluster_around_analytic() {
+        let config = ClusterConfig::paper_baseline(Strategy::SingleRestart);
+        let summary = run_trials(&config, 24);
+        assert_eq!(summary.trials, 24);
+        assert_eq!(summary.runs.len(), 24);
+        // The simulated mean availability should be within a loose band
+        // of the analytic value (the sim adds no failover for 1N).
+        let delta = (summary.availability.mean - summary.analytic_availability).abs();
+        assert!(
+            delta < 5e-5,
+            "sim {} vs analytic {}",
+            summary.availability.mean,
+            summary.analytic_availability
+        );
+        // Different seeds produced different fault counts.
+        assert!(summary.faults.std_dev > 0.0);
+    }
+
+    #[test]
+    fn sdrad_trials_match_analytic_nearly_exactly() {
+        let config = ClusterConfig::paper_baseline(Strategy::SdradSingle);
+        let summary = run_trials(&config, 12);
+        assert!(summary.availability.mean > 0.999_999_9);
+        assert!(summary.analytic_availability > 0.999_999_9);
+    }
+}

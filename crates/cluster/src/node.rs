@@ -1,0 +1,186 @@
+//! Nodes: the simulated servers a deployment strategy provisions.
+
+use sdrad_energy::restart::RestartModel;
+use std::fmt;
+use std::time::Duration;
+
+/// Identifies a node within one cluster simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The node's index within the cluster.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A software variant label, for the diversification model: nodes sharing
+/// a variant share its vulnerabilities, so a single exploit campaign can
+/// take all of them down at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VariantId(pub(crate) u32);
+
+impl VariantId {
+    /// The raw variant number.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for VariantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "variant{}", self.0)
+    }
+}
+
+/// What a node is currently for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Serving traffic; counts toward required capacity.
+    Active,
+    /// Warm standby: powered, synced, idle.
+    Standby,
+}
+
+/// Whether a node can serve right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Healthy.
+    Up,
+    /// Recovering from a fault (restarting / rewinding / reloading state).
+    Recovering,
+}
+
+/// One simulated server.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) id: NodeId,
+    pub(crate) role: Role,
+    pub(crate) state: NodeState,
+    pub(crate) variant: VariantId,
+    pub(crate) recovery: RestartModel,
+    /// Set while a standby is mid-promotion so two failovers never race
+    /// onto the same node.
+    pub(crate) promoting: bool,
+    pub(crate) faults: u64,
+    pub(crate) recoveries: u64,
+}
+
+impl Node {
+    pub(crate) fn new(id: NodeId, role: Role, variant: VariantId, recovery: RestartModel) -> Self {
+        Node {
+            id,
+            role,
+            state: NodeState::Up,
+            variant,
+            recovery,
+            promoting: false,
+            faults: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// The node's identifier.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current role.
+    #[must_use]
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Current health state.
+    #[must_use]
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    /// Assigned software variant.
+    #[must_use]
+    pub fn variant(&self) -> VariantId {
+        self.variant
+    }
+
+    /// Faults suffered so far.
+    #[must_use]
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Recoveries completed so far.
+    #[must_use]
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// How long this node takes to recover a `state_bytes` dataset.
+    #[must_use]
+    pub fn recovery_time(&self, state_bytes: u64) -> Duration {
+        self.recovery.recovery_time(state_bytes)
+    }
+
+    /// True when the node is a healthy, serving active.
+    #[must_use]
+    pub fn is_serving(&self) -> bool {
+        self.role == Role::Active && self.state == NodeState::Up
+    }
+
+    /// True when the node could be promoted right now.
+    #[must_use]
+    pub fn is_promotable(&self) -> bool {
+        self.role == Role::Standby && self.state == NodeState::Up && !self.promoting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_is_serving_if_active() {
+        let node = Node::new(
+            NodeId(0),
+            Role::Active,
+            VariantId(0),
+            RestartModel::process_restart(),
+        );
+        assert!(node.is_serving());
+        assert!(!node.is_promotable());
+    }
+
+    #[test]
+    fn standby_is_promotable_until_marked() {
+        let mut node = Node::new(
+            NodeId(1),
+            Role::Standby,
+            VariantId(0),
+            RestartModel::process_restart(),
+        );
+        assert!(node.is_promotable());
+        node.promoting = true;
+        assert!(!node.is_promotable());
+    }
+
+    #[test]
+    fn recovery_time_scales_with_state() {
+        let node = Node::new(
+            NodeId(0),
+            Role::Active,
+            VariantId(0),
+            RestartModel::process_restart(),
+        );
+        assert!(node.recovery_time(10_000_000_000) > node.recovery_time(1_000_000));
+    }
+}

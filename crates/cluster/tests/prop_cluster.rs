@@ -1,0 +1,107 @@
+//! Property tests for the cluster simulator's physical invariants.
+
+use proptest::prelude::*;
+use sdrad_cluster::{run_trials, ClusterConfig, ClusterSim, SECONDS_PER_YEAR};
+use sdrad_energy::{PowerModel, Strategy as Deploy};
+use std::time::Duration;
+
+fn strategy() -> impl Strategy<Value = Deploy> {
+    prop_oneof![
+        Just(Deploy::SingleRestart),
+        Just(Deploy::ActivePassive),
+        (2u32..5).prop_map(|n| Deploy::NPlusOne { n }),
+        Just(Deploy::SdradSingle),
+    ]
+}
+
+fn config() -> impl Strategy<Value = ClusterConfig> {
+    (
+        strategy(),
+        0.0f64..50.0,   // faults_per_year
+        0.0f64..12.0,   // attacks_per_year
+        1u32..4,        // variants
+        0u64..20_000_000_000, // state_bytes
+        0.05f64..0.95,  // utilization
+        any::<u64>(),   // seed
+    )
+        .prop_map(|(strategy, faults, attacks, variants, state, util, seed)| {
+            let mut c = ClusterConfig::paper_baseline(strategy);
+            c.faults_per_year = faults;
+            c.attacks_per_year = attacks;
+            c.variants = variants;
+            c.state_bytes = state;
+            c.utilization = util;
+            c.seed = seed;
+            // Shorter horizon keeps the property suite fast while still
+            // exercising many fault arrivals.
+            c.duration = Duration::from_secs((SECONDS_PER_YEAR / 4.0) as u64);
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Downtime never exceeds simulated time; availability is a
+    /// probability.
+    #[test]
+    fn downtime_is_bounded(config in config()) {
+        let metrics = ClusterSim::new(config).run();
+        prop_assert!(metrics.downtime_seconds >= 0.0);
+        prop_assert!(metrics.downtime_seconds <= metrics.sim_seconds * (1.0 + 1e-9));
+        let a = metrics.availability();
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    /// Energy is bounded by the physical envelope: between all-idle and
+    /// all-peak for the provisioned servers.
+    #[test]
+    fn energy_within_physical_envelope(config in config()) {
+        let metrics = ClusterSim::new(config).run();
+        let power = PowerModel::rack_server();
+        let hours = metrics.sim_seconds / 3600.0;
+        let floor = power.watts_at(0.0) * hours * f64::from(metrics.servers) / 1000.0;
+        let ceiling = power.watts_at(1.0) * hours * f64::from(metrics.servers) / 1000.0;
+        prop_assert!(metrics.kwh >= floor * 0.999, "kwh {} < floor {}", metrics.kwh, floor);
+        prop_assert!(metrics.kwh <= ceiling * 1.001, "kwh {} > ceiling {}", metrics.kwh, ceiling);
+    }
+
+    /// The simulation is a pure function of its configuration.
+    #[test]
+    fn simulation_is_deterministic(config in config()) {
+        let a = ClusterSim::new(config.clone()).run();
+        let b = ClusterSim::new(config).run();
+        prop_assert_eq!(a, b);
+    }
+
+    /// With identical fault processes, SDRaD's availability is never worse
+    /// than the restart deployment's: every fault costs it microseconds
+    /// instead of minutes.
+    #[test]
+    fn sdrad_dominates_restart(seed in any::<u64>(), faults in 0.5f64..40.0) {
+        let mut restart = ClusterConfig::paper_baseline(Deploy::SingleRestart);
+        restart.faults_per_year = faults;
+        restart.seed = seed;
+        restart.duration = Duration::from_secs((SECONDS_PER_YEAR / 4.0) as u64);
+        let mut sdrad = restart.clone();
+        sdrad.strategy = Deploy::SdradSingle;
+
+        let restart = ClusterSim::new(restart).run();
+        let sdrad = ClusterSim::new(sdrad).run();
+        // Same seed, same layout → identical fault arrivals.
+        prop_assert_eq!(restart.faults, sdrad.faults);
+        prop_assert!(sdrad.downtime_seconds <= restart.downtime_seconds);
+    }
+
+    /// Monte Carlo summaries preserve sample bounds: min ≤ mean ≤ max.
+    #[test]
+    fn trial_stats_are_ordered(seed in any::<u64>()) {
+        let mut config = ClusterConfig::paper_baseline(Deploy::SingleRestart);
+        config.seed = seed;
+        config.duration = Duration::from_secs((SECONDS_PER_YEAR / 12.0) as u64);
+        let summary = run_trials(&config, 6);
+        prop_assert!(summary.availability.min <= summary.availability.mean + 1e-12);
+        prop_assert!(summary.availability.mean <= summary.availability.max + 1e-12);
+        prop_assert!(summary.kwh.min <= summary.kwh.max);
+    }
+}

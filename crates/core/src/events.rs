@@ -1,0 +1,249 @@
+//! Domain lifecycle event log.
+//!
+//! Every observable domain transition is recorded, giving tests and the
+//! experiment harnesses an audit trail of *what the runtime actually did*
+//! (e.g. "the fault was followed by a rewind, not a crash").
+
+use std::fmt;
+
+use sdrad_mpk::Fault;
+
+use crate::DomainId;
+
+/// An observable domain runtime event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DomainEvent {
+    /// A domain was created.
+    Created {
+        /// The new domain.
+        domain: DomainId,
+        /// Its configured name.
+        name: String,
+    },
+    /// Execution entered a domain.
+    Entered {
+        /// The domain entered.
+        domain: DomainId,
+        /// Nesting depth after entering (1 = called from root).
+        depth: usize,
+    },
+    /// Execution left a domain normally.
+    Exited {
+        /// The domain exited.
+        domain: DomainId,
+    },
+    /// A fault was detected inside a domain.
+    Faulted {
+        /// The faulting domain.
+        domain: DomainId,
+        /// The detected fault.
+        fault: Fault,
+    },
+    /// The domain was rewound: heap discarded, execution restored to the
+    /// call site.
+    Rewound {
+        /// The rewound domain.
+        domain: DomainId,
+        /// Time the rewind took, in nanoseconds.
+        rewind_ns: u64,
+    },
+    /// A domain was destroyed and its key freed.
+    Destroyed {
+        /// The destroyed domain.
+        domain: DomainId,
+    },
+}
+
+impl DomainEvent {
+    /// The domain this event concerns.
+    #[must_use]
+    pub fn domain(&self) -> DomainId {
+        match self {
+            DomainEvent::Created { domain, .. }
+            | DomainEvent::Entered { domain, .. }
+            | DomainEvent::Exited { domain }
+            | DomainEvent::Faulted { domain, .. }
+            | DomainEvent::Rewound { domain, .. }
+            | DomainEvent::Destroyed { domain } => *domain,
+        }
+    }
+
+    /// Short stable name of the event kind.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DomainEvent::Created { .. } => "created",
+            DomainEvent::Entered { .. } => "entered",
+            DomainEvent::Exited { .. } => "exited",
+            DomainEvent::Faulted { .. } => "faulted",
+            DomainEvent::Rewound { .. } => "rewound",
+            DomainEvent::Destroyed { .. } => "destroyed",
+        }
+    }
+}
+
+impl fmt::Display for DomainEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainEvent::Created { domain, name } => write!(f, "{domain} created ({name})"),
+            DomainEvent::Entered { domain, depth } => {
+                write!(f, "{domain} entered (depth {depth})")
+            }
+            DomainEvent::Exited { domain } => write!(f, "{domain} exited"),
+            DomainEvent::Faulted { domain, fault } => write!(f, "{domain} faulted: {fault}"),
+            DomainEvent::Rewound { domain, rewind_ns } => {
+                write!(f, "{domain} rewound in {rewind_ns} ns")
+            }
+            DomainEvent::Destroyed { domain } => write!(f, "{domain} destroyed"),
+        }
+    }
+}
+
+/// A bounded in-memory event log.
+///
+/// Retention is a ring: beyond the capacity the oldest event is evicted
+/// in O(1) — the log sits on every domain call's hot path, so eviction
+/// must never shift the whole buffer.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: std::collections::VecDeque<DomainEvent>,
+    /// Maximum retained events; oldest are dropped beyond this.
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Default retention of the event log.
+const DEFAULT_CAPACITY: usize = 65_536;
+
+impl EventLog {
+    /// Creates a log with the default capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        EventLog {
+            events: std::collections::VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a log retaining at most `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            events: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if at capacity.
+    pub fn push(&mut self, event: DomainEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// A snapshot of the retained events, oldest first.
+    ///
+    /// Allocates a copy; for zero-copy traversal use [`EventLog::iter`].
+    #[must_use]
+    pub fn events(&self) -> Vec<DomainEvent> {
+        self.events.iter().cloned().collect()
+    }
+
+    /// Iterates the retained events, oldest first, without mutation.
+    pub fn iter(&self) -> impl Iterator<Item = &DomainEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted due to the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes and returns all retained events.
+    pub fn take(&mut self) -> Vec<DomainEvent> {
+        std::mem::take(&mut self.events).into_iter().collect()
+    }
+
+    /// Events concerning one domain, oldest first.
+    pub fn for_domain(&self, domain: DomainId) -> impl Iterator<Item = &DomainEvent> {
+        self.events.iter().filter(move |e| e.domain() == domain)
+    }
+
+    /// Count of events of the given kind (see [`DomainEvent::kind`]).
+    #[must_use]
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.events.iter().filter(|e| e.kind() == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entered(id: u64) -> DomainEvent {
+        DomainEvent::Entered {
+            domain: DomainId::new(id),
+            depth: 1,
+        }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut log = EventLog::new();
+        log.push(entered(1));
+        log.push(DomainEvent::Exited {
+            domain: DomainId::new(1),
+        });
+        log.push(entered(2));
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.for_domain(DomainId::new(1)).count(), 2);
+        assert_eq!(log.count_kind("entered"), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut log = EventLog::with_capacity(2);
+        log.push(entered(1));
+        log.push(entered(2));
+        log.push(entered(3));
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.events()[0].domain(), DomainId::new(2));
+    }
+
+    #[test]
+    fn take_drains() {
+        let mut log = EventLog::new();
+        log.push(entered(1));
+        let taken = log.take();
+        assert_eq!(taken.len(), 1);
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn event_kind_and_display() {
+        let event = DomainEvent::Rewound {
+            domain: DomainId::new(4),
+            rewind_ns: 3500,
+        };
+        assert_eq!(event.kind(), "rewound");
+        assert!(event.to_string().contains("3500 ns"));
+    }
+}

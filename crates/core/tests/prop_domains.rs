@@ -1,0 +1,175 @@
+//! Property tests for the domain runtime: whatever a domain does, the
+//! process survives and isolation invariants hold.
+
+use proptest::prelude::*;
+use sdrad::{DomainConfig, DomainManager, Fault, VirtAddr};
+
+/// One attack/benign action a domain may perform.
+#[derive(Debug, Clone)]
+enum Action {
+    PushBytes(Vec<u8>),
+    FreeLive(usize),
+    DoubleFree(usize),
+    OverflowBlock(usize),
+    WildRead(u64),
+    WildWrite(u64),
+    Abort(String),
+    HugeAlloc,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Action::PushBytes),
+        (0usize..8).prop_map(Action::FreeLive),
+        (0usize..8).prop_map(Action::DoubleFree),
+        (0usize..8).prop_map(Action::OverflowBlock),
+        (0u64..0x10_0000).prop_map(Action::WildRead),
+        (0u64..0x10_0000).prop_map(Action::WildWrite),
+        "[a-z]{1,12}".prop_map(Action::Abort),
+        Just(Action::HugeAlloc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The resilience property at the heart of the paper: *no sequence of
+    /// domain-internal actions, malicious or benign, can prevent the next
+    /// call from succeeding*. Every fault is contained, rewound, and the
+    /// domain is reusable.
+    #[test]
+    fn process_survives_any_domain_behaviour(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(arb_action(), 1..12),
+            1..8,
+        )
+    ) {
+        let mut mgr = DomainManager::new();
+        let id = mgr
+            .create_domain(DomainConfig::new("fuzzed").heap_capacity(32 * 1024))
+            .unwrap();
+
+        for script in &scripts {
+            let script = script.clone();
+            let _ = mgr.call(id, move |env| {
+                let mut live: Vec<VirtAddr> = Vec::new();
+                let mut freed: Vec<VirtAddr> = Vec::new();
+                for action in script {
+                    match action {
+                        Action::PushBytes(data) => live.push(env.push_bytes(&data)),
+                        Action::FreeLive(i) => {
+                            if !live.is_empty() {
+                                let addr = live.remove(i % live.len());
+                                env.free(addr);
+                                freed.push(addr);
+                            }
+                        }
+                        Action::DoubleFree(i) => {
+                            if !freed.is_empty() {
+                                let addr = freed[i % freed.len()];
+                                env.free(addr); // traps
+                            }
+                        }
+                        Action::OverflowBlock(i) => {
+                            if !live.is_empty() {
+                                let addr = live[i % live.len()];
+                                let size = env.block_size(addr).unwrap_or(0);
+                                // Write well past the payload: smashes the
+                                // canary or leaves the region (both fault
+                                // paths are valid detections).
+                                env.write(addr.offset(size), &[0x41; 24]);
+                            }
+                        }
+                        Action::WildRead(a) => {
+                            env.read(VirtAddr::new(a), &mut [0u8; 4]); // traps
+                        }
+                        Action::WildWrite(a) => {
+                            env.write(VirtAddr::new(a), &[0xFF; 4]); // traps
+                        }
+                        Action::Abort(reason) => env.abort(reason),
+                        Action::HugeAlloc => {
+                            let _ = env.alloc(1 << 30); // quota trap
+                        }
+                    }
+                }
+            });
+
+            // THE invariant: after any outcome, a fresh benign call works.
+            let probe = mgr.call(id, |env| {
+                let addr = env.push_bytes(b"probe");
+                env.read_bytes(addr, 5)
+            });
+            prop_assert_eq!(probe.unwrap(), b"probe".to_vec());
+        }
+    }
+
+    /// A faulting domain never perturbs data held by *another* domain.
+    #[test]
+    fn sibling_domain_data_survives_attacks(
+        secret in proptest::collection::vec(any::<u8>(), 1..128),
+        attacks in proptest::collection::vec(arb_action(), 1..16),
+    ) {
+        let mut mgr = DomainManager::new();
+        let victim = mgr.create_domain(DomainConfig::new("victim")).unwrap();
+        let attacker = mgr.create_domain(DomainConfig::new("attacker")).unwrap();
+
+        let secret_cloned = secret.clone();
+        let addr = mgr
+            .call(victim, move |env| env.push_bytes(&secret_cloned))
+            .unwrap();
+
+        let attacks = attacks.clone();
+        let _ = mgr.call(attacker, move |env| {
+            for action in attacks {
+                match action {
+                    Action::PushBytes(data) => {
+                        env.push_bytes(&data);
+                    }
+                    Action::WildWrite(_) | Action::OverflowBlock(_) => {
+                        // Aim directly at the victim's secret.
+                        env.write(addr, &[0x66; 8]);
+                    }
+                    Action::WildRead(_) => {
+                        env.read(addr, &mut [0u8; 1]);
+                    }
+                    _ => {}
+                }
+            }
+        });
+
+        let len = secret.len();
+        let back = mgr.call(victim, move |env| env.read_bytes(addr, len)).unwrap();
+        prop_assert_eq!(back, secret);
+    }
+
+    /// Rewind counters equal the number of faulting calls, and every
+    /// violation carries a fault classified as such.
+    #[test]
+    fn accounting_matches_outcomes(outcomes in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let mut mgr = DomainManager::new();
+        let id = mgr.create_domain(DomainConfig::new("counted")).unwrap();
+        let mut expected_faults = 0u64;
+        for should_fault in &outcomes {
+            let should_fault = *should_fault;
+            let result = mgr.call(id, move |env| {
+                let a = env.push_bytes(b"data");
+                if should_fault {
+                    env.free(a);
+                    env.free(a);
+                }
+            });
+            if should_fault {
+                expected_faults += 1;
+                let err = result.unwrap_err();
+                let is_double_free = matches!(err.fault(), Some(Fault::DoubleFree { .. }));
+                prop_assert!(is_double_free);
+            } else {
+                prop_assert!(result.is_ok());
+            }
+        }
+        let info = mgr.domain_info(id).unwrap();
+        prop_assert_eq!(info.violations, expected_faults);
+        prop_assert_eq!(info.calls, outcomes.len() as u64);
+        prop_assert_eq!(mgr.total_rewinds(), expected_faults);
+    }
+}

@@ -1,0 +1,143 @@
+//! Availability mathematics.
+//!
+//! For a service that faults `λ` times per year and needs `MTTR` to
+//! recover each time, expected downtime per year is `λ · MTTR` and
+//! availability is `1 − λ·MTTR / T_year`. "Nines" is the `−log₁₀` of the
+//! unavailability. These are the standard dependability definitions the
+//! paper's §IV argument rests on.
+
+use std::time::Duration;
+
+/// Seconds in the accounting year (365 days).
+pub const SECONDS_PER_YEAR: f64 = 365.0 * 24.0 * 3600.0;
+
+/// Availability for `faults_per_year` faults each taking `recovery` to
+/// repair. Clamped to `[0, 1]` (more downtime than a year has = 0).
+#[must_use]
+pub fn availability(faults_per_year: f64, recovery: Duration) -> f64 {
+    let downtime = faults_per_year * recovery.as_secs_f64();
+    (1.0 - downtime / SECONDS_PER_YEAR).clamp(0.0, 1.0)
+}
+
+/// Number of nines of `availability` (e.g. `0.99999` → `5.0`).
+/// Perfect availability maps to `f64::INFINITY`.
+#[must_use]
+pub fn nines(availability: f64) -> f64 {
+    let unavailability = 1.0 - availability.clamp(0.0, 1.0);
+    if unavailability <= 0.0 {
+        f64::INFINITY
+    } else {
+        -unavailability.log10()
+    }
+}
+
+/// Yearly downtime budget (seconds) for an availability target
+/// (e.g. `0.99999` → ≈ 315.4 s).
+#[must_use]
+pub fn downtime_budget(target_availability: f64) -> f64 {
+    (1.0 - target_availability.clamp(0.0, 1.0)) * SECONDS_PER_YEAR
+}
+
+/// How many recoveries of duration `recovery` fit in the yearly downtime
+/// budget of `target_availability` — the paper's "more than 9·10⁷
+/// recoveries" bound for 3.5 µs rewinds at five nines.
+#[must_use]
+pub fn max_recoveries_in_budget(target_availability: f64, recovery: Duration) -> f64 {
+    let recovery_s = recovery.as_secs_f64();
+    if recovery_s <= 0.0 {
+        return f64::INFINITY;
+    }
+    downtime_budget(target_availability) / recovery_s
+}
+
+/// Availability of `n` independent replicas where one suffices (parallel
+/// redundancy): `1 − (1 − A)ⁿ`.
+#[must_use]
+pub fn parallel_availability(single: f64, n: u32) -> f64 {
+    1.0 - (1.0 - single.clamp(0.0, 1.0)).powi(n as i32)
+}
+
+/// Smallest replica count whose parallel availability reaches `target`.
+/// Returns `None` if even 16 replicas do not reach it (pathological
+/// single-instance availability).
+#[must_use]
+pub fn replicas_for_target(single: f64, target: f64) -> Option<u32> {
+    (1..=16).find(|&n| parallel_availability(single, n) >= target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's exact scenario: three faults/year at a 2-minute
+    /// restart violates five nines.
+    #[test]
+    fn paper_claim_restart_violates_five_nines() {
+        let a = availability(3.0, Duration::from_secs(120));
+        assert!(nines(a) < 5.0, "nines = {}", nines(a));
+        // But it's comfortably above four nines.
+        assert!(nines(a) > 4.0);
+    }
+
+    /// The paper's bound: > 9·10⁷ rewinds of 3.5 µs fit in a five-nines
+    /// budget.
+    #[test]
+    fn paper_claim_rewind_budget() {
+        let budget = max_recoveries_in_budget(0.99999, Duration::from_nanos(3_500));
+        assert!(budget > 9.0e7, "budget = {budget:.3e}");
+        assert!(budget < 1.0e8, "order of magnitude check");
+    }
+
+    #[test]
+    fn availability_is_monotone_in_both_arguments() {
+        let base = availability(10.0, Duration::from_secs(60));
+        assert!(availability(5.0, Duration::from_secs(60)) > base);
+        assert!(availability(10.0, Duration::from_secs(30)) > base);
+    }
+
+    #[test]
+    fn nines_of_known_values() {
+        assert!((nines(0.999) - 3.0).abs() < 1e-9);
+        assert!((nines(0.99999) - 5.0).abs() < 1e-9);
+        assert_eq!(nines(1.0), f64::INFINITY);
+        assert!((nines(0.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downtime_budget_five_nines_is_315_seconds() {
+        let budget = downtime_budget(0.99999);
+        assert!((budget - 315.36).abs() < 0.01, "budget = {budget}");
+    }
+
+    #[test]
+    fn extreme_downtime_clamps_to_zero() {
+        // 10000 faults × 1 hour each > a year.
+        assert_eq!(availability(10_000.0, Duration::from_secs(3600)), 0.0);
+    }
+
+    #[test]
+    fn parallel_redundancy_multiplies_nines() {
+        let single = 0.999;
+        let dual = parallel_availability(single, 2);
+        assert!((nines(dual) - 6.0).abs() < 0.01, "nines = {}", nines(dual));
+        assert_eq!(parallel_availability(single, 1), single);
+    }
+
+    #[test]
+    fn replicas_for_target_finds_minimum() {
+        // 99.9 % single → two replicas reach 99.999 %.
+        assert_eq!(replicas_for_target(0.999, 0.99999), Some(2));
+        // Already sufficient → one replica.
+        assert_eq!(replicas_for_target(0.999999, 0.99999), Some(1));
+        // Coin-flip availability never reaches nine nines with ≤ 16.
+        assert_eq!(replicas_for_target(0.5, 0.999999999), None);
+    }
+
+    #[test]
+    fn zero_duration_recovery_gives_infinite_budget() {
+        assert_eq!(
+            max_recoveries_in_budget(0.99999, Duration::ZERO),
+            f64::INFINITY
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Carbon accounting: operational (grid) + embodied (manufacturing).
+
+/// Carbon model constants.
+///
+/// Defaults and sources:
+/// * grid intensity 400 gCO₂e/kWh — between the EU (~270) and world
+///   (~480) averages for 2022-era grids,
+/// * embodied 1300 kgCO₂e per server — Dell PowerEdge R740 LCA,
+/// * 4-year refresh cycle — common enterprise depreciation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarbonModel {
+    /// Grid carbon intensity in gCO₂e per kWh.
+    pub grid_gco2_per_kwh: f64,
+    /// Embodied (manufacturing + transport) carbon per server, kgCO₂e.
+    pub embodied_kgco2_per_server: f64,
+    /// Server service lifetime, years (embodied carbon is amortized over
+    /// this).
+    pub lifetime_years: f64,
+}
+
+impl CarbonModel {
+    /// The documented default model.
+    #[must_use]
+    pub fn typical() -> Self {
+        CarbonModel {
+            grid_gco2_per_kwh: 400.0,
+            embodied_kgco2_per_server: 1300.0,
+            lifetime_years: 4.0,
+        }
+    }
+
+    /// Operational carbon (kgCO₂e) for `kwh` of energy.
+    #[must_use]
+    pub fn operational_kgco2(&self, kwh: f64) -> f64 {
+        kwh * self.grid_gco2_per_kwh / 1000.0
+    }
+
+    /// Annualized embodied carbon (kgCO₂e/year) for `servers` machines.
+    #[must_use]
+    pub fn embodied_kgco2_per_year(&self, servers: f64) -> f64 {
+        servers * self.embodied_kgco2_per_server / self.lifetime_years
+    }
+
+    /// Total annual footprint (kgCO₂e/year): operational + amortized
+    /// embodied.
+    #[must_use]
+    pub fn annual_kgco2(&self, servers: f64, annual_kwh: f64) -> f64 {
+        self.operational_kgco2(annual_kwh) + self.embodied_kgco2_per_year(servers)
+    }
+}
+
+impl Default for CarbonModel {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operational_conversion() {
+        let model = CarbonModel::typical();
+        assert!((model.operational_kgco2(1000.0) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embodied_amortization() {
+        let model = CarbonModel::typical();
+        assert!((model.embodied_kgco2_per_year(1.0) - 325.0).abs() < 1e-9);
+        assert!((model.embodied_kgco2_per_year(2.0) - 650.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embodied_share_is_material() {
+        // For a mostly idle server (~1300 kWh/year → 520 kg operational),
+        // embodied (325 kg/yr) is ~38 % of footprint: why *server count*
+        // matters, not just load — the heart of the §IV argument.
+        let model = CarbonModel::typical();
+        let total = model.annual_kgco2(1.0, 1314.0);
+        let embodied_share = model.embodied_kgco2_per_year(1.0) / total;
+        assert!(
+            (0.25..0.50).contains(&embodied_share),
+            "share = {embodied_share}"
+        );
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let model = CarbonModel::typical();
+        let total = model.annual_kgco2(3.0, 5000.0);
+        let parts = model.operational_kgco2(5000.0) + model.embodied_kgco2_per_year(3.0);
+        assert!((total - parts).abs() < 1e-9);
+    }
+}

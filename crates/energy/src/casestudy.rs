@@ -1,0 +1,306 @@
+//! The comprehensive case study §IV proposes as future work.
+//!
+//! "A thorough analysis of the potential impacts of our approach requires
+//! further life-cycle assessment approaches with a focus on environmental
+//! sustainability through energy efficiency [2], [7], but also economic
+//! and social dimensions [1], to be applied in a comprehensive case study
+//! from the above domains" — the named domains being *telecommunications*
+//! and *smart grids*.
+//!
+//! This module implements that sketched study end-to-end for a **fleet**
+//! of sites (base-station edge controllers; substation gateways), adding
+//! the two dimensions the per-server models don't carry:
+//!
+//! * **economic** — electricity spend, server capital expenditure
+//!   amortized over the refresh cycle, and the one-off engineering cost of
+//!   the resilience mechanism (retrofit effort for SDRaD, variant
+//!   engineering for diversity), rolled into an annual total cost of
+//!   ownership;
+//! * **social** — expected service-minutes lost per affected user per
+//!   year, the dimension availability percentages hide: five nines means
+//!   something different for 200 emergency-call users than for a cache.
+
+use crate::redundancy::{evaluate, Scenario, Strategy};
+use std::time::Duration;
+
+/// Minutes in the accounting year.
+const MINUTES_PER_YEAR: f64 = 365.0 * 24.0 * 60.0;
+
+/// The economic parameters of a fleet operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EconomicModel {
+    /// Industrial electricity price, EUR per kWh.
+    pub electricity_eur_per_kwh: f64,
+    /// Server capital cost, EUR (edge-grade).
+    pub server_capex_eur: f64,
+    /// Hardware refresh interval over which capex is amortized, years.
+    pub refresh_years: f64,
+    /// Cost of one engineer-day, EUR.
+    pub engineer_day_eur: f64,
+}
+
+impl EconomicModel {
+    /// European industrial rates, mid-2020s.
+    #[must_use]
+    pub fn european() -> Self {
+        EconomicModel {
+            electricity_eur_per_kwh: 0.18,
+            server_capex_eur: 6_000.0,
+            refresh_years: 5.0,
+            engineer_day_eur: 800.0,
+        }
+    }
+
+    /// Annualized capital cost of `servers` machines.
+    #[must_use]
+    pub fn annual_capex_eur(&self, servers: f64) -> f64 {
+        servers * self.server_capex_eur / self.refresh_years
+    }
+}
+
+impl Default for EconomicModel {
+    fn default() -> Self {
+        Self::european()
+    }
+}
+
+/// One fleet-scale case study scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScenario {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of sites (each site runs one service deployment).
+    pub sites: u32,
+    /// Users whose service depends on each site.
+    pub users_per_site: u32,
+    /// Availability target (e.g. 0.99999 for telecom five nines).
+    pub target_availability: f64,
+    /// The per-site service scenario (fault rate, state, utilization…).
+    pub service: Scenario,
+    /// Operator economics.
+    pub economics: EconomicModel,
+    /// One-off engineering effort to adopt SDRaD, engineer-days. E9
+    /// measured tens of integration lines with the macro layer; budget a
+    /// few days per service, not per site.
+    pub sdrad_retrofit_days: f64,
+    /// One-off engineering effort to build and maintain a second software
+    /// variant (the diversification route), engineer-days per year.
+    pub diversity_days_per_year: f64,
+}
+
+impl FleetScenario {
+    /// The telecommunications case: a national operator's RAN edge — 1000
+    /// base-station site controllers, each serving ~2000 subscribers,
+    /// five-nines target. Site controllers hold session state (4 GB) and
+    /// face internet-exposed parsing surfaces, so the memory-fault rate is
+    /// higher than a sheltered backend's (one event a month).
+    #[must_use]
+    pub fn telecom_ran() -> Self {
+        FleetScenario {
+            name: "telecom RAN edge (1000 site controllers)".into(),
+            sites: 1_000,
+            users_per_site: 2_000,
+            target_availability: 0.99999,
+            service: Scenario {
+                faults_per_year: 12.0,
+                utilization: 0.45,
+                state_bytes: 4_000_000_000,
+                ..Scenario::default()
+            },
+            economics: EconomicModel::european(),
+            sdrad_retrofit_days: 30.0,
+            diversity_days_per_year: 250.0,
+        }
+    }
+
+    /// The smart-grid case: 150 substation gateways, fewer direct "users"
+    /// (feeder segments), stricter target, long-lived hardware.
+    #[must_use]
+    pub fn smart_grid() -> Self {
+        FleetScenario {
+            name: "smart grid (150 substation gateways)".into(),
+            sites: 150,
+            users_per_site: 8_000,
+            target_availability: 0.999_99,
+            service: Scenario {
+                faults_per_year: 4.0,
+                utilization: 0.30,
+                state_bytes: 500_000_000,
+                ..Scenario::default()
+            },
+            economics: EconomicModel {
+                refresh_years: 8.0, // grid hardware lives longer
+                ..EconomicModel::european()
+            },
+            sdrad_retrofit_days: 45.0,
+            diversity_days_per_year: 400.0,
+        }
+    }
+}
+
+/// The fleet-level outcome of one strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Strategy name.
+    pub strategy: String,
+    /// Total servers across the fleet.
+    pub servers: f64,
+    /// Achieved per-site availability.
+    pub availability: f64,
+    /// Whether the scenario's availability target is met.
+    pub meets_target: bool,
+    /// Fleet energy, kWh/year.
+    pub annual_kwh: f64,
+    /// Fleet carbon, kgCO₂e/year (operational + embodied amortized).
+    pub annual_kgco2: f64,
+    /// Fleet energy bill, EUR/year.
+    pub annual_energy_eur: f64,
+    /// Fleet amortized hardware capital, EUR/year.
+    pub annual_capex_eur: f64,
+    /// Annualized engineering cost of the resilience mechanism, EUR/year.
+    pub annual_engineering_eur: f64,
+    /// Expected service-minutes lost per user per year (social dimension).
+    pub lost_minutes_per_user: f64,
+    /// Per-fault recovery time (for the report's context column).
+    pub recovery: Duration,
+}
+
+impl FleetReport {
+    /// Total annual cost of ownership (energy + hardware + engineering).
+    #[must_use]
+    pub fn annual_tco_eur(&self) -> f64 {
+        self.annual_energy_eur + self.annual_capex_eur + self.annual_engineering_eur
+    }
+}
+
+/// Evaluates one strategy across the fleet.
+#[must_use]
+pub fn assess_fleet(strategy: Strategy, fleet: &FleetScenario) -> FleetReport {
+    let site = evaluate(strategy, &fleet.service);
+    let sites = f64::from(fleet.sites);
+    let servers = site.servers * sites;
+    let annual_kwh = site.annual_kwh * sites;
+
+    // Engineering: SDRaD pays a one-off retrofit (amortized over the
+    // refresh horizon); a diversified deployment would pay recurring
+    // variant maintenance. The plain redundancy strategies pay neither.
+    let engineering_days_per_year = match strategy {
+        Strategy::SdradSingle => fleet.sdrad_retrofit_days / fleet.economics.refresh_years,
+        _ => 0.0,
+    };
+
+    // Social dimension: expected unavailable minutes per year experienced
+    // by each user behind a site.
+    let lost_minutes_per_user = (1.0 - site.availability) * MINUTES_PER_YEAR;
+
+    FleetReport {
+        strategy: site.strategy.clone(),
+        servers,
+        availability: site.availability,
+        meets_target: site.availability >= fleet.target_availability,
+        annual_kwh,
+        annual_kgco2: site.annual_kgco2 * sites,
+        annual_energy_eur: annual_kwh * fleet.economics.electricity_eur_per_kwh,
+        annual_capex_eur: fleet.economics.annual_capex_eur(servers),
+        annual_engineering_eur: engineering_days_per_year * fleet.economics.engineer_day_eur,
+        lost_minutes_per_user,
+        recovery: site.recovery,
+    }
+}
+
+/// A diversified 2N deployment: availability of the active/passive pair,
+/// but with the recurring engineering cost of maintaining two variants —
+/// the §IV "diversification" alternative, priced.
+#[must_use]
+pub fn assess_diversified_pair(fleet: &FleetScenario) -> FleetReport {
+    let mut report = assess_fleet(Strategy::ActivePassive, fleet);
+    report.strategy = "2N-diversified".into();
+    report.annual_engineering_eur =
+        fleet.diversity_days_per_year * fleet.economics.engineer_day_eur;
+    report
+}
+
+/// The full case-study lineup for a fleet.
+#[must_use]
+pub fn fleet_lineup(fleet: &FleetScenario) -> Vec<FleetReport> {
+    let mut reports = vec![
+        assess_fleet(Strategy::SingleRestart, fleet),
+        assess_fleet(Strategy::ActivePassive, fleet),
+        assess_diversified_pair(fleet),
+        assess_fleet(Strategy::NPlusOne { n: 2 }, fleet),
+        assess_fleet(Strategy::SdradSingle, fleet),
+    ];
+    // Stable, report-friendly order: by TCO descending so the reader sees
+    // the most expensive option first and SDRaD's position at a glance.
+    reports.sort_by(|a, b| b.annual_tco_eur().total_cmp(&a.annual_tco_eur()));
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telecom_fleet_sdrad_meets_target_on_fewest_servers() {
+        let fleet = FleetScenario::telecom_ran();
+        let lineup = fleet_lineup(&fleet);
+        let sdrad = lineup.iter().find(|r| r.strategy == "1N-sdrad").unwrap();
+        assert!(sdrad.meets_target);
+        assert!(lineup
+            .iter()
+            .all(|r| r.servers >= sdrad.servers));
+    }
+
+    #[test]
+    fn restart_only_misses_the_telecom_target() {
+        let fleet = FleetScenario::telecom_ran();
+        let restart = assess_fleet(Strategy::SingleRestart, &fleet);
+        assert!(!restart.meets_target, "availability {}", restart.availability);
+        assert!(restart.lost_minutes_per_user > 1.0);
+    }
+
+    #[test]
+    fn sdrad_tco_undercuts_redundant_strategies() {
+        for fleet in [FleetScenario::telecom_ran(), FleetScenario::smart_grid()] {
+            let sdrad = assess_fleet(Strategy::SdradSingle, &fleet);
+            let pair = assess_fleet(Strategy::ActivePassive, &fleet);
+            let diversified = assess_diversified_pair(&fleet);
+            assert!(
+                sdrad.annual_tco_eur() < pair.annual_tco_eur(),
+                "{}: sdrad {} vs 2N {}",
+                fleet.name,
+                sdrad.annual_tco_eur(),
+                pair.annual_tco_eur()
+            );
+            assert!(diversified.annual_tco_eur() > pair.annual_tco_eur());
+        }
+    }
+
+    #[test]
+    fn social_dimension_tracks_availability() {
+        let fleet = FleetScenario::smart_grid();
+        let restart = assess_fleet(Strategy::SingleRestart, &fleet);
+        let sdrad = assess_fleet(Strategy::SdradSingle, &fleet);
+        assert!(restart.lost_minutes_per_user > sdrad.lost_minutes_per_user * 1000.0);
+        assert!(sdrad.lost_minutes_per_user < 0.01);
+    }
+
+    #[test]
+    fn engineering_cost_is_annualized_not_ignored() {
+        let fleet = FleetScenario::telecom_ran();
+        let sdrad = assess_fleet(Strategy::SdradSingle, &fleet);
+        let expected =
+            fleet.sdrad_retrofit_days / fleet.economics.refresh_years * fleet.economics.engineer_day_eur;
+        assert!((sdrad.annual_engineering_eur - expected).abs() < 1e-9);
+        // ...and it is small next to the energy bill, which is the point.
+        assert!(sdrad.annual_engineering_eur < sdrad.annual_energy_eur / 10.0);
+    }
+
+    #[test]
+    fn lineup_is_sorted_by_tco_descending() {
+        let lineup = fleet_lineup(&FleetScenario::telecom_ran());
+        for window in lineup.windows(2) {
+            assert!(window[0].annual_tco_eur() >= window[1].annual_tco_eur());
+        }
+    }
+}

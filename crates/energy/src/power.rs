@@ -1,0 +1,93 @@
+//! Server power modelling.
+
+/// Typical data-centre power usage effectiveness (total facility power ÷
+/// IT power). Industry averages hover around 1.5; hyperscalers reach 1.1.
+pub const PUE_TYPICAL: f64 = 1.5;
+
+/// Hours in the accounting year.
+const HOURS_PER_YEAR: f64 = 365.0 * 24.0;
+
+/// A linear utilization→power model for one server.
+///
+/// `P(u) = idle + (peak − idle) · u` — the standard first-order model
+/// (SPECpower-style curves are near-linear for the mid range). Defaults
+/// are a contemporary 2-socket rack server: 100 W idle, 350 W peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Idle power draw, watts.
+    pub idle_w: f64,
+    /// Full-load power draw, watts.
+    pub peak_w: f64,
+    /// Facility PUE multiplier.
+    pub pue: f64,
+}
+
+impl PowerModel {
+    /// The default rack-server profile at typical PUE.
+    #[must_use]
+    pub fn rack_server() -> Self {
+        PowerModel {
+            idle_w: 100.0,
+            peak_w: 350.0,
+            pue: PUE_TYPICAL,
+        }
+    }
+
+    /// Instantaneous wall power (including PUE) at `utilization ∈ [0, 1]`.
+    #[must_use]
+    pub fn watts_at(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        (self.idle_w + (self.peak_w - self.idle_w) * u) * self.pue
+    }
+
+    /// Annual energy (kWh) for a server held at `utilization`.
+    #[must_use]
+    pub fn annual_kwh(&self, utilization: f64) -> f64 {
+        self.watts_at(utilization) * HOURS_PER_YEAR / 1000.0
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::rack_server()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_linear_in_utilization() {
+        let model = PowerModel::rack_server();
+        let p0 = model.watts_at(0.0);
+        let p50 = model.watts_at(0.5);
+        let p100 = model.watts_at(1.0);
+        assert!((p50 - (p0 + p100) / 2.0).abs() < 1e-9);
+        assert!((p0 - 150.0).abs() < 1e-9, "idle × PUE");
+        assert!((p100 - 525.0).abs() < 1e-9, "peak × PUE");
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let model = PowerModel::rack_server();
+        assert_eq!(model.watts_at(-1.0), model.watts_at(0.0));
+        assert_eq!(model.watts_at(2.0), model.watts_at(1.0));
+    }
+
+    #[test]
+    fn annual_energy_magnitude_is_sane() {
+        // An idle rack server at PUE 1.5 ≈ 1314 kWh/year.
+        let kwh = PowerModel::rack_server().annual_kwh(0.0);
+        assert!((kwh - 1314.0).abs() < 1.0, "kwh = {kwh}");
+    }
+
+    #[test]
+    fn idle_power_dominates_the_overprovisioning_argument() {
+        // The §IV argument quantified: a standby replica at 0 % load still
+        // burns ≈ 29 % of a fully loaded server's energy.
+        let model = PowerModel::rack_server();
+        let standby_fraction = model.watts_at(0.0) / model.watts_at(1.0);
+        assert!(standby_fraction > 0.25, "fraction = {standby_fraction}");
+    }
+}

@@ -1,0 +1,259 @@
+//! Deployment strategies: what availability costs in servers and energy.
+//!
+//! §IV's argument, made explicit: a service that crashes on memory faults
+//! and restarts slowly cannot meet high availability targets alone, so
+//! operators add redundant instances. Each redundant instance is a real
+//! server drawing real power and carrying embodied carbon. SDRaD's
+//! microsecond recovery lets a *single* instance meet the target, at a
+//! few percent runtime overhead.
+
+use std::time::Duration;
+
+use crate::availability::availability;
+use crate::carbon::CarbonModel;
+use crate::power::PowerModel;
+use crate::restart::RestartModel;
+
+/// Failover time of warm-standby/cluster redundancy: fault detection
+/// (heartbeat timeouts) plus traffic switch. Seconds-scale per HA
+/// literature; 5 s is a common heartbeat default.
+const FAILOVER: Duration = Duration::from_secs(5);
+
+/// Utilization of an idle warm standby (health checks, replication
+/// traffic).
+const STANDBY_UTILIZATION: f64 = 0.05;
+
+/// The deployment strategies compared in experiment E5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// One unprotected instance; every fault pays a full restart.
+    SingleRestart,
+    /// Active/passive pair (2N): faults fail over to the warm standby.
+    ActivePassive,
+    /// N active instances plus one spare (N+1), load respread on failure.
+    NPlusOne {
+        /// Number of instances the workload actually needs.
+        n: u32,
+    },
+    /// One SDRaD-protected instance; faults rewind in microseconds.
+    SdradSingle,
+}
+
+impl Strategy {
+    /// Stable name for reports.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            Strategy::SingleRestart => "1N-restart".to_string(),
+            Strategy::ActivePassive => "2N-active-passive".to_string(),
+            Strategy::NPlusOne { n } => format!("{n}+1-cluster"),
+            Strategy::SdradSingle => "1N-sdrad".to_string(),
+        }
+    }
+}
+
+/// The scenario a strategy is evaluated in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Memory-fault (attack) rate, per year.
+    pub faults_per_year: f64,
+    /// Utilization the workload demands of one instance.
+    pub utilization: f64,
+    /// Reloadable state per instance, bytes (drives restart cost).
+    pub state_bytes: u64,
+    /// SDRaD runtime overhead as a fraction (the paper's 2–4 %).
+    pub sdrad_overhead: f64,
+    /// Measured rewind latency (defaults to the paper's 3.5 µs).
+    pub rewind: Duration,
+    /// Power model per server.
+    pub power: PowerModel,
+    /// Carbon model.
+    pub carbon: CarbonModel,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            faults_per_year: 6.0,
+            utilization: 0.5,
+            state_bytes: 10_000_000_000,
+            sdrad_overhead: 0.03,
+            rewind: Duration::from_nanos(3_500),
+            power: PowerModel::rack_server(),
+            carbon: CarbonModel::typical(),
+        }
+    }
+}
+
+/// What one strategy costs and achieves in a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentReport {
+    /// Strategy name.
+    pub strategy: String,
+    /// Servers deployed.
+    pub servers: f64,
+    /// Achieved availability (fraction).
+    pub availability: f64,
+    /// Annual energy, kWh.
+    pub annual_kwh: f64,
+    /// Annual carbon, kgCO₂e (operational + embodied amortized).
+    pub annual_kgco2: f64,
+    /// Recovery time per fault.
+    pub recovery: Duration,
+}
+
+impl DeploymentReport {
+    /// Achieved nines.
+    #[must_use]
+    pub fn nines(&self) -> f64 {
+        crate::availability::nines(self.availability)
+    }
+}
+
+/// Evaluates `strategy` in `scenario`.
+#[must_use]
+pub fn evaluate(strategy: Strategy, scenario: &Scenario) -> DeploymentReport {
+    let power = scenario.power;
+    let (servers, kwh, recovery) = match strategy {
+        Strategy::SingleRestart => {
+            let recovery = RestartModel::process_restart().recovery_time(scenario.state_bytes);
+            (1.0, power.annual_kwh(scenario.utilization), recovery)
+        }
+        Strategy::ActivePassive => {
+            let kwh = power.annual_kwh(scenario.utilization)
+                + power.annual_kwh(STANDBY_UTILIZATION);
+            (2.0, kwh, FAILOVER)
+        }
+        Strategy::NPlusOne { n } => {
+            let n = n.max(1);
+            let spread = scenario.utilization * f64::from(n) / f64::from(n + 1);
+            let kwh = f64::from(n + 1) * power.annual_kwh(spread);
+            (f64::from(n + 1), kwh, FAILOVER)
+        }
+        Strategy::SdradSingle => {
+            let effective = (scenario.utilization * (1.0 + scenario.sdrad_overhead)).min(1.0);
+            (1.0, power.annual_kwh(effective), scenario.rewind)
+        }
+    };
+    let achieved = availability(scenario.faults_per_year, recovery);
+    DeploymentReport {
+        strategy: strategy.name(),
+        servers,
+        availability: achieved,
+        annual_kwh: kwh,
+        annual_kgco2: scenario.carbon.annual_kgco2(servers, kwh),
+        recovery,
+    }
+}
+
+/// Evaluates the standard strategy line-up (the rows of figure E5).
+#[must_use]
+pub fn evaluate_lineup(scenario: &Scenario) -> Vec<DeploymentReport> {
+    [
+        Strategy::SingleRestart,
+        Strategy::ActivePassive,
+        Strategy::NPlusOne { n: 2 },
+        Strategy::SdradSingle,
+    ]
+    .into_iter()
+    .map(|s| evaluate(s, scenario))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::availability::nines;
+
+    #[test]
+    fn sdrad_meets_five_nines_where_restart_fails() {
+        let scenario = Scenario::default(); // 6 faults/year, 10 GB state
+        let restart = evaluate(Strategy::SingleRestart, &scenario);
+        let sdrad = evaluate(Strategy::SdradSingle, &scenario);
+        assert!(restart.nines() < 5.0, "restart: {}", restart.nines());
+        assert!(sdrad.nines() > 5.0, "sdrad: {}", sdrad.nines());
+    }
+
+    #[test]
+    fn sdrad_cuts_energy_and_carbon_of_active_passive_by_a_third() {
+        let scenario = Scenario::default();
+        let redundant = evaluate(Strategy::ActivePassive, &scenario);
+        let sdrad = evaluate(Strategy::SdradSingle, &scenario);
+        // The standby still idles at ≥ 100 W: SDRaD saves ≥ 30 % energy,
+        // and more carbon (the second server's embodied share goes away).
+        assert!(
+            sdrad.annual_kwh < redundant.annual_kwh * 0.70,
+            "sdrad {} vs 2N {}",
+            sdrad.annual_kwh,
+            redundant.annual_kwh
+        );
+        assert!(sdrad.annual_kgco2 < redundant.annual_kgco2 * 0.65);
+    }
+
+    #[test]
+    fn sdrad_overhead_costs_only_a_few_percent_over_bare_single() {
+        let scenario = Scenario::default();
+        let bare = evaluate(Strategy::SingleRestart, &scenario);
+        let sdrad = evaluate(Strategy::SdradSingle, &scenario);
+        let overhead = sdrad.annual_kwh / bare.annual_kwh - 1.0;
+        assert!(
+            (0.0..0.05).contains(&overhead),
+            "energy overhead = {overhead}"
+        );
+    }
+
+    #[test]
+    fn redundancy_buys_availability_with_servers() {
+        let scenario = Scenario::default();
+        let single = evaluate(Strategy::SingleRestart, &scenario);
+        let dual = evaluate(Strategy::ActivePassive, &scenario);
+        assert!(dual.availability > single.availability);
+        assert!(dual.servers == 2.0 && single.servers == 1.0);
+    }
+
+    #[test]
+    fn n_plus_one_spreads_load() {
+        let scenario = Scenario { utilization: 0.6, ..Scenario::default() };
+        let report = evaluate(Strategy::NPlusOne { n: 2 }, &scenario);
+        assert_eq!(report.servers, 3.0);
+        // Three servers at 0.4 draw more than one at 0.6 but less than
+        // three at 0.6.
+        let one_at_point6 = scenario.power.annual_kwh(0.6);
+        assert!(report.annual_kwh > one_at_point6);
+        assert!(report.annual_kwh < 3.0 * one_at_point6);
+    }
+
+    #[test]
+    fn failover_redundancy_cannot_reach_seven_nines_at_high_fault_rates() {
+        // At 100 attacks/year, 5 s failovers cap availability well below
+        // what rewinds achieve — redundancy alone stops scaling.
+        let scenario = Scenario {
+            faults_per_year: 100.0,
+            ..Scenario::default()
+        };
+        let dual = evaluate(Strategy::ActivePassive, &scenario);
+        let sdrad = evaluate(Strategy::SdradSingle, &scenario);
+        assert!(nines(dual.availability) < 5.0);
+        assert!(nines(sdrad.availability) > 8.0);
+    }
+
+    #[test]
+    fn lineup_contains_all_strategies() {
+        let lineup = evaluate_lineup(&Scenario::default());
+        assert_eq!(lineup.len(), 4);
+        let names: Vec<_> = lineup.iter().map(|r| r.strategy.as_str()).collect();
+        assert!(names.contains(&"1N-sdrad"));
+        assert!(names.contains(&"2+1-cluster"));
+    }
+
+    #[test]
+    fn utilization_saturates_at_one() {
+        let scenario = Scenario {
+            utilization: 0.99,
+            sdrad_overhead: 0.04,
+            ..Scenario::default()
+        };
+        let report = evaluate(Strategy::SdradSingle, &scenario);
+        assert!(report.annual_kwh <= scenario.power.annual_kwh(1.0) + 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Aligned text tables for experiment output.
+
+use std::fmt;
+
+/// A simple aligned table: header row plus data rows, rendered with
+/// column-width padding. All experiment harnesses print through this so
+/// outputs are uniform and greppable.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Convenience for `&str` cells.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|c| (*c).to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let line = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ");
+            writeln!(f, "{}", line.trim_end())
+        };
+        render(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        render(f, &rule)?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a duration human-readably across the ns…min range the
+/// experiments span.
+#[must_use]
+pub fn fmt_duration(duration: std::time::Duration) -> String {
+    let ns = duration.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else if ns < 120_000_000_000 {
+        format!("{:.1} s", ns as f64 / 1e9)
+    } else {
+        format!("{:.1} min", ns as f64 / 60e9)
+    }
+}
+
+/// Formats a byte count with binary units.
+#[must_use]
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut table = TextTable::new("demo", &["name", "value"]);
+        table.row_str(&["short", "1"]);
+        table.row_str(&["a-much-longer-name", "22"]);
+        let text = table.to_string();
+        assert!(text.contains("== demo =="));
+        let lines: Vec<&str> = text.lines().collect();
+        // header, rule, two rows
+        assert_eq!(lines.len(), 5);
+        // The value column starts at the same offset in both rows.
+        let offset = lines[3].find('1').unwrap();
+        assert_eq!(&lines[4][offset..offset + 2], "22");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut table = TextTable::new("t", &["a", "b", "c"]);
+        table.row_str(&["only-one"]);
+        assert_eq!(table.len(), 1);
+        let _ = table.to_string(); // must not panic
+    }
+
+    #[test]
+    fn durations_format_across_ranges() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_nanos(3_500)), "3.5 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(119)), "119.0 s");
+        assert_eq!(fmt_duration(Duration::from_secs(120)), "2.0 min");
+    }
+
+    #[test]
+    fn bytes_format_with_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(10_000_000_000), "9.3 GiB");
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the sustainability models: the availability math,
+//! the redundancy lineup, and the fleet case study must behave physically
+//! for *every* parameterization, not just the paper's.
+
+use proptest::prelude::*;
+use sdrad_energy::redundancy::{evaluate, Scenario};
+use sdrad_energy::{
+    assess_diversified_pair, assess_fleet, availability, downtime_budget, fleet_lineup,
+    max_recoveries_in_budget, nines, EconomicModel, FleetScenario, Strategy as Deploy,
+};
+use std::time::Duration;
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        0.0f64..200.0,            // faults_per_year
+        0.01f64..0.95,            // utilization
+        0u64..50_000_000_000,     // state_bytes
+        0.0f64..0.10,             // sdrad_overhead
+    )
+        .prop_map(|(faults, util, state, overhead)| Scenario {
+            faults_per_year: faults,
+            utilization: util,
+            state_bytes: state,
+            sdrad_overhead: overhead,
+            ..Scenario::default()
+        })
+}
+
+fn fleet() -> impl Strategy<Value = FleetScenario> {
+    (scenario(), 1u32..5000, 1u32..100_000, 0.9f64..0.9999999).prop_map(
+        |(service, sites, users, target)| FleetScenario {
+            name: "prop".into(),
+            sites,
+            users_per_site: users,
+            target_availability: target,
+            service,
+            economics: EconomicModel::european(),
+            sdrad_retrofit_days: 30.0,
+            diversity_days_per_year: 250.0,
+        },
+    )
+}
+
+proptest! {
+    /// Availability is a probability, monotonically worse in fault rate
+    /// and in recovery time.
+    #[test]
+    fn availability_is_monotone(
+        faults in 0.0f64..1000.0,
+        recovery_ms in 0u64..10_000_000,
+    ) {
+        let a = availability(faults, Duration::from_millis(recovery_ms));
+        prop_assert!((0.0..=1.0).contains(&a));
+        let worse_rate = availability(faults + 1.0, Duration::from_millis(recovery_ms));
+        prop_assert!(worse_rate <= a + 1e-15);
+        let worse_recovery = availability(faults, Duration::from_millis(recovery_ms + 1000));
+        if faults > 0.0 {
+            prop_assert!(worse_recovery <= a + 1e-15);
+        }
+    }
+
+    /// The downtime budget and recovery bound are mutually consistent:
+    /// recovering `max_recoveries` times at the given latency stays within
+    /// the budget.
+    #[test]
+    fn recoveries_fit_their_budget(
+        target in 0.9f64..0.9999999,
+        recovery_us in 1u64..60_000_000,
+    ) {
+        let recovery = Duration::from_micros(recovery_us);
+        let budget = downtime_budget(target);
+        let n = max_recoveries_in_budget(target, recovery);
+        prop_assert!(n >= 0.0);
+        prop_assert!(n * recovery.as_secs_f64() <= budget * (1.0 + 1e-9));
+    }
+
+    /// In every scenario, SDRaD-single never uses more servers than any
+    /// other strategy and never exceeds 2N's energy.
+    #[test]
+    fn sdrad_is_never_the_heavy_option(scenario in scenario()) {
+        let sdrad = evaluate(Deploy::SdradSingle, &scenario);
+        for strategy in [
+            Deploy::SingleRestart,
+            Deploy::ActivePassive,
+            Deploy::NPlusOne { n: 2 },
+        ] {
+            let other = evaluate(strategy, &scenario);
+            prop_assert!(sdrad.servers <= other.servers);
+            if strategy != Deploy::SingleRestart {
+                prop_assert!(sdrad.annual_kwh <= other.annual_kwh * (1.0 + 1e-9));
+            }
+        }
+        // And its availability beats the bare restart instance whenever
+        // faults occur at all.
+        if scenario.faults_per_year > 0.0 && scenario.state_bytes > 0 {
+            let restart = evaluate(Deploy::SingleRestart, &scenario);
+            prop_assert!(sdrad.availability >= restart.availability);
+        }
+    }
+
+    /// Fleet reports scale linearly in the number of sites.
+    #[test]
+    fn fleet_scales_linearly_in_sites(fleet in fleet()) {
+        let one_site = FleetScenario { sites: 1, ..fleet.clone() };
+        let report_fleet = assess_fleet(Deploy::SdradSingle, &fleet);
+        let report_one = assess_fleet(Deploy::SdradSingle, &one_site);
+        let sites = f64::from(fleet.sites);
+        prop_assert!((report_fleet.annual_kwh - report_one.annual_kwh * sites).abs()
+            <= report_fleet.annual_kwh.abs() * 1e-9 + 1e-6);
+        prop_assert!((report_fleet.servers - report_one.servers * sites).abs() < 1e-9);
+        // Per-user lost minutes are a per-site property: independent of
+        // fleet size.
+        prop_assert!((report_fleet.lost_minutes_per_user - report_one.lost_minutes_per_user).abs() < 1e-9);
+    }
+
+    /// The diversified pair always costs at least as much as the plain
+    /// pair (same hardware + variant engineering), with identical
+    /// availability in this model.
+    #[test]
+    fn diversity_is_never_free(fleet in fleet()) {
+        let pair = assess_fleet(Deploy::ActivePassive, &fleet);
+        let diversified = assess_diversified_pair(&fleet);
+        prop_assert!(diversified.annual_tco_eur() >= pair.annual_tco_eur());
+        prop_assert_eq!(diversified.availability, pair.availability);
+        prop_assert_eq!(diversified.servers, pair.servers);
+    }
+
+    /// Lineup reports are internally consistent: TCO components are
+    /// non-negative and nines() agrees with availability.
+    #[test]
+    fn lineup_reports_are_consistent(fleet in fleet()) {
+        for report in fleet_lineup(&fleet) {
+            prop_assert!(report.annual_kwh >= 0.0);
+            prop_assert!(report.annual_energy_eur >= 0.0);
+            prop_assert!(report.annual_capex_eur >= 0.0);
+            prop_assert!(report.annual_engineering_eur >= 0.0);
+            prop_assert!(report.annual_tco_eur() >= report.annual_energy_eur);
+            prop_assert!((0.0..=1.0).contains(&report.availability));
+            prop_assert_eq!(
+                report.meets_target,
+                report.availability >= fleet.target_availability
+            );
+            let n = nines(report.availability);
+            prop_assert!(n >= 0.0);
+        }
+    }
+}

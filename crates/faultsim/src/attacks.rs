@@ -1,0 +1,187 @@
+//! One injector per memory-error class.
+
+use sdrad::{DomainEnv, VirtAddr};
+
+use crate::StackFrame;
+
+/// The memory-error classes the detection mechanisms must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Attack {
+    /// Linear heap overflow past a block into its canary.
+    HeapOverflow,
+    /// Write below a block into its front canary.
+    HeapUnderflow,
+    /// Free the same block twice.
+    DoubleFree,
+    /// Read through a wild (unmapped) pointer.
+    WildRead,
+    /// Write through a wild (unmapped) pointer.
+    WildWrite,
+    /// Write into another protection domain's memory (cross-domain).
+    /// Uses a low address that is always foreign to the attacker's heap.
+    CrossDomainWrite,
+    /// Exhaust the domain's allocation quota.
+    AllocationBomb,
+    /// Smash a stack canary and return.
+    StackSmash,
+}
+
+impl Attack {
+    /// Every attack class, for exhaustive sweeps.
+    pub const ALL: [Attack; 8] = [
+        Attack::HeapOverflow,
+        Attack::HeapUnderflow,
+        Attack::DoubleFree,
+        Attack::WildRead,
+        Attack::WildWrite,
+        Attack::CrossDomainWrite,
+        Attack::AllocationBomb,
+        Attack::StackSmash,
+    ];
+
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Attack::HeapOverflow => "heap-overflow",
+            Attack::HeapUnderflow => "heap-underflow",
+            Attack::DoubleFree => "double-free",
+            Attack::WildRead => "wild-read",
+            Attack::WildWrite => "wild-write",
+            Attack::CrossDomainWrite => "cross-domain-write",
+            Attack::AllocationBomb => "allocation-bomb",
+            Attack::StackSmash => "stack-smash",
+        }
+    }
+}
+
+impl std::fmt::Display for Attack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Performs `attack` inside the domain. Every variant is guaranteed to be
+/// detected by one of the mechanisms (canary, PKU, allocator, quota), so
+/// this function never returns normally for a correctly configured domain
+/// — the fault unwinds to the domain boundary.
+///
+/// (The function still has a `()` return type rather than `!` because the
+/// detection is *dynamic*; if a detection regression let an attack slip
+/// through, tests would catch the normal return.)
+pub fn inject(env: &mut DomainEnv<'_>, attack: Attack) {
+    match attack {
+        Attack::HeapOverflow => {
+            let block = env.alloc(16);
+            // Past the payload into the trailing canary; free() detects.
+            env.write(block.offset(16), &[0x41; 8]);
+            env.free(block);
+        }
+        Attack::HeapUnderflow => {
+            let block = env.alloc(16);
+            env.write(VirtAddr::new(block.raw() - 8), &[0x42; 8]);
+            env.free(block);
+        }
+        Attack::DoubleFree => {
+            let block = env.alloc(32);
+            env.free(block);
+            env.free(block);
+        }
+        Attack::WildRead => {
+            env.read(VirtAddr::new(0x10), &mut [0u8; 8]);
+        }
+        Attack::WildWrite => {
+            env.write(VirtAddr::new(0x10), &[0xFF; 8]);
+        }
+        Attack::CrossDomainWrite => {
+            // Aim at the lowest heap in the space (the first-created
+            // domain's region). If the attacker happens to own that
+            // region itself, aim just past its own region instead — into
+            // the guard gap or a neighbour, never its own memory.
+            let own = env.heap_region();
+            let target = if own.contains(VirtAddr::new(0x1_0000)) {
+                own.base().offset(own.len())
+            } else {
+                VirtAddr::new(0x1_0000)
+            };
+            env.write(target, &[0x66; 8]);
+        }
+        Attack::AllocationBomb => loop {
+            let block = env.alloc(64 * 1024);
+            // Touch it so the optimizer-shaped future can't elide it.
+            env.write(block, &[1]);
+        },
+        Attack::StackSmash => {
+            let frame = StackFrame::enter(env, "injected", 24);
+            frame.unchecked_write(env, 0, &[0x90; 48]);
+            frame.exit(env);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdrad::{DomainConfig, DomainManager, DomainPolicy};
+
+    #[test]
+    fn every_attack_is_detected_and_contained() {
+        let mut mgr = DomainManager::new();
+        // Two domains so cross-domain attacks have a victim that owns the
+        // low heap region.
+        let victim = mgr
+            .create_domain(DomainConfig::new("victim").heap_capacity(64 * 1024))
+            .unwrap();
+        let attacker = mgr
+            .create_domain(
+                DomainConfig::new("attacker")
+                    .heap_capacity(256 * 1024)
+                    .policy(DomainPolicy::Confidential),
+            )
+            .unwrap();
+        let _ = victim;
+
+        for attack in Attack::ALL {
+            let result = mgr.call(attacker, move |env| inject(env, attack));
+            let err = result.expect_err(&format!("{attack} went undetected"));
+            assert!(err.is_violation(), "{attack}: {err}");
+            // Containment: the attacker domain itself is reusable.
+            assert!(
+                mgr.call(attacker, |env| env.push_bytes(b"ok")).is_ok(),
+                "{attack} broke the domain permanently"
+            );
+        }
+        assert_eq!(mgr.domain_info(attacker).unwrap().violations, 8);
+    }
+
+    #[test]
+    fn detected_fault_kinds_match_attack_classes() {
+        let mut mgr = DomainManager::new();
+        let _victim = mgr.create_domain(DomainConfig::new("victim")).unwrap();
+        let attacker = mgr.create_domain(DomainConfig::new("attacker")).unwrap();
+
+        let expectations = [
+            (Attack::HeapOverflow, "canary-corruption"),
+            (Attack::DoubleFree, "double-free"),
+            (Attack::WildRead, "unmapped"),
+            (Attack::CrossDomainWrite, "pku-violation"),
+            (Attack::AllocationBomb, "quota-exceeded"),
+            (Attack::StackSmash, "stack-smash"),
+        ];
+        for (attack, expected_kind) in expectations {
+            let err = mgr
+                .call(attacker, move |env| inject(env, attack))
+                .unwrap_err();
+            let fault = err.fault().expect("violation carries fault");
+            assert_eq!(fault.kind(), expected_kind, "{attack}");
+        }
+    }
+
+    #[test]
+    fn attack_names_are_unique() {
+        let mut names: Vec<_> = Attack::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Attack::ALL.len());
+    }
+}

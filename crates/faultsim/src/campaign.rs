@@ -1,0 +1,168 @@
+//! Attack campaigns: sustained, randomized fault injection with a
+//! containment report.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdrad::{DomainId, DomainManager};
+
+use crate::{inject, Attack};
+
+/// Outcome of a campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CampaignReport {
+    /// Attacks launched.
+    pub attempted: u64,
+    /// Attacks whose fault was detected and rewound.
+    pub contained: u64,
+    /// Attacks that slipped through (the closure returned normally).
+    pub undetected: u64,
+    /// Contained count per fault kind.
+    pub by_fault_kind: BTreeMap<String, u64>,
+    /// Contained count per attack class.
+    pub by_attack: BTreeMap<&'static str, u64>,
+    /// Total nanoseconds spent rewinding.
+    pub rewind_ns: u64,
+}
+
+impl CampaignReport {
+    /// Containment rate (1.0 = everything detected).
+    #[must_use]
+    pub fn containment_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            1.0
+        } else {
+            self.contained as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// A randomized attack campaign against one domain.
+#[derive(Debug)]
+pub struct Campaign {
+    rng: StdRng,
+    attacks: Vec<Attack>,
+}
+
+impl Campaign {
+    /// A campaign drawing uniformly from every attack class.
+    #[must_use]
+    pub fn full(seed: u64) -> Self {
+        Campaign {
+            rng: StdRng::seed_from_u64(seed),
+            attacks: Attack::ALL.to_vec(),
+        }
+    }
+
+    /// A campaign restricted to the given classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attacks` is empty.
+    #[must_use]
+    pub fn of(seed: u64, attacks: &[Attack]) -> Self {
+        assert!(!attacks.is_empty(), "campaign needs at least one attack");
+        Campaign {
+            rng: StdRng::seed_from_u64(seed),
+            attacks: attacks.to_vec(),
+        }
+    }
+
+    /// Launches `n` attacks against `domain`, verifying after each one
+    /// that the domain still serves benign work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain stops serving benign probes — the resilience
+    /// property the whole system exists to provide.
+    pub fn run(&mut self, mgr: &mut DomainManager, domain: DomainId, n: u64) -> CampaignReport {
+        let mut report = CampaignReport::default();
+        for _ in 0..n {
+            let attack = self.attacks[self.rng.gen_range(0..self.attacks.len())];
+            report.attempted += 1;
+            match mgr.call(domain, move |env| inject(env, attack)) {
+                Err(violation) => {
+                    report.contained += 1;
+                    *report.by_attack.entry(attack.name()).or_default() += 1;
+                    if let Some(fault) = violation.fault() {
+                        *report
+                            .by_fault_kind
+                            .entry(fault.kind().to_string())
+                            .or_default() += 1;
+                    }
+                    if let sdrad::DomainError::Violation { rewind_ns, .. } = violation {
+                        report.rewind_ns += rewind_ns;
+                    }
+                }
+                Ok(()) => report.undetected += 1,
+            }
+            // The invariant: after any attack the domain serves again.
+            mgr.call(domain, |env| {
+                let probe = env.push_bytes(b"probe");
+                assert_eq!(env.read_bytes(probe, 5), b"probe");
+                env.free(probe);
+            })
+            .expect("domain must keep serving after containment");
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdrad::DomainConfig;
+
+    fn arena() -> (DomainManager, DomainId) {
+        let mut mgr = DomainManager::new();
+        let _victim = mgr
+            .create_domain(DomainConfig::new("victim").heap_capacity(8 * 1024))
+            .unwrap();
+        let target = mgr
+            .create_domain(DomainConfig::new("target").heap_capacity(256 * 1024))
+            .unwrap();
+        (mgr, target)
+    }
+
+    #[test]
+    fn full_campaign_contains_everything() {
+        sdrad::quiet_fault_traps();
+        let (mut mgr, target) = arena();
+        let report = Campaign::full(1234).run(&mut mgr, target, 200);
+        assert_eq!(report.attempted, 200);
+        assert_eq!(report.undetected, 0, "an attack went undetected");
+        assert!((report.containment_rate() - 1.0).abs() < f64::EPSILON);
+        assert!(report.by_fault_kind.len() >= 4, "diverse detections");
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        sdrad::quiet_fault_traps();
+        let (mut mgr_a, a) = arena();
+        let (mut mgr_b, b) = arena();
+        let ra = Campaign::full(99).run(&mut mgr_a, a, 50);
+        let rb = Campaign::full(99).run(&mut mgr_b, b, 50);
+        assert_eq!(ra.by_attack, rb.by_attack);
+    }
+
+    #[test]
+    fn restricted_campaign_only_uses_selected_attacks() {
+        sdrad::quiet_fault_traps();
+        let (mut mgr, target) = arena();
+        let report =
+            Campaign::of(7, &[Attack::DoubleFree]).run(&mut mgr, target, 30);
+        assert_eq!(report.by_attack.len(), 1);
+        assert_eq!(report.by_attack["double-free"], 30);
+        assert_eq!(report.by_fault_kind["double-free"], 30);
+    }
+
+    #[test]
+    fn rewind_time_accumulates() {
+        sdrad::quiet_fault_traps();
+        let (mut mgr, target) = arena();
+        let report = Campaign::of(3, &[Attack::WildRead]).run(&mut mgr, target, 10);
+        assert!(report.rewind_ns > 0);
+        assert_eq!(report.contained, 10);
+    }
+}

@@ -1,0 +1,152 @@
+//! Simulated stack frames with canaries.
+//!
+//! Real SDRaD relies on the compiler's stack protector: a canary below the
+//! return address, checked in the function epilogue, turning stack smashes
+//! into detected faults. This reproduction has no compiled stack to
+//! protect, so frames are modelled in domain memory: a frame is a canary
+//! word plus a locals buffer, and [`StackFrame::exit`] is the epilogue
+//! check.
+
+use sdrad::{DomainEnv, Fault, VirtAddr};
+
+/// Magic canary value (`__stack_chk_guard` analogue; per-frame variation
+/// comes from the address mixing in the check).
+const STACK_CANARY: u64 = 0x5AFE_C0DE_DEAD_7E37;
+
+/// A simulated stack frame inside a domain.
+///
+/// Layout in domain memory: `[locals (len bytes)][canary (8 bytes)]` — a
+/// linear overflow of the locals clobbers the canary before anything else,
+/// like a downward-growing x86 stack frame protected by `-fstack-protector`.
+#[derive(Debug)]
+pub struct StackFrame {
+    name: &'static str,
+    locals: VirtAddr,
+    locals_len: usize,
+    canary: VirtAddr,
+}
+
+impl StackFrame {
+    /// "Function prologue": allocates the frame and plants the canary.
+    pub fn enter(env: &mut DomainEnv<'_>, name: &'static str, locals_len: usize) -> Self {
+        let locals = env.alloc(locals_len + 8);
+        let canary = locals.offset(locals_len);
+        env.write_u64(canary, STACK_CANARY ^ canary.raw());
+        StackFrame {
+            name,
+            locals,
+            locals_len,
+            canary,
+        }
+    }
+
+    /// Address of the locals buffer.
+    #[must_use]
+    pub fn locals(&self) -> VirtAddr {
+        self.locals
+    }
+
+    /// Size of the locals buffer.
+    #[must_use]
+    pub fn locals_len(&self) -> usize {
+        self.locals_len
+    }
+
+    /// Writes into the locals buffer **without bounds checking** — the
+    /// `strcpy` of this model. `offset + data.len() > locals_len` smashes
+    /// the canary (or worse).
+    pub fn unchecked_write(&self, env: &mut DomainEnv<'_>, offset: usize, data: &[u8]) {
+        env.write(self.locals.offset(offset), data);
+    }
+
+    /// "Function epilogue": verifies the canary and frees the frame.
+    /// Traps with [`Fault::StackSmash`] if the canary was clobbered.
+    pub fn exit(self, env: &mut DomainEnv<'_>) {
+        let value = env.read_u64(self.canary);
+        if value != STACK_CANARY ^ self.canary.raw() {
+            env.trap(Fault::StackSmash { frame: self.name });
+        }
+        env.free(self.locals);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdrad::{DomainConfig, DomainError, DomainManager};
+
+    fn with_domain<R: Send + 'static>(
+        f: impl FnOnce(&mut DomainEnv<'_>) -> R,
+    ) -> Result<R, DomainError> {
+        let mut mgr = DomainManager::new();
+        let domain = mgr.create_domain(DomainConfig::new("frames")).unwrap();
+        mgr.call(domain, f)
+    }
+
+    #[test]
+    fn clean_frame_enters_and_exits() {
+        let result = with_domain(|env| {
+            let frame = StackFrame::enter(env, "clean", 64);
+            frame.unchecked_write(env, 0, b"fits-in-the-buffer");
+            frame.exit(env);
+            "done"
+        });
+        assert_eq!(result.unwrap(), "done");
+    }
+
+    #[test]
+    fn overflow_is_caught_at_epilogue() {
+        let err = with_domain(|env| {
+            let frame = StackFrame::enter(env, "vulnerable_fn", 16);
+            // 24 bytes into a 16-byte buffer: classic smash.
+            frame.unchecked_write(env, 0, &[0x41; 24]);
+            frame.exit(env); // traps here
+        })
+        .unwrap_err();
+        match err {
+            DomainError::Violation {
+                fault: Fault::StackSmash { frame },
+                ..
+            } => assert_eq!(frame, "vulnerable_fn"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_fit_write_does_not_smash() {
+        let result = with_domain(|env| {
+            let frame = StackFrame::enter(env, "exact", 16);
+            frame.unchecked_write(env, 0, &[0x42; 16]);
+            frame.exit(env);
+        });
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn off_by_one_into_canary_is_caught() {
+        let err = with_domain(|env| {
+            let frame = StackFrame::enter(env, "off_by_one", 16);
+            frame.unchecked_write(env, 16, &[0x00]); // first canary byte
+            frame.exit(env);
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            DomainError::Violation {
+                fault: Fault::StackSmash { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn nested_frames_unwind_cleanly() {
+        let result = with_domain(|env| {
+            let outer = StackFrame::enter(env, "outer", 32);
+            let inner = StackFrame::enter(env, "inner", 32);
+            inner.exit(env);
+            outer.exit(env);
+        });
+        assert!(result.is_ok());
+    }
+}

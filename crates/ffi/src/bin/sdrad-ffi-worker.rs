@@ -1,0 +1,24 @@
+//! The bundled sandbox worker binary.
+//!
+//! Serves the built-in demonstration functions (`echo`, `sum`, `checksum`,
+//! `boom`) over the length-prefixed stdio protocol. Used by the process
+//! backend in tests and in the E8 isolation-cost experiment.
+//!
+//! Run manually: `cargo run -p sdrad-ffi --bin sdrad-ffi-worker` (then type
+//! nothing — it speaks a binary protocol on stdin/stdout).
+
+use std::process::ExitCode;
+
+use sdrad_ffi::{register_builtins, run_worker, Registry};
+
+fn main() -> ExitCode {
+    let mut registry = Registry::new();
+    register_builtins(&mut registry);
+    match run_worker(&registry, std::io::stdin().lock(), std::io::stdout().lock()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sdrad-ffi-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Annotation-style macros hiding the SDRaD plumbing.
+//!
+//! The paper's goal for SDRaD-FFI is that developers "leverage
+//! metaprogramming in Rust to annotate functions that must be
+//! compartmentalized", with argument/result handling and alternate actions
+//! generated for them. [`sandboxed!`] is that annotation: it takes ordinary
+//! function syntax and expands to a wrapper that marshals arguments through
+//! a [`Sandbox`](crate::Sandbox), runs the body under isolation, and —
+//! when a `recover` clause is given — runs the alternate action on any
+//! contained fault.
+
+/// Declares sandboxed functions.
+///
+/// Two forms are supported. The fallible form returns
+/// `Result<Ret, FfiError>`:
+///
+/// ```
+/// use sdrad_ffi::{sandboxed, Sandbox};
+///
+/// sandboxed! {
+///     /// Parses a length field from an untrusted header.
+///     pub fn parse_len(header: Vec<u8>) -> u64 {
+///         u64::from(header[0]) | (u64::from(header[1]) << 8)
+///     }
+/// }
+///
+/// # fn main() -> Result<(), sdrad_ffi::FfiError> {
+/// let mut sandbox = Sandbox::in_process()?;
+/// assert_eq!(parse_len(&mut sandbox, vec![0x34, 0x12])?, 0x1234);
+///
+/// // Out-of-bounds indexing inside the sandbox is contained:
+/// assert!(parse_len(&mut sandbox, vec![]).unwrap_err().is_recovered_fault());
+/// # Ok(())
+/// # }
+/// ```
+///
+/// The infallible form adds a `recover` clause — the paper's *alternate
+/// action* — and returns `Ret` directly:
+///
+/// ```
+/// use sdrad_ffi::{sandboxed, Sandbox};
+///
+/// sandboxed! {
+///     pub fn parse_len_or_zero(header: Vec<u8>) -> u64 {
+///         u64::from(header[0])
+///     } recover |_err| 0
+/// }
+///
+/// # fn main() -> Result<(), sdrad_ffi::FfiError> {
+/// let mut sandbox = Sandbox::in_process()?;
+/// assert_eq!(parse_len_or_zero(&mut sandbox, vec![]), 0); // contained + recovered
+/// # Ok(())
+/// # }
+/// ```
+///
+/// The generated wrapper takes `&mut Sandbox` as its first parameter, so
+/// one sandbox (one domain / one worker) can serve many annotated
+/// functions, mirroring how SDRaD amortizes domains.
+#[macro_export]
+macro_rules! sandboxed {
+    // Fallible form.
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident : $ty:ty),* $(,)?) -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name(
+            sandbox: &mut $crate::Sandbox,
+            $($arg: $ty),*
+        ) -> ::std::result::Result<$ret, $crate::FfiError> {
+            sandbox.invoke(
+                ::std::stringify!($name),
+                &($($arg,)*),
+                |($($arg,)*): ($($ty,)*)| -> $ret { $body },
+            )
+        }
+    };
+    // Infallible form with an alternate action.
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident : $ty:ty),* $(,)?) -> $ret:ty
+        $body:block recover $fallback:expr
+    ) => {
+        $(#[$meta])*
+        $vis fn $name(
+            sandbox: &mut $crate::Sandbox,
+            $($arg: $ty),*
+        ) -> $ret {
+            match sandbox.invoke_or(
+                ::std::stringify!($name),
+                &($($arg,)*),
+                |($($arg,)*): ($($ty,)*)| -> $ret { $body },
+                $fallback,
+            ) {
+                ::std::result::Result::Ok(value) => value,
+                // Non-fault errors (serialization, backend) also route to
+                // the alternate action in the infallible form: the caller
+                // asked for a total function.
+                ::std::result::Result::Err(err) => ($fallback)(&err),
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Sandbox;
+
+    sandboxed! {
+        /// Docs attach to the generated wrapper.
+        pub fn add(a: u32, b: u32) -> u32 {
+            a + b
+        }
+    }
+
+    sandboxed! {
+        fn risky_div(num: u64, den: u64) -> u64 {
+            num / den
+        } recover |_err| u64::MAX
+    }
+
+    sandboxed! {
+        fn no_args() -> String {
+            "constant".to_string()
+        }
+    }
+
+    #[test]
+    fn fallible_wrapper_works_on_all_backends() {
+        for mut sandbox in [Sandbox::direct(), Sandbox::in_process().unwrap()] {
+            assert_eq!(add(&mut sandbox, 2, 3).unwrap(), 5);
+        }
+    }
+
+    #[test]
+    fn recover_clause_handles_division_by_zero_panic() {
+        let mut sandbox = Sandbox::in_process().unwrap();
+        assert_eq!(risky_div(&mut sandbox, 10, 2), 5);
+        assert_eq!(risky_div(&mut sandbox, 10, 0), u64::MAX, "alternate action");
+        // And the sandbox keeps serving.
+        assert_eq!(risky_div(&mut sandbox, 9, 3), 3);
+    }
+
+    #[test]
+    fn zero_argument_functions_expand() {
+        let mut sandbox = Sandbox::direct();
+        assert_eq!(no_args(&mut sandbox).unwrap(), "constant");
+    }
+
+    #[test]
+    fn module_scope_expansion_works_in_functions_too() {
+        sandboxed! {
+            fn inner(x: u8) -> u8 { x ^ 0xFF }
+        }
+        let mut sandbox = Sandbox::direct();
+        assert_eq!(inner(&mut sandbox, 0x0F).unwrap(), 0xF0);
+    }
+}

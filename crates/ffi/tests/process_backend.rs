@@ -1,0 +1,84 @@
+//! Integration tests for the real subprocess (Sandcrust-style) backend.
+
+use std::process::Command;
+
+use sdrad_ffi::{FfiError, Format, Sandbox};
+
+fn worker_command() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sdrad-ffi-worker"))
+}
+
+#[test]
+fn process_sandbox_round_trips() {
+    let mut sandbox = Sandbox::process(worker_command()).unwrap();
+    assert_eq!(sandbox.backend_name(), "process");
+    // The local closure is ignored; the worker's `sum` runs.
+    let sum: u64 = sandbox
+        .invoke("sum", &vec![10u64, 20, 30], |_v: Vec<u64>| unreachable!())
+        .unwrap();
+    assert_eq!(sum, 60);
+}
+
+#[test]
+fn process_sandbox_serves_many_requests() {
+    let mut sandbox = Sandbox::process(worker_command()).unwrap();
+    for i in 0..100u64 {
+        let echoed: Vec<u8> = sandbox
+            .invoke("echo", &vec![i as u8; 16], |v: Vec<u8>| v)
+            .unwrap();
+        assert_eq!(echoed, vec![i as u8; 16]);
+    }
+    assert_eq!(sandbox.stats().invocations, 100);
+}
+
+#[test]
+fn worker_panic_is_contained_and_worker_survives() {
+    let mut sandbox = Sandbox::process(worker_command()).unwrap();
+    let err = sandbox
+        .invoke("boom", &"detonate".to_string(), |_: String| ())
+        .unwrap_err();
+    assert!(matches!(err, FfiError::WorkerError(msg) if msg.contains("detonate")));
+    // The worker caught the panic per-request; it still serves.
+    let sum: u64 = sandbox
+        .invoke("sum", &vec![1u64, 2], |_v: Vec<u64>| unreachable!())
+        .unwrap();
+    assert_eq!(sum, 3);
+}
+
+#[test]
+fn unknown_function_is_reported() {
+    let mut sandbox = Sandbox::process(worker_command()).unwrap();
+    let err = sandbox
+        .invoke("no-such-fn", &1u8, |x: u8| x)
+        .unwrap_err();
+    assert!(matches!(err, FfiError::UnknownFunction(name) if name == "no-such-fn"));
+}
+
+#[test]
+fn all_formats_cross_the_process_boundary() {
+    for format in Format::ALL {
+        let mut sandbox = Sandbox::process(worker_command()).unwrap().format(format);
+        let echoed: Vec<u8> = sandbox
+            .invoke("echo", &vec![1u8, 2, 3], |v: Vec<u8>| v)
+            .unwrap();
+        assert_eq!(echoed, vec![1, 2, 3], "format {format}");
+    }
+}
+
+#[test]
+fn dead_worker_is_detected_and_respawned() {
+    let mut sandbox = Sandbox::process(worker_command()).unwrap();
+    // Prove it works once.
+    let _: Vec<u8> = sandbox
+        .invoke("echo", &vec![1u8], |v: Vec<u8>| v)
+        .unwrap();
+
+    // A worker spawned from `false` dies immediately: simulate by making a
+    // sandbox whose worker exits at once.
+    let mut dead = Sandbox::process(Command::new("true")).unwrap();
+    let err = dead
+        .invoke("echo", &vec![1u8], |v: Vec<u8>| v)
+        .unwrap_err();
+    assert!(err.is_recovered_fault(), "worker death is a recovered fault");
+    assert_eq!(dead.stats().recovered_faults, 1);
+}

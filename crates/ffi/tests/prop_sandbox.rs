@@ -1,0 +1,103 @@
+//! Property tests: the sandbox is semantically transparent for pure
+//! functions, across backends and formats.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use sdrad_ffi::{Format, Sandbox};
+
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+struct Input {
+    numbers: Vec<i64>,
+    text: String,
+    flag: bool,
+}
+
+fn arb_input() -> impl Strategy<Value = Input> {
+    (
+        proptest::collection::vec(any::<i64>(), 0..40),
+        "[ -~]{0,60}",
+        any::<bool>(),
+    )
+        .prop_map(|(numbers, text, flag)| Input {
+            numbers,
+            text,
+            flag,
+        })
+}
+
+/// The pure function under sandbox: deterministic digest of the input.
+fn digest(input: Input) -> (i64, usize, bool) {
+    let sum = input.numbers.iter().fold(0i64, |a, b| a.wrapping_add(*b));
+    (sum, input.text.len(), input.flag)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// invoke() returns exactly what the bare function returns, for every
+    /// backend and marshalling format.
+    #[test]
+    fn sandbox_is_transparent(input in arb_input()) {
+        sdrad::quiet_fault_traps();
+        let expected = digest(input.clone());
+        for format in Format::ALL {
+            let mut direct = Sandbox::direct().format(format);
+            let got = direct.invoke("digest", &input, digest).unwrap();
+            prop_assert_eq!(got, expected, "direct/{}", format);
+
+            let mut isolated = Sandbox::in_process().unwrap().format(format);
+            let got = isolated.invoke("digest", &input, digest).unwrap();
+            prop_assert_eq!(got, expected, "in-process/{}", format);
+        }
+    }
+
+    /// A panicking body never breaks the sandbox: the next call still
+    /// works and returns correct results, any number of times over.
+    #[test]
+    fn faults_never_poison_the_sandbox(
+        inputs in proptest::collection::vec((arb_input(), any::<bool>()), 1..20)
+    ) {
+        sdrad::quiet_fault_traps();
+        let mut sandbox = Sandbox::in_process().unwrap();
+        let mut expected_faults = 0u64;
+        for (input, should_fault) in inputs {
+            if should_fault {
+                let result: Result<(i64, usize, bool), _> = sandbox.invoke(
+                    "faulty",
+                    &input,
+                    |_input: Input| panic!("injected"),
+                );
+                prop_assert!(result.unwrap_err().is_recovered_fault());
+                expected_faults += 1;
+            } else {
+                let expected = digest(input.clone());
+                let got = sandbox.invoke("digest", &input, digest).unwrap();
+                prop_assert_eq!(got, expected);
+            }
+        }
+        prop_assert_eq!(sandbox.stats().recovered_faults, expected_faults);
+    }
+
+    /// invoke_or always yields a value: the fallback handles every
+    /// contained fault, and successes pass through unchanged.
+    #[test]
+    fn invoke_or_is_total(input in arb_input(), fault in any::<bool>()) {
+        sdrad::quiet_fault_traps();
+        let mut sandbox = Sandbox::in_process().unwrap();
+        let expected = if fault { (0, 0, false) } else { digest(input.clone()) };
+        let got = sandbox
+            .invoke_or(
+                "maybe",
+                &input,
+                move |i: Input| {
+                    if fault {
+                        panic!("injected")
+                    }
+                    digest(i)
+                },
+                |_err| (0, 0, false),
+            )
+            .unwrap();
+        prop_assert_eq!(got, expected);
+    }
+}

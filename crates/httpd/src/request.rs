@@ -1,0 +1,377 @@
+//! HTTP/1.1 request parsing.
+
+use std::fmt;
+
+/// HTTP request methods the server understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `HEAD`
+    Head,
+    /// `POST`
+    Post,
+    /// `PUT`
+    Put,
+    /// `DELETE`
+    Delete,
+}
+
+impl Method {
+    /// Parses a method token.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Method> {
+        match token {
+            "GET" => Some(Method::Get),
+            "HEAD" => Some(Method::Head),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+        };
+        f.write_str(text)
+    }
+}
+
+/// Parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// More bytes are needed (sessions keep buffering).
+    Incomplete,
+    /// The request violates HTTP framing; answer 400 and close.
+    Malformed(&'static str),
+    /// Headers exceed the configured limit (DoS guard).
+    TooLarge,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Incomplete => write!(f, "request incomplete"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::TooLarge => write!(f, "request too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Maximum bytes of request head (request line + headers) accepted.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Maximum body bytes accepted via `Content-Length`.
+const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed request.
+///
+/// For chunked requests the body holds the *raw, undecoded* chunked
+/// stream; decoding — the vulnerable operation — is the server's job so
+/// that it can run under isolation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// Request target (path, no normalization beyond percent-free check).
+    pub path: String,
+    /// Header name/value pairs, in order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes: literal for `Content-Length`, raw chunk stream for
+    /// `Transfer-Encoding: chunked`.
+    pub body: Vec<u8>,
+    /// Whether the body is a raw chunked stream.
+    pub chunked: bool,
+}
+
+impl HttpRequest {
+    /// First value of header `name` (case-insensitive), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses one complete request from the front of `input`, returning it and
+/// the bytes consumed.
+///
+/// # Errors
+///
+/// [`HttpError::Incomplete`] until a full request is buffered;
+/// [`HttpError::Malformed`] / [`HttpError::TooLarge`] for invalid input.
+pub fn parse_request(input: &[u8]) -> Result<(HttpRequest, usize), HttpError> {
+    let head_end = find_head_end(input)?;
+    let head = std::str::from_utf8(&input[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = request_line.split(' ');
+    let method = Method::parse(parts.next().unwrap_or(""))
+        .ok_or(HttpError::Malformed("unknown method"))?;
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing request target"))?;
+    if !path.starts_with('/') {
+        return Err(HttpError::Malformed("request target must be absolute path"));
+    }
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing HTTP version"))?;
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("garbage after HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed("invalid header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request_so_far = HttpRequest {
+        method,
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+        chunked: false,
+    };
+    let body_start = head_end + 4;
+
+    let chunked = request_so_far
+        .header("transfer-encoding")
+        .is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+    if chunked {
+        // Capture the raw chunk stream up to the terminating 0-chunk.
+        let raw = &input[body_start.min(input.len())..];
+        let chunked_len = raw_chunked_len(raw)?;
+        let mut request = request_so_far;
+        request.body = raw[..chunked_len].to_vec();
+        request.chunked = true;
+        return Ok((request, body_start + chunked_len));
+    }
+
+    let content_length = match request_so_far.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("content-length is not a number"))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge);
+    }
+    if input.len() < body_start + content_length {
+        return Err(HttpError::Incomplete);
+    }
+    let mut request = request_so_far;
+    request.body = input[body_start..body_start + content_length].to_vec();
+    Ok((request, body_start + content_length))
+}
+
+/// Finds the end of the head (`\r\n\r\n`), enforcing the size limit.
+fn find_head_end(input: &[u8]) -> Result<usize, HttpError> {
+    let limit = input.len().min(MAX_HEAD);
+    if let Some(pos) = input[..limit]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+    {
+        return Ok(pos);
+    }
+    if input.len() >= MAX_HEAD {
+        return Err(HttpError::TooLarge);
+    }
+    Err(HttpError::Incomplete)
+}
+
+/// Computes the byte length of a raw chunked stream (through the final
+/// `0\r\n\r\n`), using only *framing* — it does not trust the size fields
+/// beyond navigation, and rejects streams whose declared sizes leave the
+/// buffer. (The *vulnerable* trusting decode lives in the server.)
+fn raw_chunked_len(raw: &[u8]) -> Result<usize, HttpError> {
+    let mut pos = 0;
+    loop {
+        let line_end = raw[pos..]
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or(HttpError::Incomplete)?;
+        let size_text = std::str::from_utf8(&raw[pos..pos + line_end])
+            .map_err(|_| HttpError::Malformed("chunk size is not UTF-8"))?;
+        let size = usize::from_str_radix(size_text.trim(), 16)
+            .map_err(|_| HttpError::Malformed("chunk size is not hex"))?;
+        pos += line_end + 2;
+        if size == 0 {
+            // Expect trailing CRLF after the zero chunk.
+            if raw.len() < pos + 2 {
+                return Err(HttpError::Incomplete);
+            }
+            if &raw[pos..pos + 2] != b"\r\n" {
+                return Err(HttpError::Malformed("missing final CRLF"));
+            }
+            return Ok(pos + 2);
+        }
+        // For *framing*, chunk data runs to the next CRLF or the declared
+        // size, whichever comes first. This keeps benign streams exact and
+        // lets lying streams (declared ≫ actual) still frame as a request
+        // — so the exploit payload reaches the vulnerable decoder, where
+        // trusting the declared size is the planted bug. (Simplification:
+        // chunk payloads containing literal CRLF are not supported.)
+        let until_crlf = raw[pos..]
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or(HttpError::Incomplete)?;
+        pos += size.min(until_crlf);
+        if raw.len() < pos + 2 {
+            return Err(HttpError::Incomplete);
+        }
+        if &raw[pos..pos + 2] == b"\r\n" {
+            pos += 2;
+        } else {
+            // Declared size smaller than the data line: resynchronise.
+            let next = raw[pos..]
+                .windows(2)
+                .position(|w| w == b"\r\n")
+                .ok_or(HttpError::Incomplete)?;
+            pos += next + 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_get() {
+        let input = b"GET /index.html HTTP/1.1\r\nHost: example\r\nAccept: */*\r\n\r\n";
+        let (req, used) = parse_request(input).unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/index.html");
+        assert_eq!(req.header("host"), Some("example"));
+        assert_eq!(req.header("HOST"), Some("example"), "case-insensitive");
+        assert_eq!(used, input.len());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let input = b"POST /echo HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyNEXT";
+        let (req, used) = parse_request(input).unwrap();
+        assert_eq!(req.body, b"body");
+        assert_eq!(&input[used..], b"NEXT");
+    }
+
+    #[test]
+    fn incomplete_requests_buffer() {
+        assert_eq!(
+            parse_request(b"GET / HT").unwrap_err(),
+            HttpError::Incomplete
+        );
+        assert_eq!(
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+                .unwrap_err(),
+            HttpError::Incomplete
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        let cases: &[&[u8]] = &[
+            b"BREW /pot HTTP/1.1\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"GET / HTTP/1.1\r\nBad Header Name: x\r\n\r\n",
+            b"GET / HTTP/1.1\r\nnocolon\r\n\r\n",
+        ];
+        for case in cases {
+            assert!(
+                matches!(parse_request(case), Err(HttpError::Malformed(_))),
+                "accepted: {}",
+                String::from_utf8_lossy(case)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_too_large() {
+        let mut input = b"GET / HTTP/1.1\r\n".to_vec();
+        while input.len() < 17 * 1024 {
+            input.extend_from_slice(b"X-Filler: aaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        assert_eq!(parse_request(&input).unwrap_err(), HttpError::TooLarge);
+    }
+
+    #[test]
+    fn oversized_content_length_is_too_large() {
+        let input = b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        assert_eq!(parse_request(input).unwrap_err(), HttpError::TooLarge);
+    }
+
+    #[test]
+    fn chunked_body_is_captured_raw() {
+        let input =
+            b"POST /upload HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        let (req, used) = parse_request(input).unwrap();
+        assert!(req.chunked);
+        assert_eq!(req.body, b"4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n");
+        assert_eq!(used, input.len());
+    }
+
+    #[test]
+    fn chunked_with_lying_size_still_parses_for_the_decoder() {
+        // Declared size fff (4095) but only 2 bytes present: framing
+        // resynchronises so the request reaches the vulnerable decoder.
+        let input =
+            b"POST /upload HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nfff\r\nhi\r\n0\r\n\r\n";
+        let (req, _) = parse_request(input).unwrap();
+        assert!(req.chunked);
+        assert!(!req.body.is_empty());
+    }
+
+    #[test]
+    fn chunked_incomplete_waits() {
+        let input = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWi";
+        assert_eq!(parse_request(input).unwrap_err(), HttpError::Incomplete);
+    }
+
+    #[test]
+    fn bad_chunk_size_is_malformed() {
+        let input = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\nhi\r\n0\r\n\r\n";
+        assert!(matches!(
+            parse_request(input),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn methods_display_round_trip() {
+        for m in [Method::Get, Method::Head, Method::Post, Method::Put, Method::Delete] {
+            assert_eq!(Method::parse(&m.to_string()), Some(m));
+        }
+        assert_eq!(Method::parse("PATCH"), None);
+    }
+}

@@ -1,0 +1,156 @@
+//! HTTP response construction.
+
+use std::fmt;
+
+/// Response status codes the server emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// 200
+    Ok,
+    /// 201
+    Created,
+    /// 400 — includes contained decoder faults.
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 405
+    MethodNotAllowed,
+    /// 500 — internal errors that are *not* contained faults.
+    InternalServerError,
+    /// 503 — the (unprotected) server has crashed.
+    ServiceUnavailable,
+}
+
+impl Status {
+    /// Numeric code.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::Created => 201,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::MethodNotAllowed => 405,
+            Status::InternalServerError => 500,
+            Status::ServiceUnavailable => 503,
+        }
+    }
+
+    /// Reason phrase.
+    #[must_use]
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::Created => "Created",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+            Status::MethodNotAllowed => "Method Not Allowed",
+            Status::InternalServerError => "Internal Server Error",
+            Status::ServiceUnavailable => "Service Unavailable",
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code(), self.reason())
+    }
+}
+
+/// A response under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    status: Status,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Starts a response with the given status.
+    #[must_use]
+    pub fn new(status: Status) -> Self {
+        HttpResponse {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Convenience: a text response.
+    #[must_use]
+    pub fn text(status: Status, body: impl Into<String>) -> Self {
+        HttpResponse::new(status)
+            .header("Content-Type", "text/plain")
+            .body(body.into().into_bytes())
+    }
+
+    /// Adds a header (builder-style).
+    #[must_use]
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Sets the body (builder-style); `Content-Length` is added on render.
+    #[must_use]
+    pub fn body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// The status.
+    #[must_use]
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Serializes the response.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("HTTP/1.1 {}\r\n", self.status).into_bytes();
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_status_line_headers_and_body() {
+        let response = HttpResponse::new(Status::Ok)
+            .header("Content-Type", "text/html")
+            .body(b"<p>x</p>".to_vec());
+        let text = String::from_utf8(response.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: text/html\r\n"));
+        assert!(text.contains("Content-Length: 8\r\n\r\n<p>x</p>"));
+    }
+
+    #[test]
+    fn text_helper_sets_type() {
+        let response = HttpResponse::text(Status::NotFound, "nope");
+        let text = String::from_utf8(response.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found"));
+        assert!(text.contains("text/plain"));
+        assert!(text.ends_with("nope"));
+    }
+
+    #[test]
+    fn status_codes_are_correct() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::BadRequest.code(), 400);
+        assert_eq!(Status::ServiceUnavailable.code(), 503);
+    }
+
+    #[test]
+    fn empty_body_has_zero_content_length() {
+        let text = String::from_utf8(HttpResponse::new(Status::Ok).to_bytes()).unwrap();
+        assert!(text.contains("Content-Length: 0\r\n\r\n"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Access kinds and per-key access rights.
+
+use std::fmt;
+
+/// The kind of memory access being attempted.
+///
+/// Used in fault reports and in PKRU permission checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// A load from memory.
+    Read,
+    /// A store to memory.
+    Write,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Read => write!(f, "read"),
+            Access::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// Rights a thread holds over memory tagged with a given protection key.
+///
+/// Mirrors the PKRU encoding: each key has an *access-disable* (AD) bit and
+/// a *write-disable* (WD) bit. `AD=1` forbids all access, `WD=1` forbids
+/// writes; the remaining combination grants full access. (`AD=1, WD=1` is
+/// representable in hardware but indistinguishable from `NoAccess`, so the
+/// model collapses it.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessRights {
+    /// AD set: neither reads nor writes are allowed.
+    #[default]
+    NoAccess,
+    /// WD set: reads allowed, writes forbidden.
+    ReadOnly,
+    /// Neither bit set: full access.
+    ReadWrite,
+}
+
+impl AccessRights {
+    /// Whether these rights permit the given access kind.
+    #[must_use]
+    pub fn permits(self, access: Access) -> bool {
+        matches!(
+            (self, access),
+            (AccessRights::ReadWrite, _) | (AccessRights::ReadOnly, Access::Read)
+        )
+    }
+
+    /// Encode into the two PKRU bits `(access_disable, write_disable)`.
+    #[must_use]
+    pub fn to_bits(self) -> (bool, bool) {
+        match self {
+            AccessRights::NoAccess => (true, true),
+            AccessRights::ReadOnly => (false, true),
+            AccessRights::ReadWrite => (false, false),
+        }
+    }
+
+    /// Decode from the two PKRU bits `(access_disable, write_disable)`.
+    ///
+    /// `AD=1` dominates regardless of WD, matching hardware behaviour.
+    #[must_use]
+    pub fn from_bits(access_disable: bool, write_disable: bool) -> Self {
+        match (access_disable, write_disable) {
+            (true, _) => AccessRights::NoAccess,
+            (false, true) => AccessRights::ReadOnly,
+            (false, false) => AccessRights::ReadWrite,
+        }
+    }
+}
+
+impl fmt::Display for AccessRights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessRights::NoAccess => write!(f, "no-access"),
+            AccessRights::ReadOnly => write!(f, "read-only"),
+            AccessRights::ReadWrite => write!(f, "read-write"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_permits_everything() {
+        assert!(AccessRights::ReadWrite.permits(Access::Read));
+        assert!(AccessRights::ReadWrite.permits(Access::Write));
+    }
+
+    #[test]
+    fn read_only_permits_only_reads() {
+        assert!(AccessRights::ReadOnly.permits(Access::Read));
+        assert!(!AccessRights::ReadOnly.permits(Access::Write));
+    }
+
+    #[test]
+    fn no_access_permits_nothing() {
+        assert!(!AccessRights::NoAccess.permits(Access::Read));
+        assert!(!AccessRights::NoAccess.permits(Access::Write));
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        for rights in [
+            AccessRights::NoAccess,
+            AccessRights::ReadOnly,
+            AccessRights::ReadWrite,
+        ] {
+            let (ad, wd) = rights.to_bits();
+            assert_eq!(AccessRights::from_bits(ad, wd), rights);
+        }
+    }
+
+    #[test]
+    fn access_disable_dominates_write_disable() {
+        // AD=1, WD=0 is still no access, as on hardware.
+        assert_eq!(AccessRights::from_bits(true, false), AccessRights::NoAccess);
+    }
+
+    #[test]
+    fn default_is_no_access() {
+        assert_eq!(AccessRights::default(), AccessRights::NoAccess);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(AccessRights::ReadWrite.to_string(), "read-write");
+        assert_eq!(Access::Write.to_string(), "write");
+    }
+}

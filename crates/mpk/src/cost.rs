@@ -1,0 +1,300 @@
+//! Calibrated cycle/time cost model for isolation primitives.
+//!
+//! Absolute costs in this reproduction come from a model rather than from
+//! silicon, so every constant is documented with the measurement it is
+//! calibrated against. What the experiments rely on is the *relative*
+//! ordering the paper argues from (§IV): a `WRPKRU` domain switch is two to
+//! three orders of magnitude cheaper than an OS process context switch,
+//! which in turn is orders of magnitude cheaper than restarting a stateful
+//! process.
+
+use std::fmt;
+
+/// Cycles per nanosecond at 1 GHz (definitionally 1; named for clarity in
+/// conversions).
+pub const CYCLES_PER_GHZ_NS: f64 = 1.0;
+
+/// CPU frequency profile used to convert cycles to wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuProfile {
+    /// Core frequency in GHz.
+    pub ghz: f64,
+}
+
+impl CpuProfile {
+    /// A contemporary server core (3.0 GHz), the class of machine the
+    /// SDRaD evaluation used (Intel Xeon with PKU support).
+    #[must_use]
+    pub fn server() -> Self {
+        CpuProfile { ghz: 3.0 }
+    }
+
+    /// Converts a cycle count to nanoseconds under this profile.
+    #[must_use]
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.ghz * CYCLES_PER_GHZ_NS)
+    }
+}
+
+impl Default for CpuProfile {
+    fn default() -> Self {
+        Self::server()
+    }
+}
+
+/// Per-operation cycle costs.
+///
+/// Sources:
+/// * `WRPKRU` ≈ 28 cycles — Park et al., "libmpk: Software Abstraction for
+///   Intel MPK" (USENIX ATC'19) measure 23–28 cycles round-trip.
+/// * `RDPKRU` ≈ 0.5 ns — same source.
+/// * `pkey_mprotect` ≈ 1 µs — syscall + TLB shootdown-free page-table walk
+///   (libmpk Fig. 3 reports ~1 µs for small ranges).
+/// * Process context switch ≈ 3–5 µs direct cost — classic lmbench numbers
+///   on modern Linux; we use 4 µs and note cache pollution makes the real
+///   cost larger, which is conservative *against* SDRaD's claim.
+/// * Process spawn (fork + exec of a small helper) ≈ 500 µs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cycles charged per `WRPKRU` (domain rights switch).
+    pub wrpkru_cycles: u64,
+    /// Cycles charged per `RDPKRU`.
+    pub rdpkru_cycles: u64,
+    /// Cycles charged per `pkey_mprotect` call (region retag).
+    pub pkey_mprotect_cycles: u64,
+    /// Cycles charged per OS process context switch (baseline).
+    pub process_switch_cycles: u64,
+    /// Cycles charged per process spawn (Sandcrust-style baseline).
+    pub process_spawn_cycles: u64,
+    /// CPU profile for time conversion.
+    pub cpu: CpuProfile,
+}
+
+impl CostModel {
+    /// The calibrated default model (see struct-level sources).
+    #[must_use]
+    pub fn calibrated() -> Self {
+        let cpu = CpuProfile::server();
+        let us = |micros: f64| (micros * 1000.0 * cpu.ghz) as u64;
+        CostModel {
+            wrpkru_cycles: 28,
+            rdpkru_cycles: 2,
+            pkey_mprotect_cycles: us(1.0),
+            process_switch_cycles: us(4.0),
+            process_spawn_cycles: us(500.0),
+            cpu,
+        }
+    }
+
+    /// Nanoseconds for one `WRPKRU`.
+    #[must_use]
+    pub fn wrpkru_ns(&self) -> f64 {
+        self.cpu.cycles_to_ns(self.wrpkru_cycles)
+    }
+
+    /// Nanoseconds for one process context switch.
+    #[must_use]
+    pub fn process_switch_ns(&self) -> f64 {
+        self.cpu.cycles_to_ns(self.process_switch_cycles)
+    }
+
+    /// Nanoseconds for one process spawn.
+    #[must_use]
+    pub fn process_spawn_ns(&self) -> f64 {
+        self.cpu.cycles_to_ns(self.process_spawn_cycles)
+    }
+
+    /// Starts an empty account against this model.
+    #[must_use]
+    pub fn account(&self) -> CostReport {
+        CostReport {
+            model: *self,
+            ..CostReport::new(*self)
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+/// Accumulated isolation-primitive costs for a run.
+///
+/// SDRaD's domain engine charges this account on every simulated `WRPKRU`
+/// and `pkey_mprotect`; baselines charge context switches and spawns. The
+/// bench harnesses read totals out to report modeled overhead next to
+/// measured wall-clock numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    model: CostModel,
+    /// Number of `WRPKRU` executions charged.
+    pub wrpkru_count: u64,
+    /// Number of `RDPKRU` executions charged.
+    pub rdpkru_count: u64,
+    /// Number of `pkey_mprotect` calls charged.
+    pub pkey_mprotect_count: u64,
+    /// Number of process context switches charged.
+    pub process_switch_count: u64,
+    /// Number of process spawns charged.
+    pub process_spawn_count: u64,
+}
+
+impl CostReport {
+    /// Creates an empty account for `model`.
+    #[must_use]
+    pub fn new(model: CostModel) -> Self {
+        CostReport {
+            model,
+            wrpkru_count: 0,
+            rdpkru_count: 0,
+            pkey_mprotect_count: 0,
+            process_switch_count: 0,
+            process_spawn_count: 0,
+        }
+    }
+
+    /// Charges one `WRPKRU`.
+    pub fn charge_wrpkru(&mut self) {
+        self.wrpkru_count += 1;
+    }
+
+    /// Charges one `RDPKRU`.
+    pub fn charge_rdpkru(&mut self) {
+        self.rdpkru_count += 1;
+    }
+
+    /// Charges one `pkey_mprotect`.
+    pub fn charge_pkey_mprotect(&mut self) {
+        self.pkey_mprotect_count += 1;
+    }
+
+    /// Charges one process context switch.
+    pub fn charge_process_switch(&mut self) {
+        self.process_switch_count += 1;
+    }
+
+    /// Charges one process spawn.
+    pub fn charge_process_spawn(&mut self) {
+        self.process_spawn_count += 1;
+    }
+
+    /// Total modeled cycles across all charged operations.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.wrpkru_count * self.model.wrpkru_cycles
+            + self.rdpkru_count * self.model.rdpkru_cycles
+            + self.pkey_mprotect_count * self.model.pkey_mprotect_cycles
+            + self.process_switch_count * self.model.process_switch_cycles
+            + self.process_spawn_count * self.model.process_spawn_cycles
+    }
+
+    /// Total modeled time in nanoseconds.
+    #[must_use]
+    pub fn total_ns(&self) -> f64 {
+        self.model.cpu.cycles_to_ns(self.total_cycles())
+    }
+
+    /// The model this account charges against.
+    #[must_use]
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// Merges another account (same model assumed) into this one.
+    pub fn merge(&mut self, other: &CostReport) {
+        self.wrpkru_count += other.wrpkru_count;
+        self.rdpkru_count += other.rdpkru_count;
+        self.pkey_mprotect_count += other.pkey_mprotect_count;
+        self.process_switch_count += other.process_switch_count;
+        self.process_spawn_count += other.process_spawn_count;
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = CostReport::new(self.model);
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wrpkru={} rdpkru={} pkey_mprotect={} proc_switch={} proc_spawn={} total={:.1}ns",
+            self.wrpkru_count,
+            self.rdpkru_count,
+            self.pkey_mprotect_count,
+            self.process_switch_count,
+            self.process_spawn_count,
+            self.total_ns()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrpkru_is_orders_of_magnitude_cheaper_than_process_switch() {
+        let model = CostModel::calibrated();
+        // The §IV lightweight-isolation claim: at least 100x cheaper.
+        assert!(model.process_switch_ns() / model.wrpkru_ns() > 100.0);
+    }
+
+    #[test]
+    fn process_spawn_dwarfs_context_switch() {
+        let model = CostModel::calibrated();
+        assert!(model.process_spawn_ns() > model.process_switch_ns() * 50.0);
+    }
+
+    #[test]
+    fn cycles_convert_to_time() {
+        let cpu = CpuProfile { ghz: 2.0 };
+        assert!((cpu.cycles_to_ns(2000) - 1000.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn account_accumulates_charges() {
+        let model = CostModel::calibrated();
+        let mut account = model.account();
+        account.charge_wrpkru();
+        account.charge_wrpkru();
+        account.charge_process_switch();
+        assert_eq!(account.wrpkru_count, 2);
+        assert_eq!(
+            account.total_cycles(),
+            2 * model.wrpkru_cycles + model.process_switch_cycles
+        );
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let model = CostModel::calibrated();
+        let mut a = model.account();
+        a.charge_wrpkru();
+        let mut b = model.account();
+        b.charge_wrpkru();
+        b.charge_process_spawn();
+        a.merge(&b);
+        assert_eq!(a.wrpkru_count, 2);
+        assert_eq!(a.process_spawn_count, 1);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut account = CostModel::calibrated().account();
+        account.charge_pkey_mprotect();
+        account.reset();
+        assert_eq!(account.total_cycles(), 0);
+    }
+
+    #[test]
+    fn display_includes_totals() {
+        let mut account = CostModel::calibrated().account();
+        account.charge_wrpkru();
+        let text = account.to_string();
+        assert!(text.contains("wrpkru=1"), "{text}");
+    }
+}

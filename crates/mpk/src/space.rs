@@ -1,0 +1,670 @@
+//! The software memory space: key-tagged regions with checked access.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{current_pkru, Access, Fault, PkeyAllocator, ProtectionKey};
+
+/// Page size used for region alignment, matching x86-64.
+pub(crate) const PAGE_SIZE: u64 = 4096;
+
+/// Byte written over the contents of unmapped regions, so stale data can
+/// never be silently read back even if a check were bypassed.
+const POISON_BYTE: u8 = 0xDD;
+
+/// A virtual address inside a [`MemorySpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates an address from its raw value.
+    #[must_use]
+    pub fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// The raw address value.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The address `offset` bytes past this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on address-space overflow, which indicates a bug in the
+    /// caller rather than a recoverable fault.
+    #[must_use]
+    pub fn offset(self, offset: usize) -> Self {
+        VirtAddr(
+            self.0
+                .checked_add(offset as u64)
+                .expect("virtual address overflow"),
+        )
+    }
+
+    /// Byte distance from `base` to this address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is above `self`.
+    #[must_use]
+    pub fn offset_from(self, base: VirtAddr) -> usize {
+        usize::try_from(self.0.checked_sub(base.0).expect("address below base"))
+            .expect("offset fits usize")
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Identifier of a mapped region, unique for the lifetime of the space
+/// (never reused, which is what makes use-after-free detection reliable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(u64);
+
+impl RegionId {
+    /// The raw identifier value.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region#{}", self.0)
+    }
+}
+
+/// A lightweight, copyable handle describing a mapped region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    id: RegionId,
+    base: VirtAddr,
+    len: usize,
+    key: ProtectionKey,
+}
+
+impl Region {
+    /// The region's unique id.
+    #[must_use]
+    pub fn id(self) -> RegionId {
+        self.id
+    }
+
+    /// First address of the region.
+    #[must_use]
+    pub fn base(self) -> VirtAddr {
+        self.base
+    }
+
+    /// Region length in bytes.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.len
+    }
+
+    /// Whether the region is zero-sized (never true for mapped regions).
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Protection key the region is tagged with.
+    #[must_use]
+    pub fn key(self) -> ProtectionKey {
+        self.key
+    }
+
+    /// Whether `addr` falls inside the region.
+    #[must_use]
+    pub fn contains(self, addr: VirtAddr) -> bool {
+        addr >= self.base && addr.raw() < self.base.raw() + self.len as u64
+    }
+}
+
+/// Backing storage and metadata of a region.
+#[derive(Debug)]
+struct RegionData {
+    id: RegionId,
+    base: VirtAddr,
+    key: ProtectionKey,
+    live: bool,
+    data: Vec<u8>,
+}
+
+impl RegionData {
+    fn handle(&self) -> Region {
+        Region {
+            id: self.id,
+            base: self.base,
+            len: self.data.len(),
+            key: self.key,
+        }
+    }
+}
+
+/// Access statistics of a [`MemorySpace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaceStats {
+    /// Number of checked read accesses performed.
+    pub reads: u64,
+    /// Number of checked write accesses performed.
+    pub writes: u64,
+    /// Total bytes read through checked accesses.
+    pub bytes_read: u64,
+    /// Total bytes written through checked accesses.
+    pub bytes_written: u64,
+    /// Number of faults raised by access checks.
+    pub faults: u64,
+    /// Number of regions currently mapped (live).
+    pub live_regions: u64,
+    /// Bytes currently mapped in live regions.
+    pub live_bytes: u64,
+}
+
+/// A software memory space of protection-key-tagged regions.
+///
+/// This is the reproduction's stand-in for the MMU + PKU hardware: regions
+/// play the role of page ranges, [`MemorySpace::map`] the role of
+/// `mmap` + `pkey_mprotect`, and every [`read`](MemorySpace::read) /
+/// [`write`](MemorySpace::write) performs the check the CPU would perform
+/// against the current thread's PKRU ([`current_pkru`]).
+///
+/// Addresses are allocated monotonically and never reused, so stale
+/// pointers into unmapped regions deterministically fault with
+/// [`Fault::UseAfterFree`] instead of aliasing new data.
+#[derive(Debug)]
+pub struct MemorySpace {
+    regions: BTreeMap<u64, RegionData>,
+    keys: PkeyAllocator,
+    next_base: u64,
+    next_id: u64,
+    stats: SpaceStats,
+}
+
+impl MemorySpace {
+    /// Creates an empty space with all 15 allocatable keys free.
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySpace {
+            regions: BTreeMap::new(),
+            keys: PkeyAllocator::new(),
+            // Start well above zero so that "small integer" addresses are
+            // always unmapped, like the real zero page.
+            next_base: 0x1_0000,
+            next_id: 1,
+            stats: SpaceStats::default(),
+        }
+    }
+
+    /// Allocates a fresh protection key (`pkey_alloc(2)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::KeysExhausted`] when all 15 keys are taken.
+    pub fn pkey_alloc(&mut self) -> Result<ProtectionKey, Fault> {
+        self.keys.pkey_alloc()
+    }
+
+    /// Frees a protection key (`pkey_free(2)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::InvalidKey`] for the default key or a key that is
+    /// not allocated.
+    pub fn pkey_free(&mut self, key: ProtectionKey) -> Result<(), Fault> {
+        self.keys.pkey_free(key)
+    }
+
+    /// Number of protection keys still available.
+    #[must_use]
+    pub fn keys_available(&self) -> usize {
+        self.keys.available()
+    }
+
+    /// Maps a zero-initialised region of `len` bytes tagged with `key`
+    /// (`mmap` + `pkey_mprotect`). The base is page-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::InvalidKey`] if `key` is neither the default key
+    /// nor currently allocated.
+    pub fn map(&mut self, len: usize, key: ProtectionKey) -> Result<Region, Fault> {
+        if !self.keys.is_allocated(key) {
+            return Err(self.fault(Fault::InvalidKey { index: key.index() }));
+        }
+        let base = VirtAddr::new(self.next_base);
+        let pages = (len as u64).div_ceil(PAGE_SIZE).max(1);
+        self.next_base += pages * PAGE_SIZE + PAGE_SIZE; // guard page gap
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
+        let data = RegionData {
+            id,
+            base,
+            key,
+            live: true,
+            data: vec![0u8; len],
+        };
+        let handle = data.handle();
+        self.regions.insert(base.raw(), data);
+        self.stats.live_regions += 1;
+        self.stats.live_bytes += len as u64;
+        Ok(handle)
+    }
+
+    /// Unmaps a region, poisoning its contents. Later accesses fault with
+    /// [`Fault::UseAfterFree`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::UseAfterFree`] if the region was already unmapped.
+    pub fn unmap(&mut self, region: RegionId) -> Result<(), Fault> {
+        let data = self
+            .regions
+            .values_mut()
+            .find(|r| r.id == region)
+            .filter(|r| r.live);
+        match data {
+            Some(r) => {
+                r.live = false;
+                self.stats.live_regions -= 1;
+                self.stats.live_bytes -= r.data.len() as u64;
+                let base = r.base;
+                r.data.fill(POISON_BYTE);
+                let _ = base;
+                Ok(())
+            }
+            None => Err(self.fault(Fault::UseAfterFree {
+                addr: VirtAddr::new(0),
+            })),
+        }
+    }
+
+    /// Retags a live region with a different key (`pkey_mprotect(2)`).
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::InvalidKey`] if the key is not allocated;
+    /// [`Fault::UseAfterFree`] if the region is gone.
+    pub fn pkey_mprotect(&mut self, region: RegionId, key: ProtectionKey) -> Result<(), Fault> {
+        if !self.keys.is_allocated(key) {
+            return Err(self.fault(Fault::InvalidKey { index: key.index() }));
+        }
+        match self
+            .regions
+            .values_mut()
+            .find(|r| r.id == region && r.live)
+        {
+            Some(r) => {
+                r.key = key;
+                Ok(())
+            }
+            None => Err(self.fault(Fault::UseAfterFree {
+                addr: VirtAddr::new(0),
+            })),
+        }
+    }
+
+    /// Looks up the live region containing `addr`.
+    fn resolve(&self, addr: VirtAddr) -> Result<&RegionData, Fault> {
+        let candidate = self
+            .regions
+            .range(..=addr.raw())
+            .next_back()
+            .map(|(_, r)| r);
+        match candidate {
+            Some(r) if addr.raw() < r.base.raw() + r.data.len() as u64 => {
+                if r.live {
+                    Ok(r)
+                } else {
+                    Err(Fault::UseAfterFree { addr })
+                }
+            }
+            _ => Err(Fault::Unmapped { addr }),
+        }
+    }
+
+    /// Checks that an access of `len` bytes at `addr` is permitted under
+    /// the current PKRU, without performing it.
+    ///
+    /// # Errors
+    ///
+    /// The same faults [`read`](Self::read)/[`write`](Self::write) raise.
+    pub fn check(&mut self, addr: VirtAddr, len: usize, access: Access) -> Result<Region, Fault> {
+        let pkru = current_pkru();
+        let (handle, fault) = {
+            let region = match self.resolve(addr) {
+                Ok(r) => r,
+                Err(f) => {
+                    return Err(self.fault(f));
+                }
+            };
+            let handle = region.handle();
+            let end = addr.raw() + len as u64;
+            if end > region.base.raw() + region.data.len() as u64 {
+                (
+                    handle,
+                    Some(Fault::OutOfBounds {
+                        addr: VirtAddr::new(region.base.raw() + region.data.len() as u64),
+                        region_base: region.base,
+                        region_len: region.data.len(),
+                    }),
+                )
+            } else if !pkru.permits(region.key, access) {
+                (
+                    handle,
+                    Some(Fault::PkuViolation {
+                        addr,
+                        key: region.key,
+                        access,
+                        pkru,
+                    }),
+                )
+            } else {
+                (handle, None)
+            }
+        };
+        match fault {
+            Some(f) => Err(self.fault(f)),
+            None => Ok(handle),
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` under the current PKRU.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Unmapped`], [`Fault::UseAfterFree`],
+    /// [`Fault::OutOfBounds`], or [`Fault::PkuViolation`].
+    pub fn read(&mut self, addr: VirtAddr, buf: &mut [u8]) -> Result<(), Fault> {
+        self.check(addr, buf.len(), Access::Read)?;
+        let region = self.resolve(addr).expect("checked above");
+        let start = addr.offset_from(region.base);
+        buf.copy_from_slice(&region.data[start..start + buf.len()]);
+        self.stats.reads += 1;
+        self.stats.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr` under the current PKRU.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Unmapped`], [`Fault::UseAfterFree`],
+    /// [`Fault::OutOfBounds`], or [`Fault::PkuViolation`].
+    pub fn write(&mut self, addr: VirtAddr, buf: &[u8]) -> Result<(), Fault> {
+        self.check(addr, buf.len(), Access::Write)?;
+        let base = {
+            let region = self.resolve(addr).expect("checked above");
+            region.base
+        };
+        let start = addr.offset_from(base);
+        let region = self
+            .regions
+            .get_mut(&base.raw())
+            .expect("resolved region exists");
+        region.data[start..start + buf.len()].copy_from_slice(buf);
+        self.stats.writes += 1;
+        self.stats.bytes_written += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `addr` with `byte` under the current PKRU.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`write`](Self::write).
+    pub fn fill(&mut self, addr: VirtAddr, len: usize, byte: u8) -> Result<(), Fault> {
+        self.check(addr, len, Access::Write)?;
+        let base = self.resolve(addr).expect("checked above").base;
+        let start = addr.offset_from(base);
+        let region = self
+            .regions
+            .get_mut(&base.raw())
+            .expect("resolved region exists");
+        region.data[start..start + len].fill(byte);
+        self.stats.writes += 1;
+        self.stats.bytes_written += len as u64;
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`read`](Self::read).
+    pub fn read_u64(&mut self, addr: VirtAddr) -> Result<u64, Fault> {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`write`](Self::write).
+    pub fn write_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), Fault> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// The handle of the live region containing `addr`, if any.
+    #[must_use]
+    pub fn region_at(&self, addr: VirtAddr) -> Option<Region> {
+        self.resolve(addr).ok().map(RegionData::handle)
+    }
+
+    /// Handles of all live regions, in address order.
+    pub fn live_regions(&self) -> impl Iterator<Item = Region> + '_ {
+        self.regions
+            .values()
+            .filter(|r| r.live)
+            .map(RegionData::handle)
+    }
+
+    /// Current access statistics.
+    #[must_use]
+    pub fn stats(&self) -> SpaceStats {
+        self.stats
+    }
+
+    /// Records a fault in the statistics and passes it through, so call
+    /// sites can `return Err(self.fault(f))`.
+    fn fault(&mut self, fault: Fault) -> Fault {
+        self.stats.faults += 1;
+        fault
+    }
+}
+
+impl Default for MemorySpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessRights, Pkru, PkruGuard};
+
+    fn rw_space_with_region(len: usize) -> (MemorySpace, Region, PkruGuard) {
+        let mut space = MemorySpace::new();
+        let key = space.pkey_alloc().unwrap();
+        let region = space.map(len, key).unwrap();
+        let guard = PkruGuard::enter(Pkru::root_only().with_rights(key, AccessRights::ReadWrite));
+        (space, region, guard)
+    }
+
+    #[test]
+    fn map_read_write_round_trip() {
+        let (mut space, region, _g) = rw_space_with_region(128);
+        space.write(region.base(), b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        space.read(region.base(), &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn regions_are_zero_initialised() {
+        let (mut space, region, _g) = rw_space_with_region(64);
+        let mut buf = [0xAAu8; 64];
+        space.read(region.base(), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn denied_key_faults_with_pku_violation() {
+        let mut space = MemorySpace::new();
+        let key = space.pkey_alloc().unwrap();
+        let region = space.map(64, key).unwrap();
+        let _g = PkruGuard::enter(Pkru::root_only()); // no rights for `key`
+        let err = space.write(region.base(), &[1]).unwrap_err();
+        assert!(
+            matches!(err, Fault::PkuViolation { key: k, access: Access::Write, .. } if k == key)
+        );
+    }
+
+    #[test]
+    fn read_only_key_faults_on_write_but_not_read() {
+        let mut space = MemorySpace::new();
+        let key = space.pkey_alloc().unwrap();
+        let region = space.map(64, key).unwrap();
+        let _g = PkruGuard::enter(Pkru::root_only().with_rights(key, AccessRights::ReadOnly));
+        let mut buf = [0u8; 4];
+        assert!(space.read(region.base(), &mut buf).is_ok());
+        assert!(matches!(
+            space.write(region.base(), &[1]),
+            Err(Fault::PkuViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn unmapped_address_faults() {
+        let mut space = MemorySpace::new();
+        let err = space.read(VirtAddr::new(0x10), &mut [0u8; 1]).unwrap_err();
+        assert!(matches!(err, Fault::Unmapped { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_access_faults() {
+        let (mut space, region, _g) = rw_space_with_region(16);
+        let err = space.write(region.base().offset(10), &[0u8; 10]).unwrap_err();
+        assert!(matches!(err, Fault::OutOfBounds { region_len: 16, .. }));
+    }
+
+    #[test]
+    fn use_after_unmap_faults() {
+        let (mut space, region, _g) = rw_space_with_region(16);
+        space.unmap(region.id()).unwrap();
+        let err = space.read(region.base(), &mut [0u8; 1]).unwrap_err();
+        assert!(matches!(err, Fault::UseAfterFree { .. }));
+    }
+
+    #[test]
+    fn double_unmap_faults() {
+        let (mut space, region, _g) = rw_space_with_region(16);
+        space.unmap(region.id()).unwrap();
+        assert!(space.unmap(region.id()).is_err());
+    }
+
+    #[test]
+    fn pkey_mprotect_retags_region() {
+        let mut space = MemorySpace::new();
+        let key_a = space.pkey_alloc().unwrap();
+        let key_b = space.pkey_alloc().unwrap();
+        let region = space.map(32, key_a).unwrap();
+        space.pkey_mprotect(region.id(), key_b).unwrap();
+
+        // Rights for the old key no longer grant access.
+        let _g = PkruGuard::enter(Pkru::root_only().with_rights(key_a, AccessRights::ReadWrite));
+        assert!(matches!(
+            space.read(region.base(), &mut [0u8; 1]),
+            Err(Fault::PkuViolation { key, .. }) if key == key_b
+        ));
+    }
+
+    #[test]
+    fn map_with_unallocated_key_is_invalid() {
+        let mut space = MemorySpace::new();
+        let key = ProtectionKey::new(9).unwrap();
+        assert!(matches!(space.map(16, key), Err(Fault::InvalidKey { index: 9 })));
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut space = MemorySpace::new();
+        let key = space.pkey_alloc().unwrap();
+        let regions: Vec<Region> = (0..32)
+            .map(|i| space.map(100 * (i + 1), key).unwrap())
+            .collect();
+        for pair in regions.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(a.base().raw() + a.len() as u64 <= b.base().raw());
+        }
+    }
+
+    #[test]
+    fn default_key_region_is_accessible_from_fresh_thread_state() {
+        let mut space = MemorySpace::new();
+        let region = space.map(16, ProtectionKey::DEFAULT).unwrap();
+        let _g = PkruGuard::enter(Pkru::root_only());
+        assert!(space.write(region.base(), &[42]).is_ok());
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let (mut space, region, _g) = rw_space_with_region(32);
+        space.write_u64(region.base().offset(8), 0xDEAD_BEEF_CAFE).unwrap();
+        assert_eq!(space.read_u64(region.base().offset(8)).unwrap(), 0xDEAD_BEEF_CAFE);
+    }
+
+    #[test]
+    fn fill_writes_bytes() {
+        let (mut space, region, _g) = rw_space_with_region(32);
+        space.fill(region.base(), 32, 0xAB).unwrap();
+        let mut buf = [0u8; 32];
+        space.read(region.base(), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn stats_track_accesses_and_faults() {
+        let (mut space, region, _g) = rw_space_with_region(32);
+        space.write(region.base(), &[0u8; 8]).unwrap();
+        space.read(region.base(), &mut [0u8; 4]).unwrap();
+        let _ = space.read(VirtAddr::new(1), &mut [0u8; 1]);
+        let stats = space.stats();
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.bytes_written, 8);
+        assert_eq!(stats.bytes_read, 4);
+        assert_eq!(stats.faults, 1);
+        assert_eq!(stats.live_regions, 1);
+    }
+
+    #[test]
+    fn live_regions_iterates_in_address_order() {
+        let mut space = MemorySpace::new();
+        let key = space.pkey_alloc().unwrap();
+        let a = space.map(16, key).unwrap();
+        let b = space.map(16, key).unwrap();
+        space.unmap(a.id()).unwrap();
+        let live: Vec<_> = space.live_regions().map(|r| r.id()).collect();
+        assert_eq!(live, vec![b.id()]);
+    }
+
+    #[test]
+    fn region_contains() {
+        let (space, region, _g) = rw_space_with_region(16);
+        let _ = space;
+        assert!(region.contains(region.base()));
+        assert!(region.contains(region.base().offset(15)));
+        assert!(!region.contains(region.base().offset(16)));
+    }
+}

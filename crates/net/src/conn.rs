@@ -1,0 +1,252 @@
+//! Bidirectional in-memory connections.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// One direction of a connection: a byte queue plus an open flag.
+#[derive(Debug, Default)]
+struct Pipe {
+    buffer: VecDeque<u8>,
+    closed: bool,
+}
+
+/// Transfer statistics of one endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Bytes written by this endpoint.
+    pub bytes_sent: u64,
+    /// Bytes read by this endpoint.
+    pub bytes_received: u64,
+    /// Write calls made.
+    pub writes: u64,
+    /// Read calls that returned at least one byte.
+    pub reads: u64,
+}
+
+/// One end of a bidirectional in-memory connection.
+///
+/// Reads are non-blocking: they return what is available (possibly
+/// nothing). This models a readiness-based server loop without needing an
+/// event reactor.
+#[derive(Debug)]
+pub struct Endpoint {
+    /// Pipe this endpoint writes into.
+    outgoing: Arc<Mutex<Pipe>>,
+    /// Pipe this endpoint reads from.
+    incoming: Arc<Mutex<Pipe>>,
+    stats: NetStats,
+}
+
+/// Creates a connected pair of endpoints.
+#[must_use]
+pub fn duplex() -> (Endpoint, Endpoint) {
+    let a_to_b = Arc::new(Mutex::new(Pipe::default()));
+    let b_to_a = Arc::new(Mutex::new(Pipe::default()));
+    let a = Endpoint {
+        outgoing: Arc::clone(&a_to_b),
+        incoming: Arc::clone(&b_to_a),
+        stats: NetStats::default(),
+    };
+    let b = Endpoint {
+        outgoing: b_to_a,
+        incoming: a_to_b,
+        stats: NetStats::default(),
+    };
+    (a, b)
+}
+
+impl Endpoint {
+    /// Writes all of `data` to the peer. Writes to a peer-closed
+    /// connection are silently dropped (like TCP after FIN + RST without a
+    /// signal handler — the caller discovers closure via `is_open`).
+    pub fn write(&mut self, data: &[u8]) {
+        let mut pipe = self.outgoing.lock();
+        if pipe.closed {
+            return;
+        }
+        pipe.buffer.extend(data);
+        self.stats.bytes_sent += data.len() as u64;
+        self.stats.writes += 1;
+    }
+
+    /// Reads up to `buf.len()` bytes; returns how many were read (0 when
+    /// nothing is pending).
+    pub fn read(&mut self, buf: &mut [u8]) -> usize {
+        let mut pipe = self.incoming.lock();
+        let n = buf.len().min(pipe.buffer.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = pipe.buffer.pop_front().expect("length checked");
+        }
+        if n > 0 {
+            self.stats.bytes_received += n as u64;
+            self.stats.reads += 1;
+        }
+        n
+    }
+
+    /// Reads and returns everything currently pending.
+    pub fn read_available(&mut self) -> Vec<u8> {
+        let mut pipe = self.incoming.lock();
+        let drained: Vec<u8> = pipe.buffer.drain(..).collect();
+        if !drained.is_empty() {
+            self.stats.bytes_received += drained.len() as u64;
+            self.stats.reads += 1;
+        }
+        drained
+    }
+
+    /// Reads one `\r\n`- or `\n`-terminated line if a complete one is
+    /// pending, including its terminator. Returns `None` otherwise.
+    /// (Text-protocol helper for the memcached-style server.)
+    pub fn read_line(&mut self) -> Option<Vec<u8>> {
+        let mut pipe = self.incoming.lock();
+        let newline_pos = pipe.buffer.iter().position(|&b| b == b'\n')?;
+        let line: Vec<u8> = pipe.buffer.drain(..=newline_pos).collect();
+        self.stats.bytes_received += line.len() as u64;
+        self.stats.reads += 1;
+        Some(line)
+    }
+
+    /// Reads exactly `n` bytes if at least that many are pending.
+    pub fn read_exact(&mut self, n: usize) -> Option<Vec<u8>> {
+        let mut pipe = self.incoming.lock();
+        if pipe.buffer.len() < n {
+            return None;
+        }
+        let bytes: Vec<u8> = pipe.buffer.drain(..n).collect();
+        self.stats.bytes_received += n as u64;
+        self.stats.reads += 1;
+        Some(bytes)
+    }
+
+    /// Bytes currently waiting to be read.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.incoming.lock().buffer.len()
+    }
+
+    /// Closes this endpoint's *sending* side; the peer sees `!is_open`
+    /// once its incoming pipe is marked.
+    pub fn close(&mut self) {
+        self.outgoing.lock().closed = true;
+    }
+
+    /// Whether the peer can still send to us (false after peer `close`).
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        !self.incoming.lock().closed
+    }
+
+    /// Transfer statistics of this endpoint.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let (mut a, mut b) = duplex();
+        a.write(b"hello");
+        let mut buf = [0u8; 5];
+        assert_eq!(b.read(&mut buf), 5);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn reads_are_non_blocking() {
+        let (_a, mut b) = duplex();
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf), 0);
+        assert!(b.read_available().is_empty());
+    }
+
+    #[test]
+    fn partial_reads_preserve_order() {
+        let (mut a, mut b) = duplex();
+        a.write(b"abcdef");
+        let mut buf = [0u8; 2];
+        assert_eq!(b.read(&mut buf), 2);
+        assert_eq!(&buf, b"ab");
+        assert_eq!(b.read_available(), b"cdef");
+    }
+
+    #[test]
+    fn both_directions_are_independent() {
+        let (mut a, mut b) = duplex();
+        a.write(b"to-b");
+        b.write(b"to-a");
+        assert_eq!(a.read_available(), b"to-a");
+        assert_eq!(b.read_available(), b"to-b");
+    }
+
+    #[test]
+    fn read_line_waits_for_terminator() {
+        let (mut a, mut b) = duplex();
+        a.write(b"GET ke");
+        assert_eq!(b.read_line(), None);
+        a.write(b"y\r\nrest");
+        assert_eq!(b.read_line().unwrap(), b"GET key\r\n");
+        assert_eq!(b.pending(), 4);
+    }
+
+    #[test]
+    fn read_exact_is_all_or_nothing() {
+        let (mut a, mut b) = duplex();
+        a.write(b"123");
+        assert_eq!(b.read_exact(4), None);
+        a.write(b"4");
+        assert_eq!(b.read_exact(4).unwrap(), b"1234");
+    }
+
+    #[test]
+    fn close_is_visible_to_peer() {
+        let (mut a, b) = duplex();
+        assert!(b.is_open());
+        a.close();
+        assert!(!b.is_open());
+        assert!(a.is_open(), "close is one-directional");
+    }
+
+    #[test]
+    fn writes_after_peer_close_are_dropped() {
+        let (mut a, mut b) = duplex();
+        b.close(); // b will not receive anymore
+        // b closed its *sending* side; a can still send to b? No: close()
+        // closes the outgoing pipe, so b's outgoing (towards a) is closed.
+        a.write(b"x");
+        assert_eq!(b.read_available(), b"x", "a->b still open");
+        a.close();
+        b.write(b"y");
+        assert!(a.read_available().is_empty(), "write after close dropped");
+    }
+
+    #[test]
+    fn stats_account_bytes() {
+        let (mut a, mut b) = duplex();
+        a.write(b"12345");
+        b.read_available();
+        assert_eq!(a.stats().bytes_sent, 5);
+        assert_eq!(b.stats().bytes_received, 5);
+        assert_eq!(a.stats().writes, 1);
+        assert_eq!(b.stats().reads, 1);
+    }
+
+    #[test]
+    fn endpoints_work_across_threads() {
+        let (mut a, mut b) = duplex();
+        let handle = std::thread::spawn(move || {
+            a.write(b"cross-thread");
+            a.close();
+        });
+        handle.join().unwrap();
+        assert_eq!(b.read_available(), b"cross-thread");
+        assert!(!b.is_open());
+    }
+}

@@ -1,0 +1,82 @@
+//! Connection acceptance.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::conn::{duplex, Endpoint};
+
+/// An in-memory listener: clients [`connect`](Listener::connect), servers
+/// [`accept`](Listener::accept). The analogue of a bound TCP socket.
+#[derive(Debug, Clone, Default)]
+pub struct Listener {
+    backlog: Arc<Mutex<VecDeque<Endpoint>>>,
+}
+
+impl Listener {
+    /// Creates a listener with an empty backlog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Establishes a new connection, returning the client end; the server
+    /// end is queued for [`accept`](Self::accept).
+    #[must_use]
+    pub fn connect(&self) -> Endpoint {
+        let (client, server) = duplex();
+        self.backlog.lock().push_back(server);
+        client
+    }
+
+    /// Accepts the oldest pending connection, if any.
+    #[must_use]
+    pub fn accept(&self) -> Option<Endpoint> {
+        self.backlog.lock().pop_front()
+    }
+
+    /// Number of pending, not-yet-accepted connections.
+    #[must_use]
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_then_accept_pairs_endpoints() {
+        let listener = Listener::new();
+        let mut client = listener.connect();
+        assert_eq!(listener.backlog_len(), 1);
+        let mut server = listener.accept().unwrap();
+        assert_eq!(listener.backlog_len(), 0);
+
+        client.write(b"hi");
+        assert_eq!(server.read_available(), b"hi");
+    }
+
+    #[test]
+    fn accept_order_is_fifo() {
+        let listener = Listener::new();
+        let mut first = listener.connect();
+        let mut second = listener.connect();
+        first.write(b"1");
+        second.write(b"2");
+        assert_eq!(listener.accept().unwrap().read_available(), b"1");
+        assert_eq!(listener.accept().unwrap().read_available(), b"2");
+        assert!(listener.accept().is_none());
+    }
+
+    #[test]
+    fn listener_clone_shares_backlog() {
+        let listener = Listener::new();
+        let clone = listener.clone();
+        let _client = listener.connect();
+        assert_eq!(clone.backlog_len(), 1);
+        assert!(clone.accept().is_some());
+    }
+}

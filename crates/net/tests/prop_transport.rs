@@ -1,0 +1,145 @@
+//! Property tests for the in-memory transport: byte-stream fidelity under
+//! arbitrary read/write interleavings.
+
+use proptest::prelude::*;
+use sdrad_net::{duplex, Listener};
+
+/// One step of a transport workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Write(Vec<u8>),
+    /// Read with a buffer of this size.
+    Read(usize),
+    ReadAll,
+    ReadLine,
+    ReadExact(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..80).prop_map(Op::Write),
+        (1usize..64).prop_map(Op::Read),
+        Just(Op::ReadAll),
+        Just(Op::ReadLine),
+        (1usize..64).prop_map(Op::ReadExact),
+    ]
+}
+
+proptest! {
+    /// Everything A writes arrives at B exactly once, in order, no matter
+    /// how reads are sliced.
+    #[test]
+    fn stream_is_lossless_and_ordered(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let (mut a, mut b) = duplex();
+        let mut sent: Vec<u8> = Vec::new();
+        let mut received: Vec<u8> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Write(data) => {
+                    a.write(&data);
+                    sent.extend_from_slice(&data);
+                }
+                Op::Read(n) => {
+                    let mut buf = vec![0u8; n];
+                    let got = b.read(&mut buf);
+                    received.extend_from_slice(&buf[..got]);
+                }
+                Op::ReadAll => received.extend(b.read_available()),
+                Op::ReadLine => {
+                    if let Some(line) = b.read_line() {
+                        received.extend(line);
+                    }
+                }
+                Op::ReadExact(n) => {
+                    if let Some(bytes) = b.read_exact(n) {
+                        received.extend(bytes);
+                    }
+                }
+            }
+            // Received so far is always a prefix of what was sent.
+            prop_assert!(sent.starts_with(&received));
+        }
+        received.extend(b.read_available());
+        prop_assert_eq!(received, sent);
+    }
+
+    /// read_line yields exactly the newline-terminated prefixes, intact.
+    #[test]
+    fn read_line_reassembles_lines(
+        lines in proptest::collection::vec("[a-z]{0,20}", 1..10),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let (mut a, mut b) = duplex();
+        let wire: Vec<u8> = lines
+            .iter()
+            .flat_map(|l| {
+                let mut v = l.clone().into_bytes();
+                v.extend_from_slice(b"\r\n");
+                v
+            })
+            .collect();
+        // Deliver in two arbitrary fragments.
+        let cut = split.index(wire.len() + 1);
+        a.write(&wire[..cut]);
+        let mut got = Vec::new();
+        while let Some(line) = b.read_line() {
+            got.push(line);
+        }
+        a.write(&wire[cut..]);
+        while let Some(line) = b.read_line() {
+            got.push(line);
+        }
+        let expected: Vec<Vec<u8>> = lines
+            .iter()
+            .map(|l| {
+                let mut v = l.clone().into_bytes();
+                v.extend_from_slice(b"\r\n");
+                v
+            })
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Stats exactly account for the bytes moved.
+    #[test]
+    fn stats_balance(chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..50), 0..20)) {
+        let (mut a, mut b) = duplex();
+        let total: usize = chunks.iter().map(Vec::len).sum();
+        for chunk in &chunks {
+            a.write(chunk);
+        }
+        let received = b.read_available();
+        prop_assert_eq!(received.len(), total);
+        prop_assert_eq!(a.stats().bytes_sent, total as u64);
+        prop_assert_eq!(b.stats().bytes_received, total as u64);
+    }
+
+    /// Listener backlog preserves connection order and pairing across
+    /// arbitrary connect/accept interleavings.
+    #[test]
+    fn listener_pairs_correctly(order in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let listener = Listener::new();
+        let mut clients = Vec::new();
+        let mut servers = Vec::new();
+        let mut next_id = 0u32;
+        for connect in order {
+            if connect || listener.backlog_len() == 0 {
+                let mut client = listener.connect();
+                client.write(&next_id.to_le_bytes());
+                clients.push(next_id);
+                next_id += 1;
+            } else if let Some(mut server) = listener.accept() {
+                let mut buf = [0u8; 4];
+                prop_assert_eq!(server.read(&mut buf), 4);
+                servers.push(u32::from_le_bytes(buf));
+            }
+        }
+        while let Some(mut server) = listener.accept() {
+            let mut buf = [0u8; 4];
+            prop_assert_eq!(server.read(&mut buf), 4);
+            servers.push(u32::from_le_bytes(buf));
+        }
+        prop_assert_eq!(servers, clients, "FIFO pairing broken");
+    }
+}

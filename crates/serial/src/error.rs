@@ -1,0 +1,111 @@
+//! Serialization errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while encoding or decoding cross-domain payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerialError {
+    /// Free-form error propagated from serde (custom (de)serialize impls).
+    Message(String),
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// Input contained bytes after the value ended.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+    /// A string field did not contain valid UTF-8.
+    InvalidUtf8,
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// A char code point was out of range.
+    InvalidChar(u32),
+    /// An option discriminant was neither 0 nor 1.
+    InvalidOption(u8),
+    /// A tagged-format type tag did not match the expected type.
+    TagMismatch {
+        /// Tag the type expected.
+        expected: u8,
+        /// Tag found in the input.
+        found: u8,
+    },
+    /// A length prefix exceeded the remaining input (likely corrupt).
+    LengthOverflow {
+        /// The declared length.
+        declared: u64,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A varint ran longer than its maximum width.
+    VarintOverflow,
+    /// An integer did not fit the target width.
+    IntOutOfRange,
+    /// The format cannot represent this serde concept.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for SerialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerialError::Message(msg) => write!(f, "{msg}"),
+            SerialError::UnexpectedEof => write!(f, "unexpected end of input"),
+            SerialError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+            SerialError::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            SerialError::InvalidBool(b) => write!(f, "invalid bool byte {b:#04x}"),
+            SerialError::InvalidChar(c) => write!(f, "invalid char code point {c:#x}"),
+            SerialError::InvalidOption(b) => write!(f, "invalid option discriminant {b:#04x}"),
+            SerialError::TagMismatch { expected, found } => {
+                write!(f, "type tag mismatch: expected {expected:#04x}, found {found:#04x}")
+            }
+            SerialError::LengthOverflow {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {declared} exceeds remaining {remaining} bytes"
+            ),
+            SerialError::VarintOverflow => write!(f, "varint exceeds maximum width"),
+            SerialError::IntOutOfRange => write!(f, "integer out of range for target width"),
+            SerialError::Unsupported(what) => write!(f, "unsupported serde concept: {what}"),
+        }
+    }
+}
+
+impl Error for SerialError {}
+
+impl serde::ser::Error for SerialError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerialError::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for SerialError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerialError::Message(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SerialError::UnexpectedEof.to_string().contains("end of input"));
+        assert!(SerialError::TagMismatch {
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("0x01"));
+    }
+
+    #[test]
+    fn serde_custom_maps_to_message() {
+        let err = <SerialError as serde::ser::Error>::custom("boom");
+        assert_eq!(err, SerialError::Message("boom".into()));
+    }
+}

@@ -1,0 +1,662 @@
+//! The `tagged` self-describing format.
+//!
+//! Every value is prefixed with a one-byte type tag, and integers are
+//! fixed-width little-endian. This makes payloads larger and slower than
+//! `wire`/`compact`, but decoding *verifies* the type structure — a
+//! corrupted or mismatched payload fails with [`SerialError::TagMismatch`]
+//! instead of being misinterpreted. It stands in for self-describing
+//! formats (JSON, CBOR) in the paper's serialization-crate comparison, and
+//! is the safest choice when the two sides of an FFI boundary may disagree
+//! about types.
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::ser::{self, Serialize};
+
+use crate::codec::{take, take_byte, FixedCodec, IntCodec};
+use crate::SerialError;
+
+/// Type tags of the tagged format.
+mod tag {
+    pub const BOOL: u8 = 0x01;
+    pub const I8: u8 = 0x02;
+    pub const I16: u8 = 0x03;
+    pub const I32: u8 = 0x04;
+    pub const I64: u8 = 0x05;
+    pub const U8: u8 = 0x06;
+    pub const U16: u8 = 0x07;
+    pub const U32: u8 = 0x08;
+    pub const U64: u8 = 0x09;
+    pub const F32: u8 = 0x0A;
+    pub const F64: u8 = 0x0B;
+    pub const CHAR: u8 = 0x0C;
+    pub const STR: u8 = 0x0D;
+    pub const BYTES: u8 = 0x0E;
+    pub const NONE: u8 = 0x0F;
+    pub const SOME: u8 = 0x10;
+    pub const UNIT: u8 = 0x11;
+    pub const SEQ: u8 = 0x12;
+    pub const MAP: u8 = 0x13;
+    pub const TUPLE: u8 = 0x14;
+    pub const VARIANT: u8 = 0x15;
+}
+
+/// Serializes `value` in the tagged format.
+///
+/// # Errors
+///
+/// [`SerialError`] for unsupported serde concepts or failing custom
+/// `Serialize` impls.
+pub fn to_bytes_tagged<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, SerialError> {
+    let mut out = Vec::new();
+    value.serialize(&mut TaggedSerializer { out: &mut out })?;
+    Ok(out)
+}
+
+/// Deserializes a value from the tagged format, verifying all type tags.
+///
+/// # Errors
+///
+/// [`SerialError`] on tag mismatches, truncation, or trailing bytes.
+pub fn from_bytes_tagged<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, SerialError> {
+    let mut de = TaggedDeserializer { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    if !de.input.is_empty() {
+        return Err(SerialError::TrailingBytes {
+            remaining: de.input.len(),
+        });
+    }
+    Ok(value)
+}
+
+struct TaggedSerializer<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl<'a, 'b> ser::Serializer for &'b mut TaggedSerializer<'a> {
+    type Ok = ();
+    type Error = SerialError;
+    type SerializeSeq = TaggedCompound<'a, 'b>;
+    type SerializeTuple = TaggedCompound<'a, 'b>;
+    type SerializeTupleStruct = TaggedCompound<'a, 'b>;
+    type SerializeTupleVariant = TaggedCompound<'a, 'b>;
+    type SerializeMap = TaggedCompound<'a, 'b>;
+    type SerializeStruct = TaggedCompound<'a, 'b>;
+    type SerializeStructVariant = TaggedCompound<'a, 'b>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), SerialError> {
+        self.out.push(tag::BOOL);
+        self.out.push(u8::from(v));
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), SerialError> {
+        self.out.push(tag::I8);
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), SerialError> {
+        self.out.push(tag::I16);
+        FixedCodec::put_i16(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), SerialError> {
+        self.out.push(tag::I32);
+        FixedCodec::put_i32(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), SerialError> {
+        self.out.push(tag::I64);
+        FixedCodec::put_i64(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), SerialError> {
+        self.out.push(tag::U8);
+        self.out.push(v);
+        Ok(())
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), SerialError> {
+        self.out.push(tag::U16);
+        FixedCodec::put_u16(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), SerialError> {
+        self.out.push(tag::U32);
+        FixedCodec::put_u32(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), SerialError> {
+        self.out.push(tag::U64);
+        FixedCodec::put_u64(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), SerialError> {
+        self.out.push(tag::F32);
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), SerialError> {
+        self.out.push(tag::F64);
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), SerialError> {
+        self.out.push(tag::CHAR);
+        FixedCodec::put_u32(self.out, v as u32);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), SerialError> {
+        self.out.push(tag::STR);
+        FixedCodec::put_len(self.out, v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), SerialError> {
+        self.out.push(tag::BYTES);
+        FixedCodec::put_len(self.out, v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), SerialError> {
+        self.out.push(tag::NONE);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), SerialError> {
+        self.out.push(tag::SOME);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), SerialError> {
+        self.out.push(tag::UNIT);
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), SerialError> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), SerialError> {
+        self.out.push(tag::VARIANT);
+        FixedCodec::put_u32(self.out, variant_index);
+        self.out.push(tag::UNIT);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), SerialError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), SerialError> {
+        self.out.push(tag::VARIANT);
+        FixedCodec::put_u32(self.out, variant_index);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, SerialError> {
+        let len = len.ok_or(SerialError::Unsupported("sequence of unknown length"))?;
+        self.out.push(tag::SEQ);
+        FixedCodec::put_len(self.out, len);
+        Ok(TaggedCompound { ser: self })
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple, SerialError> {
+        self.out.push(tag::TUPLE);
+        Ok(TaggedCompound { ser: self })
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct, SerialError> {
+        self.out.push(tag::TUPLE);
+        Ok(TaggedCompound { ser: self })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, SerialError> {
+        self.out.push(tag::VARIANT);
+        FixedCodec::put_u32(self.out, variant_index);
+        self.out.push(tag::TUPLE);
+        Ok(TaggedCompound { ser: self })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, SerialError> {
+        let len = len.ok_or(SerialError::Unsupported("map of unknown length"))?;
+        self.out.push(tag::MAP);
+        FixedCodec::put_len(self.out, len);
+        Ok(TaggedCompound { ser: self })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, SerialError> {
+        self.out.push(tag::TUPLE);
+        Ok(TaggedCompound { ser: self })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, SerialError> {
+        self.out.push(tag::VARIANT);
+        FixedCodec::put_u32(self.out, variant_index);
+        self.out.push(tag::TUPLE);
+        Ok(TaggedCompound { ser: self })
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct TaggedCompound<'a, 'b> {
+    ser: &'b mut TaggedSerializer<'a>,
+}
+
+macro_rules! tagged_compound_impl {
+    ($trait:ident, $method:ident $(, $key:ty)?) => {
+        impl ser::$trait for TaggedCompound<'_, '_> {
+            type Ok = ();
+            type Error = SerialError;
+
+            fn $method<T: Serialize + ?Sized>(
+                &mut self,
+                $(_key: $key,)?
+                value: &T,
+            ) -> Result<(), SerialError> {
+                value.serialize(&mut *self.ser)
+            }
+
+            fn end(self) -> Result<(), SerialError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+tagged_compound_impl!(SerializeSeq, serialize_element);
+tagged_compound_impl!(SerializeTuple, serialize_element);
+tagged_compound_impl!(SerializeTupleStruct, serialize_field);
+tagged_compound_impl!(SerializeTupleVariant, serialize_field);
+tagged_compound_impl!(SerializeStruct, serialize_field, &'static str);
+tagged_compound_impl!(SerializeStructVariant, serialize_field, &'static str);
+
+impl ser::SerializeMap for TaggedCompound<'_, '_> {
+    type Ok = ();
+    type Error = SerialError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), SerialError> {
+        key.serialize(&mut *self.ser)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), SerialError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), SerialError> {
+        Ok(())
+    }
+}
+
+struct TaggedDeserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> TaggedDeserializer<'de> {
+    fn expect_tag(&mut self, expected: u8) -> Result<(), SerialError> {
+        let found = take_byte(&mut self.input)?;
+        if found == expected {
+            Ok(())
+        } else {
+            Err(SerialError::TagMismatch { expected, found })
+        }
+    }
+
+    fn get_bytes(&mut self) -> Result<&'de [u8], SerialError> {
+        let len = FixedCodec::get_len(&mut self.input)?;
+        take(&mut self.input, len)
+    }
+}
+
+impl<'de> de::Deserializer<'de> for &mut TaggedDeserializer<'de> {
+    type Error = SerialError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, SerialError> {
+        Err(SerialError::Unsupported("deserialize_any for tagged format"))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::BOOL)?;
+        match take_byte(&mut self.input)? {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            other => Err(SerialError::InvalidBool(other)),
+        }
+    }
+
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::I8)?;
+        visitor.visit_i8(take_byte(&mut self.input)? as i8)
+    }
+
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::I16)?;
+        visitor.visit_i16(FixedCodec::get_i16(&mut self.input)?)
+    }
+
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::I32)?;
+        visitor.visit_i32(FixedCodec::get_i32(&mut self.input)?)
+    }
+
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::I64)?;
+        visitor.visit_i64(FixedCodec::get_i64(&mut self.input)?)
+    }
+
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::U8)?;
+        visitor.visit_u8(take_byte(&mut self.input)?)
+    }
+
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::U16)?;
+        visitor.visit_u16(FixedCodec::get_u16(&mut self.input)?)
+    }
+
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::U32)?;
+        visitor.visit_u32(FixedCodec::get_u32(&mut self.input)?)
+    }
+
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::U64)?;
+        visitor.visit_u64(FixedCodec::get_u64(&mut self.input)?)
+    }
+
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::F32)?;
+        let bytes = take(&mut self.input, 4)?;
+        visitor.visit_f32(f32::from_le_bytes(bytes.try_into().expect("len 4")))
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::F64)?;
+        let bytes = take(&mut self.input, 8)?;
+        visitor.visit_f64(f64::from_le_bytes(bytes.try_into().expect("len 8")))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::CHAR)?;
+        let code = FixedCodec::get_u32(&mut self.input)?;
+        visitor.visit_char(char::from_u32(code).ok_or(SerialError::InvalidChar(code))?)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::STR)?;
+        let bytes = self.get_bytes()?;
+        visitor.visit_borrowed_str(
+            std::str::from_utf8(bytes).map_err(|_| SerialError::InvalidUtf8)?,
+        )
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::BYTES)?;
+        let bytes = self.get_bytes()?;
+        visitor.visit_borrowed_bytes(bytes)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        match take_byte(&mut self.input)? {
+            tag::NONE => visitor.visit_none(),
+            tag::SOME => visitor.visit_some(self),
+            found => Err(SerialError::TagMismatch {
+                expected: tag::SOME,
+                found,
+            }),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::UNIT)?;
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, SerialError> {
+        self.deserialize_unit(visitor)
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, SerialError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::SEQ)?;
+        let len = FixedCodec::get_len(&mut self.input)?;
+        visitor.visit_seq(TaggedCounted { de: self, left: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::TUPLE)?;
+        visitor.visit_seq(TaggedCounted { de: self, left: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, SerialError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::MAP)?;
+        let len = FixedCodec::get_len(&mut self.input)?;
+        visitor.visit_map(TaggedCounted { de: self, left: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::TUPLE)?;
+        visitor.visit_seq(TaggedCounted {
+            de: self,
+            left: fields.len(),
+        })
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, SerialError> {
+        self.expect_tag(tag::VARIANT)?;
+        visitor.visit_enum(TaggedEnum { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, SerialError> {
+        Err(SerialError::Unsupported("identifier"))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, SerialError> {
+        Err(SerialError::Unsupported("ignored_any"))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct TaggedCounted<'a, 'de> {
+    de: &'a mut TaggedDeserializer<'de>,
+    left: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for TaggedCounted<'_, 'de> {
+    type Error = SerialError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, SerialError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+impl<'de> de::MapAccess<'de> for TaggedCounted<'_, 'de> {
+    type Error = SerialError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, SerialError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, SerialError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+struct TaggedEnum<'a, 'de> {
+    de: &'a mut TaggedDeserializer<'de>,
+}
+
+impl<'de> de::EnumAccess<'de> for TaggedEnum<'_, 'de> {
+    type Error = SerialError;
+    type Variant = Self;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), SerialError> {
+        let index = FixedCodec::get_u32(&mut self.de.input)?;
+        let value = seed.deserialize(index.into_deserializer())?;
+        Ok((value, self))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for TaggedEnum<'_, 'de> {
+    type Error = SerialError;
+
+    fn unit_variant(self) -> Result<(), SerialError> {
+        self.de.expect_tag(tag::UNIT)
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, SerialError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, SerialError> {
+        self.de.expect_tag(tag::TUPLE)?;
+        visitor.visit_seq(TaggedCounted { de: self.de, left: len })
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, SerialError> {
+        self.de.expect_tag(tag::TUPLE)?;
+        visitor.visit_seq(TaggedCounted {
+            de: self.de,
+            left: fields.len(),
+        })
+    }
+}

@@ -1,0 +1,149 @@
+//! Cycle-cost model for SFI enforcement.
+//!
+//! Completes the E11 triangle: MPK pays per *domain switch* (WRPKRU),
+//! CHERI per *crossing* (sealed-pair invoke), and SFI pays per *memory
+//! access* (the bounds check or mask) while its crossings are nearly free
+//! (an ordinary indirect call into validated code). The constants follow
+//! the published SFI/Wasm literature: ~1-2 cycles for an inlined
+//! compare-and-branch that predicts perfectly, ~1 cycle for a mask, zero
+//! for guard pages, and tens of cycles for a runtime call crossing.
+
+use crate::linear::EnforcementMode;
+use sdrad_mpk::CpuProfile;
+
+/// Cycle costs of SFI enforcement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SfiCostModel {
+    /// Explicit bounds check per access (compare + predicted branch).
+    pub check_cycles: u64,
+    /// Address mask per access (one AND).
+    pub mask_cycles: u64,
+    /// Guard-page scheme per-access cost (the MMU checks in parallel).
+    pub guard_cycles: u64,
+    /// Call crossing into/out of the sandbox (argument spill, indirect
+    /// call through the runtime's trampoline).
+    pub crossing_cycles: u64,
+    /// CPU profile used to convert cycles to nanoseconds.
+    pub cpu: CpuProfile,
+}
+
+impl SfiCostModel {
+    /// The calibrated default model.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        SfiCostModel {
+            check_cycles: 2,
+            mask_cycles: 1,
+            guard_cycles: 0,
+            crossing_cycles: 40,
+            cpu: CpuProfile::server(),
+        }
+    }
+
+    /// Per-access enforcement cost in cycles for `mode`.
+    #[must_use]
+    pub fn access_cycles(&self, mode: EnforcementMode) -> u64 {
+        match mode {
+            EnforcementMode::Checked => self.check_cycles,
+            EnforcementMode::Masked => self.mask_cycles,
+            EnforcementMode::Guarded { .. } => self.guard_cycles,
+        }
+    }
+
+    /// Nanoseconds for one call round trip (enter + return).
+    #[must_use]
+    pub fn round_trip_ns(&self) -> f64 {
+        self.cpu.cycles_to_ns(self.crossing_cycles * 2)
+    }
+
+    /// Starts an accounting ledger for a sandbox running under `mode`.
+    #[must_use]
+    pub fn account(&self, mode: EnforcementMode) -> SfiCostReport {
+        SfiCostReport { model: *self, mode, crossings: 0, accesses: 0 }
+    }
+}
+
+impl Default for SfiCostModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+/// Accumulated SFI enforcement costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SfiCostReport {
+    model: SfiCostModel,
+    mode: EnforcementMode,
+    /// Sandbox call crossings charged (one per `call`).
+    pub crossings: u64,
+    /// Guest memory accesses charged.
+    pub accesses: u64,
+}
+
+impl SfiCostReport {
+    /// Charges one sandbox call crossing (enter + return).
+    pub fn charge_crossing(&mut self) {
+        self.crossings += 1;
+    }
+
+    /// Charges `n` enforced memory accesses.
+    pub fn charge_accesses(&mut self, n: u64) {
+        self.accesses += n;
+    }
+
+    /// Total charged cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.crossings * self.model.crossing_cycles * 2
+            + self.accesses * self.model.access_cycles(self.mode)
+    }
+
+    /// Total charged time in nanoseconds.
+    #[must_use]
+    pub fn total_ns(&self) -> f64 {
+        self.model.cpu.cycles_to_ns(self.total_cycles())
+    }
+
+    /// The enforcement mode this ledger was opened for.
+    #[must_use]
+    pub fn mode(&self) -> EnforcementMode {
+        self.mode
+    }
+
+    /// The model the ledger charges against.
+    #[must_use]
+    pub fn model(&self) -> SfiCostModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarded_accesses_are_free() {
+        let model = SfiCostModel::calibrated();
+        assert_eq!(model.access_cycles(EnforcementMode::Guarded { guard_bytes: 4096 }), 0);
+        assert!(model.access_cycles(EnforcementMode::Checked) > 0);
+    }
+
+    #[test]
+    fn ledger_prices_modes_differently() {
+        let model = SfiCostModel::calibrated();
+        let mut checked = model.account(EnforcementMode::Checked);
+        let mut masked = model.account(EnforcementMode::Masked);
+        checked.charge_accesses(1000);
+        masked.charge_accesses(1000);
+        assert!(checked.total_cycles() > masked.total_cycles());
+    }
+
+    #[test]
+    fn sfi_crossing_is_cheaper_than_process_switch() {
+        // The §IV ordering the E11 ablation reports: in-process crossings
+        // (SFI, MPK, CHERI) are all far below a process context switch.
+        let sfi = SfiCostModel::calibrated();
+        let mpk = sdrad_mpk::CostModel::calibrated();
+        assert!(sfi.round_trip_ns() < mpk.process_switch_ns() / 10.0);
+    }
+}

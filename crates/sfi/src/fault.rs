@@ -1,0 +1,83 @@
+//! Faults a software-fault-isolation sandbox can raise.
+
+use std::error::Error;
+use std::fmt;
+
+/// A sandbox violation — the SFI analogue of [`sdrad_mpk::Fault`].
+///
+/// Where MPK delivers a page fault and CHERI a capability exception, an
+/// SFI sandbox traps in software: every variant here corresponds to a trap
+/// a Wasm-style runtime defines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SfiFault {
+    /// A memory access fell outside the linear memory (checked mode).
+    OutOfBounds {
+        /// Faulting sandbox-relative address.
+        addr: u64,
+        /// Access length in bytes.
+        len: usize,
+        /// Linear memory size at the time of the access.
+        memory_size: u64,
+    },
+    /// An access landed in the guard zone beyond the linear memory —
+    /// the hardware-assisted variant of the bounds check.
+    GuardHit {
+        /// Faulting sandbox-relative address.
+        addr: u64,
+    },
+    /// The operand stack over- or under-flowed.
+    StackFault(&'static str),
+    /// A branch targeted a label that does not exist.
+    BadBranch {
+        /// The label index the instruction named.
+        label: u32,
+    },
+    /// Integer division by zero.
+    DivideByZero,
+    /// A `local.get`/`local.set` named a local outside the frame.
+    BadLocal {
+        /// The local index the instruction named.
+        index: u32,
+    },
+    /// The fuel meter ran out — the sandbox's infinite-loop containment.
+    FuelExhausted,
+    /// The routine executed an explicit `trap` (assertion failure,
+    /// unreachable code, …).
+    Trap(String),
+    /// The program was rejected before execution (validation failure).
+    Invalid(String),
+}
+
+impl fmt::Display for SfiFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SfiFault::OutOfBounds { addr, len, memory_size } => write!(
+                f,
+                "out-of-bounds access: [{addr:#x}, {:#x}) beyond memory of {memory_size:#x} bytes",
+                addr + *len as u64
+            ),
+            SfiFault::GuardHit { addr } => write!(f, "guard-zone hit at {addr:#x}"),
+            SfiFault::StackFault(which) => write!(f, "operand stack {which}"),
+            SfiFault::BadBranch { label } => write!(f, "branch to unknown label {label}"),
+            SfiFault::DivideByZero => write!(f, "integer division by zero"),
+            SfiFault::BadLocal { index } => write!(f, "access to unknown local {index}"),
+            SfiFault::FuelExhausted => write!(f, "fuel exhausted"),
+            SfiFault::Trap(why) => write!(f, "explicit trap: {why}"),
+            SfiFault::Invalid(why) => write!(f, "invalid program: {why}"),
+        }
+    }
+}
+
+impl Error for SfiFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let fault = SfiFault::OutOfBounds { addr: 0x1000, len: 4, memory_size: 0x1000 };
+        assert!(fault.to_string().contains("out-of-bounds"));
+        assert!(SfiFault::FuelExhausted.to_string().contains("fuel"));
+    }
+}

@@ -1,0 +1,64 @@
+//! # sdrad-sfi — software fault isolation substrate
+//!
+//! The third isolation mechanism in this reproduction's ablation. The
+//! paper builds SDRaD on Intel MPK and names CHERI as the hardware
+//! alternative (§IV); the surrounding literature (ERIM, Wasm runtimes such
+//! as wasmtime, the original Wahbe et al. SFI) reaches the same goal —
+//! confining an untrusted component inside a process — **purely in
+//! software**, by instrumenting the component's memory accesses. This
+//! crate models that family so experiment E11 can price all three
+//! mechanisms in one frame:
+//!
+//! | mechanism | pays on | modelled by |
+//! |---|---|---|
+//! | MPK | domain switch (`WRPKRU`) | [`sdrad_mpk`] |
+//! | CHERI | crossing (sealed-pair invoke) | `sdrad_cheri` |
+//! | SFI | every memory access (check/mask) | this crate |
+//!
+//! ## Pieces
+//!
+//! * [`LinearMemory`] — a Wasm-style sandbox memory with three
+//!   [`EnforcementMode`]s: explicit bounds **checks**, address
+//!   **masking**, and **guard zones**.
+//! * [`Program`] / [`run`] — a validated, fuel-metered stack-machine
+//!   bytecode; guest code has *no* instruction that can address host
+//!   memory, which is the SFI invariant.
+//! * [`SfiSandbox`] — rewind-and-discard over a linear memory: a fault
+//!   wipes the guest memory and returns an error, mirroring
+//!   `sdrad::DomainManager`.
+//! * [`SfiCostModel`] — per-access and per-crossing cycle model.
+//!
+//! ## Example
+//!
+//! ```
+//! use sdrad_sfi::{SfiSandbox, EnforcementMode, routines, SfiFault};
+//!
+//! # fn main() -> Result<(), SfiFault> {
+//! let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked)?;
+//!
+//! // A Heartbleed-shaped guest bug: trusts a length field in the buffer.
+//! sandbox.memory_mut().store_u64(0x100, 1 << 30)?;
+//! let answer = sandbox.call_or(
+//!     &routines::checksum_trusting_length_field(),
+//!     &[0x100, 8],
+//!     |_fault| vec![0], // alternate action
+//! );
+//! assert_eq!(answer, vec![0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod fault;
+mod linear;
+mod sandbox;
+mod vm;
+
+pub use cost::{SfiCostModel, SfiCostReport};
+pub use fault::SfiFault;
+pub use linear::{EnforcementMode, LinearMemory, PAGE_SIZE};
+pub use sandbox::{SandboxStats, SfiSandbox};
+pub use vm::{routines, run, ExecStats, Instr, Limits, Program};

@@ -1,0 +1,258 @@
+//! The SFI sandbox: rewind-and-discard semantics over a linear memory.
+//!
+//! This is the third isolation backend in the E11 ablation. It runs guest
+//! routines ([`Program`]) against a private [`LinearMemory`]; a fault
+//! rewinds the invocation and discards the memory, exactly as
+//! `sdrad::DomainManager` does for MPK domains and
+//! `sdrad_cheri::CompartmentManager` for CHERI compartments.
+
+use crate::cost::{SfiCostModel, SfiCostReport};
+use crate::fault::SfiFault;
+use crate::linear::{EnforcementMode, LinearMemory};
+use crate::vm::{run, ExecStats, Limits, Program};
+use std::fmt;
+
+/// Aggregate statistics for a sandbox.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SandboxStats {
+    /// Successful invocations.
+    pub calls: u64,
+    /// Faulted invocations (each implies one rewind + discard).
+    pub faults: u64,
+    /// Total guest instructions retired.
+    pub instructions: u64,
+    /// Total guest memory loads.
+    pub loads: u64,
+    /// Total guest memory stores.
+    pub stores: u64,
+}
+
+/// A sandboxed execution environment for untrusted routines.
+///
+/// ```
+/// use sdrad_sfi::{SfiSandbox, EnforcementMode, routines};
+///
+/// # fn main() -> Result<(), sdrad_sfi::SfiFault> {
+/// let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked)?;
+/// sandbox.copy_in(0x100, &[1, 2, 3, 4])?;
+/// let sum = sandbox.call(&routines::checksum(), &[0x100, 4])?;
+/// assert_eq!(sum, vec![10]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SfiSandbox {
+    memory: LinearMemory,
+    limits: Limits,
+    stats: SandboxStats,
+    cost: SfiCostReport,
+    discard_on_fault: bool,
+}
+
+impl SfiSandbox {
+    /// Creates a sandbox with `pages` of linear memory under `mode`.
+    ///
+    /// # Errors
+    ///
+    /// [`SfiFault::Invalid`] for a zero-page memory or a masked mode with
+    /// a non-power-of-two size.
+    pub fn new(pages: u64, mode: EnforcementMode) -> Result<Self, SfiFault> {
+        Ok(SfiSandbox {
+            memory: LinearMemory::new(pages, mode)?,
+            limits: Limits::default(),
+            stats: SandboxStats::default(),
+            cost: SfiCostModel::calibrated().account(mode),
+            discard_on_fault: true,
+        })
+    }
+
+    /// Replaces the default execution limits.
+    #[must_use]
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Charges costs against `model` instead of the calibrated default.
+    #[must_use]
+    pub fn with_cost_model(mut self, model: SfiCostModel) -> Self {
+        self.cost = model.account(self.memory.mode());
+        self
+    }
+
+    /// Disables the discard-on-fault wipe (for ablation experiments that
+    /// measure the value of discarding).
+    #[must_use]
+    pub fn keep_memory_on_fault(mut self) -> Self {
+        self.discard_on_fault = false;
+        self
+    }
+
+    /// The sandbox's enforcement mode.
+    #[must_use]
+    pub fn mode(&self) -> EnforcementMode {
+        self.memory.mode()
+    }
+
+    /// Copies host bytes into guest memory (the marshalling step a real
+    /// runtime performs for call arguments).
+    ///
+    /// # Errors
+    ///
+    /// Memory faults per the enforcement mode.
+    pub fn copy_in(&mut self, addr: u64, bytes: &[u8]) -> Result<(), SfiFault> {
+        self.memory.store(addr, bytes)
+    }
+
+    /// Copies guest bytes out to the host.
+    ///
+    /// # Errors
+    ///
+    /// Memory faults per the enforcement mode.
+    pub fn copy_out(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, SfiFault> {
+        self.memory.load_vec(addr, len)
+    }
+
+    /// Invokes `program` with `args`, applying rewind-and-discard on
+    /// fault: the guest memory is wiped (unless configured otherwise) and
+    /// the fault is returned.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SfiFault`] the routine raises.
+    pub fn call(&mut self, program: &Program, args: &[i64]) -> Result<Vec<i64>, SfiFault> {
+        self.cost.charge_crossing();
+        let before = self.memory.access_counts();
+        let result = run(program, &mut self.memory, args, self.limits);
+        let after = self.memory.access_counts();
+        self.cost.charge_accesses(after.0 - before.0 + after.1 - before.1);
+
+        match result {
+            Ok((results, exec)) => {
+                self.record(exec);
+                self.stats.calls += 1;
+                Ok(results)
+            }
+            Err(fault) => {
+                self.stats.faults += 1;
+                if self.discard_on_fault {
+                    self.memory.wipe();
+                }
+                Err(fault)
+            }
+        }
+    }
+
+    /// Invokes `program`, substituting `fallback` when it faults — the
+    /// SDRaD "alternate action" idiom.
+    pub fn call_or<F>(&mut self, program: &Program, args: &[i64], fallback: F) -> Vec<i64>
+    where
+        F: FnOnce(&SfiFault) -> Vec<i64>,
+    {
+        match self.call(program, args) {
+            Ok(results) => results,
+            Err(fault) => fallback(&fault),
+        }
+    }
+
+    fn record(&mut self, exec: ExecStats) {
+        self.stats.instructions += exec.instructions;
+        self.stats.loads += exec.loads;
+        self.stats.stores += exec.stores;
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> SandboxStats {
+        self.stats
+    }
+
+    /// The accumulated cost ledger.
+    #[must_use]
+    pub fn cost(&self) -> SfiCostReport {
+        self.cost
+    }
+
+    /// Direct access to the guest memory (host-side, for tests).
+    #[must_use]
+    pub fn memory_mut(&mut self) -> &mut LinearMemory {
+        &mut self.memory
+    }
+}
+
+impl fmt::Debug for SfiSandbox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SfiSandbox")
+            .field("mode", &self.memory.mode())
+            .field("size", &self.memory.size())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::routines;
+
+    #[test]
+    fn fault_wipes_guest_memory() {
+        let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked).unwrap();
+        sandbox.copy_in(0x100, b"a secret value!!").unwrap();
+        // Plant a huge claimed length right before the data.
+        sandbox.memory_mut().store_u64(0x200, 1 << 30).unwrap();
+
+        let result = sandbox.call(
+            &routines::checksum_trusting_length_field(),
+            &[0x200, 8],
+        );
+        assert!(result.is_err());
+        assert_eq!(sandbox.stats().faults, 1);
+        // Discarded: the earlier secret is gone.
+        assert_eq!(sandbox.copy_out(0x100, 16).unwrap(), vec![0; 16]);
+    }
+
+    #[test]
+    fn keep_memory_on_fault_preserves_contents() {
+        let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked)
+            .unwrap()
+            .keep_memory_on_fault();
+        sandbox.copy_in(0x100, b"persist").unwrap();
+        let _ = sandbox.call(&routines::spin(), &[]);
+        assert_eq!(sandbox.copy_out(0x100, 7).unwrap(), b"persist");
+    }
+
+    #[test]
+    fn alternate_action_runs_on_fault() {
+        let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked).unwrap();
+        let out = sandbox.call_or(&routines::spin(), &[], |fault| {
+            assert_eq!(*fault, SfiFault::FuelExhausted);
+            vec![-1]
+        });
+        assert_eq!(out, vec![-1]);
+    }
+
+    #[test]
+    fn masked_mode_never_faults_but_confines() {
+        let mut sandbox = SfiSandbox::new(1, EnforcementMode::Masked).unwrap();
+        sandbox.memory_mut().store_u64(0x200, 1 << 20).unwrap();
+        // In masked mode the runaway read wraps inside the sandbox and
+        // terminates only via fuel.
+        let result = sandbox.call(
+            &routines::checksum_trusting_length_field(),
+            &[0x200, 8],
+        );
+        assert_eq!(result.unwrap_err(), SfiFault::FuelExhausted);
+    }
+
+    #[test]
+    fn stats_accumulate_across_calls() {
+        let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked).unwrap();
+        sandbox.copy_in(0, &[1; 32]).unwrap();
+        sandbox.call(&routines::checksum(), &[0, 32]).unwrap();
+        sandbox.call(&routines::checksum(), &[0, 32]).unwrap();
+        let stats = sandbox.stats();
+        assert_eq!(stats.calls, 2);
+        assert_eq!(stats.loads, 64);
+        assert!(stats.instructions > 0);
+    }
+}

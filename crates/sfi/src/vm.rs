@@ -1,0 +1,511 @@
+//! A small stack-machine bytecode, the sandboxed "guest code" of the SFI
+//! substrate.
+//!
+//! The instruction set is a deliberately tiny subset of WebAssembly's
+//! shape: a validated, fuel-metered stack machine whose only way to touch
+//! memory is through the sandbox's [`LinearMemory`]. That property — *all*
+//! guest accesses funnel through the enforcement mode — is what makes it a
+//! faithful SFI model: there is no instruction that can address host
+//! memory.
+
+use crate::fault::SfiFault;
+use crate::linear::LinearMemory;
+
+/// One guest instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Push a constant.
+    I64Const(i64),
+    /// Push local `n`.
+    LocalGet(u32),
+    /// Pop into local `n`.
+    LocalSet(u32),
+    /// Pop b, pop a, push `a + b` (wrapping).
+    Add,
+    /// Pop b, pop a, push `a - b` (wrapping).
+    Sub,
+    /// Pop b, pop a, push `a * b` (wrapping).
+    Mul,
+    /// Pop b, pop a, push `a / b`; traps on zero.
+    DivS,
+    /// Pop b, pop a, push `a & b`.
+    And,
+    /// Pop b, pop a, push `a | b`.
+    Or,
+    /// Pop b, pop a, push `a ^ b`.
+    Xor,
+    /// Pop b, pop a, push `a == b` as 0/1.
+    Eq,
+    /// Pop b, pop a, push `a != b` as 0/1.
+    Ne,
+    /// Pop b, pop a, push `a < b` (signed) as 0/1.
+    LtS,
+    /// Pop b, pop a, push `a > b` (signed) as 0/1.
+    GtS,
+    /// Pop an address, load one byte, push it zero-extended.
+    Load8,
+    /// Pop an address, load a little-endian u64, push it.
+    Load64,
+    /// Pop a value then an address, store the low byte.
+    Store8,
+    /// Pop a value then an address, store little-endian u64.
+    Store64,
+    /// Unconditional jump to instruction index.
+    Jump(u32),
+    /// Pop a condition; jump when non-zero.
+    JumpIf(u32),
+    /// Pop and discard.
+    Drop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Stop; the declared number of results is popped from the stack.
+    Return,
+    /// Trap unconditionally (unreachable / assertion failure).
+    Trap(&'static str),
+}
+
+/// A validated guest routine.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Number of locals; callers pass the first `params` as arguments.
+    pub locals: u32,
+    /// Number of the locals that are parameters.
+    pub params: u32,
+    /// Number of results [`Instr::Return`] pops.
+    pub results: u32,
+    /// The instruction stream.
+    pub instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Validates structural invariants once, before any execution —
+    /// branch targets in range and locals within the frame — so the
+    /// interpreter loop can stay branch-light.
+    ///
+    /// # Errors
+    ///
+    /// [`SfiFault::Invalid`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), SfiFault> {
+        if self.params > self.locals {
+            return Err(SfiFault::Invalid(format!(
+                "{} params exceed {} locals",
+                self.params, self.locals
+            )));
+        }
+        let len = self.instrs.len() as u32;
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            match instr {
+                Instr::Jump(target) | Instr::JumpIf(target) if *target >= len => {
+                    return Err(SfiFault::Invalid(format!(
+                        "instruction {pc}: branch target {target} out of range"
+                    )));
+                }
+                Instr::LocalGet(index) | Instr::LocalSet(index) if *index >= self.locals => {
+                    return Err(SfiFault::Invalid(format!(
+                        "instruction {pc}: local {index} out of range"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Execution limits for one invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum instructions executed before [`SfiFault::FuelExhausted`].
+    pub fuel: u64,
+    /// Maximum operand-stack depth.
+    pub stack: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { fuel: 1_000_000, stack: 1024 }
+    }
+}
+
+/// Statistics from one invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Memory loads performed.
+    pub loads: u64,
+    /// Memory stores performed.
+    pub stores: u64,
+}
+
+/// Runs `program` against `memory` with arguments `args`.
+///
+/// On success returns the program's declared results (top of stack first
+/// restored to declaration order) plus execution statistics.
+///
+/// # Errors
+///
+/// Validation faults, memory faults from the enforcement mode, stack
+/// faults, division by zero, explicit traps, or fuel exhaustion. The
+/// caller (the sandbox layer) decides what a fault does to the memory.
+pub fn run(
+    program: &Program,
+    memory: &mut LinearMemory,
+    args: &[i64],
+    limits: Limits,
+) -> Result<(Vec<i64>, ExecStats), SfiFault> {
+    program.validate()?;
+    if args.len() != program.params as usize {
+        return Err(SfiFault::Invalid(format!(
+            "expected {} arguments, got {}",
+            program.params,
+            args.len()
+        )));
+    }
+
+    let mut locals = vec![0i64; program.locals as usize];
+    locals[..args.len()].copy_from_slice(args);
+    let mut stack: Vec<i64> = Vec::with_capacity(64);
+    let mut stats = ExecStats::default();
+    let mut fuel = limits.fuel;
+    let mut pc: usize = 0;
+
+    macro_rules! pop {
+        () => {
+            stack.pop().ok_or(SfiFault::StackFault("underflow"))?
+        };
+    }
+    macro_rules! push {
+        ($value:expr) => {{
+            if stack.len() >= limits.stack {
+                return Err(SfiFault::StackFault("overflow"));
+            }
+            stack.push($value);
+        }};
+    }
+    macro_rules! binop {
+        ($op:expr) => {{
+            let b = pop!();
+            let a = pop!();
+            let op: fn(i64, i64) -> i64 = $op;
+            push!(op(a, b));
+        }};
+    }
+
+    while pc < program.instrs.len() {
+        if fuel == 0 {
+            return Err(SfiFault::FuelExhausted);
+        }
+        fuel -= 1;
+        stats.instructions += 1;
+
+        match &program.instrs[pc] {
+            Instr::I64Const(value) => push!(*value),
+            Instr::LocalGet(index) => push!(locals[*index as usize]),
+            Instr::LocalSet(index) => {
+                let value = pop!();
+                locals[*index as usize] = value;
+            }
+            Instr::Add => binop!(|a: i64, b: i64| a.wrapping_add(b)),
+            Instr::Sub => binop!(|a: i64, b: i64| a.wrapping_sub(b)),
+            Instr::Mul => binop!(|a: i64, b: i64| a.wrapping_mul(b)),
+            Instr::DivS => {
+                let b = pop!();
+                let a = pop!();
+                if b == 0 {
+                    return Err(SfiFault::DivideByZero);
+                }
+                push!(a.wrapping_div(b));
+            }
+            Instr::And => binop!(|a: i64, b: i64| a & b),
+            Instr::Or => binop!(|a: i64, b: i64| a | b),
+            Instr::Xor => binop!(|a: i64, b: i64| a ^ b),
+            Instr::Eq => binop!(|a: i64, b: i64| i64::from(a == b)),
+            Instr::Ne => binop!(|a: i64, b: i64| i64::from(a != b)),
+            Instr::LtS => binop!(|a: i64, b: i64| i64::from(a < b)),
+            Instr::GtS => binop!(|a: i64, b: i64| i64::from(a > b)),
+            Instr::Load8 => {
+                let addr = pop!() as u64;
+                let byte = memory.load_vec(addr, 1)?[0];
+                stats.loads += 1;
+                push!(i64::from(byte));
+            }
+            Instr::Load64 => {
+                let addr = pop!() as u64;
+                let value = memory.load_u64(addr)?;
+                stats.loads += 1;
+                push!(value as i64);
+            }
+            Instr::Store8 => {
+                let value = pop!();
+                let addr = pop!() as u64;
+                memory.store(addr, &[value as u8])?;
+                stats.stores += 1;
+            }
+            Instr::Store64 => {
+                let value = pop!();
+                let addr = pop!() as u64;
+                memory.store_u64(addr, value as u64)?;
+                stats.stores += 1;
+            }
+            Instr::Jump(target) => {
+                pc = *target as usize;
+                continue;
+            }
+            Instr::JumpIf(target) => {
+                let cond = pop!();
+                if cond != 0 {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Instr::Drop => {
+                let _ = pop!();
+            }
+            Instr::Dup => {
+                let top = *stack.last().ok_or(SfiFault::StackFault("underflow"))?;
+                push!(top);
+            }
+            Instr::Return => break,
+            Instr::Trap(why) => return Err(SfiFault::Trap((*why).to_string())),
+        }
+        pc += 1;
+    }
+
+    let wanted = program.results as usize;
+    if stack.len() < wanted {
+        return Err(SfiFault::StackFault("underflow at return"));
+    }
+    let results = stack.split_off(stack.len() - wanted);
+    Ok((results, stats))
+}
+
+/// Ready-made guest routines used by examples, tests, and benches.
+pub mod routines {
+    use super::{Instr, Program};
+
+    /// `checksum(addr, len) -> sum`: byte-wise sum over `[addr, addr+len)`.
+    ///
+    /// Locals: 0=addr, 1=len, 2=i, 3=acc.
+    #[must_use]
+    pub fn checksum() -> Program {
+        use Instr::*;
+        Program {
+            locals: 4,
+            params: 2,
+            results: 1,
+            instrs: vec![
+                // 0: loop head — if i >= len, exit
+                LocalGet(2),        // 0
+                LocalGet(1),        // 1
+                LtS,                // 2: i < len
+                JumpIf(5),          // 3: continue body
+                Jump(17),           // 4: exit
+                // body: acc += mem[addr + i]
+                LocalGet(3),        // 5
+                LocalGet(0),        // 6
+                LocalGet(2),        // 7
+                Add,                // 8: addr + i
+                Load8,              // 9
+                Add,                // 10: acc + byte
+                LocalSet(3),        // 11
+                // i += 1
+                LocalGet(2),        // 12
+                I64Const(1),        // 13
+                Add,                // 14
+                LocalSet(2),        // 15
+                Jump(0),            // 16: loop
+                // 17: exit
+                LocalGet(3),        // 17
+                Return,             // 18
+            ],
+        }
+    }
+
+    /// A buggy `checksum` that trusts an attacker-controlled length field
+    /// stored *in* the buffer (first 8 bytes) instead of the caller's
+    /// `len` — the Heartbleed shape, SFI edition.
+    ///
+    /// Locals: 0=addr, 1=len(ignored), 2=i, 3=acc, 4=claimed.
+    #[must_use]
+    pub fn checksum_trusting_length_field() -> Program {
+        use Instr::*;
+        let mut program = checksum();
+        program.locals = 5;
+        // Prelude: claimed = mem[addr..addr+8]; len = claimed; addr += 8.
+        let prelude = vec![
+            LocalGet(0),
+            Load64,
+            LocalSet(4),
+            LocalGet(4),
+            LocalSet(1),
+            LocalGet(0),
+            I64Const(8),
+            Add,
+            LocalSet(0),
+        ];
+        let offset = prelude.len() as u32;
+        for instr in &mut program.instrs {
+            match instr {
+                Jump(target) | JumpIf(target) => *target += offset,
+                _ => {}
+            }
+        }
+        program.instrs.splice(0..0, prelude);
+        program
+    }
+
+    /// `fill(addr, len, byte)`: memset over `[addr, addr+len)`.
+    ///
+    /// Locals: 0=addr, 1=len, 2=byte, 3=i.
+    #[must_use]
+    pub fn fill() -> Program {
+        use Instr::*;
+        Program {
+            locals: 4,
+            params: 3,
+            results: 0,
+            instrs: vec![
+                // 0: if i >= len exit
+                LocalGet(3),
+                LocalGet(1),
+                LtS,
+                JumpIf(5),
+                Jump(15),
+                // 5: mem[addr+i] = byte
+                LocalGet(0),
+                LocalGet(3),
+                Add,
+                LocalGet(2),
+                Store8,
+                // 10: i += 1; loop
+                LocalGet(3),
+                I64Const(1),
+                Add,
+                LocalSet(3),
+                Jump(0),
+                // 15: done
+                Return,
+            ],
+        }
+    }
+
+    /// An infinite loop, for exercising the fuel meter.
+    #[must_use]
+    pub fn spin() -> Program {
+        Program {
+            locals: 0,
+            params: 0,
+            results: 0,
+            instrs: vec![Instr::Jump(0)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::routines::*;
+    use super::*;
+    use crate::linear::EnforcementMode;
+
+    fn memory() -> LinearMemory {
+        LinearMemory::new(1, EnforcementMode::Checked).unwrap()
+    }
+
+    #[test]
+    fn checksum_sums_bytes() {
+        let mut mem = memory();
+        mem.store(0x100, &[1, 2, 3, 4, 5]).unwrap();
+        let (results, stats) =
+            run(&checksum(), &mut mem, &[0x100, 5], Limits::default()).unwrap();
+        assert_eq!(results, vec![15]);
+        assert_eq!(stats.loads, 5);
+    }
+
+    #[test]
+    fn fill_writes_bytes() {
+        let mut mem = memory();
+        run(&fill(), &mut mem, &[0x40, 8, 0xab], Limits::default()).unwrap();
+        assert_eq!(mem.load_vec(0x40, 8).unwrap(), vec![0xab; 8]);
+    }
+
+    #[test]
+    fn vulnerable_checksum_escapes_its_buffer_but_not_the_sandbox() {
+        let mut mem = memory();
+        // Attacker writes a huge claimed length before the data.
+        mem.store_u64(0x100, 1 << 20).unwrap();
+        let result = run(
+            &checksum_trusting_length_field(),
+            &mut mem,
+            &[0x100, 16],
+            Limits { fuel: 10_000_000, ..Limits::default() },
+        );
+        assert!(
+            matches!(result, Err(SfiFault::OutOfBounds { .. })),
+            "escape must trap at the linear-memory boundary: {result:?}"
+        );
+    }
+
+    #[test]
+    fn fuel_contains_infinite_loops() {
+        let mut mem = memory();
+        let result = run(&spin(), &mut mem, &[], Limits { fuel: 1000, stack: 16 });
+        assert_eq!(result.unwrap_err(), SfiFault::FuelExhausted);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut mem = memory();
+        let program = Program {
+            locals: 0,
+            params: 0,
+            results: 1,
+            instrs: vec![Instr::I64Const(7), Instr::I64Const(0), Instr::DivS, Instr::Return],
+        };
+        assert_eq!(
+            run(&program, &mut mem, &[], Limits::default()).unwrap_err(),
+            SfiFault::DivideByZero
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_branches_and_locals() {
+        let bad_branch = Program {
+            locals: 0,
+            params: 0,
+            results: 0,
+            instrs: vec![Instr::Jump(99)],
+        };
+        assert!(matches!(bad_branch.validate(), Err(SfiFault::Invalid(_))));
+
+        let bad_local = Program {
+            locals: 1,
+            params: 0,
+            results: 0,
+            instrs: vec![Instr::LocalGet(4), Instr::Drop, Instr::Return],
+        };
+        assert!(matches!(bad_local.validate(), Err(SfiFault::Invalid(_))));
+    }
+
+    #[test]
+    fn stack_overflow_is_trapped() {
+        let program = Program {
+            locals: 0,
+            params: 0,
+            results: 0,
+            instrs: vec![Instr::I64Const(1), Instr::Dup, Instr::Jump(1)],
+        };
+        let mut mem = memory();
+        let result = run(&program, &mut mem, &[], Limits { fuel: 100_000, stack: 64 });
+        assert_eq!(result.unwrap_err(), SfiFault::StackFault("overflow"));
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        let mut mem = memory();
+        assert!(matches!(
+            run(&checksum(), &mut mem, &[1], Limits::default()),
+            Err(SfiFault::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the SFI substrate's confinement invariants.
+
+use proptest::prelude::*;
+use sdrad_sfi::{
+    routines, run, EnforcementMode, Limits, LinearMemory, SfiFault, SfiSandbox, PAGE_SIZE,
+};
+
+proptest! {
+    /// Masked mode never faults on any address and never touches memory
+    /// outside the sandbox (trivially, since it owns the only buffer —
+    /// here we assert it also never *errors*, the wrap contract).
+    #[test]
+    fn masked_mode_is_total(addr in any::<u64>(), byte in any::<u8>()) {
+        let mut mem = LinearMemory::new(1, EnforcementMode::Masked).unwrap();
+        prop_assert!(mem.store(addr, &[byte]).is_ok());
+        prop_assert!(mem.load_vec(addr, 1).is_ok());
+    }
+
+    /// Checked and masked modes agree for every in-bounds access.
+    #[test]
+    fn modes_agree_in_bounds(
+        addr in 0..PAGE_SIZE - 8,
+        value in any::<u64>(),
+    ) {
+        let mut checked = LinearMemory::new(1, EnforcementMode::Checked).unwrap();
+        let mut masked = LinearMemory::new(1, EnforcementMode::Masked).unwrap();
+        checked.store_u64(addr, value).unwrap();
+        masked.store_u64(addr, value).unwrap();
+        prop_assert_eq!(checked.load_u64(addr).unwrap(), masked.load_u64(addr).unwrap());
+    }
+
+    /// The guest checksum routine agrees with a host-side reference for
+    /// arbitrary buffers.
+    #[test]
+    fn guest_checksum_matches_host(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked).unwrap();
+        sandbox.copy_in(0x400, &data).unwrap();
+        let expected: i64 = data.iter().map(|&b| i64::from(b)).sum();
+        let got = sandbox
+            .call(&routines::checksum(), &[0x400, data.len() as i64])
+            .unwrap();
+        prop_assert_eq!(got, vec![expected]);
+    }
+
+    /// The guest fill routine is equivalent to a host memset.
+    #[test]
+    fn guest_fill_matches_host(
+        addr in 0u64..1024,
+        len in 0i64..512,
+        byte in any::<u8>(),
+    ) {
+        let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked).unwrap();
+        sandbox
+            .call(&routines::fill(), &[addr as i64, len, i64::from(byte)])
+            .unwrap();
+        let got = sandbox.copy_out(addr, len as usize).unwrap();
+        prop_assert_eq!(got, vec![byte; len as usize]);
+    }
+
+    /// Execution is deterministic: the same program, memory image, and
+    /// arguments produce the same results and statistics.
+    #[test]
+    fn execution_is_deterministic(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        addr in 0u64..256,
+    ) {
+        let program = routines::checksum();
+        let mut a = LinearMemory::new(1, EnforcementMode::Checked).unwrap();
+        let mut b = a.clone();
+        a.store(addr, &data).unwrap();
+        b.store(addr, &data).unwrap();
+        let ra = run(&program, &mut a, &[addr as i64, data.len() as i64], Limits::default());
+        let rb = run(&program, &mut b, &[addr as i64, data.len() as i64], Limits::default());
+        prop_assert_eq!(ra.unwrap(), rb.unwrap());
+    }
+
+    /// Fuel is a hard ceiling: reducing fuel below the successful run's
+    /// instruction count turns the result into FuelExhausted, never a
+    /// wrong answer.
+    #[test]
+    fn fuel_is_a_hard_ceiling(len in 1i64..64) {
+        let program = routines::checksum();
+        let mut mem = LinearMemory::new(1, EnforcementMode::Checked).unwrap();
+        let (_, stats) = run(
+            &program,
+            &mut mem,
+            &[0, len],
+            Limits::default(),
+        )
+        .unwrap();
+
+        let starved = run(
+            &program,
+            &mut mem,
+            &[0, len],
+            Limits { fuel: stats.instructions - 1, stack: 1024 },
+        );
+        prop_assert_eq!(starved.unwrap_err(), SfiFault::FuelExhausted);
+    }
+}

@@ -1,0 +1,245 @@
+//! Exhaustive instruction-level tests for the SFI bytecode VM: every
+//! opcode has at least one test pinning its semantics, because the VM is
+//! the trusted computing base of the SFI substrate — a mis-executed
+//! instruction would invalidate the containment results built on it.
+
+use sdrad_sfi::{run, EnforcementMode, Instr, Limits, LinearMemory, Program, SfiFault};
+
+fn memory() -> LinearMemory {
+    LinearMemory::new(1, EnforcementMode::Checked).unwrap()
+}
+
+/// Runs a param-less program expecting one result.
+fn eval(instrs: Vec<Instr>) -> Result<i64, SfiFault> {
+    let program = Program { locals: 0, params: 0, results: 1, instrs };
+    let mut mem = memory();
+    run(&program, &mut mem, &[], Limits::default()).map(|(mut r, _)| r.pop().unwrap())
+}
+
+/// Evaluates `a <op> b`.
+fn binop(a: i64, b: i64, op: Instr) -> Result<i64, SfiFault> {
+    eval(vec![Instr::I64Const(a), Instr::I64Const(b), op, Instr::Return])
+}
+
+#[test]
+fn arithmetic_semantics() {
+    assert_eq!(binop(7, 5, Instr::Add).unwrap(), 12);
+    assert_eq!(binop(7, 5, Instr::Sub).unwrap(), 2);
+    assert_eq!(binop(7, 5, Instr::Mul).unwrap(), 35);
+    assert_eq!(binop(7, 5, Instr::DivS).unwrap(), 1);
+    assert_eq!(binop(-7, 5, Instr::DivS).unwrap(), -1, "signed division truncates toward zero");
+}
+
+#[test]
+fn arithmetic_wraps_instead_of_trapping() {
+    assert_eq!(binop(i64::MAX, 1, Instr::Add).unwrap(), i64::MIN);
+    assert_eq!(binop(i64::MIN, 1, Instr::Sub).unwrap(), i64::MAX);
+    assert_eq!(binop(i64::MAX, 2, Instr::Mul).unwrap(), -2);
+    // ...except the one division overflow case, which wraps too.
+    assert_eq!(binop(i64::MIN, -1, Instr::DivS).unwrap(), i64::MIN);
+}
+
+#[test]
+fn bitwise_semantics() {
+    assert_eq!(binop(0b1100, 0b1010, Instr::And).unwrap(), 0b1000);
+    assert_eq!(binop(0b1100, 0b1010, Instr::Or).unwrap(), 0b1110);
+    assert_eq!(binop(0b1100, 0b1010, Instr::Xor).unwrap(), 0b0110);
+}
+
+#[test]
+fn comparison_semantics() {
+    assert_eq!(binop(3, 3, Instr::Eq).unwrap(), 1);
+    assert_eq!(binop(3, 4, Instr::Eq).unwrap(), 0);
+    assert_eq!(binop(3, 4, Instr::Ne).unwrap(), 1);
+    assert_eq!(binop(-5, 4, Instr::LtS).unwrap(), 1, "LtS is signed");
+    assert_eq!(binop(4, -5, Instr::GtS).unwrap(), 1, "GtS is signed");
+    assert_eq!(binop(4, 4, Instr::LtS).unwrap(), 0);
+}
+
+#[test]
+fn dup_and_drop() {
+    assert_eq!(
+        eval(vec![
+            Instr::I64Const(9),
+            Instr::Dup,
+            Instr::Add, // 9 + 9
+            Instr::Return,
+        ])
+        .unwrap(),
+        18
+    );
+    assert_eq!(
+        eval(vec![
+            Instr::I64Const(1),
+            Instr::I64Const(2),
+            Instr::Drop, // discard the 2
+            Instr::Return,
+        ])
+        .unwrap(),
+        1
+    );
+}
+
+#[test]
+fn locals_read_and_write() {
+    let program = Program {
+        locals: 2,
+        params: 1,
+        results: 1,
+        instrs: vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(10),
+            Instr::Add,
+            Instr::LocalSet(1),
+            Instr::LocalGet(1),
+            Instr::Return,
+        ],
+    };
+    let mut mem = memory();
+    let (results, _) = run(&program, &mut mem, &[32], Limits::default()).unwrap();
+    assert_eq!(results, vec![42]);
+}
+
+#[test]
+fn uninitialized_locals_are_zero() {
+    let program = Program {
+        locals: 3,
+        params: 0,
+        results: 1,
+        instrs: vec![Instr::LocalGet(2), Instr::Return],
+    };
+    let mut mem = memory();
+    let (results, _) = run(&program, &mut mem, &[], Limits::default()).unwrap();
+    assert_eq!(results, vec![0]);
+}
+
+#[test]
+fn jump_if_falls_through_on_zero() {
+    // if (0) jump to Trap else push 7.
+    let got = eval(vec![
+        Instr::I64Const(0),
+        Instr::JumpIf(4),
+        Instr::I64Const(7),
+        Instr::Return,
+        Instr::Trap("should not reach"),
+    ])
+    .unwrap();
+    assert_eq!(got, 7);
+}
+
+#[test]
+fn jump_if_takes_branch_on_nonzero() {
+    let got = eval(vec![
+        Instr::I64Const(-3), // any non-zero, including negatives
+        Instr::JumpIf(4),
+        Instr::Trap("should be skipped"),
+        Instr::Return,
+        Instr::I64Const(11),
+        Instr::Return,
+    ])
+    .unwrap();
+    assert_eq!(got, 11);
+}
+
+#[test]
+fn memory_ops_byte_and_word() {
+    let program = Program {
+        locals: 0,
+        params: 0,
+        results: 2,
+        instrs: vec![
+            // mem[0x20] = 0x55 (byte)
+            Instr::I64Const(0x20),
+            Instr::I64Const(0x155), // only the low byte lands
+            Instr::Store8,
+            // mem[0x40] = big (word)
+            Instr::I64Const(0x40),
+            Instr::I64Const(0x0102_0304_0506_0708),
+            Instr::Store64,
+            // load both back
+            Instr::I64Const(0x20),
+            Instr::Load8,
+            Instr::I64Const(0x40),
+            Instr::Load64,
+            Instr::Return,
+        ],
+    };
+    let mut mem = memory();
+    let (results, stats) = run(&program, &mut mem, &[], Limits::default()).unwrap();
+    assert_eq!(results, vec![0x55, 0x0102_0304_0506_0708]);
+    assert_eq!(stats.loads, 2);
+    assert_eq!(stats.stores, 2);
+}
+
+#[test]
+fn load64_is_little_endian() {
+    let mut mem = memory();
+    mem.store(0x10, &[1, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    let program = Program {
+        locals: 0,
+        params: 0,
+        results: 1,
+        instrs: vec![Instr::I64Const(0x10), Instr::Load64, Instr::Return],
+    };
+    let (results, _) = run(&program, &mut mem, &[], Limits::default()).unwrap();
+    assert_eq!(results, vec![1]);
+}
+
+#[test]
+fn trap_carries_its_reason() {
+    let err = eval(vec![Instr::Trap("assertion failed: invariant")]).unwrap_err();
+    assert_eq!(err, SfiFault::Trap("assertion failed: invariant".to_string()));
+}
+
+#[test]
+fn falling_off_the_end_acts_as_return() {
+    // No explicit Return: execution stops at the end of the stream and
+    // the declared results are popped.
+    let program = Program {
+        locals: 0,
+        params: 0,
+        results: 1,
+        instrs: vec![Instr::I64Const(5)],
+    };
+    let mut mem = memory();
+    let (results, _) = run(&program, &mut mem, &[], Limits::default()).unwrap();
+    assert_eq!(results, vec![5]);
+}
+
+#[test]
+fn return_with_insufficient_stack_is_a_fault() {
+    let err = eval(vec![Instr::Return]).unwrap_err();
+    assert_eq!(err, SfiFault::StackFault("underflow at return"));
+}
+
+#[test]
+fn stack_underflow_inside_op_is_a_fault() {
+    let err = eval(vec![Instr::Add, Instr::Return]).unwrap_err();
+    assert_eq!(err, SfiFault::StackFault("underflow"));
+}
+
+#[test]
+fn negative_address_is_out_of_bounds_not_a_crash() {
+    // A negative i64 reinterpreted as u64 is a huge address: must trap.
+    let err = eval(vec![Instr::I64Const(-8), Instr::Load8, Instr::Return]).unwrap_err();
+    assert!(matches!(err, SfiFault::OutOfBounds { .. }), "{err:?}");
+}
+
+#[test]
+fn fuel_counts_executed_instructions_exactly() {
+    let program = Program {
+        locals: 0,
+        params: 0,
+        results: 1,
+        instrs: vec![Instr::I64Const(1), Instr::I64Const(2), Instr::Add, Instr::Return],
+    };
+    let mut mem = memory();
+    let (_, stats) = run(&program, &mut mem, &[], Limits::default()).unwrap();
+    assert_eq!(stats.instructions, 4);
+    // Exactly enough fuel succeeds; one less exhausts.
+    assert!(run(&program, &mut mem, &[], Limits { fuel: 4, stack: 8 }).is_ok());
+    assert_eq!(
+        run(&program, &mut mem, &[], Limits { fuel: 3, stack: 8 }).unwrap_err(),
+        SfiFault::FuelExhausted
+    );
+}

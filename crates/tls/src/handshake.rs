@@ -1,0 +1,190 @@
+//! A toy handshake state machine.
+//!
+//! Three flights — `ClientHello`, `ServerHello`, `Finished` — deriving a
+//! session key by mixing the two nonces. **Not cryptography**: the point
+//! is to have per-session secret state whose confidentiality the
+//! isolation experiments can check.
+
+use std::fmt;
+
+/// Handshake progression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeState {
+    /// Nothing received yet.
+    Start,
+    /// ClientHello received, ServerHello sent.
+    HelloExchanged,
+    /// Finished exchanged; session key established.
+    Established,
+}
+
+/// Handshake protocol errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// A message arrived out of order for the current state.
+    UnexpectedMessage {
+        /// State the handshake was in.
+        state: HandshakeState,
+        /// The offending message's name.
+        message: &'static str,
+    },
+    /// A hello carried a nonce of the wrong size.
+    BadNonce,
+}
+
+impl fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandshakeError::UnexpectedMessage { state, message } => {
+                write!(f, "unexpected {message} in state {state:?}")
+            }
+            HandshakeError::BadNonce => write!(f, "nonce must be 32 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+/// Size of hello nonces.
+pub const NONCE_LEN: usize = 32;
+
+/// Derives the 32-byte session key from the two nonces (keyed FNV mix —
+/// a stand-in for a real KDF).
+#[must_use]
+pub fn derive_session_key(client_nonce: &[u8], server_nonce: &[u8]) -> Vec<u8> {
+    let mut key = Vec::with_capacity(NONCE_LEN);
+    let mut state = 0xcbf2_9ce4_8422_2325u64;
+    for chunk in 0..NONCE_LEN {
+        let c = client_nonce.get(chunk).copied().unwrap_or(0);
+        let s = server_nonce.get(chunk).copied().unwrap_or(0);
+        state ^= u64::from(c) << 8 | u64::from(s);
+        state = state.wrapping_mul(0x1000_0000_01b3).rotate_left(7);
+        key.push((state >> 32) as u8);
+    }
+    key
+}
+
+/// Server-side handshake driver.
+#[derive(Debug)]
+pub struct Handshake {
+    state: HandshakeState,
+    server_nonce: [u8; NONCE_LEN],
+    client_nonce: Option<[u8; NONCE_LEN]>,
+    session_key: Option<Vec<u8>>,
+}
+
+impl Handshake {
+    /// Starts a handshake with the given server nonce.
+    #[must_use]
+    pub fn new(server_nonce: [u8; NONCE_LEN]) -> Self {
+        Handshake {
+            state: HandshakeState::Start,
+            server_nonce,
+            client_nonce: None,
+            session_key: None,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> HandshakeState {
+        self.state
+    }
+
+    /// Processes a ClientHello, returning the ServerHello nonce to send.
+    ///
+    /// # Errors
+    ///
+    /// [`HandshakeError::UnexpectedMessage`] out of order;
+    /// [`HandshakeError::BadNonce`] for wrong-size nonces.
+    pub fn on_client_hello(&mut self, nonce: &[u8]) -> Result<[u8; NONCE_LEN], HandshakeError> {
+        if self.state != HandshakeState::Start {
+            return Err(HandshakeError::UnexpectedMessage {
+                state: self.state,
+                message: "ClientHello",
+            });
+        }
+        let nonce: [u8; NONCE_LEN] = nonce.try_into().map_err(|_| HandshakeError::BadNonce)?;
+        self.client_nonce = Some(nonce);
+        self.state = HandshakeState::HelloExchanged;
+        Ok(self.server_nonce)
+    }
+
+    /// Processes the client's Finished, establishing the session.
+    ///
+    /// # Errors
+    ///
+    /// [`HandshakeError::UnexpectedMessage`] out of order.
+    pub fn on_finished(&mut self) -> Result<(), HandshakeError> {
+        if self.state != HandshakeState::HelloExchanged {
+            return Err(HandshakeError::UnexpectedMessage {
+                state: self.state,
+                message: "Finished",
+            });
+        }
+        let client = self.client_nonce.expect("set in HelloExchanged");
+        self.session_key = Some(derive_session_key(&client, &self.server_nonce));
+        self.state = HandshakeState::Established;
+        Ok(())
+    }
+
+    /// The established session key.
+    #[must_use]
+    pub fn session_key(&self) -> Option<&[u8]> {
+        self.session_key.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_handshake_establishes_a_key() {
+        let mut hs = Handshake::new([7u8; 32]);
+        assert_eq!(hs.state(), HandshakeState::Start);
+        let server_nonce = hs.on_client_hello(&[9u8; 32]).unwrap();
+        assert_eq!(server_nonce, [7u8; 32]);
+        assert_eq!(hs.state(), HandshakeState::HelloExchanged);
+        hs.on_finished().unwrap();
+        assert_eq!(hs.state(), HandshakeState::Established);
+        assert_eq!(hs.session_key().unwrap().len(), 32);
+    }
+
+    #[test]
+    fn key_depends_on_both_nonces() {
+        let k1 = derive_session_key(&[1u8; 32], &[2u8; 32]);
+        let k2 = derive_session_key(&[1u8; 32], &[3u8; 32]);
+        let k3 = derive_session_key(&[4u8; 32], &[2u8; 32]);
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        assert_eq!(k1, derive_session_key(&[1u8; 32], &[2u8; 32]), "deterministic");
+    }
+
+    #[test]
+    fn out_of_order_messages_are_rejected() {
+        let mut hs = Handshake::new([0u8; 32]);
+        assert!(matches!(
+            hs.on_finished(),
+            Err(HandshakeError::UnexpectedMessage { .. })
+        ));
+        hs.on_client_hello(&[1u8; 32]).unwrap();
+        assert!(matches!(
+            hs.on_client_hello(&[1u8; 32]),
+            Err(HandshakeError::UnexpectedMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn short_nonce_is_rejected() {
+        let mut hs = Handshake::new([0u8; 32]);
+        assert_eq!(hs.on_client_hello(&[1u8; 8]), Err(HandshakeError::BadNonce));
+    }
+
+    #[test]
+    fn no_key_before_established() {
+        let mut hs = Handshake::new([0u8; 32]);
+        hs.on_client_hello(&[1u8; 32]).unwrap();
+        assert!(hs.session_key().is_none());
+    }
+}

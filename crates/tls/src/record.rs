@@ -1,0 +1,212 @@
+//! The record layer: typed, length-prefixed frames.
+
+use std::fmt;
+
+/// The protocol version tag carried by every record (TLS 1.2's `0x0303`).
+pub const PROTOCOL_VERSION: u16 = 0x0303;
+
+/// Maximum record payload, as in TLS (2^14 bytes).
+const MAX_PAYLOAD: usize = 1 << 14;
+
+/// Record content types (the subset this toy stack uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentType {
+    /// Alerts (errors, close-notify).
+    Alert,
+    /// Handshake messages.
+    Handshake,
+    /// Application payload.
+    ApplicationData,
+    /// Heartbeat messages (RFC 6520 — the Heartbleed surface).
+    Heartbeat,
+}
+
+impl ContentType {
+    /// Wire id (matching the TLS registry values).
+    #[must_use]
+    pub fn to_wire(self) -> u8 {
+        match self {
+            ContentType::Alert => 21,
+            ContentType::Handshake => 22,
+            ContentType::ApplicationData => 23,
+            ContentType::Heartbeat => 24,
+        }
+    }
+
+    /// Parses a wire id.
+    #[must_use]
+    pub fn from_wire(id: u8) -> Option<Self> {
+        match id {
+            21 => Some(ContentType::Alert),
+            22 => Some(ContentType::Handshake),
+            23 => Some(ContentType::ApplicationData),
+            24 => Some(ContentType::Heartbeat),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ContentType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ContentType::Alert => "alert",
+            ContentType::Handshake => "handshake",
+            ContentType::ApplicationData => "application-data",
+            ContentType::Heartbeat => "heartbeat",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Record parse/encode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// More bytes needed.
+    Incomplete,
+    /// Unknown content type id.
+    UnknownContentType(u8),
+    /// Version tag mismatch.
+    BadVersion(u16),
+    /// Declared payload exceeds the protocol maximum.
+    PayloadTooLarge(usize),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Incomplete => write!(f, "record incomplete"),
+            RecordError::UnknownContentType(id) => write!(f, "unknown content type {id}"),
+            RecordError::BadVersion(v) => write!(f, "unsupported version {v:#06x}"),
+            RecordError::PayloadTooLarge(n) => write!(f, "payload of {n} bytes exceeds maximum"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// One record: `type(1) version(2) length(2) payload(length)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Content type.
+    pub content_type: ContentType,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// Creates a record.
+    ///
+    /// # Errors
+    ///
+    /// [`RecordError::PayloadTooLarge`] beyond 2^14 bytes.
+    pub fn new(content_type: ContentType, payload: Vec<u8>) -> Result<Self, RecordError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(RecordError::PayloadTooLarge(payload.len()));
+        }
+        Ok(Record {
+            content_type,
+            payload,
+        })
+    }
+
+    /// Serializes the record.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.payload.len());
+        out.push(self.content_type.to_wire());
+        out.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses one record from the front of `input`, returning it and the
+    /// bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`RecordError`] variants as appropriate; `Incomplete` means keep
+    /// buffering.
+    pub fn parse(input: &[u8]) -> Result<(Record, usize), RecordError> {
+        if input.len() < 5 {
+            return Err(RecordError::Incomplete);
+        }
+        let content_type = ContentType::from_wire(input[0])
+            .ok_or(RecordError::UnknownContentType(input[0]))?;
+        let version = u16::from_be_bytes([input[1], input[2]]);
+        if version != PROTOCOL_VERSION {
+            return Err(RecordError::BadVersion(version));
+        }
+        let len = usize::from(u16::from_be_bytes([input[3], input[4]]));
+        if input.len() < 5 + len {
+            return Err(RecordError::Incomplete);
+        }
+        Ok((
+            Record {
+                content_type,
+                payload: input[5..5 + len].to_vec(),
+            },
+            5 + len,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let record = Record::new(ContentType::Handshake, b"hello".to_vec()).unwrap();
+        let bytes = record.to_bytes();
+        let (parsed, used) = Record::parse(&bytes).unwrap();
+        assert_eq!(parsed, record);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn incomplete_header_and_payload() {
+        assert_eq!(Record::parse(&[22, 3]).unwrap_err(), RecordError::Incomplete);
+        let mut bytes = Record::new(ContentType::Alert, vec![1, 2, 3]).unwrap().to_bytes();
+        bytes.pop();
+        assert_eq!(Record::parse(&bytes).unwrap_err(), RecordError::Incomplete);
+    }
+
+    #[test]
+    fn unknown_type_and_version_are_rejected() {
+        let bytes = [99u8, 0x03, 0x03, 0, 0];
+        assert_eq!(
+            Record::parse(&bytes).unwrap_err(),
+            RecordError::UnknownContentType(99)
+        );
+        let bytes = [22u8, 0x03, 0x01, 0, 0];
+        assert_eq!(
+            Record::parse(&bytes).unwrap_err(),
+            RecordError::BadVersion(0x0301)
+        );
+    }
+
+    #[test]
+    fn payload_limit_is_enforced() {
+        assert!(matches!(
+            Record::new(ContentType::ApplicationData, vec![0; (1 << 14) + 1]),
+            Err(RecordError::PayloadTooLarge(_))
+        ));
+        assert!(Record::new(ContentType::ApplicationData, vec![0; 1 << 14]).is_ok());
+    }
+
+    #[test]
+    fn trailing_bytes_left_for_next_record() {
+        let mut bytes = Record::new(ContentType::Heartbeat, b"hb".to_vec()).unwrap().to_bytes();
+        bytes.extend_from_slice(b"XX");
+        let (_, used) = Record::parse(&bytes).unwrap();
+        assert_eq!(&bytes[used..], b"XX");
+    }
+
+    #[test]
+    fn content_type_wire_ids_match_registry() {
+        assert_eq!(ContentType::Heartbeat.to_wire(), 24);
+        assert_eq!(ContentType::from_wire(22), Some(ContentType::Handshake));
+        assert_eq!(ContentType::from_wire(0), None);
+    }
+}

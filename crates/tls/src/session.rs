@@ -1,0 +1,381 @@
+//! A server-side session driver: records in, records out.
+//!
+//! Ties the pieces together the way the OpenSSL use case in the paper
+//! does: a per-session state machine whose handshake establishes a secret
+//! and whose heartbeat handler — the attack surface — runs inside an
+//! SDRaD confidential domain. One [`TlsSession`] models one connection.
+
+use crate::{
+    ContentType, Handshake, HandshakeState, HeartbeatEngine, HeartbeatOutcome, Record,
+    RecordError, NONCE_LEN,
+};
+
+/// Wire framing of handshake payloads in this toy stack:
+/// `msg_type(1) || body`.
+const HS_CLIENT_HELLO: u8 = 1;
+const HS_SERVER_HELLO: u8 = 2;
+const HS_FINISHED: u8 = 20;
+
+/// Wire framing of heartbeat payloads (RFC 6520): `type(1) ||
+/// payload_len(2 BE) || payload || padding`.
+const HB_REQUEST: u8 = 1;
+const HB_RESPONSE: u8 = 2;
+
+/// Session-level errors (fatal for the connection, not the process).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// Record layer failure.
+    Record(RecordError),
+    /// Handshake protocol violation.
+    Handshake(String),
+    /// A message arrived for a layer that is not ready (e.g. application
+    /// data before the handshake finished).
+    NotReady(&'static str),
+    /// Payload framing was malformed.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Record(e) => write!(f, "record layer: {e}"),
+            SessionError::Handshake(e) => write!(f, "handshake: {e}"),
+            SessionError::NotReady(what) => write!(f, "not ready for {what}"),
+            SessionError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<RecordError> for SessionError {
+    fn from(e: RecordError) -> Self {
+        SessionError::Record(e)
+    }
+}
+
+/// Counters of one session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Records processed.
+    pub records: u64,
+    /// Heartbeats answered.
+    pub heartbeats: u64,
+    /// Heartbeat over-reads contained by the domain.
+    pub contained: u64,
+    /// Application-data bytes echoed.
+    pub app_bytes: u64,
+}
+
+/// One server-side TLS-ish session.
+#[derive(Debug)]
+pub struct TlsSession {
+    handshake: Handshake,
+    heartbeat: Option<HeartbeatEngine>,
+    isolated: bool,
+    stats: SessionStats,
+}
+
+impl TlsSession {
+    /// Creates a session. `isolated` selects the SDRaD heartbeat engine
+    /// (confidential domain) over the 2014 layout.
+    #[must_use]
+    pub fn new(server_nonce: [u8; NONCE_LEN], isolated: bool) -> Self {
+        TlsSession {
+            handshake: Handshake::new(server_nonce),
+            heartbeat: None,
+            isolated,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Whether the handshake completed.
+    #[must_use]
+    pub fn is_established(&self) -> bool {
+        self.handshake.state() == HandshakeState::Established
+    }
+
+    /// Session counters.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The heartbeat engine (test oracle access), once established.
+    #[must_use]
+    pub fn heartbeat_engine(&self) -> Option<&HeartbeatEngine> {
+        self.heartbeat.as_ref()
+    }
+
+    /// Processes one incoming record, producing any response records.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] for protocol violations. Heartbeat over-reads in
+    /// isolated mode are *not* errors: they are contained and answered
+    /// with an alert record, and the session continues.
+    pub fn process(&mut self, record: &Record) -> Result<Vec<Record>, SessionError> {
+        self.stats.records += 1;
+        match record.content_type {
+            ContentType::Handshake => self.on_handshake(&record.payload),
+            ContentType::Heartbeat => self.on_heartbeat(&record.payload),
+            ContentType::ApplicationData => {
+                if !self.is_established() {
+                    return Err(SessionError::NotReady("application data"));
+                }
+                self.stats.app_bytes += record.payload.len() as u64;
+                // Echo service (stand-in for real application protocol).
+                Ok(vec![Record::new(
+                    ContentType::ApplicationData,
+                    record.payload.clone(),
+                )?])
+            }
+            ContentType::Alert => Ok(Vec::new()),
+        }
+    }
+
+    /// Consumes bytes from a connection buffer, processing every complete
+    /// record; returns response bytes and how much input was consumed.
+    ///
+    /// # Errors
+    ///
+    /// First [`SessionError`] encountered; earlier responses are lost
+    /// (the connection would be torn down anyway).
+    pub fn pump(&mut self, input: &[u8]) -> Result<(Vec<u8>, usize), SessionError> {
+        let mut consumed = 0;
+        let mut output = Vec::new();
+        loop {
+            match Record::parse(&input[consumed..]) {
+                Ok((record, used)) => {
+                    consumed += used;
+                    for response in self.process(&record)? {
+                        output.extend(response.to_bytes());
+                    }
+                }
+                Err(RecordError::Incomplete) => return Ok((output, consumed)),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn on_handshake(&mut self, payload: &[u8]) -> Result<Vec<Record>, SessionError> {
+        let (&msg_type, body) = payload
+            .split_first()
+            .ok_or(SessionError::Malformed("handshake payload"))?;
+        match msg_type {
+            HS_CLIENT_HELLO => {
+                let server_nonce = self
+                    .handshake
+                    .on_client_hello(body)
+                    .map_err(|e| SessionError::Handshake(e.to_string()))?;
+                let mut response = vec![HS_SERVER_HELLO];
+                response.extend_from_slice(&server_nonce);
+                Ok(vec![Record::new(ContentType::Handshake, response)?])
+            }
+            HS_FINISHED => {
+                self.handshake
+                    .on_finished()
+                    .map_err(|e| SessionError::Handshake(e.to_string()))?;
+                let key = self
+                    .handshake
+                    .session_key()
+                    .expect("established")
+                    .to_vec();
+                self.heartbeat = Some(if self.isolated {
+                    HeartbeatEngine::isolated(key)
+                        .map_err(|e| SessionError::Handshake(e.to_string()))?
+                } else {
+                    HeartbeatEngine::unprotected(key)
+                });
+                Ok(vec![Record::new(
+                    ContentType::Handshake,
+                    vec![HS_FINISHED],
+                )?])
+            }
+            other => Err(SessionError::Malformed(match other {
+                HS_SERVER_HELLO => "client sent a ServerHello",
+                _ => "unknown handshake message",
+            })),
+        }
+    }
+
+    fn on_heartbeat(&mut self, payload: &[u8]) -> Result<Vec<Record>, SessionError> {
+        if payload.len() < 3 || payload[0] != HB_REQUEST {
+            return Err(SessionError::Malformed("heartbeat request"));
+        }
+        let engine = self
+            .heartbeat
+            .as_mut()
+            .ok_or(SessionError::NotReady("heartbeat"))?;
+        let declared = usize::from(u16::from_be_bytes([payload[1], payload[2]]));
+        let data = &payload[3..];
+        self.stats.heartbeats += 1;
+        match engine.respond(declared, data) {
+            HeartbeatOutcome::Response(bytes) => {
+                let mut response = vec![HB_RESPONSE];
+                response.extend_from_slice(&(bytes.len().min(0xFFFF) as u16).to_be_bytes());
+                // Record-layer cap: a response longer than the record
+                // payload limit is truncated (it came from an over-read
+                // in the unprotected engine anyway).
+                let cap = (1 << 14) - 3;
+                response.extend_from_slice(&bytes[..bytes.len().min(cap)]);
+                Ok(vec![Record::new(ContentType::Heartbeat, response)?])
+            }
+            HeartbeatOutcome::Contained { kind } => {
+                self.stats.contained += 1;
+                // Answer with an alert instead of dying — the containment
+                // contract.
+                Ok(vec![Record::new(
+                    ContentType::Alert,
+                    format!("contained:{kind}").into_bytes(),
+                )?])
+            }
+        }
+    }
+}
+
+/// Builds a heartbeat request payload (client side, for tests/benches).
+#[must_use]
+pub fn heartbeat_request(declared: u16, data: &[u8]) -> Vec<u8> {
+    let mut payload = vec![HB_REQUEST];
+    payload.extend_from_slice(&declared.to_be_bytes());
+    payload.extend_from_slice(data);
+    payload
+}
+
+/// Builds a ClientHello payload (client side, for tests/benches).
+#[must_use]
+pub fn client_hello(nonce: &[u8; NONCE_LEN]) -> Vec<u8> {
+    let mut payload = vec![HS_CLIENT_HELLO];
+    payload.extend_from_slice(nonce);
+    payload
+}
+
+/// Builds a Finished payload (client side, for tests/benches).
+#[must_use]
+pub fn finished() -> Vec<u8> {
+    vec![HS_FINISHED]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn establish(isolated: bool) -> TlsSession {
+        let mut session = TlsSession::new([7u8; 32], isolated);
+        let hello = Record::new(ContentType::Handshake, client_hello(&[9u8; 32])).unwrap();
+        let responses = session.process(&hello).unwrap();
+        assert_eq!(responses.len(), 1);
+        let fin = Record::new(ContentType::Handshake, finished()).unwrap();
+        session.process(&fin).unwrap();
+        assert!(session.is_established());
+        session
+    }
+
+    #[test]
+    fn full_handshake_then_echo() {
+        let mut session = establish(true);
+        let data = Record::new(ContentType::ApplicationData, b"hello tls".to_vec()).unwrap();
+        let responses = session.process(&data).unwrap();
+        assert_eq!(responses[0].payload, b"hello tls");
+        assert_eq!(session.stats().app_bytes, 9);
+    }
+
+    #[test]
+    fn app_data_before_handshake_is_rejected() {
+        let mut session = TlsSession::new([0u8; 32], true);
+        let data = Record::new(ContentType::ApplicationData, b"early".to_vec()).unwrap();
+        assert!(matches!(
+            session.process(&data),
+            Err(SessionError::NotReady(_))
+        ));
+    }
+
+    #[test]
+    fn benign_heartbeat_echoes() {
+        let mut session = establish(true);
+        let hb = Record::new(ContentType::Heartbeat, heartbeat_request(4, b"ping")).unwrap();
+        let responses = session.process(&hb).unwrap();
+        assert_eq!(responses[0].content_type, ContentType::Heartbeat);
+        assert_eq!(&responses[0].payload[3..], b"ping");
+    }
+
+    #[test]
+    fn heartbleed_leaks_in_unprotected_session_only() {
+        let mut leaky = establish(false);
+        let hb = Record::new(ContentType::Heartbeat, heartbeat_request(4096, b"hb")).unwrap();
+        let responses = leaky.process(&hb).unwrap();
+        let engine = leaky.heartbeat_engine().unwrap();
+        assert!(
+            engine.leaks_secret(&responses[0].payload),
+            "unprotected session should bleed its session key"
+        );
+
+        let mut safe = establish(true);
+        let hb = Record::new(ContentType::Heartbeat, heartbeat_request(4096, b"hb")).unwrap();
+        let responses = safe.process(&hb).unwrap();
+        let engine = safe.heartbeat_engine().unwrap();
+        for record in &responses {
+            assert!(!engine.leaks_secret(&record.payload));
+        }
+    }
+
+    #[test]
+    fn contained_overread_becomes_alert_and_session_continues() {
+        let mut session = establish(true);
+        // 64 KB declared against the 16 KB heartbeat domain: contained.
+        let hb =
+            Record::new(ContentType::Heartbeat, heartbeat_request(u16::MAX, b"x")).unwrap();
+        let responses = session.process(&hb).unwrap();
+        assert_eq!(responses[0].content_type, ContentType::Alert);
+        assert!(String::from_utf8_lossy(&responses[0].payload).starts_with("contained:"));
+        assert_eq!(session.stats().contained, 1);
+
+        // The session still answers benign traffic.
+        let hb = Record::new(ContentType::Heartbeat, heartbeat_request(2, b"ok")).unwrap();
+        let responses = session.process(&hb).unwrap();
+        assert_eq!(responses[0].content_type, ContentType::Heartbeat);
+    }
+
+    #[test]
+    fn pump_processes_pipelined_records() {
+        let mut session = TlsSession::new([7u8; 32], true);
+        let mut wire = Vec::new();
+        wire.extend(
+            Record::new(ContentType::Handshake, client_hello(&[9u8; 32]))
+                .unwrap()
+                .to_bytes(),
+        );
+        wire.extend(Record::new(ContentType::Handshake, finished()).unwrap().to_bytes());
+        // Plus half of a third record.
+        let partial = Record::new(ContentType::ApplicationData, b"later".to_vec())
+            .unwrap()
+            .to_bytes();
+        wire.extend_from_slice(&partial[..3]);
+
+        let (output, consumed) = session.pump(&wire).unwrap();
+        assert!(session.is_established());
+        assert_eq!(consumed, wire.len() - 3);
+        assert!(!output.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_handshake_is_a_session_error() {
+        let mut session = TlsSession::new([0u8; 32], true);
+        let fin = Record::new(ContentType::Handshake, finished()).unwrap();
+        assert!(matches!(
+            session.process(&fin),
+            Err(SessionError::Handshake(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_heartbeat_is_rejected_not_contained() {
+        let mut session = establish(true);
+        let bad = Record::new(ContentType::Heartbeat, vec![9]).unwrap();
+        assert!(matches!(
+            session.process(&bad),
+            Err(SessionError::Malformed(_))
+        ));
+    }
+}

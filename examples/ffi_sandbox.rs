@@ -1,0 +1,74 @@
+//! SDRaD-FFI (§III of the paper): annotate a "foreign" function so its
+//! memory bugs are contained and an alternate action runs instead.
+//!
+//! Run with: `cargo run --example ffi_sandbox`
+
+use sdrad_repro::ffi::{sandboxed, Sandbox};
+
+// Pretend this is a binding to a legacy C image library. It has a bug: it
+// trusts the width/height header fields and indexes out of bounds when
+// they lie about the pixel buffer size.
+sandboxed! {
+    /// Returns the average brightness of a (width × height) image.
+    pub fn average_brightness(width: usize, height: usize, pixels: Vec<u8>) -> u64 {
+        let mut sum = 0u64;
+        for y in 0..height {
+            for x in 0..width {
+                sum += u64::from(pixels[y * width + x]); // BUG: unchecked
+            }
+        }
+        if width * height == 0 { 0 } else { sum / (width * height) as u64 }
+    } recover |_err| {
+        // Alternate action: a neutral value instead of a crashed process.
+        0
+    }
+}
+
+sandboxed! {
+    /// The same function without a recover clause: callers see Result.
+    pub fn checked_brightness(width: usize, height: usize, pixels: Vec<u8>) -> u64 {
+        let mut sum = 0u64;
+        for y in 0..height {
+            for x in 0..width {
+                sum += u64::from(pixels[y * width + x]);
+            }
+        }
+        if width * height == 0 { 0 } else { sum / (width * height) as u64 }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    sdrad_repro::quiet_fault_traps();
+
+    // One sandbox (one isolation domain) serves all annotated functions.
+    let mut sandbox = Sandbox::in_process()?;
+
+    // A well-formed image: the function just works, inside the domain.
+    let image = vec![100u8; 4 * 4];
+    println!(
+        "benign 4x4 image -> brightness {}",
+        average_brightness(&mut sandbox, 4, 4, image.clone())
+    );
+
+    // A malicious header claims 64x64 for a 16-byte buffer. The
+    // out-of-bounds indexing panics inside the domain; the rewind
+    // contains it and the alternate action returns 0.
+    println!(
+        "lying 64x64 header -> brightness {} (alternate action)",
+        average_brightness(&mut sandbox, 64, 64, image.clone())
+    );
+
+    // The Result-returning flavour reports the containment instead.
+    match checked_brightness(&mut sandbox, 64, 64, image) {
+        Ok(v) => println!("unexpected success: {v}"),
+        Err(e) => println!("checked flavour reports: {e}"),
+    }
+
+    let stats = sandbox.stats();
+    println!(
+        "sandbox stats: {} invocations, {} recovered faults, {} B marshalled in",
+        stats.invocations, stats.recovered_faults, stats.bytes_in
+    );
+    println!("the host process never noticed — that's the SDRaD-FFI contract.");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: create a domain, run risky code, survive its faults.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sdrad_repro::core::{DomainConfig, DomainManager, DomainPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    sdrad_repro::quiet_fault_traps();
+
+    // One DomainManager models one process. Create an isolated domain for
+    // code we don't trust — a parser, a legacy library, a plugin.
+    let mut mgr = DomainManager::new();
+    let parser = mgr.create_domain(
+        DomainConfig::new("untrusted-parser")
+            .heap_capacity(256 * 1024)
+            .policy(DomainPolicy::Confidential),
+    )?;
+
+    // Happy path: the closure's return value comes back to the caller.
+    let length = mgr.call(parser, |env| {
+        let input = env.push_bytes(b"well-formed input");
+        env.read_bytes(input, 17).len()
+    })?;
+    println!("parsed {length} bytes inside the domain");
+
+    // Unhappy path: the code inside the domain has a memory bug. Without
+    // SDRaD this would be a crashed process; with it, the fault is
+    // detected, the domain is rewound and its heap discarded, and we get
+    // an error we can handle — in microseconds.
+    let result = mgr.call(parser, |env| {
+        let buffer = env.alloc(16);
+        // A classic linear overflow: 64 bytes into a 16-byte buffer.
+        env.write(buffer, &[0x41; 64]);
+    });
+    match result {
+        Err(violation) => println!("contained: {violation}"),
+        Ok(()) => unreachable!("the overflow is always detected"),
+    }
+
+    // The process — and even the faulting domain — keeps working.
+    let proof = mgr.call(parser, |env| {
+        let block = env.push_bytes(b"still alive");
+        env.read_bytes(block, 11)
+    })?;
+    println!("after recovery: {}", String::from_utf8_lossy(&proof));
+
+    let info = mgr.domain_info(parser)?;
+    println!(
+        "domain stats: {} calls, {} violations, mean rewind {:.1} µs",
+        info.calls,
+        info.violations,
+        info.mean_rewind_ns().unwrap_or(0.0) / 1000.0
+    );
+    Ok(())
+}

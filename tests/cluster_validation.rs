@@ -1,0 +1,173 @@
+//! Cross-crate integration: the cluster simulator validates the analytic
+//! sustainability models (E12/E13 preconditions).
+//!
+//! `sdrad-energy` computes the paper's §IV availability/energy claims in
+//! closed form; `sdrad-cluster` simulates the same deployments with an
+//! independent mechanism (discrete events, Poisson arrivals, explicit
+//! failover). Where the assumptions coincide the two must agree; where
+//! the simulator models more (failover windows, correlated attacks) it
+//! must deviate in the direction the extra physics predicts.
+
+use sdrad_repro::cluster::{run_trials, ClusterConfig, ClusterSim, SECONDS_PER_YEAR};
+use sdrad_repro::energy::redundancy::{evaluate, Scenario};
+use sdrad_repro::energy::{availability, nines, Strategy};
+use std::time::Duration;
+
+#[test]
+fn simulation_agrees_with_closed_form_for_single_instance() {
+    for faults_per_year in [1.0, 3.0, 12.0] {
+        let mut config = ClusterConfig::paper_baseline(Strategy::SingleRestart);
+        config.faults_per_year = faults_per_year;
+        let summary = run_trials(&config, 32);
+
+        let recovery = config.recovery_model().recovery_time(config.state_bytes);
+        let analytic = availability(faults_per_year, recovery);
+        let delta = (summary.availability.mean - analytic).abs();
+        assert!(
+            delta < 6.0 * summary.availability.ci95.max(1e-7),
+            "faults={faults_per_year}: sim {} vs analytic {analytic} (delta {delta:.2e}, ci {:.2e})",
+            summary.availability.mean,
+            summary.availability.ci95,
+        );
+    }
+}
+
+#[test]
+fn paper_headline_cell_reproduces() {
+    // "a regular restart takes about 2 minutes (which would violate
+    // 99.999% availability if there were three faults per year)"
+    let mut config = ClusterConfig::paper_baseline(Strategy::SingleRestart);
+    config.faults_per_year = 3.0;
+    let summary = run_trials(&config, 48);
+    // Mean sits just below five nines; a decisive majority of trials
+    // violate the target.
+    let violating = summary
+        .runs
+        .iter()
+        .filter(|r| r.availability() < 0.99999)
+        .count();
+    assert!(
+        violating * 2 >= summary.runs.len(),
+        "{violating}/{} trials violated five nines",
+        summary.runs.len()
+    );
+
+    // SDRaD holds five nines in every trial.
+    let mut config = ClusterConfig::paper_baseline(Strategy::SdradSingle);
+    config.faults_per_year = 3.0;
+    let summary = run_trials(&config, 48);
+    assert!(summary.runs.iter().all(|r| r.availability() >= 0.99999));
+    assert!(nines(summary.availability.mean) > 9.0);
+}
+
+#[test]
+fn failover_windows_cost_what_the_closed_form_ignores() {
+    // The redundancy closed form composes instances in parallel as if
+    // failover were free; the simulator pays the 5 s detection window.
+    // Simulated 2N availability must therefore sit BELOW the analytic
+    // parallel composition but far ABOVE the single instance.
+    let mut config = ClusterConfig::paper_baseline(Strategy::ActivePassive);
+    config.faults_per_year = 12.0; // enough samples for a stable mean
+    let pair = run_trials(&config, 32);
+
+    let mut config = ClusterConfig::paper_baseline(Strategy::SingleRestart);
+    config.faults_per_year = 12.0;
+    let single = run_trials(&config, 32);
+
+    assert!(pair.availability.mean > single.availability.mean);
+    assert!(
+        pair.availability.mean < pair.analytic_availability,
+        "sim {} should pay failover the closed form ({}) ignores",
+        pair.availability.mean,
+        pair.analytic_availability
+    );
+}
+
+#[test]
+fn energy_ordering_matches_the_analytic_lineup() {
+    // Both the closed form (E5) and the simulator (E13) must order the
+    // strategies identically on energy: single < 2N < 3+1.
+    let single = ClusterSim::new(ClusterConfig::paper_baseline(Strategy::SingleRestart)).run();
+    let sdrad = ClusterSim::new(ClusterConfig::paper_baseline(Strategy::SdradSingle)).run();
+    let pair = ClusterSim::new(ClusterConfig::paper_baseline(Strategy::ActivePassive)).run();
+    let cluster = ClusterSim::new(ClusterConfig::paper_baseline(Strategy::NPlusOne { n: 3 })).run();
+
+    assert!(single.kwh < pair.kwh);
+    assert!(pair.kwh < cluster.kwh);
+    // SDRaD pays only its runtime overhead over the bare single.
+    assert!(sdrad.kwh > single.kwh * 0.99);
+    assert!(sdrad.kwh < single.kwh * 1.06);
+
+    // And the analytic lineup agrees on the ordering.
+    let scenario = Scenario::default();
+    let analytic_single = evaluate(Strategy::SingleRestart, &scenario);
+    let analytic_pair = evaluate(Strategy::ActivePassive, &scenario);
+    assert!(analytic_single.annual_kwh < analytic_pair.annual_kwh);
+}
+
+#[test]
+fn correlated_attacks_shrink_redundancy_gains() {
+    // Independent faults: 2N >> 1N on availability.
+    let mut independent = ClusterConfig::paper_baseline(Strategy::ActivePassive);
+    independent.faults_per_year = 12.0;
+    independent.duration = Duration::from_secs(SECONDS_PER_YEAR as u64);
+    let independent_pair = ClusterSim::new(independent.clone()).run();
+    let mut single = independent.clone();
+    single.strategy = Strategy::SingleRestart;
+    let independent_single = ClusterSim::new(single).run();
+    let independent_gain =
+        independent_single.downtime_seconds - independent_pair.downtime_seconds;
+
+    // Correlated campaigns against a monoculture: the gain largely
+    // evaporates (both replicas die together).
+    let mut correlated = ClusterConfig::paper_baseline(Strategy::ActivePassive);
+    correlated.faults_per_year = 0.0;
+    correlated.attacks_per_year = 12.0;
+    correlated.variants = 1;
+    let correlated_pair = ClusterSim::new(correlated.clone()).run();
+    let mut single = correlated.clone();
+    single.strategy = Strategy::SingleRestart;
+    let correlated_single = ClusterSim::new(single).run();
+    let correlated_gain =
+        correlated_single.downtime_seconds - correlated_pair.downtime_seconds;
+
+    assert!(
+        independent_gain > correlated_gain * 2.0,
+        "independent gain {independent_gain}s, correlated gain {correlated_gain}s"
+    );
+
+    // Diversification restores the gain.
+    let mut diversified = correlated.clone();
+    diversified.variants = 2;
+    let diversified_pair = ClusterSim::new(diversified).run();
+    assert!(diversified_pair.downtime_seconds < correlated_pair.downtime_seconds / 10.0);
+}
+
+#[test]
+fn sdrad_survives_attack_storms_that_sink_everything_else() {
+    // A hostile year: weekly exploit campaigns plus monthly faults.
+    for strategy in [
+        Strategy::SingleRestart,
+        Strategy::ActivePassive,
+        Strategy::SdradSingle,
+    ] {
+        let mut config = ClusterConfig::paper_baseline(strategy);
+        config.faults_per_year = 12.0;
+        config.attacks_per_year = 52.0;
+        config.variants = 1;
+        let metrics = ClusterSim::new(config).run();
+        if strategy == Strategy::SdradSingle {
+            assert!(
+                metrics.availability() >= 0.99999,
+                "SDRaD under storm: {}",
+                metrics.availability()
+            );
+        } else {
+            assert!(
+                metrics.availability() < 0.99999,
+                "{} unexpectedly held five nines under storm",
+                strategy.name()
+            );
+        }
+    }
+}

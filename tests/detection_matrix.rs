@@ -1,0 +1,133 @@
+//! The detection matrix: every attack class × every policy, with event
+//! and cost accounting checked.
+
+use sdrad_repro::core::{DomainConfig, DomainManager, DomainPolicy};
+use sdrad_repro::faultsim::{inject, Attack, StackFrame};
+
+#[test]
+fn every_attack_is_contained_under_every_policy() {
+    sdrad_repro::quiet_fault_traps();
+    for policy in [DomainPolicy::Integrity, DomainPolicy::Confidential] {
+        let mut mgr = DomainManager::new();
+        let _victim = mgr
+            .create_domain(DomainConfig::new("victim").heap_capacity(16 * 1024))
+            .unwrap();
+        let attacker = mgr
+            .create_domain(
+                DomainConfig::new("attacker")
+                    .heap_capacity(512 * 1024)
+                    .policy(policy),
+            )
+            .unwrap();
+        for attack in Attack::ALL {
+            let result = mgr.call(attacker, move |env| inject(env, attack));
+            assert!(
+                result.is_err(),
+                "{attack} undetected under {policy} policy"
+            );
+        }
+        let info = mgr.domain_info(attacker).unwrap();
+        assert_eq!(info.violations, Attack::ALL.len() as u64);
+        assert_eq!(info.calls, Attack::ALL.len() as u64);
+    }
+}
+
+#[test]
+fn event_log_reconstructs_the_attack_history() {
+    sdrad_repro::quiet_fault_traps();
+    let mut mgr = DomainManager::new();
+    let _victim = mgr.create_domain(DomainConfig::new("victim")).unwrap();
+    let attacker = mgr.create_domain(DomainConfig::new("attacker")).unwrap();
+
+    for attack in [Attack::HeapOverflow, Attack::WildRead, Attack::DoubleFree] {
+        let _ = mgr.call(attacker, move |env| inject(env, attack));
+    }
+    let events = mgr.events();
+    assert_eq!(events.count_kind("faulted"), 3);
+    assert_eq!(events.count_kind("rewound"), 3);
+    // Entered/exited pair only for successful calls; all three faulted.
+    assert_eq!(events.count_kind("entered"), 3);
+    assert_eq!(events.count_kind("exited"), 0);
+
+    let kinds: Vec<&str> = events
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            sdrad_repro::core::DomainEvent::Faulted { fault, .. } => Some(fault.kind()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(kinds, vec!["canary-corruption", "unmapped", "double-free"]);
+}
+
+#[test]
+fn cost_accounting_scales_with_calls_not_faults() {
+    sdrad_repro::quiet_fault_traps();
+    let mut mgr = DomainManager::new();
+    let domain = mgr.create_domain(DomainConfig::new("counted")).unwrap();
+    let base = mgr.cost().wrpkru_count;
+    for i in 0..10 {
+        let _ = mgr.call(domain, move |env| {
+            let block = env.push_bytes(b"data");
+            if i % 2 == 0 {
+                env.free(block);
+                env.free(block); // fault on even calls
+            } else {
+                env.free(block);
+            }
+        });
+    }
+    // Two WRPKRUs per call regardless of outcome.
+    assert_eq!(mgr.cost().wrpkru_count - base, 20);
+}
+
+#[test]
+fn stack_frames_compose_with_other_detections() {
+    sdrad_repro::quiet_fault_traps();
+    let mut mgr = DomainManager::new();
+    let domain = mgr.create_domain(DomainConfig::new("frames")).unwrap();
+
+    // Clean nested frames with heap traffic in between.
+    mgr.call(domain, |env| {
+        let outer = StackFrame::enter(env, "outer", 64);
+        let heap_block = env.push_bytes(b"heap-data");
+        let inner = StackFrame::enter(env, "inner", 32);
+        inner.exit(env);
+        assert_eq!(env.read_bytes(heap_block, 9), b"heap-data");
+        env.free(heap_block);
+        outer.exit(env);
+    })
+    .unwrap();
+
+    // A smashed inner frame unwinds through the outer frame safely.
+    let err = mgr
+        .call(domain, |env| {
+            let _outer = StackFrame::enter(env, "outer", 64);
+            let inner = StackFrame::enter(env, "inner", 8);
+            inner.unchecked_write(env, 0, &[0u8; 32]);
+            inner.exit(env);
+        })
+        .unwrap_err();
+    assert!(matches!(
+        err.fault(),
+        Some(sdrad_repro::Fault::StackSmash { frame }) if *frame == "inner"
+    ));
+    // Reusable afterwards.
+    assert!(mgr.call(domain, |env| env.push_bytes(b"ok")).is_ok());
+}
+
+#[test]
+fn fifteen_domain_limit_is_enforced_and_recyclable() {
+    sdrad_repro::quiet_fault_traps();
+    let mut mgr = DomainManager::new();
+    let domains: Vec<_> = (0..15)
+        .map(|i| {
+            mgr.create_domain(DomainConfig::new(format!("d{i}")).heap_capacity(4096))
+                .unwrap()
+        })
+        .collect();
+    assert!(mgr.create_domain(DomainConfig::new("overflow")).is_err());
+    // Destroying any domain frees its key for a new one.
+    mgr.destroy_domain(domains[7]).unwrap();
+    assert!(mgr.create_domain(DomainConfig::new("replacement")).is_ok());
+}

@@ -1,0 +1,234 @@
+//! Cross-crate integration: the E11 ablation's correctness claims.
+//!
+//! Every isolation mechanism in the workspace must (a) contain the same
+//! attack classes, (b) preserve sibling-compartment confidentiality, and
+//! (c) keep serving after containment. These are the preconditions for
+//! comparing their *costs* in `e11_mechanisms`.
+
+use sdrad_repro::cheri::{CapFault, CompartmentManager, Perms};
+use sdrad_repro::core::{DomainConfig, DomainManager, DomainPolicy};
+use sdrad_repro::sfi::{routines, EnforcementMode, Instr, Limits, Program, SfiSandbox};
+
+/// The attack classes the matrix covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Attack {
+    LinearOverflowEscape,
+    OverReadEscape,
+    RunawayLoop,
+}
+
+const ATTACKS: [Attack; 3] = [
+    Attack::LinearOverflowEscape,
+    Attack::OverReadEscape,
+    Attack::RunawayLoop,
+];
+
+#[test]
+fn mpk_contains_every_attack_class_and_keeps_serving() {
+    sdrad_repro::quiet_fault_traps();
+    let mut mgr = DomainManager::new();
+    let domain = mgr
+        .create_domain(DomainConfig::new("victim").heap_capacity(64 * 1024))
+        .unwrap();
+
+    let mut contained = 0;
+    for attack in ATTACKS {
+        let result = mgr.call(domain, |env| match attack {
+            Attack::LinearOverflowEscape => {
+                let buf = env.alloc(16);
+                env.write(buf.offset(env.heap_region().len()), &[0x41]);
+            }
+            Attack::OverReadEscape => {
+                let buf = env.push_bytes(b"rec");
+                let _ = env.read_bytes(buf, env.heap_region().len() + 64);
+            }
+            Attack::RunawayLoop => {
+                // MPK has no fuel meter; model the watchdog as an abort.
+                env.abort("watchdog: request deadline exceeded");
+            }
+        });
+        assert!(result.is_err(), "{attack:?} must be contained");
+        contained += 1;
+        // Service continues after every containment.
+        let ok = mgr
+            .call(domain, |env| {
+                let buf = env.push_bytes(b"alive");
+                env.read_bytes(buf, 5)
+            })
+            .unwrap();
+        assert_eq!(ok, b"alive");
+    }
+    assert_eq!(contained, ATTACKS.len());
+    assert_eq!(mgr.total_rewinds() as usize, ATTACKS.len());
+}
+
+#[test]
+fn cheri_contains_every_attack_class_and_keeps_serving() {
+    let mut mgr = CompartmentManager::new(1 << 20);
+    let (_, entry) = mgr.create_compartment("victim", 16 * 1024).unwrap();
+
+    for attack in ATTACKS {
+        let result = mgr.invoke(entry, |env| match attack {
+            Attack::LinearOverflowEscape => {
+                let buf = env.alloc(16)?;
+                let wild = buf.with_address(buf.top())?;
+                env.write(&wild, &[0x41])
+            }
+            Attack::OverReadEscape => {
+                let buf = env.alloc(16)?;
+                let all = buf.with_address(buf.base())?;
+                env.read(&all, &mut [0u8; 64])
+            }
+            Attack::RunawayLoop => env.abort("watchdog: request deadline exceeded"),
+        });
+        assert!(result.is_err(), "{attack:?} must be contained");
+        let ok = mgr
+            .invoke(entry, |env| {
+                let buf = env.alloc(8)?;
+                env.write(&buf, b"alive")?;
+                env.read_vec(&buf, 5)
+            })
+            .unwrap();
+        assert_eq!(ok, b"alive");
+    }
+    assert_eq!(mgr.total_rewinds() as usize, ATTACKS.len());
+}
+
+#[test]
+fn sfi_contains_every_attack_class_and_keeps_serving() {
+    let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked)
+        .unwrap()
+        .with_limits(Limits { fuel: 1_000_000, stack: 256 });
+
+    let overflow = Program {
+        locals: 0,
+        params: 0,
+        results: 0,
+        instrs: vec![
+            Instr::I64Const(1 << 32),
+            Instr::I64Const(0x41),
+            Instr::Store8,
+            Instr::Return,
+        ],
+    };
+    let overread = Program {
+        locals: 0,
+        params: 0,
+        results: 1,
+        instrs: vec![Instr::I64Const(1 << 32), Instr::Load8, Instr::Return],
+    };
+
+    for (attack, program) in [
+        (Attack::LinearOverflowEscape, &overflow),
+        (Attack::OverReadEscape, &overread),
+        (Attack::RunawayLoop, &routines::spin()),
+    ] {
+        let result = sandbox.call(program, &[]);
+        assert!(result.is_err(), "{attack:?} must be contained");
+        // Service continues.
+        sandbox.copy_in(0x10, &[2, 2, 2]).unwrap();
+        let sum = sandbox.call(&routines::checksum(), &[0x10, 3]).unwrap();
+        assert_eq!(sum, vec![6]);
+    }
+    assert_eq!(sandbox.stats().faults as usize, ATTACKS.len());
+}
+
+#[test]
+fn sibling_confidentiality_holds_on_mpk_and_cheri() {
+    sdrad_repro::quiet_fault_traps();
+
+    // MPK: a confidential domain's heap is unreadable from a sibling.
+    let mut mgr = DomainManager::new();
+    let secret_domain = mgr
+        .create_domain(DomainConfig::new("secrets").policy(DomainPolicy::Confidential))
+        .unwrap();
+    let attacker_domain = mgr.create_domain(DomainConfig::new("attacker")).unwrap();
+    let secret_addr = mgr
+        .call(secret_domain, |env| env.push_bytes(b"tls-master-key"))
+        .unwrap();
+    let theft = mgr.call(attacker_domain, |env| env.read_bytes(secret_addr, 14));
+    assert!(theft.is_err(), "cross-domain read must fault");
+
+    // CHERI: compartment A's capability cannot be widened over B's heap.
+    let mut compartments = CompartmentManager::new(1 << 20);
+    let (b_id, entry_b) = compartments.create_compartment("secrets", 4096).unwrap();
+    let (_, entry_a) = compartments.create_compartment("attacker", 4096).unwrap();
+    compartments
+        .invoke(entry_b, |env| {
+            let buf = env.alloc(16)?;
+            env.write(&buf, b"tls-master-key!!")
+        })
+        .unwrap();
+    let b_base = compartments.compartment_info(b_id).unwrap().heap_base;
+    let theft = compartments.invoke(entry_a, |env| {
+        let forged = env.heap_cap().with_address(b_base)?;
+        env.read_vec(&forged, 16)
+    });
+    assert!(matches!(theft, Err(CapFault::BoundsViolation { .. })));
+}
+
+#[test]
+fn cheri_capability_cannot_be_smuggled_between_compartments() {
+    // Even if compartment A somehow obtains the *bytes* of B's capability
+    // (e.g. via a leaked log), the tag bit does not travel with bytes:
+    // reconstructing it yields an untagged, unusable value.
+    let mut mgr = CompartmentManager::new(1 << 20);
+    let (_, entry) = mgr.create_compartment("a", 4096).unwrap();
+    let fault = mgr.invoke(entry, |env| {
+        let slot = env.alloc(16)?;
+        // Store a capability properly (tag set)...
+        env.store_cap(&slot, env.heap_cap())?;
+        // ...then overwrite one byte as data: tag must clear.
+        env.write(&slot.with_address(slot.base())?, &[0x00])?;
+        let forged = env.load_cap(&slot)?;
+        forged.check_access(Perms::LOAD, 1).map(|_| ())
+    });
+    assert!(matches!(fault, Err(CapFault::TagViolation)));
+}
+
+#[test]
+fn rewind_discards_guest_state_on_all_mechanisms() {
+    sdrad_repro::quiet_fault_traps();
+
+    // MPK: after a fault, the domain heap is discarded (fresh allocations
+    // see no residue of pre-fault writes).
+    let mut mgr = DomainManager::new();
+    let domain = mgr.create_domain(DomainConfig::new("victim")).unwrap();
+    let addr = mgr
+        .call(domain, |env| {
+            
+            env.push_bytes(b"pre-fault-secret")
+        })
+        .unwrap();
+    let _ = mgr.call(domain, |env| {
+        env.write(env.heap_region().base().offset(1 << 30), &[1]);
+    });
+    let after = mgr.call(domain, |env| env.read_bytes(addr, 16));
+    // Either the address is gone (fresh heap) or its contents are wiped;
+    // both prove the discard. It must NOT return the secret.
+    if let Ok(bytes) = after {
+        assert_ne!(bytes, b"pre-fault-secret");
+    }
+
+    // SFI: the wipe is total.
+    let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked).unwrap();
+    sandbox.copy_in(0x80, b"pre-fault-secret").unwrap();
+    let _ = sandbox.call(&routines::spin(), &[]);
+    assert_eq!(sandbox.copy_out(0x80, 16).unwrap(), vec![0u8; 16]);
+
+    // CHERI: the compartment heap is zeroed.
+    let mut compartments = CompartmentManager::new(1 << 20);
+    let (_, entry) = compartments.create_compartment("victim", 4096).unwrap();
+    let _ = compartments.invoke(entry, |env| {
+        let buf = env.alloc(16)?;
+        env.write(&buf, b"pre-fault-secret")?;
+        env.abort::<()>("boom")
+    });
+    let residue = compartments
+        .invoke(entry, |env| {
+            let buf = env.alloc(16)?;
+            env.read_vec(&buf, 16)
+        })
+        .unwrap();
+    assert_eq!(residue, vec![0u8; 16]);
+}

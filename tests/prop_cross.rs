@@ -1,0 +1,125 @@
+//! Cross-crate property tests: semantic equivalence and resilience of the
+//! full server stacks under generated traffic.
+
+use proptest::prelude::*;
+use sdrad_repro::faultsim::workload::kv_exploit_request;
+use sdrad_repro::kvstore::{Isolation, Server, ServerConfig};
+use sdrad_repro::serial::{from_bytes, to_bytes, Format};
+
+/// A generated kvstore request.
+#[derive(Debug, Clone)]
+enum Req {
+    Get(u8),
+    Set(u8, Vec<u8>),
+    Delete(u8),
+    Stats,
+    BenignXstat(Vec<u8>),
+    Exploit,
+}
+
+fn arb_req() -> impl Strategy<Value = Req> {
+    prop_oneof![
+        any::<u8>().prop_map(Req::Get),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(k, v)| Req::Set(k, v)),
+        any::<u8>().prop_map(Req::Delete),
+        Just(Req::Stats),
+        proptest::collection::vec(any::<u8>(), 1..32).prop_map(Req::BenignXstat),
+        Just(Req::Exploit),
+    ]
+}
+
+fn render(req: &Req) -> Vec<u8> {
+    match req {
+        Req::Get(k) => format!("get key-{k}\r\n").into_bytes(),
+        Req::Set(k, v) => {
+            let mut out = format!("set key-{k} {}\r\n", v.len()).into_bytes();
+            out.extend_from_slice(v);
+            out.extend_from_slice(b"\r\n");
+            out
+        }
+        Req::Delete(k) => format!("delete key-{k}\r\n").into_bytes(),
+        Req::Stats => b"stats\r\n".to_vec(),
+        Req::BenignXstat(v) => {
+            let mut out = format!("xstat {} {}\r\n", v.len(), v.len()).into_bytes();
+            out.extend_from_slice(v);
+            out.extend_from_slice(b"\r\n");
+            out
+        }
+        Req::Exploit => kv_exploit_request(8192),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For exploit-free traffic, the SDRaD server and the unprotected
+    /// server are observationally equivalent (stats excluded — they count
+    /// isolation events). For traffic *with* exploits, the SDRaD server
+    /// still answers every benign request identically.
+    #[test]
+    fn sdrad_server_is_semantically_transparent(reqs in proptest::collection::vec(arb_req(), 1..60)) {
+        sdrad_repro::quiet_fault_traps();
+        let mut plain = Server::new(ServerConfig::default(), Isolation::None).unwrap();
+        let mut isolated = Server::new(ServerConfig::default(), Isolation::Domain).unwrap();
+
+        for req in &reqs {
+            match req {
+                Req::Exploit => {
+                    // Only the isolated server receives exploits (they
+                    // would kill the plain one). It must answer with a
+                    // SERVER_ERROR and stay up.
+                    let response = isolated.handle(&render(req));
+                    prop_assert!(response.starts_with(b"SERVER_ERROR"));
+                    prop_assert!(isolated.is_alive());
+                }
+                Req::Stats => {
+                    // Counters legitimately differ; just require both to
+                    // answer.
+                    prop_assert!(!plain.handle(&render(req)).is_empty());
+                    prop_assert!(!isolated.handle(&render(req)).is_empty());
+                }
+                other => {
+                    let a = plain.handle(&render(other));
+                    let b = isolated.handle(&render(other));
+                    prop_assert_eq!(a, b, "divergence on {:?}", other);
+                }
+            }
+        }
+    }
+
+    /// Store contents after any benign workload are exactly equal across
+    /// isolation modes (the integrity argument: isolation never corrupts
+    /// application state).
+    #[test]
+    fn final_store_state_is_mode_independent(reqs in proptest::collection::vec(arb_req(), 1..40)) {
+        sdrad_repro::quiet_fault_traps();
+        let mut plain = Server::new(ServerConfig::default(), Isolation::None).unwrap();
+        let mut isolated = Server::new(ServerConfig::default(), Isolation::Domain).unwrap();
+        for req in reqs.iter().filter(|r| !matches!(r, Req::Exploit)) {
+            plain.handle(&render(req));
+            isolated.handle(&render(req));
+        }
+        for k in 0u8..=255 {
+            let key = format!("key-{k}");
+            prop_assert_eq!(
+                plain.store_mut().get(&key),
+                isolated.store_mut().get(&key),
+                "key {} diverged", key
+            );
+        }
+    }
+
+    /// Serialized kvstore snapshots round-trip through every wire format:
+    /// the path a distributed deployment would use to ship state.
+    #[test]
+    fn snapshot_entries_round_trip_through_all_formats(
+        entries in proptest::collection::vec(("[a-z]{1,12}", proptest::collection::vec(any::<u8>(), 0..64)), 0..20)
+    ) {
+        for format in Format::ALL {
+            let bytes = to_bytes(format, &entries).unwrap();
+            let back: Vec<(String, Vec<u8>)> = from_bytes(format, &bytes).unwrap();
+            prop_assert_eq!(&back, &entries, "format {}", format);
+        }
+    }
+}
