@@ -240,9 +240,7 @@ impl DomainHeap {
         addr: VirtAddr,
         new_len: usize,
     ) -> Result<VirtAddr, Fault> {
-        let old_len = self
-            .block_size(addr)
-            .ok_or(Fault::DoubleFree { addr })?;
+        let old_len = self.block_size(addr).ok_or(Fault::DoubleFree { addr })?;
         let new_addr = self.alloc(space, new_len)?;
         let mut buf = vec![0u8; old_len.min(new_len)];
         space.read(addr, &mut buf)?;
@@ -364,10 +362,8 @@ mod tests {
     fn setup(capacity: usize) -> (MemorySpace, DomainHeap, PkruGuard) {
         let mut space = MemorySpace::new();
         let key = space.pkey_alloc().unwrap();
-        let guard =
-            PkruGuard::enter(Pkru::root_only().with_rights(key, AccessRights::ReadWrite));
-        let heap =
-            DomainHeap::new(&mut space, key, HeapConfig::with_capacity(capacity)).unwrap();
+        let guard = PkruGuard::enter(Pkru::root_only().with_rights(key, AccessRights::ReadWrite));
+        let heap = DomainHeap::new(&mut space, key, HeapConfig::with_capacity(capacity)).unwrap();
         (space, heap, guard)
     }
 
@@ -477,7 +473,9 @@ mod tests {
         let (mut space, mut heap, _g) = setup(1024);
         // Fill the heap with four blocks, free them all, then allocate one
         // block close to the whole capacity: only possible if spans merge.
-        let blocks: Vec<_> = (0..4).map(|_| heap.alloc(&mut space, 200).unwrap()).collect();
+        let blocks: Vec<_> = (0..4)
+            .map(|_| heap.alloc(&mut space, 200).unwrap())
+            .collect();
         for addr in blocks {
             heap.free(&mut space, addr).unwrap();
         }
@@ -538,9 +536,7 @@ mod tests {
         let mut space = MemorySpace::new();
         let key = space.pkey_alloc().unwrap();
         let mut heap = {
-            let _g = PkruGuard::enter(
-                Pkru::root_only().with_rights(key, AccessRights::ReadWrite),
-            );
+            let _g = PkruGuard::enter(Pkru::root_only().with_rights(key, AccessRights::ReadWrite));
             DomainHeap::new(&mut space, key, HeapConfig::with_capacity(4096)).unwrap()
         };
         // No rights now: the canary write inside alloc must fault.

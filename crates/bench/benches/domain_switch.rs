@@ -47,9 +47,11 @@ fn domain_calls(c: &mut Criterion) {
     let inner = mgr.create_domain(DomainConfig::new("inner")).unwrap();
     group.bench_function("nested", |b| {
         b.iter(|| {
-            mgr.call(domain, |env| env.call(inner, |_| std::hint::black_box(2u64)))
-                .unwrap()
-                .unwrap();
+            mgr.call(domain, |env| {
+                env.call(inner, |_| std::hint::black_box(2u64))
+            })
+            .unwrap()
+            .unwrap();
         });
     });
     group.finish();

@@ -28,7 +28,12 @@ fn crossings(c: &mut Criterion) {
         });
     });
 
-    let trivial = Program { locals: 0, params: 0, results: 0, instrs: vec![Instr::Return] };
+    let trivial = Program {
+        locals: 0,
+        params: 0,
+        results: 0,
+        instrs: vec![Instr::Return],
+    };
     let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked).unwrap();
     group.bench_function("sfi-call", |b| {
         b.iter(|| sandbox.call(&trivial, &[]).unwrap());
@@ -44,15 +49,22 @@ fn sfi_enforcement(c: &mut Criterion) {
     for mode in [
         EnforcementMode::Checked,
         EnforcementMode::Masked,
-        EnforcementMode::Guarded { guard_bytes: 1 << 16 },
+        EnforcementMode::Guarded {
+            guard_bytes: 1 << 16,
+        },
     ] {
-        let mut sandbox = SfiSandbox::new(1, mode)
-            .unwrap()
-            .with_limits(Limits { fuel: 10_000_000, stack: 1024 });
-        sandbox.copy_in(0, &vec![7u8; 4096]).unwrap();
-        group.bench_with_input(BenchmarkId::new("checksum-4KiB", mode.name()), &(), |b, ()| {
-            b.iter(|| sandbox.call(&program, &[0, 4096]).unwrap());
+        let mut sandbox = SfiSandbox::new(1, mode).unwrap().with_limits(Limits {
+            fuel: 10_000_000,
+            stack: 1024,
         });
+        sandbox.copy_in(0, &vec![7u8; 4096]).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("checksum-4KiB", mode.name()),
+            &(),
+            |b, ()| {
+                b.iter(|| sandbox.call(&program, &[0, 4096]).unwrap());
+            },
+        );
     }
     group.finish();
 }

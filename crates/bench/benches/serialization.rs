@@ -2,8 +2,8 @@
 //! for cross-domain argument passing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use serde::{Deserialize, Serialize};
 use sdrad_serial::{from_bytes, to_bytes, Format};
+use serde::{Deserialize, Serialize};
 
 #[derive(Serialize, Deserialize, Clone)]
 struct FfiArgs {

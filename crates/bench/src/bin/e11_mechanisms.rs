@@ -53,7 +53,12 @@ fn main() {
 
     let mut table = TextTable::new(
         "modeled isolation taxes (calibrated cycle models)",
-        &["mechanism", "crossing (ns)", "per-access (cycles)", "domain limit"],
+        &[
+            "mechanism",
+            "crossing (ns)",
+            "per-access (cycles)",
+            "domain limit",
+        ],
     );
     table.row(&[
         "MPK domain (SDRaD)".into(),
@@ -155,7 +160,10 @@ fn main() {
 
     let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked)
         .unwrap()
-        .with_limits(sdrad_sfi::Limits { fuel: 50_000_000, stack: 1024 });
+        .with_limits(sdrad_sfi::Limits {
+            fuel: 50_000_000,
+            stack: 1024,
+        });
     let trivial = sdrad_sfi::Program {
         locals: 0,
         params: 0,
@@ -170,9 +178,18 @@ fn main() {
         "measured empty-call round trips (this build's simulators)",
         &["mechanism", "per call"],
     );
-    measured.row(&["MPK domain call".into(), format!("{:.2} µs", mpk_call.as_nanos() as f64 / 1e3)]);
-    measured.row(&["CHERI invoke".into(), format!("{:.2} µs", cheri_call.as_nanos() as f64 / 1e3)]);
-    measured.row(&["SFI sandbox call".into(), format!("{:.2} µs", sfi_call.as_nanos() as f64 / 1e3)]);
+    measured.row(&[
+        "MPK domain call".into(),
+        format!("{:.2} µs", mpk_call.as_nanos() as f64 / 1e3),
+    ]);
+    measured.row(&[
+        "CHERI invoke".into(),
+        format!("{:.2} µs", cheri_call.as_nanos() as f64 / 1e3),
+    ]);
+    measured.row(&[
+        "SFI sandbox call".into(),
+        format!("{:.2} µs", sfi_call.as_nanos() as f64 / 1e3),
+    ]);
     println!("{measured}");
 
     // ---------------------------------------------------------------

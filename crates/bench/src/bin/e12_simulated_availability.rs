@@ -51,7 +51,11 @@ fn main() {
 
             let sim_nines = nines(summary.availability.mean);
             let nine_lo = nines((summary.availability.mean - summary.availability.ci95).min(1.0));
-            let verdict = if summary.availability.mean >= FIVE_NINES { "yes" } else { "VIOLATED" };
+            let verdict = if summary.availability.mean >= FIVE_NINES {
+                "yes"
+            } else {
+                "VIOLATED"
+            };
             table.row(&[
                 strategy.name(),
                 format!("{sim_nines:.2} (>= {nine_lo:.2})"),

@@ -41,7 +41,14 @@ fn main() {
 
     let mut lineup = TextTable::new(
         "one simulated year, 3 faults/node-year, 10 GB state (empirical)",
-        &["strategy", "servers", "nines", "kWh/yr", "kgCO2e/yr", "vs 1N-sdrad"],
+        &[
+            "strategy",
+            "servers",
+            "nines",
+            "kWh/yr",
+            "kgCO2e/yr",
+            "vs 1N-sdrad",
+        ],
     );
     let sdrad_ref = ClusterSim::new(ClusterConfig::paper_baseline(Strategy::SdradSingle)).run();
     let mut redundant_premium: (f64, f64) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -73,7 +80,14 @@ fn main() {
     // ---------------------------------------------------------------
     let mut ablation = TextTable::new(
         "6 exploit campaigns/year, no independent faults (empirical)",
-        &["deployment", "variants", "servers", "nines", "downtime s/yr", "kgCO2e/yr"],
+        &[
+            "deployment",
+            "variants",
+            "servers",
+            "nines",
+            "downtime s/yr",
+            "kgCO2e/yr",
+        ],
     );
 
     let mut cell = |label: &str, strategy: Strategy, variants: u32| {

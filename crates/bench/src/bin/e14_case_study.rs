@@ -46,7 +46,11 @@ fn main() {
             table.row(&[
                 report.strategy.clone(),
                 format!("{:.0}", report.servers),
-                if report.meets_target { "met".into() } else { "MISSED".to_string() },
+                if report.meets_target {
+                    "met".into()
+                } else {
+                    "MISSED".to_string()
+                },
                 format!("{:.0}", report.annual_kwh / 1e3),
                 format!("{:.0}", report.annual_kgco2 / 1e3),
                 format!("{:.0}", report.annual_tco_eur() / 1e3),

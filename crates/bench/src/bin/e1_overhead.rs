@@ -68,9 +68,8 @@ fn main() {
 
     // Modeled: two WRPKRUs per request over the measured baseline work.
     let model = CostModel::calibrated();
-    let modeled = |base: std::time::Duration| {
-        2.0 * model.wrpkru_ns() / base.as_nanos() as f64 * 100.0
-    };
+    let modeled =
+        |base: std::time::Duration| 2.0 * model.wrpkru_ns() / base.as_nanos() as f64 * 100.0;
 
     table.row(&[
         "kvstore (get/set 90/10)".into(),

@@ -35,7 +35,10 @@ fn main() {
     );
 
     let rewind = measured_rewind_latency(500);
-    println!("measured rewind latency (this build, mean of 500): {}\n", fmt_duration(rewind));
+    println!(
+        "measured rewind latency (this build, mean of 500): {}\n",
+        fmt_duration(rewind)
+    );
 
     let mut table = TextTable::new(
         "measured restart (snapshot replay) vs rewind",
@@ -53,9 +56,8 @@ fn main() {
     for &entries in &[1_000usize, 10_000, 50_000, 100_000] {
         let snapshot = preloaded_snapshot(entries, value_len);
         let bytes = snapshot.bytes();
-        let (_restored, restart_time) = time_once(|| {
-            Store::restore(StoreConfig::default(), &snapshot)
-        });
+        let (_restored, restart_time) =
+            time_once(|| Store::restore(StoreConfig::default(), &snapshot));
         per_byte_rates.push(restart_time.as_secs_f64() / bytes as f64);
         table.row(&[
             fmt_bytes(bytes),

@@ -58,7 +58,12 @@ fn main() {
     // Model projection out to the paper's 10 GB point.
     let mut projection = TextTable::new(
         "model projection to paper scale",
-        &["dataset", "process restart", "container restart", "sdrad rewind"],
+        &[
+            "dataset",
+            "process restart",
+            "container restart",
+            "sdrad rewind",
+        ],
     );
     for gb in [1u64, 2, 5, 10, 20] {
         let bytes = gb * 1_000_000_000;

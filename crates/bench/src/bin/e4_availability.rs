@@ -36,7 +36,15 @@ fn main() {
 
     let mut table = TextTable::new(
         "achieved nines by faults/year (10 GB state)",
-        &["mechanism", "recovery", "1/yr", "3/yr", "10/yr", "100/yr", "10000/yr"],
+        &[
+            "mechanism",
+            "recovery",
+            "1/yr",
+            "3/yr",
+            "10/yr",
+            "100/yr",
+            "10000/yr",
+        ],
     );
     for (name, recovery) in &mechanisms {
         let mut row = vec![(*name).to_string(), fmt_duration(*recovery)];
@@ -54,7 +62,10 @@ fn main() {
     println!("{table}");
 
     // The paper's two headline checks.
-    let restart_at_3 = availability(3.0, RestartModel::process_restart().recovery_time(STATE_BYTES));
+    let restart_at_3 = availability(
+        3.0,
+        RestartModel::process_restart().recovery_time(STATE_BYTES),
+    );
     println!(
         "check 1: three 2-minute restarts/year -> {:.6}% availability ({:.2} nines) {}",
         restart_at_3 * 100.0,
@@ -75,7 +86,12 @@ fn main() {
 
     let mut budget_table = TextTable::new(
         "max recoveries/year inside an availability budget",
-        &["target", "budget (s/yr)", "process-restart", "sdrad-rewind (measured)"],
+        &[
+            "target",
+            "budget (s/yr)",
+            "process-restart",
+            "sdrad-rewind (measured)",
+        ],
     );
     for target in [0.999, 0.9999, 0.99999, 0.999999] {
         let budget_s = sdrad_energy::availability::downtime_budget(target);

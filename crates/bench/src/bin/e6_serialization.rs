@@ -6,10 +6,10 @@
 //! three formats `sdrad-serial` implements (bincode-like `wire`,
 //! postcard-like `compact`, JSON/CBOR-class `tagged`).
 
-use serde::{Deserialize, Serialize};
 use sdrad_bench::{banner, fmt_bytes, measure, TextTable};
 use sdrad_ffi::Sandbox;
 use sdrad_serial::{from_bytes, to_bytes, Format};
+use serde::{Deserialize, Serialize};
 
 /// A representative FFI argument: an id, options, and a data buffer.
 #[derive(Serialize, Deserialize, Clone, PartialEq, Debug)]

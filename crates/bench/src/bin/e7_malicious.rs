@@ -43,10 +43,8 @@ fn run(isolation: Isolation, attack_every: usize) -> Outcome {
     let mut benign: Vec<_> = (0..BENIGN_CLIENTS)
         .map(|i| {
             let client = listener.connect();
-            let session = Session::with_client(
-                listener.accept().unwrap(),
-                sdrad::ClientId(1 + i as u64),
-            );
+            let session =
+                Session::with_client(listener.accept().unwrap(), sdrad::ClientId(1 + i as u64));
             let workload = KvWorkload::new(100 + i as u64, 20_000, 256, 0.9);
             (client, session, workload)
         })
@@ -73,7 +71,8 @@ fn run(isolation: Isolation, attack_every: usize) -> Outcome {
                 outcome.benign_sent += 1;
                 let before = client.stats().bytes_received;
                 session.poll(&mut server);
-                if client.read_available().len() as u64 > 0 || client.stats().bytes_received > before
+                if client.read_available().len() as u64 > 0
+                    || client.stats().bytes_received > before
                 {
                     outcome.benign_answered += 1;
                 }
@@ -116,9 +115,7 @@ fn main() {
     );
 
     let mut table = TextTable::new(
-        format!(
-            "{BENIGN_CLIENTS} benign clients x {ROUNDS} rounds, 20k-entry store"
-        ),
+        format!("{BENIGN_CLIENTS} benign clients x {ROUNDS} rounds, 20k-entry store"),
         &[
             "mode",
             "attack period",

@@ -11,10 +11,10 @@
 
 use std::process::Command;
 
+use sdrad::{DomainConfig, DomainManager};
 use sdrad_bench::{banner, measure, worker_binary, TextTable};
 use sdrad_ffi::Sandbox;
 use sdrad_mpk::CostModel;
-use sdrad::{DomainConfig, DomainManager};
 
 fn main() {
     sdrad::quiet_fault_traps();
@@ -37,7 +37,10 @@ fn main() {
     table.row(&[
         "pkey_mprotect".into(),
         model.pkey_mprotect_cycles.to_string(),
-        format!("{:.1} µs", model.cpu.cycles_to_ns(model.pkey_mprotect_cycles) / 1e3),
+        format!(
+            "{:.1} µs",
+            model.cpu.cycles_to_ns(model.pkey_mprotect_cycles) / 1e3
+        ),
     ]);
     table.row(&[
         "process context switch".into(),
@@ -109,9 +112,7 @@ fn main() {
             let mut process = Sandbox::process(Command::new(path)).unwrap();
             // The worker's `echo` returns the payload; measure the RTT.
             let process_time = measure(500, || {
-                let v: Vec<u8> = process
-                    .invoke("echo", payload_ref, |v: Vec<u8>| v)
-                    .unwrap();
+                let v: Vec<u8> = process.invoke("echo", payload_ref, |v: Vec<u8>| v).unwrap();
                 std::hint::black_box(v);
             });
             measured.row(&[

@@ -68,9 +68,12 @@ pub fn overhead_pct(fast: Duration, slow: Duration) -> f64 {
 pub fn worker_binary() -> Option<std::path::PathBuf> {
     let mut dir = std::env::current_exe().ok()?;
     dir.pop();
-    [dir.join("sdrad-ffi-worker"), dir.join("../sdrad-ffi-worker")]
-        .into_iter()
-        .find(|candidate| candidate.is_file())
+    [
+        dir.join("sdrad-ffi-worker"),
+        dir.join("../sdrad-ffi-worker"),
+    ]
+    .into_iter()
+    .find(|candidate| candidate.is_file())
 }
 
 /// Measures this build's SDRaD rewind latency: mean over `iters` contained
@@ -121,6 +124,9 @@ mod tests {
     fn rewind_probe_runs_and_is_fast() {
         let rewind = measured_rewind_latency(50);
         assert!(rewind.as_nanos() > 0);
-        assert!(rewind.as_millis() < 10, "rewind {rewind:?} implausibly slow");
+        assert!(
+            rewind.as_millis() < 10,
+            "rewind {rewind:?} implausibly slow"
+        );
     }
 }

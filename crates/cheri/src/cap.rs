@@ -185,12 +185,18 @@ impl Capability {
         self.require_usable()?;
         let new_top = new_base
             .checked_add(new_len)
-            .ok_or(CapFault::UnrepresentableBounds { base: new_base, len: new_len })?;
+            .ok_or(CapFault::UnrepresentableBounds {
+                base: new_base,
+                len: new_len,
+            })?;
         if new_base < self.base || new_top > self.top() {
             return Err(CapFault::MonotonicityViolation);
         }
         if !bounds_representable(new_base, new_len) {
-            return Err(CapFault::UnrepresentableBounds { base: new_base, len: new_len });
+            return Err(CapFault::UnrepresentableBounds {
+                base: new_base,
+                len: new_len,
+            });
         }
         self.base = new_base;
         self.len = new_len;
@@ -254,7 +260,10 @@ impl Capability {
             return Err(CapFault::SealViolation { otype: sealed });
         }
         if !self.perms.contains(perm) {
-            return Err(CapFault::PermissionViolation { required: perm, held: self.perms });
+            return Err(CapFault::PermissionViolation {
+                required: perm,
+                held: self.perms,
+            });
         }
         let addr = u64::from(otype.raw());
         if addr < self.base || addr >= self.top() {
@@ -278,14 +287,27 @@ impl Capability {
     pub fn check_access(self, required: Perms, len: usize) -> Result<u64, CapFault> {
         self.require_usable()?;
         if !self.perms.contains(required) {
-            return Err(CapFault::PermissionViolation { required, held: self.perms });
+            return Err(CapFault::PermissionViolation {
+                required,
+                held: self.perms,
+            });
         }
         let addr = self.cursor;
         let end = addr
             .checked_add(len as u64)
-            .ok_or(CapFault::BoundsViolation { addr, len, base: self.base, top: self.top() })?;
+            .ok_or(CapFault::BoundsViolation {
+                addr,
+                len,
+                base: self.base,
+                top: self.top(),
+            })?;
         if addr < self.base || end > self.top() {
-            return Err(CapFault::BoundsViolation { addr, len, base: self.base, top: self.top() });
+            return Err(CapFault::BoundsViolation {
+                addr,
+                len,
+                base: self.base,
+                top: self.top(),
+            });
         }
         Ok(addr)
     }
@@ -294,9 +316,7 @@ impl Capability {
     /// `parent`'s — the invariant every derivation chain preserves.
     #[must_use]
     pub fn is_derivable_from(self, parent: &Capability) -> bool {
-        self.base >= parent.base
-            && self.top() <= parent.top()
-            && parent.perms.contains(self.perms)
+        self.base >= parent.base && self.top() <= parent.top() && parent.perms.contains(self.perms)
     }
 }
 
@@ -372,7 +392,10 @@ mod tests {
         let root = Capability::root(0x1_0000);
         let mid = root.restricted(0x100, 0x200).unwrap();
         assert!(mid.is_derivable_from(&root));
-        assert_eq!(mid.restricted(0x0, 0x50), Err(CapFault::MonotonicityViolation));
+        assert_eq!(
+            mid.restricted(0x0, 0x50),
+            Err(CapFault::MonotonicityViolation)
+        );
         assert_eq!(
             mid.restricted(0x100, 0x201),
             Err(CapFault::MonotonicityViolation)

@@ -324,7 +324,10 @@ impl CompartmentManager {
             })?;
 
         self.cost.charge_cinvoke();
-        let comp = self.compartments.get_mut(&comp_id.0).expect("looked up above");
+        let comp = self
+            .compartments
+            .get_mut(&comp_id.0)
+            .expect("looked up above");
         comp.invocations += 1;
         let heap = comp.heap;
         let mut env = CompartmentEnv {
@@ -615,7 +618,10 @@ mod tests {
     fn unsealed_entry_pair_is_rejected() {
         let mut mgr = CompartmentManager::new(1 << 16);
         let (_, entry) = mgr.create_compartment("a", 4096).unwrap();
-        let forged = EntryPair { code: Capability::root(16), data: entry.data() };
+        let forged = EntryPair {
+            code: Capability::root(16),
+            data: entry.data(),
+        };
         assert!(matches!(
             mgr.invoke(forged, |_| Ok(())),
             Err(CapFault::InvokeViolation(_))
@@ -627,7 +633,10 @@ mod tests {
         let mut mgr = CompartmentManager::new(1 << 16);
         let (_, entry_a) = mgr.create_compartment("a", 4096).unwrap();
         let (_, entry_b) = mgr.create_compartment("b", 4096).unwrap();
-        let spliced = EntryPair { code: entry_a.code(), data: entry_b.data() };
+        let spliced = EntryPair {
+            code: entry_a.code(),
+            data: entry_b.data(),
+        };
         assert!(matches!(
             mgr.invoke(spliced, |_| Ok(())),
             Err(CapFault::InvokeViolation(_))

@@ -79,7 +79,13 @@ impl CheriCostReport {
     /// An empty ledger against `model`.
     #[must_use]
     pub fn new(model: CheriCostModel) -> Self {
-        CheriCostReport { model, cinvokes: 0, creturns: 0, cap_ops: 0, accesses: 0 }
+        CheriCostReport {
+            model,
+            cinvokes: 0,
+            creturns: 0,
+            cap_ops: 0,
+            accesses: 0,
+        }
     }
 
     /// Charges one domain entry.
@@ -131,7 +137,9 @@ mod tests {
     #[test]
     fn round_trip_is_sum_of_crossings() {
         let model = CheriCostModel::calibrated();
-        let expected = model.cpu.cycles_to_ns(model.cinvoke_cycles + model.creturn_cycles);
+        let expected = model
+            .cpu
+            .cycles_to_ns(model.cinvoke_cycles + model.creturn_cycles);
         assert!((model.round_trip_ns() - expected).abs() < f64::EPSILON);
     }
 

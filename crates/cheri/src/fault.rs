@@ -1,8 +1,8 @@
 //! Capability faults — the exceptions a CHERI CPU delivers on a failed
 //! capability check.
 
-use crate::perms::Perms;
 use crate::otype::OType;
+use crate::perms::Perms;
 use std::error::Error;
 use std::fmt;
 
@@ -72,17 +72,24 @@ impl fmt::Display for CapFault {
             CapFault::SealViolation { otype } => {
                 write!(f, "seal violation: capability is sealed with otype {otype}")
             }
-            CapFault::BoundsViolation { addr, len, base, top } => write!(
+            CapFault::BoundsViolation {
+                addr,
+                len,
+                base,
+                top,
+            } => write!(
                 f,
                 "bounds violation: access [{addr:#x}, {:#x}) outside [{base:#x}, {top:#x})",
                 addr + *len as u64
             ),
-            CapFault::PermissionViolation { required, held } => write!(
-                f,
-                "permission violation: required {required}, held {held}"
-            ),
+            CapFault::PermissionViolation { required, held } => {
+                write!(f, "permission violation: required {required}, held {held}")
+            }
             CapFault::MonotonicityViolation => {
-                write!(f, "monotonicity violation: derivation would widen authority")
+                write!(
+                    f,
+                    "monotonicity violation: derivation would widen authority"
+                )
             }
             CapFault::UnrepresentableBounds { base, len } => write!(
                 f,
@@ -107,7 +114,12 @@ mod tests {
 
     #[test]
     fn display_mentions_bounds() {
-        let fault = CapFault::BoundsViolation { addr: 0x100, len: 8, base: 0, top: 0x100 };
+        let fault = CapFault::BoundsViolation {
+            addr: 0x100,
+            len: 8,
+            base: 0,
+            top: 0x100,
+        };
         let text = fault.to_string();
         assert!(text.contains("0x100"), "{text}");
         assert!(text.contains("bounds"), "{text}");

@@ -66,7 +66,9 @@ mod otype;
 mod perms;
 
 pub use cap::{bounds_representable, representable_length, Capability, MANTISSA_BITS};
-pub use compartment::{CompartmentEnv, CompartmentId, CompartmentInfo, CompartmentManager, EntryPair};
+pub use compartment::{
+    CompartmentEnv, CompartmentId, CompartmentInfo, CompartmentManager, EntryPair,
+};
 pub use cost::{CheriCostModel, CheriCostReport};
 pub use fault::CapFault;
 pub use memory::{CheriMemory, GRANULE};

@@ -48,7 +48,10 @@ impl CheriMemory {
     /// Panics if `size` is not a multiple of [`GRANULE`].
     #[must_use]
     pub fn new(size: u64) -> Self {
-        assert!(size.is_multiple_of(GRANULE), "memory size must be granule-aligned");
+        assert!(
+            size.is_multiple_of(GRANULE),
+            "memory size must be granule-aligned"
+        );
         CheriMemory {
             data: vec![0; size as usize],
             tags: vec![false; (size / GRANULE) as usize],
@@ -176,9 +179,17 @@ impl CheriMemory {
         self.loads += 1;
         let granule = (addr / GRANULE) as usize;
         if !self.tags[granule] {
-            return Ok(self.caps.get(&addr).copied().unwrap_or_else(Capability::null).cleared());
+            return Ok(self
+                .caps
+                .get(&addr)
+                .copied()
+                .unwrap_or_else(Capability::null)
+                .cleared());
         }
-        Ok(*self.caps.get(&addr).expect("tagged granule has a capability"))
+        Ok(*self
+            .caps
+            .get(&addr)
+            .expect("tagged granule has a capability"))
     }
 
     /// Whether the granule containing `addr` is tagged.
@@ -225,8 +236,12 @@ mod tests {
     fn data_round_trip() {
         let mut mem = CheriMemory::new(1024);
         let cap = rw(&mem, 0x40, 0x40);
-        mem.store(&cap.with_address(0x40).unwrap(), &[9, 8, 7]).unwrap();
-        assert_eq!(mem.load_vec(&cap.with_address(0x40).unwrap(), 3).unwrap(), [9, 8, 7]);
+        mem.store(&cap.with_address(0x40).unwrap(), &[9, 8, 7])
+            .unwrap();
+        assert_eq!(
+            mem.load_vec(&cap.with_address(0x40).unwrap(), 3).unwrap(),
+            [9, 8, 7]
+        );
     }
 
     #[test]
@@ -234,7 +249,10 @@ mod tests {
         let mut mem = CheriMemory::new(1024);
         let cap = rw(&mem, 0x40, 0x10);
         let oob = cap.with_address(0x50).unwrap();
-        assert!(matches!(mem.store(&oob, &[1]), Err(CapFault::BoundsViolation { .. })));
+        assert!(matches!(
+            mem.store(&oob, &[1]),
+            Err(CapFault::BoundsViolation { .. })
+        ));
     }
 
     #[test]
@@ -257,7 +275,8 @@ mod tests {
         mem.store_cap(&slot, value).unwrap();
 
         // Overwrite one byte of the granule with plain data: tag must drop.
-        mem.store(&slot.with_address(0x107).unwrap(), &[0xff]).unwrap();
+        mem.store(&slot.with_address(0x107).unwrap(), &[0xff])
+            .unwrap();
         assert!(!mem.tag_at(0x100));
         let loaded = mem.load_cap(&slot).unwrap();
         assert!(!loaded.is_tagged(), "forged capability must be untagged");

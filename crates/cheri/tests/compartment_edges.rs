@@ -2,9 +2,7 @@
 //! lifecycle reuse, representability of large heaps, and authority
 //! boundaries of the sealing machinery.
 
-use sdrad_cheri::{
-    bounds_representable, CapFault, Capability, CompartmentManager, OType, Perms,
-};
+use sdrad_cheri::{bounds_representable, CapFault, Capability, CompartmentManager, OType, Perms};
 
 #[test]
 fn large_heaps_are_placed_representably() {
@@ -99,7 +97,7 @@ fn stale_entry_pair_cannot_reach_a_successor_compartment() {
 fn sealing_requires_the_seal_permission() {
     let root = Capability::root(1 << 16);
     let otype = sdrad_cheri::OTypeAllocator::new().alloc().unwrap(); // otype 0
-    // Authority covers the otype's address but lacks Perms::SEAL.
+                                                                     // Authority covers the otype's address but lacks Perms::SEAL.
     let no_seal_authority = root
         .restricted(u64::from(otype.raw()), 1)
         .unwrap()

@@ -63,7 +63,7 @@ impl ClusterConfig {
             failover: Duration::from_secs(5),
             sdrad_overhead: 0.03,
             duration: Duration::from_secs(365 * 24 * 3600),
-            seed: 0xD5DA_D001,
+            seed: 0xD5DA_D000,
         }
     }
 
@@ -179,7 +179,11 @@ impl ClusterSim {
         let variants = config.variants.max(1);
         let mut nodes = Vec::new();
         for i in 0..(actives + standbys) {
-            let role = if i < actives { Role::Active } else { Role::Standby };
+            let role = if i < actives {
+                Role::Active
+            } else {
+                Role::Standby
+            };
             nodes.push(Node::new(
                 NodeId(i as usize),
                 role,
@@ -227,8 +231,7 @@ impl ClusterSim {
             let gap = self.rng.exp_interval(campaign_rate);
             self.queue.schedule_after(gap, Event::Campaign);
         }
-        self.queue
-            .schedule_after(self.config.duration, Event::End);
+        self.queue.schedule_after(self.config.duration, Event::End);
 
         while let Some((now, event)) = self.queue.pop_next() {
             self.integrate_to(now);
@@ -241,7 +244,8 @@ impl ClusterSim {
                 }
                 Event::Campaign => {
                     self.campaigns += 1;
-                    let variant = VariantId(self.rng.below(self.config.variants.max(1) as usize) as u32);
+                    let variant =
+                        VariantId(self.rng.below(self.config.variants.max(1) as usize) as u32);
                     let victims: Vec<NodeId> = self
                         .nodes
                         .iter()
@@ -419,7 +423,10 @@ mod tests {
         let metrics = ClusterSim::new(config).run();
         assert!(metrics.failovers > 0);
         let per_fault = metrics.downtime_seconds / metrics.faults.max(1) as f64;
-        assert!(per_fault < 60.0, "failover should beat restart: {per_fault}s");
+        assert!(
+            per_fault < 60.0,
+            "failover should beat restart: {per_fault}s"
+        );
         assert_eq!(metrics.servers, 2);
     }
 

@@ -90,8 +90,9 @@ pub fn run_trials(config: &ClusterConfig, trials: u32) -> TrialSummary {
     assert!(trials > 0, "need at least one trial");
     let mut runs = Vec::with_capacity(trials as usize);
     for trial in 0..trials {
-        let seeded = config.clone().with_seed(config.seed ^ (0x9E37_79B9_7F4A_7C15u64
-            .wrapping_mul(u64::from(trial) + 1)));
+        let seeded = config
+            .clone()
+            .with_seed(config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(trial) + 1)));
         runs.push(ClusterSim::new(seeded).run());
     }
 
@@ -102,9 +103,7 @@ pub fn run_trials(config: &ClusterConfig, trials: u32) -> TrialSummary {
     let kgco2 = Stat::of(&collect(|r| r.kgco2));
     let faults = Stat::of(&collect(|r| r.faults as f64));
 
-    let recovery = config
-        .recovery_model()
-        .recovery_time(config.state_bytes);
+    let recovery = config.recovery_model().recovery_time(config.state_bytes);
     let single = analytic_availability(config.faults_per_year, recovery);
     let (_, standbys, _) = config.layout();
     // Parallel composition for the standby, with the failover window as

@@ -54,7 +54,10 @@ impl SimTime {
     /// This time advanced by `d`.
     #[must_use]
     pub fn after(self, d: Duration) -> SimTime {
-        SimTime(self.0.saturating_add(d.as_micros().min(u128::from(u64::MAX)) as u64))
+        SimTime(
+            self.0
+                .saturating_add(d.as_micros().min(u128::from(u64::MAX)) as u64),
+        )
     }
 
     /// The span from `earlier` to `self` (saturating).
@@ -111,7 +114,12 @@ impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), now: SimTime::ZERO, seq: 0, processed: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
     }
 
     /// The current virtual time.
@@ -134,7 +142,11 @@ impl<E> EventQueue<E> {
     /// condition.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         assert!(at >= self.now, "cannot schedule into the past");
-        self.heap.push(Scheduled { at, seq: self.seq, event });
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 
@@ -191,7 +203,9 @@ impl SimRng {
     /// A deterministic source for `seed`.
     #[must_use]
     pub fn seeded(seed: u64) -> Self {
-        SimRng { rng: StdRng::seed_from_u64(seed) }
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Samples an exponential inter-arrival gap for a Poisson process

@@ -110,7 +110,10 @@ fn failover_disabled_when_recovery_beats_it() {
     // recovery (1 s) < failover (30 s): no promotions should be scheduled.
     assert_eq!(metrics.failovers, 0, "{metrics:?}");
     let per_fault = metrics.downtime_seconds / metrics.faults.max(1) as f64;
-    assert!(per_fault < 2.0, "faults should ride out the 1 s restart: {per_fault}s");
+    assert!(
+        per_fault < 2.0,
+        "faults should ride out the 1 s restart: {per_fault}s"
+    );
 }
 
 #[test]

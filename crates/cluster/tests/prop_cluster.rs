@@ -17,12 +17,12 @@ fn strategy() -> impl Strategy<Value = Deploy> {
 fn config() -> impl Strategy<Value = ClusterConfig> {
     (
         strategy(),
-        0.0f64..50.0,   // faults_per_year
-        0.0f64..12.0,   // attacks_per_year
-        1u32..4,        // variants
+        0.0f64..50.0,         // faults_per_year
+        0.0f64..12.0,         // attacks_per_year
+        1u32..4,              // variants
         0u64..20_000_000_000, // state_bytes
-        0.05f64..0.95,  // utilization
-        any::<u64>(),   // seed
+        0.05f64..0.95,        // utilization
+        any::<u64>(),         // seed
     )
         .prop_map(|(strategy, faults, attacks, variants, state, util, seed)| {
             let mut c = ClusterConfig::paper_baseline(strategy);

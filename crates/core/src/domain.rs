@@ -203,7 +203,10 @@ mod tests {
 
     #[test]
     fn policy_rights() {
-        assert_eq!(DomainPolicy::Integrity.root_rights(), AccessRights::ReadOnly);
+        assert_eq!(
+            DomainPolicy::Integrity.root_rights(),
+            AccessRights::ReadOnly
+        );
         assert_eq!(
             DomainPolicy::Confidential.root_rights(),
             AccessRights::NoAccess

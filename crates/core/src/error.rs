@@ -72,7 +72,10 @@ impl fmt::Display for DomainError {
             DomainError::Setup(fault) => write!(f, "domain setup failed: {fault}"),
             DomainError::NotFound(domain) => write!(f, "domain {domain} does not exist"),
             DomainError::InvalidState { domain, operation } => {
-                write!(f, "cannot {operation}: domain {domain} is busy or destroyed")
+                write!(
+                    f,
+                    "cannot {operation}: domain {domain} is busy or destroyed"
+                )
             }
             DomainError::ReentrantCall(domain) => {
                 write!(f, "reentrant call into domain {domain} is not allowed")

@@ -67,8 +67,8 @@ mod events;
 mod manager;
 mod pool;
 
-pub use domain::{DomainConfig, DomainId, DomainInfo, DomainPolicy, DomainState};
 pub(crate) use domain::Domain;
+pub use domain::{DomainConfig, DomainId, DomainInfo, DomainPolicy, DomainState};
 pub use error::DomainError;
 pub use events::{DomainEvent, EventLog};
 pub use manager::{quiet_fault_traps, DomainEnv, DomainManager};

@@ -57,8 +57,7 @@ pub fn quiet_fault_traps() {
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().is::<FaultPayload>() || DOMAIN_DEPTH.with(std::cell::Cell::get) > 0
-            {
+            if info.payload().is::<FaultPayload>() || DOMAIN_DEPTH.with(std::cell::Cell::get) > 0 {
                 return;
             }
             previous(info);
@@ -280,7 +279,8 @@ impl DomainManager {
                 }
                 drop(guard);
                 self.cost.charge_wrpkru();
-                let rewind_ns = u64::try_from(rewind_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let rewind_ns =
+                    u64::try_from(rewind_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 self.stack.pop();
                 self.rewinds += 1;
                 let domain = self.domains.get_mut(&id).expect("domain exists");
@@ -705,9 +705,7 @@ mod tests {
         let mut mgr = DomainManager::new();
         let victim = mgr.create_domain(DomainConfig::new("victim")).unwrap();
         let spy = mgr.create_domain(DomainConfig::new("spy")).unwrap();
-        let secret_addr = mgr
-            .call(victim, |env| env.push_bytes(b"secret"))
-            .unwrap();
+        let secret_addr = mgr.call(victim, |env| env.push_bytes(b"secret")).unwrap();
         let err = mgr
             .call(spy, |env| env.read_bytes(secret_addr, 6))
             .unwrap_err();
@@ -732,9 +730,7 @@ mod tests {
         let root = mgr.map_root(64).unwrap();
         mgr.root_write(root.base(), b"root-data").unwrap();
 
-        let read = mgr
-            .call(id, |env| env.read_bytes(root.base(), 9))
-            .unwrap();
+        let read = mgr.call(id, |env| env.read_bytes(root.base(), 9)).unwrap();
         assert_eq!(read, b"root-data");
 
         let err = mgr
@@ -764,7 +760,9 @@ mod tests {
     fn panic_inside_domain_is_recovered_as_abort() {
         let (mut mgr, id) = manager_with_domain();
         let err = mgr
-            .call(id, |_env| -> () { panic!("library bug: index out of range") })
+            .call(id, |_env| -> () {
+                panic!("library bug: index out of range")
+            })
             .unwrap_err();
         match err {
             DomainError::Violation {
@@ -892,11 +890,7 @@ mod tests {
             env.free(a);
             env.free(a);
         });
-        let kinds: Vec<_> = mgr
-            .events()
-            .for_domain(id)
-            .map(DomainEvent::kind)
-            .collect();
+        let kinds: Vec<_> = mgr.events().for_domain(id).map(DomainEvent::kind).collect();
         assert_eq!(kinds, vec!["created", "entered", "faulted", "rewound"]);
     }
 

@@ -134,10 +134,7 @@ mod tests {
 
     fn pool_and_mgr(max: usize) -> (DomainManager, DomainPool) {
         let mgr = DomainManager::new();
-        let pool = DomainPool::new(
-            DomainConfig::new("client").heap_capacity(16 * 1024),
-            max,
-        );
+        let pool = DomainPool::new(DomainConfig::new("client").heap_capacity(16 * 1024), max);
         (mgr, pool)
     }
 
@@ -235,10 +232,7 @@ mod tests {
                 .unwrap();
         }
         // …the pool wants 4 but can only create 1, then multiplexes.
-        let mut pool = DomainPool::new(
-            DomainConfig::new("client").heap_capacity(4096),
-            4,
-        );
+        let mut pool = DomainPool::new(DomainConfig::new("client").heap_capacity(4096), 4);
         for i in 0..10 {
             pool.domain_for(&mut mgr, ClientId(i)).unwrap();
         }

@@ -246,16 +246,18 @@ mod tests {
         let lineup = fleet_lineup(&fleet);
         let sdrad = lineup.iter().find(|r| r.strategy == "1N-sdrad").unwrap();
         assert!(sdrad.meets_target);
-        assert!(lineup
-            .iter()
-            .all(|r| r.servers >= sdrad.servers));
+        assert!(lineup.iter().all(|r| r.servers >= sdrad.servers));
     }
 
     #[test]
     fn restart_only_misses_the_telecom_target() {
         let fleet = FleetScenario::telecom_ran();
         let restart = assess_fleet(Strategy::SingleRestart, &fleet);
-        assert!(!restart.meets_target, "availability {}", restart.availability);
+        assert!(
+            !restart.meets_target,
+            "availability {}",
+            restart.availability
+        );
         assert!(restart.lost_minutes_per_user > 1.0);
     }
 
@@ -289,8 +291,8 @@ mod tests {
     fn engineering_cost_is_annualized_not_ignored() {
         let fleet = FleetScenario::telecom_ran();
         let sdrad = assess_fleet(Strategy::SdradSingle, &fleet);
-        let expected =
-            fleet.sdrad_retrofit_days / fleet.economics.refresh_years * fleet.economics.engineer_day_eur;
+        let expected = fleet.sdrad_retrofit_days / fleet.economics.refresh_years
+            * fleet.economics.engineer_day_eur;
         assert!((sdrad.annual_engineering_eur - expected).abs() < 1e-9);
         // ...and it is small next to the energy bill, which is the point.
         assert!(sdrad.annual_engineering_eur < sdrad.annual_energy_eur / 10.0);

@@ -140,7 +140,10 @@ mod tests {
             .find(|r| r.strategy == "2N-active-passive")
             .unwrap();
         assert!(sdrad.total_kgco2() < dual.total_kgco2());
-        assert!(sdrad.embodied_kgco2 < dual.embodied_kgco2 / 1.9, "half the servers, stretched refresh");
+        assert!(
+            sdrad.embodied_kgco2 < dual.embodied_kgco2 / 1.9,
+            "half the servers, stretched refresh"
+        );
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub mod restart;
 
 pub use availability::{availability, downtime_budget, max_recoveries_in_budget, nines};
 pub use carbon::CarbonModel;
-pub use casestudy::{assess_diversified_pair, assess_fleet, fleet_lineup, EconomicModel, FleetReport, FleetScenario};
+pub use casestudy::{
+    assess_diversified_pair, assess_fleet, fleet_lineup, EconomicModel, FleetReport, FleetScenario,
+};
 pub use power::{PowerModel, PUE_TYPICAL};
 pub use redundancy::{DeploymentReport, Strategy};
 pub use report::TextTable;

@@ -120,8 +120,8 @@ pub fn evaluate(strategy: Strategy, scenario: &Scenario) -> DeploymentReport {
             (1.0, power.annual_kwh(scenario.utilization), recovery)
         }
         Strategy::ActivePassive => {
-            let kwh = power.annual_kwh(scenario.utilization)
-                + power.annual_kwh(STANDBY_UTILIZATION);
+            let kwh =
+                power.annual_kwh(scenario.utilization) + power.annual_kwh(STANDBY_UTILIZATION);
             (2.0, kwh, FAILOVER)
         }
         Strategy::NPlusOne { n } => {
@@ -213,7 +213,10 @@ mod tests {
 
     #[test]
     fn n_plus_one_spreads_load() {
-        let scenario = Scenario { utilization: 0.6, ..Scenario::default() };
+        let scenario = Scenario {
+            utilization: 0.6,
+            ..Scenario::default()
+        };
         let report = evaluate(Strategy::NPlusOne { n: 2 }, &scenario);
         assert_eq!(report.servers, 3.0);
         // Three servers at 0.4 draw more than one at 0.6 but less than

@@ -158,7 +158,9 @@ mod tests {
         let restart = RestartModel::process_restart()
             .recovery_time(10_000_000_000)
             .as_secs_f64();
-        let rewind = RestartModel::sdrad_rewind().recovery_time(10_000_000_000).as_secs_f64();
+        let rewind = RestartModel::sdrad_rewind()
+            .recovery_time(10_000_000_000)
+            .as_secs_f64();
         assert!(restart / rewind > 1.0e7, "ratio = {:.1e}", restart / rewind);
     }
 
@@ -173,9 +175,6 @@ mod tests {
         for mechanism in RecoveryMechanism::ALL {
             let _ = mechanism.model();
         }
-        assert_eq!(
-            RecoveryMechanism::SdradRewind.model().name,
-            "sdrad-rewind"
-        );
+        assert_eq!(RecoveryMechanism::SdradRewind.model().name, "sdrad-rewind");
     }
 }

@@ -12,10 +12,10 @@ use std::time::Duration;
 
 fn scenario() -> impl Strategy<Value = Scenario> {
     (
-        0.0f64..200.0,            // faults_per_year
-        0.01f64..0.95,            // utilization
-        0u64..50_000_000_000,     // state_bytes
-        0.0f64..0.10,             // sdrad_overhead
+        0.0f64..200.0,        // faults_per_year
+        0.01f64..0.95,        // utilization
+        0u64..50_000_000_000, // state_bytes
+        0.0f64..0.10,         // sdrad_overhead
     )
         .prop_map(|(faults, util, state, overhead)| Scenario {
             faults_per_year: faults,

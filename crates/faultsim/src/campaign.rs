@@ -150,8 +150,7 @@ mod tests {
     fn restricted_campaign_only_uses_selected_attacks() {
         sdrad::quiet_fault_traps();
         let (mut mgr, target) = arena();
-        let report =
-            Campaign::of(7, &[Attack::DoubleFree]).run(&mut mgr, target, 30);
+        let report = Campaign::of(7, &[Attack::DoubleFree]).run(&mut mgr, target, 30);
         assert_eq!(report.by_attack.len(), 1);
         assert_eq!(report.by_attack["double-free"], 30);
         assert_eq!(report.by_fault_kind["double-free"], 30);

@@ -85,7 +85,9 @@ mod tests {
         let mut total = 0usize;
         let seeds = 20;
         for seed in 0..seeds {
-            total += FaultSchedule::new(52.0, seed).arrivals(SECONDS_PER_YEAR).len();
+            total += FaultSchedule::new(52.0, seed)
+                .arrivals(SECONDS_PER_YEAR)
+                .len();
         }
         let mean = total as f64 / f64::from(seeds as u32);
         assert!((30.0..80.0).contains(&mean), "mean {mean} far from 52");

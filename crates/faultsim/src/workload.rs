@@ -91,11 +91,8 @@ pub fn http_exploit_request(declared: usize) -> Vec<u8> {
 pub fn http_upload_request(chunks: usize, chunk_len: usize) -> Vec<u8> {
     let mut body = String::new();
     for i in 0..chunks {
-        let data: String = std::iter::repeat_n(
-            char::from(b'a' + (i % 26) as u8),
-            chunk_len,
-        )
-        .collect();
+        let data: String =
+            std::iter::repeat_n(char::from(b'a' + (i % 26) as u8), chunk_len).collect();
         body.push_str(&format!("{chunk_len:x}\r\n{data}\r\n"));
     }
     body.push_str("0\r\n\r\n");

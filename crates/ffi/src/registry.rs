@@ -8,9 +8,9 @@
 
 use std::collections::HashMap;
 
+use sdrad_serial::{from_bytes, to_bytes, Format};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
-use sdrad_serial::{from_bytes, to_bytes, Format};
 
 /// Type-erased sandboxed function: raw argument bytes in, raw result bytes
 /// out, error as text (it crosses a process boundary).
@@ -51,8 +51,7 @@ impl Registry {
         F: Fn(A) -> R + Send + Sync + 'static,
     {
         let wrapped: ErasedFn = Box::new(move |bytes, format| {
-            let args: A =
-                from_bytes(format, bytes).map_err(|e| format!("argument decode: {e}"))?;
+            let args: A = from_bytes(format, bytes).map_err(|e| format!("argument decode: {e}"))?;
             let result = f(args);
             to_bytes(format, &result).map_err(|e| format!("result encode: {e}"))
         });
@@ -166,7 +165,9 @@ mod tests {
         let mut registry = Registry::new();
         register_builtins(&mut registry);
         let args = to_bytes(Format::Wire, &"kaput".to_string()).unwrap();
-        let err = registry.invoke_raw("boom", &args, Format::Wire).unwrap_err();
+        let err = registry
+            .invoke_raw("boom", &args, Format::Wire)
+            .unwrap_err();
         assert!(err.expect("some message").contains("kaput"));
         // The registry (and the worker that owns it) is still usable.
         let args = to_bytes(Format::Wire, &vec![1u64, 2, 3]).unwrap();
@@ -187,8 +188,12 @@ mod tests {
         let mut registry = Registry::new();
         register_builtins(&mut registry);
         let args = to_bytes(Format::Compact, &vec![1u8, 2, 3]).unwrap();
-        let a = registry.invoke_raw("checksum", &args, Format::Compact).unwrap();
-        let b = registry.invoke_raw("checksum", &args, Format::Compact).unwrap();
+        let a = registry
+            .invoke_raw("checksum", &args, Format::Compact)
+            .unwrap();
+        let b = registry
+            .invoke_raw("checksum", &args, Format::Compact)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -3,10 +3,10 @@
 
 use std::process::Command;
 
-use serde::de::DeserializeOwned;
-use serde::Serialize;
 use sdrad::{DomainConfig, DomainId, DomainInfo, DomainManager, DomainPolicy};
 use sdrad_serial::{from_bytes, to_bytes, Format};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
 
 use crate::{FfiError, ProcessWorker};
 
@@ -264,9 +264,7 @@ mod tests {
     #[test]
     fn direct_backend_runs_body() {
         let mut sandbox = Sandbox::direct();
-        let out = sandbox
-            .invoke("triple", &14u32, |x: u32| x * 3)
-            .unwrap();
+        let out = sandbox.invoke("triple", &14u32, |x: u32| x * 3).unwrap();
         assert_eq!(out, 42);
         assert_eq!(sandbox.stats().invocations, 1);
         assert_eq!(sandbox.backend_name(), "direct");
@@ -276,9 +274,11 @@ mod tests {
     fn in_process_backend_runs_body_in_domain() {
         let mut sandbox = Sandbox::in_process().unwrap();
         let out = sandbox
-            .invoke("concat", &("ab".to_string(), "cd".to_string()), |(a, b): (String, String)| {
-                format!("{a}{b}")
-            })
+            .invoke(
+                "concat",
+                &("ab".to_string(), "cd".to_string()),
+                |(a, b): (String, String)| format!("{a}{b}"),
+            )
             .unwrap();
         assert_eq!(out, "abcd");
         let info = sandbox.domain_info().expect("in-process has a domain");
@@ -290,7 +290,9 @@ mod tests {
     fn in_process_contains_panics_as_violations() {
         let mut sandbox = Sandbox::in_process().unwrap();
         let err = sandbox
-            .invoke("bad", &1u8, |_: u8| -> u8 { panic!("use-after-free in C library") })
+            .invoke("bad", &1u8, |_: u8| -> u8 {
+                panic!("use-after-free in C library")
+            })
             .unwrap_err();
         assert!(err.is_recovered_fault());
         assert_eq!(sandbox.stats().recovered_faults, 1);

@@ -13,8 +13,8 @@
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::process::{Child, Command, Stdio};
 
-use serde::{Deserialize, Serialize};
 use sdrad_serial::{from_bytes, to_bytes, Format};
+use serde::{Deserialize, Serialize};
 
 use crate::{FfiError, Registry};
 
@@ -74,7 +74,10 @@ pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
     if len > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
     }
     writer.write_all(&len.to_le_bytes())?;
     writer.write_all(payload)?;
@@ -116,11 +119,7 @@ pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
 ///
 /// Propagates I/O errors on the pipes; function panics are contained and
 /// reported as [`WireResponse::Failed`].
-pub fn run_worker<R: Read, W: Write>(
-    registry: &Registry,
-    input: R,
-    output: W,
-) -> io::Result<()> {
+pub fn run_worker<R: Read, W: Write>(registry: &Registry, input: R, output: W) -> io::Result<()> {
     let mut reader = BufReader::new(input);
     let mut writer = BufWriter::new(output);
     while let Some(frame) = read_frame(&mut reader)? {

@@ -48,9 +48,7 @@ fn worker_panic_is_contained_and_worker_survives() {
 #[test]
 fn unknown_function_is_reported() {
     let mut sandbox = Sandbox::process(worker_command()).unwrap();
-    let err = sandbox
-        .invoke("no-such-fn", &1u8, |x: u8| x)
-        .unwrap_err();
+    let err = sandbox.invoke("no-such-fn", &1u8, |x: u8| x).unwrap_err();
     assert!(matches!(err, FfiError::UnknownFunction(name) if name == "no-such-fn"));
 }
 
@@ -69,16 +67,15 @@ fn all_formats_cross_the_process_boundary() {
 fn dead_worker_is_detected_and_respawned() {
     let mut sandbox = Sandbox::process(worker_command()).unwrap();
     // Prove it works once.
-    let _: Vec<u8> = sandbox
-        .invoke("echo", &vec![1u8], |v: Vec<u8>| v)
-        .unwrap();
+    let _: Vec<u8> = sandbox.invoke("echo", &vec![1u8], |v: Vec<u8>| v).unwrap();
 
     // A worker spawned from `false` dies immediately: simulate by making a
     // sandbox whose worker exits at once.
     let mut dead = Sandbox::process(Command::new("true")).unwrap();
-    let err = dead
-        .invoke("echo", &vec![1u8], |v: Vec<u8>| v)
-        .unwrap_err();
-    assert!(err.is_recovered_fault(), "worker death is a recovered fault");
+    let err = dead.invoke("echo", &vec![1u8], |v: Vec<u8>| v).unwrap_err();
+    assert!(
+        err.is_recovered_fault(),
+        "worker death is a recovered fault"
+    );
     assert_eq!(dead.stats().recovered_faults, 1);
 }

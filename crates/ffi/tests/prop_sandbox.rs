@@ -2,8 +2,8 @@
 //! functions, across backends and formats.
 
 use proptest::prelude::*;
-use serde::{Deserialize, Serialize};
 use sdrad_ffi::{Format, Sandbox};
+use serde::{Deserialize, Serialize};
 
 #[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
 struct Input {

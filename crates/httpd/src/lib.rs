@@ -37,4 +37,7 @@ mod server;
 
 pub use request::{parse_request, HttpError, HttpRequest, Method};
 pub use response::{HttpResponse, Status};
-pub use server::{HttpServer, HttpSession, HttpStats, Isolation};
+pub use server::{
+    decode_chunked_in_domain, decode_chunked_unprotected, HttpServer, HttpSession, HttpStats,
+    Isolation,
+};

@@ -121,8 +121,8 @@ pub fn parse_request(input: &[u8]) -> Result<(HttpRequest, usize), HttpError> {
 
     let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
     let mut parts = request_line.split(' ');
-    let method = Method::parse(parts.next().unwrap_or(""))
-        .ok_or(HttpError::Malformed("unknown method"))?;
+    let method =
+        Method::parse(parts.next().unwrap_or("")).ok_or(HttpError::Malformed("unknown method"))?;
     let path = parts
         .next()
         .ok_or(HttpError::Malformed("missing request target"))?;
@@ -195,10 +195,7 @@ pub fn parse_request(input: &[u8]) -> Result<(HttpRequest, usize), HttpError> {
 /// Finds the end of the head (`\r\n\r\n`), enforcing the size limit.
 fn find_head_end(input: &[u8]) -> Result<usize, HttpError> {
     let limit = input.len().min(MAX_HEAD);
-    if let Some(pos) = input[..limit]
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-    {
+    if let Some(pos) = input[..limit].windows(4).position(|w| w == b"\r\n\r\n") {
         return Ok(pos);
     }
     if input.len() >= MAX_HEAD {
@@ -291,8 +288,7 @@ mod tests {
             HttpError::Incomplete
         );
         assert_eq!(
-            parse_request(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
-                .unwrap_err(),
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err(),
             HttpError::Incomplete
         );
     }
@@ -361,15 +357,18 @@ mod tests {
     #[test]
     fn bad_chunk_size_is_malformed() {
         let input = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\nhi\r\n0\r\n\r\n";
-        assert!(matches!(
-            parse_request(input),
-            Err(HttpError::Malformed(_))
-        ));
+        assert!(matches!(parse_request(input), Err(HttpError::Malformed(_))));
     }
 
     #[test]
     fn methods_display_round_trip() {
-        for m in [Method::Get, Method::Head, Method::Post, Method::Put, Method::Delete] {
+        for m in [
+            Method::Get,
+            Method::Head,
+            Method::Post,
+            Method::Put,
+            Method::Delete,
+        ] {
             assert_eq!(Method::parse(&m.to_string()), Some(m));
         }
         assert_eq!(Method::parse("PATCH"), None);

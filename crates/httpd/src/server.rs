@@ -279,8 +279,9 @@ fn chunks(raw: &[u8]) -> impl Iterator<Item = (usize, &[u8])> {
 
 /// The unprotected decoder: copies `declared` bytes per chunk into its
 /// assembly buffer. `None` models the fatal overflow (the nginx
-/// CVE-2013-2028 shape).
-fn decode_chunked_unprotected(raw: &[u8]) -> Option<Vec<u8>> {
+/// CVE-2013-2028 shape). Public so external executors (`sdrad-runtime`
+/// workers) run the identical baseline path.
+pub fn decode_chunked_unprotected(raw: &[u8]) -> Option<Vec<u8>> {
     let mut out = Vec::new();
     for (declared, data) in chunks(raw) {
         if declared > data.len() {
@@ -293,7 +294,9 @@ fn decode_chunked_unprotected(raw: &[u8]) -> Option<Vec<u8>> {
 
 /// The same decoder running on domain memory: the oversized copy smashes
 /// heap canaries or leaves the heap region, faults, and is rewound.
-fn decode_chunked_in_domain(env: &mut DomainEnv<'_>, raw: &[u8]) -> usize {
+/// Public so executors that own their own `DomainManager` (per-worker
+/// managers in `sdrad-runtime`) run the identical vulnerable workload.
+pub fn decode_chunked_in_domain(env: &mut DomainEnv<'_>, raw: &[u8]) -> usize {
     let mut total = 0usize;
     for (declared, data) in chunks(raw) {
         let buffer = env.push_bytes(data);
@@ -319,7 +322,11 @@ mod tests {
     fn server(isolation: Isolation) -> HttpServer {
         let mut s = HttpServer::new(isolation).unwrap();
         s.publish("/", "text/html", b"<h1>home</h1>".to_vec());
-        s.publish("/static/app.js", "text/javascript", b"console.log(1)".to_vec());
+        s.publish(
+            "/static/app.js",
+            "text/javascript",
+            b"console.log(1)".to_vec(),
+        );
         s
     }
 

@@ -42,5 +42,8 @@ mod server;
 mod store;
 
 pub use protocol::{parse_command, Command, ProtocolError, Response};
-pub use server::{Isolation, Server, ServerConfig, ServerStats, Session};
+pub use server::{
+    apply_op, process_unprotected_command, stage_command, Isolation, Server, ServerConfig,
+    ServerStats, Session, StoreOp,
+};
 pub use store::{Snapshot, Store, StoreConfig, StoreStats};

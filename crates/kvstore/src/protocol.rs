@@ -102,8 +102,7 @@ impl Response {
     pub fn to_bytes(&self) -> Vec<u8> {
         match self {
             Response::Value { key, value } => {
-                let mut out =
-                    format!("VALUE {key} {len}\r\n", len = value.len()).into_bytes();
+                let mut out = format!("VALUE {key} {len}\r\n", len = value.len()).into_bytes();
                 out.extend_from_slice(value);
                 out.extend_from_slice(b"\r\nEND\r\n");
                 out
@@ -292,7 +291,10 @@ mod tests {
 
     #[test]
     fn incomplete_requests_ask_for_more() {
-        assert_eq!(parse_command(b"get ke").unwrap_err(), ProtocolError::Incomplete);
+        assert_eq!(
+            parse_command(b"get ke").unwrap_err(),
+            ProtocolError::Incomplete
+        );
         assert_eq!(
             parse_command(b"set k 10\r\nshort\r\n").unwrap_err(),
             ProtocolError::Incomplete

@@ -50,20 +50,117 @@ pub struct ServerStats {
 /// Mutating the store happens *outside* the domain: under the integrity
 /// policy the domain cannot write root data, so the parsed intent is
 /// passed out by value — the same pattern the SDRaD Memcached retrofit
-/// uses for its wrapped commands.
+/// uses for its wrapped commands. Public so external executors (the
+/// `sdrad-runtime` workers, which own their own `DomainManager`) can
+/// drive the same request pipeline.
 #[derive(Debug, PartialEq, Eq)]
-enum StoreOp {
+pub enum StoreOp {
+    /// Look up a key.
     Get(String),
+    /// Store a value, with an optional TTL in logical ticks.
     Set {
+        /// Cache key.
         key: String,
+        /// Value bytes.
         value: Vec<u8>,
+        /// Optional TTL in logical ticks.
         ttl: Option<u64>,
     },
+    /// Delete a key.
     Delete(String),
+    /// Render statistics.
     Stats,
+    /// Drop every entry.
     Flush,
+    /// Result of the (vulnerable) xstat blob checksum.
     XStat(u64),
+    /// Close the session.
     Quit,
+}
+
+/// Runs one parsed command **inside** an SDRaD domain: request data is
+/// staged on the domain heap and processed there, and only the resulting
+/// intent leaves the domain. This is the exact processing
+/// [`Server::execute_for`] performs; it is exposed so executors that own
+/// their own `DomainManager` (per-worker managers in `sdrad-runtime`)
+/// run the identical workload, planted bug included.
+pub fn stage_command(env: &mut sdrad::DomainEnv<'_>, cmd: Command) -> StoreOp {
+    match cmd {
+        Command::Get(key) => {
+            let staged = env.push_bytes(key.as_bytes());
+            let back = env.read_bytes(staged, key.len());
+            env.free(staged);
+            StoreOp::Get(String::from_utf8_lossy(&back).into_owned())
+        }
+        Command::Set { key, value, ttl } => {
+            let k = env.push_bytes(key.as_bytes());
+            let v = env.push_bytes(&value);
+            let key_back = env.read_bytes(k, key.len());
+            let value_back = env.read_bytes(v, value.len());
+            env.free(v);
+            env.free(k);
+            StoreOp::Set {
+                key: String::from_utf8_lossy(&key_back).into_owned(),
+                value: value_back,
+                ttl,
+            }
+        }
+        Command::Delete(key) => StoreOp::Delete(key),
+        Command::Stats => StoreOp::Stats,
+        Command::Flush => StoreOp::Flush,
+        Command::XStat { declared, data } => {
+            StoreOp::XStat(vulnerable_xstat_in_domain(env, declared, &data))
+        }
+        Command::Quit => StoreOp::Quit,
+    }
+}
+
+/// Runs one parsed command on the **unprotected** path. `None` models a
+/// fatal memory fault (`SIGSEGV`) in the host process — the baseline the
+/// paper restarts from. Exposed for external executors (see
+/// [`stage_command`]).
+#[must_use]
+pub fn process_unprotected_command(cmd: Command) -> Option<StoreOp> {
+    Server::process_unprotected(cmd)
+}
+
+/// Applies a store intent, returning the protocol response. `StoreOp::
+/// Stats` renders store-level counters only; [`Server`] overlays its own
+/// request counters on top.
+pub fn apply_op(store: &mut Store, op: StoreOp) -> Response {
+    match op {
+        StoreOp::Get(key) => match store.get(&key) {
+            Some(value) => Response::Value { key, value },
+            None => Response::Miss,
+        },
+        StoreOp::Set { key, value, ttl } => {
+            store.set_with_ttl(key, value, ttl);
+            Response::Stored
+        }
+        StoreOp::Delete(key) => {
+            if store.delete(&key) {
+                Response::Deleted
+            } else {
+                Response::NotFound
+            }
+        }
+        StoreOp::Stats => {
+            let stats = store.stats();
+            Response::Stats(vec![
+                ("entries".into(), stats.entries),
+                ("bytes".into(), stats.bytes),
+                ("hits".into(), stats.hits),
+                ("misses".into(), stats.misses),
+                ("evictions".into(), stats.evictions),
+            ])
+        }
+        StoreOp::Flush => {
+            store.flush();
+            Response::Ok
+        }
+        StoreOp::XStat(checksum) => Response::Stats(vec![("xstat_checksum".into(), checksum)]),
+        StoreOp::Quit => Response::Ok,
+    }
 }
 
 /// The memcached-like server.
@@ -243,38 +340,7 @@ impl Server {
                     }
                     Isolation::None => unreachable!("handled above"),
                 };
-                match mgr.call(domain, move |env| {
-                    // Stage the request in domain memory and process it
-                    // there; only the resulting intent leaves the domain.
-                    match cmd {
-                        Command::Get(key) => {
-                            let staged = env.push_bytes(key.as_bytes());
-                            let back = env.read_bytes(staged, key.len());
-                            env.free(staged);
-                            StoreOp::Get(String::from_utf8_lossy(&back).into_owned())
-                        }
-                        Command::Set { key, value, ttl } => {
-                            let k = env.push_bytes(key.as_bytes());
-                            let v = env.push_bytes(&value);
-                            let key_back = env.read_bytes(k, key.len());
-                            let value_back = env.read_bytes(v, value.len());
-                            env.free(v);
-                            env.free(k);
-                            StoreOp::Set {
-                                key: String::from_utf8_lossy(&key_back).into_owned(),
-                                value: value_back,
-                                ttl,
-                            }
-                        }
-                        Command::Delete(key) => StoreOp::Delete(key),
-                        Command::Stats => StoreOp::Stats,
-                        Command::Flush => StoreOp::Flush,
-                        Command::XStat { declared, data } => {
-                            StoreOp::XStat(vulnerable_xstat_in_domain(env, declared, &data))
-                        }
-                        Command::Quit => StoreOp::Quit,
-                    }
-                }) {
+                match mgr.call(domain, move |env| stage_command(env, cmd)) {
                     Ok(op) => op,
                     Err(DomainError::Violation {
                         fault, rewind_ns, ..
@@ -318,28 +384,9 @@ impl Server {
     /// Applies a store intent produced by request processing.
     fn apply(&mut self, op: StoreOp) -> Response {
         match op {
-            StoreOp::Get(key) => match self.store.get(&key) {
-                Some(value) => Response::Value { key, value },
-                None => Response::Miss,
-            },
-            StoreOp::Set { key, value, ttl } => {
-                self.store.set_with_ttl(key, value, ttl);
-                Response::Stored
-            }
-            StoreOp::Delete(key) => {
-                if self.store.delete(&key) {
-                    Response::Deleted
-                } else {
-                    Response::NotFound
-                }
-            }
+            // Server-level stats overlay the store-level counters.
             StoreOp::Stats => self.render_stats(),
-            StoreOp::Flush => {
-                self.store.flush();
-                Response::Ok
-            }
-            StoreOp::XStat(checksum) => Response::Stats(vec![("xstat_checksum".into(), checksum)]),
-            StoreOp::Quit => Response::Ok,
+            other => apply_op(&mut self.store, other),
         }
     }
 
@@ -363,11 +410,7 @@ impl Server {
 /// *actual* data but trusting the *declared* length. The overflow smashes
 /// heap canaries (or leaves the heap region entirely) and is detected —
 /// the fault unwinds to the domain boundary and the server rewinds.
-fn vulnerable_xstat_in_domain(
-    env: &mut sdrad::DomainEnv<'_>,
-    declared: usize,
-    data: &[u8],
-) -> u64 {
+fn vulnerable_xstat_in_domain(env: &mut sdrad::DomainEnv<'_>, declared: usize, data: &[u8]) -> u64 {
     let buffer = env.push_bytes(data);
     let processed = env.read_bytes(buffer, declared.min(data.len()));
     let checksum = fnv_checksum(&processed);
@@ -483,7 +526,10 @@ mod tests {
             let mut s = server(isolation);
             let response = s.handle(b"xstat 4 4\r\nblob\r\n");
             let text = String::from_utf8(response).unwrap();
-            assert!(text.starts_with("STAT xstat_checksum"), "{isolation:?}: {text}");
+            assert!(
+                text.starts_with("STAT xstat_checksum"),
+                "{isolation:?}: {text}"
+            );
             assert!(s.is_alive());
         }
     }
@@ -536,7 +582,10 @@ mod tests {
 
         s.restart_from(&snapshot);
         assert!(s.is_alive());
-        assert_eq!(s.handle(b"get key-7\r\n"), b"VALUE key-7 2\r\nxx\r\nEND\r\n");
+        assert_eq!(
+            s.handle(b"get key-7\r\n"),
+            b"VALUE key-7 2\r\nxx\r\nEND\r\n"
+        );
     }
 
     #[test]
@@ -620,7 +669,10 @@ mod tests {
         assert_eq!(s.client_domain_info(alice).unwrap().violations, 0);
         assert_eq!(s.client_domain_info(mallory).unwrap().violations, 1);
         // And Alice is served normally afterwards.
-        assert_eq!(s.handle_for(alice, b"get a\r\n"), b"VALUE a 1\r\nx\r\nEND\r\n");
+        assert_eq!(
+            s.handle_for(alice, b"get a\r\n"),
+            b"VALUE a 1\r\nx\r\nEND\r\n"
+        );
     }
 
     #[test]
@@ -649,8 +701,7 @@ mod tests {
         alice_conn.write(b"set k 1\r\nv\r\nget k\r\n");
         alice.poll(&mut s);
 
-        assert!(String::from_utf8_lossy(&mallory_conn.read_available())
-            .starts_with("SERVER_ERROR"));
+        assert!(String::from_utf8_lossy(&mallory_conn.read_available()).starts_with("SERVER_ERROR"));
         assert_eq!(
             alice_conn.read_available(),
             b"STORED\r\nVALUE k 1\r\nv\r\nEND\r\n".to_vec()
@@ -667,7 +718,10 @@ mod tests {
         let mut s = server(Isolation::Domain);
         let response = s.handle(b"xstat 6 4\r\nblob\r\n");
         let text = String::from_utf8_lossy(&response);
-        assert!(text.starts_with("STAT"), "slack overflow undetected: {text}");
+        assert!(
+            text.starts_with("STAT"),
+            "slack overflow undetected: {text}"
+        );
         assert!(s.is_alive());
     }
 }

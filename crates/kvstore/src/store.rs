@@ -499,7 +499,11 @@ mod tests {
         for i in 0..1000 {
             store.set(format!("key-{i}"), vec![0u8; 4]);
         }
-        let populated = store.shards.iter().filter(|s| !s.entries.is_empty()).count();
+        let populated = store
+            .shards
+            .iter()
+            .filter(|s| !s.entries.is_empty())
+            .count();
         assert!(populated >= 6, "only {populated}/8 shards used");
     }
 }

@@ -296,11 +296,7 @@ impl MemorySpace {
         if !self.keys.is_allocated(key) {
             return Err(self.fault(Fault::InvalidKey { index: key.index() }));
         }
-        match self
-            .regions
-            .values_mut()
-            .find(|r| r.id == region && r.live)
-        {
+        match self.regions.values_mut().find(|r| r.id == region && r.live) {
             Some(r) => {
                 r.key = key;
                 Ok(())
@@ -554,7 +550,9 @@ mod tests {
     #[test]
     fn out_of_bounds_access_faults() {
         let (mut space, region, _g) = rw_space_with_region(16);
-        let err = space.write(region.base().offset(10), &[0u8; 10]).unwrap_err();
+        let err = space
+            .write(region.base().offset(10), &[0u8; 10])
+            .unwrap_err();
         assert!(matches!(err, Fault::OutOfBounds { region_len: 16, .. }));
     }
 
@@ -593,7 +591,10 @@ mod tests {
     fn map_with_unallocated_key_is_invalid() {
         let mut space = MemorySpace::new();
         let key = ProtectionKey::new(9).unwrap();
-        assert!(matches!(space.map(16, key), Err(Fault::InvalidKey { index: 9 })));
+        assert!(matches!(
+            space.map(16, key),
+            Err(Fault::InvalidKey { index: 9 })
+        ));
     }
 
     #[test]
@@ -620,8 +621,13 @@ mod tests {
     #[test]
     fn u64_round_trip() {
         let (mut space, region, _g) = rw_space_with_region(32);
-        space.write_u64(region.base().offset(8), 0xDEAD_BEEF_CAFE).unwrap();
-        assert_eq!(space.read_u64(region.base().offset(8)).unwrap(), 0xDEAD_BEEF_CAFE);
+        space
+            .write_u64(region.base().offset(8), 0xDEAD_BEEF_CAFE)
+            .unwrap();
+        assert_eq!(
+            space.read_u64(region.base().offset(8)).unwrap(),
+            0xDEAD_BEEF_CAFE
+        );
     }
 
     #[test]

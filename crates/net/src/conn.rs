@@ -218,8 +218,8 @@ mod tests {
     fn writes_after_peer_close_are_dropped() {
         let (mut a, mut b) = duplex();
         b.close(); // b will not receive anymore
-        // b closed its *sending* side; a can still send to b? No: close()
-        // closes the outgoing pipe, so b's outgoing (towards a) is closed.
+                   // b closed its *sending* side; a can still send to b? No: close()
+                   // closes the outgoing pipe, so b's outgoing (towards a) is closed.
         a.write(b"x");
         assert_eq!(b.read_available(), b"x", "a->b still open");
         a.close();

@@ -1,0 +1,340 @@
+//! The workload plug-in point: [`SessionHandler`] plus adapters for the
+//! `sdrad-kvstore` and `sdrad-httpd` evaluation apps.
+//!
+//! A handler owns one shard's application state (its slice of the cache,
+//! its static content) and processes one complete request at a time. The
+//! worker passes in its [`WorkerIsolation`]; the adapter decides what
+//! runs inside a domain — reusing the *identical* staged pipelines the
+//! single-threaded servers use (`sdrad_kvstore::stage_command`,
+//! `sdrad_httpd::decode_chunked_in_domain`), planted bugs included, so
+//! the concurrent harness measures the same workload the paper does.
+
+use sdrad::{ClientId, DomainError};
+
+use crate::isolation::WorkerIsolation;
+use crate::queue::Disposition;
+
+/// The worker's answer for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Raw response bytes for the client.
+    pub response: Vec<u8>,
+    /// Classification the worker's accounting uses.
+    pub disposition: Disposition,
+}
+
+impl Reply {
+    fn ok(response: Vec<u8>) -> Self {
+        Reply {
+            response,
+            disposition: Disposition::Ok,
+        }
+    }
+}
+
+/// A protocol workload served by runtime workers.
+///
+/// Handlers are created **on the worker thread** by the factory passed
+/// to [`Runtime::start`](crate::Runtime::start) and never cross threads
+/// afterwards, so implementations need neither `Send` nor locks.
+pub trait SessionHandler {
+    /// Processes one complete request for `client`.
+    fn handle(&mut self, iso: &mut WorkerIsolation, client: ClientId, request: &[u8]) -> Reply;
+
+    /// Bytes of state a full restart of this shard would reload — the
+    /// input to the baseline's modeled restart cost.
+    fn state_bytes(&self) -> u64;
+
+    /// Brings the shard back up after a fatal crash (baseline only).
+    fn restart(&mut self);
+}
+
+// ---------------------------------------------------------------- kvstore
+
+/// [`SessionHandler`] adapter for the Memcached-like workload: one store
+/// shard per worker, requests staged through the worker's own domains.
+#[derive(Debug)]
+pub struct KvHandler {
+    store: sdrad_kvstore::Store,
+    config: sdrad_kvstore::StoreConfig,
+}
+
+impl KvHandler {
+    /// An empty store shard.
+    #[must_use]
+    pub fn new(config: sdrad_kvstore::StoreConfig) -> Self {
+        KvHandler {
+            store: sdrad_kvstore::Store::new(config),
+            config,
+        }
+    }
+
+    /// Read access to this shard's store (verification in tests).
+    #[must_use]
+    pub fn store(&self) -> &sdrad_kvstore::Store {
+        &self.store
+    }
+
+    /// Write access for bulk setup before load starts.
+    pub fn store_mut(&mut self) -> &mut sdrad_kvstore::Store {
+        &mut self.store
+    }
+}
+
+impl Default for KvHandler {
+    fn default() -> Self {
+        Self::new(sdrad_kvstore::StoreConfig::default())
+    }
+}
+
+impl SessionHandler for KvHandler {
+    fn handle(&mut self, iso: &mut WorkerIsolation, client: ClientId, request: &[u8]) -> Reply {
+        use sdrad_kvstore::{
+            apply_op, parse_command, process_unprotected_command, stage_command, Response,
+        };
+
+        let cmd = match parse_command(request) {
+            Ok((cmd, _consumed)) => cmd,
+            Err(_) => {
+                return Reply {
+                    response: Response::Error.to_bytes(),
+                    disposition: Disposition::ProtocolError,
+                }
+            }
+        };
+        self.store.advance(1);
+
+        if iso.is_isolated() {
+            match iso.call_for(client, move |env| stage_command(env, cmd)) {
+                Ok(op) => Reply::ok(apply_op(&mut self.store, op).to_bytes()),
+                Err(DomainError::Violation {
+                    fault, rewind_ns, ..
+                }) => Reply {
+                    response: Response::ServerError(format!("contained: {}", fault.kind()))
+                        .to_bytes(),
+                    disposition: Disposition::ContainedFault { rewind_ns },
+                },
+                Err(other) => Reply {
+                    response: Response::ServerError(format!("isolation error: {other}")).to_bytes(),
+                    disposition: Disposition::InternalError,
+                },
+            }
+        } else {
+            match process_unprotected_command(cmd) {
+                Some(op) => Reply::ok(apply_op(&mut self.store, op).to_bytes()),
+                None => Reply {
+                    response: Response::ServerError("server crashed".into()).to_bytes(),
+                    disposition: Disposition::Crashed,
+                },
+            }
+        }
+    }
+
+    fn state_bytes(&self) -> u64 {
+        self.store.stats().bytes
+    }
+
+    fn restart(&mut self) {
+        // The restart path the paper measures: rebuild the shard from its
+        // snapshot. The *time* cost is charged by the worker from the
+        // calibrated restart model; this performs the state rebuild.
+        let snapshot = self.store.snapshot();
+        self.store = sdrad_kvstore::Store::restore(self.config, &snapshot);
+    }
+}
+
+// ------------------------------------------------------------------ httpd
+
+/// [`SessionHandler`] adapter for the HTTP workload: static content and
+/// echo are served directly; the vulnerable chunked upload decoder runs
+/// in the client's domain (or unprotected, for the baseline).
+#[derive(Debug)]
+pub struct HttpHandler {
+    server: sdrad_httpd::HttpServer,
+    content_bytes: u64,
+}
+
+impl HttpHandler {
+    /// An empty content server.
+    ///
+    /// # Panics
+    ///
+    /// Never: `Isolation::None` needs no domain. Isolation is supplied by
+    /// the *worker's* manager, not by the inner server.
+    #[must_use]
+    pub fn new() -> Self {
+        HttpHandler {
+            server: sdrad_httpd::HttpServer::new(sdrad_httpd::Isolation::None)
+                .expect("no-isolation server cannot fail setup"),
+            content_bytes: 0,
+        }
+    }
+
+    /// Publishes static content on this shard.
+    pub fn publish(&mut self, path: impl Into<String>, content_type: &str, body: Vec<u8>) {
+        self.content_bytes += body.len() as u64;
+        self.server.publish(path, content_type, body);
+    }
+}
+
+impl Default for HttpHandler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionHandler for HttpHandler {
+    fn handle(&mut self, iso: &mut WorkerIsolation, client: ClientId, request: &[u8]) -> Reply {
+        use sdrad_httpd::{
+            decode_chunked_in_domain, decode_chunked_unprotected, parse_request, HttpResponse,
+            Method, Status,
+        };
+
+        let parsed = match parse_request(request) {
+            Ok((parsed, _consumed)) => parsed,
+            Err(_) => {
+                return Reply {
+                    response: HttpResponse::text(Status::BadRequest, "bad request").to_bytes(),
+                    disposition: Disposition::ProtocolError,
+                }
+            }
+        };
+
+        // The vulnerable path: chunked uploads. Everything else is plain
+        // content serving with no memory-unsafe surface.
+        if parsed.method == Method::Post && parsed.path == "/upload" && parsed.chunked {
+            let body = parsed.body.clone();
+            return if iso.is_isolated() {
+                match iso.call_for(client, move |env| decode_chunked_in_domain(env, &body)) {
+                    Ok(decoded) => Reply::ok(
+                        HttpResponse::new(Status::Created)
+                            .body(format!("{decoded} bytes").into_bytes())
+                            .to_bytes(),
+                    ),
+                    Err(DomainError::Violation {
+                        fault, rewind_ns, ..
+                    }) => Reply {
+                        response: HttpResponse::text(
+                            Status::BadRequest,
+                            format!("contained: {}", fault.kind()),
+                        )
+                        .to_bytes(),
+                        disposition: Disposition::ContainedFault { rewind_ns },
+                    },
+                    Err(other) => Reply {
+                        response: HttpResponse::text(
+                            Status::InternalServerError,
+                            format!("isolation error: {other}"),
+                        )
+                        .to_bytes(),
+                        disposition: Disposition::InternalError,
+                    },
+                }
+            } else {
+                match decode_chunked_unprotected(&body) {
+                    Some(decoded) => Reply::ok(
+                        HttpResponse::new(Status::Created)
+                            .body(format!("{} bytes", decoded.len()).into_bytes())
+                            .to_bytes(),
+                    ),
+                    None => Reply {
+                        response: HttpResponse::text(Status::ServiceUnavailable, "server crashed")
+                            .to_bytes(),
+                        disposition: Disposition::Crashed,
+                    },
+                }
+            };
+        }
+
+        let response = self.server.respond(&parsed);
+        let disposition = match response.status().code() {
+            200..=399 => Disposition::Ok,
+            _ => Disposition::ProtocolError,
+        };
+        Reply {
+            response: response.to_bytes(),
+            disposition,
+        }
+    }
+
+    fn state_bytes(&self) -> u64 {
+        self.content_bytes
+    }
+
+    fn restart(&mut self) {
+        self.server.restart();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isolation::IsolationMode;
+
+    fn iso(mode: IsolationMode) -> WorkerIsolation {
+        WorkerIsolation::new(mode, 4, 1 << 20)
+    }
+
+    #[test]
+    fn kv_round_trip_under_worker_domains() {
+        let mut handler = KvHandler::default();
+        let mut iso = iso(IsolationMode::PerClientDomain);
+        let client = ClientId(3);
+        let stored = handler.handle(&mut iso, client, b"set k 3\r\nabc\r\n");
+        assert_eq!(stored.response, b"STORED\r\n");
+        let got = handler.handle(&mut iso, client, b"get k\r\n");
+        assert_eq!(got.response, b"VALUE k 3\r\nabc\r\nEND\r\n");
+        assert_eq!(got.disposition, Disposition::Ok);
+    }
+
+    #[test]
+    fn kv_exploit_is_contained_per_client() {
+        let mut handler = KvHandler::default();
+        let mut iso = iso(IsolationMode::PerClientDomain);
+        let reply = handler.handle(&mut iso, ClientId(1), b"xstat 4096 4\r\nboom\r\n");
+        assert!(matches!(
+            reply.disposition,
+            Disposition::ContainedFault { rewind_ns } if rewind_ns > 0
+        ));
+        assert!(reply.response.starts_with(b"SERVER_ERROR contained"));
+        assert_eq!(iso.rewinds(), 1);
+    }
+
+    #[test]
+    fn kv_exploit_crashes_the_baseline() {
+        let mut handler = KvHandler::default();
+        let mut iso = iso(IsolationMode::Baseline);
+        let reply = handler.handle(&mut iso, ClientId(1), b"xstat 4096 4\r\nboom\r\n");
+        assert_eq!(reply.disposition, Disposition::Crashed);
+        handler.restart();
+        let after = handler.handle(&mut iso, ClientId(1), b"set k 1\r\nv\r\n");
+        assert_eq!(after.disposition, Disposition::Ok);
+    }
+
+    #[test]
+    fn http_static_and_exploit_paths() {
+        const EXPLOIT: &[u8] =
+            b"POST /upload HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nfff\r\nhi\r\n0\r\n\r\n";
+        let mut handler = HttpHandler::new();
+        handler.publish("/", "text/html", b"<h1>hi</h1>".to_vec());
+        let mut iso = iso(IsolationMode::PerClientDomain);
+
+        let ok = handler.handle(&mut iso, ClientId(1), b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(ok.response.starts_with(b"HTTP/1.1 200"));
+
+        let contained = handler.handle(&mut iso, ClientId(2), EXPLOIT);
+        assert!(matches!(
+            contained.disposition,
+            Disposition::ContainedFault { .. }
+        ));
+        assert!(contained.response.starts_with(b"HTTP/1.1 400"));
+
+        let mut baseline = iso_mode_baseline();
+        let crashed = handler.handle(&mut baseline, ClientId(2), EXPLOIT);
+        assert_eq!(crashed.disposition, Disposition::Crashed);
+    }
+
+    fn iso_mode_baseline() -> WorkerIsolation {
+        iso(IsolationMode::Baseline)
+    }
+}

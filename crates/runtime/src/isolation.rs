@@ -1,0 +1,144 @@
+//! Per-worker isolation state: a thread-confined `DomainManager` plus a
+//! `DomainPool` mapping the worker's clients onto its domains.
+//!
+//! MPK protection keys and the PKRU register are per-thread state on real
+//! hardware, so the runtime gives **each worker its own manager** instead
+//! of sharing one behind a lock: the request hot path takes no locks, and
+//! a worker's rewinds never serialize against another worker's traffic.
+
+use sdrad::{
+    ClientId, DomainConfig, DomainEnv, DomainError, DomainManager, DomainPolicy, DomainPool,
+};
+
+/// Whether a worker contains faults with per-client domains or runs the
+/// unprotected baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationMode {
+    /// No isolation: the planted bugs crash the worker's server, which
+    /// then pays the full modeled restart cost (the paper's baseline).
+    Baseline,
+    /// SDRaD per-client domains: each client's requests run in that
+    /// client's pooled domain; faults rewind in microseconds.
+    PerClientDomain,
+}
+
+/// The isolation context one worker owns.
+#[derive(Debug)]
+pub struct WorkerIsolation {
+    mode: IsolationMode,
+    mgr: DomainManager,
+    pool: DomainPool,
+}
+
+impl WorkerIsolation {
+    /// Builds the context for one worker: up to `domains` pooled domains
+    /// of `heap_capacity` bytes each (clamped to the 14 keys a process
+    /// can spare).
+    #[must_use]
+    pub fn new(mode: IsolationMode, domains: usize, heap_capacity: usize) -> Self {
+        WorkerIsolation {
+            mode,
+            mgr: DomainManager::new(),
+            pool: DomainPool::new(
+                DomainConfig::new("runtime-client")
+                    .heap_capacity(heap_capacity)
+                    .policy(DomainPolicy::Integrity),
+                domains,
+            ),
+        }
+    }
+
+    /// The configured mode.
+    #[must_use]
+    pub fn mode(&self) -> IsolationMode {
+        self.mode
+    }
+
+    /// True when faults are contained by domains.
+    #[must_use]
+    pub fn is_isolated(&self) -> bool {
+        self.mode == IsolationMode::PerClientDomain
+    }
+
+    /// Runs `f` inside `client`'s domain (creating or multiplexing one
+    /// via the pool). Faults inside `f` rewind the domain and surface as
+    /// [`DomainError::Violation`].
+    ///
+    /// # Errors
+    ///
+    /// [`DomainError::Setup`] if no domain can be provided,
+    /// [`DomainError::Violation`] when `f` faults and is rewound.
+    pub fn call_for<R>(
+        &mut self,
+        client: ClientId,
+        f: impl FnOnce(&mut DomainEnv<'_>) -> R,
+    ) -> Result<R, DomainError> {
+        let domain = self.pool.domain_for(&mut self.mgr, client)?;
+        self.mgr.call(domain, f)
+    }
+
+    /// Total rewinds this worker's manager has performed (cross-checked
+    /// against the worker's own fault counter in `RuntimeStats`).
+    #[must_use]
+    pub fn rewinds(&self) -> u64 {
+        self.mgr.total_rewinds()
+    }
+
+    /// Domains instantiated by this worker's pool.
+    #[must_use]
+    pub fn domains_created(&self) -> usize {
+        self.pool.domains_created()
+    }
+
+    /// Clients currently assigned to domains.
+    #[must_use]
+    pub fn clients_assigned(&self) -> usize {
+        self.pool.clients_assigned()
+    }
+
+    /// Read access to the manager (violation counters, event log).
+    #[must_use]
+    pub fn manager(&self) -> &DomainManager {
+        &self.mgr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_client_faults_stay_in_their_domain() {
+        let mut iso = WorkerIsolation::new(IsolationMode::PerClientDomain, 4, 64 * 1024);
+        let alice = ClientId(1);
+        let mallory = ClientId(2);
+
+        let kept = iso
+            .call_for(alice, |env| env.push_bytes(b"alice-state"))
+            .unwrap();
+
+        for _ in 0..5 {
+            let crashed = iso.call_for(mallory, |env| {
+                let block = env.push_bytes(b"x");
+                env.free(block);
+                env.free(block);
+            });
+            assert!(crashed.is_err());
+        }
+
+        let intact = iso.call_for(alice, |env| env.read_bytes(kept, 11)).unwrap();
+        assert_eq!(intact, b"alice-state");
+        assert_eq!(iso.rewinds(), 5);
+        assert_eq!(iso.domains_created(), 2);
+    }
+
+    #[test]
+    fn sticky_assignment_reuses_the_same_domain() {
+        let mut iso = WorkerIsolation::new(IsolationMode::PerClientDomain, 2, 16 * 1024);
+        for _ in 0..10 {
+            iso.call_for(ClientId(9), |_| ()).unwrap();
+        }
+        assert_eq!(iso.domains_created(), 1);
+        assert_eq!(iso.clients_assigned(), 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! # sdrad-runtime — a sharded multi-worker serving runtime
+//!
+//! Every workload in this repository serves one request at a time on one
+//! thread, but the paper's evaluation is about servers **under load**:
+//! Memcached and NGINX absorbing malicious traffic while continuing to
+//! serve everyone else. This crate supplies that regime:
+//!
+//! * [`Worker`] — one thread owning its *own* [`DomainManager`] and
+//!   [`DomainPool`] (protection keys and PKRU are per-thread state on
+//!   real MPK hardware, so managers stay thread-confined and the request
+//!   hot path takes no locks), draining the connections assigned to its
+//!   shard;
+//! * [`Runtime`] — a shard-by-[`ClientId`] dispatcher with **bounded**
+//!   per-worker queues and backpressure: a saturated shard sheds
+//!   requests instead of growing without bound;
+//! * [`SessionHandler`] — the workload plug-in point, with adapters for
+//!   the existing evaluation apps ([`KvHandler`] for `sdrad-kvstore`,
+//!   [`HttpHandler`] for `sdrad-httpd`) that reuse the exact staged
+//!   pipelines — planted bugs included — the single-threaded servers
+//!   run;
+//! * [`RuntimeStats`] — per-worker and aggregate throughput, contained
+//!   faults, rewind time, crashes and shed counts, with a
+//!   reconciliation invariant (protocol-level fault counts must equal
+//!   each worker's `DomainManager` rewinds) and a bridge
+//!   ([`fleet_lineup_from_runs`]) substituting *measured* rewind latency
+//!   and isolation overhead into `sdrad-energy`'s fleet models.
+//!
+//! The experiment harness `e15_concurrent_throughput` sweeps worker
+//! counts × attack rates over this runtime, baseline vs isolated.
+//!
+//! ## Example
+//!
+//! ```
+//! use sdrad::ClientId;
+//! use sdrad_runtime::{
+//!     IsolationMode, KvHandler, Runtime, RuntimeConfig, SubmitOutcome,
+//! };
+//!
+//! let runtime = Runtime::start(
+//!     RuntimeConfig::new(2, IsolationMode::PerClientDomain),
+//!     |_worker| KvHandler::default(),
+//! );
+//!
+//! // A malicious request is contained by the client's own domain…
+//! let SubmitOutcome::Enqueued(attack) =
+//!     runtime.submit(ClientId(666), b"xstat 4096 4\r\nboom\r\n".to_vec())
+//! else { unreachable!("queues are empty") };
+//! assert!(attack.wait().response.starts_with(b"SERVER_ERROR contained"));
+//!
+//! // …while other clients are served normally.
+//! let SubmitOutcome::Enqueued(set) =
+//!     runtime.submit(ClientId(1), b"set k 2\r\nhi\r\n".to_vec())
+//! else { unreachable!("queues are empty") };
+//! assert_eq!(set.wait().response, b"STORED\r\n");
+//!
+//! let stats = runtime.shutdown();
+//! assert_eq!(stats.crashes(), 0);
+//! assert_eq!(stats.contained_faults(), 1);
+//! assert!(stats.reconciles());
+//! ```
+//!
+//! [`DomainManager`]: sdrad::DomainManager
+//! [`DomainPool`]: sdrad::DomainPool
+//! [`ClientId`]: sdrad::ClientId
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod handler;
+mod isolation;
+mod queue;
+#[allow(clippy::module_inception)]
+mod runtime;
+mod stats;
+mod worker;
+
+pub use handler::{HttpHandler, KvHandler, Reply, SessionHandler};
+pub use isolation::{IsolationMode, WorkerIsolation};
+pub use queue::{Completion, Disposition, Request, ShardQueue, Ticket};
+pub use runtime::{Runtime, RuntimeConfig, SubmitOutcome};
+pub use stats::{fleet_lineup_from_runs, RuntimeStats};
+pub use worker::{Worker, WorkerStats};

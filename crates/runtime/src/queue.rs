@@ -1,0 +1,277 @@
+//! Bounded per-worker request queues with backpressure.
+//!
+//! Each worker owns exactly one [`ShardQueue`]; the dispatcher routes a
+//! client's requests to its sticky shard. Queues are **bounded**: when a
+//! shard is saturated the submit fails and the request is *shed*, the
+//! honest overload behaviour of a loaded server (accept queues fill,
+//! clients see rejections) rather than unbounded memory growth.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use sdrad::ClientId;
+
+/// One request travelling through the runtime.
+#[derive(Debug)]
+pub struct Request {
+    /// The client the request belongs to (selects shard and domain).
+    pub client: ClientId,
+    /// Raw protocol bytes of one complete request.
+    pub payload: Vec<u8>,
+    /// Completion slot the worker fills, if the submitter kept one.
+    pub ticket: Option<Ticket>,
+}
+
+/// How the runtime disposed of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Disposition {
+    /// Served normally.
+    Ok,
+    /// Answered with a protocol-level error.
+    ProtocolError,
+    /// The request triggered the planted bug; the fault was contained by
+    /// a domain rewind and answered with an error response.
+    ContainedFault {
+        /// Nanoseconds the rewind took.
+        rewind_ns: u64,
+    },
+    /// The request crashed the unprotected server; the worker restarted
+    /// it, charging the modeled restart downtime.
+    Crashed,
+    /// An internal isolation error (setup failure), answered with an
+    /// error response.
+    InternalError,
+}
+
+/// The worker's answer for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The client that sent the request.
+    pub client: ClientId,
+    /// Raw response bytes.
+    pub response: Vec<u8>,
+    /// What happened.
+    pub disposition: Disposition,
+}
+
+/// A handle on one submitted request's eventual completion.
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    inner: Arc<TicketInner>,
+}
+
+#[derive(Debug)]
+struct TicketInner {
+    slot: Mutex<Option<Completion>>,
+    ready: Condvar,
+}
+
+impl Ticket {
+    pub(crate) fn new() -> Self {
+        Ticket {
+            inner: Arc::new(TicketInner {
+                slot: Mutex::new(None),
+                ready: Condvar::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn complete(&self, completion: Completion) {
+        let mut slot = self.inner.slot.lock().expect("ticket lock");
+        *slot = Some(completion);
+        self.inner.ready.notify_all();
+    }
+
+    /// Blocks until the worker completes the request.
+    #[must_use]
+    pub fn wait(&self) -> Completion {
+        let mut slot = self.inner.slot.lock().expect("ticket lock");
+        loop {
+            if let Some(completion) = slot.take() {
+                return completion;
+            }
+            slot = self.inner.ready.wait(slot).expect("ticket wait");
+        }
+    }
+
+    /// Non-blocking check.
+    #[must_use]
+    pub fn try_take(&self) -> Option<Completion> {
+        self.inner.slot.lock().expect("ticket lock").take()
+    }
+}
+
+struct QueueState {
+    items: VecDeque<Request>,
+    stopped: bool,
+}
+
+/// A bounded MPSC queue feeding exactly one worker.
+pub struct ShardQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+    shed: AtomicU64,
+    submitted: AtomicU64,
+}
+
+impl ShardQueue {
+    /// A queue holding at most `capacity` pending requests.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ShardQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                stopped: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            shed: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues a request, or sheds it when the shard is saturated (or
+    /// already shut down). Returns whether the request was accepted.
+    pub fn try_push(&self, request: Request) -> bool {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.stopped || state.items.len() >= self.capacity {
+            drop(state);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        state.items.push_back(request);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        self.available.notify_one();
+        true
+    }
+
+    /// Pops up to `max` requests, blocking while the queue is empty and
+    /// running. Returns `None` once the queue is stopped **and** fully
+    /// drained — the worker's signal to exit.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<Request>> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if !state.items.is_empty() {
+                let take = state.items.len().min(max.max(1));
+                return Some(state.items.drain(..take).collect());
+            }
+            if state.stopped {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue wait");
+        }
+    }
+
+    /// Begins shutdown: no new requests are accepted; the worker drains
+    /// what is queued, then exits.
+    pub fn stop(&self) {
+        self.state.lock().expect("queue lock").stopped = true;
+        self.available.notify_all();
+    }
+
+    /// Requests shed at this shard so far.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests accepted by this shard so far.
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Pending (accepted, not yet popped) requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// True when nothing is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for ShardQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardQueue")
+            .field("capacity", &self.capacity)
+            .field("pending", &self.len())
+            .field("shed", &self.shed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(n: u64) -> Request {
+        Request {
+            client: ClientId(n),
+            payload: vec![n as u8],
+            ticket: None,
+        }
+    }
+
+    #[test]
+    fn fifo_order_within_a_shard() {
+        let queue = ShardQueue::new(16);
+        for i in 0..5 {
+            assert!(queue.try_push(request(i)));
+        }
+        let batch = queue.pop_batch(16).unwrap();
+        let clients: Vec<u64> = batch.iter().map(|r| r.client.0).collect();
+        assert_eq!(clients, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn saturation_sheds_instead_of_growing() {
+        let queue = ShardQueue::new(2);
+        assert!(queue.try_push(request(0)));
+        assert!(queue.try_push(request(1)));
+        assert!(!queue.try_push(request(2)), "third must be shed");
+        assert_eq!(queue.shed(), 1);
+        assert_eq!(queue.submitted(), 2);
+    }
+
+    #[test]
+    fn batch_size_is_honoured() {
+        let queue = ShardQueue::new(16);
+        for i in 0..10 {
+            queue.try_push(request(i));
+        }
+        assert_eq!(queue.pop_batch(4).unwrap().len(), 4);
+        assert_eq!(queue.len(), 6);
+    }
+
+    #[test]
+    fn stop_drains_then_ends() {
+        let queue = ShardQueue::new(16);
+        queue.try_push(request(1));
+        queue.stop();
+        assert!(!queue.try_push(request(2)), "stopped queue sheds");
+        assert_eq!(queue.pop_batch(8).unwrap().len(), 1, "drain continues");
+        assert!(queue.pop_batch(8).is_none(), "then the worker exits");
+    }
+
+    #[test]
+    fn tickets_deliver_completions_across_threads() {
+        let ticket = Ticket::new();
+        let waiter = ticket.clone();
+        let handle = std::thread::spawn(move || waiter.wait());
+        ticket.complete(Completion {
+            client: ClientId(7),
+            response: b"ok".to_vec(),
+            disposition: Disposition::Ok,
+        });
+        let completion = handle.join().unwrap();
+        assert_eq!(completion.client, ClientId(7));
+        assert_eq!(completion.disposition, Disposition::Ok);
+    }
+}

@@ -1,0 +1,255 @@
+//! The runtime proper: shard dispatch, worker lifecycle, aggregation.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use sdrad::ClientId;
+use sdrad_energy::restart::RestartModel;
+
+use crate::handler::SessionHandler;
+use crate::isolation::{IsolationMode, WorkerIsolation};
+use crate::queue::{Request, ShardQueue, Ticket};
+use crate::stats::RuntimeStats;
+use crate::worker::Worker;
+
+/// Configuration of one runtime instance.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Worker (= shard) count.
+    pub workers: usize,
+    /// Bounded queue depth per shard; submits beyond it are shed.
+    pub queue_capacity: usize,
+    /// Maximum requests a worker drains per wakeup.
+    pub batch: usize,
+    /// Whether workers contain faults with per-client domains.
+    pub isolation: IsolationMode,
+    /// Pooled domains per worker (clamped to key headroom).
+    pub domains_per_worker: usize,
+    /// Heap capacity per pooled domain, bytes.
+    pub domain_heap: usize,
+    /// Recovery-cost model charged per baseline crash.
+    pub restart: RestartModel,
+}
+
+impl RuntimeConfig {
+    /// A sensible default for `workers` workers in the given mode.
+    #[must_use]
+    pub fn new(workers: usize, isolation: IsolationMode) -> Self {
+        RuntimeConfig {
+            workers: workers.max(1),
+            queue_capacity: 1024,
+            batch: 32,
+            isolation,
+            domains_per_worker: 8,
+            domain_heap: 1 << 20,
+            restart: RestartModel::process_restart(),
+        }
+    }
+}
+
+/// What [`Runtime::submit`] did with a request.
+#[derive(Debug, Clone)]
+pub enum SubmitOutcome {
+    /// Accepted onto the client's shard; the ticket completes when the
+    /// worker answers.
+    Enqueued(Ticket),
+    /// Shed by backpressure: the shard's bounded queue was full.
+    Shed,
+}
+
+impl SubmitOutcome {
+    /// True when the request was accepted.
+    #[must_use]
+    pub fn is_enqueued(&self) -> bool {
+        matches!(self, SubmitOutcome::Enqueued(_))
+    }
+}
+
+/// A running sharded server: submit requests, then [`shutdown`] to drain
+/// and collect the measurements.
+///
+/// [`shutdown`]: Runtime::shutdown
+pub struct Runtime {
+    queues: Vec<Arc<ShardQueue>>,
+    handles: Vec<JoinHandle<crate::worker::WorkerStats>>,
+    started: Instant,
+}
+
+impl Runtime {
+    /// Starts `config.workers` workers. `factory` runs **on each worker
+    /// thread** to build that shard's handler, so handlers (and the
+    /// `DomainManager` each worker owns) never cross threads.
+    pub fn start<H, F>(config: RuntimeConfig, factory: F) -> Self
+    where
+        H: SessionHandler,
+        F: Fn(usize) -> H + Send + Sync + 'static,
+    {
+        sdrad::quiet_fault_traps();
+        let workers = config.workers.max(1);
+        let factory = Arc::new(factory);
+        let queues: Vec<Arc<ShardQueue>> = (0..workers)
+            .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
+            .collect();
+        let handles = (0..workers)
+            .map(|index| {
+                let queue = Arc::clone(&queues[index]);
+                let factory = Arc::clone(&factory);
+                std::thread::Builder::new()
+                    .name(format!("sdrad-worker-{index}"))
+                    .spawn(move || {
+                        let iso = WorkerIsolation::new(
+                            config.isolation,
+                            config.domains_per_worker,
+                            config.domain_heap,
+                        );
+                        let handler = factory(index);
+                        Worker::new(index, queue, iso, handler, config.restart, config.batch).run()
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Runtime {
+            queues,
+            handles,
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of shards/workers.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The shard serving `client`. Sticky: every request of a client
+    /// lands on the same worker, so its domain assignment (and the
+    /// ordering of its requests) is stable.
+    #[must_use]
+    pub fn shard_of(&self, client: ClientId) -> usize {
+        let mut hash = client.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        hash ^= hash >> 32;
+        (hash % self.queues.len() as u64) as usize
+    }
+
+    /// Submits one complete request for `client`, with backpressure.
+    pub fn submit(&self, client: ClientId, payload: Vec<u8>) -> SubmitOutcome {
+        let ticket = Ticket::new();
+        let request = Request {
+            client,
+            payload,
+            ticket: Some(ticket.clone()),
+        };
+        if self.queues[self.shard_of(client)].try_push(request) {
+            SubmitOutcome::Enqueued(ticket)
+        } else {
+            SubmitOutcome::Shed
+        }
+    }
+
+    /// Fire-and-forget submit for load generation (no completion slot to
+    /// allocate or fill). Returns whether the request was accepted.
+    pub fn submit_detached(&self, client: ClientId, payload: Vec<u8>) -> bool {
+        self.queues[self.shard_of(client)].try_push(Request {
+            client,
+            payload,
+            ticket: None,
+        })
+    }
+
+    /// Pending requests across all shards.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Stops accepting requests, drains every shard, joins the workers
+    /// and returns the aggregated measurements.
+    #[must_use]
+    pub fn shutdown(self) -> RuntimeStats {
+        for queue in &self.queues {
+            queue.stop();
+        }
+        let submitted = self.queues.iter().map(|q| q.submitted()).sum();
+        let shed = self.queues.iter().map(|q| q.shed()).sum();
+        let workers = self
+            .handles
+            .into_iter()
+            .map(|handle| handle.join().expect("worker panicked"))
+            .collect();
+        RuntimeStats {
+            workers,
+            shed,
+            submitted,
+            wall: self.started.elapsed(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.queues.len())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::KvHandler;
+    use crate::queue::Disposition;
+
+    #[test]
+    fn sharding_is_sticky_and_total() {
+        let runtime = Runtime::start(
+            RuntimeConfig::new(4, IsolationMode::PerClientDomain),
+            |_| KvHandler::default(),
+        );
+        for c in 0..64u64 {
+            let shard = runtime.shard_of(ClientId(c));
+            assert!(shard < 4);
+            assert_eq!(shard, runtime.shard_of(ClientId(c)), "sticky");
+        }
+        let stats = runtime.shutdown();
+        assert_eq!(stats.workers.len(), 4);
+    }
+
+    #[test]
+    fn requests_route_and_complete() {
+        let runtime = Runtime::start(
+            RuntimeConfig::new(2, IsolationMode::PerClientDomain),
+            |_| KvHandler::default(),
+        );
+        let client = ClientId(5);
+        let SubmitOutcome::Enqueued(set) = runtime.submit(client, b"set k 2\r\nhi\r\n".to_vec())
+        else {
+            panic!("unexpected shed");
+        };
+        assert_eq!(set.wait().response, b"STORED\r\n");
+        let SubmitOutcome::Enqueued(get) = runtime.submit(client, b"get k\r\n".to_vec()) else {
+            panic!("unexpected shed");
+        };
+        let completion = get.wait();
+        assert_eq!(completion.disposition, Disposition::Ok);
+        assert_eq!(completion.response, b"VALUE k 2\r\nhi\r\nEND\r\n");
+        let stats = runtime.shutdown();
+        assert_eq!(stats.served(), 2);
+        assert!(stats.reconciles());
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        let runtime = Runtime::start(
+            RuntimeConfig::new(1, IsolationMode::PerClientDomain),
+            |_| KvHandler::default(),
+        );
+        for i in 0..100u64 {
+            assert!(runtime.submit_detached(ClientId(i), b"stats\r\n".to_vec()));
+        }
+        let stats = runtime.shutdown();
+        assert_eq!(stats.served(), 100, "every accepted request is answered");
+        assert_eq!(stats.shed, 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! The worker: one thread, one shard queue, one isolation context, one
+//! workload shard.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sdrad_energy::restart::RestartModel;
+
+use crate::handler::SessionHandler;
+use crate::isolation::WorkerIsolation;
+use crate::queue::{Completion, Disposition, ShardQueue};
+
+/// Per-worker counters, returned when the worker exits.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Worker (= shard) index.
+    pub worker: usize,
+    /// Requests completed, any disposition.
+    pub served: u64,
+    /// Requests served normally.
+    pub ok: u64,
+    /// Requests answered with protocol-level errors.
+    pub protocol_errors: u64,
+    /// Faults contained by a domain rewind.
+    pub contained_faults: u64,
+    /// Cumulative nanoseconds spent rewinding contained faults.
+    pub rewind_ns: u64,
+    /// Fatal crashes of the unprotected baseline.
+    pub crashes: u64,
+    /// Internal isolation errors.
+    pub internal_errors: u64,
+    /// Modeled restart downtime accumulated by crashes (nanoseconds).
+    pub modeled_downtime_ns: u64,
+    /// Wall-clock time spent processing requests (nanoseconds).
+    pub busy_ns: u64,
+    /// Requests shed at this worker's queue (filled in at shutdown).
+    pub shed: u64,
+    /// Domains the worker's pool instantiated.
+    pub domains_created: usize,
+    /// Rewinds reported by the worker's own `DomainManager` — must equal
+    /// `contained_faults` (the reconciliation invariant).
+    pub manager_rewinds: u64,
+}
+
+impl WorkerStats {
+    /// Modeled restart downtime as a `Duration`.
+    #[must_use]
+    pub fn modeled_downtime(&self) -> Duration {
+        Duration::from_nanos(self.modeled_downtime_ns)
+    }
+
+    /// The per-worker invariant: the fault count the worker observed at
+    /// the protocol level must equal the rewinds its manager performed.
+    #[must_use]
+    pub fn reconciles(&self) -> bool {
+        self.contained_faults == self.manager_rewinds
+    }
+}
+
+/// One worker: drains its shard queue until the queue stops, then
+/// reports its counters.
+pub struct Worker<H: SessionHandler> {
+    index: usize,
+    queue: Arc<ShardQueue>,
+    iso: WorkerIsolation,
+    handler: H,
+    restart_model: RestartModel,
+    batch: usize,
+    stats: WorkerStats,
+}
+
+impl<H: SessionHandler> Worker<H> {
+    /// Assembles a worker. Called on the worker's own thread so the
+    /// `DomainManager` inside `iso` stays thread-confined.
+    pub fn new(
+        index: usize,
+        queue: Arc<ShardQueue>,
+        iso: WorkerIsolation,
+        handler: H,
+        restart_model: RestartModel,
+        batch: usize,
+    ) -> Self {
+        Worker {
+            index,
+            queue,
+            iso,
+            handler,
+            restart_model,
+            batch,
+            stats: WorkerStats {
+                worker: index,
+                ..WorkerStats::default()
+            },
+        }
+    }
+
+    /// Runs until the queue is stopped and drained; returns the counters.
+    pub fn run(mut self) -> WorkerStats {
+        while let Some(batch) = self.queue.pop_batch(self.batch) {
+            let started = Instant::now();
+            for request in batch {
+                let reply = self
+                    .handler
+                    .handle(&mut self.iso, request.client, &request.payload);
+                self.account(&reply.disposition);
+                if let Some(ticket) = request.ticket {
+                    ticket.complete(Completion {
+                        client: request.client,
+                        response: reply.response,
+                        disposition: reply.disposition,
+                    });
+                }
+            }
+            self.stats.busy_ns += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }
+        self.stats.shed = self.queue.shed();
+        self.stats.domains_created = self.iso.domains_created();
+        self.stats.manager_rewinds = self.iso.rewinds();
+        self.stats
+    }
+
+    fn account(&mut self, disposition: &Disposition) {
+        self.stats.served += 1;
+        match disposition {
+            Disposition::Ok => self.stats.ok += 1,
+            Disposition::ProtocolError => self.stats.protocol_errors += 1,
+            Disposition::ContainedFault { rewind_ns } => {
+                self.stats.contained_faults += 1;
+                self.stats.rewind_ns += rewind_ns;
+            }
+            Disposition::Crashed => {
+                // The baseline pays for its crash: the shard is down for
+                // the calibrated restart duration (state reload included)
+                // before the handler serves again. The worker restarts
+                // the handler's state and charges the downtime to its
+                // account instead of actually sleeping, keeping the
+                // harness fast and deterministic.
+                self.stats.crashes += 1;
+                let downtime = self.restart_model.recovery_time(self.handler.state_bytes());
+                self.stats.modeled_downtime_ns = self
+                    .stats
+                    .modeled_downtime_ns
+                    .saturating_add(u64::try_from(downtime.as_nanos()).unwrap_or(u64::MAX));
+                self.handler.restart();
+            }
+            Disposition::InternalError => self.stats.internal_errors += 1,
+        }
+    }
+
+    /// The worker's shard index.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}

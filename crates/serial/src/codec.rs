@@ -118,7 +118,9 @@ macro_rules! fixed_impl {
         }
         fn $get(input: &mut &[u8]) -> Result<$ty, SerialError> {
             let bytes = take(input, $n)?;
-            Ok(<$ty>::from_le_bytes(bytes.try_into().expect("exact length")))
+            Ok(<$ty>::from_le_bytes(
+                bytes.try_into().expect("exact length"),
+            ))
         }
     };
 }

@@ -157,7 +157,10 @@ impl<'de, C: IntCodec> de::Deserializer<'de> for &mut BinDeserializer<'de, C> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
         let len = C::get_len(&mut self.input)?;
-        visitor.visit_seq(CountedAccess { de: self, left: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -165,7 +168,10 @@ impl<'de, C: IntCodec> de::Deserializer<'de> for &mut BinDeserializer<'de, C> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, SerialError> {
-        visitor.visit_seq(CountedAccess { de: self, left: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -174,12 +180,18 @@ impl<'de, C: IntCodec> de::Deserializer<'de> for &mut BinDeserializer<'de, C> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, SerialError> {
-        visitor.visit_seq(CountedAccess { de: self, left: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
         let len = C::get_len(&mut self.input)?;
-        visitor.visit_map(CountedAccess { de: self, left: len })
+        visitor.visit_map(CountedAccess {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -203,10 +215,7 @@ impl<'de, C: IntCodec> de::Deserializer<'de> for &mut BinDeserializer<'de, C> {
         visitor.visit_enum(EnumAccess { de: self })
     }
 
-    fn deserialize_identifier<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, SerialError> {
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, SerialError> {
         Err(SerialError::Unsupported("identifier"))
     }
 
@@ -313,7 +322,10 @@ impl<'de, C: IntCodec> de::VariantAccess<'de> for EnumAccess<'_, 'de, C> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, SerialError> {
-        visitor.visit_seq(CountedAccess { de: self.de, left: len })
+        visitor.visit_seq(CountedAccess {
+            de: self.de,
+            left: len,
+        })
     }
 
     fn struct_variant<V: Visitor<'de>>(

@@ -58,7 +58,10 @@ impl fmt::Display for SerialError {
             SerialError::InvalidChar(c) => write!(f, "invalid char code point {c:#x}"),
             SerialError::InvalidOption(b) => write!(f, "invalid option discriminant {b:#04x}"),
             SerialError::TagMismatch { expected, found } => {
-                write!(f, "type tag mismatch: expected {expected:#04x}, found {found:#04x}")
+                write!(
+                    f,
+                    "type tag mismatch: expected {expected:#04x}, found {found:#04x}"
+                )
             }
             SerialError::LengthOverflow {
                 declared,
@@ -94,7 +97,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(SerialError::UnexpectedEof.to_string().contains("end of input"));
+        assert!(SerialError::UnexpectedEof
+            .to_string()
+            .contains("end of input"));
         assert!(SerialError::TagMismatch {
             expected: 1,
             found: 2

@@ -126,7 +126,11 @@ mod tests {
     enum Command {
         Ping,
         Get(String),
-        Set { key: String, value: Vec<u8>, ttl: Option<u32> },
+        Set {
+            key: String,
+            value: Vec<u8>,
+            ttl: Option<u32>,
+        },
         Batch(Vec<Command>),
     }
 
@@ -222,7 +226,12 @@ mod tests {
         let values: Vec<u64> = vec![1, 2, 3, 100, 200];
         let wire = to_bytes(Format::Wire, &values).unwrap();
         let compact = to_bytes(Format::Compact, &values).unwrap();
-        assert!(compact.len() < wire.len(), "{} !< {}", compact.len(), wire.len());
+        assert!(
+            compact.len() < wire.len(),
+            "{} !< {}",
+            compact.len(),
+            wire.len()
+        );
     }
 
     #[test]

@@ -361,7 +361,9 @@ impl<'de> de::Deserializer<'de> for &mut TaggedDeserializer<'de> {
     type Error = SerialError;
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, SerialError> {
-        Err(SerialError::Unsupported("deserialize_any for tagged format"))
+        Err(SerialError::Unsupported(
+            "deserialize_any for tagged format",
+        ))
     }
 
     fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
@@ -434,9 +436,8 @@ impl<'de> de::Deserializer<'de> for &mut TaggedDeserializer<'de> {
     fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
         self.expect_tag(tag::STR)?;
         let bytes = self.get_bytes()?;
-        visitor.visit_borrowed_str(
-            std::str::from_utf8(bytes).map_err(|_| SerialError::InvalidUtf8)?,
-        )
+        visitor
+            .visit_borrowed_str(std::str::from_utf8(bytes).map_err(|_| SerialError::InvalidUtf8)?)
     }
 
     fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
@@ -488,7 +489,10 @@ impl<'de> de::Deserializer<'de> for &mut TaggedDeserializer<'de> {
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
         self.expect_tag(tag::SEQ)?;
         let len = FixedCodec::get_len(&mut self.input)?;
-        visitor.visit_seq(TaggedCounted { de: self, left: len })
+        visitor.visit_seq(TaggedCounted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -497,7 +501,10 @@ impl<'de> de::Deserializer<'de> for &mut TaggedDeserializer<'de> {
         visitor: V,
     ) -> Result<V::Value, SerialError> {
         self.expect_tag(tag::TUPLE)?;
-        visitor.visit_seq(TaggedCounted { de: self, left: len })
+        visitor.visit_seq(TaggedCounted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -512,7 +519,10 @@ impl<'de> de::Deserializer<'de> for &mut TaggedDeserializer<'de> {
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, SerialError> {
         self.expect_tag(tag::MAP)?;
         let len = FixedCodec::get_len(&mut self.input)?;
-        visitor.visit_map(TaggedCounted { de: self, left: len })
+        visitor.visit_map(TaggedCounted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -538,10 +548,7 @@ impl<'de> de::Deserializer<'de> for &mut TaggedDeserializer<'de> {
         visitor.visit_enum(TaggedEnum { de: self })
     }
 
-    fn deserialize_identifier<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, SerialError> {
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, SerialError> {
         Err(SerialError::Unsupported("identifier"))
     }
 
@@ -645,7 +652,10 @@ impl<'de> de::VariantAccess<'de> for TaggedEnum<'_, 'de> {
         visitor: V,
     ) -> Result<V::Value, SerialError> {
         self.de.expect_tag(tag::TUPLE)?;
-        visitor.visit_seq(TaggedCounted { de: self.de, left: len })
+        visitor.visit_seq(TaggedCounted {
+            de: self.de,
+            left: len,
+        })
     }
 
     fn struct_variant<V: Visitor<'de>>(

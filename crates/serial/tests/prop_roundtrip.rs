@@ -1,8 +1,8 @@
 //! Property tests: round-trip fidelity and robustness to corrupt input.
 
 use proptest::prelude::*;
-use serde::{Deserialize, Serialize};
 use sdrad_serial::{from_bytes, to_bytes, Format};
+use serde::{Deserialize, Serialize};
 
 #[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
 enum Payload {

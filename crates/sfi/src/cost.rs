@@ -59,7 +59,12 @@ impl SfiCostModel {
     /// Starts an accounting ledger for a sandbox running under `mode`.
     #[must_use]
     pub fn account(&self, mode: EnforcementMode) -> SfiCostReport {
-        SfiCostReport { model: *self, mode, crossings: 0, accesses: 0 }
+        SfiCostReport {
+            model: *self,
+            mode,
+            crossings: 0,
+            accesses: 0,
+        }
     }
 }
 
@@ -124,7 +129,10 @@ mod tests {
     #[test]
     fn guarded_accesses_are_free() {
         let model = SfiCostModel::calibrated();
-        assert_eq!(model.access_cycles(EnforcementMode::Guarded { guard_bytes: 4096 }), 0);
+        assert_eq!(
+            model.access_cycles(EnforcementMode::Guarded { guard_bytes: 4096 }),
+            0
+        );
         assert!(model.access_cycles(EnforcementMode::Checked) > 0);
     }
 

@@ -51,7 +51,11 @@ pub enum SfiFault {
 impl fmt::Display for SfiFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SfiFault::OutOfBounds { addr, len, memory_size } => write!(
+            SfiFault::OutOfBounds {
+                addr,
+                len,
+                memory_size,
+            } => write!(
                 f,
                 "out-of-bounds access: [{addr:#x}, {:#x}) beyond memory of {memory_size:#x} bytes",
                 addr + *len as u64
@@ -76,7 +80,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let fault = SfiFault::OutOfBounds { addr: 0x1000, len: 4, memory_size: 0x1000 };
+        let fault = SfiFault::OutOfBounds {
+            addr: 0x1000,
+            len: 4,
+            memory_size: 0x1000,
+        };
         assert!(fault.to_string().contains("out-of-bounds"));
         assert!(SfiFault::FuelExhausted.to_string().contains("fuel"));
     }

@@ -81,7 +81,9 @@ impl LinearMemory {
     /// requested with a non-power-of-two byte size.
     pub fn new(pages: u64, mode: EnforcementMode) -> Result<Self, SfiFault> {
         if pages == 0 {
-            return Err(SfiFault::Invalid("linear memory needs at least one page".into()));
+            return Err(SfiFault::Invalid(
+                "linear memory needs at least one page".into(),
+            ));
         }
         let size = pages * PAGE_SIZE;
         if matches!(mode, EnforcementMode::Masked) && !size.is_power_of_two() {
@@ -124,12 +126,20 @@ impl LinearMemory {
         match self.mode {
             EnforcementMode::Checked => match end {
                 Some(end) if end <= size => Ok(addr as usize),
-                _ => Err(SfiFault::OutOfBounds { addr, len, memory_size: size }),
+                _ => Err(SfiFault::OutOfBounds {
+                    addr,
+                    len,
+                    memory_size: size,
+                }),
             },
             EnforcementMode::Guarded { guard_bytes } => match end {
                 Some(end) if end <= size => Ok(addr as usize),
                 Some(_) if addr < size + guard_bytes => Err(SfiFault::GuardHit { addr }),
-                _ => Err(SfiFault::OutOfBounds { addr, len, memory_size: size }),
+                _ => Err(SfiFault::OutOfBounds {
+                    addr,
+                    len,
+                    memory_size: size,
+                }),
             },
             EnforcementMode::Masked => {
                 let masked = addr & self.mask;

@@ -124,7 +124,8 @@ impl SfiSandbox {
         let before = self.memory.access_counts();
         let result = run(program, &mut self.memory, args, self.limits);
         let after = self.memory.access_counts();
-        self.cost.charge_accesses(after.0 - before.0 + after.1 - before.1);
+        self.cost
+            .charge_accesses(after.0 - before.0 + after.1 - before.1);
 
         match result {
             Ok((results, exec)) => {
@@ -201,10 +202,7 @@ mod tests {
         // Plant a huge claimed length right before the data.
         sandbox.memory_mut().store_u64(0x200, 1 << 30).unwrap();
 
-        let result = sandbox.call(
-            &routines::checksum_trusting_length_field(),
-            &[0x200, 8],
-        );
+        let result = sandbox.call(&routines::checksum_trusting_length_field(), &[0x200, 8]);
         assert!(result.is_err());
         assert_eq!(sandbox.stats().faults, 1);
         // Discarded: the earlier secret is gone.
@@ -237,10 +235,7 @@ mod tests {
         sandbox.memory_mut().store_u64(0x200, 1 << 20).unwrap();
         // In masked mode the runaway read wraps inside the sandbox and
         // terminates only via fuel.
-        let result = sandbox.call(
-            &routines::checksum_trusting_length_field(),
-            &[0x200, 8],
-        );
+        let result = sandbox.call(&routines::checksum_trusting_length_field(), &[0x200, 8]);
         assert_eq!(result.unwrap_err(), SfiFault::FuelExhausted);
     }
 

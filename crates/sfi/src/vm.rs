@@ -123,7 +123,10 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { fuel: 1_000_000, stack: 1024 }
+        Limits {
+            fuel: 1_000_000,
+            stack: 1024,
+        }
     }
 }
 
@@ -296,28 +299,28 @@ pub mod routines {
             results: 1,
             instrs: vec![
                 // 0: loop head — if i >= len, exit
-                LocalGet(2),        // 0
-                LocalGet(1),        // 1
-                LtS,                // 2: i < len
-                JumpIf(5),          // 3: continue body
-                Jump(17),           // 4: exit
+                LocalGet(2), // 0
+                LocalGet(1), // 1
+                LtS,         // 2: i < len
+                JumpIf(5),   // 3: continue body
+                Jump(17),    // 4: exit
                 // body: acc += mem[addr + i]
-                LocalGet(3),        // 5
-                LocalGet(0),        // 6
-                LocalGet(2),        // 7
-                Add,                // 8: addr + i
-                Load8,              // 9
-                Add,                // 10: acc + byte
-                LocalSet(3),        // 11
+                LocalGet(3), // 5
+                LocalGet(0), // 6
+                LocalGet(2), // 7
+                Add,         // 8: addr + i
+                Load8,       // 9
+                Add,         // 10: acc + byte
+                LocalSet(3), // 11
                 // i += 1
-                LocalGet(2),        // 12
-                I64Const(1),        // 13
-                Add,                // 14
-                LocalSet(2),        // 15
-                Jump(0),            // 16: loop
+                LocalGet(2), // 12
+                I64Const(1), // 13
+                Add,         // 14
+                LocalSet(2), // 15
+                Jump(0),     // 16: loop
                 // 17: exit
-                LocalGet(3),        // 17
-                Return,             // 18
+                LocalGet(3), // 17
+                Return,      // 18
             ],
         }
     }
@@ -416,8 +419,7 @@ mod tests {
     fn checksum_sums_bytes() {
         let mut mem = memory();
         mem.store(0x100, &[1, 2, 3, 4, 5]).unwrap();
-        let (results, stats) =
-            run(&checksum(), &mut mem, &[0x100, 5], Limits::default()).unwrap();
+        let (results, stats) = run(&checksum(), &mut mem, &[0x100, 5], Limits::default()).unwrap();
         assert_eq!(results, vec![15]);
         assert_eq!(stats.loads, 5);
     }
@@ -438,7 +440,10 @@ mod tests {
             &checksum_trusting_length_field(),
             &mut mem,
             &[0x100, 16],
-            Limits { fuel: 10_000_000, ..Limits::default() },
+            Limits {
+                fuel: 10_000_000,
+                ..Limits::default()
+            },
         );
         assert!(
             matches!(result, Err(SfiFault::OutOfBounds { .. })),
@@ -449,7 +454,15 @@ mod tests {
     #[test]
     fn fuel_contains_infinite_loops() {
         let mut mem = memory();
-        let result = run(&spin(), &mut mem, &[], Limits { fuel: 1000, stack: 16 });
+        let result = run(
+            &spin(),
+            &mut mem,
+            &[],
+            Limits {
+                fuel: 1000,
+                stack: 16,
+            },
+        );
         assert_eq!(result.unwrap_err(), SfiFault::FuelExhausted);
     }
 
@@ -460,7 +473,12 @@ mod tests {
             locals: 0,
             params: 0,
             results: 1,
-            instrs: vec![Instr::I64Const(7), Instr::I64Const(0), Instr::DivS, Instr::Return],
+            instrs: vec![
+                Instr::I64Const(7),
+                Instr::I64Const(0),
+                Instr::DivS,
+                Instr::Return,
+            ],
         };
         assert_eq!(
             run(&program, &mut mem, &[], Limits::default()).unwrap_err(),
@@ -496,7 +514,15 @@ mod tests {
             instrs: vec![Instr::I64Const(1), Instr::Dup, Instr::Jump(1)],
         };
         let mut mem = memory();
-        let result = run(&program, &mut mem, &[], Limits { fuel: 100_000, stack: 64 });
+        let result = run(
+            &program,
+            &mut mem,
+            &[],
+            Limits {
+                fuel: 100_000,
+                stack: 64,
+            },
+        );
         assert_eq!(result.unwrap_err(), SfiFault::StackFault("overflow"));
     }
 

@@ -11,14 +11,24 @@ fn memory() -> LinearMemory {
 
 /// Runs a param-less program expecting one result.
 fn eval(instrs: Vec<Instr>) -> Result<i64, SfiFault> {
-    let program = Program { locals: 0, params: 0, results: 1, instrs };
+    let program = Program {
+        locals: 0,
+        params: 0,
+        results: 1,
+        instrs,
+    };
     let mut mem = memory();
     run(&program, &mut mem, &[], Limits::default()).map(|(mut r, _)| r.pop().unwrap())
 }
 
 /// Evaluates `a <op> b`.
 fn binop(a: i64, b: i64, op: Instr) -> Result<i64, SfiFault> {
-    eval(vec![Instr::I64Const(a), Instr::I64Const(b), op, Instr::Return])
+    eval(vec![
+        Instr::I64Const(a),
+        Instr::I64Const(b),
+        op,
+        Instr::Return,
+    ])
 }
 
 #[test]
@@ -27,7 +37,11 @@ fn arithmetic_semantics() {
     assert_eq!(binop(7, 5, Instr::Sub).unwrap(), 2);
     assert_eq!(binop(7, 5, Instr::Mul).unwrap(), 35);
     assert_eq!(binop(7, 5, Instr::DivS).unwrap(), 1);
-    assert_eq!(binop(-7, 5, Instr::DivS).unwrap(), -1, "signed division truncates toward zero");
+    assert_eq!(
+        binop(-7, 5, Instr::DivS).unwrap(),
+        -1,
+        "signed division truncates toward zero"
+    );
 }
 
 #[test]
@@ -188,7 +202,10 @@ fn load64_is_little_endian() {
 #[test]
 fn trap_carries_its_reason() {
     let err = eval(vec![Instr::Trap("assertion failed: invariant")]).unwrap_err();
-    assert_eq!(err, SfiFault::Trap("assertion failed: invariant".to_string()));
+    assert_eq!(
+        err,
+        SfiFault::Trap("assertion failed: invariant".to_string())
+    );
 }
 
 #[test]
@@ -231,7 +248,12 @@ fn fuel_counts_executed_instructions_exactly() {
         locals: 0,
         params: 0,
         results: 1,
-        instrs: vec![Instr::I64Const(1), Instr::I64Const(2), Instr::Add, Instr::Return],
+        instrs: vec![
+            Instr::I64Const(1),
+            Instr::I64Const(2),
+            Instr::Add,
+            Instr::Return,
+        ],
     };
     let mut mem = memory();
     let (_, stats) = run(&program, &mut mem, &[], Limits::default()).unwrap();

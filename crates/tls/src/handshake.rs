@@ -158,7 +158,11 @@ mod tests {
         let k3 = derive_session_key(&[4u8; 32], &[2u8; 32]);
         assert_ne!(k1, k2);
         assert_ne!(k1, k3);
-        assert_eq!(k1, derive_session_key(&[1u8; 32], &[2u8; 32]), "deterministic");
+        assert_eq!(
+            k1,
+            derive_session_key(&[1u8; 32], &[2u8; 32]),
+            "deterministic"
+        );
     }
 
     #[test]

@@ -6,9 +6,7 @@
 //! adjacent heap — private keys included. Both engines below implement the
 //! *same trusting code path*; only the memory layout around it differs.
 
-use sdrad::{
-    DomainConfig, DomainError, DomainId, DomainManager, DomainPolicy, Fault,
-};
+use sdrad::{DomainConfig, DomainError, DomainId, DomainManager, DomainPolicy, Fault};
 
 /// Outcome of serving one heartbeat request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -195,10 +193,7 @@ mod tests {
         for declared in [64usize, 1024, 4096, 65_535] {
             match engine.respond(declared, b"ping") {
                 HeartbeatOutcome::Response(bytes) => {
-                    assert!(
-                        !engine.leaks_secret(&bytes),
-                        "leak at declared={declared}"
-                    );
+                    assert!(!engine.leaks_secret(&bytes), "leak at declared={declared}");
                 }
                 HeartbeatOutcome::Contained { .. } => {}
             }

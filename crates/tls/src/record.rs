@@ -131,8 +131,8 @@ impl Record {
         if input.len() < 5 {
             return Err(RecordError::Incomplete);
         }
-        let content_type = ContentType::from_wire(input[0])
-            .ok_or(RecordError::UnknownContentType(input[0]))?;
+        let content_type =
+            ContentType::from_wire(input[0]).ok_or(RecordError::UnknownContentType(input[0]))?;
         let version = u16::from_be_bytes([input[1], input[2]]);
         if version != PROTOCOL_VERSION {
             return Err(RecordError::BadVersion(version));
@@ -166,8 +166,13 @@ mod tests {
 
     #[test]
     fn incomplete_header_and_payload() {
-        assert_eq!(Record::parse(&[22, 3]).unwrap_err(), RecordError::Incomplete);
-        let mut bytes = Record::new(ContentType::Alert, vec![1, 2, 3]).unwrap().to_bytes();
+        assert_eq!(
+            Record::parse(&[22, 3]).unwrap_err(),
+            RecordError::Incomplete
+        );
+        let mut bytes = Record::new(ContentType::Alert, vec![1, 2, 3])
+            .unwrap()
+            .to_bytes();
         bytes.pop();
         assert_eq!(Record::parse(&bytes).unwrap_err(), RecordError::Incomplete);
     }
@@ -197,7 +202,9 @@ mod tests {
 
     #[test]
     fn trailing_bytes_left_for_next_record() {
-        let mut bytes = Record::new(ContentType::Heartbeat, b"hb".to_vec()).unwrap().to_bytes();
+        let mut bytes = Record::new(ContentType::Heartbeat, b"hb".to_vec())
+            .unwrap()
+            .to_bytes();
         bytes.extend_from_slice(b"XX");
         let (_, used) = Record::parse(&bytes).unwrap();
         assert_eq!(&bytes[used..], b"XX");

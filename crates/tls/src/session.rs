@@ -6,8 +6,8 @@
 //! SDRaD confidential domain. One [`TlsSession`] models one connection.
 
 use crate::{
-    ContentType, Handshake, HandshakeState, HeartbeatEngine, HeartbeatOutcome, Record,
-    RecordError, NONCE_LEN,
+    ContentType, Handshake, HandshakeState, HeartbeatEngine, HeartbeatOutcome, Record, RecordError,
+    NONCE_LEN,
 };
 
 /// Wire framing of handshake payloads in this toy stack:
@@ -176,11 +176,7 @@ impl TlsSession {
                 self.handshake
                     .on_finished()
                     .map_err(|e| SessionError::Handshake(e.to_string()))?;
-                let key = self
-                    .handshake
-                    .session_key()
-                    .expect("established")
-                    .to_vec();
+                let key = self.handshake.session_key().expect("established").to_vec();
                 self.heartbeat = Some(if self.isolated {
                     HeartbeatEngine::isolated(key)
                         .map_err(|e| SessionError::Handshake(e.to_string()))?
@@ -324,8 +320,7 @@ mod tests {
     fn contained_overread_becomes_alert_and_session_continues() {
         let mut session = establish(true);
         // 64 KB declared against the 16 KB heartbeat domain: contained.
-        let hb =
-            Record::new(ContentType::Heartbeat, heartbeat_request(u16::MAX, b"x")).unwrap();
+        let hb = Record::new(ContentType::Heartbeat, heartbeat_request(u16::MAX, b"x")).unwrap();
         let responses = session.process(&hb).unwrap();
         assert_eq!(responses[0].content_type, ContentType::Alert);
         assert!(String::from_utf8_lossy(&responses[0].payload).starts_with("contained:"));
@@ -346,7 +341,11 @@ mod tests {
                 .unwrap()
                 .to_bytes(),
         );
-        wire.extend(Record::new(ContentType::Handshake, finished()).unwrap().to_bytes());
+        wire.extend(
+            Record::new(ContentType::Handshake, finished())
+                .unwrap()
+                .to_bytes(),
+        );
         // Plus half of a third record.
         let partial = Record::new(ContentType::ApplicationData, b"later".to_vec())
             .unwrap()

@@ -10,10 +10,7 @@ fn main() {
     sdrad_repro::quiet_fault_traps();
 
     let mut mgr = DomainManager::new();
-    let mut pool = DomainPool::new(
-        DomainConfig::new("tenant").heap_capacity(256 * 1024),
-        6,
-    );
+    let mut pool = DomainPool::new(DomainConfig::new("tenant").heap_capacity(256 * 1024), 6);
 
     // Six tenants get dedicated domains; tenant 0 is hostile.
     let hostile = pool.domain_for(&mut mgr, ClientId(0)).unwrap();
@@ -26,7 +23,9 @@ fn main() {
     for (i, &domain) in peers.iter().enumerate() {
         let marker = format!("tenant-{}-session", i + 1).into_bytes();
         let len = marker.len();
-        let addr = mgr.call(domain, move |env| env.push_bytes(&marker)).unwrap();
+        let addr = mgr
+            .call(domain, move |env| env.push_bytes(&marker))
+            .unwrap();
         peer_state.push((domain, addr, len));
     }
 

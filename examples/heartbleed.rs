@@ -16,7 +16,11 @@ fn main() {
             println!(
                 "heartbeat asked for 4096 bytes, got {} — leaked secret? {}",
                 bytes.len(),
-                if leaky.leaks_secret(&bytes) { "YES" } else { "no" }
+                if leaky.leaks_secret(&bytes) {
+                    "YES"
+                } else {
+                    "no"
+                }
             );
         }
         other => println!("unexpected: {other:?}"),
@@ -29,7 +33,11 @@ fn main() {
             HeartbeatOutcome::Response(bytes) => println!(
                 "declared {declared}: {} bytes returned, leaked secret? {}",
                 bytes.len(),
-                if safe.leaks_secret(&bytes) { "YES" } else { "no" }
+                if safe.leaks_secret(&bytes) {
+                    "YES"
+                } else {
+                    "no"
+                }
             ),
             HeartbeatOutcome::Contained { kind } => println!(
                 "declared {declared}: over-read FAULTED ({kind}); domain rewound, session alive"

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let claimed = env.heap_region().len() + 4096;
         env.read_bytes(record, claimed)
     });
-    println!("MPK domain      : {}", describe(outcome.err().map(|e| e.to_string())));
+    println!(
+        "MPK domain      : {}",
+        describe(outcome.err().map(|e| e.to_string()))
+    );
     assert_eq!(mgr.total_rewinds(), 1);
 
     // ------------------------------------------------------------------
@@ -58,12 +61,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. SFI: the guest routine itself trusts the length field; the
     //    sandbox's bounds check stops it at the linear-memory edge.
     // ------------------------------------------------------------------
-    let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked)?
-        .with_limits(Limits { fuel: 50_000_000, stack: 1024 });
+    let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked)?.with_limits(Limits {
+        fuel: 50_000_000,
+        stack: 1024,
+    });
     sandbox.memory_mut().store_u64(0x100, 1 << 20)?; // claimed length
     sandbox.copy_in(0x108, b"payload")?;
     let outcome = sandbox.call(&routines::checksum_trusting_length_field(), &[0x100, 7]);
-    println!("SFI sandbox     : {}", describe(outcome.err().map(|e| e.to_string())));
+    println!(
+        "SFI sandbox     : {}",
+        describe(outcome.err().map(|e| e.to_string()))
+    );
     assert_eq!(sandbox.stats().faults, 1);
 
     // ------------------------------------------------------------------

@@ -35,7 +35,10 @@ fn drive(isolation: Isolation) {
     let probe = server.handle(b"get key-1\r\n");
     if probe.is_empty() {
         println!("benign client: NO RESPONSE — the server is dead");
-        println!("operator must restart and reload {} entries…", snapshot.len());
+        println!(
+            "operator must restart and reload {} entries…",
+            snapshot.len()
+        );
         server.restart_from(&snapshot);
         println!("…restarted (at real reload cost; minutes at 10 GB scale)");
     } else {

@@ -19,7 +19,10 @@ fn main() {
     let utilization = 0.45;
 
     let restart = RestartModel::process_restart().recovery_time(state);
-    println!("deployment: {faults_per_year} faults/yr, 10 GB state, {utilization:.0}% load\n", utilization = utilization * 100.0);
+    println!(
+        "deployment: {faults_per_year} faults/yr, 10 GB state, {utilization:.0}% load\n",
+        utilization = utilization * 100.0
+    );
     println!(
         "recovery per fault: restart {} vs rewind {}",
         fmt_duration(restart),

@@ -17,6 +17,7 @@
 //! | [`httpd`] | `sdrad-httpd` | NGINX-like workload |
 //! | [`tls`] | `sdrad-tls` | OpenSSL-like workload (Heartbleed demo) |
 //! | [`faultsim`] | `sdrad-faultsim` | attack injection, workload generators |
+//! | [`runtime`] | `sdrad-runtime` | sharded multi-worker serving runtime (concurrent load) |
 //! | [`energy`] | `sdrad-energy` | availability, energy and carbon models |
 //! | [`cheri`] | `sdrad-cheri` | simulated CHERI capability machine (E11 ablation) |
 //! | [`sfi`] | `sdrad-sfi` | software fault isolation: linear memory + sandboxed VM |
@@ -32,7 +33,6 @@ pub use sdrad as core;
 pub use sdrad_alloc as alloc;
 pub use sdrad_cheri as cheri;
 pub use sdrad_cluster as cluster;
-pub use sdrad_sfi as sfi;
 pub use sdrad_energy as energy;
 pub use sdrad_faultsim as faultsim;
 pub use sdrad_ffi as ffi;
@@ -40,11 +40,11 @@ pub use sdrad_httpd as httpd;
 pub use sdrad_kvstore as kvstore;
 pub use sdrad_mpk as mpk;
 pub use sdrad_net as net;
+pub use sdrad_runtime as runtime;
 pub use sdrad_serial as serial;
+pub use sdrad_sfi as sfi;
 pub use sdrad_tls as tls;
 
 // The most-used items at the top level for convenience.
-pub use sdrad::{
-    quiet_fault_traps, DomainConfig, DomainError, DomainManager, DomainPolicy, Fault,
-};
+pub use sdrad::{quiet_fault_traps, DomainConfig, DomainError, DomainManager, DomainPolicy, Fault};
 pub use sdrad_ffi::{FfiError, Sandbox};

@@ -115,8 +115,7 @@ fn correlated_attacks_shrink_redundancy_gains() {
     let mut single = independent.clone();
     single.strategy = Strategy::SingleRestart;
     let independent_single = ClusterSim::new(single).run();
-    let independent_gain =
-        independent_single.downtime_seconds - independent_pair.downtime_seconds;
+    let independent_gain = independent_single.downtime_seconds - independent_pair.downtime_seconds;
 
     // Correlated campaigns against a monoculture: the gain largely
     // evaporates (both replicas die together).
@@ -128,8 +127,7 @@ fn correlated_attacks_shrink_redundancy_gains() {
     let mut single = correlated.clone();
     single.strategy = Strategy::SingleRestart;
     let correlated_single = ClusterSim::new(single).run();
-    let correlated_gain =
-        correlated_single.downtime_seconds - correlated_pair.downtime_seconds;
+    let correlated_gain = correlated_single.downtime_seconds - correlated_pair.downtime_seconds;
 
     assert!(
         independent_gain > correlated_gain * 2.0,

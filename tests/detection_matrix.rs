@@ -21,10 +21,7 @@ fn every_attack_is_contained_under_every_policy() {
             .unwrap();
         for attack in Attack::ALL {
             let result = mgr.call(attacker, move |env| inject(env, attack));
-            assert!(
-                result.is_err(),
-                "{attack} undetected under {policy} policy"
-            );
+            assert!(result.is_err(), "{attack} undetected under {policy} policy");
         }
         let info = mgr.domain_info(attacker).unwrap();
         assert_eq!(info.violations, Attack::ALL.len() as u64);

@@ -48,8 +48,12 @@ fn httpd_and_kvstore_share_one_process_worth_of_domains() {
         assert!(kv
             .handle(&kv_exploit_request(8192))
             .starts_with(b"SERVER_ERROR"));
-        assert!(http.handle(&http_exploit_request(0xfff)).starts_with(b"HTTP/1.1 400"));
-        assert!(http.handle(&http_get_request("/")).starts_with(b"HTTP/1.1 200"));
+        assert!(http
+            .handle(&http_exploit_request(0xfff))
+            .starts_with(b"HTTP/1.1 400"));
+        assert!(http
+            .handle(&http_get_request("/"))
+            .starts_with(b"HTTP/1.1 200"));
     }
     assert!(kv.is_alive() && http.is_alive());
     assert_eq!(kv.stats().contained_faults, 20);
@@ -146,7 +150,11 @@ fn confidential_domain_cannot_exfiltrate_root_data() {
     let reader = mgr
         .create_domain(DomainConfig::new("reader").policy(DomainPolicy::Integrity))
         .unwrap();
-    let data = mgr.call(reader, |env| env.read_bytes(root.base(), 11)).unwrap();
+    let data = mgr
+        .call(reader, |env| env.read_bytes(root.base(), 11))
+        .unwrap();
     assert_eq!(data, b"root-secret");
-    assert!(mgr.call(reader, |env| env.write(root.base(), b"overwrite")).is_err());
+    assert!(mgr
+        .call(reader, |env| env.write(root.base(), b"overwrite"))
+        .is_err());
 }

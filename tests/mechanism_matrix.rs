@@ -98,7 +98,10 @@ fn cheri_contains_every_attack_class_and_keeps_serving() {
 fn sfi_contains_every_attack_class_and_keeps_serving() {
     let mut sandbox = SfiSandbox::new(1, EnforcementMode::Checked)
         .unwrap()
-        .with_limits(Limits { fuel: 1_000_000, stack: 256 });
+        .with_limits(Limits {
+            fuel: 1_000_000,
+            stack: 256,
+        });
 
     let overflow = Program {
         locals: 0,
@@ -195,10 +198,7 @@ fn rewind_discards_guest_state_on_all_mechanisms() {
     let mut mgr = DomainManager::new();
     let domain = mgr.create_domain(DomainConfig::new("victim")).unwrap();
     let addr = mgr
-        .call(domain, |env| {
-            
-            env.push_bytes(b"pre-fault-secret")
-        })
+        .call(domain, |env| env.push_bytes(b"pre-fault-secret"))
         .unwrap();
     let _ = mgr.call(domain, |env| {
         env.write(env.heap_region().base().offset(1 << 30), &[1]);

@@ -1,0 +1,31 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::{Any, Arbitrary, Strategy, TestRng};
+
+/// An index into a collection whose length is only known at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this index into `0..len`. Panics if `len` is zero, matching
+    /// real proptest.
+    #[must_use]
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Strategy for Any<Index> {
+    type Value = Index;
+    fn generate(&self, rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = Any<Index>;
+    fn arbitrary() -> Any<Index> {
+        Any(std::marker::PhantomData)
+    }
+}

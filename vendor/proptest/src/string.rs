@@ -1,0 +1,78 @@
+//! String generation from the character-class regex subset the workspace
+//! uses: `[<class>]{min,max}` where `<class>` is characters and `a-z`
+//! style ranges (e.g. `"[a-z]{1,8}"`, `"[ -~]{0,40}"`). A bare class
+//! without repetition generates exactly one character.
+
+use crate::TestRng;
+
+/// Generates a string matching `pattern`. Panics on syntax outside the
+/// supported subset, so unsupported tests fail loudly rather than
+/// generating wrong data.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let bytes = pattern.as_bytes();
+    assert!(
+        !pattern.is_empty() && bytes[0] == b'[',
+        "unsupported string strategy pattern {pattern:?}: \
+         the vendored proptest supports only `[class]{{min,max}}`"
+    );
+    let close = pattern
+        .find(']')
+        .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+    let class = expand_class(&pattern[1..close]);
+    assert!(!class.is_empty(), "empty character class in {pattern:?}");
+
+    let rest = &pattern[close + 1..];
+    let (min, max) = parse_repetition(rest, pattern);
+    let len = min + rng.below((max - min + 1) as u64) as usize;
+    (0..len)
+        .map(|_| class[rng.below(class.len() as u64) as usize])
+        .collect()
+}
+
+/// Expands `a-z`-style ranges and literal characters.
+fn expand_class(class: &str) -> Vec<char> {
+    let chars: Vec<char> = class.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "inverted range {lo}-{hi} in character class");
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses `{min,max}` (or `{n}`); an empty suffix means exactly one.
+fn parse_repetition(rest: &str, pattern: &str) -> (usize, usize) {
+    if rest.is_empty() {
+        return (1, 1);
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition {rest:?} in {pattern:?}"));
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("bad repetition bound {s:?} in {pattern:?}"))
+    };
+    match inner.split_once(',') {
+        Some((min, max)) => {
+            let (min, max) = (parse(min), parse(max));
+            assert!(min <= max, "inverted repetition in {pattern:?}");
+            (min, max)
+        }
+        None => {
+            let n = parse(inner);
+            (n, n)
+        }
+    }
+}

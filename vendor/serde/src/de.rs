@@ -1,0 +1,555 @@
+//! The deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Error raised while deserializing.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A value had the right type but wrong content.
+    fn invalid_value(got: &dyn Display, expected: &dyn Display) -> Self {
+        Self::custom(format_args!("invalid value {got}, expected {expected}"))
+    }
+
+    /// A sequence or map had the wrong number of elements.
+    fn invalid_length(len: usize, expected: &dyn Display) -> Self {
+        Self::custom(format_args!("invalid length {len}, expected {expected}"))
+    }
+
+    /// An enum carried an unknown variant.
+    fn unknown_variant(variant: &str, _expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!("unknown variant `{variant}`"))
+    }
+
+    /// A struct was missing a required field.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+}
+
+/// A value constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Drives `deserializer`, producing the value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Deserialize`] with no borrowed data: usable from transient buffers.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Stateful variant of [`Deserialize`] used by access traits.
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced type.
+    type Value;
+    /// Drives `deserializer`, producing the value.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A data-format frontend that drives a [`Visitor`] with decoded values.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of this format.
+    type Error: Error;
+
+    /// Self-describing dispatch (unsupported by non-self-describing formats).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes borrowed bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Decodes a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Decodes a variable-length sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes a fixed-length tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Decodes a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Decodes a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Decodes a struct with the given fields.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Decodes an enum with the given variants.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Decodes a field or variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Skips a value of any shape.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Whether this format is human readable (text) rather than binary.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Receives decoded values from a [`Deserializer`]. Every `visit_*` has a
+/// type-mismatch default, exactly like serde's.
+pub trait Visitor<'de>: Sized {
+    /// The produced type.
+    type Value;
+
+    /// Describes what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Receives a `bool`.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("boolean {v}")))
+    }
+    /// Receives an `i8`.
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(i64::from(v))
+    }
+    /// Receives an `i16`.
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(i64::from(v))
+    }
+    /// Receives an `i32`.
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(i64::from(v))
+    }
+    /// Receives an `i64`.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("integer {v}")))
+    }
+    /// Receives a `u8`.
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(u64::from(v))
+    }
+    /// Receives a `u16`.
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(u64::from(v))
+    }
+    /// Receives a `u32`.
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(u64::from(v))
+    }
+    /// Receives a `u64`.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("integer {v}")))
+    }
+    /// Receives an `f32`.
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(f64::from(v))
+    }
+    /// Receives an `f64`.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("float {v}")))
+    }
+    /// Receives a `char`.
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        self.visit_str(v.encode_utf8(&mut [0u8; 4]))
+    }
+    /// Receives a transient string slice.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("string {v:?}")))
+    }
+    /// Receives a string borrowed from the input.
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    /// Receives an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Receives transient bytes.
+    fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("bytes")))
+    }
+    /// Receives bytes borrowed from the input.
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    /// Receives an owned byte buffer.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    /// Receives `Option::None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("none")))
+    }
+    /// Receives `Option::Some`, with the payload still encoded.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(unexpected(&self, format_args!("some")))
+    }
+    /// Receives `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("unit")))
+    }
+    /// Receives a newtype struct, with the payload still encoded.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(unexpected(&self, format_args!("newtype struct")))
+    }
+    /// Receives a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(unexpected(&self, format_args!("sequence")))
+    }
+    /// Receives a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(unexpected(&self, format_args!("map")))
+    }
+    /// Receives an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(unexpected(&self, format_args!("enum")))
+    }
+}
+
+/// Builds the standard "unexpected X, expected Y" error.
+fn unexpected<'de, V: Visitor<'de>, E: Error>(visitor: &V, what: fmt::Arguments<'_>) -> E {
+    struct Expected<'a, V>(&'a V);
+    impl<'de, V: Visitor<'de>> Display for Expected<'_, V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.expecting(f)
+        }
+    }
+    E::custom(format_args!(
+        "invalid type: unexpected {what}, expected {}",
+        Expected(visitor)
+    ))
+}
+
+/// Incremental access to a decoded sequence.
+pub trait SeqAccess<'de> {
+    /// Error type of this format.
+    type Error: Error;
+    /// Decodes the next element through `seed`, or `None` at the end.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+    /// Decodes the next element, or `None` at the end.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+    /// Remaining length, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Incremental access to a decoded map.
+pub trait MapAccess<'de> {
+    /// Error type of this format.
+    type Error: Error;
+    /// Decodes the next key through `seed`, or `None` at the end.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+    /// Decodes the value of the last key through `seed`.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Decodes the next key, or `None` at the end.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+    /// Decodes the value of the last key.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+    /// Decodes the next entry, or `None` at the end.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+    /// Remaining length, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to a decoded enum: the variant identifier, then its payload.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type of this format.
+    type Error: Error;
+    /// Payload accessor paired with the identifier.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+    /// Decodes the variant identifier through `seed`.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+    /// Decodes the variant identifier.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to one enum variant's payload.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type of this format.
+    type Error: Error;
+    /// Consumes a dataless variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+    /// Decodes a one-field variant's payload through `seed`.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+    /// Decodes a one-field variant's payload.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+    /// Decodes a tuple variant's payload.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Decodes a struct variant's payload.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of plain values into little single-value deserializers.
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The produced deserializer.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Wraps `self` in a deserializer that yields exactly this value.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// Single-value deserializers for primitives.
+pub mod value {
+    use super::{Deserializer, Error, IntoDeserializer, Visitor};
+    use std::marker::PhantomData;
+
+    macro_rules! forward_all_to_any {
+        () => {
+            fn deserialize_bool<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_i8<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_i16<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_i32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_i64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_u8<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_u16<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_u32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_u64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_f32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_f64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_char<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_str<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_string<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_bytes<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_byte_buf<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_option<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_unit<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_unit_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                v: V,
+            ) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_newtype_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                v: V,
+            ) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_seq<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_tuple<V: Visitor<'de>>(self, _len: usize, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_tuple_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _len: usize,
+                v: V,
+            ) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_map<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _fields: &'static [&'static str],
+                v: V,
+            ) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_enum<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _variants: &'static [&'static str],
+                v: V,
+            ) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_identifier<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_ignored_any<V: Visitor<'de>>(self, v: V) -> Result<V::Value, E> {
+                self.deserialize_any(v)
+            }
+        };
+    }
+
+    macro_rules! primitive_deserializer {
+        ($name:ident, $ty:ty, $visit:ident) => {
+            /// Deserializer yielding one already-decoded primitive.
+            pub struct $name<E> {
+                value: $ty,
+                marker: PhantomData<E>,
+            }
+
+            impl<E> $name<E> {
+                /// Wraps `value`.
+                pub fn new(value: $ty) -> Self {
+                    $name {
+                        value,
+                        marker: PhantomData,
+                    }
+                }
+            }
+
+            impl<'de, E: Error> IntoDeserializer<'de, E> for $ty {
+                type Deserializer = $name<E>;
+                fn into_deserializer(self) -> $name<E> {
+                    $name::new(self)
+                }
+            }
+
+            impl<'de, E: Error> Deserializer<'de> for $name<E> {
+                type Error = E;
+
+                fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                    visitor.$visit(self.value)
+                }
+
+                forward_all_to_any! {}
+            }
+        };
+    }
+
+    primitive_deserializer!(U8Deserializer, u8, visit_u8);
+    primitive_deserializer!(U16Deserializer, u16, visit_u16);
+    primitive_deserializer!(U32Deserializer, u32, visit_u32);
+    primitive_deserializer!(U64Deserializer, u64, visit_u64);
+}

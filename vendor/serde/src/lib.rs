@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace builds without network access, so this crate provides
+//! the serde **data model** — the `Serialize`/`Serializer` and
+//! `Deserialize`/`Deserializer` trait pairs, visitors, and access
+//! traits — as used by `sdrad-serial`'s three binary formats and by
+//! `sdrad-ffi`'s process boundary. The surface mirrors serde 1.x
+//! signatures exactly for everything this repo touches; exotic corners
+//! (u128, `deserialize_any` self-description, zero-copy lifetimes beyond
+//! `visit_borrowed_*`) are intentionally omitted.
+//!
+//! `#[derive(Serialize, Deserialize)]` comes from the sibling
+//! `serde_derive` stub, re-exported here exactly like the real crate
+//! does with its `derive` feature enabled.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,237 @@
+//! The serialization half of the data model.
+
+use std::fmt::Display;
+
+/// Error raised while serializing.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Drives `serializer` with this value's structure.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data-format backend that values serialize themselves into.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type of this format.
+    type Error: Error;
+    /// Sub-serializer for sequences.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for tuples.
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for tuple structs.
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for tuple enum variants.
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for maps.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for structs.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for struct enum variants.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i8`.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i16`.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i32`.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u8`.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u16`.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u32`.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f32`.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `char`.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes opaque bytes.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::Some(value)`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `()`.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit struct like `struct Marker;`.
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a dataless enum variant.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype struct like `struct Meters(f64);`.
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a one-field enum variant.
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begins a variable-length sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins a fixed-length tuple.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Begins a tuple struct.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    /// Begins a tuple enum variant.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    /// Begins a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begins a struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins a struct enum variant.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+
+    /// Whether this format is human readable (text) rather than binary.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Incremental serializer for sequence elements.
+pub trait SerializeSeq {
+    /// Value produced on success.
+    type Ok;
+    /// Error type of this format.
+    type Error: Error;
+    /// Serializes the next element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serializer for tuple elements.
+pub trait SerializeTuple {
+    /// Value produced on success.
+    type Ok;
+    /// Error type of this format.
+    type Error: Error;
+    /// Serializes the next element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the tuple.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serializer for tuple-struct fields.
+pub trait SerializeTupleStruct {
+    /// Value produced on success.
+    type Ok;
+    /// Error type of this format.
+    type Error: Error;
+    /// Serializes the next field.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the tuple struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serializer for tuple-variant fields.
+pub trait SerializeTupleVariant {
+    /// Value produced on success.
+    type Ok;
+    /// Error type of this format.
+    type Error: Error;
+    /// Serializes the next field.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serializer for map entries.
+pub trait SerializeMap {
+    /// Value produced on success.
+    type Ok;
+    /// Error type of this format.
+    type Error: Error;
+    /// Serializes the next key.
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+    /// Serializes the value for the last key.
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Serializes one key-value entry.
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error> {
+        self.serialize_key(key)?;
+        self.serialize_value(value)
+    }
+    /// Finishes the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serializer for struct fields.
+pub trait SerializeStruct {
+    /// Value produced on success.
+    type Ok;
+    /// Error type of this format.
+    type Error: Error;
+    /// Serializes the next named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serializer for struct-variant fields.
+pub trait SerializeStructVariant {
+    /// Value produced on success.
+    type Ok;
+    /// Error type of this format.
+    type Error: Error;
+    /// Serializes the next named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}

@@ -1,0 +1,565 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stub.
+//!
+//! `syn`/`quote` are unavailable without network access, so this macro
+//! parses the item's `proc_macro::TokenStream` by hand. The supported
+//! grammar is exactly what the workspace derives on: non-generic named
+//! structs, tuple structs, unit structs, and enums whose variants are
+//! unit, newtype, tuple or struct shaped. Anything else (generics,
+//! `#[serde(...)]` attributes) produces a clear `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item being derived on.
+enum Item {
+    /// `struct X { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct X(A, B);`
+    TupleStruct { name: String, arity: usize },
+    /// `struct X;`
+    UnitStruct { name: String },
+    /// `enum X { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// `(A)` — serde distinguishes one-field tuples as newtypes.
+    Newtype,
+    /// `(A, B, ...)` with 2+ fields.
+    Tuple(usize),
+    /// `{ a: A, ... }`
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde_derive does not support generic types (deriving on `{name}`)"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(group.stream())?,
+                })
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_top_level_segments(group.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(group.stream())?,
+                })
+            }
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive on `{other}` items")),
+    }
+}
+
+/// Advances `i` past outer attributes (`#[...]`) and a visibility
+/// qualifier (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts the field names of a named-field body, in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => fields.push(ident.to_string()),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+        i += 1;
+        // Consume `: Type` up to the next top-level comma.
+        skip_to_top_level_comma(&tokens, &mut i);
+    }
+    Ok(fields)
+}
+
+/// Advances `i` just past the next comma at angle-bracket depth zero.
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    let mut prev_dash = false;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                // `->` (function-pointer types) does not close a generic.
+                '>' if !prev_dash => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+/// Counts comma-separated segments at angle-depth zero (tuple arity).
+fn count_top_level_segments(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        count += 1;
+        skip_to_top_level_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_top_level_segments(group.stream()) {
+                    0 => VariantShape::Tuple(0),
+                    1 => VariantShape::Newtype,
+                    n => VariantShape::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(group.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Consume an optional discriminant and the separating comma.
+        skip_to_top_level_comma(&tokens, &mut i);
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn quoted_list(names: &[String]) -> String {
+    names
+        .iter()
+        .map(|n| format!("{n:?}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let mut __s = serde::ser::Serializer::serialize_struct(__serializer, {name:?}, {})?;\n",
+                fields.len()
+            );
+            for field in fields {
+                body.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __s, {field:?}, &self.{field})?;\n"
+                ));
+            }
+            body.push_str("serde::ser::SerializeStruct::end(__s)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                return impl_serialize(
+                    name,
+                    &format!(
+                        "serde::ser::Serializer::serialize_newtype_struct(__serializer, {name:?}, &self.0)"
+                    ),
+                );
+            }
+            let mut body = format!(
+                "let mut __s = serde::ser::Serializer::serialize_tuple_struct(__serializer, {name:?}, {arity})?;\n"
+            );
+            for idx in 0..*arity {
+                body.push_str(&format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut __s, &self.{idx})?;\n"
+                ));
+            }
+            body.push_str("serde::ser::SerializeTupleStruct::end(__s)");
+            impl_serialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_serialize(
+            name,
+            &format!("serde::ser::Serializer::serialize_unit_struct(__serializer, {name:?})"),
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::ser::Serializer::serialize_unit_variant(__serializer, {name:?}, {idx}u32, {vname:?}),\n"
+                    )),
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => serde::ser::Serializer::serialize_newtype_variant(__serializer, {name:?}, {idx}u32, {vname:?}, __f0),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|j| format!("__f{j}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __s = serde::ser::Serializer::serialize_tuple_variant(__serializer, {name:?}, {idx}u32, {vname:?}, {arity})?;\n",
+                            binders.join(", ")
+                        );
+                        for binder in &binders {
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeTupleVariant::serialize_field(&mut __s, {binder})?;\n"
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeTupleVariant::end(__s)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __s = serde::ser::Serializer::serialize_struct_variant(__serializer, {name:?}, {idx}u32, {vname:?}, {})?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for field in fields {
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeStructVariant::serialize_field(&mut __s, {field:?}, {field})?;\n"
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeStructVariant::end(__s)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Emits `visit_seq` statements binding `__f0..__fN` from sequential
+/// elements, erroring on early end-of-sequence.
+fn seq_bindings(count: usize, access: &str) -> String {
+    let mut out = String::new();
+    for idx in 0..count {
+        out.push_str(&format!(
+            "let __f{idx} = match serde::de::SeqAccess::next_element(&mut {access})? {{\n\
+                 Some(__v) => __v,\n\
+                 None => return Err(serde::de::Error::invalid_length({idx}, &\"more fields\")),\n\
+             }};\n"
+        ));
+    }
+    out
+}
+
+/// Builds a `Visitor` impl with the given value type and `visit_seq` body.
+fn seq_visitor(
+    visitor: &str,
+    value_ty: &str,
+    expecting: &str,
+    count: usize,
+    construct: &str,
+) -> String {
+    format!(
+        "struct {visitor};\n\
+         impl<'de> serde::de::Visitor<'de> for {visitor} {{\n\
+             type Value = {value_ty};\n\
+             fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                 __f.write_str({expecting:?})\n\
+             }}\n\
+             fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                 -> std::result::Result<{value_ty}, __A::Error> {{\n\
+                 {}\n\
+                 Ok({construct})\n\
+             }}\n\
+         }}\n",
+        seq_bindings(count, "__seq")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let construct = format!(
+                "{name} {{ {} }}",
+                fields
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, field)| format!("{field}: __f{idx}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let visitor = seq_visitor(
+                "__Visitor",
+                name,
+                &format!("struct {name}"),
+                fields.len(),
+                &construct,
+            );
+            impl_deserialize(
+                name,
+                &format!(
+                    "{visitor}\n\
+                     serde::de::Deserializer::deserialize_struct(__deserializer, {name:?}, &[{}], __Visitor)",
+                    quoted_list(fields)
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                let body = format!(
+                    "struct __Visitor;\n\
+                     impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                         type Value = {name};\n\
+                         fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                             __f.write_str(\"newtype struct\")\n\
+                         }}\n\
+                         fn visit_newtype_struct<__D: serde::de::Deserializer<'de>>(self, __d: __D)\n\
+                             -> std::result::Result<{name}, __D::Error> {{\n\
+                             Ok({name}(serde::de::Deserialize::deserialize(__d)?))\n\
+                         }}\n\
+                     }}\n\
+                     serde::de::Deserializer::deserialize_newtype_struct(__deserializer, {name:?}, __Visitor)"
+                );
+                return impl_deserialize(name, &body);
+            }
+            let construct = format!(
+                "{name}({})",
+                (0..*arity)
+                    .map(|idx| format!("__f{idx}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let visitor = seq_visitor(
+                "__Visitor",
+                name,
+                &format!("tuple struct {name}"),
+                *arity,
+                &construct,
+            );
+            impl_deserialize(
+                name,
+                &format!(
+                    "{visitor}\n\
+                     serde::de::Deserializer::deserialize_tuple_struct(__deserializer, {name:?}, {arity}, __Visitor)"
+                ),
+            )
+        }
+        Item::UnitStruct { name } => impl_deserialize(
+            name,
+            &format!(
+                "struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                         __f.write_str(\"unit struct\")\n\
+                     }}\n\
+                     fn visit_unit<__E: serde::de::Error>(self) -> std::result::Result<{name}, __E> {{\n\
+                         Ok({name})\n\
+                     }}\n\
+                 }}\n\
+                 serde::de::Deserializer::deserialize_unit_struct(__deserializer, {name:?}, __Visitor)"
+            ),
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{ serde::de::VariantAccess::unit_variant(__variant)?; Ok({name}::{vname}) }},\n"
+                    )),
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{idx}u32 => Ok({name}::{vname}(serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let construct = format!(
+                            "{name}::{vname}({})",
+                            (0..*arity)
+                                .map(|j| format!("__f{j}"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        let visitor = seq_visitor(
+                            &format!("__Variant{idx}"),
+                            name,
+                            &format!("tuple variant {name}::{vname}"),
+                            *arity,
+                            &construct,
+                        );
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n{visitor}\nserde::de::VariantAccess::tuple_variant(__variant, {arity}, __Variant{idx})\n}},\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let construct = format!(
+                            "{name}::{vname} {{ {} }}",
+                            fields
+                                .iter()
+                                .enumerate()
+                                .map(|(j, field)| format!("{field}: __f{j}"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        let visitor = seq_visitor(
+                            &format!("__Variant{idx}"),
+                            name,
+                            &format!("struct variant {name}::{vname}"),
+                            fields.len(),
+                            &construct,
+                        );
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n{visitor}\nserde::de::VariantAccess::struct_variant(__variant, &[{}], __Variant{idx})\n}},\n",
+                            quoted_list(fields)
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                         __f.write_str(\"enum {name}\")\n\
+                     }}\n\
+                     fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                         -> std::result::Result<{name}, __A::Error> {{\n\
+                         let (__idx, __variant): (u32, __A::Variant) =\n\
+                             serde::de::EnumAccess::variant(__data)?;\n\
+                         match __idx {{\n\
+                             {arms}\n\
+                             __other => Err(serde::de::Error::custom(\n\
+                                 format_args!(\"invalid variant index {{__other}} for enum {name}\"),\n\
+                             )),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 serde::de::Deserializer::deserialize_enum(__deserializer, {name:?}, &[{}], __Visitor)",
+                quoted_list(&variants.iter().map(|v| v.name.clone()).collect::<Vec<_>>())
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::de::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> std::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
