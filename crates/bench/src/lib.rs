@@ -1,6 +1,6 @@
 //! # sdrad-bench — experiment harnesses
 //!
-//! One binary per experiment (`e1_overhead` … `e14_case_study`), each
+//! One binary per experiment (`e1_overhead` … `e16_connection_serving`), each
 //! regenerating one table or figure from the paper — or one of the
 //! paper's §IV proposals (E10–E14) — and printing paper-vs-measured rows.
 //! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
@@ -76,6 +76,46 @@ pub fn worker_binary() -> Option<std::path::PathBuf> {
     .find(|candidate| candidate.is_file())
 }
 
+/// Maps a seeded Poisson [`FaultSchedule`] onto a run of `requests`
+/// uniformly-spaced request slots within `horizon_seconds`: slot `i` is
+/// attacked iff at least one scheduled arrival lands in its interval.
+///
+/// This replaces e15's fixed `i % period == 0` attack pattern in e16 with
+/// statistically honest (bursty, gapped) arrivals that are still exactly
+/// reproducible per seed — the property the determinism tests pin down.
+///
+/// [`FaultSchedule`]: sdrad_faultsim::FaultSchedule
+#[must_use]
+pub fn attack_slots(
+    schedule: &sdrad_faultsim::FaultSchedule,
+    horizon_seconds: f64,
+    requests: u64,
+) -> Vec<bool> {
+    let mut plan = vec![false; usize::try_from(requests).unwrap_or(0)];
+    if plan.is_empty() {
+        return plan;
+    }
+    let dt = horizon_seconds / requests as f64;
+    for arrival in schedule.arrivals(horizon_seconds) {
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let slot = ((arrival / dt) as usize).min(plan.len() - 1);
+        plan[slot] = true;
+    }
+    plan
+}
+
+/// The yearly fault rate that makes a [`FaultSchedule`] deliver
+/// `attacks_per_10k` attacks per 10 000 requests in expectation, when
+/// `requests` requests span `horizon_seconds`.
+///
+/// [`FaultSchedule`]: sdrad_faultsim::FaultSchedule
+#[must_use]
+pub fn attack_rate_per_year(attacks_per_10k: u64, requests: u64, horizon_seconds: f64) -> f64 {
+    const SECONDS_PER_YEAR: f64 = 365.0 * 24.0 * 3600.0;
+    let expected = requests as f64 * attacks_per_10k as f64 / 10_000.0;
+    expected * SECONDS_PER_YEAR / horizon_seconds
+}
+
 /// Measures this build's SDRaD rewind latency: mean over `iters` contained
 /// double-free faults in a scratch domain.
 #[must_use]
@@ -118,6 +158,36 @@ mod tests {
     #[test]
     fn ops_per_sec_math() {
         assert!((ops_per_sec(Duration::from_millis(1)) - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn attack_slots_are_deterministic_and_rate_faithful() {
+        use sdrad_faultsim::FaultSchedule;
+        let horizon = 3600.0;
+        let requests = 10_000u64;
+        let rate = attack_rate_per_year(100, requests, horizon); // 1%
+        let a = attack_slots(&FaultSchedule::new(rate, 42), horizon, requests);
+        let b = attack_slots(&FaultSchedule::new(rate, 42), horizon, requests);
+        let c = attack_slots(&FaultSchedule::new(rate, 43), horizon, requests);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_ne!(a, c, "different seed, different plan");
+        // ~100 expected arrivals; slot-collapse loses only coincident
+        // ones, so the realised count stays in a loose Poisson band.
+        let attacks = a.iter().filter(|&&x| x).count();
+        assert!(
+            (40..=200).contains(&attacks),
+            "1% of 10k should be ~100 attacks, got {attacks}"
+        );
+    }
+
+    #[test]
+    fn attack_slots_cover_empty_and_degenerate_inputs() {
+        use sdrad_faultsim::FaultSchedule;
+        let schedule = FaultSchedule::new(1.0, 1);
+        assert!(attack_slots(&schedule, 3600.0, 0).is_empty());
+        let one = attack_slots(&FaultSchedule::new(1e9, 5), 3600.0, 1);
+        assert_eq!(one.len(), 1);
+        assert!(one[0], "a huge rate must hit the only slot");
     }
 
     #[test]

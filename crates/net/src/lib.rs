@@ -9,7 +9,10 @@
 //!
 //! Connections are thread-safe (both ends can live on different threads),
 //! but are equally usable single-threaded for deterministic
-//! request/response loops.
+//! request/response loops. Accept loops that drain concurrently with
+//! connecting clients use [`Listener::accept_blocking`] +
+//! [`Listener::close`], which guarantee that no connection enqueued
+//! before the close is ever lost.
 //!
 //! ## Example
 //!

@@ -1,17 +1,28 @@
 //! Connection acceptance.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::conn::{duplex, Endpoint};
 
+/// Backlog state shared between all clones of a [`Listener`].
+#[derive(Debug, Default)]
+struct Backlog {
+    queue: VecDeque<Endpoint>,
+    closed: bool,
+}
+
 /// An in-memory listener: clients [`connect`](Listener::connect), servers
 /// [`accept`](Listener::accept). The analogue of a bound TCP socket.
+///
+/// Accept loops that must not drop late arrivals use
+/// [`accept_blocking`](Self::accept_blocking) together with
+/// [`close`](Self::close): every connection enqueued before the close is
+/// guaranteed to be returned before the loop sees `None`, even when
+/// connects race the drain from another thread.
 #[derive(Debug, Clone, Default)]
 pub struct Listener {
-    backlog: Arc<Mutex<VecDeque<Endpoint>>>,
+    backlog: Arc<(Mutex<Backlog>, Condvar)>,
 }
 
 impl Listener {
@@ -23,23 +34,83 @@ impl Listener {
 
     /// Establishes a new connection, returning the client end; the server
     /// end is queued for [`accept`](Self::accept).
+    ///
+    /// Connecting to a [closed](Self::close) listener is refused: the
+    /// returned endpoint's peer is already gone (`!is_open`), the
+    /// in-memory analogue of a TCP RST.
     #[must_use]
     pub fn connect(&self) -> Endpoint {
-        let (client, server) = duplex();
-        self.backlog.lock().push_back(server);
+        let (client, mut server) = duplex();
+        let (lock, ready) = &*self.backlog;
+        let mut backlog = lock.lock().expect("listener lock");
+        if backlog.closed {
+            drop(backlog);
+            server.close();
+            return client;
+        }
+        backlog.queue.push_back(server);
+        drop(backlog);
+        ready.notify_one();
         client
     }
 
-    /// Accepts the oldest pending connection, if any.
+    /// Accepts the oldest pending connection, if any (non-blocking).
     #[must_use]
     pub fn accept(&self) -> Option<Endpoint> {
-        self.backlog.lock().pop_front()
+        self.backlog
+            .0
+            .lock()
+            .expect("listener lock")
+            .queue
+            .pop_front()
+    }
+
+    /// Accepts the oldest pending connection, waiting for one to arrive.
+    ///
+    /// Returns `None` only once the listener is [closed](Self::close)
+    /// **and** the backlog is fully drained. Because [`connect`] enqueues
+    /// and `close` flips the flag under the same lock, a connection
+    /// enqueued after the drainer's last wakeup is never lost: either the
+    /// connect lands before the close (and this method returns it) or it
+    /// is refused.
+    ///
+    /// [`connect`]: Self::connect
+    #[must_use]
+    pub fn accept_blocking(&self) -> Option<Endpoint> {
+        let (lock, ready) = &*self.backlog;
+        let mut backlog = lock.lock().expect("listener lock");
+        loop {
+            if let Some(endpoint) = backlog.queue.pop_front() {
+                return Some(endpoint);
+            }
+            if backlog.closed {
+                return None;
+            }
+            backlog = ready.wait(backlog).expect("listener wait");
+        }
+    }
+
+    /// Stops accepting new connections. Pending (already-connected)
+    /// entries stay in the backlog for [`accept_blocking`] /
+    /// [`accept`](Self::accept) to drain; later connects are refused.
+    ///
+    /// [`accept_blocking`]: Self::accept_blocking
+    pub fn close(&self) {
+        let (lock, ready) = &*self.backlog;
+        lock.lock().expect("listener lock").closed = true;
+        ready.notify_all();
+    }
+
+    /// Whether the listener was closed.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.backlog.0.lock().expect("listener lock").closed
     }
 
     /// Number of pending, not-yet-accepted connections.
     #[must_use]
     pub fn backlog_len(&self) -> usize {
-        self.backlog.lock().len()
+        self.backlog.0.lock().expect("listener lock").queue.len()
     }
 }
 
@@ -78,5 +149,36 @@ mod tests {
         let _client = listener.connect();
         assert_eq!(clone.backlog_len(), 1);
         assert!(clone.accept().is_some());
+    }
+
+    #[test]
+    fn accept_blocking_drains_backlog_then_ends_on_close() {
+        let listener = Listener::new();
+        let _a = listener.connect();
+        let _b = listener.connect();
+        listener.close();
+        assert!(listener.accept_blocking().is_some());
+        assert!(listener.accept_blocking().is_some());
+        assert!(listener.accept_blocking().is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn connect_after_close_is_refused() {
+        let listener = Listener::new();
+        listener.close();
+        let client = listener.connect();
+        assert!(!client.is_open(), "refused connection looks like RST");
+        assert_eq!(listener.backlog_len(), 0);
+    }
+
+    #[test]
+    fn accept_blocking_wakes_on_late_connect() {
+        let listener = Listener::new();
+        let remote = listener.clone();
+        let handle = std::thread::spawn(move || remote.accept_blocking().is_some());
+        // Give the acceptor a chance to block first.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let _client = listener.connect();
+        assert!(handle.join().unwrap(), "late connect must be accepted");
     }
 }

@@ -1,0 +1,100 @@
+//! Regression: a connection enqueued while the backlog drains
+//! concurrently must never be lost.
+//!
+//! The original accept loop pattern was `while backlog_len() > 0 {
+//! accept() }` — an acceptor that observed an empty backlog exited, and a
+//! `connect()` racing that final check was stranded forever. The fix is
+//! the close-aware blocking accept: `accept_blocking()` returns every
+//! connection enqueued before `close()`, no matter how the drain
+//! interleaves with producers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sdrad_net::Listener;
+
+#[test]
+fn no_connection_is_lost_under_concurrent_drain() {
+    const PRODUCERS: usize = 4;
+    const CONNECTS_PER_PRODUCER: usize = 250;
+
+    for round in 0..8 {
+        let listener = Listener::new();
+        let accepted = Arc::new(AtomicUsize::new(0));
+
+        // The drainer races the producers from the very start.
+        let drainer = {
+            let listener = listener.clone();
+            let accepted = Arc::clone(&accepted);
+            std::thread::spawn(move || {
+                while let Some(mut server) = listener.accept_blocking() {
+                    accepted.fetch_add(1, Ordering::SeqCst);
+                    // Touch the connection like a real acceptor would.
+                    server.write(b"hello");
+                }
+            })
+        };
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let listener = listener.clone();
+                std::thread::spawn(move || {
+                    let mut clients = Vec::new();
+                    for i in 0..CONNECTS_PER_PRODUCER {
+                        let client = listener.connect();
+                        // Vary the interleaving a little.
+                        if (p + i) % 7 == 0 {
+                            std::thread::yield_now();
+                        }
+                        clients.push(client);
+                    }
+                    clients
+                })
+            })
+            .collect();
+
+        let all_clients: Vec<_> = producers
+            .into_iter()
+            .flat_map(|h| h.join().expect("producer"))
+            .collect();
+        // Every connect above happened before the close, so every one
+        // must be surfaced to the drainer.
+        listener.close();
+        drainer.join().expect("drainer");
+
+        assert_eq!(
+            accepted.load(Ordering::SeqCst),
+            PRODUCERS * CONNECTS_PER_PRODUCER,
+            "round {round}: connections were lost in the drain race"
+        );
+        // And each accepted server end actually reached its client.
+        for mut client in all_clients {
+            assert_eq!(client.read_available(), b"hello", "round {round}");
+        }
+    }
+}
+
+#[test]
+fn late_connect_races_the_final_drain() {
+    // Tighter version of the race: one producer keeps connecting while
+    // the drainer is already blocked in accept; the producer then closes.
+    let listener = Listener::new();
+    let total = 500usize;
+
+    let drainer = {
+        let listener = listener.clone();
+        std::thread::spawn(move || {
+            let mut n = 0usize;
+            while listener.accept_blocking().is_some() {
+                n += 1;
+            }
+            n
+        })
+    };
+
+    for _ in 0..total {
+        let _ = listener.connect();
+    }
+    listener.close();
+    assert_eq!(drainer.join().unwrap(), total);
+}

@@ -1,0 +1,346 @@
+//! Streaming latency histograms with bounded relative error.
+//!
+//! The runtime needs percentiles (p50/p99/p999) per disposition without
+//! storing every sample: workers record millions of request latencies and
+//! the aggregation must merge per-worker streams exactly. The classic
+//! answer is an HDR-style **log-linear** histogram: each power-of-two
+//! octave of the nanosecond range is split into a fixed number of linear
+//! sub-buckets, so recording is O(1), memory is a few KiB regardless of
+//! stream length, and any reported quantile is within `1/SUBBUCKETS`
+//! (~3.1%) of the true sample value. Merging adds bucket counts, which
+//! makes per-worker merge **exactly** equal to the whole-stream histogram
+//! — the property the stats reconciliation tests rely on.
+
+use std::time::Duration;
+
+/// log2 of the number of linear sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Linear sub-buckets per power-of-two octave (32 → ≤3.125% error).
+const SUB: u64 = 1 << SUB_BITS;
+
+/// A streaming log-linear histogram of nanosecond values.
+#[derive(Clone, Default)]
+pub struct LatencyHistogram {
+    /// Bucket counts, grown lazily to the highest recorded index.
+    counts: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// Bucket index of a nanosecond value.
+fn index_of(ns: u64) -> usize {
+    if ns < SUB {
+        return ns as usize;
+    }
+    // The top SUB_BITS+1 significant bits select octave and sub-bucket.
+    let exp = 63 - ns.leading_zeros() - SUB_BITS;
+    ((u64::from(exp) + 1) * SUB + ((ns >> exp) - SUB)) as usize
+}
+
+/// Representative value (bucket midpoint) for a bucket index.
+fn value_of(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB {
+        return index;
+    }
+    let exp = index / SUB - 1;
+    let low = (SUB + index % SUB) << exp;
+    low + (1u64 << exp) / 2
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one nanosecond sample.
+    pub fn record(&mut self, ns: u64) {
+        let index = index_of(ns);
+        if self.counts.len() <= index {
+            self.counts.resize(index + 1, 0);
+        }
+        self.counts[index] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = if self.count == 1 {
+            ns
+        } else {
+            self.min_ns.min(ns)
+        };
+    }
+
+    /// Records a [`Duration`] sample.
+    pub fn record_duration(&mut self, elapsed: Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Adds every sample of `other` into `self`. Merging per-worker
+    /// histograms yields exactly the whole-stream histogram.
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (slot, &n) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += n;
+        }
+        self.min_ns = if self.count == 0 {
+            other.min_ns
+        } else {
+            self.min_ns.min(other.min_ns)
+        };
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> Duration {
+        Duration::from_nanos(if self.count == 0 { 0 } else { self.min_ns })
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Exact mean of all recorded samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let mean = self.sum_ns / u128::from(self.count);
+        Duration::from_nanos(u64::try_from(mean).unwrap_or(u64::MAX))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a representative nanosecond
+    /// value, within ~3.1% of the true sample. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample the quantile refers to (1-based).
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // Clamp the representative into the observed range so
+                // p100 reports max, not a bucket midpoint above it.
+                return value_of(index).clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median latency.
+    #[must_use]
+    pub fn p50(&self) -> Duration {
+        Duration::from_nanos(self.quantile(0.50))
+    }
+
+    /// 99th percentile latency.
+    #[must_use]
+    pub fn p99(&self) -> Duration {
+        Duration::from_nanos(self.quantile(0.99))
+    }
+
+    /// 99.9th percentile latency.
+    #[must_use]
+    pub fn p999(&self) -> Duration {
+        Duration::from_nanos(self.quantile(0.999))
+    }
+}
+
+impl PartialEq for LatencyHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        if self.count != other.count
+            || self.sum_ns != other.sum_ns
+            || self.max_ns != other.max_ns
+            || (self.count > 0 && self.min_ns != other.min_ns)
+        {
+            return false;
+        }
+        // Bucket vectors are compared zero-padded: trailing empty buckets
+        // are representation detail, not data.
+        let longest = self.counts.len().max(other.counts.len());
+        (0..longest).all(|i| {
+            self.counts.get(i).copied().unwrap_or(0) == other.counts.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for LatencyHistogram {}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Worst-case relative error of one bucket.
+    const REL_ERR: f64 = 1.0 / SUB as f64;
+
+    fn assert_close(got: u64, want: u64) {
+        let tolerance = (want as f64 * REL_ERR).max(1.0);
+        assert!(
+            (got as f64 - want as f64).abs() <= tolerance,
+            "got {got}, want {want} ± {tolerance:.1}"
+        );
+    }
+
+    #[test]
+    fn linear_region_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), SUB / 2 - 1);
+        assert_eq!(h.min(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::from_nanos(SUB - 1));
+    }
+
+    #[test]
+    fn uniform_distribution_percentiles() {
+        // 1..=100_000 ns once each: p50 = 50_000, p99 = 99_000,
+        // p999 = 99_900, all within one bucket of truth.
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 100_000);
+        assert_close(h.quantile(0.50), 50_000);
+        assert_close(h.quantile(0.99), 99_000);
+        assert_close(h.quantile(0.999), 99_900);
+        assert_eq!(h.max(), Duration::from_nanos(100_000));
+        assert_eq!(h.mean(), Duration::from_nanos(50_000));
+    }
+
+    #[test]
+    fn bimodal_distribution_percentiles() {
+        // 99% fast (10 µs), 1% slow (10 ms): p50 sits on the fast mode,
+        // p999 on the slow mode — the shape percentiles exist to expose
+        // and a mean would hide.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..9_900 {
+            h.record(10_000);
+        }
+        for _ in 0..100 {
+            h.record(10_000_000);
+        }
+        assert_close(h.quantile(0.50), 10_000);
+        assert_close(h.quantile(0.98), 10_000);
+        assert_close(h.quantile(0.999), 10_000_000);
+    }
+
+    #[test]
+    fn merge_of_shards_equals_whole_stream() {
+        // Deterministic pseudo-random stream, dealt round-robin to four
+        // "workers": merging the four must equal the whole-stream
+        // histogram exactly (same buckets, count, sum, min, max).
+        let mut whole = LatencyHistogram::new();
+        let mut shards = vec![LatencyHistogram::new(); 4];
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for i in 0..40_000usize {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let sample = x % 50_000_000; // up to 50 ms
+            whole.record(sample);
+            shards[i % 4].record(sample);
+        }
+        let mut merged = LatencyHistogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged, whole);
+        assert_eq!(merged.quantile(0.99), whole.quantile(0.99));
+        assert_eq!(merged.mean(), whole.mean());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_into_empty_and_with_empty() {
+        let mut h = LatencyHistogram::new();
+        h.record(123);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&h);
+        assert_eq!(empty, h);
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(empty, h);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.p99(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.min(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_across_octaves() {
+        for &v in &[100u64, 1_000, 65_537, 1_000_000, 123_456_789, u64::MAX / 2] {
+            let mut h = LatencyHistogram::new();
+            h.record(v);
+            assert_close(h.quantile(1.0), v);
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.max(), Duration::from_nanos(u64::MAX));
+        assert_eq!(h.min(), Duration::ZERO);
+    }
+
+    #[test]
+    fn record_duration_matches_record() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(1_500);
+        b.record_duration(Duration::from_nanos(1_500));
+        assert_eq!(a, b);
+    }
+}

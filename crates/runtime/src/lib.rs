@@ -2,31 +2,45 @@
 //!
 //! Every workload in this repository serves one request at a time on one
 //! thread, but the paper's evaluation is about servers **under load**:
-//! Memcached and NGINX absorbing malicious traffic while continuing to
-//! serve everyone else. This crate supplies that regime:
+//! Memcached, NGINX and OpenSSL absorbing malicious traffic while
+//! continuing to serve everyone else. This crate supplies that regime:
 //!
 //! * [`Worker`] — one thread owning its *own* [`DomainManager`] and
 //!   [`DomainPool`] (protection keys and PKRU are per-thread state on
 //!   real MPK hardware, so managers stay thread-confined and the request
-//!   hot path takes no locks), draining the connections assigned to its
-//!   shard;
+//!   hot path takes no locks), draining its shard's queue **and pumping
+//!   the connections assigned to its shard**;
 //! * [`Runtime`] — a shard-by-[`ClientId`] dispatcher with **bounded**
 //!   per-worker queues and backpressure: a saturated shard sheds
 //!   requests instead of growing without bound;
-//! * [`SessionHandler`] — the workload plug-in point, with adapters for
-//!   the existing evaluation apps ([`KvHandler`] for `sdrad-kvstore`,
-//!   [`HttpHandler`] for `sdrad-httpd`) that reuse the exact staged
-//!   pipelines — planted bugs included — the single-threaded servers
-//!   run;
+//! * [`server`] — **connection-level serving**: [`ConnectionServer`]
+//!   runs an accept loop over an `sdrad-net` [`Listener`], hands each
+//!   accepted connection to its sticky shard, and the shard's worker
+//!   pumps framed reads off the raw byte stream — partial reads,
+//!   pipelined requests, malformed heads and mid-request disconnects are
+//!   all real states, not pre-framed `Vec<u8>` conveniences;
+//! * [`SessionHandler`] — the workload plug-in point, owning both
+//!   request processing *and* protocol framing
+//!   ([`SessionHandler::frame`]), with adapters for all three evaluation
+//!   apps: [`KvHandler`] (`sdrad-kvstore`), [`HttpHandler`]
+//!   (`sdrad-httpd`) and [`TlsHandler`] (`sdrad-tls`, the
+//!   Heartbleed-style heartbeat — over-reads contained per client domain
+//!   in isolated mode, secret-leaking responses flagged
+//!   [`Disposition::SecretLeak`] in the baseline);
 //! * [`RuntimeStats`] — per-worker and aggregate throughput, contained
-//!   faults, rewind time, crashes and shed counts, with a
+//!   faults, rewind time, crashes, leaks and shed counts, plus
+//!   **streaming latency histograms** ([`LatencyHistogram`]) giving
+//!   p50/p99/p999 per disposition (ok / contained / shed), with a
 //!   reconciliation invariant (protocol-level fault counts must equal
-//!   each worker's `DomainManager` rewinds) and a bridge
-//!   ([`fleet_lineup_from_runs`]) substituting *measured* rewind latency
-//!   and isolation overhead into `sdrad-energy`'s fleet models.
+//!   each worker's `DomainManager` rewinds, histograms must carry one
+//!   sample per counted request) and a bridge
+//!   ([`fleet_lineup_from_runs`]) substituting *measured* p99 rewind
+//!   latency and isolation overhead into `sdrad-energy`'s fleet models.
 //!
-//! The experiment harness `e15_concurrent_throughput` sweeps worker
-//! counts × attack rates over this runtime, baseline vs isolated.
+//! The experiment harnesses `e15_concurrent_throughput` (pre-framed
+//! submits) and `e16_connection_serving` (full connection path, all
+//! three workloads, `sdrad-faultsim`-scheduled attacks) sweep this
+//! runtime baseline vs isolated.
 //!
 //! ## Example
 //!
@@ -59,24 +73,32 @@
 //! assert!(stats.reconciles());
 //! ```
 //!
+//! For the connection-level path, see [`ConnectionServer`]'s docs and
+//! `examples/connection_serving.rs`.
+//!
 //! [`DomainManager`]: sdrad::DomainManager
 //! [`DomainPool`]: sdrad::DomainPool
 //! [`ClientId`]: sdrad::ClientId
+//! [`Listener`]: sdrad_net::Listener
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod handler;
+mod histogram;
 mod isolation;
 mod queue;
 #[allow(clippy::module_inception)]
 mod runtime;
+mod server;
 mod stats;
 mod worker;
 
-pub use handler::{HttpHandler, KvHandler, Reply, SessionHandler};
+pub use handler::{Framing, HttpHandler, KvHandler, Reply, SessionHandler, TlsHandler};
+pub use histogram::LatencyHistogram;
 pub use isolation::{IsolationMode, WorkerIsolation};
-pub use queue::{Completion, Disposition, Request, ShardQueue, Ticket};
-pub use runtime::{Runtime, RuntimeConfig, SubmitOutcome};
+pub use queue::{Completion, Disposition, Request, ShardQueue, Ticket, WorkBatch};
+pub use runtime::{Dispatcher, Runtime, RuntimeConfig, SubmitOutcome};
+pub use server::ConnectionServer;
 pub use stats::{fleet_lineup_from_runs, RuntimeStats};
 pub use worker::{Worker, WorkerStats};

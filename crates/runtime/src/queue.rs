@@ -5,12 +5,22 @@
 //! shard is saturated the submit fails and the request is *shed*, the
 //! honest overload behaviour of a loaded server (accept queues fill,
 //! clients see rejections) rather than unbounded memory growth.
+//!
+//! Since connection-level serving, the queue is also the worker's *wakeup
+//! channel*: [`ShardQueue::kick`] rouses a worker blocked in
+//! [`ShardQueue::wait_work`] without enqueueing anything (used when a new
+//! connection is assigned to the shard), and `wait_work` takes an optional
+//! timeout so a worker that owns connections can poll them between queue
+//! drains.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use sdrad::ClientId;
+
+use crate::histogram::LatencyHistogram;
 
 /// One request travelling through the runtime.
 #[derive(Debug)]
@@ -21,6 +31,22 @@ pub struct Request {
     pub payload: Vec<u8>,
     /// Completion slot the worker fills, if the submitter kept one.
     pub ticket: Option<Ticket>,
+    /// When the request entered the runtime (latency measurements count
+    /// queue wait from this instant).
+    pub accepted_at: Instant,
+}
+
+impl Request {
+    /// A request stamped with the current instant.
+    #[must_use]
+    pub fn new(client: ClientId, payload: Vec<u8>, ticket: Option<Ticket>) -> Self {
+        Request {
+            client,
+            payload,
+            ticket,
+            accepted_at: Instant::now(),
+        }
+    }
 }
 
 /// How the runtime disposed of one request.
@@ -39,6 +65,11 @@ pub enum Disposition {
     /// The request crashed the unprotected server; the worker restarted
     /// it, charging the modeled restart downtime.
     Crashed,
+    /// The request was answered, but the response carried secret bytes
+    /// past the protocol boundary — the unprotected TLS baseline under a
+    /// Heartbleed-style over-read (the process survives; the
+    /// confidentiality guarantee does not).
+    SecretLeak,
     /// An internal isolation error (setup failure), answered with an
     /// error response.
     InternalError,
@@ -105,6 +136,20 @@ impl Ticket {
 struct QueueState {
     items: VecDeque<Request>,
     stopped: bool,
+    /// Set by [`ShardQueue::kick`]: wake the worker once even with an
+    /// empty queue (new connection assigned, go adopt it).
+    kicked: bool,
+}
+
+/// One wakeup's worth of work handed to a worker.
+#[derive(Debug)]
+pub struct WorkBatch {
+    /// Requests popped from the queue (possibly empty on a kick, a
+    /// timeout, or shutdown).
+    pub requests: Vec<Request>,
+    /// Whether the queue has been stopped (the worker exits once it has
+    /// also drained its connections).
+    pub stopped: bool,
 }
 
 /// A bounded MPSC queue feeding exactly one worker.
@@ -114,6 +159,7 @@ pub struct ShardQueue {
     capacity: usize,
     shed: AtomicU64,
     submitted: AtomicU64,
+    shed_latency: Mutex<LatencyHistogram>,
 }
 
 impl ShardQueue {
@@ -124,11 +170,13 @@ impl ShardQueue {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 stopped: false,
+                kicked: false,
             }),
             available: Condvar::new(),
             capacity: capacity.max(1),
             shed: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
+            shed_latency: Mutex::new(LatencyHistogram::new()),
         }
     }
 
@@ -139,6 +187,13 @@ impl ShardQueue {
         if state.stopped || state.items.len() >= self.capacity {
             drop(state);
             self.shed.fetch_add(1, Ordering::Relaxed);
+            // Time-to-shed: how long the fast-fail rejection took from
+            // the request's arrival. Shedding being cheap (vs. queueing
+            // and timing out) is the point of bounded queues.
+            self.shed_latency
+                .lock()
+                .expect("shed histogram lock")
+                .record_duration(request.accepted_at.elapsed());
             return false;
         }
         state.items.push_back(request);
@@ -148,21 +203,78 @@ impl ShardQueue {
         true
     }
 
-    /// Pops up to `max` requests, blocking while the queue is empty and
-    /// running. Returns `None` once the queue is stopped **and** fully
-    /// drained — the worker's signal to exit.
-    pub fn pop_batch(&self, max: usize) -> Option<Vec<Request>> {
+    /// Waits for work: returns when requests are available, the queue is
+    /// [kicked](Self::kick) or [stopped](Self::stop), or `timeout` (if
+    /// any) elapses. The batch may be empty — the caller distinguishes
+    /// "work", "go look at your connections" and "shutting down" via the
+    /// [`WorkBatch`] fields.
+    pub fn wait_work(&self, max: usize, timeout: Option<Duration>) -> WorkBatch {
         let mut state = self.state.lock().expect("queue lock");
         loop {
             if !state.items.is_empty() {
+                state.kicked = false;
                 let take = state.items.len().min(max.max(1));
-                return Some(state.items.drain(..take).collect());
+                let stopped = state.stopped;
+                return WorkBatch {
+                    requests: state.items.drain(..take).collect(),
+                    stopped,
+                };
             }
-            if state.stopped {
+            if state.stopped || state.kicked {
+                state.kicked = false;
+                return WorkBatch {
+                    requests: Vec::new(),
+                    stopped: state.stopped,
+                };
+            }
+            match timeout {
+                None => state = self.available.wait(state).expect("queue wait"),
+                Some(limit) => {
+                    let (next, result) = self
+                        .available
+                        .wait_timeout(state, limit)
+                        .expect("queue wait");
+                    state = next;
+                    if result.timed_out() {
+                        state.kicked = false;
+                        return WorkBatch {
+                            requests: Vec::new(),
+                            stopped: state.stopped,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pops up to `max` pending requests without blocking.
+    pub fn try_drain(&self, max: usize) -> Vec<Request> {
+        let mut state = self.state.lock().expect("queue lock");
+        let take = state.items.len().min(max.max(1));
+        state.items.drain(..take).collect()
+    }
+
+    /// Pops up to `max` requests, blocking while the queue is empty and
+    /// running. Returns `None` once the queue is stopped **and** fully
+    /// drained — the signal to exit for workers with no connections.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<Request>> {
+        loop {
+            let batch = self.wait_work(max, None);
+            if !batch.requests.is_empty() {
+                return Some(batch.requests);
+            }
+            if batch.stopped {
                 return None;
             }
-            state = self.available.wait(state).expect("queue wait");
+            // Spurious kick with nothing queued: keep waiting.
         }
+    }
+
+    /// Wakes the worker without enqueueing a request (e.g. a connection
+    /// was just assigned to this shard).
+    pub fn kick(&self) {
+        self.state.lock().expect("queue lock").kicked = true;
+        self.available.notify_all();
     }
 
     /// Begins shutdown: no new requests are accepted; the worker drains
@@ -172,10 +284,25 @@ impl ShardQueue {
         self.available.notify_all();
     }
 
+    /// Whether [`stop`](Self::stop) has been called.
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.state.lock().expect("queue lock").stopped
+    }
+
     /// Requests shed at this shard so far.
     #[must_use]
     pub fn shed(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Histogram of time-to-shed for every shed request.
+    #[must_use]
+    pub fn shed_latency(&self) -> LatencyHistogram {
+        self.shed_latency
+            .lock()
+            .expect("shed histogram lock")
+            .clone()
     }
 
     /// Requests accepted by this shard so far.
@@ -212,11 +339,7 @@ mod tests {
     use super::*;
 
     fn request(n: u64) -> Request {
-        Request {
-            client: ClientId(n),
-            payload: vec![n as u8],
-            ticket: None,
-        }
+        Request::new(ClientId(n), vec![n as u8], None)
     }
 
     #[test]
@@ -238,6 +361,7 @@ mod tests {
         assert!(!queue.try_push(request(2)), "third must be shed");
         assert_eq!(queue.shed(), 1);
         assert_eq!(queue.submitted(), 2);
+        assert_eq!(queue.shed_latency().len(), 1, "shed latency recorded");
     }
 
     #[test]
@@ -258,6 +382,36 @@ mod tests {
         assert!(!queue.try_push(request(2)), "stopped queue sheds");
         assert_eq!(queue.pop_batch(8).unwrap().len(), 1, "drain continues");
         assert!(queue.pop_batch(8).is_none(), "then the worker exits");
+    }
+
+    #[test]
+    fn kick_wakes_an_empty_wait() {
+        let queue = Arc::new(ShardQueue::new(4));
+        let waiter = Arc::clone(&queue);
+        let handle = std::thread::spawn(move || waiter.wait_work(8, None));
+        std::thread::sleep(Duration::from_millis(5));
+        queue.kick();
+        let batch = handle.join().unwrap();
+        assert!(batch.requests.is_empty());
+        assert!(!batch.stopped, "kick is not shutdown");
+    }
+
+    #[test]
+    fn wait_work_times_out_with_empty_batch() {
+        let queue = ShardQueue::new(4);
+        let started = Instant::now();
+        let batch = queue.wait_work(8, Some(Duration::from_millis(2)));
+        assert!(batch.requests.is_empty());
+        assert!(!batch.stopped);
+        assert!(started.elapsed() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn try_drain_never_blocks() {
+        let queue = ShardQueue::new(4);
+        assert!(queue.try_drain(8).is_empty());
+        queue.try_push(request(1));
+        assert_eq!(queue.try_drain(8).len(), 1);
     }
 
     #[test]

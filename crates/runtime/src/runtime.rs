@@ -6,10 +6,13 @@ use std::time::Instant;
 
 use sdrad::ClientId;
 use sdrad_energy::restart::RestartModel;
+use sdrad_net::Endpoint;
 
 use crate::handler::SessionHandler;
+use crate::histogram::LatencyHistogram;
 use crate::isolation::{IsolationMode, WorkerIsolation};
 use crate::queue::{Request, ShardQueue, Ticket};
+use crate::server::{ConnInbox, Connection};
 use crate::stats::RuntimeStats;
 use crate::worker::Worker;
 
@@ -46,6 +49,18 @@ impl RuntimeConfig {
             restart: RestartModel::process_restart(),
         }
     }
+
+    /// Defaults tuned for the TLS workload: domains sized *below* the
+    /// 64 KB a heartbeat's length field can declare, so a Heartbleed
+    /// over-read faults at the region edge (and is rewound) instead of
+    /// reading adjacent domain-heap bytes.
+    #[must_use]
+    pub fn for_tls(workers: usize, isolation: IsolationMode) -> Self {
+        RuntimeConfig {
+            domain_heap: 16 * 1024,
+            ..Self::new(workers, isolation)
+        }
+    }
 }
 
 /// What [`Runtime::submit`] did with a request.
@@ -66,12 +81,74 @@ impl SubmitOutcome {
     }
 }
 
-/// A running sharded server: submit requests, then [`shutdown`] to drain
+/// A clonable routing handle: shard math plus the per-shard queues and
+/// connection inboxes. The acceptor thread of a
+/// [`ConnectionServer`](crate::ConnectionServer) owns one, so it can
+/// attach connections without borrowing the `Runtime`.
+#[derive(Clone)]
+pub struct Dispatcher {
+    queues: Vec<Arc<ShardQueue>>,
+    inboxes: Vec<Arc<ConnInbox>>,
+}
+
+impl Dispatcher {
+    /// The shard serving `client`. Sticky: every request (and the
+    /// connection) of a client lands on the same worker, so its domain
+    /// assignment and request ordering are stable.
+    #[must_use]
+    pub fn shard_of(&self, client: ClientId) -> usize {
+        let mut hash = client.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        hash ^= hash >> 32;
+        (hash % self.queues.len() as u64) as usize
+    }
+
+    /// Assigns an accepted connection to `client`'s sticky shard and
+    /// wakes that worker to adopt it. Attaching to a shut-down runtime
+    /// refuses the connection (the peer observes a close) instead of
+    /// stranding it — the connection analogue of a shed submit.
+    pub fn attach(&self, client: ClientId, mut endpoint: Endpoint) {
+        let shard = self.shard_of(client);
+        if self.queues[shard].is_stopped() {
+            endpoint.close();
+            return;
+        }
+        self.inboxes[shard].push(Connection::new(client, endpoint));
+        self.queues[shard].kick();
+    }
+
+    /// Submits one complete request for `client`, with backpressure.
+    pub fn submit(&self, client: ClientId, payload: Vec<u8>) -> SubmitOutcome {
+        let ticket = Ticket::new();
+        let request = Request::new(client, payload, Some(ticket.clone()));
+        if self.queues[self.shard_of(client)].try_push(request) {
+            SubmitOutcome::Enqueued(ticket)
+        } else {
+            SubmitOutcome::Shed
+        }
+    }
+
+    /// Fire-and-forget submit for load generation (no completion slot to
+    /// allocate or fill). Returns whether the request was accepted.
+    pub fn submit_detached(&self, client: ClientId, payload: Vec<u8>) -> bool {
+        self.queues[self.shard_of(client)].try_push(Request::new(client, payload, None))
+    }
+}
+
+impl std::fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("shards", &self.queues.len())
+            .finish()
+    }
+}
+
+/// A running sharded server: submit requests (or
+/// [attach](Runtime::attach) connections), then [`shutdown`] to drain
 /// and collect the measurements.
 ///
 /// [`shutdown`]: Runtime::shutdown
 pub struct Runtime {
-    queues: Vec<Arc<ShardQueue>>,
+    dispatcher: Dispatcher,
     handles: Vec<JoinHandle<crate::worker::WorkerStats>>,
     started: Instant,
 }
@@ -91,9 +168,13 @@ impl Runtime {
         let queues: Vec<Arc<ShardQueue>> = (0..workers)
             .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
             .collect();
+        let inboxes: Vec<Arc<ConnInbox>> = (0..workers)
+            .map(|_| Arc::new(ConnInbox::default()))
+            .collect();
         let handles = (0..workers)
             .map(|index| {
                 let queue = Arc::clone(&queues[index]);
+                let inbox = Arc::clone(&inboxes[index]);
                 let factory = Arc::clone(&factory);
                 std::thread::Builder::new()
                     .name(format!("sdrad-worker-{index}"))
@@ -104,13 +185,22 @@ impl Runtime {
                             config.domain_heap,
                         );
                         let handler = factory(index);
-                        Worker::new(index, queue, iso, handler, config.restart, config.batch).run()
+                        Worker::new(
+                            index,
+                            queue,
+                            inbox,
+                            iso,
+                            handler,
+                            config.restart,
+                            config.batch,
+                        )
+                        .run()
                     })
                     .expect("spawn worker thread")
             })
             .collect();
         Runtime {
-            queues,
+            dispatcher: Dispatcher { queues, inboxes },
             handles,
             started: Instant::now(),
         }
@@ -119,68 +209,81 @@ impl Runtime {
     /// Number of shards/workers.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.queues.len()
+        self.dispatcher.queues.len()
     }
 
-    /// The shard serving `client`. Sticky: every request of a client
-    /// lands on the same worker, so its domain assignment (and the
-    /// ordering of its requests) is stable.
+    /// A clonable routing handle for threads that dispatch into this
+    /// runtime (the `ConnectionServer` acceptor).
+    #[must_use]
+    pub fn dispatcher(&self) -> Dispatcher {
+        self.dispatcher.clone()
+    }
+
+    /// The shard serving `client` (see [`Dispatcher::shard_of`]).
     #[must_use]
     pub fn shard_of(&self, client: ClientId) -> usize {
-        let mut hash = client.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        hash ^= hash >> 32;
-        (hash % self.queues.len() as u64) as usize
+        self.dispatcher.shard_of(client)
+    }
+
+    /// Assigns an accepted connection to `client`'s sticky shard; the
+    /// shard's worker pumps it from now on.
+    pub fn attach(&self, client: ClientId, endpoint: Endpoint) {
+        self.dispatcher.attach(client, endpoint);
     }
 
     /// Submits one complete request for `client`, with backpressure.
     pub fn submit(&self, client: ClientId, payload: Vec<u8>) -> SubmitOutcome {
-        let ticket = Ticket::new();
-        let request = Request {
-            client,
-            payload,
-            ticket: Some(ticket.clone()),
-        };
-        if self.queues[self.shard_of(client)].try_push(request) {
-            SubmitOutcome::Enqueued(ticket)
-        } else {
-            SubmitOutcome::Shed
-        }
+        self.dispatcher.submit(client, payload)
     }
 
     /// Fire-and-forget submit for load generation (no completion slot to
     /// allocate or fill). Returns whether the request was accepted.
     pub fn submit_detached(&self, client: ClientId, payload: Vec<u8>) -> bool {
-        self.queues[self.shard_of(client)].try_push(Request {
-            client,
-            payload,
-            ticket: None,
-        })
+        self.dispatcher.submit_detached(client, payload)
     }
 
     /// Pending requests across all shards.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum()
+        self.dispatcher.queues.iter().map(|q| q.len()).sum()
     }
 
-    /// Stops accepting requests, drains every shard, joins the workers
-    /// and returns the aggregated measurements.
+    /// Stops accepting requests, drains every shard (queued requests
+    /// *and* bytes already received on attached connections), joins the
+    /// workers and returns the aggregated measurements.
     #[must_use]
     pub fn shutdown(self) -> RuntimeStats {
-        for queue in &self.queues {
+        for queue in &self.dispatcher.queues {
             queue.stop();
         }
-        let submitted = self.queues.iter().map(|q| q.submitted()).sum();
-        let shed = self.queues.iter().map(|q| q.shed()).sum();
-        let workers = self
+        // Workers join first: after this, no queue counter moves again
+        // except late shed rejections, which are handled below.
+        let workers: Vec<crate::worker::WorkerStats> = self
             .handles
             .into_iter()
             .map(|handle| handle.join().expect("worker panicked"))
             .collect();
+        // Late attaches that raced shutdown (pushed after a worker's
+        // final inbox check) would otherwise strand their clients in a
+        // silent hang: close them so the peer observes the refusal.
+        for inbox in &self.dispatcher.inboxes {
+            for mut conn in inbox.drain() {
+                conn.endpoint.close();
+            }
+        }
+        let submitted = self.dispatcher.queues.iter().map(|q| q.submitted()).sum();
+        let mut shed_latency = LatencyHistogram::new();
+        for queue in &self.dispatcher.queues {
+            shed_latency.merge(&queue.shed_latency());
+        }
+        // The aggregate shed count derives from the merged histogram, so
+        // the two can never disagree even if a racing submitter sheds
+        // between per-queue reads.
         RuntimeStats {
+            shed: shed_latency.len(),
             workers,
-            shed,
             submitted,
+            shed_latency,
             wall: self.started.elapsed(),
         }
     }
@@ -189,7 +292,7 @@ impl Runtime {
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
-            .field("workers", &self.queues.len())
+            .field("workers", &self.dispatcher.queues.len())
             .field("pending", &self.pending())
             .finish()
     }
@@ -237,6 +340,8 @@ mod tests {
         let stats = runtime.shutdown();
         assert_eq!(stats.served(), 2);
         assert!(stats.reconciles());
+        assert_eq!(stats.ok_latency().len(), 2, "latencies recorded");
+        assert!(stats.ok_latency().p99() > std::time::Duration::ZERO);
     }
 
     #[test]
@@ -251,5 +356,36 @@ mod tests {
         let stats = runtime.shutdown();
         assert_eq!(stats.served(), 100, "every accepted request is answered");
         assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn attach_after_shutdown_refuses_instead_of_stranding() {
+        let runtime = Runtime::start(
+            RuntimeConfig::new(1, IsolationMode::PerClientDomain),
+            |_| KvHandler::default(),
+        );
+        let dispatcher = runtime.dispatcher();
+        let _ = runtime.shutdown();
+        let listener = sdrad_net::Listener::new();
+        let client = listener.connect();
+        dispatcher.attach(ClientId(1), listener.accept().unwrap());
+        assert!(!client.is_open(), "late attach must be visibly refused");
+    }
+
+    #[test]
+    fn attached_connections_are_pumped_by_the_sticky_shard() {
+        let runtime = Runtime::start(
+            RuntimeConfig::new(2, IsolationMode::PerClientDomain),
+            |_| KvHandler::default(),
+        );
+        let listener = sdrad_net::Listener::new();
+        let mut client = listener.connect();
+        let server_end = listener.accept().unwrap();
+        runtime.attach(ClientId(42), server_end);
+        client.write(b"set via-conn 2\r\nok\r\n");
+        let stats = runtime.shutdown();
+        assert_eq!(stats.served(), 1);
+        assert_eq!(stats.connections(), 1);
+        assert_eq!(client.read_available(), b"STORED\r\n");
     }
 }

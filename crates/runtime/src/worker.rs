@@ -1,14 +1,33 @@
 //! The worker: one thread, one shard queue, one isolation context, one
-//! workload shard.
+//! workload shard — and, since connection-level serving, the shard's
+//! live connections.
+//!
+//! A worker interleaves two sources of work:
+//!
+//! * its bounded [`ShardQueue`] of pre-framed requests (the submit API),
+//! * the raw [`sdrad-net`](sdrad_net) endpoints assigned to its shard,
+//!   which it **pumps**: read whatever bytes arrived, let the handler's
+//!   [`frame`](crate::SessionHandler::frame) split complete requests off
+//!   the stream, serve each, write the response back. Partial reads stay
+//!   buffered, pipelined requests all complete in order, malformed heads
+//!   resynchronise or close per the protocol, and a peer that disconnects
+//!   mid-request has its half-request discarded.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sdrad_energy::restart::RestartModel;
 
-use crate::handler::SessionHandler;
+use crate::handler::{Framing, SessionHandler};
+use crate::histogram::LatencyHistogram;
 use crate::isolation::WorkerIsolation;
-use crate::queue::{Completion, Disposition, ShardQueue};
+use crate::queue::{Completion, Disposition, Request, ShardQueue};
+use crate::server::{ConnInbox, Connection};
+
+/// How often a worker that owns connections re-polls them while its
+/// queue is idle. In-memory endpoints have no readiness notification, so
+/// connection serving is poll-based at this cadence.
+const CONN_POLL: Duration = Duration::from_micros(200);
 
 /// Per-worker counters, returned when the worker exits.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -27,6 +46,8 @@ pub struct WorkerStats {
     pub rewind_ns: u64,
     /// Fatal crashes of the unprotected baseline.
     pub crashes: u64,
+    /// Responses that leaked secret bytes (unprotected TLS baseline).
+    pub leaks: u64,
     /// Internal isolation errors.
     pub internal_errors: u64,
     /// Modeled restart downtime accumulated by crashes (nanoseconds).
@@ -35,11 +56,27 @@ pub struct WorkerStats {
     pub busy_ns: u64,
     /// Requests shed at this worker's queue (filled in at shutdown).
     pub shed: u64,
+    /// Connections adopted by this worker.
+    pub connections: u64,
+    /// Requests served off connection streams (as opposed to the submit
+    /// queue) — lets the aggregate accounting tie `served` back to
+    /// `submitted` exactly.
+    pub conn_served: u64,
+    /// Connections that disconnected with a half-received request still
+    /// buffered (the bytes are discarded, the request never ran).
+    pub aborted_requests: u64,
     /// Domains the worker's pool instantiated.
     pub domains_created: usize,
     /// Rewinds reported by the worker's own `DomainManager` — must equal
     /// `contained_faults` (the reconciliation invariant).
     pub manager_rewinds: u64,
+    /// Latency histogram of requests served normally.
+    pub ok_latency: LatencyHistogram,
+    /// Latency histogram of contained-fault requests (staging + fault +
+    /// rewind + error response).
+    pub contained_latency: LatencyHistogram,
+    /// Histogram of the rewind component alone, per contained fault.
+    pub rewind_latency: LatencyHistogram,
 }
 
 impl WorkerStats {
@@ -54,14 +91,19 @@ impl WorkerStats {
     #[must_use]
     pub fn reconciles(&self) -> bool {
         self.contained_faults == self.manager_rewinds
+            && self.contained_faults == self.contained_latency.len()
+            && self.contained_faults == self.rewind_latency.len()
+            && self.ok == self.ok_latency.len()
     }
 }
 
-/// One worker: drains its shard queue until the queue stops, then
-/// reports its counters.
+/// One worker: drains its shard queue and pumps its connections until
+/// the queue stops, then reports its counters.
 pub struct Worker<H: SessionHandler> {
     index: usize,
     queue: Arc<ShardQueue>,
+    inbox: Arc<ConnInbox>,
+    conns: Vec<Connection>,
     iso: WorkerIsolation,
     handler: H,
     restart_model: RestartModel,
@@ -70,11 +112,15 @@ pub struct Worker<H: SessionHandler> {
 }
 
 impl<H: SessionHandler> Worker<H> {
-    /// Assembles a worker. Called on the worker's own thread so the
-    /// `DomainManager` inside `iso` stays thread-confined.
-    pub fn new(
+    /// Assembles a worker. Called (by [`Runtime::start`]) on the
+    /// worker's own thread so the `DomainManager` inside `iso` stays
+    /// thread-confined.
+    ///
+    /// [`Runtime::start`]: crate::Runtime::start
+    pub(crate) fn new(
         index: usize,
         queue: Arc<ShardQueue>,
+        inbox: Arc<ConnInbox>,
         iso: WorkerIsolation,
         handler: H,
         restart_model: RestartModel,
@@ -83,6 +129,8 @@ impl<H: SessionHandler> Worker<H> {
         Worker {
             index,
             queue,
+            inbox,
+            conns: Vec::new(),
             iso,
             handler,
             restart_model,
@@ -94,39 +142,178 @@ impl<H: SessionHandler> Worker<H> {
         }
     }
 
-    /// Runs until the queue is stopped and drained; returns the counters.
+    /// Runs until the queue is stopped and drained and every connection
+    /// byte that arrived has been served; returns the counters.
     pub fn run(mut self) -> WorkerStats {
-        while let Some(batch) = self.queue.pop_batch(self.batch) {
-            let started = Instant::now();
-            for request in batch {
-                let reply = self
-                    .handler
-                    .handle(&mut self.iso, request.client, &request.payload);
-                self.account(&reply.disposition);
-                if let Some(ticket) = request.ticket {
-                    ticket.complete(Completion {
-                        client: request.client,
-                        response: reply.response,
-                        disposition: reply.disposition,
-                    });
+        loop {
+            self.adopt_connections();
+            self.pump_connections();
+            // Workers with live connections poll; workers without park on
+            // the queue until a submit, a kick (new connection) or stop.
+            let timeout = if self.conns.is_empty() {
+                None
+            } else {
+                Some(CONN_POLL)
+            };
+            let work = self.queue.wait_work(self.batch, timeout);
+            if !work.requests.is_empty() {
+                let started = Instant::now();
+                for request in work.requests {
+                    self.serve(request);
                 }
+                self.note_busy(started);
             }
-            self.stats.busy_ns += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if work.stopped {
+                break;
+            }
         }
+
+        // Shutdown drain: the queue sheds new submits now, but everything
+        // already accepted — queued requests, connection bytes already
+        // received, connections still in the inbox — is served before the
+        // worker exits. The loop ends when a full pass makes no progress.
+        loop {
+            self.adopt_connections();
+            let queued = self.queue.try_drain(self.batch);
+            let drained_queue = !queued.is_empty();
+            let started = Instant::now();
+            for request in queued {
+                self.serve(request);
+            }
+            if drained_queue {
+                self.note_busy(started);
+            }
+            let pumped = self.pump_connections();
+            if !drained_queue && !pumped && self.queue.is_empty() && self.inbox.is_empty() {
+                break;
+            }
+        }
+
         self.stats.shed = self.queue.shed();
         self.stats.domains_created = self.iso.domains_created();
         self.stats.manager_rewinds = self.iso.rewinds();
         self.stats
     }
 
-    fn account(&mut self, disposition: &Disposition) {
+    /// Moves connections newly assigned to this shard into the pump set.
+    fn adopt_connections(&mut self) {
+        let adopted = self.inbox.drain();
+        self.stats.connections += adopted.len() as u64;
+        self.conns.extend(adopted);
+    }
+
+    /// Pumps every connection once; returns whether any made progress
+    /// (bytes read or requests served). Closed, fully-drained
+    /// connections are dropped.
+    fn pump_connections(&mut self) -> bool {
+        if self.conns.is_empty() {
+            return false;
+        }
+        let mut progressed = false;
+        let conns = std::mem::take(&mut self.conns);
+        for mut conn in conns {
+            let (made_progress, keep) = self.pump_one(&mut conn);
+            progressed |= made_progress;
+            if keep {
+                self.conns.push(conn);
+            } else if !conn.buffer.is_empty() {
+                // Mid-request disconnect: the half-request is discarded.
+                self.stats.aborted_requests += 1;
+            }
+        }
+        progressed
+    }
+
+    /// Pumps one connection: reads pending bytes, serves every complete
+    /// frame, answers malformed ones. Returns `(progressed, keep)`.
+    fn pump_one(&mut self, conn: &mut Connection) -> (bool, bool) {
+        // The latency clock for every frame completed in this pass
+        // starts here, when its final bytes were read off the wire:
+        // pipelined requests queue behind each other within the pass,
+        // exactly as queue-path requests start at `accepted_at`. (Time
+        // the bytes sat in the endpoint between passes — at most one
+        // `CONN_POLL` — is not observable without per-byte timestamps.)
+        let arrived = Instant::now();
+        let fresh = conn.endpoint.read_available();
+        let mut progressed = !fresh.is_empty();
+        conn.buffer.extend(fresh);
+
+        loop {
+            match self.handler.frame(&conn.buffer) {
+                Framing::Complete(n) => {
+                    let serve_started = Instant::now();
+                    let n = n.clamp(1, conn.buffer.len());
+                    let payload: Vec<u8> = conn.buffer.drain(..n).collect();
+                    let reply = self.handler.handle(&mut self.iso, conn.client, &payload);
+                    conn.endpoint.write(&reply.response);
+                    self.account(&reply.disposition, elapsed_ns(arrived));
+                    self.stats.conn_served += 1;
+                    self.note_busy(serve_started);
+                    progressed = true;
+                }
+                Framing::Incomplete => break,
+                Framing::Malformed { consumed, response } => {
+                    // Guard against a zero-consumption parser bug looping
+                    // forever: always make progress.
+                    let consumed = consumed.clamp(1, conn.buffer.len());
+                    conn.buffer.drain(..consumed);
+                    conn.endpoint.write(&response);
+                    self.account(&Disposition::ProtocolError, elapsed_ns(arrived));
+                    self.stats.conn_served += 1;
+                    progressed = true;
+                }
+                Framing::Fatal { response } => {
+                    conn.endpoint.write(&response);
+                    conn.endpoint.close();
+                    conn.buffer.clear();
+                    self.account(&Disposition::ProtocolError, elapsed_ns(arrived));
+                    self.stats.conn_served += 1;
+                    return (true, false);
+                }
+            }
+        }
+
+        // Peer hung up and nothing more can arrive: drop the connection
+        // (any partial request left in the buffer is counted by the
+        // caller as aborted).
+        if !conn.endpoint.is_open() && conn.endpoint.pending() == 0 {
+            return (progressed, false);
+        }
+        (progressed, true)
+    }
+
+    /// Serves one pre-framed request from the shard queue.
+    fn serve(&mut self, request: Request) {
+        let reply = self
+            .handler
+            .handle(&mut self.iso, request.client, &request.payload);
+        self.account(&reply.disposition, elapsed_ns(request.accepted_at));
+        if let Some(ticket) = request.ticket {
+            ticket.complete(Completion {
+                client: request.client,
+                response: reply.response,
+                disposition: reply.disposition,
+            });
+        }
+    }
+
+    fn note_busy(&mut self, since: Instant) {
+        self.stats.busy_ns = self.stats.busy_ns.saturating_add(elapsed_ns(since));
+    }
+
+    fn account(&mut self, disposition: &Disposition, latency_ns: u64) {
         self.stats.served += 1;
         match disposition {
-            Disposition::Ok => self.stats.ok += 1,
+            Disposition::Ok => {
+                self.stats.ok += 1;
+                self.stats.ok_latency.record(latency_ns);
+            }
             Disposition::ProtocolError => self.stats.protocol_errors += 1,
             Disposition::ContainedFault { rewind_ns } => {
                 self.stats.contained_faults += 1;
                 self.stats.rewind_ns += rewind_ns;
+                self.stats.contained_latency.record(latency_ns);
+                self.stats.rewind_latency.record(*rewind_ns);
             }
             Disposition::Crashed => {
                 // The baseline pays for its crash: the shard is down for
@@ -143,6 +330,7 @@ impl<H: SessionHandler> Worker<H> {
                     .saturating_add(u64::try_from(downtime.as_nanos()).unwrap_or(u64::MAX));
                 self.handler.restart();
             }
+            Disposition::SecretLeak => self.stats.leaks += 1,
             Disposition::InternalError => self.stats.internal_errors += 1,
         }
     }
@@ -152,4 +340,8 @@ impl<H: SessionHandler> Worker<H> {
     pub fn index(&self) -> usize {
         self.index
     }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }

@@ -6,7 +6,7 @@
 //! adjacent heap — private keys included. Both engines below implement the
 //! *same trusting code path*; only the memory layout around it differs.
 
-use sdrad::{DomainConfig, DomainError, DomainId, DomainManager, DomainPolicy, Fault};
+use sdrad::{DomainConfig, DomainEnv, DomainError, DomainId, DomainManager, DomainPolicy, Fault};
 
 /// Outcome of serving one heartbeat request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,6 +149,23 @@ impl HeartbeatEngine {
         let secret = self.secret();
         !secret.is_empty() && haystack.windows(secret.len()).any(|w| w == secret)
     }
+}
+
+/// The isolated engine's trusting copy, runnable inside an **external**
+/// domain — e.g. an `sdrad-runtime` worker's per-client domain, whose
+/// `DomainManager` the worker owns. Stages the request on the domain heap
+/// and reads `declared` bytes back; the same bug as
+/// [`HeartbeatEngine::respond`], with the same containment story: the
+/// domain holds nothing but this request, so an over-read either returns
+/// only domain bytes or faults at the region edge and is rewound by the
+/// caller's manager.
+pub fn respond_in_domain(env: &mut DomainEnv<'_>, declared: usize, payload: &[u8]) -> Vec<u8> {
+    let declared = declared.min(MAX_DECLARED);
+    let buffer = env.push_bytes(payload);
+    // BUG: trusts `declared` (CVE-2014-0160's shape).
+    let response = env.read_bytes(buffer, declared);
+    env.free(buffer); // request-scoped, like the C code's
+    response
 }
 
 /// Classifies an over-read fault kind for reporting.

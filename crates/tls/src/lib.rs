@@ -46,8 +46,9 @@ mod record;
 mod session;
 
 pub use handshake::{derive_session_key, Handshake, HandshakeError, HandshakeState, NONCE_LEN};
-pub use heartbeat::{is_overread_fault, HeartbeatEngine, HeartbeatOutcome};
+pub use heartbeat::{is_overread_fault, respond_in_domain, HeartbeatEngine, HeartbeatOutcome};
 pub use record::{ContentType, Record, RecordError, PROTOCOL_VERSION};
 pub use session::{
-    client_hello, finished, heartbeat_request, SessionError, SessionStats, TlsSession,
+    client_hello, finished, heartbeat_request, heartbeat_response, parse_heartbeat_request,
+    SessionError, SessionStats, TlsSession,
 };

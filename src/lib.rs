@@ -17,7 +17,7 @@
 //! | [`httpd`] | `sdrad-httpd` | NGINX-like workload |
 //! | [`tls`] | `sdrad-tls` | OpenSSL-like workload (Heartbleed demo) |
 //! | [`faultsim`] | `sdrad-faultsim` | attack injection, workload generators |
-//! | [`runtime`] | `sdrad-runtime` | sharded multi-worker serving runtime (concurrent load) |
+//! | [`runtime`] | `sdrad-runtime` | sharded multi-worker serving runtime: connection-level serving over `sdrad-net`, all three workloads, latency percentiles |
 //! | [`energy`] | `sdrad-energy` | availability, energy and carbon models |
 //! | [`cheri`] | `sdrad-cheri` | simulated CHERI capability machine (E11 ablation) |
 //! | [`sfi`] | `sdrad-sfi` | software fault isolation: linear memory + sandboxed VM |
