@@ -1,6 +1,6 @@
 //! # sdrad-bench — experiment harnesses
 //!
-//! One binary per experiment (`e1_overhead` … `e16_connection_serving`), each
+//! One binary per experiment (`e1_overhead` … `e17_event_driven`), each
 //! regenerating one table or figure from the paper — or one of the
 //! paper's §IV proposals (E10–E14) — and printing paper-vs-measured rows.
 //! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for

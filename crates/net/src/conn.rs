@@ -5,11 +5,33 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-/// One direction of a connection: a byte queue plus an open flag.
-#[derive(Debug, Default)]
+/// A readiness waker: invoked (at most once per state change) when bytes
+/// arrive on, or the peer closes, the endpoint it is registered on.
+///
+/// Wakers run on the **writer's** thread, while no transport lock is
+/// held — they may take their own locks (the intended use is signalling
+/// a scheduler's condvar) but should return quickly.
+pub type ReadyCallback = Arc<dyn Fn() + Send + Sync>;
+
+/// One direction of a connection: a byte queue plus an open flag and the
+/// reader's registered waker.
+#[derive(Default)]
 struct Pipe {
     buffer: VecDeque<u8>,
     closed: bool,
+    /// Waker of the endpoint that *reads* from this pipe. Fired by the
+    /// writer after a write or close makes new state observable.
+    waker: Option<ReadyCallback>,
+}
+
+impl std::fmt::Debug for Pipe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipe")
+            .field("buffered", &self.buffer.len())
+            .field("closed", &self.closed)
+            .field("waker", &self.waker.is_some())
+            .finish()
+    }
 }
 
 /// Transfer statistics of one endpoint.
@@ -61,14 +83,29 @@ impl Endpoint {
     /// Writes all of `data` to the peer. Writes to a peer-closed
     /// connection are silently dropped (like TCP after FIN + RST without a
     /// signal handler — the caller discovers closure via `is_open`).
+    ///
+    /// If the peer registered a [`ReadyCallback`], it fires after the
+    /// bytes are visible — the readiness edge that lets a serving loop
+    /// park instead of polling.
     pub fn write(&mut self, data: &[u8]) {
-        let mut pipe = self.outgoing.lock();
-        if pipe.closed {
-            return;
+        let waker = {
+            let mut pipe = self.outgoing.lock();
+            if pipe.closed {
+                return;
+            }
+            pipe.buffer.extend(data);
+            self.stats.bytes_sent += data.len() as u64;
+            self.stats.writes += 1;
+            if data.is_empty() {
+                None
+            } else {
+                pipe.waker.clone()
+            }
+        };
+        // Fired outside the pipe lock: wakers take scheduler locks.
+        if let Some(waker) = waker {
+            waker();
         }
-        pipe.buffer.extend(data);
-        self.stats.bytes_sent += data.len() as u64;
-        self.stats.writes += 1;
     }
 
     /// Reads up to `buf.len()` bytes; returns how many were read (0 when
@@ -128,9 +165,43 @@ impl Endpoint {
     }
 
     /// Closes this endpoint's *sending* side; the peer sees `!is_open`
-    /// once its incoming pipe is marked.
+    /// once its incoming pipe is marked. The peer's registered waker (if
+    /// any) fires so a parked reader observes the hang-up.
     pub fn close(&mut self) {
-        self.outgoing.lock().closed = true;
+        let waker = {
+            let mut pipe = self.outgoing.lock();
+            pipe.closed = true;
+            pipe.waker.clone()
+        };
+        if let Some(waker) = waker {
+            waker();
+        }
+    }
+
+    /// Registers `waker` to fire whenever the peer makes new state
+    /// observable on this endpoint: bytes written, or the sending side
+    /// closed. At most one waker is registered at a time (a new
+    /// registration replaces the old).
+    ///
+    /// If bytes are already pending — or the peer already closed — the
+    /// waker fires immediately, so registration can never lose an edge
+    /// that preceded it.
+    pub fn set_ready_callback(&mut self, waker: ReadyCallback) {
+        let fire_now = {
+            let mut pipe = self.incoming.lock();
+            let pending = !pipe.buffer.is_empty() || pipe.closed;
+            pipe.waker = Some(Arc::clone(&waker));
+            pending
+        };
+        if fire_now {
+            waker();
+        }
+    }
+
+    /// Removes any registered waker. Future writes and closes by the peer
+    /// no longer signal anyone (back to the polling contract).
+    pub fn clear_ready_callback(&mut self) {
+        self.incoming.lock().waker = None;
     }
 
     /// Whether the peer can still send to us (false after peer `close`).
@@ -236,6 +307,78 @@ mod tests {
         assert_eq!(b.stats().bytes_received, 5);
         assert_eq!(a.stats().writes, 1);
         assert_eq!(b.stats().reads, 1);
+    }
+
+    #[test]
+    fn ready_callback_fires_on_write_and_close() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (mut a, mut b) = duplex();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        b.set_ready_callback(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "nothing pending yet");
+        a.write(b"x");
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "write signals");
+        a.write(b"");
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "empty write is no edge");
+        a.close();
+        assert_eq!(fired.load(Ordering::SeqCst), 2, "close signals");
+    }
+
+    #[test]
+    fn ready_callback_fires_immediately_when_bytes_precede_registration() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (mut a, mut b) = duplex();
+        a.write(b"early");
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        b.set_ready_callback(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "pre-registration edge");
+    }
+
+    #[test]
+    fn cleared_callback_no_longer_fires() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (mut a, mut b) = duplex();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        b.set_ready_callback(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        b.clear_ready_callback();
+        a.write(b"x");
+        a.close();
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        assert_eq!(b.read_available(), b"x", "bytes still flow");
+    }
+
+    #[test]
+    fn ready_callback_wakes_a_parked_reader_across_threads() {
+        use std::sync::{Condvar, Mutex};
+        let (mut a, mut b) = duplex();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let signal = Arc::clone(&gate);
+        b.set_ready_callback(Arc::new(move || {
+            let (lock, cv) = &*signal;
+            *lock.lock().expect("gate lock") = true;
+            cv.notify_all();
+        }));
+        let writer = std::thread::spawn(move || a.write(b"wake up"));
+        let (lock, cv) = &*gate;
+        let mut ready = lock.lock().expect("gate lock");
+        while !*ready {
+            let (next, timeout) = cv
+                .wait_timeout(ready, std::time::Duration::from_secs(5))
+                .expect("gate wait");
+            ready = next;
+            assert!(!timeout.timed_out(), "waker must arrive");
+        }
+        writer.join().unwrap();
+        assert_eq!(b.read_available(), b"wake up");
     }
 
     #[test]

@@ -14,6 +14,17 @@
 //! [`Listener::close`], which guarantee that no connection enqueued
 //! before the close is ever lost.
 //!
+//! ## Readiness
+//!
+//! Reads are non-blocking; a reader that does not want to poll registers
+//! a [`ReadyCallback`] with [`Endpoint::set_ready_callback`] (or
+//! [`Listener::set_ready_callback`] for accept readiness). The callback
+//! fires on the writer's thread whenever new state becomes observable —
+//! bytes written, peer closed, connection enqueued — and immediately at
+//! registration time if an edge already happened, so no wakeup can be
+//! lost. This is the hook `sdrad-runtime`'s event-driven scheduler parks
+//! on instead of re-polling idle connections.
+//!
 //! ## Example
 //!
 //! ```
@@ -35,5 +46,5 @@
 mod conn;
 mod listener;
 
-pub use conn::{duplex, Endpoint, NetStats};
+pub use conn::{duplex, Endpoint, NetStats, ReadyCallback};
 pub use listener::Listener;

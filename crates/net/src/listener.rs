@@ -3,13 +3,31 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::conn::{duplex, Endpoint};
+use crate::conn::{duplex, Endpoint, ReadyCallback};
 
 /// Backlog state shared between all clones of a [`Listener`].
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct Backlog {
     queue: VecDeque<Endpoint>,
     closed: bool,
+    /// Total connections ever accepted into the backlog (refused
+    /// connects after close are not counted).
+    connects: u64,
+    /// Waker fired after every successful connect — lets an acceptor
+    /// integrate the listener into a readiness scheduler instead of
+    /// dedicating a blocked thread.
+    waker: Option<ReadyCallback>,
+}
+
+impl std::fmt::Debug for Backlog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backlog")
+            .field("pending", &self.queue.len())
+            .field("closed", &self.closed)
+            .field("connects", &self.connects)
+            .field("waker", &self.waker.is_some())
+            .finish()
+    }
 }
 
 /// An in-memory listener: clients [`connect`](Listener::connect), servers
@@ -49,8 +67,13 @@ impl Listener {
             return client;
         }
         backlog.queue.push_back(server);
+        backlog.connects += 1;
+        let waker = backlog.waker.clone();
         drop(backlog);
         ready.notify_one();
+        if let Some(waker) = waker {
+            waker();
+        }
         client
     }
 
@@ -112,6 +135,30 @@ impl Listener {
     pub fn backlog_len(&self) -> usize {
         self.backlog.0.lock().expect("listener lock").queue.len()
     }
+
+    /// Total connections ever accepted into the backlog (monotonic;
+    /// refused connects after [`close`](Self::close) are not counted).
+    /// Lets a server cross-check that every connection it admitted was
+    /// eventually handed to a worker.
+    #[must_use]
+    pub fn connects(&self) -> u64 {
+        self.backlog.0.lock().expect("listener lock").connects
+    }
+
+    /// Registers `waker` to fire after every successful
+    /// [`connect`](Self::connect). If connections are already pending,
+    /// it fires immediately — registration cannot lose an edge.
+    pub fn set_ready_callback(&self, waker: ReadyCallback) {
+        let fire_now = {
+            let mut backlog = self.backlog.0.lock().expect("listener lock");
+            let pending = !backlog.queue.is_empty();
+            backlog.waker = Some(Arc::clone(&waker));
+            pending
+        };
+        if fire_now {
+            waker();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +216,33 @@ mod tests {
         let client = listener.connect();
         assert!(!client.is_open(), "refused connection looks like RST");
         assert_eq!(listener.backlog_len(), 0);
+    }
+
+    #[test]
+    fn connect_counter_and_ready_callback_track_arrivals() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let listener = Listener::new();
+        let _early = listener.connect();
+        assert_eq!(listener.connects(), 1);
+
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        listener.set_ready_callback(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "pending backlog fires on registration"
+        );
+        let _late = listener.connect();
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        assert_eq!(listener.connects(), 2);
+
+        listener.close();
+        let _refused = listener.connect();
+        assert_eq!(listener.connects(), 2, "refused connects are not counted");
+        assert_eq!(fired.load(Ordering::SeqCst), 2, "refusals do not signal");
     }
 
     #[test]

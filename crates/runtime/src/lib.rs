@@ -9,10 +9,23 @@
 //!   [`DomainPool`] (protection keys and PKRU are per-thread state on
 //!   real MPK hardware, so managers stay thread-confined and the request
 //!   hot path takes no locks), draining its shard's queue **and pumping
-//!   the connections assigned to its shard**;
+//!   the connections assigned to its shard**. Under the default
+//!   **readiness-driven scheduling** ([`Scheduling::EventDriven`]) the
+//!   worker parks indefinitely on a per-shard wake set fed by queue
+//!   pushes, `sdrad-net` readiness callbacks and sibling steal hints —
+//!   an idle runtime performs **zero** periodic connection polls (the
+//!   legacy poll loop survives as [`Scheduling::Polling`], the
+//!   measurable baseline). Pump passes are bounded by a per-connection
+//!   **read budget** (fairness against noisy pipeliners), silent
+//!   connections can be **reaped** (`RuntimeConfig::idle_reap_after`),
+//!   and with [`RuntimeConfig::work_stealing`] an idle worker steals
+//!   pre-framed requests — never connections, which stay sticky for
+//!   domain affinity — off the most-loaded sibling queue;
 //! * [`Runtime`] — a shard-by-[`ClientId`] dispatcher with **bounded**
 //!   per-worker queues and backpressure: a saturated shard sheds
-//!   requests instead of growing without bound;
+//!   requests instead of growing without bound. [`Runtime::quiesce`]
+//!   observes the park state to drain deterministically — no
+//!   stream-looks-quiet heuristics;
 //! * [`server`] — **connection-level serving**: [`ConnectionServer`]
 //!   runs an accept loop over an `sdrad-net` [`Listener`], hands each
 //!   accepted connection to its sticky shard, and the shard's worker
@@ -28,19 +41,23 @@
 //!   in isolated mode, secret-leaking responses flagged
 //!   [`Disposition::SecretLeak`] in the baseline);
 //! * [`RuntimeStats`] — per-worker and aggregate throughput, contained
-//!   faults, rewind time, crashes, leaks and shed counts, plus
-//!   **streaming latency histograms** ([`LatencyHistogram`]) giving
-//!   p50/p99/p999 per disposition (ok / contained / shed), with a
-//!   reconciliation invariant (protocol-level fault counts must equal
-//!   each worker's `DomainManager` rewinds, histograms must carry one
-//!   sample per counted request) and a bridge
-//!   ([`fleet_lineup_from_runs`]) substituting *measured* p99 rewind
-//!   latency and isolation overhead into `sdrad-energy`'s fleet models.
+//!   faults, rewind time, crashes, leaks, shed counts, park/wakeup/poll
+//!   counters, steal and reap counts, plus **streaming latency
+//!   histograms** ([`LatencyHistogram`]) giving p50/p99/p999 per
+//!   disposition (ok / contained / shed), with a reconciliation
+//!   invariant (protocol-level fault counts must equal each worker's
+//!   `DomainManager` rewinds, histograms must carry one sample per
+//!   counted request, stolen work must balance between the queues' and
+//!   the thieves' books) and a bridge ([`fleet_lineup_from_runs`])
+//!   substituting *measured* p99 rewind latency and isolation overhead
+//!   into `sdrad-energy`'s fleet models.
 //!
 //! The experiment harnesses `e15_concurrent_throughput` (pre-framed
-//! submits) and `e16_connection_serving` (full connection path, all
-//! three workloads, `sdrad-faultsim`-scheduled attacks) sweep this
-//! runtime baseline vs isolated.
+//! submits), `e16_connection_serving` (full connection path, all three
+//! workloads, `sdrad-faultsim`-scheduled attacks) and
+//! `e17_event_driven` (readiness vs polling scheduling: wakeups, polls
+//! avoided, steal rate, client-observed RTT, fleet energy delta) sweep
+//! this runtime baseline vs isolated.
 //!
 //! ## Example
 //!
@@ -92,13 +109,14 @@ mod queue;
 mod runtime;
 mod server;
 mod stats;
+mod wake;
 mod worker;
 
 pub use handler::{Framing, HttpHandler, KvHandler, Reply, SessionHandler, TlsHandler};
 pub use histogram::LatencyHistogram;
 pub use isolation::{IsolationMode, WorkerIsolation};
 pub use queue::{Completion, Disposition, Request, ShardQueue, Ticket, WorkBatch};
-pub use runtime::{Dispatcher, Runtime, RuntimeConfig, SubmitOutcome};
+pub use runtime::{Dispatcher, Runtime, RuntimeConfig, Scheduling, SubmitOutcome};
 pub use server::ConnectionServer;
 pub use stats::{fleet_lineup_from_runs, RuntimeStats};
 pub use worker::{Worker, WorkerStats};

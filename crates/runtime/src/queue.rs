@@ -12,15 +12,28 @@
 //! connection is assigned to the shard), and `wait_work` takes an optional
 //! timeout so a worker that owns connections can poll them between queue
 //! drains.
+//!
+//! Under event-driven scheduling
+//! ([`Scheduling::EventDriven`](crate::Scheduling)), the queue is
+//! additionally **bound** to its shard's [`WakeSet`](crate::wake::WakeSet):
+//! pushes, kicks and stop all signal the set (after the state change is
+//! observable), so a worker parked on the set — not on this queue's own
+//! condvar — still sees every edge. When work stealing is enabled the
+//! queue also rings sibling *steal bells* whenever its backlog crosses
+//! the high-water mark, and exposes [`ShardQueue::steal`] for idle
+//! workers to take pre-framed requests off its head (oldest first, at
+//! most half the backlog), with a `stolen` counter the reconciliation
+//! invariant cross-checks against the thieves' own accounting.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use sdrad::ClientId;
 
 use crate::histogram::LatencyHistogram;
+use crate::wake::WakeSet;
 
 /// One request travelling through the runtime.
 #[derive(Debug)]
@@ -152,14 +165,25 @@ pub struct WorkBatch {
     pub stopped: bool,
 }
 
-/// A bounded MPSC queue feeding exactly one worker.
+/// A bounded MPSC queue feeding exactly one worker (though an idle
+/// sibling may [`steal`](Self::steal) from its head when stealing is
+/// enabled).
 pub struct ShardQueue {
     state: Mutex<QueueState>,
     available: Condvar,
     capacity: usize,
     shed: AtomicU64,
     submitted: AtomicU64,
+    stolen: AtomicU64,
     shed_latency: Mutex<LatencyHistogram>,
+    /// The shard's wake set, bound once at runtime start under
+    /// event-driven scheduling; empty under polling.
+    wakes: OnceLock<Arc<WakeSet>>,
+    /// Sibling wake sets to ring when the backlog crosses
+    /// `steal_watermark`; wired only when work stealing is enabled.
+    steal_bells: OnceLock<Vec<Arc<WakeSet>>>,
+    steal_watermark: AtomicUsize,
+    next_bell: AtomicUsize,
 }
 
 impl ShardQueue {
@@ -176,7 +200,49 @@ impl ShardQueue {
             capacity: capacity.max(1),
             shed: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
             shed_latency: Mutex::new(LatencyHistogram::new()),
+            wakes: OnceLock::new(),
+            steal_bells: OnceLock::new(),
+            steal_watermark: AtomicUsize::new(usize::MAX),
+            next_bell: AtomicUsize::new(0),
+        }
+    }
+
+    /// Binds this queue to its shard's wake set: every push/kick/stop
+    /// from now on signals the set (after the queue state is
+    /// observable). Called once, before the runtime starts accepting.
+    pub(crate) fn bind_wakeset(&self, wakes: Arc<WakeSet>) {
+        assert!(self.wakes.set(wakes).is_ok(), "wakeset bound once");
+    }
+
+    /// Wires the sibling wake sets this queue rings when its backlog
+    /// reaches `watermark` pending requests (steal hints). Called once,
+    /// before the runtime starts accepting.
+    pub(crate) fn set_steal_bells(&self, bells: Vec<Arc<WakeSet>>, watermark: usize) {
+        self.steal_watermark
+            .store(watermark.max(1), Ordering::Relaxed);
+        assert!(self.steal_bells.set(bells).is_ok(), "bells wired once");
+    }
+
+    fn signal_wakeset(&self) {
+        if let Some(wakes) = self.wakes.get() {
+            wakes.signal_queue();
+        }
+    }
+
+    /// Rings the next sibling's steal bell (round-robin) when the
+    /// backlog is at or past the high-water mark.
+    fn maybe_ring_steal_bell(&self, backlog: usize) {
+        if backlog < self.steal_watermark.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(bells) = self.steal_bells.get() {
+            if bells.is_empty() {
+                return;
+            }
+            let pick = self.next_bell.fetch_add(1, Ordering::Relaxed) % bells.len();
+            bells[pick].hint_steal();
         }
     }
 
@@ -197,10 +263,37 @@ impl ShardQueue {
             return false;
         }
         state.items.push_back(request);
+        let backlog = state.items.len();
         self.submitted.fetch_add(1, Ordering::Relaxed);
         drop(state);
         self.available.notify_one();
+        self.signal_wakeset();
+        self.maybe_ring_steal_bell(backlog);
         true
+    }
+
+    /// Takes up to `max` requests off the queue head for an **idle
+    /// sibling** worker — at most half the backlog (rounded up), so the
+    /// owner keeps the rest. Oldest requests move first: stealing is a
+    /// tail-latency rescue, not LIFO cache-friendliness. The count is
+    /// recorded in [`stolen`](Self::stolen) for reconciliation.
+    pub fn steal(&self, max: usize) -> Vec<Request> {
+        let mut state = self.state.lock().expect("queue lock");
+        let backlog = state.items.len();
+        if backlog == 0 {
+            return Vec::new();
+        }
+        let take = backlog.div_ceil(2).min(max.max(1));
+        let batch: Vec<Request> = state.items.drain(..take).collect();
+        drop(state);
+        self.stolen.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        batch
+    }
+
+    /// Requests taken off this queue by sibling workers.
+    #[must_use]
+    pub fn stolen(&self) -> u64 {
+        self.stolen.load(Ordering::Relaxed)
     }
 
     /// Waits for work: returns when requests are available, the queue is
@@ -275,6 +368,7 @@ impl ShardQueue {
     pub fn kick(&self) {
         self.state.lock().expect("queue lock").kicked = true;
         self.available.notify_all();
+        self.signal_wakeset();
     }
 
     /// Begins shutdown: no new requests are accepted; the worker drains
@@ -282,6 +376,9 @@ impl ShardQueue {
     pub fn stop(&self) {
         self.state.lock().expect("queue lock").stopped = true;
         self.available.notify_all();
+        if let Some(wakes) = self.wakes.get() {
+            wakes.stop();
+        }
     }
 
     /// Whether [`stop`](Self::stop) has been called.
@@ -412,6 +509,56 @@ mod tests {
         assert!(queue.try_drain(8).is_empty());
         queue.try_push(request(1));
         assert_eq!(queue.try_drain(8).len(), 1);
+    }
+
+    #[test]
+    fn steal_takes_at_most_half_from_the_head() {
+        let queue = ShardQueue::new(16);
+        for i in 0..10 {
+            queue.try_push(request(i));
+        }
+        let stolen = queue.steal(64);
+        let clients: Vec<u64> = stolen.iter().map(|r| r.client.0).collect();
+        assert_eq!(clients, vec![0, 1, 2, 3, 4], "oldest half moves");
+        assert_eq!(queue.len(), 5, "owner keeps the rest");
+        assert_eq!(queue.stolen(), 5);
+
+        // `max` caps the take; an empty queue yields nothing.
+        assert_eq!(queue.steal(2).len(), 2);
+        assert_eq!(queue.steal(64).len(), 2, "ceil(3/2)");
+        assert_eq!(queue.steal(64).len(), 1);
+        assert!(queue.steal(64).is_empty());
+        assert_eq!(queue.stolen(), 10);
+    }
+
+    #[test]
+    fn bound_wakeset_sees_push_kick_and_stop() {
+        use crate::wake::WakeSet;
+        let queue = ShardQueue::new(4);
+        let wakes = Arc::new(WakeSet::new());
+        queue.bind_wakeset(Arc::clone(&wakes));
+
+        queue.try_push(request(1));
+        assert!(wakes.wait().queue, "push signals");
+        queue.kick();
+        assert!(wakes.wait().queue, "kick signals");
+        queue.stop();
+        assert!(wakes.wait().stopped, "stop signals");
+    }
+
+    #[test]
+    fn crossing_the_watermark_rings_a_sibling_bell() {
+        use crate::wake::WakeSet;
+        let queue = ShardQueue::new(16);
+        let bell = Arc::new(WakeSet::new());
+        queue.set_steal_bells(vec![Arc::clone(&bell)], 3);
+
+        queue.try_push(request(0));
+        queue.try_push(request(1));
+        queue.try_push(request(2)); // backlog reaches the watermark
+        let signals = bell.wait();
+        assert!(signals.steal, "watermark rings the bell");
+        assert!(!signals.queue, "a hint is not the sibling's own queue");
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The runtime proper: shard dispatch, worker lifecycle, aggregation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sdrad::ClientId;
 use sdrad_energy::restart::RestartModel;
@@ -14,7 +15,24 @@ use crate::isolation::{IsolationMode, WorkerIsolation};
 use crate::queue::{Request, ShardQueue, Ticket};
 use crate::server::{ConnInbox, Connection};
 use crate::stats::RuntimeStats;
+use crate::wake::WakeSet;
 use crate::worker::Worker;
+
+/// How workers learn that work arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// Readiness-driven (the default): workers park indefinitely on a
+    /// per-shard [`WakeSet`](crate::wake::WakeSet) fed by queue pushes,
+    /// connection readiness callbacks and steal hints. An idle runtime
+    /// performs **zero** periodic connection polls.
+    #[default]
+    EventDriven,
+    /// The legacy poll loop: workers with live connections re-poll them
+    /// every `CONN_POLL` (200µs) even when nothing arrives. Kept as the
+    /// measurable baseline — `e17_event_driven` prices exactly this
+    /// waste.
+    Polling,
+}
 
 /// Configuration of one runtime instance.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +51,25 @@ pub struct RuntimeConfig {
     pub domain_heap: usize,
     /// Recovery-cost model charged per baseline crash.
     pub restart: RestartModel,
+    /// How workers learn that work arrived (default: event-driven).
+    pub scheduling: Scheduling,
+    /// Per-connection read budget: at most this many framed requests
+    /// are served off one connection per pump rotation before the
+    /// worker moves on — one noisy pipelining client cannot monopolise
+    /// a worker.
+    pub conn_read_budget: usize,
+    /// Whether an idle worker steals pre-framed requests from the
+    /// most-loaded sibling queue. Connections never move (they stay
+    /// sticky for domain affinity); only queue items do. Off by
+    /// default: stolen requests run against the thief's shard state, so
+    /// enable it for workloads whose queue-path requests are
+    /// shard-agnostic (uniform or stateless mixes, load generation).
+    pub work_stealing: bool,
+    /// Close connections that made no progress for this many pump
+    /// passes (`None` disables the reaper). Passes advance once per
+    /// wake/poll tick, so a fully idle event-driven runtime — which by
+    /// design never ticks — reaps nothing and spends nothing.
+    pub idle_reap_after: Option<u64>,
 }
 
 impl RuntimeConfig {
@@ -47,6 +84,10 @@ impl RuntimeConfig {
             domains_per_worker: 8,
             domain_heap: 1 << 20,
             restart: RestartModel::process_restart(),
+            scheduling: Scheduling::EventDriven,
+            conn_read_budget: 32,
+            work_stealing: false,
+            idle_reap_after: None,
         }
     }
 
@@ -89,6 +130,10 @@ impl SubmitOutcome {
 pub struct Dispatcher {
     queues: Vec<Arc<ShardQueue>>,
     inboxes: Vec<Arc<ConnInbox>>,
+    /// Connections handled by [`attach`](Self::attach) so far (admitted
+    /// to a shard *or* visibly refused) — the handshake
+    /// [`Runtime::quiesce`] uses to know the accept pipeline is empty.
+    attached: Arc<AtomicU64>,
 }
 
 impl Dispatcher {
@@ -110,10 +155,12 @@ impl Dispatcher {
         let shard = self.shard_of(client);
         if self.queues[shard].is_stopped() {
             endpoint.close();
+            self.attached.fetch_add(1, Ordering::SeqCst);
             return;
         }
         self.inboxes[shard].push(Connection::new(client, endpoint));
         self.queues[shard].kick();
+        self.attached.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Submits one complete request for `client`, with backpressure.
@@ -149,6 +196,8 @@ impl std::fmt::Debug for Dispatcher {
 /// [`shutdown`]: Runtime::shutdown
 pub struct Runtime {
     dispatcher: Dispatcher,
+    wakesets: Vec<Arc<WakeSet>>,
+    scheduling: Scheduling,
     handles: Vec<JoinHandle<crate::worker::WorkerStats>>,
     started: Instant,
 }
@@ -171,10 +220,32 @@ impl Runtime {
         let inboxes: Vec<Arc<ConnInbox>> = (0..workers)
             .map(|_| Arc::new(ConnInbox::default()))
             .collect();
+        let wakesets: Vec<Arc<WakeSet>> = (0..workers).map(|_| Arc::new(WakeSet::new())).collect();
+        // Wire every wake source *before* any work can arrive: the
+        // queue signals its own shard's set; with stealing on, it also
+        // rings sibling bells once its backlog reaches one batch.
+        if config.scheduling == Scheduling::EventDriven {
+            for (index, queue) in queues.iter().enumerate() {
+                queue.bind_wakeset(Arc::clone(&wakesets[index]));
+                if config.work_stealing && workers > 1 {
+                    let bells: Vec<Arc<WakeSet>> = (0..workers)
+                        .filter(|&peer| peer != index)
+                        .map(|peer| Arc::clone(&wakesets[peer]))
+                        .collect();
+                    queue.set_steal_bells(bells, config.batch.max(1));
+                }
+            }
+        }
         let handles = (0..workers)
             .map(|index| {
                 let queue = Arc::clone(&queues[index]);
                 let inbox = Arc::clone(&inboxes[index]);
+                let wakes = Arc::clone(&wakesets[index]);
+                let peers: Vec<Arc<ShardQueue>> = if config.work_stealing {
+                    queues.iter().map(Arc::clone).collect()
+                } else {
+                    Vec::new()
+                };
                 let factory = Arc::clone(&factory);
                 std::thread::Builder::new()
                     .name(format!("sdrad-worker-{index}"))
@@ -185,25 +256,64 @@ impl Runtime {
                             config.domain_heap,
                         );
                         let handler = factory(index);
-                        Worker::new(
-                            index,
+                        let channels = crate::worker::ShardChannels {
                             queue,
                             inbox,
-                            iso,
-                            handler,
-                            config.restart,
-                            config.batch,
-                        )
-                        .run()
+                            wakes,
+                            peers,
+                        };
+                        Worker::new(index, channels, iso, handler, &config).run()
                     })
                     .expect("spawn worker thread")
             })
             .collect();
         Runtime {
-            dispatcher: Dispatcher { queues, inboxes },
+            dispatcher: Dispatcher {
+                queues,
+                inboxes,
+                attached: Arc::new(AtomicU64::new(0)),
+            },
+            wakesets,
+            scheduling: config.scheduling,
             handles,
             started: Instant::now(),
         }
+    }
+
+    /// The scheduling mode this runtime was started with.
+    #[must_use]
+    pub fn scheduling(&self) -> Scheduling {
+        self.scheduling
+    }
+
+    /// Connections handled by the dispatcher so far (attached to a
+    /// shard or visibly refused).
+    #[must_use]
+    pub fn attached(&self) -> u64 {
+        self.dispatcher.attached.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until every shard has been observed **quiescent**: its
+    /// worker parked on the wake set with an empty queue, an empty
+    /// connection inbox and no pending readiness signals. At that
+    /// point, every connection byte written before the call has been
+    /// fully served. (Queue submits have their own completion signal —
+    /// the ticket; with stealing enabled a stolen request may still be
+    /// completing on an already-checked thief.)
+    ///
+    /// Only meaningful under [`Scheduling::EventDriven`] (polling
+    /// workers have no observable park state) — returns `false`
+    /// immediately otherwise, and on the (defensive) failsafe timeout.
+    pub fn quiesce(&self) -> bool {
+        if self.scheduling != Scheduling::EventDriven {
+            return false;
+        }
+        const FAILSAFE: Duration = Duration::from_secs(5);
+        self.wakesets.iter().enumerate().all(|(shard, wakes)| {
+            let queue = &self.dispatcher.queues[shard];
+            let inbox = &self.dispatcher.inboxes[shard];
+            wakes.wait_idle(|| queue.is_empty() && inbox.is_empty(), FAILSAFE)
+        })
     }
 
     /// Number of shards/workers.
@@ -272,6 +382,7 @@ impl Runtime {
             }
         }
         let submitted = self.dispatcher.queues.iter().map(|q| q.submitted()).sum();
+        let stolen_submits = self.dispatcher.queues.iter().map(|q| q.stolen()).sum();
         let mut shed_latency = LatencyHistogram::new();
         for queue in &self.dispatcher.queues {
             shed_latency.merge(&queue.shed_latency());
@@ -283,6 +394,7 @@ impl Runtime {
             shed: shed_latency.len(),
             workers,
             submitted,
+            stolen_submits,
             shed_latency,
             wall: self.started.elapsed(),
         }

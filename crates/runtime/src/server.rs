@@ -43,6 +43,9 @@ pub(crate) struct Connection {
     pub(crate) client: ClientId,
     pub(crate) endpoint: Endpoint,
     pub(crate) buffer: Vec<u8>,
+    /// Pump pass (worker-local counter) in which this connection last
+    /// made progress — the idle-reaper's clock.
+    pub(crate) last_progress_pass: u64,
 }
 
 impl Connection {
@@ -51,6 +54,7 @@ impl Connection {
             client,
             endpoint,
             buffer: Vec::new(),
+            last_progress_pass: 0,
         }
     }
 }
@@ -167,13 +171,23 @@ impl ConnectionServer {
         &self.runtime
     }
 
-    /// Reads from `client` until `expected_responses` complete responses
-    /// worth of bytes stop growing — a convenience for tests and
-    /// examples that know how much traffic they sent. Returns all bytes
-    /// received. Connection serving is poll-based, so this simply polls
-    /// with a small sleep until the stream is quiet and non-empty, or
-    /// `expected_responses` is 0 and the stream stays quiet.
+    /// Reads everything the server has answered for `client` once all
+    /// traffic written so far has been served. Returns all bytes
+    /// received.
+    ///
+    /// Under event-driven scheduling this is **deterministic**: it
+    /// [quiesces](Self::quiesce) the runtime — every accepted
+    /// connection adopted, every shard's worker parked with empty
+    /// queues and no pending readiness — and then reads. No sleeps, no
+    /// "stream looks quiet" heuristics. Under the legacy polling
+    /// scheduler (which has no park state to observe) it falls back to
+    /// the old quiet-stream heuristic; `expected_responses` is only
+    /// consulted there.
     pub fn await_response(&self, client: &mut Endpoint, expected_responses: usize) -> Vec<u8> {
+        if self.runtime.scheduling() == crate::Scheduling::EventDriven {
+            self.quiesce();
+            return client.read_available();
+        }
         // Heuristic windows: ~150 ms waiting for first bytes, ~10 ms of
         // silence after data before declaring the stream quiet. Wide
         // enough to ride out a contained-fault rewind plus a scheduler
@@ -197,6 +211,34 @@ impl ConnectionServer {
             }
         }
         received
+    }
+
+    /// Blocks until every connection admitted so far has been handed to
+    /// its shard **and** every worker is parked with nothing pending
+    /// (empty queue, empty inbox, no ready connections). At that
+    /// instant, all traffic written before the call has been fully
+    /// served and its responses are readable. Event-driven scheduling
+    /// only (polling workers have no observable park state); concurrent
+    /// writers can of course re-busy the runtime afterwards.
+    ///
+    /// Returns whether quiescence was actually observed; `false` means
+    /// a failsafe deadline fired (acceptor wedged, or a worker never
+    /// parked) and the runtime may still be working.
+    pub fn quiesce(&self) -> bool {
+        // Accept handoff first: a connection the listener admitted but
+        // the acceptor has not yet attached is invisible to the shards.
+        // The handoff is two thread hops (listener condvar → acceptor →
+        // inbox push), so back off gently instead of spinning a core.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut backoff = std::time::Duration::from_micros(10);
+        while self.runtime.attached() < self.listener.connects() {
+            if std::time::Instant::now() > deadline {
+                return false; // failsafe: callers assert on content, not hangs
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(std::time::Duration::from_millis(1));
+        }
+        self.runtime.quiesce()
     }
 
     /// Stops accepting, drains every accepted connection and queued

@@ -17,6 +17,10 @@ pub struct RuntimeStats {
     pub shed: u64,
     /// Requests accepted across all shards.
     pub submitted: u64,
+    /// Requests taken off shard queues by sibling workers (the queues'
+    /// own count — reconciled against the thieves'
+    /// [`WorkerStats::steals`]).
+    pub stolen_submits: u64,
     /// Time-to-shed histogram across all shards (how fast the fast-fail
     /// rejection path answers — the p99 a shed client experiences).
     pub shed_latency: LatencyHistogram,
@@ -73,6 +77,39 @@ impl RuntimeStats {
     #[must_use]
     pub fn aborted_requests(&self) -> u64 {
         self.workers.iter().map(|w| w.aborted_requests).sum()
+    }
+
+    /// Times workers parked with nothing to do (event-driven mode).
+    #[must_use]
+    pub fn parks(&self) -> u64 {
+        self.workers.iter().map(|w| w.parks).sum()
+    }
+
+    /// Times parked workers were woken by a signal (event-driven mode).
+    #[must_use]
+    pub fn wakeups(&self) -> u64 {
+        self.workers.iter().map(|w| w.wakeups).sum()
+    }
+
+    /// Empty periodic connection polls across all workers — the wasted
+    /// passes the polling scheduler burns and the event-driven one
+    /// eliminates (zero by construction).
+    #[must_use]
+    pub fn polls(&self) -> u64 {
+        self.workers.iter().map(|w| w.polls).sum()
+    }
+
+    /// Requests served by a worker other than their shard's (work
+    /// stealing).
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Idle connections reaped across all workers.
+    #[must_use]
+    pub fn reaped(&self) -> u64 {
+        self.workers.iter().map(|w| w.reaped).sum()
     }
 
     /// Cumulative rewind nanoseconds across all workers.
@@ -133,7 +170,10 @@ impl RuntimeStats {
     /// The global invariant: per-worker protocol-level fault counts match
     /// the rewinds each worker's own `DomainManager` performed (and the
     /// per-disposition latency histograms carry exactly one sample per
-    /// counted request), and the totals add up across the fleet.
+    /// counted request), and the totals add up across the fleet —
+    /// including stolen work, which must balance between the queues'
+    /// view (requests taken by thieves) and the thieves' view (stolen
+    /// requests served).
     #[must_use]
     pub fn reconciles(&self) -> bool {
         self.workers.iter().all(WorkerStats::reconciles)
@@ -145,6 +185,11 @@ impl RuntimeStats {
             // Queue-path completions cannot exceed accepted submits
             // (connection-pumped requests are accounted separately).
             && self.served().saturating_sub(self.conn_served()) <= self.submitted
+            // Stolen work is conserved: what the queues say was taken is
+            // exactly what the thieves say they served, and no stolen
+            // request can outnumber the queue-path total.
+            && self.steals() == self.stolen_submits
+            && self.steals() <= self.served().saturating_sub(self.conn_served())
     }
 
     /// Raw throughput: completed requests over the wall clock.
@@ -272,6 +317,7 @@ mod tests {
             workers,
             shed: 0,
             submitted,
+            stolen_submits: 0,
             shed_latency: LatencyHistogram::new(),
             wall: Duration::from_secs(2),
         }
@@ -317,6 +363,29 @@ mod tests {
         let mut unrecorded = worker(10, 2, 0);
         unrecorded.contained_latency = LatencyHistogram::new();
         assert!(!stats(vec![unrecorded]).reconciles());
+    }
+
+    #[test]
+    fn reconciliation_covers_stolen_work() {
+        // Balanced: the queue saw 4 requests stolen, a thief served 4.
+        let mut thief = worker(10, 0, 0);
+        thief.steals = 4;
+        let mut balanced = stats(vec![thief]);
+        balanced.stolen_submits = 4;
+        assert!(balanced.reconciles());
+
+        // A thief claiming more steals than any queue handed out is
+        // drift (a double-processed or invented request).
+        let mut phantom = worker(10, 0, 0);
+        phantom.steals = 5;
+        let mut broken = stats(vec![phantom]);
+        broken.stolen_submits = 4;
+        assert!(!broken.reconciles());
+
+        // And a queue that lost track of a theft is drift too.
+        let mut queue_view = stats(vec![worker(10, 0, 0)]);
+        queue_view.stolen_submits = 1;
+        assert!(!queue_view.reconciles());
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! The unified wake source behind event-driven scheduling.
+//!
+//! Each shard owns one [`WakeSet`]: a condvar-backed signal register fed
+//! by every event source that can create work for the shard's worker —
+//!
+//! * the shard's [`ShardQueue`](crate::ShardQueue) (pushes, kicks, stop),
+//! * readiness callbacks of the connections the worker pumps
+//!   ([`sdrad_net::Endpoint::set_ready_callback`]),
+//! * steal hints rung by *sibling* queues whose backlog crossed the
+//!   high-water mark.
+//!
+//! The worker parks **indefinitely** in [`WakeSet::wait`]; there is no
+//! timeout and therefore no periodic poll. Every mutation that creates
+//! work signals the set *after* the work is observable, and signals are
+//! level-latched (a signal posted while the worker is mid-pass is
+//! consumed by the next `wait`), so no wakeup can be lost.
+//!
+//! The set also exposes the park state to [`Runtime::quiesce`]
+//! (`wait_idle`): a shard is quiescent exactly when its worker is parked
+//! with no pending signals and its queue and inbox are empty — which is
+//! what makes connection drains deterministic instead of "sleep until
+//! the stream looks quiet".
+//!
+//! [`Runtime::quiesce`]: crate::Runtime::quiesce
+
+use std::collections::BTreeSet;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything one [`WakeSet::wait`] return delivers to the worker.
+#[derive(Debug, Default)]
+pub(crate) struct WakeSignals {
+    /// The shard queue was pushed to, kicked, or stopped: drain it and
+    /// adopt inbox connections.
+    pub queue: bool,
+    /// A sibling shard crossed its backlog high-water mark: try to
+    /// steal.
+    pub steal: bool,
+    /// Shutdown began.
+    pub stopped: bool,
+    /// Connection tokens with observable new state (bytes or close),
+    /// in token order.
+    pub conns: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct WakeState {
+    queue: bool,
+    steal: bool,
+    stopped: bool,
+    conns: BTreeSet<usize>,
+    parked: bool,
+    parks: u64,
+    wakeups: u64,
+}
+
+impl WakeState {
+    fn pending(&self) -> bool {
+        self.queue || self.steal || self.stopped || !self.conns.is_empty()
+    }
+
+    fn take(&mut self) -> WakeSignals {
+        WakeSignals {
+            queue: std::mem::take(&mut self.queue),
+            steal: std::mem::take(&mut self.steal),
+            // `stopped` stays latched: once shutdown begins every
+            // subsequent wait must still report it.
+            stopped: self.stopped,
+            conns: std::mem::take(&mut self.conns).into_iter().collect(),
+        }
+    }
+}
+
+/// One shard's condvar-backed signal register (see module docs).
+#[derive(Debug, Default)]
+pub(crate) struct WakeSet {
+    state: Mutex<WakeState>,
+    cv: Condvar,
+}
+
+impl WakeSet {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    fn signal(&self, set: impl FnOnce(&mut WakeState)) {
+        let mut state = self.state.lock().expect("wakeset lock");
+        set(&mut state);
+        drop(state);
+        // notify_all: the worker *and* any quiescer share the condvar.
+        self.cv.notify_all();
+    }
+
+    /// The shard queue has (or may have) work: pushed, kicked, or the
+    /// partial drain left a remainder.
+    pub(crate) fn signal_queue(&self) {
+        self.signal(|s| s.queue = true);
+    }
+
+    /// A sibling shard is overloaded; an idle worker should try to
+    /// steal.
+    pub(crate) fn hint_steal(&self) {
+        self.signal(|s| s.steal = true);
+    }
+
+    /// Connection `token` has observable new state.
+    pub(crate) fn mark_conn(&self, token: usize) {
+        self.signal(|s| {
+            s.conns.insert(token);
+        });
+    }
+
+    /// Shutdown: latched — every subsequent [`wait`](Self::wait) reports
+    /// `stopped`.
+    pub(crate) fn stop(&self) {
+        self.signal(|s| s.stopped = true);
+    }
+
+    /// Parks until at least one signal is pending, then consumes and
+    /// returns the pending set. Returns immediately (without parking)
+    /// when signals are already latched.
+    pub(crate) fn wait(&self) -> WakeSignals {
+        let mut state = self.state.lock().expect("wakeset lock");
+        if state.pending() {
+            return state.take();
+        }
+        state.parked = true;
+        state.parks += 1;
+        drop(state);
+        // The park transition is observable to quiescers.
+        self.cv.notify_all();
+        let mut state = self.state.lock().expect("wakeset lock");
+        loop {
+            if state.pending() {
+                state.parked = false;
+                state.wakeups += 1;
+                return state.take();
+            }
+            state = self.cv.wait(state).expect("wakeset wait");
+        }
+    }
+
+    /// Times the worker actually blocked (parked with nothing pending).
+    pub(crate) fn parks(&self) -> u64 {
+        self.state.lock().expect("wakeset lock").parks
+    }
+
+    /// Times a parked worker was woken by a signal.
+    pub(crate) fn wakeups(&self) -> u64 {
+        self.state.lock().expect("wakeset lock").wakeups
+    }
+
+    /// Blocks until the worker is parked with no pending signals **and**
+    /// `extra()` holds (the caller supplies queue/inbox emptiness), or
+    /// `failsafe` elapses. Returns whether idleness was observed.
+    ///
+    /// `extra` is evaluated under the wakeset lock; it may take the
+    /// queue/inbox locks (signal producers never hold those while
+    /// signalling, so the order is consistent) but must not touch this
+    /// wakeset.
+    pub(crate) fn wait_idle(&self, extra: impl Fn() -> bool, failsafe: Duration) -> bool {
+        let deadline = Instant::now() + failsafe;
+        let mut state = self.state.lock().expect("wakeset lock");
+        loop {
+            if state.parked && !state.pending() && extra() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, _result) = self
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("wakeset wait");
+            state = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn signals_before_wait_are_consumed_without_parking() {
+        let wakes = WakeSet::new();
+        wakes.signal_queue();
+        wakes.mark_conn(3);
+        wakes.mark_conn(1);
+        wakes.mark_conn(3);
+        let signals = wakes.wait();
+        assert!(signals.queue);
+        assert!(!signals.steal);
+        assert!(!signals.stopped);
+        assert_eq!(signals.conns, vec![1, 3], "tokens dedup and sort");
+        assert_eq!(wakes.parks(), 0, "no park needed");
+    }
+
+    #[test]
+    fn wait_parks_until_signalled_across_threads() {
+        let wakes = Arc::new(WakeSet::new());
+        let remote = Arc::clone(&wakes);
+        let waiter = std::thread::spawn(move || remote.wait());
+        // Wait until the waiter has genuinely parked, then signal.
+        while wakes.parks() == 0 {
+            std::thread::yield_now();
+        }
+        wakes.mark_conn(7);
+        let signals = waiter.join().unwrap();
+        assert_eq!(signals.conns, vec![7]);
+        assert_eq!(wakes.parks(), 1);
+        assert_eq!(wakes.wakeups(), 1);
+    }
+
+    #[test]
+    fn stopped_is_latched() {
+        let wakes = WakeSet::new();
+        wakes.stop();
+        assert!(wakes.wait().stopped);
+        wakes.signal_queue();
+        assert!(wakes.wait().stopped, "stop persists across waits");
+    }
+
+    #[test]
+    fn wait_idle_observes_a_parked_worker() {
+        let wakes = Arc::new(WakeSet::new());
+        let remote = Arc::clone(&wakes);
+        let worker = std::thread::spawn(move || {
+            // One working pass, then park again.
+            let first = remote.wait();
+            assert!(first.queue);
+            remote.wait()
+        });
+        wakes.signal_queue();
+        assert!(
+            wakes.wait_idle(|| true, Duration::from_secs(5)),
+            "worker must be seen parked"
+        );
+        wakes.stop();
+        assert!(worker.join().unwrap().stopped);
+    }
+
+    #[test]
+    fn wait_idle_times_out_when_extra_never_holds() {
+        let wakes = Arc::new(WakeSet::new());
+        let remote = Arc::clone(&wakes);
+        let worker = std::thread::spawn(move || remote.wait());
+        while wakes.parks() == 0 {
+            std::thread::yield_now();
+        }
+        assert!(!wakes.wait_idle(|| false, Duration::from_millis(20)));
+        wakes.stop();
+        worker.join().unwrap();
+    }
+}

@@ -12,6 +12,30 @@
 //!   buffered, pipelined requests all complete in order, malformed heads
 //!   resynchronise or close per the protocol, and a peer that disconnects
 //!   mid-request has its half-request discarded.
+//!
+//! ## Scheduling
+//!
+//! Under [`Scheduling::EventDriven`] (the default) the worker parks
+//! indefinitely on its shard's [`WakeSet`]; queue pushes, connection
+//! readiness callbacks and sibling steal hints wake it. An idle worker
+//! burns **zero** CPU — no periodic connection polls — which is the
+//! whole point of judging resilience mechanisms by their energy
+//! footprint. Under [`Scheduling::Polling`] (kept as the measurable
+//! baseline and for single-threaded determinism) the worker re-polls
+//! its connections at the legacy [`CONN_POLL`] cadence, counting every
+//! empty pass in [`WorkerStats::polls`].
+//!
+//! Either way, each pump pass is bounded by the per-connection **read
+//! budget** (`RuntimeConfig::conn_read_budget`): one noisy pipelining
+//! client gets at most that many framed requests served per rotation
+//! before the worker moves to the next ready connection. When work
+//! stealing is enabled, an otherwise-idle worker takes pre-framed
+//! requests (never connections, which stay sticky for domain affinity)
+//! off the most-loaded sibling queue.
+//!
+//! [`Scheduling::EventDriven`]: crate::Scheduling::EventDriven
+//! [`Scheduling::Polling`]: crate::Scheduling::Polling
+//! [`WakeSet`]: crate::wake::WakeSet
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -22,12 +46,14 @@ use crate::handler::{Framing, SessionHandler};
 use crate::histogram::LatencyHistogram;
 use crate::isolation::WorkerIsolation;
 use crate::queue::{Completion, Disposition, Request, ShardQueue};
+use crate::runtime::{RuntimeConfig, Scheduling};
 use crate::server::{ConnInbox, Connection};
+use crate::wake::WakeSet;
 
-/// How often a worker that owns connections re-polls them while its
-/// queue is idle. In-memory endpoints have no readiness notification, so
-/// connection serving is poll-based at this cadence.
-const CONN_POLL: Duration = Duration::from_micros(200);
+/// How often a polling-mode worker that owns connections re-polls them
+/// while its queue is idle. Event-driven workers never use this: they
+/// park until a readiness callback fires.
+pub(crate) const CONN_POLL: Duration = Duration::from_micros(200);
 
 /// Per-worker counters, returned when the worker exits.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -65,6 +91,19 @@ pub struct WorkerStats {
     /// Connections that disconnected with a half-received request still
     /// buffered (the bytes are discarded, the request never ran).
     pub aborted_requests: u64,
+    /// Times the worker parked with nothing to do (event-driven mode).
+    pub parks: u64,
+    /// Times a parked worker was woken by a signal (event-driven mode).
+    pub wakeups: u64,
+    /// Empty periodic connection polls: passes over live connections
+    /// that found no bytes and no queue work (polling mode only — the
+    /// pure-waste CPU burn readiness scheduling eliminates).
+    pub polls: u64,
+    /// Pre-framed requests this worker stole from sibling queues.
+    pub steals: u64,
+    /// Idle connections reaped (no bytes for the configured number of
+    /// pump passes).
+    pub reaped: u64,
     /// Domains the worker's pool instantiated.
     pub domains_created: usize,
     /// Rewinds reported by the worker's own `DomainManager` — must equal
@@ -97,17 +136,52 @@ impl WorkerStats {
     }
 }
 
+/// What one budgeted pump of one connection produced.
+struct PumpOutcome {
+    /// Bytes were read or requests served.
+    progressed: bool,
+    /// The connection stays in the pump set.
+    keep: bool,
+    /// The read budget was exhausted with at least one more complete
+    /// frame buffered — the worker must come back (after giving other
+    /// ready connections their turn).
+    more: bool,
+}
+
+/// The channels one worker serves: its own queue, connection inbox and
+/// wake set, plus (with stealing enabled) the sibling queues it may
+/// steal from.
+pub(crate) struct ShardChannels {
+    pub(crate) queue: Arc<ShardQueue>,
+    pub(crate) inbox: Arc<ConnInbox>,
+    pub(crate) wakes: Arc<WakeSet>,
+    /// All shard queues (self included, skipped by index) — the steal
+    /// victims. Empty when stealing is disabled.
+    pub(crate) peers: Vec<Arc<ShardQueue>>,
+}
+
 /// One worker: drains its shard queue and pumps its connections until
 /// the queue stops, then reports its counters.
 pub struct Worker<H: SessionHandler> {
     index: usize,
     queue: Arc<ShardQueue>,
     inbox: Arc<ConnInbox>,
-    conns: Vec<Connection>,
+    wakes: Arc<WakeSet>,
+    /// See [`ShardChannels::peers`].
+    peers: Vec<Arc<ShardQueue>>,
+    /// Token-addressed connection slab; `None` slots are free.
+    conns: Vec<Option<Connection>>,
+    free_tokens: Vec<usize>,
     iso: WorkerIsolation,
     handler: H,
     restart_model: RestartModel,
     batch: usize,
+    conn_budget: usize,
+    scheduling: Scheduling,
+    idle_reap_after: Option<u64>,
+    /// Monotonic pump-pass counter (one per wake / poll tick); the
+    /// reaper measures connection idleness in these.
+    pass: u64,
     stats: WorkerStats,
 }
 
@@ -119,22 +193,27 @@ impl<H: SessionHandler> Worker<H> {
     /// [`Runtime::start`]: crate::Runtime::start
     pub(crate) fn new(
         index: usize,
-        queue: Arc<ShardQueue>,
-        inbox: Arc<ConnInbox>,
+        channels: ShardChannels,
         iso: WorkerIsolation,
         handler: H,
-        restart_model: RestartModel,
-        batch: usize,
+        config: &RuntimeConfig,
     ) -> Self {
         Worker {
             index,
-            queue,
-            inbox,
+            queue: channels.queue,
+            inbox: channels.inbox,
+            wakes: channels.wakes,
+            peers: channels.peers,
             conns: Vec::new(),
+            free_tokens: Vec::new(),
             iso,
             handler,
-            restart_model,
-            batch,
+            restart_model: config.restart,
+            batch: config.batch.max(1),
+            conn_budget: config.conn_read_budget.max(1),
+            scheduling: config.scheduling,
+            idle_reap_after: config.idle_reap_after,
+            pass: 0,
             stats: WorkerStats {
                 worker: index,
                 ..WorkerStats::default()
@@ -145,34 +224,117 @@ impl<H: SessionHandler> Worker<H> {
     /// Runs until the queue is stopped and drained and every connection
     /// byte that arrived has been served; returns the counters.
     pub fn run(mut self) -> WorkerStats {
+        match self.scheduling {
+            Scheduling::EventDriven => self.run_event(),
+            Scheduling::Polling => self.run_polling(),
+        }
+        self.drain();
+        self.stats.shed = self.queue.shed();
+        self.stats.domains_created = self.iso.domains_created();
+        self.stats.manager_rewinds = self.iso.rewinds();
+        self.stats.parks = self.wakes.parks();
+        self.stats.wakeups = self.wakes.wakeups();
+        self.stats
+    }
+
+    /// Event-driven serving: park on the wake set, run one pass per
+    /// wake. No timeouts anywhere — an idle shard costs nothing.
+    fn run_event(&mut self) {
         loop {
+            let signals = self.wakes.wait();
+            self.pass += 1;
+            let mut ready = signals.conns;
+            ready.extend(self.adopt_connections());
+
+            // Only a queue signal can mean queue work (pushes latch it
+            // until consumed), so conn-only wakes skip the queue lock.
+            let requests = if signals.queue {
+                self.queue.try_drain(self.batch)
+            } else {
+                Vec::new()
+            };
+            let had_queue_work = !requests.is_empty();
+            if had_queue_work {
+                let started = Instant::now();
+                for request in requests {
+                    self.serve(request);
+                }
+                self.note_busy(started);
+                // A partial drain leaves a remainder: come straight
+                // back (after this pass) instead of parking on it.
+                if !self.queue.is_empty() {
+                    self.queue.kick();
+                }
+            }
+
+            let mut pumped = false;
+            for token in ready {
+                let outcome = self.pump_token(token);
+                pumped |= outcome.progressed;
+                if outcome.more {
+                    // Budget exhausted: requeue the token behind the
+                    // other ready connections (per-connection fairness).
+                    self.wakes.mark_conn(token);
+                }
+            }
+            self.reap_idle();
+
+            if signals.steal || (!had_queue_work && !pumped && !signals.stopped) {
+                self.try_steal();
+            }
+            if signals.stopped {
+                break;
+            }
+        }
+    }
+
+    /// Legacy polling loop: the measurable baseline e17 compares
+    /// against. Workers with live connections re-poll at [`CONN_POLL`];
+    /// every empty pass is counted in [`WorkerStats::polls`].
+    fn run_polling(&mut self) {
+        loop {
+            self.pass += 1;
             self.adopt_connections();
-            self.pump_connections();
+            let pumped = self.pump_live_connections();
+            self.reap_idle();
             // Workers with live connections poll; workers without park on
             // the queue until a submit, a kick (new connection) or stop.
-            let timeout = if self.conns.is_empty() {
+            let timeout = if self.live_connections() == 0 {
                 None
             } else {
                 Some(CONN_POLL)
             };
+            let polling_conns = timeout.is_some();
             let work = self.queue.wait_work(self.batch, timeout);
-            if !work.requests.is_empty() {
+            let had_queue_work = !work.requests.is_empty();
+            if had_queue_work {
                 let started = Instant::now();
                 for request in work.requests {
                     self.serve(request);
                 }
                 self.note_busy(started);
             }
+            if polling_conns && !pumped && !had_queue_work {
+                // The pure-waste tick: connections re-polled, nothing
+                // there, queue empty. This is what e17 prices.
+                self.stats.polls += 1;
+            }
+            if !pumped && !had_queue_work && !work.stopped {
+                self.try_steal();
+            }
             if work.stopped {
                 break;
             }
         }
+    }
 
-        // Shutdown drain: the queue sheds new submits now, but everything
-        // already accepted — queued requests, connection bytes already
-        // received, connections still in the inbox — is served before the
-        // worker exits. The loop ends when a full pass makes no progress.
+    /// Shutdown drain: the queue sheds new submits now, but everything
+    /// already accepted — queued requests, connection bytes already
+    /// received, connections still in the inbox — is served before the
+    /// worker exits. The loop ends when a full pass makes no progress.
+    fn drain(&mut self) {
         loop {
+            self.pass += 1;
             self.adopt_connections();
             let queued = self.queue.try_drain(self.batch);
             let drained_queue = !queued.is_empty();
@@ -183,62 +345,187 @@ impl<H: SessionHandler> Worker<H> {
             if drained_queue {
                 self.note_busy(started);
             }
-            let pumped = self.pump_connections();
+            let pumped = self.pump_live_connections();
             if !drained_queue && !pumped && self.queue.is_empty() && self.inbox.is_empty() {
                 break;
             }
         }
-
-        self.stats.shed = self.queue.shed();
-        self.stats.domains_created = self.iso.domains_created();
-        self.stats.manager_rewinds = self.iso.rewinds();
-        self.stats
     }
 
-    /// Moves connections newly assigned to this shard into the pump set.
-    fn adopt_connections(&mut self) {
+    /// Moves connections newly assigned to this shard into the pump
+    /// set, allocating a token per connection. In event-driven mode the
+    /// endpoint's readiness callback is pointed at the shard's wake set
+    /// (firing immediately if bytes or a close already arrived, so no
+    /// pre-adoption edge is lost). Returns the new tokens.
+    fn adopt_connections(&mut self) -> Vec<usize> {
         let adopted = self.inbox.drain();
         self.stats.connections += adopted.len() as u64;
-        self.conns.extend(adopted);
+        let mut tokens = Vec::with_capacity(adopted.len());
+        for mut conn in adopted {
+            conn.last_progress_pass = self.pass;
+            let token = match self.free_tokens.pop() {
+                Some(token) => token,
+                None => {
+                    self.conns.push(None);
+                    self.conns.len() - 1
+                }
+            };
+            if self.scheduling == Scheduling::EventDriven {
+                let wakes = Arc::clone(&self.wakes);
+                conn.endpoint
+                    .set_ready_callback(Arc::new(move || wakes.mark_conn(token)));
+            }
+            self.conns[token] = Some(conn);
+            tokens.push(token);
+        }
+        tokens
     }
 
-    /// Pumps every connection once; returns whether any made progress
-    /// (bytes read or requests served). Closed, fully-drained
-    /// connections are dropped.
-    fn pump_connections(&mut self) -> bool {
-        if self.conns.is_empty() {
-            return false;
-        }
+    /// Live (adopted, not yet retired) connections.
+    fn live_connections(&self) -> usize {
+        self.conns.iter().flatten().count()
+    }
+
+    /// Pumps every live connection until no budget round leaves a
+    /// complete frame behind; returns whether any made progress. (The
+    /// polling and drain paths, which have no readiness tokens.)
+    fn pump_live_connections(&mut self) -> bool {
         let mut progressed = false;
-        let conns = std::mem::take(&mut self.conns);
-        for mut conn in conns {
-            let (made_progress, keep) = self.pump_one(&mut conn);
-            progressed |= made_progress;
-            if keep {
-                self.conns.push(conn);
-            } else if !conn.buffer.is_empty() {
-                // Mid-request disconnect: the half-request is discarded.
-                self.stats.aborted_requests += 1;
+        let mut pending: Vec<usize> = (0..self.conns.len())
+            .filter(|&t| self.conns[t].is_some())
+            .collect();
+        while !pending.is_empty() {
+            let mut again = Vec::new();
+            for token in pending {
+                let outcome = self.pump_token(token);
+                progressed |= outcome.progressed;
+                if outcome.more {
+                    again.push(token);
+                }
             }
+            pending = again;
         }
         progressed
     }
 
-    /// Pumps one connection: reads pending bytes, serves every complete
-    /// frame, answers malformed ones. Returns `(progressed, keep)`.
-    fn pump_one(&mut self, conn: &mut Connection) -> (bool, bool) {
+    /// Pumps the connection behind `token` once (budgeted). Empty and
+    /// stale tokens are no-ops.
+    fn pump_token(&mut self, token: usize) -> PumpOutcome {
+        let Some(mut conn) = self.conns.get_mut(token).and_then(Option::take) else {
+            return PumpOutcome {
+                progressed: false,
+                keep: false,
+                more: false,
+            };
+        };
+        let outcome = self.pump_one(&mut conn);
+        if outcome.progressed {
+            conn.last_progress_pass = self.pass;
+        }
+        if outcome.keep {
+            self.conns[token] = Some(conn);
+        } else {
+            self.retire(token, conn);
+        }
+        outcome
+    }
+
+    /// Drops a connection: unregisters its waker (so a stale token is
+    /// never signalled), counts a half-received request as aborted.
+    fn retire(&mut self, token: usize, mut conn: Connection) {
+        conn.endpoint.clear_ready_callback();
+        if !conn.buffer.is_empty() {
+            // Mid-request disconnect: the half-request is discarded.
+            self.stats.aborted_requests += 1;
+        }
+        self.free_tokens.push(token);
+    }
+
+    /// Closes and retires connections that made no progress for the
+    /// configured number of pump passes.
+    fn reap_idle(&mut self) {
+        let Some(reap_after) = self.idle_reap_after else {
+            return;
+        };
+        for token in 0..self.conns.len() {
+            let idle_for = match &self.conns[token] {
+                Some(conn) => self.pass.saturating_sub(conn.last_progress_pass),
+                None => continue,
+            };
+            if idle_for >= reap_after.max(1) {
+                let mut conn = self.conns[token].take().expect("slot checked");
+                conn.endpoint.close();
+                self.stats.reaped += 1;
+                self.retire(token, conn);
+            }
+        }
+    }
+
+    /// Steals a batch of pre-framed requests from the most-loaded
+    /// sibling queue and serves them here. Connections never move —
+    /// only queue items, which carry everything they need.
+    fn try_steal(&mut self) {
+        if self.peers.is_empty() {
+            return;
+        }
+        let victim = self
+            .peers
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != self.index)
+            .map(|(_, q)| (q.len(), Arc::clone(q)))
+            .max_by_key(|&(len, _)| len);
+        let Some((backlog, victim)) = victim else {
+            return;
+        };
+        if backlog == 0 {
+            return;
+        }
+        let stolen = victim.steal(self.batch);
+        if stolen.is_empty() {
+            return;
+        }
+        self.stats.steals += stolen.len() as u64;
+        let started = Instant::now();
+        for request in stolen {
+            self.serve(request);
+        }
+        self.note_busy(started);
+        // The victim may still be loaded; keep helping without letting
+        // our own queue and connections starve in between.
+        if !victim.is_empty() {
+            self.wakes.hint_steal();
+        }
+    }
+
+    /// Pumps one connection: reads pending bytes, serves complete
+    /// frames up to the read budget, answers malformed ones.
+    fn pump_one(&mut self, conn: &mut Connection) -> PumpOutcome {
         // The latency clock for every frame completed in this pass
         // starts here, when its final bytes were read off the wire:
         // pipelined requests queue behind each other within the pass,
-        // exactly as queue-path requests start at `accepted_at`. (Time
-        // the bytes sat in the endpoint between passes — at most one
-        // `CONN_POLL` — is not observable without per-byte timestamps.)
+        // exactly as queue-path requests start at `accepted_at`.
         let arrived = Instant::now();
         let fresh = conn.endpoint.read_available();
         let mut progressed = !fresh.is_empty();
         conn.buffer.extend(fresh);
 
+        let mut served_this_pass = 0usize;
         loop {
+            if served_this_pass >= self.conn_budget {
+                // Budget exhausted: report whether *any* actionable
+                // frame is still buffered — complete, malformed or
+                // fatal — so the caller re-queues us fairly. (Only
+                // `Incomplete` may wait for a readiness edge: the
+                // buffered bytes are already off the endpoint, so no
+                // future edge would ever resurface them.)
+                let more = !matches!(self.handler.frame(&conn.buffer), Framing::Incomplete);
+                return PumpOutcome {
+                    progressed,
+                    keep: true,
+                    more,
+                };
+            }
             match self.handler.frame(&conn.buffer) {
                 Framing::Complete(n) => {
                     let serve_started = Instant::now();
@@ -250,6 +537,7 @@ impl<H: SessionHandler> Worker<H> {
                     self.stats.conn_served += 1;
                     self.note_busy(serve_started);
                     progressed = true;
+                    served_this_pass += 1;
                 }
                 Framing::Incomplete => break,
                 Framing::Malformed { consumed, response } => {
@@ -261,6 +549,7 @@ impl<H: SessionHandler> Worker<H> {
                     self.account(&Disposition::ProtocolError, elapsed_ns(arrived));
                     self.stats.conn_served += 1;
                     progressed = true;
+                    served_this_pass += 1;
                 }
                 Framing::Fatal { response } => {
                     conn.endpoint.write(&response);
@@ -268,21 +557,34 @@ impl<H: SessionHandler> Worker<H> {
                     conn.buffer.clear();
                     self.account(&Disposition::ProtocolError, elapsed_ns(arrived));
                     self.stats.conn_served += 1;
-                    return (true, false);
+                    return PumpOutcome {
+                        progressed: true,
+                        keep: false,
+                        more: false,
+                    };
                 }
             }
         }
 
         // Peer hung up and nothing more can arrive: drop the connection
-        // (any partial request left in the buffer is counted by the
-        // caller as aborted).
+        // (any partial request left in the buffer is counted by
+        // `retire` as aborted).
         if !conn.endpoint.is_open() && conn.endpoint.pending() == 0 {
-            return (progressed, false);
+            return PumpOutcome {
+                progressed,
+                keep: false,
+                more: false,
+            };
         }
-        (progressed, true)
+        PumpOutcome {
+            progressed,
+            keep: true,
+            more: false,
+        }
     }
 
-    /// Serves one pre-framed request from the shard queue.
+    /// Serves one pre-framed request from a shard queue (own or
+    /// stolen).
     fn serve(&mut self, request: Request) {
         let reply = self
             .handler

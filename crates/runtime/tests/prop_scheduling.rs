@@ -1,0 +1,108 @@
+//! Property: readiness scheduling, work stealing and read budgets never
+//! bend the conservation laws.
+//!
+//! For **any** client mix, queue bound, worker count, steal setting and
+//! per-connection read budget:
+//!
+//! * every offered request is either served or shed — `served + shed ==
+//!   offered`, over both the submit path and the connection path;
+//! * no request is processed twice: every `Enqueued` ticket completes
+//!   exactly once, and the stolen-work books balance (the queues' count
+//!   of requests taken by thieves equals the thieves' count of stolen
+//!   requests served — a double-served steal would break one side);
+//! * connection traffic is fully answered regardless of how small the
+//!   read budget slices the pump passes.
+
+use proptest::prelude::*;
+use sdrad::ClientId;
+use sdrad_runtime::{
+    ConnectionServer, IsolationMode, KvHandler, RuntimeConfig, Scheduling, SubmitOutcome,
+};
+
+/// One offered request: which client, and whether it is an exploit
+/// (~10% of traffic).
+fn arb_offer() -> impl Strategy<Value = (u64, bool)> {
+    (0u64..24, 0u32..10).prop_map(|(client, roll)| (client, roll == 0))
+}
+
+proptest! {
+    #[test]
+    fn conservation_holds_under_stealing_budgets_and_wakeups(
+        offers in proptest::collection::vec(arb_offer(), 1..250),
+        conn_loads in proptest::collection::vec(1usize..6, 0..4),
+        capacity in 1usize..48,
+        workers in 1usize..5,
+        stealing in any::<bool>(),
+        budget in 1usize..8,
+    ) {
+        let mut config = RuntimeConfig::new(workers, IsolationMode::PerClientDomain);
+        config.queue_capacity = capacity;
+        config.work_stealing = stealing;
+        config.conn_read_budget = budget;
+        config.scheduling = Scheduling::EventDriven;
+        let server = ConnectionServer::start(config, |_| KvHandler::default());
+        let runtime = server.runtime();
+
+        // Connection path: each connection pipelines its whole load in
+        // one write (the budget must slice it without losing any).
+        let mut conns = Vec::new();
+        let mut conn_requests = 0u64;
+        for &load in &conn_loads {
+            let mut client = server.connect();
+            let mut burst = Vec::new();
+            for i in 0..load {
+                burst.extend_from_slice(format!("get c{i}\r\n").as_bytes());
+            }
+            client.write(&burst);
+            conn_requests += load as u64;
+            conns.push((client, load));
+        }
+
+        // Submit path: accepted ⇒ ticketed, saturated ⇒ shed.
+        let mut tickets = Vec::new();
+        let mut shed_at_submit = 0u64;
+        for (client, attack) in &offers {
+            let payload = if *attack {
+                b"xstat 65536 4\r\nboom\r\n".to_vec()
+            } else {
+                format!("set k{client} 2\r\nok\r\n").into_bytes()
+            };
+            match runtime.submit(ClientId(1_000 + *client), payload) {
+                SubmitOutcome::Enqueued(ticket) => tickets.push(ticket),
+                SubmitOutcome::Shed => shed_at_submit += 1,
+            }
+        }
+        let stats = server.shutdown();
+
+        // Conservation over both paths: nothing lost, nothing invented.
+        let offered = offers.len() as u64 + conn_requests;
+        prop_assert_eq!(stats.served() + stats.shed, offered);
+        prop_assert_eq!(stats.conn_served(), conn_requests);
+        prop_assert_eq!(stats.served() - stats.conn_served(), tickets.len() as u64);
+        prop_assert_eq!(stats.shed, shed_at_submit);
+        prop_assert_eq!(stats.submitted, tickets.len() as u64);
+        prop_assert_eq!(stats.shed_latency.len(), stats.shed);
+
+        // No request is both served and shed, and none is served twice:
+        // every enqueued ticket holds exactly one completion.
+        for ticket in tickets {
+            prop_assert!(ticket.try_take().is_some(), "enqueued but never served");
+            prop_assert!(ticket.try_take().is_none(), "completed twice");
+        }
+
+        // Every connection byte was answered: one END per pipelined get.
+        for (client, load) in &mut conns {
+            let answered = String::from_utf8_lossy(&client.read_available())
+                .matches("END")
+                .count();
+            prop_assert_eq!(answered, *load, "pipelined responses complete");
+        }
+
+        // Stolen work balanced, histograms per-request, managers agree.
+        if !stealing {
+            prop_assert_eq!(stats.steals(), 0);
+        }
+        prop_assert!(stats.polls() == 0, "event-driven runs never poll");
+        prop_assert!(stats.reconciles());
+    }
+}

@@ -12,12 +12,12 @@
 //! | [`alloc`] | `sdrad-alloc` | per-domain heaps with canaries |
 //! | [`serial`] | `sdrad-serial` | cross-domain serialization formats |
 //! | [`ffi`] | `sdrad-ffi` | SDRaD-FFI sandboxing (macro, backends, worker) |
-//! | [`net`] | `sdrad-net` | in-memory transport for the evaluation apps |
+//! | [`net`] | `sdrad-net` | in-memory transport for the evaluation apps (readiness callbacks for event-driven serving) |
 //! | [`kvstore`] | `sdrad-kvstore` | Memcached-like workload |
 //! | [`httpd`] | `sdrad-httpd` | NGINX-like workload |
 //! | [`tls`] | `sdrad-tls` | OpenSSL-like workload (Heartbleed demo) |
 //! | [`faultsim`] | `sdrad-faultsim` | attack injection, workload generators |
-//! | [`runtime`] | `sdrad-runtime` | sharded multi-worker serving runtime: connection-level serving over `sdrad-net`, all three workloads, latency percentiles |
+//! | [`runtime`] | `sdrad-runtime` | sharded multi-worker serving runtime: readiness-driven scheduling (park/wake, work stealing, read budgets), connection-level serving over `sdrad-net`, all three workloads, latency percentiles |
 //! | [`energy`] | `sdrad-energy` | availability, energy and carbon models |
 //! | [`cheri`] | `sdrad-cheri` | simulated CHERI capability machine (E11 ablation) |
 //! | [`sfi`] | `sdrad-sfi` | software fault isolation: linear memory + sandboxed VM |
