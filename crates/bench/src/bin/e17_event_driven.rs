@@ -35,7 +35,7 @@ use sdrad_faultsim::FaultSchedule;
 use sdrad_net::Endpoint;
 use sdrad_runtime::{
     ConnectionServer, IsolationMode, KvHandler, LatencyHistogram, RuntimeConfig, RuntimeStats,
-    Scheduling,
+    Scheduling, StealPolicy,
 };
 
 /// One simulated hour of traffic per cell.
@@ -118,7 +118,7 @@ fn run_cell(scheduling: Scheduling) -> Cell {
 
     let mut config = RuntimeConfig::new(WORKERS, IsolationMode::PerClientDomain);
     config.scheduling = scheduling;
-    config.work_stealing = true;
+    config.work_stealing = StealPolicy::Queue;
     config.batch = 16;
     let server = ConnectionServer::start(config, |_| KvHandler::default());
     let started = Instant::now();

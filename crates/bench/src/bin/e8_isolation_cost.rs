@@ -3,7 +3,7 @@
 //!
 //! Paper claim (§IV): "conventional process isolation has high
 //! context-switching costs that increase resource utilization.
-//! Hardware-assisted in-process isolation, such as MPK … [is] lightweight."
+//! Hardware-assisted in-process isolation, such as MPK … \[is\] lightweight."
 //!
 //! Measures the same sandboxed call (identical marshalling) under three
 //! real backends — direct, SDRaD domain, worker subprocess — plus the

@@ -11,7 +11,7 @@ use std::fmt;
 /// mantissa; bounds wider than `2^MANTISSA_BITS` bytes must be aligned to
 /// `2^e` where `e = bits(len) - MANTISSA_BITS`. 14 bits mirrors the
 /// 128-bit Morello encoding closely enough to reproduce the alignment
-/// constraint the paper's CHERI citation [17] discusses.
+/// constraint the paper's CHERI citation \[17\] discusses.
 pub const MANTISSA_BITS: u32 = 14;
 
 /// A CHERI capability: a bounded, permission-carrying, optionally sealed

@@ -2,7 +2,7 @@
 //!
 //! The paper's sustainability discussion (§IV) names two hardware
 //! mechanisms for lightweight in-process isolation: Intel MPK (which the
-//! SDRaD implementation uses, see [`sdrad_mpk`]) and **CHERI** [17], which
+//! SDRaD implementation uses, see [`sdrad_mpk`]) and **CHERI** \[17\], which
 //! replaces protection-key-tagged pages with *architectural capabilities*:
 //! bounded, permission-carrying, unforgeable pointers with a hardware
 //! validity tag. This crate models the CHERI primitives faithfully enough

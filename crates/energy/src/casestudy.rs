@@ -2,8 +2,8 @@
 //!
 //! "A thorough analysis of the potential impacts of our approach requires
 //! further life-cycle assessment approaches with a focus on environmental
-//! sustainability through energy efficiency [2], [7], but also economic
-//! and social dimensions [1], to be applied in a comprehensive case study
+//! sustainability through energy efficiency \[2\], \[7\], but also economic
+//! and social dimensions \[1\], to be applied in a comprehensive case study
 //! from the above domains" — the named domains being *telecommunications*
 //! and *smart grids*.
 //!

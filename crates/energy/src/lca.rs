@@ -7,7 +7,7 @@
 //! carbon over a deployment's lifetime, with hardware refresh cycles, a
 //! resilience-driven lifetime-extension factor (resilient software keeps
 //! old hardware useful longer), and an explicit rebound-effect parameter
-//! (efficiency gains partially re-spent on more load, per Gossart [4]).
+//! (efficiency gains partially re-spent on more load, per Gossart \[4\]).
 
 use crate::carbon::CarbonModel;
 use crate::redundancy::{evaluate, Scenario, Strategy};

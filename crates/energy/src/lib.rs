@@ -5,7 +5,7 @@
 //! today by replicating service instances, and replication means powered
 //! servers and embodied carbon. This crate makes the argument computable:
 //!
-//! * [`availability`] — MTTR-based availability math: achieved nines for
+//! * [`mod@availability`] — MTTR-based availability math: achieved nines for
 //!   a fault rate × recovery-time combination, downtime budgets, and the
 //!   "9·10⁷ recoveries within 99.999 %" bound the paper states,
 //! * [`restart`] — calibrated recovery-time models (process restart,

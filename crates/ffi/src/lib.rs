@@ -15,8 +15,8 @@
 //! * [`Sandbox::in_process`] — SDRaD protection-key domains (the paper's
 //!   contribution),
 //! * [`Sandbox::process`] — a real worker subprocess, the Sandcrust-style
-//!   [9] process-isolation baseline whose "significant run-time overheads"
-//!   §III cites.
+//!   process-isolation baseline (reference \[9\] of the paper) whose
+//!   "significant run-time overheads" §III cites.
 //!
 //! The [`sandboxed!`] macro provides the annotation-style front end; the
 //! [`Registry`]/[`run_worker`] pair implements the worker side of the

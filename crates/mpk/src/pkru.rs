@@ -135,7 +135,7 @@ pub fn current_pkru() -> Pkru {
 /// the previous value.
 ///
 /// Cost accounting is the caller's job: charge
-/// [`CostModel::wrpkru`](crate::CostModel::wrpkru) wherever a real domain
+/// [`CostModel::wrpkru_cycles`](crate::CostModel::wrpkru_cycles) wherever a real domain
 /// switch would execute the instruction.
 pub fn set_current_pkru(pkru: Pkru) -> Pkru {
     Pkru(CURRENT_PKRU.with(|c| c.replace(pkru.to_raw())))

@@ -67,6 +67,25 @@ pub enum Framing {
     },
 }
 
+/// How a request may execute when a work-stealing sibling lifts it off
+/// its owner shard (see [`SessionHandler::steal_class`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealClass {
+    /// Safe to execute on any shard: the request mutates no shard state.
+    /// A thief serves it against its *own* shard (its own handler, its
+    /// own domains) — for a sharded cache this has cache-miss semantics
+    /// (a `get` served off-shard may miss where the owner would hit),
+    /// which is an honest answer; a mutation landing off-shard would be
+    /// silent state divergence, which is not.
+    ReadOnly,
+    /// Mutates shard state: must only ever execute on the shard that
+    /// owns the state. Under [`StealPolicy::Deep`](crate::StealPolicy)
+    /// a thief that encounters one on a stolen connection buffer routes
+    /// it **back to the owner** as an owner-routed submission instead
+    /// of executing it.
+    Mutation,
+}
+
 /// A protocol workload served by runtime workers.
 ///
 /// Handlers are created **on the worker thread** by the factory passed
@@ -75,6 +94,20 @@ pub enum Framing {
 pub trait SessionHandler {
     /// Processes one complete request for `client`.
     fn handle(&mut self, iso: &mut WorkerIsolation, client: ClientId, request: &[u8]) -> Reply;
+
+    /// Classifies one complete request for work stealing: may it run on
+    /// a thief shard ([`StealClass::ReadOnly`]) or must it stay on the
+    /// shard whose state it touches ([`StealClass::Mutation`])?
+    ///
+    /// The default classifies **everything** as a mutation — the safe
+    /// answer for a handler that never opted in: deep stealing then
+    /// routes every stolen frame back to the owner and thieves execute
+    /// nothing foreign. Protocol adapters override it with their
+    /// parser's knowledge.
+    fn steal_class(&self, request: &[u8]) -> StealClass {
+        let _ = request;
+        StealClass::Mutation
+    }
 
     /// Splits one complete request off the head of a connection buffer.
     ///
@@ -196,6 +229,20 @@ impl SessionHandler for KvHandler {
                     response: Response::Error.to_bytes(),
                 }
             }
+        }
+    }
+
+    fn steal_class(&self, request: &[u8]) -> StealClass {
+        use sdrad_kvstore::{parse_command, Command};
+        match parse_command(request) {
+            // Lookups and counter reads touch nothing a sibling shard
+            // could corrupt; a thief answering a `get` from its own
+            // (different) store shard is a cache miss, not divergence.
+            Ok((Command::Get(_) | Command::Stats, _)) => StealClass::ReadOnly,
+            // `set`/`delete`/`flush_all` mutate the owner's store;
+            // `xstat` (the planted bug) must fault inside the owner's
+            // accounting; anything unparseable is the owner's problem.
+            _ => StealClass::Mutation,
         }
     }
 
@@ -338,6 +385,18 @@ impl SessionHandler for HttpHandler {
                     response: HttpResponse::text(Status::BadRequest, "bad request").to_bytes(),
                 }
             }
+        }
+    }
+
+    fn steal_class(&self, request: &[u8]) -> StealClass {
+        use sdrad_httpd::{parse_request, Method};
+        match parse_request(request) {
+            // Static content is published identically on every shard by
+            // the factory, so a GET answers the same bytes anywhere.
+            Ok((parsed, _consumed)) if parsed.method == Method::Get => StealClass::ReadOnly,
+            // POSTs include the vulnerable chunked decoder: keep them —
+            // and their contained faults — on the owner's books.
+            _ => StealClass::Mutation,
         }
     }
 
@@ -552,6 +611,26 @@ impl SessionHandler for TlsHandler {
         }
     }
 
+    fn steal_class(&self, request: &[u8]) -> StealClass {
+        use sdrad_tls::{ContentType, Record};
+        match Record::parse(request) {
+            // Echo and handshake-ack records are stateless.
+            Ok((record, _consumed))
+                if matches!(
+                    record.content_type,
+                    ContentType::ApplicationData | ContentType::Handshake | ContentType::Alert
+                ) =>
+            {
+                StealClass::ReadOnly
+            }
+            // Heartbeats touch the shard's counter and (baseline) its
+            // secret-bearing arena — owner-only, which also keeps every
+            // Heartbleed probe aimed at the shard whose secret it
+            // targets.
+            _ => StealClass::Mutation,
+        }
+    }
+
     fn state_bytes(&self) -> u64 {
         self.secret.len() as u64
     }
@@ -732,5 +811,63 @@ mod tests {
 
     fn iso_mode_baseline() -> WorkerIsolation {
         iso(IsolationMode::Baseline)
+    }
+
+    #[test]
+    fn kv_steal_class_separates_reads_from_mutations() {
+        let handler = KvHandler::default();
+        assert_eq!(handler.steal_class(b"get k\r\n"), StealClass::ReadOnly);
+        assert_eq!(handler.steal_class(b"stats\r\n"), StealClass::ReadOnly);
+        assert_eq!(
+            handler.steal_class(b"set k 2\r\nhi\r\n"),
+            StealClass::Mutation
+        );
+        assert_eq!(handler.steal_class(b"delete k\r\n"), StealClass::Mutation);
+        assert_eq!(
+            handler.steal_class(b"xstat 4096 4\r\nboom\r\n"),
+            StealClass::Mutation,
+            "the planted bug must fault on the owner"
+        );
+        assert_eq!(handler.steal_class(b"garbage\r\n"), StealClass::Mutation);
+    }
+
+    #[test]
+    fn http_and_tls_steal_classes() {
+        use sdrad_tls::{heartbeat_request, ContentType, Record};
+        let http = HttpHandler::new();
+        assert_eq!(
+            http.steal_class(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"),
+            StealClass::ReadOnly
+        );
+        assert_eq!(
+            http.steal_class(
+                b"POST /upload HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"
+            ),
+            StealClass::Mutation
+        );
+        let tls = TlsHandler::default();
+        let echo = Record::new(ContentType::ApplicationData, b"hi".to_vec())
+            .unwrap()
+            .to_bytes();
+        assert_eq!(tls.steal_class(&echo), StealClass::ReadOnly);
+        let heartbeat = Record::new(ContentType::Heartbeat, heartbeat_request(2, b"hb"))
+            .unwrap()
+            .to_bytes();
+        assert_eq!(tls.steal_class(&heartbeat), StealClass::Mutation);
+    }
+
+    #[test]
+    fn default_steal_class_is_the_safe_one() {
+        struct Opaque;
+        impl SessionHandler for Opaque {
+            fn handle(&mut self, _: &mut WorkerIsolation, _: ClientId, _: &[u8]) -> Reply {
+                Reply::ok(Vec::new())
+            }
+            fn state_bytes(&self) -> u64 {
+                0
+            }
+            fn restart(&mut self) {}
+        }
+        assert_eq!(Opaque.steal_class(b"anything"), StealClass::Mutation);
     }
 }

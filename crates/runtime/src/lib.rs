@@ -18,15 +18,25 @@
 //!   measurable baseline). Pump passes are bounded by a per-connection
 //!   **read budget** (fairness against noisy pipeliners), silent
 //!   connections can be **reaped** (`RuntimeConfig::idle_reap_after`),
-//!   and with [`RuntimeConfig::work_stealing`] an idle worker steals
-//!   pre-framed requests — never connections, which stay sticky for
-//!   domain affinity — off the most-loaded sibling queue;
+//!   and [`RuntimeConfig::work_stealing`] selects a [`StealPolicy`]:
+//!   [`Queue`](StealPolicy::Queue) lets an idle worker steal pre-framed
+//!   requests off the most-loaded sibling queue, and
+//!   [`Deep`](StealPolicy::Deep) additionally lifts framing-complete
+//!   requests off sibling **connection buffers** — read-only frames
+//!   (per [`SessionHandler::steal_class`]) execute on the thief,
+//!   shard-state **mutations are routed back to the owner** with
+//!   responses written in frame order, so stealing is safe for
+//!   shard-stateful handlers. Connections themselves never move: they
+//!   stay sticky for domain affinity;
 //! * [`Runtime`] — a shard-by-[`ClientId`] dispatcher with **bounded**
 //!   per-worker queues and backpressure: a saturated shard sheds
 //!   requests instead of growing without bound. [`Runtime::quiesce`]
-//!   observes the park state to drain deterministically — no
+//!   is a **generation-counted barrier**: it observes every shard's
+//!   park state and proves (via a runtime-wide signal generation
+//!   counter) that the observations were simultaneous — exact even
+//!   under concurrent producers and in-flight steals, with no
 //!   stream-looks-quiet heuristics;
-//! * [`server`] — **connection-level serving**: [`ConnectionServer`]
+//! * the server layer — **connection-level serving**: [`ConnectionServer`]
 //!   runs an accept loop over an `sdrad-net` [`Listener`], hands each
 //!   accepted connection to its sticky shard, and the shard's worker
 //!   pumps framed reads off the raw byte stream — partial reads,
@@ -54,10 +64,13 @@
 //!
 //! The experiment harnesses `e15_concurrent_throughput` (pre-framed
 //! submits), `e16_connection_serving` (full connection path, all three
-//! workloads, `sdrad-faultsim`-scheduled attacks) and
-//! `e17_event_driven` (readiness vs polling scheduling: wakeups, polls
-//! avoided, steal rate, client-observed RTT, fleet energy delta) sweep
-//! this runtime baseline vs isolated.
+//! workloads, `sdrad-faultsim`-scheduled attacks), `e17_event_driven`
+//! (readiness vs polling scheduling: wakeups, polls avoided, steal
+//! rate, client-observed RTT, fleet energy delta) and `e18_deep_steal`
+//! (queue-only vs connection-buffer stealing under a hot-shard skew:
+//! steal depth, owner-routed mutation rate, stranded stalls, fleet
+//! energy of stranded capacity) sweep this runtime baseline vs
+//! isolated.
 //!
 //! ## Example
 //!
@@ -112,11 +125,12 @@ mod stats;
 mod wake;
 mod worker;
 
-pub use handler::{Framing, HttpHandler, KvHandler, Reply, SessionHandler, TlsHandler};
+pub use handler::{Framing, HttpHandler, KvHandler, Reply, SessionHandler, StealClass, TlsHandler};
 pub use histogram::LatencyHistogram;
 pub use isolation::{IsolationMode, WorkerIsolation};
 pub use queue::{Completion, Disposition, Request, ShardQueue, Ticket, WorkBatch};
-pub use runtime::{Dispatcher, Runtime, RuntimeConfig, Scheduling, SubmitOutcome};
+pub use runtime::{Dispatcher, Runtime, RuntimeConfig, Scheduling, StealPolicy, SubmitOutcome};
 pub use server::ConnectionServer;
 pub use stats::{fleet_lineup_from_runs, RuntimeStats};
+pub use wake::WakeSet;
 pub use worker::{Worker, WorkerStats};

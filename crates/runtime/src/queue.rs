@@ -47,6 +47,13 @@ pub struct Request {
     /// When the request entered the runtime (latency measurements count
     /// queue wait from this instant).
     pub accepted_at: Instant,
+    /// Present when this is an **owner-routed mutation**: a frame a
+    /// work-stealing sibling lifted off a connection buffer and routed
+    /// back to the owner shard because it mutates shard state. The
+    /// serving owner writes the response to the connection (in frame
+    /// order, via the tray) instead of completing a ticket. Never
+    /// stealable.
+    pub(crate) routed: Option<crate::server::RoutedFrame>,
 }
 
 impl Request {
@@ -58,7 +65,29 @@ impl Request {
             payload,
             ticket,
             accepted_at: Instant::now(),
+            routed: None,
         }
+    }
+
+    /// An owner-routed mutation frame (see [`Request::routed`]).
+    pub(crate) fn owner_routed(
+        client: ClientId,
+        payload: Vec<u8>,
+        frame: crate::server::RoutedFrame,
+    ) -> Self {
+        Request {
+            client,
+            payload,
+            ticket: None,
+            accepted_at: Instant::now(),
+            routed: Some(frame),
+        }
+    }
+
+    /// Whether this is an owner-routed mutation frame.
+    #[must_use]
+    pub(crate) fn is_routed(&self) -> bool {
+        self.routed.is_some()
     }
 }
 
@@ -175,6 +204,7 @@ pub struct ShardQueue {
     shed: AtomicU64,
     submitted: AtomicU64,
     stolen: AtomicU64,
+    routed: AtomicU64,
     shed_latency: Mutex<LatencyHistogram>,
     /// The shard's wake set, bound once at runtime start under
     /// event-driven scheduling; empty under polling.
@@ -201,6 +231,7 @@ impl ShardQueue {
             shed: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
+            routed: AtomicU64::new(0),
             shed_latency: Mutex::new(LatencyHistogram::new()),
             wakes: OnceLock::new(),
             steal_bells: OnceLock::new(),
@@ -278,13 +309,43 @@ impl ShardQueue {
     /// tail-latency rescue, not LIFO cache-friendliness. The count is
     /// recorded in [`stolen`](Self::stolen) for reconciliation.
     pub fn steal(&self, max: usize) -> Vec<Request> {
+        self.steal_where(max, |_| true)
+    }
+
+    /// [`steal`](Self::steal) with a predicate: only requests for which
+    /// `stealable` holds are lifted; the rest keep their queue positions
+    /// for the owner. This is how a classification-aware thief takes
+    /// read-only work while leaving shard-state **mutations** on the
+    /// shard that owns the state. Owner-routed frames are never
+    /// stealable regardless of the predicate (their response path is
+    /// pinned to the owner's connection tray).
+    ///
+    /// The scan is bounded to a small window at the head of the queue
+    /// (stealing is a tail-latency rescue of the *oldest* work): the
+    /// predicate runs under the queue lock, and walking a thousand-deep
+    /// backlog of unstealable mutations on every steal hint would
+    /// starve the owner's own drain of its lock far longer than the
+    /// steal could ever win back.
+    pub fn steal_where(&self, max: usize, stealable: impl Fn(&Request) -> bool) -> Vec<Request> {
         let mut state = self.state.lock().expect("queue lock");
         let backlog = state.items.len();
         if backlog == 0 {
             return Vec::new();
         }
-        let take = backlog.div_ceil(2).min(max.max(1));
-        let batch: Vec<Request> = state.items.drain(..take).collect();
+        let quota = backlog.div_ceil(2).min(max.max(1));
+        let scan_cap = quota.saturating_mul(4).max(32);
+        let mut batch = Vec::new();
+        let mut index = 0;
+        let mut scanned = 0;
+        while index < state.items.len() && batch.len() < quota && scanned < scan_cap {
+            scanned += 1;
+            if !state.items[index].is_routed() && stealable(&state.items[index]) {
+                let request = state.items.remove(index).expect("index bounded");
+                batch.push(request);
+            } else {
+                index += 1;
+            }
+        }
         drop(state);
         self.stolen.fetch_add(batch.len() as u64, Ordering::Relaxed);
         batch
@@ -294,6 +355,36 @@ impl ShardQueue {
     #[must_use]
     pub fn stolen(&self) -> u64 {
         self.stolen.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues an **owner-routed mutation** a thief lifted off one of
+    /// this shard's connection buffers. Unlike [`try_push`] this is
+    /// exempt from the capacity bound — the bytes were already accepted
+    /// on a connection, so shedding here would un-accept admitted work —
+    /// but it still refuses once the queue is stopped (the caller then
+    /// leaves the frame staged for the owner's shutdown drain, which
+    /// serves every staged byte). Counted in [`routed`](Self::routed),
+    /// not in [`submitted`](Self::submitted): routed frames are
+    /// connection work, not external submits.
+    ///
+    /// [`try_push`]: Self::try_push
+    pub(crate) fn push_routed(&self, request: Request) -> Result<(), Request> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.stopped {
+            return Err(request);
+        }
+        state.items.push_back(request);
+        self.routed.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        self.available.notify_one();
+        self.signal_wakeset();
+        Ok(())
+    }
+
+    /// Owner-routed mutation frames accepted by this queue.
+    #[must_use]
+    pub fn routed(&self) -> u64 {
+        self.routed.load(Ordering::Relaxed)
     }
 
     /// Waits for work: returns when requests are available, the queue is

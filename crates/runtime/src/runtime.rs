@@ -13,7 +13,7 @@ use crate::handler::SessionHandler;
 use crate::histogram::LatencyHistogram;
 use crate::isolation::{IsolationMode, WorkerIsolation};
 use crate::queue::{Request, ShardQueue, Ticket};
-use crate::server::{ConnInbox, Connection};
+use crate::server::{ConnInbox, ConnRegistry, Connection};
 use crate::stats::RuntimeStats;
 use crate::wake::WakeSet;
 use crate::worker::Worker;
@@ -32,6 +32,48 @@ pub enum Scheduling {
     /// measurable baseline — `e17_event_driven` prices exactly this
     /// waste.
     Polling,
+}
+
+/// Whether — and how deep — an idle worker steals work from loaded
+/// siblings ([`RuntimeConfig::work_stealing`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealPolicy {
+    /// No stealing (the default): every request runs on its client's
+    /// sticky shard. The safe choice for any workload.
+    #[default]
+    Disabled,
+    /// Queue-only stealing: an idle worker takes up to half the
+    /// most-loaded sibling queue's pre-framed requests and executes
+    /// them against its *own* shard state, classification-blind.
+    /// Connections never move. Only sound for workloads whose
+    /// queue-path requests are shard-agnostic (uniform or stateless
+    /// mixes, load generation) — a stolen mutation lands on the wrong
+    /// shard's state ([`WorkerStats::thief_mutations`] counts exactly
+    /// that hazard).
+    ///
+    /// [`WorkerStats::thief_mutations`]: crate::WorkerStats::thief_mutations
+    Queue,
+    /// The deep policy: queue stealing **plus** framing-complete
+    /// requests lifted directly off sibling *connection buffers*
+    /// (through each connection's shared tray; the endpoint — readiness
+    /// callbacks, lifecycle, stats — never moves), made safe for
+    /// shard-stateful handlers by classification
+    /// ([`SessionHandler::steal_class`]): read-only requests execute on
+    /// the thief, **mutations are routed back to the owner shard** as
+    /// owner-routed submissions whose responses are written to the
+    /// connection in frame order. Queue steals are classification-
+    /// filtered too, so state never mutates off its owner shard.
+    ///
+    /// [`SessionHandler::steal_class`]: crate::SessionHandler::steal_class
+    Deep,
+}
+
+impl StealPolicy {
+    /// Whether any stealing happens under this policy.
+    #[must_use]
+    pub fn is_enabled(self) -> bool {
+        self != StealPolicy::Disabled
+    }
 }
 
 /// Configuration of one runtime instance.
@@ -58,13 +100,14 @@ pub struct RuntimeConfig {
     /// worker moves on — one noisy pipelining client cannot monopolise
     /// a worker.
     pub conn_read_budget: usize,
-    /// Whether an idle worker steals pre-framed requests from the
-    /// most-loaded sibling queue. Connections never move (they stay
-    /// sticky for domain affinity); only queue items do. Off by
-    /// default: stolen requests run against the thief's shard state, so
-    /// enable it for workloads whose queue-path requests are
-    /// shard-agnostic (uniform or stateless mixes, load generation).
-    pub work_stealing: bool,
+    /// Whether — and how deep — an idle worker steals work from loaded
+    /// siblings. Connections always stay sticky to their owner shard
+    /// (domain affinity); what moves depends on the policy: nothing
+    /// ([`StealPolicy::Disabled`], the default), pre-framed queue items
+    /// ([`StealPolicy::Queue`]), or queue items plus framing-complete
+    /// requests off sibling connection buffers with owner-routed
+    /// mutations ([`StealPolicy::Deep`]).
+    pub work_stealing: StealPolicy,
     /// Close connections that made no progress for this many pump
     /// passes (`None` disables the reaper). Passes advance once per
     /// wake/poll tick, so a fully idle event-driven runtime — which by
@@ -86,7 +129,7 @@ impl RuntimeConfig {
             restart: RestartModel::process_restart(),
             scheduling: Scheduling::EventDriven,
             conn_read_budget: 32,
-            work_stealing: false,
+            work_stealing: StealPolicy::Disabled,
             idle_reap_after: None,
         }
     }
@@ -130,6 +173,10 @@ impl SubmitOutcome {
 pub struct Dispatcher {
     queues: Vec<Arc<ShardQueue>>,
     inboxes: Vec<Arc<ConnInbox>>,
+    /// Per-shard live-connection trays, published for deep-steal
+    /// siblings (and the source of the `conn_stolen` reconciliation
+    /// counter).
+    registries: Vec<Arc<ConnRegistry>>,
     /// Connections handled by [`attach`](Self::attach) so far (admitted
     /// to a shard *or* visibly refused) — the handshake
     /// [`Runtime::quiesce`] uses to know the accept pipeline is empty.
@@ -158,7 +205,12 @@ impl Dispatcher {
             self.attached.fetch_add(1, Ordering::SeqCst);
             return;
         }
-        self.inboxes[shard].push(Connection::new(client, endpoint));
+        let conn = Connection::new(client, endpoint);
+        // Published before the inbox push: a deep-steal thief may start
+        // draining the tray even before the owner adopts the
+        // connection (the kick below guarantees adoption regardless).
+        self.registries[shard].register(Arc::clone(&conn.tray));
+        self.inboxes[shard].push(conn);
         self.queues[shard].kick();
         self.attached.fetch_add(1, Ordering::SeqCst);
     }
@@ -198,6 +250,10 @@ pub struct Runtime {
     dispatcher: Dispatcher,
     wakesets: Vec<Arc<WakeSet>>,
     scheduling: Scheduling,
+    /// Runtime-wide activity counter, bumped on every wake signal — the
+    /// quiesce barrier's evidence that its shard-by-shard idle
+    /// observations were simultaneous.
+    generation: Arc<AtomicU64>,
     handles: Vec<JoinHandle<crate::worker::WorkerStats>>,
     started: Instant,
 }
@@ -220,14 +276,21 @@ impl Runtime {
         let inboxes: Vec<Arc<ConnInbox>> = (0..workers)
             .map(|_| Arc::new(ConnInbox::default()))
             .collect();
+        let registries: Vec<Arc<ConnRegistry>> = (0..workers)
+            .map(|_| Arc::new(ConnRegistry::default()))
+            .collect();
         let wakesets: Vec<Arc<WakeSet>> = (0..workers).map(|_| Arc::new(WakeSet::new())).collect();
+        let generation = Arc::new(AtomicU64::new(0));
         // Wire every wake source *before* any work can arrive: the
         // queue signals its own shard's set; with stealing on, it also
-        // rings sibling bells once its backlog reaches one batch.
+        // rings sibling bells once its backlog reaches one batch; and
+        // every set bumps the runtime-wide generation the quiesce
+        // barrier reads.
         if config.scheduling == Scheduling::EventDriven {
             for (index, queue) in queues.iter().enumerate() {
+                wakesets[index].bind_generation(Arc::clone(&generation));
                 queue.bind_wakeset(Arc::clone(&wakesets[index]));
-                if config.work_stealing && workers > 1 {
+                if config.work_stealing.is_enabled() && workers > 1 {
                     let bells: Vec<Arc<WakeSet>> = (0..workers)
                         .filter(|&peer| peer != index)
                         .map(|peer| Arc::clone(&wakesets[peer]))
@@ -241,8 +304,23 @@ impl Runtime {
                 let queue = Arc::clone(&queues[index]);
                 let inbox = Arc::clone(&inboxes[index]);
                 let wakes = Arc::clone(&wakesets[index]);
-                let peers: Vec<Arc<ShardQueue>> = if config.work_stealing {
+                let registry = Arc::clone(&registries[index]);
+                let peers: Vec<Arc<ShardQueue>> = if config.work_stealing.is_enabled() {
                     queues.iter().map(Arc::clone).collect()
+                } else {
+                    Vec::new()
+                };
+                let peer_registries: Vec<Arc<ConnRegistry>> =
+                    if config.work_stealing == StealPolicy::Deep {
+                        registries.iter().map(Arc::clone).collect()
+                    } else {
+                        Vec::new()
+                    };
+                let peer_wakes: Vec<Arc<WakeSet>> = if config.work_stealing.is_enabled() {
+                    (0..workers)
+                        .filter(|&peer| peer != index)
+                        .map(|peer| Arc::clone(&wakesets[peer]))
+                        .collect()
                 } else {
                     Vec::new()
                 };
@@ -260,7 +338,10 @@ impl Runtime {
                             queue,
                             inbox,
                             wakes,
+                            registry,
                             peers,
+                            peer_registries,
+                            peer_wakes,
                         };
                         Worker::new(index, channels, iso, handler, &config).run()
                     })
@@ -271,10 +352,12 @@ impl Runtime {
             dispatcher: Dispatcher {
                 queues,
                 inboxes,
+                registries,
                 attached: Arc::new(AtomicU64::new(0)),
             },
             wakesets,
             scheduling: config.scheduling,
+            generation,
             handles,
             started: Instant::now(),
         }
@@ -293,13 +376,27 @@ impl Runtime {
         self.dispatcher.attached.load(Ordering::SeqCst)
     }
 
-    /// Blocks until every shard has been observed **quiescent**: its
-    /// worker parked on the wake set with an empty queue, an empty
-    /// connection inbox and no pending readiness signals. At that
-    /// point, every connection byte written before the call has been
-    /// fully served. (Queue submits have their own completion signal —
-    /// the ticket; with stealing enabled a stolen request may still be
-    /// completing on an already-checked thief.)
+    /// Blocks until the runtime has been observed **quiescent** — a
+    /// generation-counted barrier, exact under concurrent producers and
+    /// in-flight steals:
+    ///
+    /// 1. snapshot the runtime-wide generation counter (bumped by every
+    ///    wake signal anywhere: queue pushes, readiness edges, steal
+    ///    hints, owner-routed submissions);
+    /// 2. observe every shard idle — worker parked on its wake set with
+    ///    an empty queue, an empty connection inbox and no pending
+    ///    readiness signals;
+    /// 3. re-read the generation. Unchanged means **no work was created
+    ///    anywhere** while the shards were being walked, so the
+    ///    per-shard idle observations were simultaneous, not merely
+    ///    sequential — without this, a shard checked early could be
+    ///    re-busied by a sibling (a stolen request completing as an
+    ///    owner-routed submission, a steal bell) behind the walker's
+    ///    back. Changed means retry.
+    ///
+    /// On success, every connection byte written before the call has
+    /// been fully served and every cross-shard hand-off (steal or
+    /// routed mutation) in flight at the time has landed.
     ///
     /// Only meaningful under [`Scheduling::EventDriven`] (polling
     /// workers have no observable park state) — returns `false`
@@ -308,12 +405,32 @@ impl Runtime {
         if self.scheduling != Scheduling::EventDriven {
             return false;
         }
+        // Each shard observation keeps the same per-shard failsafe the
+        // one-by-one walk had; the whole barrier (walks plus generation
+        // retries) gets a proportionally larger overall deadline so a
+        // long-but-progressing drain is not misreported as wedged.
         const FAILSAFE: Duration = Duration::from_secs(5);
-        self.wakesets.iter().enumerate().all(|(shard, wakes)| {
-            let queue = &self.dispatcher.queues[shard];
-            let inbox = &self.dispatcher.inboxes[shard];
-            wakes.wait_idle(|| queue.is_empty() && inbox.is_empty(), FAILSAFE)
-        })
+        let workers = u32::try_from(self.wakesets.len()).unwrap_or(u32::MAX);
+        let deadline = Instant::now() + FAILSAFE.saturating_mul(workers.saturating_add(1));
+        loop {
+            let before = self.generation.load(Ordering::SeqCst);
+            let all_idle = self.wakesets.iter().enumerate().all(|(shard, wakes)| {
+                let queue = &self.dispatcher.queues[shard];
+                let inbox = &self.dispatcher.inboxes[shard];
+                let budget = FAILSAFE.min(deadline.saturating_duration_since(Instant::now()));
+                wakes.wait_idle(|| queue.is_empty() && inbox.is_empty(), budget)
+            });
+            if !all_idle {
+                return false; // failsafe fired mid-walk
+            }
+            if self.generation.load(Ordering::SeqCst) == before {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            // Something moved during the walk: observe again.
+        }
     }
 
     /// Number of shards/workers.
@@ -383,6 +500,13 @@ impl Runtime {
         }
         let submitted = self.dispatcher.queues.iter().map(|q| q.submitted()).sum();
         let stolen_submits = self.dispatcher.queues.iter().map(|q| q.stolen()).sum();
+        let routed_submits = self.dispatcher.queues.iter().map(|q| q.routed()).sum();
+        let conn_stolen = self
+            .dispatcher
+            .registries
+            .iter()
+            .map(|r| r.stolen_frames())
+            .sum();
         let mut shed_latency = LatencyHistogram::new();
         for queue in &self.dispatcher.queues {
             shed_latency.merge(&queue.shed_latency());
@@ -395,6 +519,8 @@ impl Runtime {
             workers,
             submitted,
             stolen_submits,
+            routed_submits,
+            conn_stolen,
             shed_latency,
             wall: self.started.elapsed(),
         }

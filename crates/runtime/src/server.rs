@@ -23,26 +23,47 @@
 //! arrived before exiting, so a client that wrote its requests before
 //! [`ConnectionServer::shutdown`] always gets its responses.
 //!
+//! ## Connection trays and deep stealing
+//!
+//! Since the deep steal policy ([`StealPolicy::Deep`]), a connection's
+//! staging buffer — bytes received but not yet served — lives in a
+//! shared, lockable [`ConnTray`] rather than worker-private state, and
+//! every shard publishes its live trays in a [`ConnRegistry`] siblings
+//! can scan. An idle thief locks a tray, drains the endpoint's pending
+//! bytes through its [`StreamHandle`] (the endpoint itself — readiness
+//! callbacks, lifecycle, stats — never moves), frames complete requests
+//! off the head, serves read-only ones itself and routes mutations back
+//! to the owner shard as [`RoutedFrame`] queue submissions. Response
+//! order is preserved by construction: all serving of one connection
+//! happens under its tray lock, and a routed mutation gates the tray
+//! (`routed_inflight`) until the owner has written its response.
+//!
 //! [`Runtime::submit`]: crate::Runtime::submit
+//! [`StealPolicy::Deep`]: crate::StealPolicy::Deep
+//! [`StreamHandle`]: sdrad_net::StreamHandle
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 use sdrad::ClientId;
-use sdrad_net::{Endpoint, Listener};
+use sdrad_net::{Endpoint, Listener, StreamHandle};
 
 use crate::handler::SessionHandler;
 use crate::runtime::{Runtime, RuntimeConfig};
 use crate::stats::RuntimeStats;
+use crate::wake::WakeSet;
 
 /// One accepted connection owned by a worker: the server-side endpoint
-/// plus the bytes received so far that do not yet form a complete
-/// request.
+/// plus the shared [`ConnTray`] holding the bytes received so far that
+/// have not yet been served.
 #[derive(Debug)]
 pub(crate) struct Connection {
     pub(crate) client: ClientId,
     pub(crate) endpoint: Endpoint,
-    pub(crate) buffer: Vec<u8>,
+    /// The shared staging buffer; also registered in the shard's
+    /// [`ConnRegistry`] so deep-steal siblings can reach it.
+    pub(crate) tray: Arc<ConnTray>,
     /// Pump pass (worker-local counter) in which this connection last
     /// made progress — the idle-reaper's clock.
     pub(crate) last_progress_pass: u64,
@@ -50,13 +71,149 @@ pub(crate) struct Connection {
 
 impl Connection {
     pub(crate) fn new(client: ClientId, endpoint: Endpoint) -> Self {
+        let tray = Arc::new(ConnTray {
+            client,
+            stream: endpoint.stream_handle(),
+            state: Mutex::new(TrayState::default()),
+        });
         Connection {
             client,
             endpoint,
-            buffer: Vec::new(),
+            tray,
             last_progress_pass: 0,
         }
     }
+}
+
+/// The lockable inside of a [`ConnTray`].
+#[derive(Debug, Default)]
+pub(crate) struct TrayState {
+    /// Bytes received (off the endpoint) but not yet served. The head
+    /// is always a frame boundary.
+    pub(crate) staged: Vec<u8>,
+    /// Frames lifted off this buffer whose responses are not yet
+    /// written: owner-routed mutations queued on the owner, plus
+    /// read-only runs a thief extracted and is serving lock-free.
+    /// While non-zero, **nobody** serves further frames from this
+    /// connection — that is what keeps pipelined responses in order.
+    pub(crate) routed_inflight: u32,
+    /// Set when the owner retires the connection; thieves skip it.
+    pub(crate) retired: bool,
+    /// Set by a thief that served frames, consumed by the owner's
+    /// idle-reaper so rescued connections do not read as idle.
+    pub(crate) thief_progress: bool,
+    /// The owning worker's wake set and connection token, bound at
+    /// adoption — how a thief (or a routed completion) re-wakes the
+    /// owner when it leaves actionable bytes behind.
+    owner: Option<(Arc<WakeSet>, usize)>,
+}
+
+/// A connection's shared staging buffer: the *framed-but-unserved*
+/// window of its byte stream, exposed so a work-stealing sibling can
+/// drain completed frames without taking over the endpoint. All serving
+/// of one connection is serialised by this tray's lock (owner and thief
+/// alike), so responses keep frame order.
+#[derive(Debug)]
+pub(crate) struct ConnTray {
+    client: ClientId,
+    /// Thread-safe byte-stream access (drain pending, write responses);
+    /// the endpoint itself stays with the owner.
+    stream: StreamHandle,
+    state: Mutex<TrayState>,
+}
+
+impl ConnTray {
+    pub(crate) fn client(&self) -> ClientId {
+        self.client
+    }
+
+    pub(crate) fn stream(&self) -> &StreamHandle {
+        &self.stream
+    }
+
+    /// Blocking lock — the owner's pump path (a thief holds the lock
+    /// only for microsecond-scale serve bursts).
+    pub(crate) fn lock(&self) -> MutexGuard<'_, TrayState> {
+        self.state.lock().expect("tray lock")
+    }
+
+    /// Non-blocking lock — the thief's path: if the owner (or another
+    /// thief) is mid-serve, stealing from this connection is pointless.
+    pub(crate) fn try_lock(&self) -> Option<MutexGuard<'_, TrayState>> {
+        self.state.try_lock().ok()
+    }
+
+    /// Records which worker owns this connection (wake set + token).
+    pub(crate) fn bind_owner(&self, wakes: Arc<WakeSet>, token: usize) {
+        self.lock().owner = Some((wakes, token));
+    }
+
+    /// Wakes the owning worker to look at this connection again — used
+    /// by thieves that staged bytes they did not serve, and by routed
+    /// completions to reopen the gate. A no-op before adoption (the
+    /// adoption kick is still pending then).
+    pub(crate) fn wake_owner(&self) {
+        let owner = self.lock().owner.clone();
+        if let Some((wakes, token)) = owner {
+            wakes.mark_conn(token);
+        }
+    }
+
+    /// Bytes currently staged (received but unserved) — a load
+    /// heuristic for victim ranking. Non-blocking: reports 0 while the
+    /// tray is being worked, which is fine (a worked tray is not
+    /// stranded).
+    pub(crate) fn staged_len(&self) -> usize {
+        self.try_lock().map_or(0, |st| st.staged.len())
+    }
+}
+
+/// One shard's live connection trays, published for deep-steal
+/// siblings, plus the shard-side count of frames thieves lifted (the
+/// reconciliation counterpart of [`WorkerStats::conn_steals`]).
+///
+/// [`WorkerStats::conn_steals`]: crate::WorkerStats::conn_steals
+#[derive(Debug, Default)]
+pub(crate) struct ConnRegistry {
+    trays: Mutex<Vec<Arc<ConnTray>>>,
+    stolen_frames: AtomicU64,
+}
+
+impl ConnRegistry {
+    pub(crate) fn register(&self, tray: Arc<ConnTray>) {
+        self.trays.lock().expect("registry lock").push(tray);
+    }
+
+    pub(crate) fn deregister(&self, tray: &Arc<ConnTray>) {
+        self.trays
+            .lock()
+            .expect("registry lock")
+            .retain(|t| !Arc::ptr_eq(t, tray));
+    }
+
+    /// Snapshot of the live trays (cheap Arc clones).
+    pub(crate) fn snapshot(&self) -> Vec<Arc<ConnTray>> {
+        self.trays.lock().expect("registry lock").clone()
+    }
+
+    /// Counts `n` frames lifted off this shard's connection buffers.
+    pub(crate) fn note_stolen(&self, n: u64) {
+        self.stolen_frames.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Frames lifted off this shard's connection buffers by thieves.
+    pub(crate) fn stolen_frames(&self) -> u64 {
+        self.stolen_frames.load(Ordering::Relaxed)
+    }
+}
+
+/// The response path of an owner-routed mutation: the tray whose gate
+/// it holds. The serving owner writes the reply through the tray's
+/// stream (under the tray lock, preserving frame order), releases the
+/// gate and re-wakes itself to continue the connection.
+#[derive(Debug)]
+pub(crate) struct RoutedFrame {
+    pub(crate) tray: Arc<ConnTray>,
 }
 
 /// Hand-off slot for connections newly assigned to a shard. The acceptor

@@ -21,6 +21,15 @@ pub struct RuntimeStats {
     /// own count — reconciled against the thieves'
     /// [`WorkerStats::steals`]).
     pub stolen_submits: u64,
+    /// Owner-routed mutation frames accepted by shard queues (the
+    /// queues' own count — reconciled against both the thieves'
+    /// [`WorkerStats::owner_routed`] and the owners'
+    /// [`WorkerStats::routed_served`]).
+    pub routed_submits: u64,
+    /// Framing-complete requests lifted off connection buffers by
+    /// sibling workers (the shard registries' own count — reconciled
+    /// against the thieves' [`WorkerStats::conn_steals`]).
+    pub conn_stolen: u64,
     /// Time-to-shed histogram across all shards (how fast the fast-fail
     /// rejection path answers — the p99 a shed client experiences).
     pub shed_latency: LatencyHistogram,
@@ -104,6 +113,42 @@ impl RuntimeStats {
     #[must_use]
     pub fn steals(&self) -> u64 {
         self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Framing-complete requests lifted off connection buffers and
+    /// served by thieves ([`StealPolicy::Deep`](crate::StealPolicy)).
+    #[must_use]
+    pub fn conn_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.conn_steals).sum()
+    }
+
+    /// Mutation frames thieves routed back to their owner shard.
+    #[must_use]
+    pub fn owner_routed(&self) -> u64 {
+        self.workers.iter().map(|w| w.owner_routed).sum()
+    }
+
+    /// Owner-routed mutation frames served by their owner shard.
+    #[must_use]
+    pub fn routed_served(&self) -> u64 {
+        self.workers.iter().map(|w| w.routed_served).sum()
+    }
+
+    /// Stolen shard-state mutations executed on a thief — the
+    /// state-confinement violations classification-blind stealing
+    /// risks; always zero under
+    /// [`StealPolicy::Deep`](crate::StealPolicy).
+    #[must_use]
+    pub fn thief_mutations(&self) -> u64 {
+        self.workers.iter().map(|w| w.thief_mutations).sum()
+    }
+
+    /// Stranded-request stalls across all workers: budget deferrals
+    /// that left framing-complete requests waiting in a connection
+    /// buffer while at least one sibling sat parked.
+    #[must_use]
+    pub fn stranded_stalls(&self) -> u64 {
+        self.workers.iter().map(|w| w.stranded_stalls).sum()
     }
 
     /// Idle connections reaped across all workers.
@@ -190,6 +235,17 @@ impl RuntimeStats {
             // request can outnumber the queue-path total.
             && self.steals() == self.stolen_submits
             && self.steals() <= self.served().saturating_sub(self.conn_served())
+            // Connection-buffer steals balance between the shard
+            // registries' books and the thieves'.
+            && self.conn_steals() == self.conn_stolen
+            // Owner-routed mutations are conserved three ways: every
+            // frame a thief routed was accepted by exactly one owner
+            // queue and served by exactly one owner — a lost or
+            // double-served routed frame breaks one of the equalities.
+            && self.owner_routed() == self.routed_submits
+            && self.routed_served() == self.routed_submits
+            // Every conn-stolen or routed frame is connection work.
+            && self.conn_steals() + self.routed_served() <= self.conn_served()
     }
 
     /// Raw throughput: completed requests over the wall clock.
@@ -318,6 +374,8 @@ mod tests {
             shed: 0,
             submitted,
             stolen_submits: 0,
+            routed_submits: 0,
+            conn_stolen: 0,
             shed_latency: LatencyHistogram::new(),
             wall: Duration::from_secs(2),
         }
@@ -386,6 +444,39 @@ mod tests {
         let mut queue_view = stats(vec![worker(10, 0, 0)]);
         queue_view.stolen_submits = 1;
         assert!(!queue_view.reconciles());
+    }
+
+    #[test]
+    fn reconciliation_covers_conn_steals_and_owner_routing() {
+        // Balanced: the registries saw 3 frames lifted, the thief
+        // served 3; the thief routed 2 mutations, the owner's queue
+        // accepted 2 and the owner served 2 — all as connection work.
+        let mut thief = worker(10, 0, 0);
+        thief.conn_steals = 3;
+        thief.owner_routed = 2;
+        thief.conn_served = 3;
+        let mut owner = worker(10, 0, 0);
+        owner.routed_served = 2;
+        owner.conn_served = 2;
+        let mut balanced = stats(vec![thief, owner]);
+        balanced.submitted = 15;
+        balanced.conn_stolen = 3;
+        balanced.routed_submits = 2;
+        assert!(balanced.reconciles());
+        assert_eq!(balanced.conn_steals(), 3);
+        assert_eq!(balanced.owner_routed(), 2);
+        assert_eq!(balanced.routed_served(), 2);
+
+        // A routed frame the owner never served is drift.
+        let mut lost = balanced.clone();
+        lost.workers[1].routed_served = 1;
+        lost.workers[1].conn_served = 1;
+        assert!(!lost.reconciles());
+
+        // A conn steal the registries never booked is drift too.
+        let mut phantom = balanced.clone();
+        phantom.conn_stolen = 2;
+        assert!(!phantom.reconciles());
     }
 
     #[test]

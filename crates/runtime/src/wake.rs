@@ -21,10 +21,24 @@
 //! what makes connection drains deterministic instead of "sleep until
 //! the stream looks quiet".
 //!
+//! ## The generation counter
+//!
+//! Observing shards one by one is not enough once work can *move
+//! between* shards: a shard observed idle can be re-busied by a sibling
+//! (an owner-routed mutation, a steal hint) while later shards are
+//! still being checked. Every wake set can therefore be bound to a
+//! runtime-wide **generation counter** bumped on *every* signal; the
+//! quiesce barrier snapshots it, observes every shard idle, and
+//! re-reads it — an unchanged generation proves no work was created
+//! anywhere during the whole observation window, so the idle
+//! observations were simultaneous, not merely sequential. See
+//! [`Runtime::quiesce`].
+//!
 //! [`Runtime::quiesce`]: crate::Runtime::quiesce
 
 use std::collections::BTreeSet;
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Everything one [`WakeSet::wait`] return delivers to the worker.
@@ -71,11 +85,24 @@ impl WakeState {
     }
 }
 
-/// One shard's condvar-backed signal register (see module docs).
+/// One shard's condvar-backed signal register: the unified wake source
+/// behind [`Scheduling::EventDriven`](crate::Scheduling::EventDriven).
+///
+/// Workers park on their shard's set; queue pushes, connection
+/// readiness callbacks and sibling steal hints wake them. The public
+/// surface is observational — [`parks`](Self::parks),
+/// [`wakeups`](Self::wakeups), [`is_parked`](Self::is_parked) — the
+/// counters [`WorkerStats`](crate::WorkerStats) snapshots and the park
+/// state [`Runtime::quiesce`](crate::Runtime::quiesce) observes; only
+/// the runtime itself posts signals.
 #[derive(Debug, Default)]
-pub(crate) struct WakeSet {
+pub struct WakeSet {
     state: Mutex<WakeState>,
     cv: Condvar,
+    /// Runtime-wide generation counter, bumped on every signal once
+    /// bound — the quiesce barrier's proof that nothing happened while
+    /// shards were being observed.
+    generation: OnceLock<Arc<AtomicU64>>,
 }
 
 impl WakeSet {
@@ -83,10 +110,25 @@ impl WakeSet {
         Self::default()
     }
 
+    /// Binds the runtime-wide generation counter this set bumps on
+    /// every signal. Called once, before the runtime starts accepting.
+    pub(crate) fn bind_generation(&self, generation: Arc<AtomicU64>) {
+        assert!(
+            self.generation.set(generation).is_ok(),
+            "generation bound once"
+        );
+    }
+
     fn signal(&self, set: impl FnOnce(&mut WakeState)) {
         let mut state = self.state.lock().expect("wakeset lock");
         set(&mut state);
         drop(state);
+        // The bump is ordered after the state change and before the
+        // notify: a quiescer that re-reads an unchanged generation has
+        // proof that no signal landed during its observation window.
+        if let Some(generation) = self.generation.get() {
+            generation.fetch_add(1, Ordering::SeqCst);
+        }
         // notify_all: the worker *and* any quiescer share the condvar.
         self.cv.notify_all();
     }
@@ -141,13 +183,26 @@ impl WakeSet {
     }
 
     /// Times the worker actually blocked (parked with nothing pending).
-    pub(crate) fn parks(&self) -> u64 {
+    #[must_use]
+    pub fn parks(&self) -> u64 {
         self.state.lock().expect("wakeset lock").parks
     }
 
     /// Times a parked worker was woken by a signal.
-    pub(crate) fn wakeups(&self) -> u64 {
+    #[must_use]
+    pub fn wakeups(&self) -> u64 {
         self.state.lock().expect("wakeset lock").wakeups
+    }
+
+    /// Whether the worker is currently parked with nothing pending —
+    /// the instantaneous idleness a stall counter or steal heuristic
+    /// reads. Racy by nature (the worker may wake the next instant);
+    /// exact quiescence requires the generation-counted barrier of
+    /// [`Runtime::quiesce`](crate::Runtime::quiesce).
+    #[must_use]
+    pub fn is_parked(&self) -> bool {
+        let state = self.state.lock().expect("wakeset lock");
+        state.parked && !state.pending()
     }
 
     /// Blocks until the worker is parked with no pending signals **and**
@@ -240,6 +295,35 @@ mod tests {
         );
         wakes.stop();
         assert!(worker.join().unwrap().stopped);
+    }
+
+    #[test]
+    fn every_signal_bumps_the_bound_generation() {
+        use std::sync::atomic::AtomicU64;
+        let wakes = WakeSet::new();
+        let generation = Arc::new(AtomicU64::new(0));
+        wakes.bind_generation(Arc::clone(&generation));
+        wakes.signal_queue();
+        wakes.mark_conn(1);
+        wakes.hint_steal();
+        wakes.stop();
+        assert_eq!(generation.load(Ordering::SeqCst), 4);
+        let _ = wakes.wait(); // consuming signals is not activity
+        assert_eq!(generation.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn is_parked_tracks_the_park_transition() {
+        let wakes = Arc::new(WakeSet::new());
+        assert!(!wakes.is_parked(), "never waited yet");
+        let remote = Arc::clone(&wakes);
+        let worker = std::thread::spawn(move || remote.wait());
+        while !wakes.is_parked() {
+            std::thread::yield_now();
+        }
+        wakes.signal_queue();
+        worker.join().unwrap();
+        assert!(!wakes.is_parked(), "woken worker is no longer parked");
     }
 
     #[test]

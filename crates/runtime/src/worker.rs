@@ -28,26 +28,43 @@
 //! Either way, each pump pass is bounded by the per-connection **read
 //! budget** (`RuntimeConfig::conn_read_budget`): one noisy pipelining
 //! client gets at most that many framed requests served per rotation
-//! before the worker moves to the next ready connection. When work
-//! stealing is enabled, an otherwise-idle worker takes pre-framed
-//! requests (never connections, which stay sticky for domain affinity)
-//! off the most-loaded sibling queue.
+//! before the worker moves to the next ready connection.
+//!
+//! ## Work stealing
+//!
+//! With [`StealPolicy::Queue`] an otherwise-idle worker takes
+//! pre-framed requests (never connections, which stay sticky for domain
+//! affinity) off the most-loaded sibling queue. [`StealPolicy::Deep`]
+//! goes further: after the queues, a thief lifts **framing-complete
+//! requests off sibling connection buffers** (through the shared
+//! [`ConnTray`], never the endpoint itself), serving read-only frames
+//! with its own handler and routing shard-state **mutations back to the
+//! owner** as owner-routed queue submissions — the state-confinement
+//! rule that makes stealing safe for shard-stateful handlers. Response
+//! order per connection is preserved by the tray lock plus the
+//! routed-inflight gate. Every budget deferral that leaves complete
+//! frames behind while a sibling sits parked is counted as a
+//! **stranded-request stall** ([`WorkerStats::stranded_stalls`]), the
+//! capacity waste deep stealing exists to eliminate.
 //!
 //! [`Scheduling::EventDriven`]: crate::Scheduling::EventDriven
 //! [`Scheduling::Polling`]: crate::Scheduling::Polling
 //! [`WakeSet`]: crate::wake::WakeSet
+//! [`StealPolicy::Queue`]: crate::StealPolicy::Queue
+//! [`StealPolicy::Deep`]: crate::StealPolicy::Deep
+//! [`ConnTray`]: crate::server::ConnTray
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sdrad_energy::restart::RestartModel;
 
-use crate::handler::{Framing, SessionHandler};
+use crate::handler::{Framing, SessionHandler, StealClass};
 use crate::histogram::LatencyHistogram;
 use crate::isolation::WorkerIsolation;
 use crate::queue::{Completion, Disposition, Request, ShardQueue};
-use crate::runtime::{RuntimeConfig, Scheduling};
-use crate::server::{ConnInbox, Connection};
+use crate::runtime::{RuntimeConfig, Scheduling, StealPolicy};
+use crate::server::{ConnInbox, ConnRegistry, ConnTray, Connection, RoutedFrame};
 use crate::wake::WakeSet;
 
 /// How often a polling-mode worker that owns connections re-polls them
@@ -101,6 +118,27 @@ pub struct WorkerStats {
     pub polls: u64,
     /// Pre-framed requests this worker stole from sibling queues.
     pub steals: u64,
+    /// Framing-complete requests this worker lifted off sibling
+    /// **connection buffers** and served itself
+    /// ([`StealPolicy::Deep`](crate::StealPolicy::Deep) only).
+    pub conn_steals: u64,
+    /// Mutation frames this worker (as a thief) routed back to their
+    /// owner shard instead of executing them.
+    pub owner_routed: u64,
+    /// Owner-routed mutation frames this worker (as the owner) served
+    /// off its queue, writing the response back to the connection.
+    pub routed_served: u64,
+    /// Stolen requests classified as shard-state mutations that this
+    /// worker executed anyway — the state-confinement violation
+    /// [`StealPolicy::Deep`](crate::StealPolicy::Deep) drives to zero
+    /// (under [`StealPolicy::Queue`](crate::StealPolicy::Queue) it
+    /// counts the hazard of classification-blind stealing).
+    pub thief_mutations: u64,
+    /// Stranded-request stalls: budget deferrals that left
+    /// framing-complete requests waiting in a connection buffer while
+    /// at least one sibling worker sat parked — capacity wasted by a
+    /// steal policy that cannot reach connection buffers.
+    pub stranded_stalls: u64,
     /// Idle connections reaped (no bytes for the configured number of
     /// pump passes).
     pub reaped: u64,
@@ -148,16 +186,28 @@ struct PumpOutcome {
     more: bool,
 }
 
-/// The channels one worker serves: its own queue, connection inbox and
-/// wake set, plus (with stealing enabled) the sibling queues it may
-/// steal from.
+/// The channels one worker serves: its own queue, connection inbox,
+/// wake set and connection registry, plus (with stealing enabled) the
+/// sibling queues, registries and wake sets it may steal from and
+/// observe.
 pub(crate) struct ShardChannels {
     pub(crate) queue: Arc<ShardQueue>,
     pub(crate) inbox: Arc<ConnInbox>,
     pub(crate) wakes: Arc<WakeSet>,
+    /// This shard's own connection registry (trays registered at
+    /// attach, deregistered at retire).
+    pub(crate) registry: Arc<ConnRegistry>,
     /// All shard queues (self included, skipped by index) — the steal
     /// victims. Empty when stealing is disabled.
     pub(crate) peers: Vec<Arc<ShardQueue>>,
+    /// All shard connection registries (self included, skipped by
+    /// index) — the deep-steal victims. Empty unless the policy is
+    /// [`StealPolicy::Deep`](crate::StealPolicy::Deep).
+    pub(crate) peer_registries: Vec<Arc<ConnRegistry>>,
+    /// Sibling wake sets (self excluded): parked-state observation for
+    /// the stall counter, and the bells a deferring owner rings so deep
+    /// thieves come help. Empty when stealing is disabled.
+    pub(crate) peer_wakes: Vec<Arc<WakeSet>>,
 }
 
 /// One worker: drains its shard queue and pumps its connections until
@@ -167,8 +217,13 @@ pub struct Worker<H: SessionHandler> {
     queue: Arc<ShardQueue>,
     inbox: Arc<ConnInbox>,
     wakes: Arc<WakeSet>,
+    registry: Arc<ConnRegistry>,
     /// See [`ShardChannels::peers`].
     peers: Vec<Arc<ShardQueue>>,
+    /// See [`ShardChannels::peer_registries`].
+    peer_registries: Vec<Arc<ConnRegistry>>,
+    /// See [`ShardChannels::peer_wakes`].
+    peer_wakes: Vec<Arc<WakeSet>>,
     /// Token-addressed connection slab; `None` slots are free.
     conns: Vec<Option<Connection>>,
     free_tokens: Vec<usize>,
@@ -178,7 +233,13 @@ pub struct Worker<H: SessionHandler> {
     batch: usize,
     conn_budget: usize,
     scheduling: Scheduling,
+    steal_policy: StealPolicy,
     idle_reap_after: Option<u64>,
+    /// Round-robin cursor over `peer_wakes` for deferred-frame bells.
+    next_bell: usize,
+    /// Steal passes performed — rotates the tray-walk offset so every
+    /// sibling connection gets visited, not just the registry head.
+    steal_rounds: usize,
     /// Monotonic pump-pass counter (one per wake / poll tick); the
     /// reaper measures connection idleness in these.
     pass: u64,
@@ -203,7 +264,10 @@ impl<H: SessionHandler> Worker<H> {
             queue: channels.queue,
             inbox: channels.inbox,
             wakes: channels.wakes,
+            registry: channels.registry,
             peers: channels.peers,
+            peer_registries: channels.peer_registries,
+            peer_wakes: channels.peer_wakes,
             conns: Vec::new(),
             free_tokens: Vec::new(),
             iso,
@@ -212,7 +276,10 @@ impl<H: SessionHandler> Worker<H> {
             batch: config.batch.max(1),
             conn_budget: config.conn_read_budget.max(1),
             scheduling: config.scheduling,
+            steal_policy: config.work_stealing,
             idle_reap_after: config.idle_reap_after,
+            next_bell: 0,
+            steal_rounds: 0,
             pass: 0,
             stats: WorkerStats {
                 worker: index,
@@ -273,7 +340,11 @@ impl<H: SessionHandler> Worker<H> {
                 pumped |= outcome.progressed;
                 if outcome.more {
                     // Budget exhausted: requeue the token behind the
-                    // other ready connections (per-connection fairness).
+                    // other ready connections (per-connection fairness),
+                    // and note the deferral — complete frames are now
+                    // stranded in this buffer, which an idle sibling
+                    // could be serving.
+                    self.note_deferred_frames();
                     self.wakes.mark_conn(token);
                 }
             }
@@ -347,9 +418,25 @@ impl<H: SessionHandler> Worker<H> {
             }
             let pumped = self.pump_live_connections();
             if !drained_queue && !pumped && self.queue.is_empty() && self.inbox.is_empty() {
+                if self.any_tray_gated() {
+                    // A thief is still serving an extracted run (or a
+                    // routed response is still owed): the frames behind
+                    // the gate are ours to serve — wait it out.
+                    std::thread::yield_now();
+                    continue;
+                }
                 break;
             }
         }
+    }
+
+    /// Whether any of this worker's connections is gated on in-flight
+    /// stolen or routed frames.
+    fn any_tray_gated(&self) -> bool {
+        self.conns
+            .iter()
+            .flatten()
+            .any(|conn| conn.tray.lock().routed_inflight > 0)
     }
 
     /// Moves connections newly assigned to this shard into the pump
@@ -370,6 +457,9 @@ impl<H: SessionHandler> Worker<H> {
                     self.conns.len() - 1
                 }
             };
+            // Thieves and routed completions re-wake this worker
+            // through the tray once the owner is known.
+            conn.tray.bind_owner(Arc::clone(&self.wakes), token);
             if self.scheduling == Scheduling::EventDriven {
                 let wakes = Arc::clone(&self.wakes);
                 conn.endpoint
@@ -431,10 +521,18 @@ impl<H: SessionHandler> Worker<H> {
     }
 
     /// Drops a connection: unregisters its waker (so a stale token is
-    /// never signalled), counts a half-received request as aborted.
+    /// never signalled), marks the tray retired (so a thief never locks
+    /// onto a dead buffer), deregisters it from the shard's registry,
+    /// and counts a half-received request as aborted.
     fn retire(&mut self, token: usize, mut conn: Connection) {
         conn.endpoint.clear_ready_callback();
-        if !conn.buffer.is_empty() {
+        let half_request = {
+            let mut tray = conn.tray.lock();
+            tray.retired = true;
+            !tray.staged.is_empty()
+        };
+        self.registry.deregister(&conn.tray);
+        if half_request {
             // Mid-request disconnect: the half-request is discarded.
             self.stats.aborted_requests += 1;
         }
@@ -442,14 +540,24 @@ impl<H: SessionHandler> Worker<H> {
     }
 
     /// Closes and retires connections that made no progress for the
-    /// configured number of pump passes.
+    /// configured number of pump passes. Progress a thief made on the
+    /// worker's behalf counts (rescued connections are not idle), and a
+    /// connection gated on an owner-routed response is never reaped —
+    /// its answer is still owed.
     fn reap_idle(&mut self) {
         let Some(reap_after) = self.idle_reap_after else {
             return;
         };
         for token in 0..self.conns.len() {
-            let idle_for = match &self.conns[token] {
-                Some(conn) => self.pass.saturating_sub(conn.last_progress_pass),
+            let idle_for = match &mut self.conns[token] {
+                Some(conn) => {
+                    let mut tray = conn.tray.lock();
+                    if std::mem::take(&mut tray.thief_progress) || tray.routed_inflight > 0 {
+                        conn.last_progress_pass = self.pass;
+                    }
+                    drop(tray);
+                    self.pass.saturating_sub(conn.last_progress_pass)
+                }
                 None => continue,
             };
             if idle_for >= reap_after.max(1) {
@@ -461,13 +569,25 @@ impl<H: SessionHandler> Worker<H> {
         }
     }
 
-    /// Steals a batch of pre-framed requests from the most-loaded
-    /// sibling queue and serves them here. Connections never move —
-    /// only queue items, which carry everything they need.
+    /// Steals work from loaded siblings: first a batch of pre-framed
+    /// requests off the most-loaded sibling queue, then — under
+    /// [`StealPolicy::Deep`](crate::StealPolicy::Deep) — framing-complete
+    /// requests directly off sibling connection buffers. Connections
+    /// never move; under the deep policy queue steals are filtered to
+    /// read-only requests so shard-state mutations stay with the state
+    /// they touch.
     fn try_steal(&mut self) {
-        if self.peers.is_empty() {
+        if self.steal_policy == StealPolicy::Disabled || self.peers.is_empty() {
             return;
         }
+        self.steal_queue_items();
+        if self.steal_policy == StealPolicy::Deep {
+            self.steal_conn_buffers();
+        }
+    }
+
+    /// The queue half of stealing (both policies).
+    fn steal_queue_items(&mut self) {
         let victim = self
             .peers
             .iter()
@@ -481,13 +601,30 @@ impl<H: SessionHandler> Worker<H> {
         if backlog == 0 {
             return;
         }
-        let stolen = victim.steal(self.batch);
+        // `try_steal` guards `Disabled`, so only two policies reach here.
+        let stolen = if self.steal_policy == StealPolicy::Deep {
+            // Classification-aware: only read-only requests leave the
+            // owner; mutations keep their queue positions.
+            let handler = &self.handler;
+            victim.steal_where(self.batch, |request| {
+                handler.steal_class(&request.payload) == StealClass::ReadOnly
+            })
+        } else {
+            // Classification-blind: the PR3 contract — the caller
+            // promised a shard-agnostic queue mix.
+            victim.steal(self.batch)
+        };
         if stolen.is_empty() {
             return;
         }
         self.stats.steals += stolen.len() as u64;
         let started = Instant::now();
         for request in stolen {
+            if self.handler.steal_class(&request.payload) == StealClass::Mutation {
+                // Only reachable under the classification-blind policy:
+                // the hazard counter e18 contrasts against Deep's zero.
+                self.stats.thief_mutations += 1;
+            }
             self.serve(request);
         }
         self.note_busy(started);
@@ -498,20 +635,234 @@ impl<H: SessionHandler> Worker<H> {
         }
     }
 
-    /// Pumps one connection: reads pending bytes, serves complete
-    /// frames up to the read budget, answers malformed ones.
+    /// The connection half of deep stealing: scan sibling registries
+    /// (most loaded first) and lift framing-complete requests off their
+    /// trays, up to one batch per wake. Each thief starts the tray walk
+    /// at its own offset so concurrent thieves fan out over different
+    /// connections instead of convoying on the first one.
+    fn steal_conn_buffers(&mut self) {
+        // One registry snapshot per shard, ranked by how many bytes sit
+        // unserved: staged bytes (already read off the endpoint — where
+        // stranded framing-complete requests actually live) plus bytes
+        // still pending on the endpoint.
+        let mut victims: Vec<(usize, usize, Vec<Arc<ConnTray>>)> = (0..self.peer_registries.len())
+            .filter(|&shard| shard != self.index)
+            .map(|shard| {
+                let trays = self.peer_registries[shard].snapshot();
+                let unserved: usize = trays
+                    .iter()
+                    .map(|tray| tray.staged_len() + tray.stream().pending())
+                    .sum();
+                (unserved, shard, trays)
+            })
+            .collect();
+        victims.sort_unstable_by_key(|&(unserved, _, _)| std::cmp::Reverse(unserved));
+        let started = Instant::now();
+        let mut lifted = 0usize;
+        for (_unserved, shard, trays) in victims {
+            if lifted >= self.batch {
+                break;
+            }
+            if trays.is_empty() {
+                continue;
+            }
+            self.steal_rounds = self.steal_rounds.wrapping_add(1);
+            let offset = (self.index + self.steal_rounds) % trays.len();
+            for i in 0..trays.len() {
+                if lifted >= self.batch {
+                    break;
+                }
+                let tray = &trays[(offset + i) % trays.len()];
+                let per_tray = self.conn_budget.min(self.batch - lifted);
+                lifted += self.steal_from_tray(shard, tray, per_tray);
+            }
+        }
+        if lifted > 0 {
+            self.note_busy(started);
+        }
+        if lifted >= self.batch {
+            // A full batch rarely exhausts a hot buffer: come back for
+            // more after giving our own shard a turn. A partial lift
+            // means the buffers are down to a trickle — park instead of
+            // spinning (on an oversubscribed host a spinning thief
+            // steals *CPU time* from the owner it meant to help); the
+            // owner's next deferral bell re-recruits us.
+            self.wakes.hint_steal();
+        }
+    }
+
+    /// Works one sibling tray in three phases, so the tray lock is only
+    /// ever held for memcpy-scale critical sections and the owner's
+    /// pump never waits behind a thief's serving:
+    ///
+    /// 1. **Extract** (under the tray lock): stage pending bytes, split
+    ///    a contiguous run of complete frames off the head — read-only
+    ///    frames into a local batch, stopping at the first mutation,
+    ///    which is routed to the owner's queue instead. The gate
+    ///    (`routed_inflight`) is raised by everything extracted, so
+    ///    nobody serves frames *behind* the run while it is in flight.
+    /// 2. **Serve** (no locks): execute the batch in order with this
+    ///    worker's own handler and domains, writing each response
+    ///    through the stream handle — the gate guarantees we are the
+    ///    only writer, so responses keep frame order.
+    /// 3. **Release**: drop the gate and re-wake the owner for whatever
+    ///    remains.
+    ///
+    /// Returns the number of frames served here.
+    fn steal_from_tray(&mut self, victim: usize, tray: &Arc<ConnTray>, limit: usize) -> usize {
+        let client = tray.client();
+        // The latency clock for every frame in this steal starts when
+        // the thief picks the buffer up — the same pass-scoped clock
+        // the owner's pump uses, so thief-served frames queue behind
+        // each other within the run exactly as owner-served frames
+        // queue within a pump pass.
+        let arrived = Instant::now();
+        // -- phase 1: extract a run under the lock ------------------------
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        let mut leftovers = false;
+        {
+            let Some(mut st) = tray.try_lock() else {
+                // Owner (or another thief) is mid-serve: nothing
+                // stranded here.
+                return 0;
+            };
+            if st.retired || st.routed_inflight > 0 {
+                return 0;
+            }
+            st.staged.extend(tray.stream().drain_pending());
+            while batch.len() < limit {
+                let Framing::Complete(n) = self.handler.frame(&st.staged) else {
+                    // Incomplete, malformed or fatal heads are the
+                    // owner's business (only the owner may close the
+                    // endpoint).
+                    break;
+                };
+                let n = n.clamp(1, st.staged.len());
+                match self.handler.steal_class(&st.staged[..n]) {
+                    StealClass::ReadOnly => {
+                        batch.push(st.staged.drain(..n).collect());
+                    }
+                    StealClass::Mutation => {
+                        if batch.is_empty() && !self.peers[victim].is_stopped() {
+                            // A mutation at the head: route it home.
+                            let payload: Vec<u8> = st.staged.drain(..n).collect();
+                            st.routed_inflight += 1;
+                            let request = Request::owner_routed(
+                                client,
+                                payload,
+                                RoutedFrame {
+                                    tray: Arc::clone(tray),
+                                },
+                            );
+                            match self.peers[victim].push_routed(request) {
+                                Ok(()) => self.stats.owner_routed += 1,
+                                Err(request) => {
+                                    // Shutdown raced us: restore the
+                                    // frame at the head (we held the
+                                    // lock across the extraction, so
+                                    // nobody saw the gap) and let the
+                                    // owner's drain serve it.
+                                    st.routed_inflight -= 1;
+                                    let mut restored = request.payload;
+                                    restored.extend_from_slice(&st.staged);
+                                    st.staged = restored;
+                                }
+                            }
+                        }
+                        // A mutation behind extracted reads stays put:
+                        // it waits for the gate like everything else.
+                        break;
+                    }
+                }
+            }
+            if batch.is_empty() {
+                leftovers = !st.staged.is_empty();
+            } else {
+                st.routed_inflight += u32::try_from(batch.len()).unwrap_or(u32::MAX);
+                st.thief_progress = true;
+            }
+        }
+        if batch.is_empty() {
+            if leftovers {
+                // Bytes we staged (or frames we could not take) must
+                // not wait for a readiness edge that already fired:
+                // point the owner at them.
+                tray.wake_owner();
+            }
+            return 0;
+        }
+        // -- phase 2: serve the run, lock-free ----------------------------
+        let served = batch.len();
+        for payload in batch {
+            let reply = self.handler.handle(&mut self.iso, client, &payload);
+            tray.stream().write(&reply.response);
+            self.account(&reply.disposition, elapsed_ns(arrived));
+            self.stats.conn_served += 1;
+            self.stats.conn_steals += 1;
+        }
+        self.peer_registries[victim].note_stolen(served as u64);
+        // -- phase 3: release the gate, hand the stream back --------------
+        {
+            let mut st = tray.lock();
+            st.routed_inflight = st
+                .routed_inflight
+                .saturating_sub(u32::try_from(served).unwrap_or(u32::MAX));
+        }
+        tray.wake_owner();
+        served
+    }
+
+    /// Counts a budget deferral that stranded complete frames while a
+    /// sibling sat parked, and — under the deep policy — rings a
+    /// sibling's bell so the stranded frames get stolen instead of
+    /// waiting for this worker to come back around.
+    fn note_deferred_frames(&mut self) {
+        if self.peer_wakes.is_empty() {
+            return;
+        }
+        if self.peer_wakes.iter().any(|wakes| wakes.is_parked()) {
+            self.stats.stranded_stalls += 1;
+        }
+        if self.steal_policy == StealPolicy::Deep {
+            let pick = self.next_bell % self.peer_wakes.len();
+            self.next_bell = self.next_bell.wrapping_add(1);
+            self.peer_wakes[pick].hint_steal();
+        }
+    }
+
+    /// Pumps one connection: reads pending bytes into the shared tray,
+    /// serves complete frames up to the read budget, answers malformed
+    /// ones. All staging and serving happens under the tray lock — a
+    /// deep-steal thief may be working the same stream — which is also
+    /// what keeps pipelined responses in frame order.
     fn pump_one(&mut self, conn: &mut Connection) -> PumpOutcome {
         // The latency clock for every frame completed in this pass
         // starts here, when its final bytes were read off the wire:
         // pipelined requests queue behind each other within the pass,
         // exactly as queue-path requests start at `accepted_at`.
         let arrived = Instant::now();
+        let mut tray = conn.tray.lock();
         let fresh = conn.endpoint.read_available();
         let mut progressed = !fresh.is_empty();
-        conn.buffer.extend(fresh);
+        tray.staged.extend(fresh);
+        if std::mem::take(&mut tray.thief_progress) {
+            // A thief served frames since our last pass: this
+            // connection is live, not idle.
+            progressed = true;
+        }
 
         let mut served_this_pass = 0usize;
         loop {
+            if tray.routed_inflight > 0 {
+                // Order gate: a mutation routed to our queue has not
+                // been answered yet; frames behind it must wait. The
+                // routed completion re-marks this token.
+                return PumpOutcome {
+                    progressed,
+                    keep: true,
+                    more: false,
+                };
+            }
             if served_this_pass >= self.conn_budget {
                 // Budget exhausted: report whether *any* actionable
                 // frame is still buffered — complete, malformed or
@@ -519,18 +870,18 @@ impl<H: SessionHandler> Worker<H> {
                 // `Incomplete` may wait for a readiness edge: the
                 // buffered bytes are already off the endpoint, so no
                 // future edge would ever resurface them.)
-                let more = !matches!(self.handler.frame(&conn.buffer), Framing::Incomplete);
+                let more = !matches!(self.handler.frame(&tray.staged), Framing::Incomplete);
                 return PumpOutcome {
                     progressed,
                     keep: true,
                     more,
                 };
             }
-            match self.handler.frame(&conn.buffer) {
+            match self.handler.frame(&tray.staged) {
                 Framing::Complete(n) => {
                     let serve_started = Instant::now();
-                    let n = n.clamp(1, conn.buffer.len());
-                    let payload: Vec<u8> = conn.buffer.drain(..n).collect();
+                    let n = n.clamp(1, tray.staged.len());
+                    let payload: Vec<u8> = tray.staged.drain(..n).collect();
                     let reply = self.handler.handle(&mut self.iso, conn.client, &payload);
                     conn.endpoint.write(&reply.response);
                     self.account(&reply.disposition, elapsed_ns(arrived));
@@ -543,8 +894,8 @@ impl<H: SessionHandler> Worker<H> {
                 Framing::Malformed { consumed, response } => {
                     // Guard against a zero-consumption parser bug looping
                     // forever: always make progress.
-                    let consumed = consumed.clamp(1, conn.buffer.len());
-                    conn.buffer.drain(..consumed);
+                    let consumed = consumed.clamp(1, tray.staged.len());
+                    tray.staged.drain(..consumed);
                     conn.endpoint.write(&response);
                     self.account(&Disposition::ProtocolError, elapsed_ns(arrived));
                     self.stats.conn_served += 1;
@@ -554,7 +905,7 @@ impl<H: SessionHandler> Worker<H> {
                 Framing::Fatal { response } => {
                     conn.endpoint.write(&response);
                     conn.endpoint.close();
-                    conn.buffer.clear();
+                    tray.staged.clear();
                     self.account(&Disposition::ProtocolError, elapsed_ns(arrived));
                     self.stats.conn_served += 1;
                     return PumpOutcome {
@@ -583,13 +934,28 @@ impl<H: SessionHandler> Worker<H> {
         }
     }
 
-    /// Serves one pre-framed request from a shard queue (own or
-    /// stolen).
+    /// Serves one pre-framed request from a shard queue (own, stolen,
+    /// or an owner-routed mutation coming home).
     fn serve(&mut self, request: Request) {
         let reply = self
             .handler
             .handle(&mut self.iso, request.client, &request.payload);
         self.account(&reply.disposition, elapsed_ns(request.accepted_at));
+        if let Some(frame) = request.routed {
+            // An owner-routed mutation: the response goes back to the
+            // connection (under the tray lock, keeping frame order),
+            // the gate reopens, and we re-wake ourselves to continue
+            // the frames queued behind it.
+            {
+                let mut tray = frame.tray.lock();
+                frame.tray.stream().write(&reply.response);
+                tray.routed_inflight = tray.routed_inflight.saturating_sub(1);
+            }
+            self.stats.conn_served += 1;
+            self.stats.routed_served += 1;
+            frame.tray.wake_owner();
+            return;
+        }
         if let Some(ticket) = request.ticket {
             ticket.complete(Completion {
                 client: request.client,

@@ -74,7 +74,7 @@ fn idle_workers_steal_queued_requests_from_a_loaded_sibling() {
     const SUBMITS: u64 = 4000;
     for attempt in 0..5 {
         let mut config = RuntimeConfig::new(2, IsolationMode::PerClientDomain);
-        config.work_stealing = true;
+        config.work_stealing = sdrad_runtime::StealPolicy::Queue;
         config.queue_capacity = usize::try_from(SUBMITS).unwrap();
         config.batch = 16;
         let runtime = Runtime::start(config, |_| KvHandler::default());

@@ -1,28 +1,46 @@
-//! Property: readiness scheduling, work stealing and read budgets never
-//! bend the conservation laws.
+//! Property: readiness scheduling, work stealing (queue-only *and*
+//! connection-buffer) and read budgets never bend the conservation
+//! laws.
 //!
-//! For **any** client mix, queue bound, worker count, steal setting and
+//! For **any** client mix, queue bound, worker count, steal policy and
 //! per-connection read budget:
 //!
 //! * every offered request is either served or shed — `served + shed ==
 //!   offered`, over both the submit path and the connection path;
 //! * no request is processed twice: every `Enqueued` ticket completes
-//!   exactly once, and the stolen-work books balance (the queues' count
-//!   of requests taken by thieves equals the thieves' count of stolen
-//!   requests served — a double-served steal would break one side);
-//! * connection traffic is fully answered regardless of how small the
-//!   read budget slices the pump passes.
+//!   exactly once, and the stolen-work books balance three ways (queue
+//!   steals vs thief serves, connection-buffer lifts vs registry
+//!   counts, owner-routed frames vs owner serves — a double-served
+//!   steal breaks one of them);
+//! * connection traffic is fully answered **in frame order** regardless
+//!   of how small the read budget slices the pump passes or which
+//!   worker (owner or thief) serves each frame — stolen reads and
+//!   owner-routed mutations must interleave back into the exact
+//!   pipelined response sequence;
+//! * under [`StealPolicy::Deep`] no shard-state mutation ever executes
+//!   on a thief (`thief_mutations == 0`).
+//!
+//! [`StealPolicy::Deep`]: sdrad_runtime::StealPolicy::Deep
 
 use proptest::prelude::*;
 use sdrad::ClientId;
 use sdrad_runtime::{
-    ConnectionServer, IsolationMode, KvHandler, RuntimeConfig, Scheduling, SubmitOutcome,
+    ConnectionServer, IsolationMode, KvHandler, RuntimeConfig, Scheduling, StealPolicy,
+    SubmitOutcome,
 };
 
 /// One offered request: which client, and whether it is an exploit
 /// (~10% of traffic).
 fn arb_offer() -> impl Strategy<Value = (u64, bool)> {
     (0u64..24, 0u32..10).prop_map(|(client, roll)| (client, roll == 0))
+}
+
+fn arb_policy() -> impl Strategy<Value = StealPolicy> {
+    prop_oneof![
+        Just(StealPolicy::Disabled),
+        Just(StealPolicy::Queue),
+        Just(StealPolicy::Deep),
+    ]
 }
 
 proptest! {
@@ -32,40 +50,54 @@ proptest! {
         conn_loads in proptest::collection::vec(1usize..6, 0..4),
         capacity in 1usize..48,
         workers in 1usize..5,
-        stealing in any::<bool>(),
+        policy in arb_policy(),
         budget in 1usize..8,
     ) {
         let mut config = RuntimeConfig::new(workers, IsolationMode::PerClientDomain);
         config.queue_capacity = capacity;
-        config.work_stealing = stealing;
+        config.work_stealing = policy;
         config.conn_read_budget = budget;
         config.scheduling = Scheduling::EventDriven;
         let server = ConnectionServer::start(config, |_| KvHandler::default());
         let runtime = server.runtime();
 
         // Connection path: each connection pipelines its whole load in
-        // one write (the budget must slice it without losing any).
+        // one write (the budget must slice it without losing any, and
+        // deep stealing must not reorder it). Reads hit keys nothing
+        // ever sets, writes use keys unique per connection, so the
+        // expected response bytes are exact whoever serves each frame.
         let mut conns = Vec::new();
         let mut conn_requests = 0u64;
-        for &load in &conn_loads {
+        for (c, &load) in conn_loads.iter().enumerate() {
             let mut client = server.connect();
             let mut burst = Vec::new();
+            let mut expected = Vec::new();
             for i in 0..load {
-                burst.extend_from_slice(format!("get c{i}\r\n").as_bytes());
+                if i % 2 == 0 {
+                    burst.extend_from_slice(format!("get c{i}\r\n").as_bytes());
+                    expected.extend_from_slice(b"END\r\n");
+                } else {
+                    burst.extend_from_slice(format!("set w{c}x{i} 2\r\nok\r\n").as_bytes());
+                    expected.extend_from_slice(b"STORED\r\n");
+                }
             }
             client.write(&burst);
             conn_requests += load as u64;
-            conns.push((client, load));
+            conns.push((client, expected));
         }
 
-        // Submit path: accepted ⇒ ticketed, saturated ⇒ shed.
+        // Submit path: accepted ⇒ ticketed, saturated ⇒ shed. Mixed
+        // reads and mutations so queue stealing has both classes to
+        // meet under every policy.
         let mut tickets = Vec::new();
         let mut shed_at_submit = 0u64;
-        for (client, attack) in &offers {
+        for (i, (client, attack)) in offers.iter().enumerate() {
             let payload = if *attack {
                 b"xstat 65536 4\r\nboom\r\n".to_vec()
-            } else {
+            } else if i % 2 == 0 {
                 format!("set k{client} 2\r\nok\r\n").into_bytes()
+            } else {
+                format!("get q{client}\r\n").into_bytes()
             };
             match runtime.submit(ClientId(1_000 + *client), payload) {
                 SubmitOutcome::Enqueued(ticket) => tickets.push(ticket),
@@ -90,18 +122,36 @@ proptest! {
             prop_assert!(ticket.try_take().is_none(), "completed twice");
         }
 
-        // Every connection byte was answered: one END per pipelined get.
-        for (client, load) in &mut conns {
-            let answered = String::from_utf8_lossy(&client.read_available())
-                .matches("END")
-                .count();
-            prop_assert_eq!(answered, *load, "pipelined responses complete");
+        // Every connection byte was answered in frame order — exact
+        // response bytes, even when frames were served by a thief or
+        // routed back to the owner.
+        for (client, expected) in &mut conns {
+            prop_assert_eq!(
+                client.read_available(),
+                expected.clone(),
+                "pipelined responses complete, in order"
+            );
+        }
+
+        // Policy-specific books.
+        match policy {
+            StealPolicy::Disabled => {
+                prop_assert_eq!(stats.steals(), 0);
+                prop_assert_eq!(stats.conn_steals(), 0);
+                prop_assert_eq!(stats.owner_routed(), 0);
+            }
+            StealPolicy::Queue => {
+                prop_assert_eq!(stats.conn_steals(), 0, "queue policy never lifts frames");
+                prop_assert_eq!(stats.owner_routed(), 0);
+            }
+            StealPolicy::Deep => {
+                // The whole point: stealing, however deep, never runs a
+                // mutation off its owner shard.
+                prop_assert_eq!(stats.thief_mutations(), 0);
+            }
         }
 
         // Stolen work balanced, histograms per-request, managers agree.
-        if !stealing {
-            prop_assert_eq!(stats.steals(), 0);
-        }
         prop_assert!(stats.polls() == 0, "event-driven runs never poll");
         prop_assert!(stats.reconciles());
     }

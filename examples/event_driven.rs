@@ -59,7 +59,7 @@ fn main() {
 
     // --- work stealing off a hot shard ----------------------------------
     let mut config = RuntimeConfig::new(2, IsolationMode::PerClientDomain);
-    config.work_stealing = true;
+    config.work_stealing = sdrad_runtime::StealPolicy::Queue;
     config.queue_capacity = 4096;
     config.batch = 16;
     let runtime = Runtime::start(config, |_| KvHandler::default());
