@@ -345,6 +345,16 @@ fn main() {
         deep.stats.routed_served(),
         "every routed mutation came home"
     );
+    // Stall accounting is exact since the generation-counter rework: a
+    // sibling counts only when it provably sat parked across the whole
+    // deferring pass (its park generation predates the pass start and
+    // it is still parked at the deferral) — so these are assertable
+    // counters, not racy estimates. The queue cell must exhibit real
+    // stranding, and the deep cell must strictly reduce it.
+    assert!(
+        queue.stats.stranded_stalls() > 0,
+        "the hot-shard skew must strand requests under queue-only stealing"
+    );
     assert!(
         deep.stats.stranded_stalls() < queue.stats.stranded_stalls(),
         "deep stealing must strand strictly fewer requests: deep {} vs queue {}",

@@ -1,0 +1,328 @@
+//! Client reputation: an EWMA fault score per client id with graduated,
+//! reversible standings (throttle → quarantine → ban).
+//!
+//! Every contained fault, secret leak or crash attributed to a client
+//! bumps its score by one; the score decays exponentially with a
+//! configured half-life, so every standing is **reversible**: a client
+//! that stops attacking decays back through quarantine and throttle to
+//! good standing. Standings are derived *purely* from the decayed score
+//! — there is no sticky ban bit — which is what makes the decision
+//! stream a pure function of the (event, tick) sequence.
+//!
+//! Throttled clients are not shed outright: they pass through a
+//! per-client token bucket, so a limited trickle keeps flowing. That is
+//! deliberate — the trickle keeps *evidence* flowing too: a throttled
+//! attacker's admitted requests keep faulting, so its score keeps
+//! climbing toward quarantine instead of oscillating at the throttle
+//! threshold forever.
+
+use std::collections::BTreeMap;
+
+/// Reputation parameters. All times are logical nanoseconds supplied by
+/// the caller — the book never reads a clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReputationParams {
+    /// Score half-life in nanoseconds: a silent client's score halves
+    /// every interval (the reversibility knob).
+    pub half_life_ns: u64,
+    /// Score at which a client is throttled (token-bucket admission).
+    pub throttle_score: f64,
+    /// Score at which a client is quarantined (routed to the blast-pit
+    /// shard).
+    pub quarantine_score: f64,
+    /// Score at which a client is banned (refused at admission/accept).
+    pub ban_score: f64,
+    /// Token-bucket refill rate for throttled clients, tokens/second.
+    pub throttle_rate_per_sec: f64,
+    /// Token-bucket capacity (burst) for throttled clients.
+    pub throttle_burst: f64,
+}
+
+impl Default for ReputationParams {
+    fn default() -> Self {
+        ReputationParams {
+            half_life_ns: 500_000_000, // 500 ms
+            throttle_score: 3.0,
+            quarantine_score: 8.0,
+            ban_score: 24.0,
+            throttle_rate_per_sec: 2_000.0,
+            throttle_burst: 16.0,
+        }
+    }
+}
+
+/// A client's standing, derived from its decayed score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Standing {
+    /// Below every threshold: admitted normally.
+    Good,
+    /// Score ≥ throttle threshold: admitted through a token bucket.
+    Throttled,
+    /// Score ≥ quarantine threshold: admitted, but routed to the
+    /// blast-pit shard.
+    Quarantined,
+    /// Score ≥ ban threshold: refused outright.
+    Banned,
+}
+
+#[derive(Debug, Clone)]
+struct ClientRecord {
+    score: f64,
+    scored_at_ns: u64,
+    tokens: f64,
+    refilled_at_ns: u64,
+}
+
+/// The per-client reputation book.
+#[derive(Debug, Clone)]
+pub struct ReputationBook {
+    params: ReputationParams,
+    /// `BTreeMap` for deterministic iteration order (pruning, reports).
+    clients: BTreeMap<u64, ClientRecord>,
+    /// Clients that ever reached [`Standing::Quarantined`].
+    ever_quarantined: std::collections::BTreeSet<u64>,
+    /// Clients that ever reached [`Standing::Banned`].
+    ever_banned: std::collections::BTreeSet<u64>,
+}
+
+impl ReputationBook {
+    /// An empty book.
+    #[must_use]
+    pub fn new(params: ReputationParams) -> Self {
+        ReputationBook {
+            params,
+            clients: BTreeMap::new(),
+            ever_quarantined: std::collections::BTreeSet::new(),
+            ever_banned: std::collections::BTreeSet::new(),
+        }
+    }
+
+    fn decayed(&self, record: &ClientRecord, now_ns: u64) -> f64 {
+        let dt = now_ns.saturating_sub(record.scored_at_ns);
+        if dt == 0 || record.score == 0.0 {
+            return record.score;
+        }
+        let half_lives = dt as f64 / self.params.half_life_ns.max(1) as f64;
+        record.score * 0.5_f64.powf(half_lives)
+    }
+
+    /// Records one fault attributed to `client` (contained fault,
+    /// secret leak, crash). Returns the new decayed score.
+    pub fn observe_fault(&mut self, client: u64, now_ns: u64) -> f64 {
+        let params = self.params;
+        let record = self.clients.entry(client).or_insert(ClientRecord {
+            score: 0.0,
+            scored_at_ns: now_ns,
+            tokens: params.throttle_burst,
+            refilled_at_ns: now_ns,
+        });
+        let decayed = {
+            let dt = now_ns.saturating_sub(record.scored_at_ns);
+            let half_lives = dt as f64 / params.half_life_ns.max(1) as f64;
+            record.score * 0.5_f64.powf(half_lives)
+        };
+        record.score = decayed + 1.0;
+        record.scored_at_ns = now_ns;
+        let score = record.score;
+        if score >= params.ban_score {
+            self.ever_banned.insert(client);
+        } else if score >= params.quarantine_score {
+            self.ever_quarantined.insert(client);
+        }
+        score
+    }
+
+    /// Records one normally-served request for `client`. Serving does
+    /// not *reduce* the score (an attacker interleaving benign traffic
+    /// must not wash its record) — decay alone forgives.
+    pub fn observe_ok(&mut self, _client: u64, _now_ns: u64) {}
+
+    /// The client's current decayed score (0.0 if never seen).
+    #[must_use]
+    pub fn score(&self, client: u64, now_ns: u64) -> f64 {
+        self.clients
+            .get(&client)
+            .map_or(0.0, |record| self.decayed(record, now_ns))
+    }
+
+    /// The client's current standing, derived from its decayed score.
+    #[must_use]
+    pub fn standing(&self, client: u64, now_ns: u64) -> Standing {
+        let score = self.score(client, now_ns);
+        if score >= self.params.ban_score {
+            Standing::Banned
+        } else if score >= self.params.quarantine_score {
+            Standing::Quarantined
+        } else if score >= self.params.throttle_score {
+            Standing::Throttled
+        } else {
+            Standing::Good
+        }
+    }
+
+    /// Takes one admission token from a throttled client's bucket;
+    /// returns whether a token was available. Unknown clients always
+    /// have tokens.
+    pub fn take_token(&mut self, client: u64, now_ns: u64) -> bool {
+        let params = self.params;
+        let Some(record) = self.clients.get_mut(&client) else {
+            return true;
+        };
+        let dt_s = now_ns.saturating_sub(record.refilled_at_ns) as f64 / 1e9;
+        record.tokens =
+            (record.tokens + dt_s * params.throttle_rate_per_sec).min(params.throttle_burst);
+        record.refilled_at_ns = now_ns;
+        if record.tokens >= 1.0 {
+            record.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops records whose score has decayed to noise (memory bound for
+    /// long runs) and returns the forgiven client ids, ascending, so
+    /// callers can cascade the forgiveness (e.g. reset ladder runs).
+    /// Quarantine/ban history is kept.
+    pub fn prune(&mut self, now_ns: u64) -> Vec<u64> {
+        let threshold = 0.01;
+        let params = self.params;
+        let mut forgiven = Vec::new();
+        self.clients.retain(|&client, record| {
+            let dt = now_ns.saturating_sub(record.scored_at_ns);
+            let half_lives = dt as f64 / params.half_life_ns.max(1) as f64;
+            let keep = record.score * 0.5_f64.powf(half_lives) > threshold;
+            if !keep {
+                forgiven.push(client);
+            }
+            keep
+        });
+        forgiven
+    }
+
+    /// Clients currently tracked.
+    #[must_use]
+    pub fn tracked(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Every client that ever reached quarantine, ascending.
+    #[must_use]
+    pub fn ever_quarantined(&self) -> Vec<u64> {
+        self.ever_quarantined.iter().copied().collect()
+    }
+
+    /// Every client that ever reached a ban, ascending.
+    #[must_use]
+    pub fn ever_banned(&self) -> Vec<u64> {
+        self.ever_banned.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn book() -> ReputationBook {
+        ReputationBook::new(ReputationParams::default())
+    }
+
+    #[test]
+    fn faults_escalate_through_every_standing() {
+        let mut book = book();
+        let mut now = 0u64;
+        let mut seen = vec![book.standing(7, now)];
+        for _ in 0..40 {
+            now += MS; // fast bursts: negligible decay between faults
+            book.observe_fault(7, now);
+            let standing = book.standing(7, now);
+            if Some(&standing) != seen.last() {
+                seen.push(standing);
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                Standing::Good,
+                Standing::Throttled,
+                Standing::Quarantined,
+                Standing::Banned
+            ],
+            "standings escalate in order, no rung skipped"
+        );
+        assert_eq!(book.ever_banned(), vec![7]);
+        assert_eq!(book.ever_quarantined(), vec![7]);
+    }
+
+    #[test]
+    fn decay_reverses_every_standing() {
+        let mut book = book();
+        let mut now = 0u64;
+        for _ in 0..40 {
+            now += MS;
+            book.observe_fault(3, now);
+        }
+        assert_eq!(book.standing(3, now), Standing::Banned);
+        // ~8 half-lives: 40 → ~0.16, below every threshold.
+        now += 4_000 * MS;
+        assert_eq!(book.standing(3, now), Standing::Good);
+        // History is not erased by forgiveness.
+        assert_eq!(book.ever_banned(), vec![3]);
+    }
+
+    #[test]
+    fn benign_clients_stay_good_forever() {
+        let mut book = book();
+        for i in 0..100_000u64 {
+            book.observe_ok(i % 50, i * MS);
+        }
+        for client in 0..50 {
+            assert_eq!(book.standing(client, 100_000 * MS), Standing::Good);
+        }
+        assert!(book.ever_banned().is_empty());
+    }
+
+    #[test]
+    fn throttle_bucket_admits_a_trickle() {
+        let params = ReputationParams {
+            throttle_burst: 4.0,
+            throttle_rate_per_sec: 1_000.0,
+            ..ReputationParams::default()
+        };
+        let mut book = ReputationBook::new(params);
+        let mut now = 0u64;
+        for _ in 0..4 {
+            now += MS;
+            book.observe_fault(9, now);
+        }
+        assert_eq!(book.standing(9, now), Standing::Throttled);
+        // Burst admits, then the bucket runs dry…
+        let mut admitted = 0;
+        for _ in 0..10 {
+            if book.take_token(9, now) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 4, "burst-sized admission");
+        // …and refills with time: 2 ms at 1000/s = 2 tokens.
+        now += 2 * MS;
+        assert!(book.take_token(9, now));
+        assert!(book.take_token(9, now));
+        assert!(!book.take_token(9, now));
+    }
+
+    #[test]
+    fn prune_drops_decayed_records_but_keeps_history() {
+        let mut book = book();
+        book.observe_fault(1, 0);
+        for _ in 0..10 {
+            book.observe_fault(2, 0);
+        }
+        let forgiven = book.prune(10_000 * MS);
+        assert_eq!(forgiven, vec![1, 2], "forgiven ids reported, ascending");
+        assert_eq!(book.tracked(), 0, "fully decayed records are dropped");
+        assert_eq!(book.ever_quarantined(), vec![2]);
+    }
+}

@@ -11,6 +11,10 @@
 //! * [`restart`] — calibrated recovery-time models (process restart,
 //!   container restart, SDRaD rewind) whose state-reload term reproduces
 //!   the "10 GB ≈ 2 minutes" measurement,
+//! * [`decisions`] — per-decision billing for recovery actions: rung
+//!   cost models and the accumulated bill a control plane's
+//!   recovery-escalation ladder reconciles against restart-only
+//!   recovery,
 //! * [`power`] — server power as a function of utilization, with PUE,
 //! * [`redundancy`] — deployment strategies (single, 2N active-passive,
 //!   N+1) and what they cost in energy for the availability they buy,
@@ -39,6 +43,7 @@
 pub mod availability;
 pub mod carbon;
 pub mod casestudy;
+pub mod decisions;
 pub mod lca;
 pub mod power;
 pub mod redundancy;
@@ -50,6 +55,7 @@ pub use carbon::CarbonModel;
 pub use casestudy::{
     assess_diversified_pair, assess_fleet, fleet_lineup, EconomicModel, FleetReport, FleetScenario,
 };
+pub use decisions::{RecoveryBill, RecoveryRung, RungModels};
 pub use power::{PowerModel, PUE_TYPICAL};
 pub use redundancy::{DeploymentReport, Strategy};
 pub use report::TextTable;

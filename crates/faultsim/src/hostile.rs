@@ -1,0 +1,253 @@
+//! Mixed hostile/benign traffic campaigns for control-plane harnesses:
+//! **repeat offenders** (a small set of client ids attacking in
+//! consecutive runs — exactly the evidence a reputation score and an
+//! escalation ladder key on) and **flash crowds** (windows where benign
+//! arrival density multiplies — overload that is *not* an attack and
+//! must be shed differently).
+//!
+//! Deterministic per seed, like every generator in this crate: the same
+//! seed yields the identical event stream, which is what makes
+//! control-plane decision logs replayable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What one traffic event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficKind {
+    /// A benign request from a well-behaved client.
+    Benign,
+    /// An exploit request from a repeat offender.
+    Attack,
+}
+
+/// One event of a mixed campaign: which client, and what it sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficEvent {
+    /// The client id the event belongs to.
+    pub client: u64,
+    /// Benign or attack.
+    pub kind: TrafficKind,
+}
+
+/// Configuration of a [`HostileMix`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostileMixConfig {
+    /// Benign client ids are drawn from `0..benign_clients`.
+    pub benign_clients: u64,
+    /// Offender ids are drawn from `offender_base..offender_base +
+    /// offenders` (disjoint from the benign range by construction —
+    /// the test oracle for "zero benign clients banned").
+    pub offender_base: u64,
+    /// Number of repeat offenders.
+    pub offenders: u64,
+    /// Fraction of events that are attacks (0.0–1.0).
+    pub attack_fraction: f64,
+    /// Attacks arrive in consecutive runs of this length range (the
+    /// "repeat" in repeat offender: one offender fires a whole run).
+    pub attack_run: (u32, u32),
+    /// Probability per benign event of *starting* a flash crowd.
+    pub flash_probability: f64,
+    /// Flash-crowd length range: that many consecutive benign events
+    /// from distinct clients in a dense burst.
+    pub flash_run: (u32, u32),
+}
+
+impl Default for HostileMixConfig {
+    fn default() -> Self {
+        HostileMixConfig {
+            benign_clients: 32,
+            offender_base: 1_000_000,
+            offenders: 4,
+            attack_fraction: 0.5,
+            attack_run: (6, 20),
+            flash_probability: 0.02,
+            flash_run: (8, 32),
+        }
+    }
+}
+
+/// A deterministic mixed hostile/benign campaign generator.
+#[derive(Debug)]
+pub struct HostileMix {
+    rng: StdRng,
+    config: HostileMixConfig,
+    /// Remaining events of the current attack run, and its offender.
+    attack_run_left: u32,
+    attacker: u64,
+    /// Remaining events of the current flash crowd.
+    flash_left: u32,
+}
+
+impl HostileMix {
+    /// A generator for the given seed and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured offender range overlaps the benign
+    /// range, or either population is empty.
+    #[must_use]
+    pub fn new(seed: u64, config: HostileMixConfig) -> Self {
+        assert!(config.benign_clients > 0, "need benign clients");
+        assert!(config.offenders > 0, "need offenders");
+        assert!(
+            config.offender_base >= config.benign_clients,
+            "offender ids must not overlap benign ids"
+        );
+        HostileMix {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+            attack_run_left: 0,
+            attacker: config.offender_base,
+            flash_left: 0,
+        }
+    }
+
+    /// The configured offender ids (the precision/recall oracle).
+    #[must_use]
+    pub fn offender_ids(&self) -> Vec<u64> {
+        (self.config.offender_base..self.config.offender_base + self.config.offenders).collect()
+    }
+
+    /// Whether `client` is one of the configured offenders.
+    #[must_use]
+    pub fn is_offender(&self, client: u64) -> bool {
+        (self.config.offender_base..self.config.offender_base + self.config.offenders)
+            .contains(&client)
+    }
+
+    /// The next event of the campaign.
+    pub fn next_event(&mut self) -> TrafficEvent {
+        let config = self.config;
+        // An attack run in progress continues with the same offender —
+        // the consecutive-fault evidence ladders and scores key on.
+        if self.attack_run_left > 0 {
+            self.attack_run_left -= 1;
+            return TrafficEvent {
+                client: self.attacker,
+                kind: TrafficKind::Attack,
+            };
+        }
+        if self.flash_left > 0 {
+            self.flash_left -= 1;
+            return TrafficEvent {
+                client: self.rng.gen_range(0..config.benign_clients),
+                kind: TrafficKind::Benign,
+            };
+        }
+        if self.rng.gen_bool(config.attack_fraction.clamp(0.0, 1.0)) {
+            // Start a new run: pick the offender and the run length.
+            let (lo, hi) = config.attack_run;
+            self.attacker = config.offender_base + self.rng.gen_range(0..config.offenders);
+            self.attack_run_left = self.rng.gen_range(lo.max(1)..=hi.max(lo.max(1))) - 1;
+            return TrafficEvent {
+                client: self.attacker,
+                kind: TrafficKind::Attack,
+            };
+        }
+        if self.rng.gen_bool(config.flash_probability.clamp(0.0, 1.0)) {
+            let (lo, hi) = config.flash_run;
+            self.flash_left = self.rng.gen_range(lo.max(1)..=hi.max(lo.max(1))) - 1;
+        }
+        TrafficEvent {
+            client: self.rng.gen_range(0..config.benign_clients),
+            kind: TrafficKind::Benign,
+        }
+    }
+
+    /// The next `n` events.
+    pub fn events(&mut self, n: usize) -> Vec<TrafficEvent> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaigns_are_deterministic_per_seed() {
+        let config = HostileMixConfig::default();
+        let a = HostileMix::new(7, config).events(2_000);
+        let b = HostileMix::new(7, config).events(2_000);
+        let c = HostileMix::new(8, config).events(2_000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn attacks_come_only_from_offenders_and_in_runs() {
+        let config = HostileMixConfig::default();
+        let mix = HostileMix::new(42, config);
+        let offenders = mix.offender_ids();
+        let events = HostileMix::new(42, config).events(4_000);
+
+        let mut run_lengths = Vec::new();
+        let mut current: Option<(u64, u32)> = None;
+        for event in &events {
+            match event.kind {
+                TrafficKind::Attack => {
+                    assert!(
+                        offenders.contains(&event.client),
+                        "attack from non-offender {}",
+                        event.client
+                    );
+                    current = match current.take() {
+                        Some((who, n)) if who == event.client => Some((who, n + 1)),
+                        Some((_, n)) => {
+                            run_lengths.push(n);
+                            Some((event.client, 1))
+                        }
+                        None => Some((event.client, 1)),
+                    };
+                }
+                TrafficKind::Benign => {
+                    assert!(event.client < config.benign_clients);
+                    if let Some((_, n)) = current.take() {
+                        run_lengths.push(n);
+                    }
+                }
+            }
+        }
+        assert!(
+            run_lengths.iter().any(|&n| n >= config.attack_run.0),
+            "attacks must arrive in consecutive runs"
+        );
+        let attacks = events
+            .iter()
+            .filter(|e| e.kind == TrafficKind::Attack)
+            .count();
+        let fraction = attacks as f64 / events.len() as f64;
+        assert!(
+            (0.55..=0.95).contains(&fraction),
+            "runs amplify the 50% start rate: {fraction}"
+        );
+    }
+
+    #[test]
+    fn flash_crowds_appear_as_dense_benign_windows() {
+        let config = HostileMixConfig {
+            attack_fraction: 0.0,
+            flash_probability: 0.05,
+            ..HostileMixConfig::default()
+        };
+        let events = HostileMix::new(3, config).events(2_000);
+        assert!(events.iter().all(|e| e.kind == TrafficKind::Benign));
+        // Distinct clients appear (a crowd, not one hot client).
+        let distinct: std::collections::BTreeSet<u64> = events.iter().map(|e| e.client).collect();
+        assert!(distinct.len() as u64 > config.benign_clients / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_ranges_are_rejected() {
+        let _ = HostileMix::new(
+            0,
+            HostileMixConfig {
+                benign_clients: 100,
+                offender_base: 50,
+                ..HostileMixConfig::default()
+            },
+        );
+    }
+}

@@ -11,6 +11,9 @@
 //!   guaranteed to trigger the corresponding detection,
 //! * [`workload`] — benign and malicious client traffic generators for
 //!   the kvstore and httpd servers,
+//! * [`HostileMix`] — mixed hostile/benign campaigns (repeat offenders
+//!   attacking in consecutive runs, flash crowds of benign overload)
+//!   for control-plane harnesses,
 //! * [`FaultSchedule`] — seeded Poisson arrival times for availability
 //!   simulations.
 //!
@@ -40,10 +43,12 @@
 mod attacks;
 mod campaign;
 mod frames;
+mod hostile;
 mod schedule;
 pub mod workload;
 
 pub use attacks::{inject, Attack};
 pub use campaign::{Campaign, CampaignReport};
 pub use frames::StackFrame;
+pub use hostile::{HostileMix, HostileMixConfig, TrafficEvent, TrafficKind};
 pub use schedule::FaultSchedule;

@@ -1,0 +1,175 @@
+//! The runtime's bridge to `sdrad-control`: one shared hub the
+//! dispatcher consults at admission and every worker reports into.
+//!
+//! The control plane itself is deterministic and clock-injected; the
+//! hub supplies the clock (nanoseconds since runtime start) and the
+//! lock. Admission (`submit`/`attach`) and observation (a worker's
+//! per-request disposition) both funnel through the same
+//! [`ControlPlane`], so reputation, shedding state and the escalation
+//! ladder see one consistent event stream.
+//!
+//! Lock discipline: the hub's mutex is leaf-level — nothing is called
+//! while holding it, and it is never taken while holding a queue,
+//! inbox, tray or wakeset lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use sdrad::ClientId;
+use sdrad_control::{Admission, ControlConfig, ControlPlane, ControlReport, RecoveryRung};
+use sdrad_energy::power::PowerModel;
+
+use crate::queue::Disposition;
+
+/// The shared control-plane hub (one per runtime, when enabled).
+pub(crate) struct ControlHub {
+    plane: Mutex<ControlPlane>,
+    started: Instant,
+    /// The sacrificial shard quarantined clients are routed to.
+    blast_pit: usize,
+    /// Admission decisions enforced at the dispatcher, by outcome —
+    /// the runtime-side counters the `ControlReport` is reconciled
+    /// against at shutdown.
+    admitted: AtomicU64,
+    denied: AtomicU64,
+    control_shed: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+/// What the dispatcher should do with one request or connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Routing {
+    /// Admit to the client's sticky shard.
+    Sticky,
+    /// Admit, but to the blast-pit shard.
+    BlastPit(usize),
+    /// Refuse (shed or ban): the request never reaches a queue.
+    Refuse,
+}
+
+impl ControlHub {
+    pub(crate) fn new(config: ControlConfig, blast_pit: usize) -> Self {
+        ControlHub {
+            plane: Mutex::new(ControlPlane::new(config)),
+            started: Instant::now(),
+            blast_pit,
+            admitted: AtomicU64::new(0),
+            denied: AtomicU64::new(0),
+            control_shed: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The blast-pit shard index.
+    pub(crate) fn blast_pit(&self) -> usize {
+        self.blast_pit
+    }
+
+    /// Admission control for one request/connection from `client`.
+    pub(crate) fn admit(&self, client: ClientId) -> Routing {
+        let now = self.now_ns();
+        let decision = self
+            .plane
+            .lock()
+            .expect("control lock")
+            .admit(client.0, now);
+        match decision {
+            Admission::Admit => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Routing::Sticky
+            }
+            Admission::Quarantine => {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                Routing::BlastPit(self.blast_pit)
+            }
+            Admission::ShedThrottle | Admission::ShedOverload => {
+                self.control_shed.fetch_add(1, Ordering::Relaxed);
+                Routing::Refuse
+            }
+            Admission::Deny => {
+                self.denied.fetch_add(1, Ordering::Relaxed);
+                Routing::Refuse
+            }
+        }
+    }
+
+    /// One served request's disposition, reported by the worker that
+    /// served it. Faults climb the escalation ladder: the returned rung
+    /// (if any) is the action the *worker* must now execute.
+    pub(crate) fn observe(
+        &self,
+        shard: usize,
+        client: ClientId,
+        disposition: &Disposition,
+        latency_ns: u64,
+        state_bytes: u64,
+        domains: u32,
+    ) -> Option<RecoveryRung> {
+        let now = self.now_ns();
+        let mut plane = self.plane.lock().expect("control lock");
+        match disposition {
+            Disposition::Ok => {
+                plane.observe_ok(shard, client.0, latency_ns, now);
+                None
+            }
+            Disposition::ContainedFault { .. } | Disposition::SecretLeak | Disposition::Crashed => {
+                Some(plane.observe_fault(shard, client.0, latency_ns, now, state_bytes, domains))
+            }
+            Disposition::ProtocolError | Disposition::InternalError => None,
+        }
+    }
+
+    /// One control-loop tick (wired into the workers' wake passes).
+    pub(crate) fn tick(&self) {
+        let now = self.now_ns();
+        self.plane.lock().expect("control lock").tick(now);
+    }
+
+    /// Requests refused at admission (throttle/overload sheds + bans).
+    /// Observability only (the `Debug` impl): harness-level
+    /// conservation checks read the same quantity from the closed
+    /// books as `ControlReport::counts.refused()`.
+    pub(crate) fn refused(&self) -> u64 {
+        self.control_shed.load(Ordering::Relaxed) + self.denied.load(Ordering::Relaxed)
+    }
+
+    /// Closes the books. The dispatcher-side enforcement counters must
+    /// equal the plane's own decision counts — drift between them means
+    /// a decision was made but not enforced (or vice versa).
+    pub(crate) fn report(&self) -> ControlReport {
+        let report = self
+            .plane
+            .lock()
+            .expect("control lock")
+            .report(&PowerModel::rack_server());
+        debug_assert_eq!(
+            report.counts.admits,
+            self.admitted.load(Ordering::Relaxed),
+            "every admit decision was enforced"
+        );
+        debug_assert_eq!(
+            report.counts.quarantines,
+            self.quarantined.load(Ordering::Relaxed)
+        );
+        debug_assert_eq!(report.counts.denies, self.denied.load(Ordering::Relaxed));
+        debug_assert_eq!(
+            report.counts.throttle_sheds + report.counts.overload_sheds,
+            self.control_shed.load(Ordering::Relaxed)
+        );
+        report
+    }
+}
+
+impl std::fmt::Debug for ControlHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlHub")
+            .field("blast_pit", &self.blast_pit)
+            .field("refused", &self.refused())
+            .finish()
+    }
+}

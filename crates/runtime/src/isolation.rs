@@ -28,6 +28,17 @@ pub struct WorkerIsolation {
     mode: IsolationMode,
     mgr: DomainManager,
     pool: DomainPool,
+    /// The pool template, kept so the control plane's escalation rungs
+    /// can discard and rebuild the pool (or the whole context).
+    template: DomainConfig,
+    max_domains: usize,
+    /// Rewinds performed by managers retired by
+    /// [`restart_worker`](Self::restart_worker) — the reconciliation
+    /// invariant (`contained_faults == manager rewinds`) must survive a
+    /// ladder-driven restart.
+    retired_rewinds: u64,
+    /// Domains created by pools retired by rebuild/restart rungs.
+    retired_domains: usize,
 }
 
 impl WorkerIsolation {
@@ -36,16 +47,39 @@ impl WorkerIsolation {
     /// can spare).
     #[must_use]
     pub fn new(mode: IsolationMode, domains: usize, heap_capacity: usize) -> Self {
+        let template = DomainConfig::new("runtime-client")
+            .heap_capacity(heap_capacity)
+            .policy(DomainPolicy::Integrity);
         WorkerIsolation {
             mode,
             mgr: DomainManager::new(),
-            pool: DomainPool::new(
-                DomainConfig::new("runtime-client")
-                    .heap_capacity(heap_capacity)
-                    .policy(DomainPolicy::Integrity),
-                domains,
-            ),
+            pool: DomainPool::new(template.clone(), domains),
+            template,
+            max_domains: domains,
+            retired_rewinds: 0,
+            retired_domains: 0,
         }
+    }
+
+    /// The pool-rebuild rung of the recovery-escalation ladder: every
+    /// pooled domain is torn down and a fresh (empty) pool takes its
+    /// place. Client → domain assignments are forgotten; the manager —
+    /// and its rewind book — survives.
+    pub fn rebuild_pool(&mut self) {
+        self.retired_domains += self.pool.domains_created();
+        let _ = self.pool.shutdown(&mut self.mgr);
+        self.pool = DomainPool::new(self.template.clone(), self.max_domains);
+    }
+
+    /// The worker-restart rung: the whole isolation context — manager,
+    /// keys, pool — is discarded and rebuilt, exactly what a process
+    /// restart would do. The retired manager's rewind count is retained
+    /// so the reconciliation invariant keeps holding across restarts.
+    pub fn restart_worker(&mut self) {
+        self.retired_rewinds += self.mgr.total_rewinds();
+        self.retired_domains += self.pool.domains_created();
+        self.mgr = DomainManager::new();
+        self.pool = DomainPool::new(self.template.clone(), self.max_domains);
     }
 
     /// The configured mode.
@@ -77,17 +111,20 @@ impl WorkerIsolation {
         self.mgr.call(domain, f)
     }
 
-    /// Total rewinds this worker's manager has performed (cross-checked
-    /// against the worker's own fault counter in `RuntimeStats`).
+    /// Total rewinds this worker's managers have performed — current
+    /// manager plus any retired by a ladder-driven restart
+    /// (cross-checked against the worker's own fault counter in
+    /// `RuntimeStats`).
     #[must_use]
     pub fn rewinds(&self) -> u64 {
-        self.mgr.total_rewinds()
+        self.retired_rewinds + self.mgr.total_rewinds()
     }
 
-    /// Domains instantiated by this worker's pool.
+    /// Domains instantiated by this worker's pools (current plus pools
+    /// retired by rebuild/restart rungs).
     #[must_use]
     pub fn domains_created(&self) -> usize {
-        self.pool.domains_created()
+        self.retired_domains + self.pool.domains_created()
     }
 
     /// Clients currently assigned to domains.
@@ -130,6 +167,40 @@ mod tests {
         assert_eq!(intact, b"alice-state");
         assert_eq!(iso.rewinds(), 5);
         assert_eq!(iso.domains_created(), 2);
+    }
+
+    #[test]
+    fn rebuild_and_restart_retain_the_books() {
+        let mut iso = WorkerIsolation::new(IsolationMode::PerClientDomain, 4, 16 * 1024);
+        let fault = |iso: &mut WorkerIsolation, client: u64| {
+            let crashed = iso.call_for(ClientId(client), |env| {
+                let block = env.push_bytes(b"x");
+                env.free(block);
+                env.free(block);
+            });
+            assert!(crashed.is_err());
+        };
+        fault(&mut iso, 1);
+        fault(&mut iso, 2);
+        assert_eq!(iso.rewinds(), 2);
+        assert_eq!(iso.domains_created(), 2);
+
+        // The pool rung forgets assignments but keeps the rewind book.
+        iso.rebuild_pool();
+        assert_eq!(iso.clients_assigned(), 0, "assignments forgotten");
+        assert_eq!(iso.rewinds(), 2, "rewind book survives");
+        fault(&mut iso, 1);
+        assert_eq!(iso.rewinds(), 3);
+        assert_eq!(iso.domains_created(), 3, "fresh pool, new domain");
+
+        // The restart rung discards the manager too; the books persist.
+        iso.restart_worker();
+        assert_eq!(iso.rewinds(), 3);
+        fault(&mut iso, 9);
+        assert_eq!(iso.rewinds(), 4);
+        assert!(iso
+            .call_for(ClientId(9), |env| env.push_bytes(b"alive"))
+            .is_ok());
     }
 
     #[test]

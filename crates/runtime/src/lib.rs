@@ -114,6 +114,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod control_hub;
 mod handler;
 mod histogram;
 mod isolation;
@@ -130,6 +131,13 @@ pub use histogram::LatencyHistogram;
 pub use isolation::{IsolationMode, WorkerIsolation};
 pub use queue::{Completion, Disposition, Request, ShardQueue, Ticket, WorkBatch};
 pub use runtime::{Dispatcher, Runtime, RuntimeConfig, Scheduling, StealPolicy, SubmitOutcome};
+// The control-plane vocabulary a runtime embedder needs, re-exported so
+// harnesses configure admission control and read the closed books
+// without a direct `sdrad-control` dependency.
+pub use sdrad_control::{
+    ControlConfig, ControlReport, DecisionCounts, LadderParams, RecoveryRung, ReputationParams,
+    ShedParams, Standing,
+};
 pub use server::ConnectionServer;
 pub use stats::{fleet_lineup_from_runs, RuntimeStats};
 pub use wake::WakeSet;

@@ -357,28 +357,38 @@ impl ShardQueue {
         self.stolen.load(Ordering::Relaxed)
     }
 
-    /// Enqueues an **owner-routed mutation** a thief lifted off one of
-    /// this shard's connection buffers. Unlike [`try_push`] this is
-    /// exempt from the capacity bound — the bytes were already accepted
-    /// on a connection, so shedding here would un-accept admitted work —
-    /// but it still refuses once the queue is stopped (the caller then
-    /// leaves the frame staged for the owner's shutdown drain, which
-    /// serves every staged byte). Counted in [`routed`](Self::routed),
-    /// not in [`submitted`](Self::submitted): routed frames are
-    /// connection work, not external submits.
+    /// Enqueues a run of **owner-routed mutations** a thief lifted off
+    /// one of this shard's connection buffers — the whole run in
+    /// **one** queue operation (one lock acquisition, one wake signal),
+    /// so a write-heavy skew pays one owner hand-off per run of
+    /// consecutive mutations instead of one per frame.
+    ///
+    /// Unlike [`try_push`] this is exempt from the capacity bound — the
+    /// bytes were already accepted on a connection, so shedding here
+    /// would un-accept admitted work — but it still refuses once the
+    /// queue is stopped, all-or-nothing: every request comes back and
+    /// the caller restores the frames to the tray for the owner's
+    /// shutdown drain, which serves every staged byte. Counted in
+    /// [`routed`](Self::routed), not in [`submitted`](Self::submitted):
+    /// routed frames are connection work, not external submits. Returns
+    /// the number of requests enqueued.
     ///
     /// [`try_push`]: Self::try_push
-    pub(crate) fn push_routed(&self, request: Request) -> Result<(), Request> {
+    pub(crate) fn push_routed_batch(&self, requests: Vec<Request>) -> Result<u64, Vec<Request>> {
+        if requests.is_empty() {
+            return Ok(0);
+        }
         let mut state = self.state.lock().expect("queue lock");
         if state.stopped {
-            return Err(request);
+            return Err(requests);
         }
-        state.items.push_back(request);
-        self.routed.fetch_add(1, Ordering::Relaxed);
+        let count = requests.len() as u64;
+        state.items.extend(requests);
+        self.routed.fetch_add(count, Ordering::Relaxed);
         drop(state);
         self.available.notify_one();
         self.signal_wakeset();
-        Ok(())
+        Ok(count)
     }
 
     /// Owner-routed mutation frames accepted by this queue.

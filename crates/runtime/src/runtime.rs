@@ -6,9 +6,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sdrad::ClientId;
+use sdrad_control::ControlConfig;
 use sdrad_energy::restart::RestartModel;
 use sdrad_net::Endpoint;
 
+use crate::control_hub::{ControlHub, Routing};
 use crate::handler::SessionHandler;
 use crate::histogram::LatencyHistogram;
 use crate::isolation::{IsolationMode, WorkerIsolation};
@@ -113,6 +115,19 @@ pub struct RuntimeConfig {
     /// wake/poll tick, so a fully idle event-driven runtime — which by
     /// design never ticks — reaps nothing and spends nothing.
     pub idle_reap_after: Option<u64>,
+    /// The adaptive control plane (`None` = the static reflexes:
+    /// bounded-queue shedding, rewind-only recovery). When set, the
+    /// runtime spawns one **extra** sacrificial *blast-pit* shard —
+    /// regular clients never hash to it — and wires three decision
+    /// families in: admission control (throttle/quarantine/ban by
+    /// client reputation, CoDel latency-target shedding per traffic
+    /// class) at [`Runtime::submit`]/[`Runtime::attach`], the
+    /// recovery-escalation ladder (rewind → pool rebuild → worker
+    /// restart) into every worker's fault path, and per-decision energy
+    /// billing into the final [`RuntimeStats::control`] report.
+    ///
+    /// [`RuntimeStats::control`]: crate::RuntimeStats::control
+    pub control: Option<ControlConfig>,
 }
 
 impl RuntimeConfig {
@@ -131,6 +146,7 @@ impl RuntimeConfig {
             conn_read_budget: 32,
             work_stealing: StealPolicy::Disabled,
             idle_reap_after: None,
+            control: None,
         }
     }
 
@@ -177,6 +193,12 @@ pub struct Dispatcher {
     /// siblings (and the source of the `conn_stolen` reconciliation
     /// counter).
     registries: Vec<Arc<ConnRegistry>>,
+    /// Shards regular clients hash over — excludes the blast-pit shard
+    /// (when a control plane is enabled), which only quarantined
+    /// clients are routed to.
+    hash_shards: usize,
+    /// The adaptive control plane, consulted at every admission.
+    control: Option<Arc<ControlHub>>,
     /// Connections handled by [`attach`](Self::attach) so far (admitted
     /// to a shard *or* visibly refused) — the handshake
     /// [`Runtime::quiesce`] uses to know the accept pipeline is empty.
@@ -186,20 +208,39 @@ pub struct Dispatcher {
 impl Dispatcher {
     /// The shard serving `client`. Sticky: every request (and the
     /// connection) of a client lands on the same worker, so its domain
-    /// assignment and request ordering are stable.
+    /// assignment and request ordering are stable. (A quarantined
+    /// client is the one exception: admission reroutes it to the
+    /// blast-pit shard until its score decays.)
     #[must_use]
     pub fn shard_of(&self, client: ClientId) -> usize {
         let mut hash = client.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         hash ^= hash >> 32;
-        (hash % self.queues.len() as u64) as usize
+        (hash % self.hash_shards as u64) as usize
     }
 
-    /// Assigns an accepted connection to `client`'s sticky shard and
-    /// wakes that worker to adopt it. Attaching to a shut-down runtime
-    /// refuses the connection (the peer observes a close) instead of
-    /// stranding it — the connection analogue of a shed submit.
+    /// Admission control: where (whether) this request/connection goes.
+    fn route(&self, client: ClientId) -> Option<usize> {
+        match &self.control {
+            None => Some(self.shard_of(client)),
+            Some(hub) => match hub.admit(client) {
+                Routing::Sticky => Some(self.shard_of(client)),
+                Routing::BlastPit(pit) => Some(pit),
+                Routing::Refuse => None,
+            },
+        }
+    }
+
+    /// Assigns an accepted connection to `client`'s sticky shard (or
+    /// the blast pit, for a quarantined client) and wakes that worker
+    /// to adopt it. A banned client — and any attach after shutdown —
+    /// is refused visibly: the peer observes a close instead of a
+    /// stranded connection.
     pub fn attach(&self, client: ClientId, mut endpoint: Endpoint) {
-        let shard = self.shard_of(client);
+        let Some(shard) = self.route(client) else {
+            endpoint.close();
+            self.attached.fetch_add(1, Ordering::SeqCst);
+            return;
+        };
         if self.queues[shard].is_stopped() {
             endpoint.close();
             self.attached.fetch_add(1, Ordering::SeqCst);
@@ -215,11 +256,17 @@ impl Dispatcher {
         self.attached.fetch_add(1, Ordering::SeqCst);
     }
 
-    /// Submits one complete request for `client`, with backpressure.
+    /// Submits one complete request for `client`, with backpressure —
+    /// and, when a control plane is enabled, admission control first
+    /// (a throttled, overloaded or banned client sheds here, before
+    /// any queue is touched).
     pub fn submit(&self, client: ClientId, payload: Vec<u8>) -> SubmitOutcome {
+        let Some(shard) = self.route(client) else {
+            return SubmitOutcome::Shed;
+        };
         let ticket = Ticket::new();
         let request = Request::new(client, payload, Some(ticket.clone()));
-        if self.queues[self.shard_of(client)].try_push(request) {
+        if self.queues[shard].try_push(request) {
             SubmitOutcome::Enqueued(ticket)
         } else {
             SubmitOutcome::Shed
@@ -229,7 +276,10 @@ impl Dispatcher {
     /// Fire-and-forget submit for load generation (no completion slot to
     /// allocate or fill). Returns whether the request was accepted.
     pub fn submit_detached(&self, client: ClientId, payload: Vec<u8>) -> bool {
-        self.queues[self.shard_of(client)].try_push(Request::new(client, payload, None))
+        let Some(shard) = self.route(client) else {
+            return false;
+        };
+        self.queues[shard].try_push(Request::new(client, payload, None))
     }
 }
 
@@ -268,7 +318,16 @@ impl Runtime {
         F: Fn(usize) -> H + Send + Sync + 'static,
     {
         sdrad::quiet_fault_traps();
-        let workers = config.workers.max(1);
+        // With a control plane enabled the runtime spawns one extra,
+        // sacrificial shard — the blast pit. Regular clients never hash
+        // to it (`hash_shards` excludes it); only admission-quarantined
+        // clients are routed there, so their repeat faults burn a
+        // domain pool no benign client shares.
+        let hash_shards = config.workers.max(1);
+        let workers = hash_shards + usize::from(config.control.is_some());
+        let hub = config
+            .control
+            .map(|control| Arc::new(ControlHub::new(control, workers - 1)));
         let factory = Arc::new(factory);
         let queues: Vec<Arc<ShardQueue>> = (0..workers)
             .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
@@ -325,6 +384,8 @@ impl Runtime {
                     Vec::new()
                 };
                 let factory = Arc::clone(&factory);
+                let hub = hub.clone();
+                let shared_generation = Arc::clone(&generation);
                 std::thread::Builder::new()
                     .name(format!("sdrad-worker-{index}"))
                     .spawn(move || {
@@ -342,6 +403,8 @@ impl Runtime {
                             peers,
                             peer_registries,
                             peer_wakes,
+                            generation: shared_generation,
+                            control: hub,
                         };
                         Worker::new(index, channels, iso, handler, &config).run()
                     })
@@ -353,6 +416,8 @@ impl Runtime {
                 queues,
                 inboxes,
                 registries,
+                hash_shards,
+                control: hub,
                 attached: Arc::new(AtomicU64::new(0)),
             },
             wakesets,
@@ -433,10 +498,19 @@ impl Runtime {
         }
     }
 
-    /// Number of shards/workers.
+    /// Number of shards/workers — including, when a control plane is
+    /// enabled, the extra blast-pit shard.
     #[must_use]
     pub fn workers(&self) -> usize {
         self.dispatcher.queues.len()
+    }
+
+    /// The sacrificial blast-pit shard quarantined clients are routed
+    /// to (`None` without a control plane). Regular clients never hash
+    /// to it.
+    #[must_use]
+    pub fn blast_pit(&self) -> Option<usize> {
+        self.dispatcher.control.as_ref().map(|hub| hub.blast_pit())
     }
 
     /// A clonable routing handle for threads that dispatch into this
@@ -522,6 +596,7 @@ impl Runtime {
             routed_submits,
             conn_stolen,
             shed_latency,
+            control: self.dispatcher.control.as_ref().map(|hub| hub.report()),
             wall: self.started.elapsed(),
         }
     }

@@ -3,6 +3,7 @@
 
 use std::time::Duration;
 
+use sdrad_control::ControlReport;
 use sdrad_energy::casestudy::{fleet_lineup, FleetReport, FleetScenario};
 
 use crate::histogram::LatencyHistogram;
@@ -33,6 +34,11 @@ pub struct RuntimeStats {
     /// Time-to-shed histogram across all shards (how fast the fast-fail
     /// rejection path answers — the p99 a shed client experiences).
     pub shed_latency: LatencyHistogram,
+    /// The adaptive control plane's closed books (admission decisions,
+    /// escalation rungs, per-decision energy bill) — `None` when the
+    /// runtime ran with the static reflexes
+    /// ([`RuntimeConfig::control`](crate::RuntimeConfig::control) unset).
+    pub control: Option<ControlReport>,
     /// Wall-clock span from start to the end of the drain.
     pub wall: Duration,
 }
@@ -157,6 +163,32 @@ impl RuntimeStats {
         self.workers.iter().map(|w| w.reaped).sum()
     }
 
+    /// Escalation-ladder decisions that stopped at the rewind rung,
+    /// across all workers (control plane enabled).
+    #[must_use]
+    pub fn ladder_rewinds(&self) -> u64 {
+        self.workers.iter().map(|w| w.ladder_rewinds).sum()
+    }
+
+    /// Pool discard/rebuild rungs executed across all workers.
+    #[must_use]
+    pub fn pool_rebuilds(&self) -> u64 {
+        self.workers.iter().map(|w| w.pool_rebuilds).sum()
+    }
+
+    /// Worker-restart rungs executed across all workers.
+    #[must_use]
+    pub fn worker_restarts(&self) -> u64 {
+        self.workers.iter().map(|w| w.worker_restarts).sum()
+    }
+
+    /// Owner hand-off batches pushed by thieves (each covers one run of
+    /// consecutive routed mutations; `owner_routed` counts the frames).
+    #[must_use]
+    pub fn routed_batches(&self) -> u64 {
+        self.workers.iter().map(|w| w.routed_batches).sum()
+    }
+
     /// Cumulative rewind nanoseconds across all workers.
     #[must_use]
     pub fn rewind_ns(&self) -> u64 {
@@ -244,8 +276,22 @@ impl RuntimeStats {
             // double-served routed frame breaks one of the equalities.
             && self.owner_routed() == self.routed_submits
             && self.routed_served() == self.routed_submits
-            // Every conn-stolen or routed frame is connection work.
+            // Every conn-stolen or routed frame is connection work, and
+            // every routed frame travelled in exactly one hand-off
+            // batch (a batch carries ≥ 1 frame).
             && self.conn_steals() + self.routed_served() <= self.conn_served()
+            && self.routed_batches() <= self.owner_routed()
+            // The control plane's books, when it ran: its own
+            // billed-vs-counted invariant holds, and the rungs the
+            // plane decided are exactly the rungs the workers executed
+            // — a decided-but-unexecuted (or executed-but-undecided)
+            // escalation breaks one of the equalities.
+            && self.control.as_ref().is_none_or(|report| {
+                report.reconciles()
+                    && report.counts.rewinds == self.ladder_rewinds()
+                    && report.counts.pool_rebuilds == self.pool_rebuilds()
+                    && report.counts.worker_restarts == self.worker_restarts()
+            })
     }
 
     /// Raw throughput: completed requests over the wall clock.
@@ -377,6 +423,7 @@ mod tests {
             routed_submits: 0,
             conn_stolen: 0,
             shed_latency: LatencyHistogram::new(),
+            control: None,
             wall: Duration::from_secs(2),
         }
     }

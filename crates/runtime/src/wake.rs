@@ -64,6 +64,10 @@ struct WakeState {
     stopped: bool,
     conns: BTreeSet<usize>,
     parked: bool,
+    /// Runtime generation at the moment the worker parked (0 when no
+    /// generation counter is bound) — the witness
+    /// [`WakeSet::parked_since`] exposes for exact stall accounting.
+    parked_generation: u64,
     parks: u64,
     wakeups: u64,
 }
@@ -168,6 +172,10 @@ impl WakeSet {
         }
         state.parked = true;
         state.parks += 1;
+        state.parked_generation = self
+            .generation
+            .get()
+            .map_or(0, |generation| generation.load(Ordering::SeqCst));
         drop(state);
         // The park transition is observable to quiescers.
         self.cv.notify_all();
@@ -195,14 +203,27 @@ impl WakeSet {
     }
 
     /// Whether the worker is currently parked with nothing pending —
-    /// the instantaneous idleness a stall counter or steal heuristic
-    /// reads. Racy by nature (the worker may wake the next instant);
-    /// exact quiescence requires the generation-counted barrier of
-    /// [`Runtime::quiesce`](crate::Runtime::quiesce).
+    /// the instantaneous idleness a steal heuristic reads. Racy by
+    /// nature (the worker may wake the next instant); exact quiescence
+    /// requires the generation-counted barrier of
+    /// [`Runtime::quiesce`](crate::Runtime::quiesce), and exact stall
+    /// accounting uses [`parked_since`](Self::parked_since).
     #[must_use]
     pub fn is_parked(&self) -> bool {
         let state = self.state.lock().expect("wakeset lock");
         state.parked && !state.pending()
+    }
+
+    /// The runtime generation at which the worker parked, while it is
+    /// parked with nothing pending (`None` otherwise). An observer that
+    /// snapshotted the generation counter at `g` and later reads
+    /// `parked_since() <= g` has a proof — not a racy instant — that
+    /// the worker sat parked across its whole observation window: the
+    /// park predates the snapshot and has not ended since.
+    #[must_use]
+    pub fn parked_since(&self) -> Option<u64> {
+        let state = self.state.lock().expect("wakeset lock");
+        (state.parked && !state.pending()).then_some(state.parked_generation)
     }
 
     /// Blocks until the worker is parked with no pending signals **and**
@@ -324,6 +345,37 @@ mod tests {
         wakes.signal_queue();
         worker.join().unwrap();
         assert!(!wakes.is_parked(), "woken worker is no longer parked");
+    }
+
+    #[test]
+    fn parked_since_witnesses_the_park_generation() {
+        use std::sync::atomic::AtomicU64;
+        let wakes = Arc::new(WakeSet::new());
+        let generation = Arc::new(AtomicU64::new(0));
+        wakes.bind_generation(Arc::clone(&generation));
+        assert_eq!(wakes.parked_since(), None, "never parked");
+
+        // Signals raise the generation; the next park records it.
+        wakes.signal_queue();
+        let _ = wakes.wait(); // consume, no park needed
+        let remote = Arc::clone(&wakes);
+        let worker = std::thread::spawn(move || remote.wait());
+        while wakes.parked_since().is_none() {
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            wakes.parked_since(),
+            Some(1),
+            "parked at the generation the signal left behind"
+        );
+        // An observer that snapshotted the generation *after* the park
+        // (g = 1) can conclude the worker sat parked since ≤ g.
+        let snapshot = generation.load(Ordering::SeqCst);
+        assert!(wakes.parked_since().unwrap() <= snapshot);
+        // A posted signal ends the witness before the worker even runs.
+        wakes.signal_queue();
+        assert_eq!(wakes.parked_since(), None, "pending signal = not idle");
+        worker.join().unwrap();
     }
 
     #[test]

@@ -54,11 +54,14 @@
 //! [`StealPolicy::Deep`]: crate::StealPolicy::Deep
 //! [`ConnTray`]: crate::server::ConnTray
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sdrad_control::RecoveryRung;
 use sdrad_energy::restart::RestartModel;
 
+use crate::control_hub::ControlHub;
 use crate::handler::{Framing, SessionHandler, StealClass};
 use crate::histogram::LatencyHistogram;
 use crate::isolation::WorkerIsolation;
@@ -138,10 +141,32 @@ pub struct WorkerStats {
     /// framing-complete requests waiting in a connection buffer while
     /// at least one sibling worker sat parked — capacity wasted by a
     /// steal policy that cannot reach connection buffers.
+    ///
+    /// The accounting is **exact**, not a racy instantaneous read: a
+    /// sibling counts as parked only if it parked at a runtime
+    /// generation no later than the one this worker's pass started at
+    /// *and* is still parked at the deferral — witnessed through the
+    /// monotonic generation counter, so the sibling provably sat idle
+    /// for the whole pass that stranded the frames.
     pub stranded_stalls: u64,
     /// Idle connections reaped (no bytes for the configured number of
     /// pump passes).
     pub reaped: u64,
+    /// Escalation-ladder decisions that stopped at the rewind rung
+    /// (control plane enabled: the fault was already rewound by the
+    /// isolation substrate, the ladder chose no further action).
+    pub ladder_rewinds: u64,
+    /// Pool discard/rebuild rungs this worker executed (control
+    /// plane): the whole domain pool torn down and re-created.
+    pub pool_rebuilds: u64,
+    /// Worker-restart rungs this worker executed (control plane):
+    /// isolation context and handler state rebuilt, the modeled
+    /// restart downtime charged to this worker's account.
+    pub worker_restarts: u64,
+    /// Owner hand-off batches this worker (as a thief) pushed: runs of
+    /// consecutive mutation frames routed home in one queue operation
+    /// (`owner_routed` counts the frames, this counts the hand-offs).
+    pub routed_batches: u64,
     /// Domains the worker's pool instantiated.
     pub domains_created: usize,
     /// Rewinds reported by the worker's own `DomainManager` — must equal
@@ -208,6 +233,13 @@ pub(crate) struct ShardChannels {
     /// the stall counter, and the bells a deferring owner rings so deep
     /// thieves come help. Empty when stealing is disabled.
     pub(crate) peer_wakes: Vec<Arc<WakeSet>>,
+    /// The runtime-wide signal generation counter — the witness the
+    /// exact stranded-stall accounting reads (a sibling "sat parked"
+    /// only if it parked at a generation ≤ the pass start).
+    pub(crate) generation: Arc<AtomicU64>,
+    /// The adaptive control plane, when enabled: the worker reports
+    /// every disposition and executes the escalation rungs it returns.
+    pub(crate) control: Option<Arc<ControlHub>>,
 }
 
 /// One worker: drains its shard queue and pumps its connections until
@@ -224,6 +256,10 @@ pub struct Worker<H: SessionHandler> {
     peer_registries: Vec<Arc<ConnRegistry>>,
     /// See [`ShardChannels::peer_wakes`].
     peer_wakes: Vec<Arc<WakeSet>>,
+    /// See [`ShardChannels::generation`].
+    generation: Arc<AtomicU64>,
+    /// See [`ShardChannels::control`].
+    control: Option<Arc<ControlHub>>,
     /// Token-addressed connection slab; `None` slots are free.
     conns: Vec<Option<Connection>>,
     free_tokens: Vec<usize>,
@@ -235,11 +271,14 @@ pub struct Worker<H: SessionHandler> {
     scheduling: Scheduling,
     steal_policy: StealPolicy,
     idle_reap_after: Option<u64>,
+    /// Pooled domains per worker (sizes the control plane's
+    /// pool-rebuild bills).
+    domains_per_worker: u32,
+    /// Runtime generation at the start of the current pass — the
+    /// stall-accounting witness.
+    pass_generation: u64,
     /// Round-robin cursor over `peer_wakes` for deferred-frame bells.
     next_bell: usize,
-    /// Steal passes performed — rotates the tray-walk offset so every
-    /// sibling connection gets visited, not just the registry head.
-    steal_rounds: usize,
     /// Monotonic pump-pass counter (one per wake / poll tick); the
     /// reaper measures connection idleness in these.
     pass: u64,
@@ -268,6 +307,8 @@ impl<H: SessionHandler> Worker<H> {
             peers: channels.peers,
             peer_registries: channels.peer_registries,
             peer_wakes: channels.peer_wakes,
+            generation: channels.generation,
+            control: channels.control,
             conns: Vec::new(),
             free_tokens: Vec::new(),
             iso,
@@ -278,8 +319,9 @@ impl<H: SessionHandler> Worker<H> {
             scheduling: config.scheduling,
             steal_policy: config.work_stealing,
             idle_reap_after: config.idle_reap_after,
+            domains_per_worker: u32::try_from(config.domains_per_worker).unwrap_or(u32::MAX),
+            pass_generation: 0,
             next_bell: 0,
-            steal_rounds: 0,
             pass: 0,
             stats: WorkerStats {
                 worker: index,
@@ -310,6 +352,16 @@ impl<H: SessionHandler> Worker<H> {
         loop {
             let signals = self.wakes.wait();
             self.pass += 1;
+            // The stall-accounting witness: any sibling still parked at
+            // a generation ≤ this snapshot has provably sat idle for
+            // the whole pass (its park predates everything the pass
+            // serves or defers).
+            self.pass_generation = self.generation.load(Ordering::SeqCst);
+            if let Some(hub) = &self.control {
+                // The control loop's tick rides the wake machinery: one
+                // tick per pass, zero ticks while the shard is idle.
+                hub.tick();
+            }
             let mut ready = signals.conns;
             ready.extend(self.adopt_connections());
 
@@ -637,9 +689,10 @@ impl<H: SessionHandler> Worker<H> {
 
     /// The connection half of deep stealing: scan sibling registries
     /// (most loaded first) and lift framing-complete requests off their
-    /// trays, up to one batch per wake. Each thief starts the tray walk
-    /// at its own offset so concurrent thieves fan out over different
-    /// connections instead of convoying on the first one.
+    /// trays — deepest-staged tray first — up to one batch per wake.
+    /// Concurrent thieves aiming at the same deep tray fan out through
+    /// the `try_lock` skip in [`steal_from_tray`](Self::steal_from_tray)
+    /// rather than convoying on it.
     fn steal_conn_buffers(&mut self) {
         // One registry snapshot per shard, ranked by how many bytes sit
         // unserved: staged bytes (already read off the endpoint — where
@@ -663,18 +716,19 @@ impl<H: SessionHandler> Worker<H> {
             if lifted >= self.batch {
                 break;
             }
-            if trays.is_empty() {
-                continue;
-            }
-            self.steal_rounds = self.steal_rounds.wrapping_add(1);
-            let offset = (self.index + self.steal_rounds) % trays.len();
-            for i in 0..trays.len() {
+            // Within a shard, work the **deepest** trays first: staged
+            // depth is how long a stranded frame has waited, so depth
+            // order is the same tail-latency-first rule queue stealing
+            // applies (oldest first) — not registry order, which is
+            // merely attach order. Ties keep registry order (stable
+            // sort); concurrent thieves aiming at the same deep tray
+            // fan out naturally through the `try_lock` skip.
+            for tray in rank_trays_by_depth(trays) {
                 if lifted >= self.batch {
                     break;
                 }
-                let tray = &trays[(offset + i) % trays.len()];
                 let per_tray = self.conn_budget.min(self.batch - lifted);
-                lifted += self.steal_from_tray(shard, tray, per_tray);
+                lifted += self.steal_from_tray(shard, &tray, per_tray);
             }
         }
         if lifted > 0 {
@@ -744,26 +798,58 @@ impl<H: SessionHandler> Worker<H> {
                     }
                     StealClass::Mutation => {
                         if batch.is_empty() && !self.peers[victim].is_stopped() {
-                            // A mutation at the head: route it home.
-                            let payload: Vec<u8> = st.staged.drain(..n).collect();
-                            st.routed_inflight += 1;
-                            let request = Request::owner_routed(
-                                client,
-                                payload,
-                                RoutedFrame {
-                                    tray: Arc::clone(tray),
-                                },
-                            );
-                            match self.peers[victim].push_routed(request) {
-                                Ok(()) => self.stats.owner_routed += 1,
-                                Err(request) => {
+                            // Mutations at the head: batch the whole
+                            // consecutive run into ONE owner hand-off.
+                            // A write-heavy skew pays one queue
+                            // operation and one gate round-trip per
+                            // run, not one per frame — the gate only
+                            // reopens when the *last* routed response
+                            // has been written.
+                            let mut run: Vec<Vec<u8>> = Vec::new();
+                            let mut take = n;
+                            loop {
+                                run.push(st.staged.drain(..take).collect());
+                                let Framing::Complete(next) = self.handler.frame(&st.staged) else {
+                                    break;
+                                };
+                                let next = next.clamp(1, st.staged.len());
+                                if self.handler.steal_class(&st.staged[..next])
+                                    != StealClass::Mutation
+                                {
+                                    break;
+                                }
+                                take = next;
+                            }
+                            let routed = u32::try_from(run.len()).unwrap_or(u32::MAX);
+                            st.routed_inflight += routed;
+                            let requests: Vec<Request> = run
+                                .into_iter()
+                                .map(|payload| {
+                                    Request::owner_routed(
+                                        client,
+                                        payload,
+                                        RoutedFrame {
+                                            tray: Arc::clone(tray),
+                                        },
+                                    )
+                                })
+                                .collect();
+                            match self.peers[victim].push_routed_batch(requests) {
+                                Ok(count) => {
+                                    self.stats.owner_routed += count;
+                                    self.stats.routed_batches += 1;
+                                }
+                                Err(requests) => {
                                     // Shutdown raced us: restore the
-                                    // frame at the head (we held the
+                                    // frames at the head (we held the
                                     // lock across the extraction, so
                                     // nobody saw the gap) and let the
-                                    // owner's drain serve it.
-                                    st.routed_inflight -= 1;
-                                    let mut restored = request.payload;
+                                    // owner's drain serve them.
+                                    st.routed_inflight -= routed;
+                                    let mut restored: Vec<u8> = Vec::new();
+                                    for request in requests {
+                                        restored.extend_from_slice(&request.payload);
+                                    }
                                     restored.extend_from_slice(&st.staged);
                                     st.staged = restored;
                                 }
@@ -796,7 +882,7 @@ impl<H: SessionHandler> Worker<H> {
         for payload in batch {
             let reply = self.handler.handle(&mut self.iso, client, &payload);
             tray.stream().write(&reply.response);
-            self.account(&reply.disposition, elapsed_ns(arrived));
+            self.account(client, &reply.disposition, elapsed_ns(arrived));
             self.stats.conn_served += 1;
             self.stats.conn_steals += 1;
         }
@@ -816,11 +902,24 @@ impl<H: SessionHandler> Worker<H> {
     /// sibling sat parked, and — under the deep policy — rings a
     /// sibling's bell so the stranded frames get stolen instead of
     /// waiting for this worker to come back around.
+    ///
+    /// The stall accounting is exact: a sibling counts only if
+    /// [`WakeSet::parked_since`] proves it parked at a generation no
+    /// later than this pass's start snapshot and is still parked now —
+    /// i.e. it provably sat idle across the entire pass that deferred
+    /// the frames. A sibling that woke (or was signalled) anywhere in
+    /// the pass is not stranded capacity, and the old racy
+    /// `is_parked()` read could both over- and under-count such
+    /// windows.
     fn note_deferred_frames(&mut self) {
         if self.peer_wakes.is_empty() {
             return;
         }
-        if self.peer_wakes.iter().any(|wakes| wakes.is_parked()) {
+        if self.peer_wakes.iter().any(|wakes| {
+            wakes
+                .parked_since()
+                .is_some_and(|g| g <= self.pass_generation)
+        }) {
             self.stats.stranded_stalls += 1;
         }
         if self.steal_policy == StealPolicy::Deep {
@@ -884,7 +983,7 @@ impl<H: SessionHandler> Worker<H> {
                     let payload: Vec<u8> = tray.staged.drain(..n).collect();
                     let reply = self.handler.handle(&mut self.iso, conn.client, &payload);
                     conn.endpoint.write(&reply.response);
-                    self.account(&reply.disposition, elapsed_ns(arrived));
+                    self.account(conn.client, &reply.disposition, elapsed_ns(arrived));
                     self.stats.conn_served += 1;
                     self.note_busy(serve_started);
                     progressed = true;
@@ -897,7 +996,11 @@ impl<H: SessionHandler> Worker<H> {
                     let consumed = consumed.clamp(1, tray.staged.len());
                     tray.staged.drain(..consumed);
                     conn.endpoint.write(&response);
-                    self.account(&Disposition::ProtocolError, elapsed_ns(arrived));
+                    self.account(
+                        conn.client,
+                        &Disposition::ProtocolError,
+                        elapsed_ns(arrived),
+                    );
                     self.stats.conn_served += 1;
                     progressed = true;
                     served_this_pass += 1;
@@ -906,7 +1009,11 @@ impl<H: SessionHandler> Worker<H> {
                     conn.endpoint.write(&response);
                     conn.endpoint.close();
                     tray.staged.clear();
-                    self.account(&Disposition::ProtocolError, elapsed_ns(arrived));
+                    self.account(
+                        conn.client,
+                        &Disposition::ProtocolError,
+                        elapsed_ns(arrived),
+                    );
                     self.stats.conn_served += 1;
                     return PumpOutcome {
                         progressed: true,
@@ -940,7 +1047,11 @@ impl<H: SessionHandler> Worker<H> {
         let reply = self
             .handler
             .handle(&mut self.iso, request.client, &request.payload);
-        self.account(&reply.disposition, elapsed_ns(request.accepted_at));
+        self.account(
+            request.client,
+            &reply.disposition,
+            elapsed_ns(request.accepted_at),
+        );
         if let Some(frame) = request.routed {
             // An owner-routed mutation: the response goes back to the
             // connection (under the tray lock, keeping frame order),
@@ -969,7 +1080,7 @@ impl<H: SessionHandler> Worker<H> {
         self.stats.busy_ns = self.stats.busy_ns.saturating_add(elapsed_ns(since));
     }
 
-    fn account(&mut self, disposition: &Disposition, latency_ns: u64) {
+    fn account(&mut self, client: sdrad::ClientId, disposition: &Disposition, latency_ns: u64) {
         self.stats.served += 1;
         match disposition {
             Disposition::Ok => {
@@ -1001,6 +1112,60 @@ impl<H: SessionHandler> Worker<H> {
             Disposition::SecretLeak => self.stats.leaks += 1,
             Disposition::InternalError => self.stats.internal_errors += 1,
         }
+        self.observe_control(client, disposition, latency_ns);
+    }
+
+    /// Reports one disposition to the control plane (when enabled) and
+    /// executes whatever escalation rung the ladder returns. The rung
+    /// runs **on this worker's own thread** against its own isolation
+    /// context — exactly the thread-confinement rule the rest of the
+    /// runtime keeps.
+    fn observe_control(
+        &mut self,
+        client: sdrad::ClientId,
+        disposition: &Disposition,
+        latency_ns: u64,
+    ) {
+        let Some(hub) = &self.control else {
+            return;
+        };
+        let rung = hub.observe(
+            self.index,
+            client,
+            disposition,
+            latency_ns,
+            self.handler.state_bytes(),
+            self.domains_per_worker,
+        );
+        match rung {
+            None => {}
+            Some(RecoveryRung::Rewind) => {
+                // The substrate already rewound the domain; the ladder
+                // chose to stop there. Counted so e19 can show the
+                // cheap rung firing most.
+                self.stats.ladder_rewinds += 1;
+            }
+            Some(RecoveryRung::PoolRebuild) => {
+                self.iso.rebuild_pool();
+                self.stats.pool_rebuilds += 1;
+            }
+            Some(RecoveryRung::WorkerRestart) => {
+                // The restart rung: isolation context and handler state
+                // are rebuilt in place on this thread (a logical
+                // restart — the OS thread survives, everything the
+                // process restart would discard is discarded), and the
+                // calibrated restart downtime is charged to this
+                // worker's account exactly like a baseline crash.
+                self.iso.restart_worker();
+                self.handler.restart();
+                let downtime = self.restart_model.recovery_time(self.handler.state_bytes());
+                self.stats.modeled_downtime_ns = self
+                    .stats
+                    .modeled_downtime_ns
+                    .saturating_add(u64::try_from(downtime.as_nanos()).unwrap_or(u64::MAX));
+                self.stats.worker_restarts += 1;
+            }
+        }
     }
 
     /// The worker's shard index.
@@ -1012,4 +1177,70 @@ impl<H: SessionHandler> Worker<H> {
 
 fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Orders a shard's trays **deepest first**: staged bytes (framed-but-
+/// unserved work, where stranded requests actually wait) plus bytes
+/// still pending on the endpoint. Stable, so equal depths keep registry
+/// order. Depth is sampled once up front — a tray being worked reports
+/// 0 (its `staged_len` try-lock fails), which is correct: a worked tray
+/// is not stranded.
+fn rank_trays_by_depth(trays: Vec<Arc<ConnTray>>) -> Vec<Arc<ConnTray>> {
+    let mut ranked: Vec<(usize, Arc<ConnTray>)> = trays
+        .into_iter()
+        .map(|tray| (tray.staged_len() + tray.stream().pending(), tray))
+        .collect();
+    ranked.sort_by_key(|&(depth, _)| std::cmp::Reverse(depth));
+    ranked.into_iter().map(|(_, tray)| tray).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdrad_net::duplex;
+
+    #[test]
+    fn tray_walks_lift_the_deepest_tray_first() {
+        // Three connections with 1, 3 and 2 staged frames: the ranking
+        // a deep-steal thief walks must put the deepest (most-stranded)
+        // tray first, not the registry (attach) order.
+        let mut conns = Vec::new();
+        for frames in [1usize, 3, 2] {
+            let (mut client, server) = duplex();
+            let conn = Connection::new(sdrad::ClientId(frames as u64), server);
+            for i in 0..frames {
+                client.write(format!("get k{i}\r\n").as_bytes());
+            }
+            // Stage the pending bytes, as a pump or steal pass would.
+            {
+                let mut st = conn.tray.lock();
+                let fresh = conn.tray.stream().drain_pending();
+                st.staged.extend(fresh);
+            }
+            conns.push(conn);
+        }
+        let registry_order: Vec<Arc<ConnTray>> =
+            conns.iter().map(|c| Arc::clone(&c.tray)).collect();
+        let ranked = rank_trays_by_depth(registry_order);
+        let depths: Vec<usize> = ranked.iter().map(|t| t.staged_len()).collect();
+        assert_eq!(
+            depths,
+            vec![3 * 8, 2 * 8, 8],
+            "deepest tray first, registry order only breaks ties"
+        );
+        assert_eq!(ranked[0].client(), sdrad::ClientId(3));
+    }
+
+    #[test]
+    fn rank_breaks_ties_by_registry_order() {
+        let trays: Vec<Arc<ConnTray>> = (0..3)
+            .map(|i| {
+                let (_client, server) = duplex();
+                Connection::new(sdrad::ClientId(i), server).tray
+            })
+            .collect();
+        let ranked = rank_trays_by_depth(trays);
+        let clients: Vec<u64> = ranked.iter().map(|t| t.client().0).collect();
+        assert_eq!(clients, vec![0, 1, 2], "stable for equal depths");
+    }
 }

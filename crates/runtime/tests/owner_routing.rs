@@ -233,6 +233,75 @@ fn mutations_are_routed_home_when_a_thief_meets_them() {
 }
 
 #[test]
+fn consecutive_mutations_travel_home_in_one_batch() {
+    // Pipelines dominated by *runs* of consecutive sets: a thief that
+    // meets the run's head must route the WHOLE run in one owner
+    // hand-off (`routed_batches` counts hand-offs, `owner_routed`
+    // counts frames — a write-heavy skew must show strictly more
+    // frames than batches). Engagement is racy; the books are checked
+    // on every attempt.
+    for attempt in 0..8 {
+        let mut config = RuntimeConfig::new(2, IsolationMode::PerClientDomain);
+        config.work_stealing = StealPolicy::Deep;
+        config.queue_capacity = 4096;
+        config.batch = 16;
+        config.conn_read_budget = 4;
+        let runtime = Runtime::start(config, |_| KvHandler::default());
+        let hot = hot_clients(&runtime, 1)[0];
+        for _ in 0..2000 {
+            assert!(runtime.submit_detached(hot, b"set pin 2\r\nok\r\n".to_vec()));
+        }
+        // One get, then a run of seven sets, repeated: any thief that
+        // reaches a run head sees ≥ 2 consecutive mutations.
+        let mut conns: Vec<(Endpoint, Vec<u8>)> = Vec::new();
+        for (c, client_id) in hot_clients(&runtime, 3).into_iter().enumerate() {
+            let (mut client, server) = duplex();
+            runtime.attach(client_id, server);
+            let mut burst = Vec::new();
+            let mut expected = Vec::new();
+            for i in 0..128 {
+                if i % 8 == 0 {
+                    burst.extend_from_slice(format!("get miss-{i}\r\n").as_bytes());
+                    expected.extend_from_slice(b"END\r\n");
+                } else {
+                    burst.extend_from_slice(format!("set c{c}-k{i} 2\r\nok\r\n").as_bytes());
+                    expected.extend_from_slice(b"STORED\r\n");
+                }
+            }
+            client.write(&burst);
+            conns.push((client, expected));
+        }
+        assert!(runtime.quiesce());
+        for (client, expected) in &mut conns {
+            assert_eq!(
+                client.read_available(),
+                *expected,
+                "batched routing preserves frame order"
+            );
+        }
+        let stats = runtime.shutdown();
+        assert_eq!(stats.served(), 2000 + 3 * 128);
+        assert_eq!(stats.thief_mutations(), 0);
+        assert!(
+            stats.routed_batches() <= stats.owner_routed(),
+            "a batch carries at least one frame"
+        );
+        assert!(stats.reconciles(), "books balance: {stats:?}");
+        if stats.owner_routed() > stats.routed_batches() && stats.routed_batches() > 0 {
+            // At least one hand-off carried more than one frame: the
+            // batch path engaged on a consecutive-mutation run.
+            return;
+        }
+        eprintln!(
+            "attempt {attempt}: no multi-frame batch ({} frames / {} batches); retrying",
+            stats.owner_routed(),
+            stats.routed_batches()
+        );
+    }
+    panic!("the batched hand-off path never engaged across attempts");
+}
+
+#[test]
 fn queue_policy_never_touches_connection_buffers() {
     let mut config = RuntimeConfig::new(2, IsolationMode::PerClientDomain);
     config.work_stealing = StealPolicy::Queue;

@@ -33,6 +33,7 @@ pub use sdrad as core;
 pub use sdrad_alloc as alloc;
 pub use sdrad_cheri as cheri;
 pub use sdrad_cluster as cluster;
+pub use sdrad_control as control;
 pub use sdrad_energy as energy;
 pub use sdrad_faultsim as faultsim;
 pub use sdrad_ffi as ffi;
