@@ -1,0 +1,509 @@
+//! `bench_report` — the perf-trajectory pipeline behind
+//! `BENCH_runtime.json`.
+//!
+//! Runs compact, deterministic-workload versions of the key runtime
+//! experiments (isolation submit path, event-driven connection serving,
+//! work stealing, the adaptive-control campaign) plus hot-path
+//! micro-timings, renders every summary through the shared
+//! [`sdrad_bench::Report`] formatter, and emits one schema-versioned
+//! JSON artifact. Three metric classes:
+//!
+//! * **exact** — invariants (crash counts, containment, poll counts,
+//!   precision). Any drift vs the committed baseline fails CI.
+//! * **guarded** — dimensionless performance ratios. A degradation
+//!   beyond 10 % vs the baseline fails CI; absolute timings are never
+//!   gated (they belong to the host, not the code).
+//! * **info** — absolute timings and counts, recorded for trend
+//!   reading across the commit history.
+//!
+//! The flight-recorder cost contract is asserted *here*, every run:
+//! enabled-recorder p99 on the connection-serving hot path must stay
+//! within 5 % (or a 10 µs absolute epsilon) of the Off cell, and an
+//! `Off` recorder emit must be compile-time-cheap.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sdrad-bench --bin bench_report              # regenerate baseline
+//! cargo run --release -p sdrad-bench --bin bench_report -- --check  # CI regression guard
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sdrad::ClientId;
+use sdrad_bench::campaign::{self, control_config};
+use sdrad_bench::{banner, measure, measured_rewind_latency, report, Metric, Report};
+use sdrad_runtime::{
+    ConnectionServer, IsolationMode, KvHandler, Runtime, RuntimeConfig, RuntimeStats, Scheduling,
+    StealPolicy, TelemetryConfig,
+};
+use sdrad_telemetry::{EventKind, Json, LogicalClock, Recorder, Source, TraceRing};
+
+/// Guarded-metric tolerance: a >10 % degradation vs baseline fails.
+const TOLERANCE: f64 = 0.10;
+/// Relative flight-recorder overhead budget on the hot-path p99.
+const OVERHEAD_BUDGET: f64 = 0.05;
+/// Absolute epsilon under which p99 deltas are scheduler noise, not
+/// recorder cost (the closed-loop service path runs at sub-µs p50, so
+/// single-µs p99 jitter belongs to the host scheduler).
+const OVERHEAD_EPSILON: Duration = Duration::from_micros(2);
+
+fn pace(runtime: &Runtime, i: usize) {
+    if i % 64 == 63 {
+        while runtime.pending() > 64 {
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+}
+
+fn benign(i: usize) -> Vec<u8> {
+    if i.is_multiple_of(4) {
+        format!("set key-{} 8\r\nabcdefgh\r\n", i % 512).into_bytes()
+    } else {
+        format!("get key-{}\r\n", i % 512).into_bytes()
+    }
+}
+
+/// Submit-path cell: `requests` paced submits, an xstat attack every
+/// `attack_every` (0 = never), books returned after quiesce.
+fn submit_cell(
+    isolation: IsolationMode,
+    requests: usize,
+    attack_every: usize,
+) -> (RuntimeStats, Duration, u64) {
+    let config = RuntimeConfig::new(4, isolation);
+    let runtime = Runtime::start(config, |_| KvHandler::default());
+    let started = Instant::now();
+    let mut attacks = 0u64;
+    for i in 0..requests {
+        let payload = if attack_every != 0 && i % attack_every == attack_every - 1 {
+            attacks += 1;
+            b"xstat 65536 4\r\nboom\r\n".to_vec()
+        } else {
+            benign(i)
+        };
+        assert!(
+            runtime.submit_detached(ClientId(i as u64 % 64), payload),
+            "paced submits must never shed"
+        );
+        pace(&runtime, i);
+    }
+    assert!(runtime.quiesce(), "drain must settle");
+    let wall = started.elapsed();
+    (runtime.shutdown(), wall, attacks)
+}
+
+/// E15-style: per-client-domain isolation under attack vs the
+/// crash-free baseline serving the same benign mix.
+fn scenario_isolation() -> Report {
+    const REQUESTS: usize = 4_000;
+    let (baseline, base_wall, _) = submit_cell(IsolationMode::Baseline, REQUESTS, 0);
+    let (isolated, iso_wall, attacks) = submit_cell(IsolationMode::PerClientDomain, REQUESTS, 101);
+    assert!(baseline.reconciles() && isolated.reconciles());
+
+    let base_rps = baseline.served() as f64 / base_wall.as_secs_f64();
+    let iso_rps = isolated.served() as f64 / iso_wall.as_secs_f64();
+    let contained_all = isolated.contained_faults() == attacks && isolated.shed == 0;
+    // The gated ratio is latency-based: worker-measured p50 service
+    // time isolates the per-request isolation cost from producer
+    // pacing and host scheduling, which dominate short-cell wall-clock
+    // throughput (too noisy to gate at 10 %).
+    let cost_p50 = isolated.ok_latency().p50().as_secs_f64()
+        / baseline
+            .ok_latency()
+            .p50()
+            .as_secs_f64()
+            .max(f64::MIN_POSITIVE);
+
+    let mut r = Report::new("e15", "submit-path isolation under attack");
+    r.begin_table(
+        format!("{REQUESTS} paced submits per cell, attacks every 101st (isolated cell only)"),
+        &["cell", "served", "contained", "crashes", "ok p50", "req/s"],
+    );
+    for (label, stats, rps) in [
+        ("baseline (benign only)", &baseline, base_rps),
+        ("per-client domains", &isolated, iso_rps),
+    ] {
+        r.row(&[
+            label.into(),
+            stats.served().to_string(),
+            stats.contained_faults().to_string(),
+            stats.crashes().to_string(),
+            format!("{:.2}us", stats.ok_latency().p50().as_nanos() as f64 / 1e3),
+            format!("{rps:.0}"),
+        ]);
+    }
+    r.exact("crashes", isolated.crashes() as f64, "count")
+        .exact("containment", f64::from(u8::from(contained_all)), "bool")
+        .guarded("isolation_cost_p50", cost_p50, "ratio", false)
+        .info("isolated_tput_rps", iso_rps, "rps")
+        .info("isolated_relative_tput", iso_rps / base_rps, "ratio")
+        .note(format!(
+            "{attacks} attacks all contained by domain rewind; per-request isolation cost \
+             {cost_p50:.2}x the baseline's p50 service time"
+        ));
+    r
+}
+
+/// Connection-serving cell (the e17 kv hot path): event-driven server,
+/// closed-loop benign round trips over 8 connections — one request in
+/// flight per trip, so the worker-measured latency is the service path
+/// itself, not queue depth. Returns the closed books.
+fn conn_cell(telemetry: TelemetryConfig, requests: usize) -> RuntimeStats {
+    const CONNS: usize = 8;
+    let mut config = RuntimeConfig::new(4, IsolationMode::PerClientDomain);
+    config.scheduling = Scheduling::EventDriven;
+    config.telemetry = telemetry;
+    let server = ConnectionServer::start(config, |_| KvHandler::default());
+    let mut clients: Vec<_> = (0..CONNS).map(|_| server.connect()).collect();
+    for i in 0..requests {
+        let c = i % CONNS;
+        clients[c].write(&benign(i));
+        let _ = server.await_response(&mut clients[c], 1);
+    }
+    server.shutdown()
+}
+
+/// E17-style hot path plus the flight-recorder cost contract: Off vs
+/// Enabled p99 on the identical workload, best of three runs each (the
+/// least host-noise-contaminated run per cell).
+fn scenario_conn_and_overhead() -> Report {
+    const REQUESTS: usize = 2_000;
+    let best = |telemetry: TelemetryConfig| -> (RuntimeStats, Duration) {
+        (0..3)
+            .map(|_| {
+                let stats = conn_cell(telemetry, REQUESTS);
+                let p99 = stats.ok_latency().p99();
+                (stats, p99)
+            })
+            .min_by_key(|(_, p99)| *p99)
+            .expect("three runs")
+    };
+    let (off, off_p99) = best(TelemetryConfig::Off);
+    let (on, on_p99) = best(TelemetryConfig::enabled());
+
+    assert!(off.reconciles() && on.reconciles());
+    assert_eq!(off.polls(), 0, "event-driven serving must never poll");
+    assert!(
+        off.telemetry.is_none(),
+        "TelemetryConfig::Off must leave no trace apparatus behind"
+    );
+    let on_report = on.telemetry.as_ref().expect("recorder was on");
+    assert!(on_report.snapshot.conserves());
+
+    // The <5% p99 contract (with an absolute epsilon: at microsecond
+    // service times, single-digit-µs p99 jitter is the host scheduler,
+    // not the recorder).
+    let overhead_ok = on_p99 <= off_p99 + OVERHEAD_EPSILON
+        || on_p99.as_secs_f64() <= off_p99.as_secs_f64() * (1.0 + OVERHEAD_BUDGET);
+    let overhead_pct =
+        (on_p99.as_secs_f64() / off_p99.as_secs_f64().max(f64::MIN_POSITIVE) - 1.0) * 100.0;
+    assert!(
+        overhead_ok,
+        "flight-recorder overhead breached: p99 {off_p99:?} -> {on_p99:?} ({overhead_pct:.1}%)"
+    );
+
+    // Emit micro-costs: the Off arm must be compile-time-cheap.
+    let clock = LogicalClock::new();
+    let ring = Arc::new(TraceRing::new(1 << 16));
+    let recorder = Recorder::on(Arc::clone(&ring), clock, Source::Dispatcher);
+    let emit_ns = measure(50_000, || {
+        recorder.emit(EventKind::Submit, 0, 1, std::hint::black_box(8));
+    })
+    .as_nanos() as f64;
+    let off_recorder = Recorder::Off;
+    let off_emit_ns = measure(100_000, || {
+        off_recorder.emit(EventKind::Submit, 0, 1, std::hint::black_box(8));
+    })
+    .as_nanos() as f64;
+    assert!(
+        off_emit_ns < 20.0,
+        "an Off emit must cost nothing measurable, got {off_emit_ns:.1}ns"
+    );
+
+    let mut r = Report::new("e17", "event-driven kv hot path + flight-recorder cost");
+    r.begin_table(
+        format!(
+            "{REQUESTS} closed-loop round trips over 8 conns, 4 workers, best of 3 runs per cell"
+        ),
+        &["recorder", "conn-served", "ok p99", "polls", "trace events"],
+    );
+    for (label, stats, p99, traced) in [
+        ("off", &off, off_p99, 0),
+        ("enabled", &on, on_p99, on_report.log.len()),
+    ] {
+        r.row(&[
+            label.into(),
+            stats.conn_served().to_string(),
+            format!("{:.1}us", p99.as_nanos() as f64 / 1e3),
+            stats.polls().to_string(),
+            traced.to_string(),
+        ]);
+    }
+    r.exact("polls_event", off.polls() as f64, "count")
+        .exact("crashes", (off.crashes() + on.crashes()) as f64, "count")
+        .info("p99_ns", off_p99.as_nanos() as f64, "ns");
+    // Telemetry contract metrics live under their own id prefix.
+    let mut t = Report::new("telemetry", "flight-recorder cost contract");
+    t.exact("overhead_ok", f64::from(u8::from(overhead_ok)), "bool")
+        .exact(
+            "off_leaves_no_trace",
+            f64::from(u8::from(off.telemetry.is_none())),
+            "bool",
+        )
+        .exact(
+            "conserves",
+            f64::from(u8::from(on_report.snapshot.conserves())),
+            "bool",
+        )
+        .info("overhead_p99_pct", overhead_pct, "pct")
+        .info("emit_ns", emit_ns, "ns")
+        .info("off_emit_ns", off_emit_ns, "ns");
+    for metric in t.metrics() {
+        // Fold into the e17 report so one artifact carries both.
+        r.adopt(metric.clone());
+    }
+    r.note(format!(
+        "enabled-recorder p99 overhead {overhead_pct:+.1}% (budget {:.0}% or {OVERHEAD_EPSILON:?}); \
+         one emit costs {emit_ns:.0}ns enabled, {off_emit_ns:.1}ns off",
+        OVERHEAD_BUDGET * 100.0
+    ));
+    r
+}
+
+/// E18-style: a hot-shard burst that only work stealing can spread.
+fn scenario_stealing() -> Report {
+    const BURST: usize = 4_000;
+    let mut config = RuntimeConfig::new(4, IsolationMode::PerClientDomain);
+    config.scheduling = Scheduling::EventDriven;
+    config.work_stealing = StealPolicy::Queue;
+    config.batch = 16;
+    let runtime = Runtime::start(config, |_| KvHandler::default());
+    // Warm every worker up (domain-pool setup is serialized) so thieves
+    // exist before the burst.
+    for shard in 0..4 {
+        let client = (0u64..)
+            .map(ClientId)
+            .find(|c| runtime.shard_of(*c) == shard)
+            .expect("some id maps to every shard");
+        if let sdrad_runtime::SubmitOutcome::Enqueued(ticket) =
+            runtime.submit(client, b"get warm-up\r\n".to_vec())
+        {
+            let _ = ticket.wait();
+        }
+    }
+    let hot = (10_000_000u64..)
+        .map(ClientId)
+        .find(|c| runtime.shard_of(*c) == 0)
+        .expect("some id maps to shard 0");
+    for i in 0..BURST {
+        let _ = runtime.submit_detached(hot, b"get hot-key\r\n".to_vec());
+        pace(&runtime, i);
+    }
+    assert!(runtime.quiesce(), "drain must settle");
+    let stats = runtime.shutdown();
+    assert!(stats.reconciles());
+    assert_eq!(stats.thief_mutations(), 0, "thieves never mutate");
+
+    let steal_share = stats.steals() as f64 / stats.served().max(1) as f64;
+    let mut r = Report::new("e18", "hot-shard burst spread by queue stealing");
+    r.begin_table(
+        format!("{BURST} paced submits, all to shard 0; 3 idle siblings, StealPolicy::Queue"),
+        &["served", "steals", "steal share", "thief mutations"],
+    );
+    r.row(&[
+        stats.served().to_string(),
+        stats.steals().to_string(),
+        format!("{:.0}%", steal_share * 100.0),
+        stats.thief_mutations().to_string(),
+    ]);
+    r.exact("thief_mutations", stats.thief_mutations() as f64, "count")
+        .exact(
+            "steals_engaged",
+            f64::from(u8::from(stats.steals() > 0)),
+            "bool",
+        )
+        .info("steal_share", steal_share, "ratio")
+        .note(format!(
+            "{} of {} requests served by thieves; zero thief-side mutations (owner-routed by \
+             construction)",
+            stats.steals(),
+            stats.served()
+        ));
+    r
+}
+
+/// E19's campaign, distilled into trajectory metrics.
+fn scenario_campaign() -> Report {
+    const EVENTS: usize = 6_000;
+    let static_cell = campaign::run_cell(None, TelemetryConfig::Off, EVENTS);
+    let adaptive = campaign::run_cell(Some(control_config()), TelemetryConfig::Off, EVENTS);
+    let offenders = campaign::offender_ids();
+    assert!(static_cell.stats.reconciles() && adaptive.stats.reconciles());
+
+    let ctl = adaptive.stats.control.as_ref().expect("control books");
+    let quarantined = &ctl.quarantined_clients;
+    let true_positives = quarantined.iter().filter(|c| offenders.contains(c)).count();
+    let precision = if quarantined.is_empty() {
+        1.0
+    } else {
+        true_positives as f64 / quarantined.len() as f64
+    };
+    let recall = true_positives as f64 / offenders.len() as f64;
+    let benign_banned = ctl
+        .banned_clients
+        .iter()
+        .filter(|c| !offenders.contains(c))
+        .count();
+    let served_ratio = adaptive.stats.ok() as f64 / static_cell.stats.ok().max(1) as f64;
+    let p99_ratio = static_cell.stats.ok_latency().p99().as_secs_f64()
+        / adaptive
+            .stats
+            .ok_latency()
+            .p99()
+            .as_secs_f64()
+            .max(f64::MIN_POSITIVE);
+
+    let mut r = Report::new("e19", "adaptive control plane campaign (trajectory cut)");
+    r.begin_table(
+        format!(
+            "{EVENTS} events, seed {:#x}, same campaign as e19/e20",
+            campaign::SEED
+        ),
+        &["policy", "benign-ok", "b-p99", "banned", "rungs r/p/w"],
+    );
+    for (label, cell) in [("static", &static_cell), ("adaptive", &adaptive)] {
+        let banned = cell
+            .stats
+            .control
+            .as_ref()
+            .map_or(0, |c| c.banned_clients.len());
+        r.row(&[
+            label.into(),
+            cell.stats.ok().to_string(),
+            format!(
+                "{:.1}us",
+                cell.stats.ok_latency().p99().as_nanos() as f64 / 1e3
+            ),
+            banned.to_string(),
+            format!(
+                "{}/{}/{}",
+                cell.stats.ladder_rewinds(),
+                cell.stats.pool_rebuilds(),
+                cell.stats.worker_restarts()
+            ),
+        ]);
+    }
+    r.exact(
+        "crashes",
+        (static_cell.stats.crashes() + adaptive.stats.crashes()) as f64,
+        "count",
+    )
+    .exact("benign_banned", benign_banned as f64, "count")
+    .exact("precision", precision, "ratio")
+    .exact(
+        "energy_saved_ok",
+        f64::from(u8::from(ctl.energy_saved_j() > 0.0)),
+        "bool",
+    )
+    .guarded("recall", recall, "ratio", true)
+    .guarded("benign_served_ratio", served_ratio, "ratio", true)
+    .info("p99_ratio", p99_ratio, "ratio")
+    .note(format!(
+        "adaptive served {:.2}x the static cell's benign requests at {:.1}x better p99; \
+             recall {:.0}%, precision {:.0}%, {} banned (all offenders)",
+        served_ratio,
+        p99_ratio,
+        recall * 100.0,
+        precision * 100.0,
+        ctl.banned_clients.len()
+    ));
+    r
+}
+
+/// Hot-path micro-timings (host-dependent, info only).
+fn scenario_micro() -> Report {
+    let rewind_ns = measured_rewind_latency(200).as_nanos() as f64;
+    let mut r = Report::new("micro", "hot-path micro-timings");
+    r.info("rewind_ns", rewind_ns, "ns").note(format!(
+        "mean contained-fault rewind: {:.1}us over 200 faults",
+        rewind_ns / 1e3
+    ));
+    r
+}
+
+fn baseline_path(args: &[String]) -> PathBuf {
+    if let Some(i) = args.iter().position(|a| a == "--baseline") {
+        return PathBuf::from(args.get(i + 1).expect("--baseline takes a path"));
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime.json")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let checking = args.iter().any(|a| a == "--check");
+    let path = baseline_path(&args);
+
+    banner(
+        "bench_report",
+        "runtime perf trajectory: exact invariants, guarded ratios, info timings",
+        "a resilience mechanism's cost story is only credible if it is re-measured and \
+         regression-gated on every change",
+    );
+
+    let reports = [
+        scenario_isolation(),
+        scenario_conn_and_overhead(),
+        scenario_stealing(),
+        scenario_campaign(),
+        scenario_micro(),
+    ];
+    let mut metrics: Vec<Metric> = Vec::new();
+    for r in &reports {
+        r.print();
+        metrics.extend(r.metrics().iter().cloned());
+    }
+
+    if checking {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("FAIL: no committed baseline at {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let doc = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("FAIL: baseline does not parse: {e}");
+            std::process::exit(1);
+        });
+        let baseline = report::metrics_from_json(&doc).unwrap_or_else(|e| {
+            eprintln!("FAIL: {e}");
+            std::process::exit(1);
+        });
+        let outcome = report::check(&metrics, &baseline, TOLERANCE);
+        for note in &outcome.notes {
+            println!("note: {note}");
+        }
+        for failure in &outcome.failures {
+            println!("FAIL: {failure}");
+        }
+        println!(
+            "check vs {}: {} metrics compared, {} failures, {} notes",
+            path.display(),
+            outcome.compared,
+            outcome.failures.len(),
+            outcome.notes.len()
+        );
+        if !outcome.passed() {
+            std::process::exit(1);
+        }
+    } else {
+        let doc = report::bench_json(&metrics);
+        std::fs::write(&path, doc.pretty()).expect("write baseline");
+        println!(
+            "wrote {} ({} metrics, schema v{})",
+            path.display(),
+            metrics.len(),
+            report::BENCH_SCHEMA_VERSION
+        );
+    }
+}

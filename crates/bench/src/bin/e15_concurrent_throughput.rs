@@ -22,7 +22,7 @@
 //! paper's sustainability argument.
 
 use sdrad::ClientId;
-use sdrad_bench::{banner, TextTable};
+use sdrad_bench::{banner, Report};
 use sdrad_energy::FleetScenario;
 use sdrad_runtime::{
     fleet_lineup_from_runs, IsolationMode, KvHandler, Runtime, RuntimeConfig, RuntimeStats,
@@ -102,9 +102,10 @@ fn main() {
     let worker_counts = [1usize, 2, 4, 8];
     let mut acceptance: Option<(RuntimeStats, RuntimeStats)> = None;
     let mut clean_pair: Option<(RuntimeStats, RuntimeStats)> = None;
+    let mut report = Report::new("e15", "concurrent throughput under attack");
 
     for (attack_per_10k, attack_label) in attack_rates {
-        let mut table = TextTable::new(
+        report.begin_table(
             format!(
                 "attack rate {attack_label}, {} requests/cell, kvstore workload",
                 requests_per_cell()
@@ -124,7 +125,7 @@ fn main() {
             let isolated = run_cell(workers, attack_per_10k, IsolationMode::PerClientDomain);
             let baseline = run_cell(workers, attack_per_10k, IsolationMode::Baseline);
             for (label, stats) in [("sdrad", &isolated), ("baseline", &baseline)] {
-                table.row(&[
+                report.row(&[
                     workers.to_string(),
                     label.into(),
                     format!("{:.0}", stats.throughput_rps()),
@@ -143,13 +144,12 @@ fn main() {
                 clean_pair = Some((isolated, baseline));
             }
         }
-        println!("{table}");
     }
 
     let (isolated, baseline) = acceptance.expect("the 4-worker/1% cell ran");
     let collapse = baseline.effective_throughput_rps() / isolated.effective_throughput_rps();
-    println!(
-        "-> acceptance cell (4 workers, 1% attack): sdrad crashes = {} (zero required), \
+    report.note(format!(
+        "acceptance cell (4 workers, 1% attack): sdrad crashes = {} (zero required), \
          contained faults = {}, mean rewind = {:?}; baseline crashes = {} costing {:.1?} of \
          modeled restart downtime. Delivered throughput: sdrad {:.0} req/s vs baseline {:.0} \
          req/s ({:.1}x collapse).",
@@ -161,7 +161,7 @@ fn main() {
         isolated.effective_throughput_rps(),
         baseline.effective_throughput_rps(),
         1.0 / collapse.max(f64::EPSILON),
-    );
+    ));
     assert_eq!(
         isolated.crashes(),
         0,
@@ -179,8 +179,8 @@ fn main() {
         &clean_baseline,
         FleetScenario::telecom_ran(),
     );
-    let mut table = TextTable::new(
-        "telecom RAN fleet (1000 sites), measured rewind & overhead substituted".to_string(),
+    report.begin_table(
+        "telecom RAN fleet (1000 sites), measured rewind & overhead substituted",
         &[
             "strategy",
             "servers",
@@ -191,27 +191,27 @@ fn main() {
             "meets 5 nines",
         ],
     );
-    for report in &lineup {
-        table.row(&[
-            report.strategy.clone(),
-            format!("{:.0}", report.servers),
-            format!("{:.6}", report.availability),
-            format!("{:.0}", report.annual_kwh),
-            format!("{:.0}", report.annual_kgco2),
-            format!("{:.0}", report.annual_tco_eur()),
-            if report.meets_target { "yes" } else { "no" }.into(),
+    for fleet in &lineup {
+        report.row(&[
+            fleet.strategy.clone(),
+            format!("{:.0}", fleet.servers),
+            format!("{:.6}", fleet.availability),
+            format!("{:.0}", fleet.annual_kwh),
+            format!("{:.0}", fleet.annual_kgco2),
+            format!("{:.0}", fleet.annual_tco_eur()),
+            if fleet.meets_target { "yes" } else { "no" }.into(),
         ]);
     }
-    println!("{table}");
     let sdrad = lineup
         .iter()
         .find(|r| r.strategy == "1N-sdrad")
         .expect("lineup includes sdrad");
-    println!(
-        "-> fleet conclusion: with this build's measured {:?} rewind, 1N-sdrad meets the \
+    report.note(format!(
+        "fleet conclusion: with this build's measured {:?} rewind, 1N-sdrad meets the \
          five-nines target on {:.0} servers — the measured-runtime version of the paper's \
          energy argument.",
         isolated.mean_rewind(),
         sdrad.servers,
-    );
+    ));
+    report.print();
 }

@@ -24,7 +24,7 @@
 //! `sdrad-energy`'s models.
 
 use sdrad::ClientId;
-use sdrad_bench::{attack_rate_per_year, attack_slots, banner, TextTable};
+use sdrad_bench::{attack_rate_per_year, attack_slots, banner, Report};
 use sdrad_energy::FleetScenario;
 use sdrad_faultsim::FaultSchedule;
 use sdrad_net::Endpoint;
@@ -202,9 +202,10 @@ fn main() {
     let workloads = [Workload::Kv, Workload::Http, Workload::Tls];
     let mut kv_attacked_isolated: Option<RuntimeStats> = None;
     let mut kv_clean: Option<(RuntimeStats, RuntimeStats)> = None;
+    let mut report = Report::new("e16", "connection-level serving under attack");
 
     for workload in workloads {
-        let mut table = TextTable::new(
+        report.begin_table(
             format!(
                 "{} over connections, {} requests/cell, {CONNS} conns, {WORKERS} workers",
                 workload.name(),
@@ -240,7 +241,7 @@ fn main() {
             for (label, stats) in [("sdrad", &isolated), ("baseline", &baseline)] {
                 let ok = stats.ok_latency();
                 let contained = stats.contained_latency();
-                table.row(&[
+                report.row(&[
                     attack_label.into(),
                     label.into(),
                     format!("{:.0}", stats.throughput_rps()),
@@ -294,7 +295,6 @@ fn main() {
                 kv_clean = Some((isolated, baseline));
             }
         }
-        println!("{table}");
     }
 
     // Fleet-level sustainability report, connection-path numbers: p99
@@ -302,8 +302,8 @@ fn main() {
     // attack-free pair.
     let attacked = kv_attacked_isolated.expect("kv 1% cell ran");
     let (clean_isolated, clean_baseline) = kv_clean.expect("kv 0% cells ran");
-    println!(
-        "-> measured rewind (kvstore over connections): p50 {}, p99 {}, p999 {} across {} \
+    report.note(format!(
+        "measured rewind (kvstore over connections): p50 {}, p99 {}, p999 {} across {} \
          contained faults; shed p99 {} across {} rejections",
         fmt_us(attacked.rewind_latency().p50()),
         fmt_us(attacked.rewind_latency().p99()),
@@ -311,15 +311,15 @@ fn main() {
         attacked.contained_faults(),
         fmt_us(attacked.shed_latency.p99()),
         attacked.shed,
-    );
+    ));
     let lineup = fleet_lineup_from_runs(
         &attacked,
         &clean_isolated,
         &clean_baseline,
         FleetScenario::telecom_ran(),
     );
-    let mut table = TextTable::new(
-        "telecom RAN fleet (1000 sites), measured p99 rewind & overhead substituted".to_string(),
+    report.begin_table(
+        "telecom RAN fleet (1000 sites), measured p99 rewind & overhead substituted",
         &[
             "strategy",
             "servers",
@@ -330,26 +330,26 @@ fn main() {
             "meets 5 nines",
         ],
     );
-    for report in &lineup {
-        table.row(&[
-            report.strategy.clone(),
-            format!("{:.0}", report.servers),
-            format!("{:.6}", report.availability),
-            format!("{:.0}", report.annual_kwh),
-            format!("{:.0}", report.annual_kgco2),
-            format!("{:.0}", report.annual_tco_eur()),
-            if report.meets_target { "yes" } else { "no" }.into(),
+    for fleet in &lineup {
+        report.row(&[
+            fleet.strategy.clone(),
+            format!("{:.0}", fleet.servers),
+            format!("{:.6}", fleet.availability),
+            format!("{:.0}", fleet.annual_kwh),
+            format!("{:.0}", fleet.annual_kgco2),
+            format!("{:.0}", fleet.annual_tco_eur()),
+            if fleet.meets_target { "yes" } else { "no" }.into(),
         ]);
     }
-    println!("{table}");
     let sdrad = lineup
         .iter()
         .find(|r| r.strategy == "1N-sdrad")
         .expect("lineup includes sdrad");
-    println!(
-        "-> conclusion: serving real connections, every isolated cell finished with zero \
+    report.note(format!(
+        "conclusion: serving real connections, every isolated cell finished with zero \
          process crashes and zero secret leaks under FaultSchedule-driven attack campaigns; \
          with the measured p99 rewind substituted, 1N-sdrad meets five nines on {:.0} servers.",
         sdrad.servers,
-    );
+    ));
+    report.print();
 }

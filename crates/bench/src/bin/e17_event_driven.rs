@@ -29,7 +29,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use sdrad::ClientId;
-use sdrad_bench::{attack_rate_per_year, attack_slots, banner, measure, TextTable};
+use sdrad_bench::{attack_rate_per_year, attack_slots, banner, measure, Report};
 use sdrad_energy::power::PowerModel;
 use sdrad_faultsim::FaultSchedule;
 use sdrad_net::Endpoint;
@@ -228,7 +228,8 @@ fn main() {
     let polling = run_cell(Scheduling::Polling);
     let event = run_cell(Scheduling::EventDriven);
 
-    let mut table = TextTable::new(
+    let mut report = Report::new("e17", "readiness-driven vs poll-driven scheduling");
+    report.begin_table(
         format!(
             "{} requests + {} hot-shard submits, {CONNS} conns, {WORKERS} workers, \
              {PROBES} RTT probes, {}ms idle tail",
@@ -251,7 +252,7 @@ fn main() {
         ],
     );
     for (label, cell) in [("polling", &polling), ("event", &event)] {
-        table.row(&[
+        report.row(&[
             label.into(),
             format!("{:.0}", cell.stats.throughput_rps()),
             fmt_us(cell.rtt.p50()),
@@ -265,7 +266,6 @@ fn main() {
             if cell.stats.reconciles() { "yes" } else { "NO" }.into(),
         ]);
     }
-    println!("{table}");
 
     // --- the regression guards CI smokes ---------------------------------
     assert!(polling.stats.reconciles() && event.stats.reconciles());
@@ -305,35 +305,36 @@ fn main() {
     let model = PowerModel::rack_server();
     let kwh_per_server = model.annual_kwh(utilization) - model.annual_kwh(0.0);
     let fleet_kwh = kwh_per_server * FLEET_SERVERS;
-    println!(
-        "-> spurious polls avoided: {avoided} (polling burned {:.2} ms of CPU at \
+    report.note(format!(
+        "spurious polls avoided: {avoided} (polling burned {:.2} ms of CPU at \
          {:?}/poll; event-driven performed {} wakeups, parks {} times, zero polls)",
         poll_cpu * 1_000.0,
         per_poll,
         event.stats.wakeups(),
         event.stats.parks(),
-    );
-    println!(
-        "-> steal rate: polling {} / event {} stolen requests off the hot shard \
+    ));
+    report.note(format!(
+        "steal rate: polling {} / event {} stolen requests off the hot shard \
          (queues and thieves reconcile on both: {} / {})",
         polling.stats.steals(),
         event.stats.steals(),
         polling.stats.stolen_submits,
         event.stats.stolen_submits,
-    );
-    println!(
-        "-> fleet energy delta (lower bound): idle-poll utilization {:.5} ⇒ \
+    ));
+    report.note(format!(
+        "fleet energy delta (lower bound): idle-poll utilization {:.5} ⇒ \
          {kwh_per_server:.1} kWh/yr/server ⇒ {fleet_kwh:.0} kWh/yr across {FLEET_SERVERS:.0} \
          servers — spent serving nobody; readiness scheduling spends 0",
         utilization,
-    );
-    println!(
-        "-> conclusion: identical mix, identical containment ({} vs {} faults), but the \
+    ));
+    report.note(format!(
+        "conclusion: identical mix, identical containment ({} vs {} faults), but the \
          event-driven scheduler answered probes at p99 {} vs {} and performed zero idle \
          polls where the baseline performed {avoided}.",
         event.stats.contained_faults(),
         polling.stats.contained_faults(),
         fmt_us(event.rtt.p99()),
         fmt_us(polling.rtt.p99()),
-    );
+    ));
+    report.print();
 }

@@ -43,7 +43,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use sdrad::ClientId;
-use sdrad_bench::{attack_rate_per_year, attack_slots, banner, TextTable};
+use sdrad_bench::{attack_rate_per_year, attack_slots, banner, Report};
 use sdrad_energy::power::PowerModel;
 use sdrad_faultsim::FaultSchedule;
 use sdrad_net::{duplex, Endpoint};
@@ -273,7 +273,11 @@ fn main() {
     let queue = run_cell(StealPolicy::Queue);
     let deep = run_cell(StealPolicy::Deep);
 
-    let mut table = TextTable::new(
+    let mut report = Report::new(
+        "e18",
+        "connection-buffer work stealing under a hot-shard skew",
+    );
+    report.begin_table(
         format!(
             "{} conn frames + {} hot queue mutations over {HOT_CONNS} conns pinned to shard 0, \
              {WORKERS} workers, budget {BUDGET}, {PROBES} RTT probes",
@@ -295,7 +299,7 @@ fn main() {
         ],
     );
     for (label, cell) in [("queue", &queue), ("deep", &deep)] {
-        table.row(&[
+        report.row(&[
             label.into(),
             format!("{:.1}ms", cell.drain.as_secs_f64() * 1_000.0),
             fmt_us(cell.rtt.p50()),
@@ -309,7 +313,6 @@ fn main() {
             if cell.stats.reconciles() { "yes" } else { "NO" }.into(),
         ]);
     }
-    println!("{table}");
 
     // --- the acceptance criteria CI smokes -------------------------------
     for (label, cell) in [("queue", &queue), ("deep", &deep)] {
@@ -391,8 +394,8 @@ fn main() {
     let per_server = model.annual_kwh(0.30);
     let extra_servers = (ratio - 1.0).max(0.0) * FLEET_SERVERS;
     let delta_kwh = extra_servers * per_server;
-    println!(
-        "-> steal depth: queue-only moved {} queue items (and {} of them were mutations \
+    report.note(format!(
+        "steal depth: queue-only moved {} queue items (and {} of them were mutations \
          executed on the wrong shard's state); deep moved {} queue items + {} connection \
          frames and routed {} mutations home ({:.1}% of stolen frames), with zero \
          thief-mutated state",
@@ -403,39 +406,39 @@ fn main() {
         deep.stats.owner_routed(),
         100.0 * deep.stats.owner_routed() as f64
             / (deep.stats.conn_steals() + deep.stats.owner_routed()).max(1) as f64,
-    );
-    println!(
-        "-> stranded stalls: queue-only deferred frames {} times while a sibling sat \
+    ));
+    report.note(format!(
+        "stranded stalls: queue-only deferred frames {} times while a sibling sat \
          parked; deep {} (siblings were busy stealing instead)",
         queue.stats.stranded_stalls(),
         deep.stats.stranded_stalls(),
-    );
+    ));
     // The drain-rate direction depends on the host: recruiting thieves
     // needs idle cores, and on a single-core runner every runnable
     // thief merely timeslices against the owner. Report whatever was
     // measured, with the sign stated honestly.
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     if ratio >= 1.0 {
-        println!(
-            "-> modeled fleet energy delta: the same skew drains {ratio:.2}x faster with \
+        report.note(format!(
+            "modeled fleet energy delta: the same skew drains {ratio:.2}x faster with \
              connection-buffer stealing; a fleet sized for the queue-only rate carries \
              {extra_servers:.0} extra servers at ~{per_server:.0} kWh/yr each ≈ \
              {delta_kwh:.0} kWh/yr across {FLEET_SERVERS:.0} sites — capacity that was \
              parked next to a hot shard the whole time",
-        );
+        ));
     } else {
-        println!(
-            "-> modeled fleet energy delta: not claimed on this run — the deep cell \
+        report.note(format!(
+            "modeled fleet energy delta: not claimed on this run — the deep cell \
              drained the skew {:.2}x slower here ({} core(s) available: recruited \
              thieves timeslice against the owner instead of running beside it). The \
              stranded-capacity win requires genuinely idle cores; the stall counters \
              above measure the stranding itself, independent of host parallelism.",
             1.0 / ratio.max(1e-9),
             cores,
-        );
+        ));
     }
-    println!(
-        "-> conclusion: identical skewed mix, identical containment ({} vs {} faults); \
+    report.note(format!(
+        "conclusion: identical skewed mix, identical containment ({} vs {} faults); \
          deep stealing kept steady-state probes at p99 {} vs {} and cut stranded \
          stalls {} -> {} without a single off-shard mutation.",
         deep.stats.contained_faults(),
@@ -444,5 +447,6 @@ fn main() {
         fmt_us(queue.rtt.p99()),
         queue.stats.stranded_stalls(),
         deep.stats.stranded_stalls(),
-    );
+    ));
+    report.print();
 }

@@ -21,6 +21,11 @@
 //!   discard/rebuild → worker restart) with every decision billed
 //!   through the calibrated `sdrad-energy` models.
 //!
+//! The campaign itself (seed, traffic mix, control parameters, pacing)
+//! lives in `sdrad_bench::campaign`, shared verbatim with E20 (the
+//! trace-replay post-mortem) and `bench_report` (the committed
+//! trajectory metrics) — three harnesses, one workload.
+//!
 //! Reported per cell: benign served count and throughput, benign p50 /
 //! p99 (the worker-measured ok-latency stream — hostile requests never
 //! produce `Ok`, so the stream is benign-pure by construction),
@@ -39,21 +44,9 @@
 
 use std::time::Duration;
 
-use sdrad::ClientId;
-use sdrad_bench::{banner, TextTable};
-use sdrad_faultsim::{HostileMix, HostileMixConfig, TrafficKind};
-use sdrad_runtime::{
-    ControlConfig, IsolationMode, LadderParams, ReputationParams, Runtime, RuntimeConfig,
-    RuntimeStats,
-};
-
-/// Regular shards per cell (the adaptive cell adds its blast pit).
-const WORKERS: usize = 4;
-/// Bounded queue depth: small enough that sustained hostile volume
-/// visibly crowds benign traffic in the static cell.
-const QUEUE_CAPACITY: usize = 256;
-/// Campaign seed — both cells replay the identical event stream.
-const SEED: u64 = 0x5D12_AD19;
+use sdrad_bench::campaign::{self, campaign_config, control_config, Cell, QUEUE_CAPACITY, WORKERS};
+use sdrad_bench::{banner, Report};
+use sdrad_runtime::TelemetryConfig;
 
 /// Campaign length (override with `SDRAD_E19_REQUESTS`). Clamped to a
 /// floor of 6 000 events: the strict p99 and recall assertions are
@@ -66,126 +59,6 @@ fn requests_per_cell() -> usize {
         .and_then(|v| v.parse().ok())
         .unwrap_or(12_000)
         .max(6_000)
-}
-
-fn campaign_config() -> HostileMixConfig {
-    HostileMixConfig {
-        benign_clients: 32,
-        offenders: 4,
-        attack_fraction: 0.5,
-        attack_run: (6, 20),
-        flash_probability: 0.02,
-        flash_run: (8, 32),
-        ..HostileMixConfig::default()
-    }
-}
-
-/// Control parameters for the adaptive cell: standings wide enough
-/// that the run-at-a-time score jumps still pass through every
-/// graduated response, decay slow enough that a ban holds for the rest
-/// of the campaign, and a ladder that escalates inside an offender's
-/// career.
-fn control_config() -> ControlConfig {
-    ControlConfig {
-        reputation: ReputationParams {
-            // Slow decay relative to the campaign: an offender that
-            // reaches a ban stays out for the rest of the run instead
-            // of cycling back through the regular shards (decay-driven
-            // forgiveness is exercised by the integration tests; here
-            // it would just re-admit a client that is still attacking).
-            half_life_ns: 8_000_000_000, // 8 s
-            // Thresholds straddle the attack-run quantum: an offender's
-            // faults are observed a whole run (6-20) at a time, so each
-            // standing must be wider than a run or the client would
-            // leap straight from good standing to a ban without ever
-            // being throttled or quarantined.
-            throttle_score: 4.0,
-            quarantine_score: 28.0,
-            ban_score: 64.0,
-            throttle_rate_per_sec: 1_000.0,
-            throttle_burst: 4.0,
-        },
-        ladder: LadderParams {
-            // Rewind-first: three rewinds per pool rebuild, three
-            // rebuilds per worker restart (12 consecutive faults in one
-            // domain). The quarantine band is wide enough that most of
-            // an offender's career — and so most rebuilds and nearly
-            // all restarts — happens in the blast pit, away from the
-            // benign shards' queues.
-            pool_after: 4,
-            restart_after_rebuilds: 3,
-        },
-        ..ControlConfig::default()
-    }
-}
-
-struct Cell {
-    stats: RuntimeStats,
-    offered: u64,
-    benign_offered: u64,
-    /// Submits refused client-side (admission or queue, indistinct to
-    /// the client) — the conservation cross-check.
-    client_refused: u64,
-    wall: Duration,
-}
-
-/// Drives the identical seeded campaign through one runtime. The
-/// producer runs full speed; bounded queues and (adaptive cell)
-/// admission control decide what survives.
-fn run_cell(control: Option<ControlConfig>) -> Cell {
-    let mut config = RuntimeConfig::new(WORKERS, IsolationMode::PerClientDomain);
-    config.queue_capacity = QUEUE_CAPACITY;
-    // Small domain heaps: the xstat exploit (declared 64 KB) still
-    // faults at the region edge, while the pool-rebuild rung tears
-    // down kilobytes instead of megabytes — the rebuild cost the
-    // energy ledger bills is the cost the latency tail actually pays.
-    config.domain_heap = 32 * 1024;
-    config.control = control;
-    let runtime = Runtime::start(config, |_| sdrad_runtime::KvHandler::default());
-
-    let mut mix = HostileMix::new(SEED, campaign_config());
-    let events = requests_per_cell();
-    let started = std::time::Instant::now();
-    let mut offered = 0u64;
-    let mut benign_offered = 0u64;
-    let mut client_refused = 0u64;
-    for i in 0..events {
-        let event = mix.next_event();
-        let payload = match event.kind {
-            TrafficKind::Attack => b"xstat 65536 4\r\nboom\r\n".to_vec(),
-            TrafficKind::Benign => {
-                benign_offered += 1;
-                if i % 4 == 0 {
-                    format!("set key-{} 8\r\nabcdefgh\r\n", i % 512).into_bytes()
-                } else {
-                    format!("get key-{}\r\n", i % 512).into_bytes()
-                }
-            }
-        };
-        offered += 1;
-        if !runtime.submit_detached(ClientId(event.client), payload) {
-            client_refused += 1;
-        }
-        // Brief breather every few hundred events: the workers observe
-        // faults (and the reputation scores integrate them) while the
-        // campaign is still running — the closed loop the experiment
-        // is about. Identical pacing in both cells.
-        if i % 64 == 63 {
-            while runtime.pending() > 64 {
-                std::thread::sleep(Duration::from_micros(20));
-            }
-        }
-    }
-    assert!(runtime.quiesce(), "the drain must settle");
-    let wall = started.elapsed();
-    let stats = runtime.shutdown();
-    Cell {
-        stats,
-        offered,
-        benign_offered,
-        client_refused,
-        wall,
-    }
 }
 
 fn fmt_us(d: Duration) -> String {
@@ -201,10 +74,10 @@ fn main() {
          and the innocent keep their latency — at a fraction of the recovery energy",
     );
 
-    let static_cell = run_cell(None);
-    let adaptive = run_cell(Some(control_config()));
-    let mix = HostileMix::new(SEED, campaign_config());
-    let offenders = mix.offender_ids();
+    let events = requests_per_cell();
+    let static_cell = campaign::run_cell(None, TelemetryConfig::Off, events);
+    let adaptive = campaign::run_cell(Some(control_config()), TelemetryConfig::Off, events);
+    let offenders = campaign::offender_ids();
 
     // Ground truth: both cells replayed the same campaign.
     assert_eq!(static_cell.offered, adaptive.offered);
@@ -213,11 +86,14 @@ fn main() {
     let benign_p99 = |cell: &Cell| cell.stats.ok_latency().p99();
     let benign_tput = |cell: &Cell| cell.stats.ok() as f64 / cell.wall.as_secs_f64();
 
-    let mut table = TextTable::new(
+    let mut report = Report::new(
+        "e19",
+        "adaptive control plane vs static reflexes, identical campaign",
+    );
+    report.begin_table(
         format!(
-            "{} events, {}% attack starts in runs of {}-{}, {} offenders vs {} benign clients, \
-             {WORKERS} shards (+1 blast pit when adaptive), queues of {QUEUE_CAPACITY}",
-            requests_per_cell(),
+            "{events} events, {}% attack starts in runs of {}-{}, {} offenders vs {} benign \
+             clients, {WORKERS} shards (+1 blast pit when adaptive), queues of {QUEUE_CAPACITY}",
             50,
             campaign_config().attack_run.0,
             campaign_config().attack_run.1,
@@ -249,7 +125,7 @@ fn main() {
             .control
             .as_ref()
             .map_or(0, |report| report.banned_clients.len());
-        table.row(&[
+        report.row(&[
             label.into(),
             cell.stats.ok().to_string(),
             format!("{:.0}", benign_tput(cell)),
@@ -268,7 +144,6 @@ fn main() {
             if cell.stats.reconciles() { "yes" } else { "NO" }.into(),
         ]);
     }
-    println!("{table}");
 
     // --- conservation and hygiene, both cells ----------------------------
     for (label, cell) in [("static", &static_cell), ("adaptive", &adaptive)] {
@@ -297,12 +172,12 @@ fn main() {
     }
 
     // --- the adaptive cell's acceptance criteria -------------------------
-    let report = adaptive.stats.control.as_ref().expect("control books");
+    let ctl = adaptive.stats.control.as_ref().expect("control books");
     if std::env::var("SDRAD_E19_DIAG").is_ok() {
-        eprintln!("adaptive decision counts: {:#?}", report.counts);
+        eprintln!("adaptive decision counts: {:#?}", ctl.counts);
         eprintln!("pit worker: {:#?}", adaptive.stats.workers.last());
     }
-    assert!(report.reconciles(), "decisions billed == decisions counted");
+    assert!(ctl.reconciles(), "decisions billed == decisions counted");
 
     // Benign outcomes strictly better.
     assert!(
@@ -325,7 +200,7 @@ fn main() {
     );
 
     // Quarantine precision/recall against the campaign's ground truth.
-    let quarantined = &report.quarantined_clients;
+    let quarantined = &ctl.quarantined_clients;
     let true_positives = quarantined
         .iter()
         .filter(|client| offenders.contains(client))
@@ -345,14 +220,13 @@ fn main() {
         "every repeat offender is caught: recall {recall}"
     );
     assert!(
-        report
-            .banned_clients
+        ctl.banned_clients
             .iter()
             .all(|client| offenders.contains(client)),
         "zero benign clients banned: {:?}",
-        report.banned_clients
+        ctl.banned_clients
     );
-    assert!(!report.banned_clients.is_empty(), "offenders get banned");
+    assert!(!ctl.banned_clients.is_empty(), "offenders get banned");
 
     // The escalation ladder engaged every rung, cheapest first.
     assert!(adaptive.stats.ladder_rewinds() > 0, "rewind rung");
@@ -370,47 +244,48 @@ fn main() {
     // The energy books: choosing the cheap rung first beats restart-only
     // recovery on the identical fault sequence.
     assert!(
-        report.energy_saved_j() > 0.0,
+        ctl.energy_saved_j() > 0.0,
         "the ladder must save recovery energy vs restart-only"
     );
 
-    println!(
-        "-> quarantine: {} of {} offenders caught (recall {:.0}%), precision {:.0}%, {} banned \
+    report.note(format!(
+        "quarantine: {} of {} offenders caught (recall {:.0}%), precision {:.0}%, {} banned \
          ({} quarantine admissions served in the blast pit, {} refused at admission)",
         true_positives,
         offenders.len(),
         recall * 100.0,
         precision * 100.0,
-        report.banned_clients.len(),
-        report.counts.quarantines,
-        report.counts.refused(),
-    );
-    println!(
-        "-> escalation ladder: {} rewinds, {} pool rebuilds, {} worker restarts — billed {:?} \
+        ctl.banned_clients.len(),
+        ctl.counts.quarantines,
+        ctl.counts.refused(),
+    ));
+    report.note(format!(
+        "escalation ladder: {} rewinds, {} pool rebuilds, {} worker restarts — billed {:?} \
          of modeled recovery vs {:?} under restart-only recovery ({:.1} J saved, {:.1}% less)",
         adaptive.stats.ladder_rewinds(),
         adaptive.stats.pool_rebuilds(),
         adaptive.stats.worker_restarts(),
-        report.bill.ladder_time(),
-        report.bill.restart_only_time,
-        report.energy_saved_j(),
-        100.0 * report.energy_saved_j() / report.restart_only_energy_j.max(f64::MIN_POSITIVE),
-    );
-    println!(
-        "-> benign clients: {} served in both campaigns; adaptive p99 {} vs static {} — the \
+        ctl.bill.ladder_time(),
+        ctl.bill.restart_only_time,
+        ctl.energy_saved_j(),
+        100.0 * ctl.energy_saved_j() / ctl.restart_only_energy_j.max(f64::MIN_POSITIVE),
+    ));
+    report.note(format!(
+        "benign clients: {} served in both campaigns; adaptive p99 {} vs static {} — the \
          controller shed {} hostile requests at admission that the static cell queued in front \
          of everyone",
         adaptive.stats.ok(),
         fmt_us(benign_p99(&adaptive)),
         fmt_us(benign_p99(&static_cell)),
-        report.counts.refused(),
-    );
-    println!(
-        "-> conclusion: same campaign, same isolation; policy alone moved benign p99 {} -> {} \
+        ctl.counts.refused(),
+    ));
+    report.note(format!(
+        "conclusion: same campaign, same isolation; policy alone moved benign p99 {} -> {} \
          and recovery energy {:.2} J -> {:.2} J. Choosing the cheap rung first is the point.",
         fmt_us(benign_p99(&static_cell)),
         fmt_us(benign_p99(&adaptive)),
-        report.restart_only_energy_j,
-        report.ladder_energy_j,
-    );
+        ctl.restart_only_energy_j,
+        ctl.ladder_energy_j,
+    ));
+    report.print();
 }

@@ -1,10 +1,14 @@
 //! # sdrad-bench — experiment harnesses
 //!
-//! One binary per experiment (`e1_overhead` … `e17_event_driven`), each
-//! regenerating one table or figure from the paper — or one of the
+//! One binary per experiment (`e1_overhead` … `e20_decision_timeline`),
+//! each regenerating one table or figure from the paper — or one of the
 //! paper's §IV proposals (E10–E14) — and printing paper-vs-measured rows.
-//! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
-//! recorded results.
+//! See `DESIGN.md` §5 for the experiment index.
+//!
+//! Every harness routes its summary through [`report::Report`], so the
+//! human tables and the machine-readable metrics are one data structure;
+//! the `bench_report` binary distills the key metrics into the committed
+//! `BENCH_runtime.json` trajectory file and `--check`s it in CI.
 //!
 //! Criterion microbenches (`cargo bench -p sdrad-bench`) cover the hot
 //! paths behind the same experiments.
@@ -12,8 +16,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
+pub mod report;
+
 use std::time::{Duration, Instant};
 
+pub use report::{Metric, MetricClass, Report, BENCH_SCHEMA_VERSION};
 pub use sdrad_energy::report::{fmt_bytes, fmt_duration};
 pub use sdrad_energy::TextTable;
 

@@ -8,17 +8,29 @@
 //! [`ControlPlane`], so reputation, shedding state and the escalation
 //! ladder see one consistent event stream.
 //!
+//! With telemetry enabled the hub also owns the **control ring's**
+//! recorder: every *standing crossing* (good → throttled → quarantined
+//! → banned) is emitted as a trace event the moment the plane's answer
+//! changes. Crossings are detected by comparing the client's standing
+//! before and after each fault observation — under the plane mutex, so
+//! the comparison is race-free and the ring is effectively
+//! single-producer.
+//!
 //! Lock discipline: the hub's mutex is leaf-level — nothing is called
 //! while holding it, and it is never taken while holding a queue,
-//! inbox, tray or wakeset lock.
+//! inbox, tray or wakeset lock. (The recorder's `emit` is lock-free, so
+//! emitting under the plane mutex adds no ordering edge.)
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use sdrad::ClientId;
-use sdrad_control::{Admission, ControlConfig, ControlPlane, ControlReport, RecoveryRung};
+use sdrad_control::{
+    Admission, ControlConfig, ControlPlane, ControlReport, RecoveryRung, Standing,
+};
 use sdrad_energy::power::PowerModel;
+use sdrad_telemetry::{EventKind, Recorder, ShedReason};
 
 use crate::queue::Disposition;
 
@@ -28,6 +40,10 @@ pub(crate) struct ControlHub {
     started: Instant,
     /// The sacrificial shard quarantined clients are routed to.
     blast_pit: usize,
+    /// The control ring's emit handle ([`Recorder::Off`] when telemetry
+    /// is disabled). Standing crossings only — rare, so the ring never
+    /// overflows and post-mortem ladders are always complete.
+    recorder: Recorder,
     /// Admission decisions enforced at the dispatcher, by outcome —
     /// the runtime-side counters the `ControlReport` is reconciled
     /// against at shutdown.
@@ -44,16 +60,18 @@ pub(crate) enum Routing {
     Sticky,
     /// Admit, but to the blast-pit shard.
     BlastPit(usize),
-    /// Refuse (shed or ban): the request never reaches a queue.
-    Refuse,
+    /// Refuse (shed or ban): the request never reaches a queue. Carries
+    /// the reason so the dispatcher's shed trace event can say why.
+    Refuse(ShedReason),
 }
 
 impl ControlHub {
-    pub(crate) fn new(config: ControlConfig, blast_pit: usize) -> Self {
+    pub(crate) fn new(config: ControlConfig, blast_pit: usize, recorder: Recorder) -> Self {
         ControlHub {
             plane: Mutex::new(ControlPlane::new(config)),
             started: Instant::now(),
             blast_pit,
+            recorder,
             admitted: AtomicU64::new(0),
             denied: AtomicU64::new(0),
             control_shed: AtomicU64::new(0),
@@ -87,13 +105,17 @@ impl ControlHub {
                 self.quarantined.fetch_add(1, Ordering::Relaxed);
                 Routing::BlastPit(self.blast_pit)
             }
-            Admission::ShedThrottle | Admission::ShedOverload => {
+            Admission::ShedThrottle => {
                 self.control_shed.fetch_add(1, Ordering::Relaxed);
-                Routing::Refuse
+                Routing::Refuse(ShedReason::Throttle)
+            }
+            Admission::ShedOverload => {
+                self.control_shed.fetch_add(1, Ordering::Relaxed);
+                Routing::Refuse(ShedReason::Overload)
             }
             Admission::Deny => {
                 self.denied.fetch_add(1, Ordering::Relaxed);
-                Routing::Refuse
+                Routing::Refuse(ShedReason::Ban)
             }
         }
     }
@@ -118,9 +140,42 @@ impl ControlHub {
                 None
             }
             Disposition::ContainedFault { .. } | Disposition::SecretLeak | Disposition::Crashed => {
-                Some(plane.observe_fault(shard, client.0, latency_ns, now, state_bytes, domains))
+                // Standing crossings happen only here (faults raise the
+                // score; decay only lowers it), so the before/after
+                // compare under the plane mutex catches every upward
+                // transition exactly once.
+                let before = plane.standing(client.0, now);
+                let rung =
+                    plane.observe_fault(shard, client.0, latency_ns, now, state_bytes, domains);
+                let after = plane.standing(client.0, now);
+                if self.recorder.is_on() && after != before {
+                    self.emit_crossing(shard, client, before, after);
+                }
+                Some(rung)
             }
             Disposition::ProtocolError | Disposition::InternalError => None,
+        }
+    }
+
+    /// Emits the trace events for a standing transition. A single fault
+    /// can jump more than one standing (e.g. straight to banned under a
+    /// vicious score spike): every rung passed over is emitted, so a
+    /// post-mortem ladder is complete even then.
+    fn emit_crossing(&self, shard: usize, client: ClientId, before: Standing, after: Standing) {
+        let shard = u16::try_from(shard).unwrap_or(u16::MAX);
+        let rank = |s: Standing| match s {
+            Standing::Good => 0u8,
+            Standing::Throttled => 1,
+            Standing::Quarantined => 2,
+            Standing::Banned => 3,
+        };
+        for crossed in (rank(before) + 1)..=rank(after) {
+            let kind = match crossed {
+                1 => EventKind::Throttle,
+                2 => EventKind::Quarantine,
+                _ => EventKind::Ban,
+            };
+            self.recorder.emit(kind, shard, client.0, 0);
         }
     }
 

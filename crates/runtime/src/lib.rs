@@ -116,7 +116,6 @@
 
 mod control_hub;
 mod handler;
-mod histogram;
 mod isolation;
 mod queue;
 #[allow(clippy::module_inception)]
@@ -127,7 +126,6 @@ mod wake;
 mod worker;
 
 pub use handler::{Framing, HttpHandler, KvHandler, Reply, SessionHandler, StealClass, TlsHandler};
-pub use histogram::LatencyHistogram;
 pub use isolation::{IsolationMode, WorkerIsolation};
 pub use queue::{Completion, Disposition, Request, ShardQueue, Ticket, WorkBatch};
 pub use runtime::{Dispatcher, Runtime, RuntimeConfig, Scheduling, StealPolicy, SubmitOutcome};
@@ -139,6 +137,13 @@ pub use sdrad_control::{
     ShedParams, Standing,
 };
 pub use server::ConnectionServer;
-pub use stats::{fleet_lineup_from_runs, RuntimeStats};
+pub use stats::{fleet_lineup_from_runs, RuntimeStats, StatsSnapshot, TelemetryReport};
+// Observability vocabulary, re-exported for the same reason — the
+// histogram moved to `sdrad-telemetry` (the registry serves it too) but
+// stays available under its historical `sdrad_runtime` path.
+pub use sdrad_telemetry::{
+    EventKind, LatencyHistogram, ShedReason, TelemetryConfig, TelemetrySnapshot, TraceEvent,
+    TraceLog,
+};
 pub use wake::WakeSet;
 pub use worker::{Worker, WorkerStats};

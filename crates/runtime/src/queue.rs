@@ -32,8 +32,8 @@ use std::time::{Duration, Instant};
 
 use sdrad::ClientId;
 
-use crate::histogram::LatencyHistogram;
 use crate::wake::WakeSet;
+use sdrad_telemetry::LatencyHistogram;
 
 /// One request travelling through the runtime.
 #[derive(Debug)]

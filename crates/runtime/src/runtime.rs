@@ -7,16 +7,20 @@ use std::time::{Duration, Instant};
 
 use sdrad::ClientId;
 use sdrad_control::ControlConfig;
+use sdrad_energy::power::PowerModel;
 use sdrad_energy::restart::RestartModel;
 use sdrad_net::Endpoint;
+use sdrad_telemetry::{
+    EventKind, LatencyHistogram, LogicalClock, MetricsRegistry, Recorder, ShedReason, Source,
+    TelemetryConfig, TelemetrySnapshot, TraceLog, TraceRing,
+};
 
 use crate::control_hub::{ControlHub, Routing};
 use crate::handler::SessionHandler;
-use crate::histogram::LatencyHistogram;
 use crate::isolation::{IsolationMode, WorkerIsolation};
 use crate::queue::{Request, ShardQueue, Ticket};
 use crate::server::{ConnInbox, ConnRegistry, Connection};
-use crate::stats::RuntimeStats;
+use crate::stats::{LiveCounters, RuntimeStats, StatsSnapshot, TelemetryReport};
 use crate::wake::WakeSet;
 use crate::worker::Worker;
 
@@ -128,6 +132,17 @@ pub struct RuntimeConfig {
     ///
     /// [`RuntimeStats::control`]: crate::RuntimeStats::control
     pub control: Option<ControlConfig>,
+    /// The flight recorder ([`TelemetryConfig::Off`] by default). When
+    /// enabled, every worker records structured trace events into its
+    /// own lock-free SPSC ring (the dispatcher and control plane get
+    /// shared rings), all stamped by one logical clock; shutdown drains
+    /// them into [`RuntimeStats::telemetry`] — a serializable
+    /// [`TelemetrySnapshot`] plus the merged
+    /// [`TraceLog`](sdrad_telemetry::TraceLog) post-mortem queries run
+    /// over. When off, every emit point is a single discriminant test.
+    ///
+    /// [`RuntimeStats::telemetry`]: crate::RuntimeStats::telemetry
+    pub telemetry: TelemetryConfig,
 }
 
 impl RuntimeConfig {
@@ -147,6 +162,7 @@ impl RuntimeConfig {
             work_stealing: StealPolicy::Disabled,
             idle_reap_after: None,
             control: None,
+            telemetry: TelemetryConfig::Off,
         }
     }
 
@@ -199,6 +215,13 @@ pub struct Dispatcher {
     hash_shards: usize,
     /// The adaptive control plane, consulted at every admission.
     control: Option<Arc<ControlHub>>,
+    /// The dispatcher ring's emit handle ([`Recorder::Off`] when
+    /// telemetry is disabled): `Submit` on every accepted request,
+    /// `Shed` — with the reason — on every refusal, whether by
+    /// admission control or queue backpressure. Shared by every clone
+    /// (acceptor threads, load generators): the ring's push is
+    /// CAS-safe, so multi-producer emission is fine.
+    recorder: Recorder,
     /// Connections handled by [`attach`](Self::attach) so far (admitted
     /// to a shard *or* visibly refused) — the handshake
     /// [`Runtime::quiesce`] uses to know the accept pipeline is empty.
@@ -218,15 +241,27 @@ impl Dispatcher {
         (hash % self.hash_shards as u64) as usize
     }
 
-    /// Admission control: where (whether) this request/connection goes.
-    fn route(&self, client: ClientId) -> Option<usize> {
+    /// Admission control: the shard this request/connection goes to, or
+    /// the reason it was refused.
+    fn route(&self, client: ClientId) -> Result<usize, ShedReason> {
         match &self.control {
-            None => Some(self.shard_of(client)),
+            None => Ok(self.shard_of(client)),
             Some(hub) => match hub.admit(client) {
-                Routing::Sticky => Some(self.shard_of(client)),
-                Routing::BlastPit(pit) => Some(pit),
-                Routing::Refuse => None,
+                Routing::Sticky => Ok(self.shard_of(client)),
+                Routing::BlastPit(pit) => Ok(pit),
+                Routing::Refuse(reason) => Err(reason),
             },
+        }
+    }
+
+    /// Records one refusal in the flight recorder (no-op when off). The
+    /// shard recorded is the one the request *would* have landed on —
+    /// post-mortems group sheds with the traffic they were shed from.
+    fn emit_shed(&self, client: ClientId, reason: ShedReason) {
+        if self.recorder.is_on() {
+            let shard = u16::try_from(self.shard_of(client)).unwrap_or(u16::MAX);
+            self.recorder
+                .emit(EventKind::Shed, shard, client.0, reason as u64);
         }
     }
 
@@ -236,12 +271,17 @@ impl Dispatcher {
     /// is refused visibly: the peer observes a close instead of a
     /// stranded connection.
     pub fn attach(&self, client: ClientId, mut endpoint: Endpoint) {
-        let Some(shard) = self.route(client) else {
-            endpoint.close();
-            self.attached.fetch_add(1, Ordering::SeqCst);
-            return;
+        let shard = match self.route(client) {
+            Ok(shard) => shard,
+            Err(reason) => {
+                self.emit_shed(client, reason);
+                endpoint.close();
+                self.attached.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
         };
         if self.queues[shard].is_stopped() {
+            // A shutdown race, not a policy decision: no shed event.
             endpoint.close();
             self.attached.fetch_add(1, Ordering::SeqCst);
             return;
@@ -261,14 +301,26 @@ impl Dispatcher {
     /// (a throttled, overloaded or banned client sheds here, before
     /// any queue is touched).
     pub fn submit(&self, client: ClientId, payload: Vec<u8>) -> SubmitOutcome {
-        let Some(shard) = self.route(client) else {
-            return SubmitOutcome::Shed;
+        let shard = match self.route(client) {
+            Ok(shard) => shard,
+            Err(reason) => {
+                self.emit_shed(client, reason);
+                return SubmitOutcome::Shed;
+            }
         };
+        let bytes = payload.len() as u64;
         let ticket = Ticket::new();
         let request = Request::new(client, payload, Some(ticket.clone()));
         if self.queues[shard].try_push(request) {
+            self.recorder.emit(
+                EventKind::Submit,
+                u16::try_from(shard).unwrap_or(u16::MAX),
+                client.0,
+                bytes,
+            );
             SubmitOutcome::Enqueued(ticket)
         } else {
+            self.emit_shed(client, ShedReason::QueueFull);
             SubmitOutcome::Shed
         }
     }
@@ -276,10 +328,26 @@ impl Dispatcher {
     /// Fire-and-forget submit for load generation (no completion slot to
     /// allocate or fill). Returns whether the request was accepted.
     pub fn submit_detached(&self, client: ClientId, payload: Vec<u8>) -> bool {
-        let Some(shard) = self.route(client) else {
-            return false;
+        let shard = match self.route(client) {
+            Ok(shard) => shard,
+            Err(reason) => {
+                self.emit_shed(client, reason);
+                return false;
+            }
         };
-        self.queues[shard].try_push(Request::new(client, payload, None))
+        let bytes = payload.len() as u64;
+        if self.queues[shard].try_push(Request::new(client, payload, None)) {
+            self.recorder.emit(
+                EventKind::Submit,
+                u16::try_from(shard).unwrap_or(u16::MAX),
+                client.0,
+                bytes,
+            );
+            true
+        } else {
+            self.emit_shed(client, ShedReason::QueueFull);
+            false
+        }
     }
 }
 
@@ -304,6 +372,14 @@ pub struct Runtime {
     /// quiesce barrier's evidence that its shard-by-shard idle
     /// observations were simultaneous.
     generation: Arc<AtomicU64>,
+    /// Per-worker live-counter mailboxes (always present; flushed once
+    /// per pump pass) — what [`stats_snapshot`](Self::stats_snapshot)
+    /// sums without quiescing anything.
+    live: Vec<Arc<LiveCounters>>,
+    /// The flight recorder's rings, named for the snapshot
+    /// (`worker-N` / `dispatcher` / `control`). `None` when telemetry
+    /// is off.
+    rings: Option<Vec<(String, Arc<TraceRing>)>>,
     handles: Vec<JoinHandle<crate::worker::WorkerStats>>,
     started: Instant,
 }
@@ -325,9 +401,38 @@ impl Runtime {
         // domain pool no benign client shares.
         let hash_shards = config.workers.max(1);
         let workers = hash_shards + usize::from(config.control.is_some());
+        // The flight recorder, when enabled: one SPSC ring per worker
+        // plus shared (CAS-safe) rings for the dispatcher and the
+        // control plane, all stamped by one logical clock so drains
+        // merge into a total order.
+        let clock = LogicalClock::new();
+        let mut rings: Option<Vec<(String, Arc<TraceRing>)>> = None;
+        let mut recorder_for = |name: String, source: Source| -> Recorder {
+            let TelemetryConfig::Enabled { ring_capacity } = config.telemetry else {
+                return Recorder::Off;
+            };
+            let ring = Arc::new(TraceRing::new(ring_capacity));
+            rings
+                .get_or_insert_with(Vec::new)
+                .push((name, Arc::clone(&ring)));
+            Recorder::on(ring, clock.clone(), source)
+        };
+        let control_recorder = recorder_for("control".to_string(), Source::Control);
+        let dispatcher_recorder = recorder_for("dispatcher".to_string(), Source::Dispatcher);
+        let worker_recorders: Vec<Recorder> = (0..workers)
+            .map(|index| {
+                recorder_for(
+                    format!("worker-{index}"),
+                    Source::Worker(u16::try_from(index).unwrap_or(u16::MAX)),
+                )
+            })
+            .collect();
         let hub = config
             .control
-            .map(|control| Arc::new(ControlHub::new(control, workers - 1)));
+            .map(|control| Arc::new(ControlHub::new(control, workers - 1, control_recorder)));
+        let live: Vec<Arc<LiveCounters>> = (0..workers)
+            .map(|_| Arc::new(LiveCounters::default()))
+            .collect();
         let factory = Arc::new(factory);
         let queues: Vec<Arc<ShardQueue>> = (0..workers)
             .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
@@ -386,6 +491,8 @@ impl Runtime {
                 let factory = Arc::clone(&factory);
                 let hub = hub.clone();
                 let shared_generation = Arc::clone(&generation);
+                let recorder = worker_recorders[index].clone();
+                let live = Arc::clone(&live[index]);
                 std::thread::Builder::new()
                     .name(format!("sdrad-worker-{index}"))
                     .spawn(move || {
@@ -405,6 +512,8 @@ impl Runtime {
                             peer_wakes,
                             generation: shared_generation,
                             control: hub,
+                            recorder,
+                            live,
                         };
                         Worker::new(index, channels, iso, handler, &config).run()
                     })
@@ -418,11 +527,14 @@ impl Runtime {
                 registries,
                 hash_shards,
                 control: hub,
+                recorder: dispatcher_recorder,
                 attached: Arc::new(AtomicU64::new(0)),
             },
             wakesets,
             scheduling: config.scheduling,
             generation,
+            live,
+            rings,
             handles,
             started: Instant::now(),
         }
@@ -549,6 +661,31 @@ impl Runtime {
         self.dispatcher.queues.iter().map(|q| q.len()).sum()
     }
 
+    /// A cheap live view of the run so far — **without quiescing**:
+    /// nothing parks, no queue stops, no lock is taken on any worker's
+    /// hot path. Each worker publishes its counters to per-worker
+    /// atomics once per pump pass; this sums the last-flushed values.
+    ///
+    /// The price of not stopping the world is weaker consistency — see
+    /// [`StatsSnapshot`]'s docs for exactly what may be stale or
+    /// mutually inconsistent. For the exact, reconciled record, use
+    /// [`shutdown`](Self::shutdown).
+    #[must_use]
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut snap = StatsSnapshot::default();
+        for live in &self.live {
+            live.add_into(&mut snap);
+        }
+        snap.pending = self.pending();
+        snap.attached = self.attached();
+        snap.refused = self
+            .dispatcher
+            .control
+            .as_ref()
+            .map_or(0, |hub| hub.refused());
+        snap
+    }
+
     /// Stops accepting requests, drains every shard (queued requests
     /// *and* bytes already received on attached connections), joins the
     /// workers and returns the aggregated measurements.
@@ -588,7 +725,7 @@ impl Runtime {
         // The aggregate shed count derives from the merged histogram, so
         // the two can never disagree even if a racing submitter sheds
         // between per-queue reads.
-        RuntimeStats {
+        let mut stats = RuntimeStats {
             shed: shed_latency.len(),
             workers,
             submitted,
@@ -597,8 +734,87 @@ impl Runtime {
             conn_stolen,
             shed_latency,
             control: self.dispatcher.control.as_ref().map(|hub| hub.report()),
+            telemetry: None,
             wall: self.started.elapsed(),
+        };
+        if let Some(rings) = self.rings {
+            stats.telemetry = Some(close_telemetry(&stats, &rings));
         }
+        stats
+    }
+}
+
+/// Closes the telemetry books at shutdown: populates a fresh
+/// [`MetricsRegistry`] from the finished run (runtime counters and
+/// latency histograms under `runtime.*`, the control plane's decision
+/// counts under `control.*` and its energy bill under `energy.*`),
+/// drains every flight-recorder ring into one stamp-merged
+/// [`TraceLog`], and cuts the serializable [`TelemetrySnapshot`] —
+/// ring conservation counters included, read *after* the drain so
+/// `emitted == drained + dropped` is checkable.
+fn close_telemetry(stats: &RuntimeStats, rings: &[(String, Arc<TraceRing>)]) -> TelemetryReport {
+    let registry = MetricsRegistry::default();
+    registry.counter("runtime.served").add(stats.served());
+    registry.counter("runtime.ok").add(stats.ok());
+    registry
+        .counter("runtime.contained_faults")
+        .add(stats.contained_faults());
+    registry.counter("runtime.crashes").add(stats.crashes());
+    registry.counter("runtime.leaks").add(stats.leaks());
+    registry.counter("runtime.shed").add(stats.shed);
+    registry.counter("runtime.submitted").add(stats.submitted);
+    registry
+        .counter("runtime.conn_served")
+        .add(stats.conn_served());
+    registry
+        .counter("runtime.connections")
+        .add(stats.connections());
+    registry.counter("runtime.steals").add(stats.steals());
+    registry
+        .counter("runtime.conn_steals")
+        .add(stats.conn_steals());
+    registry
+        .counter("runtime.owner_routed")
+        .add(stats.owner_routed());
+    registry
+        .counter("runtime.thief_mutations")
+        .add(stats.thief_mutations());
+    registry
+        .counter("runtime.stranded_stalls")
+        .add(stats.stranded_stalls());
+    registry.counter("runtime.parks").add(stats.parks());
+    registry.counter("runtime.wakeups").add(stats.wakeups());
+    registry.counter("runtime.polls").add(stats.polls());
+    registry.counter("runtime.reaped").add(stats.reaped());
+    registry.counter("runtime.rewind_ns").add(stats.rewind_ns());
+    registry
+        .gauge("runtime.workers")
+        .set(stats.workers.len() as u64);
+    registry
+        .histogram("runtime.latency.ok_ns")
+        .merge(&stats.ok_latency());
+    registry
+        .histogram("runtime.latency.contained_ns")
+        .merge(&stats.contained_latency());
+    registry
+        .histogram("runtime.latency.rewind_ns")
+        .merge(&stats.rewind_latency());
+    registry
+        .histogram("runtime.latency.shed_ns")
+        .merge(&stats.shed_latency);
+    if let Some(report) = &stats.control {
+        report.register_metrics(&registry, &PowerModel::rack_server());
+    }
+    let mut events = Vec::new();
+    let mut snapshot = TelemetrySnapshot::from_metrics(registry.read());
+    for (name, ring) in rings {
+        events.extend(ring.drain());
+        snapshot.add_ring(name, ring.counters(), ring.len());
+    }
+    snapshot.tally_events(&events);
+    TelemetryReport {
+        snapshot,
+        log: TraceLog::new(events),
     }
 }
 
@@ -683,6 +899,90 @@ mod tests {
         let client = listener.connect();
         dispatcher.attach(ClientId(1), listener.accept().unwrap());
         assert!(!client.is_open(), "late attach must be visibly refused");
+    }
+
+    #[test]
+    fn telemetry_records_the_run_and_conserves() {
+        let mut config = RuntimeConfig::new(2, IsolationMode::PerClientDomain);
+        config.telemetry = TelemetryConfig::enabled();
+        let runtime = Runtime::start(config, |_| KvHandler::default());
+        for i in 0..16u64 {
+            assert!(runtime.submit_detached(ClientId(i), b"stats\r\n".to_vec()));
+        }
+        let SubmitOutcome::Enqueued(attack) =
+            runtime.submit(ClientId(666), b"xstat 4096 4\r\nboom\r\n".to_vec())
+        else {
+            panic!("unexpected shed");
+        };
+        let _ = attack.wait();
+        let stats = runtime.shutdown();
+        assert!(stats.reconciles(), "telemetry books balance");
+        let telemetry = stats.telemetry.as_ref().expect("telemetry enabled");
+        assert!(telemetry.snapshot.conserves());
+        // Every accepted submit left a Submit event on the dispatcher
+        // ring, and the contained fault left a Rewind on its worker's.
+        assert_eq!(telemetry.log.query().kind(EventKind::Submit).count(), 17);
+        let rewinds = telemetry
+            .log
+            .query()
+            .client(666)
+            .kind(EventKind::Rewind)
+            .run();
+        assert_eq!(rewinds.len(), 1);
+        assert!(
+            rewinds[0].detail > 0,
+            "rewind_ns travels in the detail word"
+        );
+        // The registry's counters mirror the aggregate stats exactly.
+        assert_eq!(
+            telemetry
+                .snapshot
+                .metrics
+                .counters
+                .get("runtime.served")
+                .copied(),
+            Some(stats.served())
+        );
+        assert_eq!(
+            telemetry
+                .snapshot
+                .metrics
+                .histograms
+                .get("runtime.latency.ok_ns")
+                .map(sdrad_telemetry::LatencyHistogram::len),
+            Some(stats.ok())
+        );
+    }
+
+    #[test]
+    fn telemetry_off_reports_nothing() {
+        let runtime = Runtime::start(
+            RuntimeConfig::new(1, IsolationMode::PerClientDomain),
+            |_| KvHandler::default(),
+        );
+        assert!(runtime.submit_detached(ClientId(1), b"stats\r\n".to_vec()));
+        let stats = runtime.shutdown();
+        assert!(stats.telemetry.is_none(), "Off leaves no books to keep");
+    }
+
+    #[test]
+    fn stats_snapshot_reads_live_counters_without_quiescing() {
+        let runtime = Runtime::start(
+            RuntimeConfig::new(2, IsolationMode::PerClientDomain),
+            |_| KvHandler::default(),
+        );
+        for i in 0..32u64 {
+            assert!(runtime.submit_detached(ClientId(i), b"stats\r\n".to_vec()));
+        }
+        // After a quiesce every worker has parked — and a worker
+        // flushes its counters immediately before parking, so the
+        // snapshot has converged to the truth.
+        assert!(runtime.quiesce());
+        let snap = runtime.stats_snapshot();
+        assert_eq!(snap.served, 32);
+        assert_eq!(snap.ok, 32);
+        assert_eq!(snap.pending, 0);
+        assert_eq!(runtime.shutdown().served(), 32);
     }
 
     #[test]

@@ -1,13 +1,94 @@
 //! Aggregated runtime statistics and their bridge into the
 //! `sdrad-energy` fleet models.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use sdrad_control::ControlReport;
 use sdrad_energy::casestudy::{fleet_lineup, FleetReport, FleetScenario};
+use sdrad_telemetry::{LatencyHistogram, TelemetrySnapshot, TraceLog};
 
-use crate::histogram::LatencyHistogram;
 use crate::worker::WorkerStats;
+
+/// The telemetry layer's closed books: the serializable
+/// [`TelemetrySnapshot`] (registry metrics, ring conservation counters,
+/// event tallies) plus the merged, stamp-ordered flight-recorder
+/// [`TraceLog`] every post-mortem query runs over. Attached to
+/// [`RuntimeStats::telemetry`] when the runtime ran with
+/// [`TelemetryConfig::Enabled`](crate::TelemetryConfig).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// The serializable point-in-time picture, cut at shutdown after
+    /// every ring was drained.
+    pub snapshot: TelemetrySnapshot,
+    /// Every drained trace event, merged on the shared logical clock.
+    pub log: TraceLog,
+}
+
+/// A cheap, **non-quiescing** live view of a running runtime
+/// ([`Runtime::stats_snapshot`](crate::Runtime::stats_snapshot)).
+///
+/// ## Consistency (deliberately weaker than [`RuntimeStats`])
+///
+/// Workers flush their counters to shared atomics once per pump pass,
+/// and the snapshot reads those atomics without stopping anyone. So:
+/// counters may lag the live truth by up to one in-flight pass per
+/// worker, different counters may be from *different* passes (e.g.
+/// `served` from worker 0's newest pass but worker 1's previous one),
+/// and no cross-counter invariant (`ok + faults ≤ served`, steal
+/// conservation) is guaranteed to hold on any single snapshot. The
+/// final [`RuntimeStats`] from `shutdown()` is the exact, reconciled
+/// record; this type exists for dashboards and progress probes that
+/// must not perturb the measurement by quiescing it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests completed (any disposition), as last flushed.
+    pub served: u64,
+    /// Requests served normally, as last flushed.
+    pub ok: u64,
+    /// Contained faults, as last flushed.
+    pub contained_faults: u64,
+    /// Baseline crashes, as last flushed.
+    pub crashes: u64,
+    /// Requests served off connection streams, as last flushed.
+    pub conn_served: u64,
+    /// Requests stolen from sibling queues, as last flushed.
+    pub steals: u64,
+    /// Requests currently queued across all shards (a live read, not a
+    /// flushed counter — exact at the instant each queue was polled).
+    pub pending: usize,
+    /// Connections handled by the dispatcher so far (live read).
+    pub attached: u64,
+    /// Requests refused at admission so far (live read; zero without a
+    /// control plane).
+    pub refused: u64,
+}
+
+/// The per-worker atomics behind [`StatsSnapshot`]: each worker stores
+/// its counters here once per pump pass (plain `store`s — no RMW on the
+/// hot path), and `stats_snapshot()` sums across workers without
+/// quiescing anything.
+#[derive(Debug, Default)]
+pub(crate) struct LiveCounters {
+    pub(crate) served: AtomicU64,
+    pub(crate) ok: AtomicU64,
+    pub(crate) contained_faults: AtomicU64,
+    pub(crate) crashes: AtomicU64,
+    pub(crate) conn_served: AtomicU64,
+    pub(crate) steals: AtomicU64,
+}
+
+impl LiveCounters {
+    /// Adds this worker's last-flushed counters into `snap`.
+    pub(crate) fn add_into(&self, snap: &mut StatsSnapshot) {
+        snap.served += self.served.load(Ordering::Relaxed);
+        snap.ok += self.ok.load(Ordering::Relaxed);
+        snap.contained_faults += self.contained_faults.load(Ordering::Relaxed);
+        snap.crashes += self.crashes.load(Ordering::Relaxed);
+        snap.conn_served += self.conn_served.load(Ordering::Relaxed);
+        snap.steals += self.steals.load(Ordering::Relaxed);
+    }
+}
 
 /// Everything a finished runtime run measured.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +120,10 @@ pub struct RuntimeStats {
     /// runtime ran with the static reflexes
     /// ([`RuntimeConfig::control`](crate::RuntimeConfig::control) unset).
     pub control: Option<ControlReport>,
+    /// The telemetry layer's closed books — snapshot plus drained
+    /// flight-recorder log — `None` when the runtime ran with
+    /// [`TelemetryConfig::Off`](crate::TelemetryConfig).
+    pub telemetry: Option<TelemetryReport>,
     /// Wall-clock span from start to the end of the drain.
     pub wall: Duration,
 }
@@ -292,6 +377,18 @@ impl RuntimeStats {
                     && report.counts.pool_rebuilds == self.pool_rebuilds()
                     && report.counts.worker_restarts == self.worker_restarts()
             })
+            // The flight recorder's own books, when it ran: every ring
+            // obeys `emitted == drained + dropped + in_ring`, and the
+            // drained log holds exactly what the rings say was drained.
+            && self.telemetry.as_ref().is_none_or(|t| {
+                t.snapshot.conserves()
+                    && t.log.len() as u64
+                        == t.snapshot
+                            .rings
+                            .values()
+                            .map(|r| r.counters.drained)
+                            .sum::<u64>()
+            })
     }
 
     /// Raw throughput: completed requests over the wall clock.
@@ -424,6 +521,7 @@ mod tests {
             conn_stolen: 0,
             shed_latency: LatencyHistogram::new(),
             control: None,
+            telemetry: None,
             wall: Duration::from_secs(2),
         }
     }

@@ -60,14 +60,15 @@ use std::time::{Duration, Instant};
 
 use sdrad_control::RecoveryRung;
 use sdrad_energy::restart::RestartModel;
+use sdrad_telemetry::{EventKind, LatencyHistogram, Recorder};
 
 use crate::control_hub::ControlHub;
 use crate::handler::{Framing, SessionHandler, StealClass};
-use crate::histogram::LatencyHistogram;
 use crate::isolation::WorkerIsolation;
 use crate::queue::{Completion, Disposition, Request, ShardQueue};
 use crate::runtime::{RuntimeConfig, Scheduling, StealPolicy};
 use crate::server::{ConnInbox, ConnRegistry, ConnTray, Connection, RoutedFrame};
+use crate::stats::LiveCounters;
 use crate::wake::WakeSet;
 
 /// How often a polling-mode worker that owns connections re-polls them
@@ -240,6 +241,12 @@ pub(crate) struct ShardChannels {
     /// The adaptive control plane, when enabled: the worker reports
     /// every disposition and executes the escalation rungs it returns.
     pub(crate) control: Option<Arc<ControlHub>>,
+    /// This worker's flight-recorder handle, bound to its own SPSC
+    /// ring ([`Recorder::Off`] when telemetry is disabled).
+    pub(crate) recorder: Recorder,
+    /// The live-counter mailbox `Runtime::stats_snapshot` reads; the
+    /// worker flushes its counters here once per pump pass.
+    pub(crate) live: Arc<LiveCounters>,
 }
 
 /// One worker: drains its shard queue and pumps its connections until
@@ -260,6 +267,15 @@ pub struct Worker<H: SessionHandler> {
     generation: Arc<AtomicU64>,
     /// See [`ShardChannels::control`].
     control: Option<Arc<ControlHub>>,
+    /// See [`ShardChannels::recorder`]. Emission is deliberately
+    /// economical on the hot path: no per-ok-request events — park/wake
+    /// per pass, rewind/rung per fault, steal/owner-route per batch
+    /// (the `detail` word carries the count).
+    recorder: Recorder,
+    /// See [`ShardChannels::live`].
+    live: Arc<LiveCounters>,
+    /// This worker's shard index as the event-field width.
+    shard_u16: u16,
     /// Token-addressed connection slab; `None` slots are free.
     conns: Vec<Option<Connection>>,
     free_tokens: Vec<usize>,
@@ -309,6 +325,9 @@ impl<H: SessionHandler> Worker<H> {
             peer_wakes: channels.peer_wakes,
             generation: channels.generation,
             control: channels.control,
+            recorder: channels.recorder,
+            live: channels.live,
+            shard_u16: u16::try_from(index).unwrap_or(u16::MAX),
             conns: Vec::new(),
             free_tokens: Vec::new(),
             iso,
@@ -343,6 +362,7 @@ impl<H: SessionHandler> Worker<H> {
         self.stats.manager_rewinds = self.iso.rewinds();
         self.stats.parks = self.wakes.parks();
         self.stats.wakeups = self.wakes.wakeups();
+        self.flush_live();
         self.stats
     }
 
@@ -350,8 +370,13 @@ impl<H: SessionHandler> Worker<H> {
     /// wake. No timeouts anywhere — an idle shard costs nothing.
     fn run_event(&mut self) {
         loop {
+            self.flush_live();
+            self.recorder
+                .emit(EventKind::Park, self.shard_u16, 0, self.pass);
             let signals = self.wakes.wait();
             self.pass += 1;
+            self.recorder
+                .emit(EventKind::Wake, self.shard_u16, 0, self.pass);
             // The stall-accounting witness: any sibling still parked at
             // a generation ≤ this snapshot has provably sat idle for
             // the whole pass (its park predates everything the pass
@@ -416,6 +441,7 @@ impl<H: SessionHandler> Worker<H> {
     /// every empty pass is counted in [`WorkerStats::polls`].
     fn run_polling(&mut self) {
         loop {
+            self.flush_live();
             self.pass += 1;
             self.adopt_connections();
             let pumped = self.pump_live_connections();
@@ -457,6 +483,7 @@ impl<H: SessionHandler> Worker<H> {
     /// worker exits. The loop ends when a full pass makes no progress.
     fn drain(&mut self) {
         loop {
+            self.flush_live();
             self.pass += 1;
             self.adopt_connections();
             let queued = self.queue.try_drain(self.batch);
@@ -645,9 +672,9 @@ impl<H: SessionHandler> Worker<H> {
             .iter()
             .enumerate()
             .filter(|&(i, _)| i != self.index)
-            .map(|(_, q)| (q.len(), Arc::clone(q)))
-            .max_by_key(|&(len, _)| len);
-        let Some((backlog, victim)) = victim else {
+            .map(|(i, q)| (q.len(), i, Arc::clone(q)))
+            .max_by_key(|&(len, _, _)| len);
+        let Some((backlog, victim_index, victim)) = victim else {
             return;
         };
         if backlog == 0 {
@@ -670,6 +697,14 @@ impl<H: SessionHandler> Worker<H> {
             return;
         }
         self.stats.steals += stolen.len() as u64;
+        // One event per stolen batch (not per request): the shard field
+        // names the victim, the detail word carries the count.
+        self.recorder.emit(
+            EventKind::Steal,
+            u16::try_from(victim_index).unwrap_or(u16::MAX),
+            0,
+            stolen.len() as u64,
+        );
         let started = Instant::now();
         for request in stolen {
             if self.handler.steal_class(&request.payload) == StealClass::Mutation {
@@ -838,6 +873,15 @@ impl<H: SessionHandler> Worker<H> {
                                 Ok(count) => {
                                     self.stats.owner_routed += count;
                                     self.stats.routed_batches += 1;
+                                    // One event per hand-off batch: the
+                                    // shard field names the owner the
+                                    // run went home to.
+                                    self.recorder.emit(
+                                        EventKind::OwnerRoute,
+                                        u16::try_from(victim).unwrap_or(u16::MAX),
+                                        client.0,
+                                        count,
+                                    );
                                 }
                                 Err(requests) => {
                                     // Shutdown raced us: restore the
@@ -887,6 +931,14 @@ impl<H: SessionHandler> Worker<H> {
             self.stats.conn_steals += 1;
         }
         self.peer_registries[victim].note_stolen(served as u64);
+        // Conn-buffer steals are batched into one event too — same
+        // shape as queue steals, distinguished by a nonzero client.
+        self.recorder.emit(
+            EventKind::Steal,
+            u16::try_from(victim).unwrap_or(u16::MAX),
+            client.0,
+            served as u64,
+        );
         // -- phase 3: release the gate, hand the stream back --------------
         {
             let mut st = tray.lock();
@@ -1080,6 +1132,25 @@ impl<H: SessionHandler> Worker<H> {
         self.stats.busy_ns = self.stats.busy_ns.saturating_add(elapsed_ns(since));
     }
 
+    /// Publishes the pass's counters to the live mailbox
+    /// (`Runtime::stats_snapshot` reads them without quiescing). Plain
+    /// relaxed stores — no RMW, no fence — called once per pump pass,
+    /// so the hot path pays a handful of uncontended cache writes.
+    fn flush_live(&self) {
+        self.live.served.store(self.stats.served, Ordering::Relaxed);
+        self.live.ok.store(self.stats.ok, Ordering::Relaxed);
+        self.live
+            .contained_faults
+            .store(self.stats.contained_faults, Ordering::Relaxed);
+        self.live
+            .crashes
+            .store(self.stats.crashes, Ordering::Relaxed);
+        self.live
+            .conn_served
+            .store(self.stats.conn_served, Ordering::Relaxed);
+        self.live.steals.store(self.stats.steals, Ordering::Relaxed);
+    }
+
     fn account(&mut self, client: sdrad::ClientId, disposition: &Disposition, latency_ns: u64) {
         self.stats.served += 1;
         match disposition {
@@ -1093,6 +1164,8 @@ impl<H: SessionHandler> Worker<H> {
                 self.stats.rewind_ns += rewind_ns;
                 self.stats.contained_latency.record(latency_ns);
                 self.stats.rewind_latency.record(*rewind_ns);
+                self.recorder
+                    .emit(EventKind::Rewind, self.shard_u16, client.0, *rewind_ns);
             }
             Disposition::Crashed => {
                 // The baseline pays for its crash: the shard is down for
@@ -1137,6 +1210,15 @@ impl<H: SessionHandler> Worker<H> {
             self.handler.state_bytes(),
             self.domains_per_worker,
         );
+        if let Some(step) = &rung {
+            let detail = match step {
+                RecoveryRung::Rewind => 0,
+                RecoveryRung::PoolRebuild => 1,
+                RecoveryRung::WorkerRestart => 2,
+            };
+            self.recorder
+                .emit(EventKind::Rung, self.shard_u16, client.0, detail);
+        }
         match rung {
             None => {}
             Some(RecoveryRung::Rewind) => {

@@ -1,0 +1,177 @@
+//! The emit-side handle: a [`Recorder`] either wraps a ring (enabled)
+//! or is a guaranteed no-op (off).
+//!
+//! The off path is the contract the runtime's hot paths rely on:
+//! [`Recorder::Off`] is a fieldless variant, so `emit` compiles to a
+//! single discriminant test and no stores — "compile-time cheap", and
+//! asserted cheap by the `bench_report` overhead section.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::event::{EventKind, Source, TraceEvent};
+use crate::ring::{RingCounters, TraceRing};
+
+/// The injected logical clock: one shared monotone counter stamping
+/// every event of a runtime, across all of its rings. Logical, not
+/// wall-clock, so merged drains have a total order that is stable under
+/// replay and never goes backwards between threads.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalClock(Arc<AtomicU64>);
+
+impl LogicalClock {
+    /// A fresh clock at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claims the next stamp.
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Stamps issued so far.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Whether — and how big — the flight recorder runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryConfig {
+    /// No recorder: every emit point is a no-op store (the default).
+    #[default]
+    Off,
+    /// Record into fixed-capacity rings of this many events each.
+    Enabled {
+        /// Per-ring event capacity (rounded up to a power of two).
+        ring_capacity: usize,
+    },
+}
+
+impl TelemetryConfig {
+    /// The conventional enabled configuration (64 Ki events per ring).
+    #[must_use]
+    pub fn enabled() -> Self {
+        TelemetryConfig::Enabled {
+            ring_capacity: 1 << 16,
+        }
+    }
+
+    /// True when events will be recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, TelemetryConfig::Enabled { .. })
+    }
+}
+
+/// One emit handle. Cheap to clone (two `Arc`s when on, nothing when
+/// off); each worker owns one bound to its own SPSC ring, the
+/// dispatcher and control plane own shared-ring handles.
+#[derive(Debug, Clone, Default)]
+pub enum Recorder {
+    /// Emission disabled: [`emit`](Self::emit) does nothing.
+    #[default]
+    Off,
+    /// Emission enabled into `ring`, stamped by `clock`.
+    On {
+        /// The destination ring.
+        ring: Arc<TraceRing>,
+        /// The shared logical clock.
+        clock: LogicalClock,
+        /// The source identity stamped on every event from this handle.
+        source: Source,
+    },
+}
+
+impl Recorder {
+    /// A recording handle for `source`.
+    #[must_use]
+    pub fn on(ring: Arc<TraceRing>, clock: LogicalClock, source: Source) -> Self {
+        Recorder::On {
+            ring,
+            clock,
+            source,
+        }
+    }
+
+    /// True when this handle records.
+    #[must_use]
+    pub fn is_on(&self) -> bool {
+        matches!(self, Recorder::On { .. })
+    }
+
+    /// Records one event (shed on ring overflow, never blocking). The
+    /// off path is a single discriminant test.
+    #[inline]
+    pub fn emit(&self, kind: EventKind, shard: u16, client: u64, detail: u64) {
+        let Recorder::On {
+            ring,
+            clock,
+            source,
+        } = self
+        else {
+            return;
+        };
+        let event = TraceEvent {
+            stamp: clock.tick(),
+            kind,
+            source: *source,
+            shard,
+            client,
+            detail,
+        };
+        let _ = ring.push(&event);
+    }
+
+    /// The underlying ring's conservation counters (zero when off).
+    #[must_use]
+    pub fn counters(&self) -> RingCounters {
+        match self {
+            Recorder::Off => RingCounters::default(),
+            Recorder::On { ring, .. } => ring.counters(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_emits_nothing_and_counts_nothing() {
+        let recorder = Recorder::Off;
+        for _ in 0..1000 {
+            recorder.emit(EventKind::Rewind, 0, 42, 7);
+        }
+        assert_eq!(recorder.counters(), RingCounters::default());
+        assert!(!recorder.is_on());
+    }
+
+    #[test]
+    fn on_recorder_stamps_with_the_shared_clock() {
+        let ring = Arc::new(TraceRing::new(64));
+        let clock = LogicalClock::new();
+        let a = Recorder::on(Arc::clone(&ring), clock.clone(), Source::Worker(0));
+        let b = Recorder::on(Arc::clone(&ring), clock.clone(), Source::Dispatcher);
+        a.emit(EventKind::Submit, 0, 1, 0);
+        b.emit(EventKind::Shed, 0, 2, 0);
+        a.emit(EventKind::Rewind, 0, 1, 900);
+        let events = ring.drain();
+        assert_eq!(events.len(), 3);
+        let stamps: Vec<u64> = events.iter().map(|e| e.stamp).collect();
+        assert_eq!(stamps, vec![0, 1, 2], "one shared monotone clock");
+        assert_eq!(events[1].source, Source::Dispatcher);
+        assert_eq!(clock.now(), 3);
+    }
+
+    #[test]
+    fn config_default_is_off() {
+        assert_eq!(TelemetryConfig::default(), TelemetryConfig::Off);
+        assert!(TelemetryConfig::enabled().is_enabled());
+        assert!(!TelemetryConfig::Off.is_enabled());
+    }
+}

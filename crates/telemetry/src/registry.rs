@@ -1,0 +1,260 @@
+//! The metrics registry: named counters, gauges and latency histograms
+//! that runtime, control and energy components register once and update
+//! through cheap handles.
+//!
+//! Handles are `Arc`-backed, so components keep them across the run and
+//! never touch the registry map on the hot path: a counter update is
+//! one relaxed `fetch_add`. The registry itself exists for the *read*
+//! side — [`MetricsRegistry::snapshot`] walks the sorted name map and
+//! produces one [`TelemetrySnapshot`](crate::TelemetrySnapshot) with
+//! every registered metric in it.
+//!
+//! Registration is idempotent: registering a name twice returns a
+//! handle to the same underlying metric (so a re-started component
+//! keeps accumulating rather than shadowing). Registering a name as two
+//! different metric types panics — that is a wiring bug, not a runtime
+//! condition.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::LatencyHistogram;
+
+/// A monotonically-increasing named counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A named gauge: a last-writer-wins instantaneous value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A named latency histogram handle. Recording takes a short lock —
+/// intended for already-aggregated or low-rate streams (per-pass
+/// flushes, control decisions), not per-request hot paths, which keep
+/// using worker-local [`LatencyHistogram`]s and merge at quiesce.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Arc<Mutex<LatencyHistogram>>);
+
+impl HistogramHandle {
+    /// Records one nanosecond sample.
+    pub fn record(&self, ns: u64) {
+        self.0.lock().expect("histogram poisoned").record(ns);
+    }
+
+    /// Merges a locally-accumulated histogram in (the bulk path).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        self.0.lock().expect("histogram poisoned").merge(other);
+    }
+
+    /// A point-in-time copy of the accumulated histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.0.lock().expect("histogram poisoned").clone()
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(HistogramHandle),
+}
+
+/// The sorted name → metric map. Cheap to clone the handles out;
+/// snapshot reads walk names in lexicographic order, which is what
+/// makes snapshot serialization deterministic.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or retrieves) the counter `name`.
+    ///
+    /// # Panics
+    /// When `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric `{name}` already registered as {other:?}"),
+        }
+    }
+
+    /// Registers (or retrieves) the gauge `name`.
+    ///
+    /// # Panics
+    /// When `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric `{name}` already registered as {other:?}"),
+        }
+    }
+
+    /// Registers (or retrieves) the latency histogram `name`.
+    ///
+    /// # Panics
+    /// When `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(HistogramHandle::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric `{name}` already registered as {other:?}"),
+        }
+    }
+
+    /// Point-in-time values of every registered metric, name-sorted.
+    /// Counters and gauges are single atomic loads; histograms are
+    /// cloned under their lock. The three maps share no names by
+    /// construction.
+    #[must_use]
+    pub fn read(&self) -> RegistryReading {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        let mut reading = RegistryReading::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    reading.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    reading.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    reading.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        reading
+    }
+}
+
+/// The values of every registered metric at one read, name-sorted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistryReading {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram contents by name.
+    pub histograms: BTreeMap<String, LatencyHistogram>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("runtime.submitted");
+        let b = registry.counter("runtime.submitted");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4, "same underlying metric");
+        assert_eq!(registry.read().counters["runtime.submitted"], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflicts_panic() {
+        let registry = MetricsRegistry::new();
+        let _ = registry.counter("x");
+        let _ = registry.gauge("x");
+    }
+
+    #[test]
+    fn reading_is_name_sorted_and_complete() {
+        let registry = MetricsRegistry::new();
+        registry.counter("zz.last").add(1);
+        registry.gauge("aa.first").set(9);
+        registry.histogram("mm.mid").record(1_000);
+        let reading = registry.read();
+        assert_eq!(reading.counters.keys().collect::<Vec<_>>(), vec!["zz.last"]);
+        assert_eq!(reading.gauges.keys().collect::<Vec<_>>(), vec!["aa.first"]);
+        assert_eq!(reading.histograms["mm.mid"].len(), 1);
+    }
+
+    #[test]
+    fn handles_update_across_threads() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counter = registry.counter("hits");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let counter = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(counter.get(), 40_000);
+    }
+
+    #[test]
+    fn histogram_bulk_merge_equals_point_records() {
+        let registry = MetricsRegistry::new();
+        let by_merge = registry.histogram("merged");
+        let by_record = registry.histogram("recorded");
+        let mut local = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40_000] {
+            local.record(v);
+            by_record.record(v);
+        }
+        by_merge.merge(&local);
+        assert_eq!(by_merge.snapshot(), by_record.snapshot());
+    }
+}

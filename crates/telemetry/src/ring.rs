@@ -1,0 +1,341 @@
+//! The flight recorder's storage: a fixed-capacity lock-free ring of
+//! trace events.
+//!
+//! Each slot is a sequence word plus four data words, all plain
+//! atomics, so the whole structure is safe Rust — no `unsafe`, no torn
+//! reads. The protocol is the classic bounded-queue sequence discipline
+//! (Vyukov): a producer claims a slot by CAS on the enqueue cursor when
+//! the slot's sequence says it is free, writes the four data words, and
+//! *publishes* by storing `pos + 1` into the sequence with `Release`;
+//! a consumer claims with the dequeue cursor when the sequence says the
+//! slot is published, reads the words (made visible by the `Acquire`
+//! sequence load), and recycles the slot by storing `pos + capacity`.
+//!
+//! The runtime uses one ring **per worker in strict SPSC mode** (the
+//! worker thread is the only producer, the shutdown drain the only
+//! consumer), where the claim CAS never contends and costs one
+//! uncontended RMW. The same type also serves the dispatcher and
+//! control rings, whose producers are inherently multi-threaded — the
+//! CAS discipline makes that safe without a separate implementation.
+//!
+//! **Overflow sheds, never blocks**: a full ring drops the event and
+//! counts the drop. The conservation invariant every drain is checked
+//! against is `emitted == drained + dropped + in_ring` (and after a
+//! final drain, `in_ring == 0`) — exactly the style of book-balancing
+//! the runtime applies to every other statistic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::TraceEvent;
+
+/// One ring slot: a sequence word and the four event words.
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; 4],
+}
+
+/// A fixed-capacity lock-free trace-event ring.
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Enqueue cursor (next position a producer claims).
+    head: AtomicU64,
+    /// Dequeue cursor (next position the consumer claims).
+    tail: AtomicU64,
+    /// Emit attempts (accepted + dropped).
+    emitted: AtomicU64,
+    /// Emit attempts refused because the ring was full.
+    dropped: AtomicU64,
+    /// Events consumed by [`pop`](Self::pop).
+    drained: AtomicU64,
+}
+
+/// Producer/consumer counters of one ring, snapshot together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RingCounters {
+    /// Emit attempts (accepted + dropped).
+    pub emitted: u64,
+    /// Attempts refused because the ring was full.
+    pub dropped: u64,
+    /// Events consumed by the drain side.
+    pub drained: u64,
+}
+
+impl RingCounters {
+    /// Ring-overflow conservation: every emit attempt is either still
+    /// in the ring, was drained, or was dropped — nothing is invented
+    /// and nothing vanishes. `in_ring` is the caller's current
+    /// occupancy observation (0 after a final drain).
+    #[must_use]
+    pub fn conserves(&self, in_ring: u64) -> bool {
+        self.emitted == self.drained + self.dropped + in_ring
+    }
+}
+
+impl TraceRing {
+    /// A ring holding up to `capacity` events (rounded up to a power of
+    /// two, floored at 8).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(8).next_power_of_two() as u64;
+        let slots: Vec<Slot> = (0..capacity)
+            .map(|i| Slot {
+                seq: AtomicU64::new(i),
+                words: [
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
+                ],
+            })
+            .collect();
+        TraceRing {
+            slots: slots.into_boxed_slice(),
+            mask: capacity - 1,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            emitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot capacity (a power of two).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records one event. Returns `false` (and counts a drop) when the
+    /// ring is full — the recorder never blocks the hot path.
+    pub fn push(&self, event: &TraceEvent) -> bool {
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+        let words = event.encode();
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            #[allow(clippy::cast_possible_wrap)]
+            let dif = seq.wrapping_sub(pos) as i64;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        for (cell, word) in slot.words.iter().zip(words) {
+                            cell.store(word, Ordering::Relaxed);
+                        }
+                        // Publish: the consumer's Acquire load of `seq`
+                        // orders the data stores before its reads.
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                // Full: the consumer has not recycled this slot yet.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                // Another producer claimed `pos`; chase the cursor.
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Consumes the oldest event, if any.
+    pub fn pop(&self) -> Option<TraceEvent> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            #[allow(clippy::cast_possible_wrap)]
+            let dif = seq.wrapping_sub(pos.wrapping_add(1)) as i64;
+            if dif == 0 {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let words = [
+                            slot.words[0].load(Ordering::Relaxed),
+                            slot.words[1].load(Ordering::Relaxed),
+                            slot.words[2].load(Ordering::Relaxed),
+                            slot.words[3].load(Ordering::Relaxed),
+                        ];
+                        // Recycle: the slot becomes free for the
+                        // producer one lap ahead.
+                        slot.seq.store(
+                            pos.wrapping_add(self.mask).wrapping_add(1),
+                            Ordering::Release,
+                        );
+                        self.drained.fetch_add(1, Ordering::Relaxed);
+                        return TraceEvent::decode(words);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                return None; // empty
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drains every currently-published event, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        while let Some(event) = self.pop() {
+            events.push(event);
+        }
+        events
+    }
+
+    /// Events currently published but not yet drained.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        let head = self.head.load(Ordering::SeqCst);
+        let tail = self.tail.load(Ordering::SeqCst);
+        head.wrapping_sub(tail)
+    }
+
+    /// True when nothing is waiting to be drained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The ring's conservation counters, snapshot together.
+    #[must_use]
+    pub fn counters(&self) -> RingCounters {
+        RingCounters {
+            emitted: self.emitted.load(Ordering::SeqCst),
+            dropped: self.dropped.load(Ordering::SeqCst),
+            drained: self.drained.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Source};
+    use std::sync::Arc;
+
+    fn event(stamp: u64) -> TraceEvent {
+        TraceEvent {
+            stamp,
+            kind: EventKind::Submit,
+            source: Source::Worker(1),
+            shard: 1,
+            client: stamp * 3,
+            detail: stamp * 7,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_conservation() {
+        let ring = TraceRing::new(16);
+        for i in 0..10 {
+            assert!(ring.push(&event(i)));
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 10);
+        assert!(drained.windows(2).all(|w| w[0].stamp < w[1].stamp));
+        let counters = ring.counters();
+        assert_eq!(counters.emitted, 10);
+        assert_eq!(counters.dropped, 0);
+        assert_eq!(counters.drained, 10);
+        assert!(counters.conserves(ring.len()));
+    }
+
+    #[test]
+    fn overflow_drops_and_still_conserves() {
+        let ring = TraceRing::new(8);
+        let mut accepted = 0;
+        for i in 0..20 {
+            if ring.push(&event(i)) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 8, "capacity bounds acceptance");
+        let counters = ring.counters();
+        assert_eq!(counters.emitted, 20);
+        assert_eq!(counters.dropped, 12);
+        assert!(counters.conserves(ring.len()));
+        assert_eq!(ring.drain().len(), 8);
+        assert!(ring.counters().conserves(0));
+    }
+
+    #[test]
+    fn slots_recycle_across_laps() {
+        let ring = TraceRing::new(8);
+        for lap in 0..50u64 {
+            for i in 0..8 {
+                assert!(ring.push(&event(lap * 8 + i)));
+            }
+            let drained = ring.drain();
+            assert_eq!(drained.len(), 8);
+            assert_eq!(drained[0].stamp, lap * 8);
+        }
+        assert!(ring.counters().conserves(0));
+    }
+
+    #[test]
+    fn concurrent_producers_conserve() {
+        let ring = Arc::new(TraceRing::new(1 << 10));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    let _ = ring.push(&event(t * 1_000_000 + i));
+                }
+            }));
+        }
+        // A racing consumer drains while producers push.
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                for _ in 0..200_000 {
+                    if ring.pop().is_some() {
+                        seen += 1;
+                    }
+                }
+                seen
+            })
+        };
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let live = consumer.join().unwrap();
+        let tail = ring.drain().len() as u64;
+        let counters = ring.counters();
+        assert_eq!(counters.emitted, 20_000);
+        assert_eq!(counters.drained, live + tail);
+        assert!(counters.conserves(0), "{counters:?}");
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(TraceRing::new(0).capacity(), 8);
+        assert_eq!(TraceRing::new(9).capacity(), 16);
+        assert_eq!(TraceRing::new(1024).capacity(), 1024);
+    }
+}

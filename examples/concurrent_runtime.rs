@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --example concurrent_runtime`
 
+use sdrad_bench::Report;
 use sdrad_repro::core::ClientId;
 use sdrad_repro::runtime::{
     Disposition, IsolationMode, KvHandler, Runtime, RuntimeConfig, SubmitOutcome,
@@ -61,22 +62,34 @@ fn main() {
     }
 
     let stats = runtime.shutdown();
-    println!(
-        "served {served} benign requests, contained {contained} attacks, \
-         {} process crashes, stats reconcile: {}",
-        stats.crashes(),
-        stats.reconciles(),
+    let mut report = Report::new("concurrent_runtime", "sharded runtime under attack");
+    report.begin_table(
+        "4 workers, 16 benign clients, 1 attacker",
+        &[
+            "served",
+            "contained",
+            "crashes",
+            "req/s",
+            "mean rewind",
+            "domains",
+            "reconciles",
+        ],
     );
-    println!(
-        "throughput {:.0} req/s, mean rewind {:?}, domains created: {}",
-        stats.throughput_rps(),
-        stats.mean_rewind(),
+    report.row(&[
+        served.to_string(),
+        contained.to_string(),
+        stats.crashes().to_string(),
+        format!("{:.0}", stats.throughput_rps()),
+        format!("{:?}", stats.mean_rewind()),
         stats
             .workers
             .iter()
             .map(|w| w.domains_created)
-            .sum::<usize>(),
-    );
+            .sum::<usize>()
+            .to_string(),
+        if stats.reconciles() { "yes" } else { "NO" }.into(),
+    ]);
+    report.print();
     assert_eq!(stats.crashes(), 0);
     assert!(stats.reconciles());
 }

@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --example connection_serving`
 
+use sdrad_bench::Report;
 use sdrad_repro::runtime::{ConnectionServer, IsolationMode, KvHandler, RuntimeConfig};
 
 fn main() {
@@ -57,26 +58,46 @@ fn main() {
     );
 
     let stats = server.shutdown();
-    println!(
-        "{} connections, {} requests served ({} ok), {} contained faults, {} crashes, \
-         reconciles: {}",
-        stats.connections(),
-        stats.served(),
-        stats.ok(),
-        stats.contained_faults(),
-        stats.crashes(),
-        stats.reconciles(),
+    let mut report = Report::new("connection_serving", "connection-level serving");
+    report.begin_table(
+        "4 live connections, 1 attacker",
+        &[
+            "conns",
+            "served",
+            "ok",
+            "contained",
+            "crashes",
+            "reconciles",
+        ],
     );
+    report.row(&[
+        stats.connections().to_string(),
+        stats.served().to_string(),
+        stats.ok().to_string(),
+        stats.contained_faults().to_string(),
+        stats.crashes().to_string(),
+        if stats.reconciles() { "yes" } else { "NO" }.into(),
+    ]);
     let ok = stats.ok_latency();
     let contained = stats.contained_latency();
-    println!(
-        "latency: ok p50 {:?} / p99 {:?}; contained p50 {:?} / p99 {:?}; rewind p99 {:?}",
-        ok.p50(),
-        ok.p99(),
-        contained.p50(),
-        contained.p99(),
-        stats.rewind_latency().p99(),
+    report.begin_table(
+        "latency by disposition",
+        &[
+            "ok p50",
+            "ok p99",
+            "contained p50",
+            "contained p99",
+            "rewind p99",
+        ],
     );
+    report.row(&[
+        format!("{:?}", ok.p50()),
+        format!("{:?}", ok.p99()),
+        format!("{:?}", contained.p50()),
+        format!("{:?}", contained.p99()),
+        format!("{:?}", stats.rewind_latency().p99()),
+    ]);
+    report.print();
     assert_eq!(stats.connections(), 4);
     assert_eq!(stats.crashes(), 0);
     assert_eq!(stats.contained_faults(), 1);

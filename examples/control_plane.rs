@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --example control_plane`
 
+use sdrad_bench::Report;
 use sdrad_repro::control::{ControlConfig, LadderParams, ReputationParams};
 use sdrad_repro::core::ClientId;
 use sdrad_repro::runtime::{IsolationMode, KvHandler, Runtime, RuntimeConfig, SubmitOutcome};
@@ -66,30 +67,43 @@ fn main() {
     assert!(refusals > 0, "the ban must engage");
 
     let stats = runtime.shutdown();
-    let report = stats.control.clone().expect("control books");
-    println!(
+    let ctl = stats.control.clone().expect("control books");
+    let mut report = Report::new("control_plane", "graduated response in one screen");
+    report.begin_table(
+        "mallory's career vs alice's",
+        &[
+            "quarantines",
+            "denies",
+            "rewinds",
+            "pool rebuilds",
+            "restarts",
+        ],
+    );
+    report.row(&[
+        ctl.counts.quarantines.to_string(),
+        ctl.counts.denies.to_string(),
+        stats.ladder_rewinds().to_string(),
+        stats.pool_rebuilds().to_string(),
+        stats.worker_restarts().to_string(),
+    ]);
+    report.note(format!(
         "mallory's career: {} quarantined admissions served in the pit, then banned \
          ({} refusals); alice: never touched",
-        report.counts.quarantines, report.counts.denies,
-    );
-    println!(
-        "escalation ladder: {} rewinds, {} pool rebuilds, {} worker restarts",
-        stats.ladder_rewinds(),
-        stats.pool_rebuilds(),
-        stats.worker_restarts(),
-    );
-    println!(
+        ctl.counts.quarantines, ctl.counts.denies,
+    ));
+    report.note(format!(
         "recovery bill: {:?} (ladder) vs {:?} (restart-only) -> {:.1} J saved",
-        report.bill.ladder_time(),
-        report.bill.restart_only_time,
-        report.energy_saved_j(),
-    );
-    assert_eq!(report.banned_clients, vec![mallory.0]);
-    assert!(report.quarantined_clients.contains(&mallory.0));
-    assert!(!report.quarantined_clients.contains(&alice.0));
+        ctl.bill.ladder_time(),
+        ctl.bill.restart_only_time,
+        ctl.energy_saved_j(),
+    ));
+    report.note("books reconcile: every decision counted, billed and executed exactly once");
+    report.print();
+    assert_eq!(ctl.banned_clients, vec![mallory.0]);
+    assert!(ctl.quarantined_clients.contains(&mallory.0));
+    assert!(!ctl.quarantined_clients.contains(&alice.0));
     assert!(stats.ladder_rewinds() > 0 && stats.pool_rebuilds() > 0);
-    assert!(report.energy_saved_j() > 0.0);
-    assert!(report.reconciles(), "decisions billed == decisions counted");
+    assert!(ctl.energy_saved_j() > 0.0);
+    assert!(ctl.reconciles(), "decisions billed == decisions counted");
     assert!(stats.reconciles(), "runtime books balance");
-    println!("books reconcile: every decision counted, billed and executed exactly once");
 }

@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --example event_driven`
 
+use sdrad_bench::Report;
 use sdrad_repro::core::ClientId;
 use sdrad_repro::runtime::{ConnectionServer, IsolationMode, KvHandler, Runtime, RuntimeConfig};
 
@@ -41,16 +42,19 @@ fn main() {
     std::thread::sleep(std::time::Duration::from_millis(20));
 
     let stats = server.shutdown();
-    println!(
-        "served {} requests over {} connections: {} parks, {} wakeups, {} polls (always 0), \
-         {} idle connection reaped",
-        stats.served(),
-        stats.connections(),
-        stats.parks(),
-        stats.wakeups(),
-        stats.polls(),
-        stats.reaped(),
+    let mut report = Report::new("event_driven", "readiness-driven scheduling");
+    report.begin_table(
+        "park/wake instead of poll",
+        &["served", "conns", "parks", "wakeups", "polls", "reaped"],
     );
+    report.row(&[
+        stats.served().to_string(),
+        stats.connections().to_string(),
+        stats.parks().to_string(),
+        stats.wakeups().to_string(),
+        stats.polls().to_string(),
+        stats.reaped().to_string(),
+    ]);
     assert_eq!(stats.polls(), 0, "readiness scheduling never polls");
     assert!(stats.parks() > 0);
     assert_eq!(stats.reaped(), 1, "the silent connection was reaped");
@@ -71,13 +75,22 @@ fn main() {
         let _ = runtime.submit_detached(hot, b"get hot-key\r\n".to_vec());
     }
     let stats = runtime.shutdown();
-    println!(
-        "hot shard: worker 0 served {}, worker 1 stole {} (queues agree: {}), reconciles: {}",
-        stats.workers[0].served,
-        stats.workers[1].steals,
-        stats.stolen_submits,
-        stats.reconciles(),
+    report.begin_table(
+        "work stealing off a hot shard",
+        &[
+            "owner served",
+            "sibling stole",
+            "queues agree",
+            "reconciles",
+        ],
     );
+    report.row(&[
+        stats.workers[0].served.to_string(),
+        stats.workers[1].steals.to_string(),
+        stats.stolen_submits.to_string(),
+        if stats.reconciles() { "yes" } else { "NO" }.into(),
+    ]);
+    report.print();
     assert_eq!(stats.served(), 4000, "stealing never loses a request");
     assert!(stats.reconciles());
 }

@@ -6,11 +6,11 @@
 
 use std::time::Duration;
 
+use sdrad_bench::Report;
 use sdrad_repro::energy::availability::{availability, max_recoveries_in_budget, nines};
 use sdrad_repro::energy::redundancy::{evaluate_lineup, Scenario};
 use sdrad_repro::energy::report::fmt_duration;
 use sdrad_repro::energy::restart::RestartModel;
-use sdrad_repro::energy::TextTable;
 
 fn main() {
     // Describe the deployment (edit these to match yours).
@@ -51,21 +51,21 @@ fn main() {
         state_bytes: state,
         ..Scenario::default()
     };
-    let mut table = TextTable::new(
+    let mut report = Report::new("sustainability", "annual footprint by strategy");
+    report.begin_table(
         "annual footprint by strategy",
         &["strategy", "servers", "nines", "kWh/yr", "kgCO2e/yr"],
     );
     let lineup = evaluate_lineup(&scenario);
-    for report in &lineup {
-        table.row(&[
-            report.strategy.clone(),
-            format!("{:.0}", report.servers),
-            format!("{:.1}", report.nines().min(12.0)),
-            format!("{:.0}", report.annual_kwh),
-            format!("{:.0}", report.annual_kgco2),
+    for entry in &lineup {
+        report.row(&[
+            entry.strategy.clone(),
+            format!("{:.0}", entry.servers),
+            format!("{:.1}", entry.nines().min(12.0)),
+            format!("{:.0}", entry.annual_kwh),
+            format!("{:.0}", entry.annual_kgco2),
         ]);
     }
-    println!("{table}");
 
     let sdrad = lineup.iter().find(|r| r.strategy == "1N-sdrad").unwrap();
     let cheapest_redundant = lineup
@@ -73,13 +73,14 @@ fn main() {
         .filter(|r| r.strategy != "1N-sdrad" && r.nines() >= 5.0)
         .min_by(|a, b| a.annual_kwh.total_cmp(&b.annual_kwh));
     match cheapest_redundant {
-        Some(alt) => println!(
-            "five-nines via redundancy ({}) costs {:.0} kWh and {:.0} kgCO2e more per\n\
+        Some(alt) => report.note(format!(
+            "five-nines via redundancy ({}) costs {:.0} kWh and {:.0} kgCO2e more per \
              instance-year than SDRaD — multiply by your fleet size.",
             alt.strategy,
             alt.annual_kwh - sdrad.annual_kwh,
             alt.annual_kgco2 - sdrad.annual_kgco2
-        ),
-        None => println!("no redundancy strategy reaches five nines in this scenario."),
-    }
+        )),
+        None => report.note("no redundancy strategy reaches five nines in this scenario."),
+    };
+    report.print();
 }
