@@ -1,0 +1,42 @@
+//! Lock-free building blocks for the SDRaD data plane.
+//!
+//! The serving core hands requests between threads on three distinct
+//! paths, each with its own contention shape, and each gets a purpose-
+//! built structure here:
+//!
+//! * [`MpscQueue`] — an intrusive node-based multi-producer /
+//!   single-consumer queue (Vyukov's design) for shard submission
+//!   inboxes and owner-routed batches. Producers pay one `XCHG` per
+//!   push; a pre-linked chain lands atomically with the same single
+//!   `XCHG`, which is what makes routed batches all-or-nothing.
+//! * [`Bounded`] — a bounded MPMC ring (per-slot sequence numbers,
+//!   CAS claim) used as the steal buffer: the owner publishes surplus
+//!   work into it and thieves pop from it, so thieves never touch the
+//!   owner's pump loop.
+//! * [`SpscRing`] — a bounded single-producer / single-consumer ring
+//!   for the worker→server completion path.
+//! * [`WaitSlot`] — a park/unpark cell for the cold blocking path.
+//!   Parks are always time-sliced, so a lost notification degrades to
+//!   one bounded stall instead of a hang.
+//!
+//! # Safety model
+//!
+//! This is the only crate in the workspace that uses `unsafe`; the
+//! runtime itself stays `#![forbid(unsafe_code)]` and consumes these
+//! types through safe APIs. Single-consumer and single-producer roles
+//! are enforced at runtime with atomic claim guards: a second
+//! concurrent consumer (or producer) observes a failed claim and gets
+//! a graceful `None`/`Err` instead of undefined behaviour.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod mpmc;
+pub mod mpsc;
+pub mod spsc;
+pub mod wait;
+
+pub use mpmc::Bounded;
+pub use mpsc::MpscQueue;
+pub use spsc::SpscRing;
+pub use wait::WaitSlot;

@@ -1,0 +1,116 @@
+//! Bounded SPSC ring for the worker→server completion path.
+//!
+//! One cursor per side: the producer owns `tail`, the consumer owns
+//! `head`, and each publishes its advance with a release-store the
+//! other side acquires. No CAS anywhere on the hot path. The single-
+//! producer / single-consumer roles are enforced with claim guards so
+//! accidental sharing degrades to a failed operation, never to a data
+//! race.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A fixed-capacity single-producer single-consumer queue.
+pub struct SpscRing<T> {
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Consumer cursor (next slot to read).
+    head: AtomicUsize,
+    /// Producer cursor (next slot to write).
+    tail: AtomicUsize,
+    producing: AtomicBool,
+    consuming: AtomicBool,
+}
+
+// SAFETY: each slot is written by the producer strictly before the
+// release-store of `tail` and read by the consumer strictly after the
+// acquire-load of `tail` (and vice versa for reuse via `head`), so
+// values cross threads with proper ordering for any sendable T.
+unsafe impl<T: Send> Send for SpscRing<T> {}
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// A ring holding at most `capacity` values (rounded up to the
+    /// next power of two, minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(1);
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        SpscRing {
+            mask: cap - 1,
+            slots,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            producing: AtomicBool::new(false),
+            consuming: AtomicBool::new(false),
+        }
+    }
+
+    /// Append a value; fails (returning it) when the ring is full or
+    /// another thread currently holds the producer role.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        if self.producing.swap(true, Ordering::Acquire) {
+            return Err(value);
+        }
+        let tail = self.tail.load(Ordering::Relaxed);
+        let result = if tail.wrapping_sub(self.head.load(Ordering::Acquire)) > self.mask {
+            Err(value)
+        } else {
+            // SAFETY: the producer claim plus the occupancy check make
+            // this slot exclusively ours; the consumer only reads it
+            // after the release-store of `tail` below.
+            unsafe { (*self.slots[tail & self.mask].get()).write(value) };
+            self.tail.store(tail.wrapping_add(1), Ordering::Release);
+            Ok(())
+        };
+        self.producing.store(false, Ordering::Release);
+        result
+    }
+
+    /// Pop the oldest value. `None` when empty or when another thread
+    /// currently holds the consumer role.
+    pub fn pop(&self) -> Option<T> {
+        if self.consuming.swap(true, Ordering::Acquire) {
+            return None;
+        }
+        let head = self.head.load(Ordering::Relaxed);
+        let result = if self.tail.load(Ordering::Acquire) == head {
+            None
+        } else {
+            // SAFETY: the consumer claim plus the non-empty check make
+            // this slot a fully published value nobody else will read;
+            // the release-store of `head` hands the slot back.
+            let value = unsafe { (*self.slots[head & self.mask].get()).assume_init_read() };
+            self.head.store(head.wrapping_add(1), Ordering::Release);
+            Some(value)
+        };
+        self.consuming.store(false, Ordering::Release);
+        result
+    }
+
+    /// Approximate occupancy.
+    pub fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::SeqCst)
+            .wrapping_sub(self.head.load(Ordering::SeqCst))
+            .min(self.mask + 1)
+    }
+
+    /// Whether the ring currently looks empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The rounded-up slot count.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}

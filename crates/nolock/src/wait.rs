@@ -1,0 +1,107 @@
+//! A park/unpark cell for the cold blocking path.
+//!
+//! [`WaitSlot`] replaces a `Mutex<Option<_>>` + `Condvar` pair on
+//! paths where the common case is "the value is already there": the
+//! waiter re-checks its predicate *after* registering, which closes
+//! the classic lost-wakeup window, and every park is time-sliced, so
+//! even a notification that slips through a misuse race (two waiters
+//! displacing each other) costs one bounded stall instead of a hang.
+//! That bounded-stall property is the escape hatch the completion
+//! path relies on: a lost notify can no longer wedge a server thread.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::thread::{self, Thread};
+use std::time::{Duration, Instant};
+
+/// Upper bound on a single park when no notification arrives. Spurious
+/// wakeups at this cadence are the robustness floor, not the expected
+/// path — a well-paired notify wakes the waiter immediately.
+pub const PARK_SLICE: Duration = Duration::from_millis(1);
+
+/// A single-waiter registration slot.
+///
+/// Designed for one waiter at a time; a second concurrent waiter
+/// displaces the first, whose park then falls back to its time slice.
+pub struct WaitSlot {
+    waiter: AtomicPtr<Thread>,
+}
+
+impl WaitSlot {
+    /// An empty slot with no registered waiter.
+    pub fn new() -> Self {
+        WaitSlot {
+            waiter: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Block the calling thread until `ready()` returns true or the
+    /// deadline passes; returns the final `ready()` value. The
+    /// predicate is re-checked after every registration and every
+    /// wakeup, so spurious unparks are harmless.
+    pub fn wait_until(&self, deadline: Option<Instant>, ready: impl Fn() -> bool) -> bool {
+        loop {
+            if ready() {
+                self.clear();
+                return true;
+            }
+            let me = Box::into_raw(Box::new(thread::current()));
+            let prev = self.waiter.swap(me, Ordering::SeqCst);
+            if !prev.is_null() {
+                // SAFETY: every non-null pointer in the slot came from
+                // Box::into_raw and is owned by whoever swaps it out.
+                unsafe { drop(Box::from_raw(prev)) };
+            }
+            // Re-check after registering: a notify that raced ahead of
+            // the registration has already made the predicate true.
+            if ready() {
+                self.clear();
+                return true;
+            }
+            let slice = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        self.clear();
+                        return ready();
+                    }
+                    (d - now).min(PARK_SLICE)
+                }
+                None => PARK_SLICE,
+            };
+            thread::park_timeout(slice);
+        }
+    }
+
+    /// Wake the registered waiter, if any. Cheap (one swap) when
+    /// nobody is waiting.
+    pub fn notify(&self) {
+        let prev = self.waiter.swap(ptr::null_mut(), Ordering::SeqCst);
+        if !prev.is_null() {
+            // SAFETY: as in `wait_until` — the pointer is a live
+            // Box::into_raw allocation we now own.
+            let waiter = unsafe { Box::from_raw(prev) };
+            waiter.unpark();
+        }
+    }
+
+    fn clear(&self) {
+        let prev = self.waiter.swap(ptr::null_mut(), Ordering::SeqCst);
+        if !prev.is_null() {
+            // SAFETY: as in `wait_until`.
+            unsafe { drop(Box::from_raw(prev)) };
+        }
+    }
+}
+
+impl Default for WaitSlot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for WaitSlot {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}

@@ -1,4 +1,5 @@
-//! Bounded per-worker request queues with backpressure.
+//! Bounded per-worker request queues with backpressure — lock-free on
+//! every hot path.
 //!
 //! Each worker owns exactly one [`ShardQueue`]; the dispatcher routes a
 //! client's requests to its sticky shard. Queues are **bounded**: when a
@@ -6,12 +7,31 @@
 //! honest overload behaviour of a loaded server (accept queues fill,
 //! clients see rejections) rather than unbounded memory growth.
 //!
-//! Since connection-level serving, the queue is also the worker's *wakeup
-//! channel*: [`ShardQueue::kick`] rouses a worker blocked in
-//! [`ShardQueue::wait_work`] without enqueueing anything (used when a new
-//! connection is assigned to the shard), and `wait_work` takes an optional
-//! timeout so a worker that owns connections can poll them between queue
-//! drains.
+//! ## Data plane
+//!
+//! The queue is built from two lock-free structures (see
+//! [`sdrad_nolock`]):
+//!
+//! * an intrusive **MPSC inbox** (Vyukov) that producers push into with
+//!   one `XCHG` — external submits and owner-routed batches alike (a
+//!   routed batch lands atomically as one pre-linked chain);
+//! * a bounded **MPMC steal buffer** the owner *publishes* surplus work
+//!   into. Thieves pop the buffer and never touch the owner's pump
+//!   loop, which is what makes a steal storm unable to stall the
+//!   owner's drain: [`steal`](ShardQueue::steal) and
+//!   [`steal_where`](ShardQueue::steal_where) read only the buffer.
+//!
+//! Capacity admission is a CAS on a depth counter, **reserved before**
+//! the push and released when a worker claims the request, so the bound
+//! is exact without any lock. Blocking ([`wait_work`]) is a cold-path
+//! condvar the producers only touch when a sleeper has registered.
+//!
+//! Since connection-level serving, the queue is also the worker's
+//! *wakeup channel*: [`ShardQueue::kick`] rouses a worker blocked in
+//! [`ShardQueue::wait_work`] without enqueueing anything (used when a
+//! new connection is assigned to the shard), and `wait_work` takes an
+//! optional timeout so a worker that owns connections can poll them
+//! between queue drains.
 //!
 //! Under event-driven scheduling
 //! ([`Scheduling::EventDriven`](crate::Scheduling)), the queue is
@@ -19,18 +39,21 @@
 //! pushes, kicks and stop all signal the set (after the state change is
 //! observable), so a worker parked on the set — not on this queue's own
 //! condvar — still sees every edge. When work stealing is enabled the
-//! queue also rings sibling *steal bells* whenever its backlog crosses
-//! the high-water mark, and exposes [`ShardQueue::steal`] for idle
-//! workers to take pre-framed requests off its head (oldest first, at
-//! most half the backlog), with a `stolen` counter the reconciliation
-//! invariant cross-checks against the thieves' own accounting.
+//! queue rings sibling *steal bells* whenever its backlog crosses the
+//! high-water mark and again whenever the owner publishes surplus, and
+//! the steal-at-most-half policy is enforced twice: the owner publishes
+//! at most half its backlog, and one steal call takes at most half the
+//! published buffer. The `stolen` counter feeds the reconciliation
+//! invariant that cross-checks against the thieves' own accounting.
+//!
+//! [`wait_work`]: ShardQueue::wait_work
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use sdrad::ClientId;
+use sdrad_nolock::{Bounded, MpscQueue, SpscRing, WaitSlot};
 
 use crate::wake::WakeSet;
 use sdrad_telemetry::LatencyHistogram;
@@ -129,58 +152,78 @@ pub struct Completion {
 }
 
 /// A handle on one submitted request's eventual completion.
-#[derive(Debug, Clone)]
+///
+/// The hand-off is a single-slot SPSC ring (the worker is the producer,
+/// the submitter the consumer) plus a park/unpark [`WaitSlot`]:
+/// [`wait`](Ticket::wait) re-checks the ring after registering as a
+/// waiter (no lost-wakeup window) and every park is time-sliced, so even
+/// a lost notification costs one bounded stall, never a hang.
+/// [`wait_deadline`](Ticket::wait_deadline) bounds the wait outright.
+#[derive(Clone)]
 pub struct Ticket {
     inner: Arc<TicketInner>,
 }
 
-#[derive(Debug)]
 struct TicketInner {
-    slot: Mutex<Option<Completion>>,
-    ready: Condvar,
+    ring: SpscRing<Completion>,
+    waiter: WaitSlot,
 }
 
 impl Ticket {
     pub(crate) fn new() -> Self {
         Ticket {
             inner: Arc::new(TicketInner {
-                slot: Mutex::new(None),
-                ready: Condvar::new(),
+                ring: SpscRing::new(1),
+                waiter: WaitSlot::new(),
             }),
         }
     }
 
     pub(crate) fn complete(&self, completion: Completion) {
-        let mut slot = self.inner.slot.lock().expect("ticket lock");
-        *slot = Some(completion);
-        self.inner.ready.notify_all();
+        // A second complete on the same ticket would be a worker bug;
+        // the ring is full then and the duplicate is dropped.
+        let _ = self.inner.ring.push(completion);
+        self.inner.waiter.notify();
     }
 
     /// Blocks until the worker completes the request.
     #[must_use]
     pub fn wait(&self) -> Completion {
-        let mut slot = self.inner.slot.lock().expect("ticket lock");
         loop {
-            if let Some(completion) = slot.take() {
+            if let Some(completion) = self.inner.ring.pop() {
                 return completion;
             }
-            slot = self.inner.ready.wait(slot).expect("ticket wait");
+            self.inner
+                .waiter
+                .wait_until(None, || !self.inner.ring.is_empty());
         }
+    }
+
+    /// Blocks until the worker completes the request or `timeout`
+    /// elapses — the bounded-wait escape hatch for callers that must
+    /// not hang on a completion that will never come.
+    #[must_use]
+    pub fn wait_deadline(&self, timeout: Duration) -> Option<Completion> {
+        let deadline = Instant::now() + timeout;
+        self.inner
+            .waiter
+            .wait_until(Some(deadline), || !self.inner.ring.is_empty());
+        self.inner.ring.pop()
     }
 
     /// Non-blocking check.
     #[must_use]
     pub fn try_take(&self) -> Option<Completion> {
-        self.inner.slot.lock().expect("ticket lock").take()
+        self.inner.ring.pop()
     }
 }
 
-struct QueueState {
-    items: VecDeque<Request>,
-    stopped: bool,
-    /// Set by [`ShardQueue::kick`]: wake the worker once even with an
-    /// empty queue (new connection assigned, go adopt it).
-    kicked: bool,
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &!self.inner.ring.is_empty())
+            .finish()
+    }
 }
 
 /// One wakeup's worth of work handed to a worker.
@@ -194,23 +237,44 @@ pub struct WorkBatch {
     pub stopped: bool,
 }
 
-/// A bounded MPSC queue feeding exactly one worker (though an idle
-/// sibling may [`steal`](Self::steal) from its head when stealing is
-/// enabled).
+/// A bounded MPSC queue feeding exactly one worker, with a lock-free
+/// steal buffer idle siblings [`steal`](Self::steal) from.
 pub struct ShardQueue {
-    state: Mutex<QueueState>,
-    available: Condvar,
+    /// Lock-free submission inbox: external submits and routed batches.
+    inbox: MpscQueue<Request>,
+    /// The steal buffer: surplus the owner published for thieves.
+    buffer: Bounded<Request>,
     capacity: usize,
+    /// External requests currently admitted (inbox + buffer). Reserved
+    /// by CAS **before** the push, released when a worker claims the
+    /// request — the exact capacity bound, without a lock.
+    admitted: AtomicUsize,
+    /// Owner-routed frames currently queued. Routed work is exempt from
+    /// `capacity` (its bytes were already accepted on a connection) but
+    /// bounded by `routed_cap` with all-or-nothing reservation.
+    routed_pending: AtomicUsize,
+    routed_cap: usize,
+    stopped: AtomicBool,
+    /// Set by [`ShardQueue::kick`]: wake the worker once even with an
+    /// empty queue (new connection assigned, go adopt it).
+    kicked: AtomicBool,
     shed: AtomicU64,
     submitted: AtomicU64,
     stolen: AtomicU64,
     routed: AtomicU64,
+    routed_rejections: AtomicU64,
     shed_latency: Mutex<LatencyHistogram>,
+    /// Cold-path blocking for [`wait_work`](Self::wait_work): producers
+    /// take this lock only when `sleepers` says somebody registered.
+    sleeper: Mutex<()>,
+    available: Condvar,
+    sleepers: AtomicUsize,
     /// The shard's wake set, bound once at runtime start under
     /// event-driven scheduling; empty under polling.
     wakes: OnceLock<Arc<WakeSet>>,
     /// Sibling wake sets to ring when the backlog crosses
-    /// `steal_watermark`; wired only when work stealing is enabled.
+    /// `steal_watermark` or surplus is published; wired only when work
+    /// stealing is enabled.
     steal_bells: OnceLock<Vec<Arc<WakeSet>>>,
     steal_watermark: AtomicUsize,
     next_bell: AtomicUsize,
@@ -220,19 +284,25 @@ impl ShardQueue {
     /// A queue holding at most `capacity` pending requests.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         ShardQueue {
-            state: Mutex::new(QueueState {
-                items: VecDeque::new(),
-                stopped: false,
-                kicked: false,
-            }),
-            available: Condvar::new(),
-            capacity: capacity.max(1),
+            inbox: MpscQueue::new(),
+            buffer: Bounded::new(capacity.next_power_of_two().clamp(8, 1024)),
+            capacity,
+            admitted: AtomicUsize::new(0),
+            routed_pending: AtomicUsize::new(0),
+            routed_cap: capacity.saturating_mul(4).max(16),
+            stopped: AtomicBool::new(false),
+            kicked: AtomicBool::new(false),
             shed: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
             routed: AtomicU64::new(0),
+            routed_rejections: AtomicU64::new(0),
             shed_latency: Mutex::new(LatencyHistogram::new()),
+            sleeper: Mutex::new(()),
+            available: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
             wakes: OnceLock::new(),
             steal_bells: OnceLock::new(),
             steal_watermark: AtomicUsize::new(usize::MAX),
@@ -262,12 +332,8 @@ impl ShardQueue {
         }
     }
 
-    /// Rings the next sibling's steal bell (round-robin) when the
-    /// backlog is at or past the high-water mark.
-    fn maybe_ring_steal_bell(&self, backlog: usize) {
-        if backlog < self.steal_watermark.load(Ordering::Relaxed) {
-            return;
-        }
+    /// Rings the next sibling's steal bell, round-robin.
+    fn ring_steal_bell(&self) {
         if let Some(bells) = self.steal_bells.get() {
             if bells.is_empty() {
                 return;
@@ -277,77 +343,153 @@ impl ShardQueue {
         }
     }
 
-    /// Enqueues a request, or sheds it when the shard is saturated (or
-    /// already shut down). Returns whether the request was accepted.
-    pub fn try_push(&self, request: Request) -> bool {
-        let mut state = self.state.lock().expect("queue lock");
-        if state.stopped || state.items.len() >= self.capacity {
-            drop(state);
-            self.shed.fetch_add(1, Ordering::Relaxed);
-            // Time-to-shed: how long the fast-fail rejection took from
-            // the request's arrival. Shedding being cheap (vs. queueing
-            // and timing out) is the point of bounded queues.
-            self.shed_latency
-                .lock()
-                .expect("shed histogram lock")
-                .record_duration(request.accepted_at.elapsed());
-            return false;
+    /// Rings a sibling's steal bell when the backlog is at or past the
+    /// high-water mark (the early hint; published surplus rings again).
+    fn maybe_ring_steal_bell(&self, backlog: usize) {
+        if backlog < self.steal_watermark.load(Ordering::Relaxed) {
+            return;
         }
-        state.items.push_back(request);
-        let backlog = state.items.len();
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        drop(state);
-        self.available.notify_one();
-        self.signal_wakeset();
-        self.maybe_ring_steal_bell(backlog);
-        true
+        self.ring_steal_bell();
     }
 
-    /// Takes up to `max` requests off the queue head for an **idle
-    /// sibling** worker — at most half the backlog (rounded up), so the
-    /// owner keeps the rest. Oldest requests move first: stealing is a
-    /// tail-latency rescue, not LIFO cache-friendliness. The count is
-    /// recorded in [`stolen`](Self::stolen) for reconciliation.
+    /// Wakes a `wait_work` sleeper, if one has registered. Producers pay
+    /// one atomic load on the fast path; the lock round-trip happens
+    /// only when somebody is actually asleep.
+    fn notify_sleeper(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleeper.lock().expect("sleeper lock");
+            self.available.notify_all();
+        }
+    }
+
+    fn shed_request(&self, request: &Request) -> bool {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        // Time-to-shed: how long the fast-fail rejection took from the
+        // request's arrival. Shedding being cheap (vs. queueing and
+        // timing out) is the point of bounded queues.
+        self.shed_latency
+            .lock()
+            .expect("shed histogram lock")
+            .record_duration(request.accepted_at.elapsed());
+        false
+    }
+
+    /// Releases the depth reservation of a claimed (popped) request.
+    fn release_claim(&self, request: &Request) {
+        if request.is_routed() {
+            self.routed_pending.fetch_sub(1, Ordering::SeqCst);
+        } else {
+            self.admitted.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Enqueues a request, or sheds it when the shard is saturated (or
+    /// already shut down). Returns whether the request was accepted.
+    /// Lock-free: a CAS to reserve depth, one `XCHG` to link the node.
+    pub fn try_push(&self, request: Request) -> bool {
+        if self.stopped.load(Ordering::SeqCst) {
+            return self.shed_request(&request);
+        }
+        // Reserve a depth slot; the bound stays exact because the slot
+        // is taken before the item is visible and released only when a
+        // worker claims the item.
+        let mut depth = self.admitted.load(Ordering::SeqCst);
+        loop {
+            if depth >= self.capacity {
+                return self.shed_request(&request);
+            }
+            match self.admitted.compare_exchange_weak(
+                depth,
+                depth + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(current) => depth = current,
+            }
+        }
+        // Re-check after reserving: the depth increment is what a
+        // stopping drainer uses to decide "still work coming", so a
+        // push that raced with stop either lands before the final
+        // drain's empty check or observes `stopped` here and backs out.
+        if self.stopped.load(Ordering::SeqCst) {
+            self.admitted.fetch_sub(1, Ordering::SeqCst);
+            return self.shed_request(&request);
+        }
+        let request = match self.inbox.push(request) {
+            Ok(()) => {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                let backlog = self.len();
+                self.notify_sleeper();
+                self.signal_wakeset();
+                self.maybe_ring_steal_bell(backlog);
+                return true;
+            }
+            Err(request) => request,
+        };
+        // The inbox closed between the checks: back out and shed.
+        self.admitted.fetch_sub(1, Ordering::SeqCst);
+        self.shed_request(&request)
+    }
+
+    /// Takes up to `max` published requests for an **idle sibling**
+    /// worker — at most half the steal buffer per call, so concurrent
+    /// thieves (and the owner's reclaim) share the surplus. Thieves
+    /// never touch the owner's inbox: only work the owner explicitly
+    /// [published](Self::drain_publishing) is reachable, which is what
+    /// makes a steal storm unable to stall the owner's drain. The count
+    /// is recorded in [`stolen`](Self::stolen) for reconciliation.
     pub fn steal(&self, max: usize) -> Vec<Request> {
         self.steal_where(max, |_| true)
     }
 
     /// [`steal`](Self::steal) with a predicate: only requests for which
-    /// `stealable` holds are lifted; the rest keep their queue positions
-    /// for the owner. This is how a classification-aware thief takes
-    /// read-only work while leaving shard-state **mutations** on the
-    /// shard that owns the state. Owner-routed frames are never
-    /// stealable regardless of the predicate (their response path is
-    /// pinned to the owner's connection tray).
-    ///
-    /// The scan is bounded to a small window at the head of the queue
-    /// (stealing is a tail-latency rescue of the *oldest* work): the
-    /// predicate runs under the queue lock, and walking a thousand-deep
-    /// backlog of unstealable mutations on every steal hint would
-    /// starve the owner's own drain of its lock far longer than the
-    /// steal could ever win back.
+    /// `stealable` holds are lifted. The publisher applies the same
+    /// classification when it publishes, so in steady state every
+    /// buffered request passes; a request that does not (e.g. a policy
+    /// raced a reconfiguration) is returned to the shard — to the inbox
+    /// when it is open, else back into the buffer — never dropped.
+    /// Owner-routed frames are never published and therefore never
+    /// stealable.
     pub fn steal_where(&self, max: usize, stealable: impl Fn(&Request) -> bool) -> Vec<Request> {
-        let mut state = self.state.lock().expect("queue lock");
-        let backlog = state.items.len();
-        if backlog == 0 {
+        let occupancy = self.buffer.len();
+        if occupancy == 0 {
             return Vec::new();
         }
-        let quota = backlog.div_ceil(2).min(max.max(1));
-        let scan_cap = quota.saturating_mul(4).max(32);
+        let quota = occupancy.div_ceil(2).min(max.max(1));
         let mut batch = Vec::new();
-        let mut index = 0;
-        let mut scanned = 0;
-        while index < state.items.len() && batch.len() < quota && scanned < scan_cap {
-            scanned += 1;
-            if !state.items[index].is_routed() && stealable(&state.items[index]) {
-                let request = state.items.remove(index).expect("index bounded");
-                batch.push(request);
-            } else {
-                index += 1;
+        let mut rejected = Vec::new();
+        while batch.len() < quota {
+            match self.buffer.pop() {
+                Some(request) if stealable(&request) => batch.push(request),
+                Some(request) => rejected.push(request),
+                None => break,
             }
         }
-        drop(state);
+        for request in batch.iter() {
+            debug_assert!(!request.is_routed(), "routed frames are never published");
+            self.release_claim(request);
+        }
         self.stolen.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        if !rejected.is_empty() {
+            // Conservation over ordering: a rejected request must land
+            // somewhere the owner can still claim it.
+            for mut request in rejected {
+                loop {
+                    request = match self.inbox.push(request) {
+                        Ok(()) => break,
+                        Err(back) => back,
+                    };
+                    request = match self.buffer.push(request) {
+                        Ok(()) => break,
+                        Err(back) => back,
+                    };
+                    std::thread::yield_now();
+                }
+            }
+            self.notify_sleeper();
+            self.signal_wakeset();
+        }
         batch
     }
 
@@ -358,37 +500,67 @@ impl ShardQueue {
     }
 
     /// Enqueues a run of **owner-routed mutations** a thief lifted off
-    /// one of this shard's connection buffers — the whole run in
-    /// **one** queue operation (one lock acquisition, one wake signal),
-    /// so a write-heavy skew pays one owner hand-off per run of
-    /// consecutive mutations instead of one per frame.
+    /// one of this shard's connection buffers — the whole run in **one**
+    /// queue operation (one pre-linked chain, one `XCHG`, one wake
+    /// signal), all-or-nothing by construction, so a write-heavy skew
+    /// pays one owner hand-off per run of consecutive mutations instead
+    /// of one per frame.
     ///
     /// Unlike [`try_push`] this is exempt from the capacity bound — the
     /// bytes were already accepted on a connection, so shedding here
-    /// would un-accept admitted work — but it still refuses once the
-    /// queue is stopped, all-or-nothing: every request comes back and
-    /// the caller restores the frames to the tray for the owner's
-    /// shutdown drain, which serves every staged byte. Counted in
-    /// [`routed`](Self::routed), not in [`submitted`](Self::submitted):
-    /// routed frames are connection work, not external submits. Returns
-    /// the number of requests enqueued.
+    /// would un-accept admitted work — but it is still bounded: at most
+    /// `4 × capacity` (min 16) routed frames may be pending, reserved
+    /// all-or-nothing, and it refuses once the queue is stopped. On
+    /// refusal every request comes back and the caller restores the
+    /// frames to the tray, where the owner's pump (or shutdown drain)
+    /// serves every staged byte — re-queued exactly once, never shed,
+    /// never double-counted. Counted in [`routed`](Self::routed), not in
+    /// [`submitted`](Self::submitted): routed frames are connection
+    /// work, not external submits.
     ///
     /// [`try_push`]: Self::try_push
     pub(crate) fn push_routed_batch(&self, requests: Vec<Request>) -> Result<u64, Vec<Request>> {
         if requests.is_empty() {
             return Ok(0);
         }
-        let mut state = self.state.lock().expect("queue lock");
-        if state.stopped {
+        if self.stopped.load(Ordering::SeqCst) {
             return Err(requests);
         }
-        let count = requests.len() as u64;
-        state.items.extend(requests);
-        self.routed.fetch_add(count, Ordering::Relaxed);
-        drop(state);
-        self.available.notify_one();
-        self.signal_wakeset();
-        Ok(count)
+        let count = requests.len();
+        // All-or-nothing reservation against the routed bound.
+        let mut pending = self.routed_pending.load(Ordering::SeqCst);
+        loop {
+            if pending + count > self.routed_cap {
+                self.routed_rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(requests);
+            }
+            match self.routed_pending.compare_exchange_weak(
+                pending,
+                pending + count,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(current) => pending = current,
+            }
+        }
+        if self.stopped.load(Ordering::SeqCst) {
+            self.routed_pending.fetch_sub(count, Ordering::SeqCst);
+            return Err(requests);
+        }
+        match self.inbox.push_batch(requests) {
+            Ok(()) => {
+                self.routed.fetch_add(count as u64, Ordering::Relaxed);
+                self.notify_sleeper();
+                self.signal_wakeset();
+                Ok(count as u64)
+            }
+            Err(requests) => {
+                // The inbox closed between the checks: back out whole.
+                self.routed_pending.fetch_sub(count, Ordering::SeqCst);
+                Err(requests)
+            }
+        }
     }
 
     /// Owner-routed mutation frames accepted by this queue.
@@ -397,43 +569,145 @@ impl ShardQueue {
         self.routed.load(Ordering::Relaxed)
     }
 
+    /// Routed batches refused because the routed bound was full (each a
+    /// whole batch restored to its tray, not shed).
+    #[must_use]
+    pub fn routed_rejections(&self) -> u64 {
+        self.routed_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Pops inbox requests into `batch` up to `max`, releasing their
+    /// depth reservations; once the inbox is exhausted, reclaims
+    /// published-but-unstolen work from the steal buffer (the owner
+    /// taking its surplus back — not counted as stolen).
+    fn fill(&self, batch: &mut Vec<Request>, max: usize) {
+        while batch.len() < max {
+            match self.inbox.pop() {
+                Some(request) => {
+                    self.release_claim(&request);
+                    batch.push(request);
+                }
+                None => break,
+            }
+        }
+        if batch.len() < max && self.inbox.is_empty() {
+            while batch.len() < max {
+                match self.buffer.pop() {
+                    Some(request) => {
+                        self.release_claim(&request);
+                        batch.push(request);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// The owner's drain: pops up to `max` requests for its own batch,
+    /// then **publishes** up to half the remaining inbox backlog into
+    /// the steal buffer — only requests passing `publishable` (the
+    /// shard's steal classification); mutations and routed frames stay
+    /// in the owner's batch (which may therefore exceed `max` by a
+    /// bounded amount rather than head-block publication). Rings a
+    /// sibling steal bell when anything was published. Reclaims the
+    /// buffer when the inbox runs dry, so published work is never
+    /// stranded.
+    pub fn drain_publishing(
+        &self,
+        max: usize,
+        publishable: impl Fn(&Request) -> bool,
+    ) -> Vec<Request> {
+        let max = max.max(1);
+        let mut batch = Vec::new();
+        self.fill(&mut batch, max);
+        let surplus = self.inbox.len();
+        let space = self.buffer.capacity().saturating_sub(self.buffer.len());
+        let quota = (surplus / 2).min(space);
+        let mut published = 0usize;
+        while published < quota && batch.len() < max.saturating_mul(2) {
+            match self.inbox.pop() {
+                Some(request) => {
+                    if !request.is_routed() && publishable(&request) {
+                        match self.buffer.push(request) {
+                            Ok(()) => published += 1,
+                            Err(request) => {
+                                self.release_claim(&request);
+                                batch.push(request);
+                                break;
+                            }
+                        }
+                    } else {
+                        self.release_claim(&request);
+                        batch.push(request);
+                    }
+                }
+                None => break,
+            }
+        }
+        if published > 0 {
+            self.ring_steal_bell();
+        }
+        batch
+    }
+
     /// Waits for work: returns when requests are available, the queue is
     /// [kicked](Self::kick) or [stopped](Self::stop), or `timeout` (if
     /// any) elapses. The batch may be empty — the caller distinguishes
     /// "work", "go look at your connections" and "shutting down" via the
     /// [`WorkBatch`] fields.
     pub fn wait_work(&self, max: usize, timeout: Option<Duration>) -> WorkBatch {
-        let mut state = self.state.lock().expect("queue lock");
+        let deadline = timeout.map(|limit| Instant::now() + limit);
+        let max = max.max(1);
         loop {
-            if !state.items.is_empty() {
-                state.kicked = false;
-                let take = state.items.len().min(max.max(1));
-                let stopped = state.stopped;
-                return WorkBatch {
-                    requests: state.items.drain(..take).collect(),
-                    stopped,
-                };
+            let kicked = self.kicked.swap(false, Ordering::SeqCst);
+            let mut requests = Vec::new();
+            self.fill(&mut requests, max);
+            let stopped = self.stopped.load(Ordering::SeqCst);
+            if !requests.is_empty() || kicked || stopped {
+                return WorkBatch { requests, stopped };
             }
-            if state.stopped || state.kicked {
-                state.kicked = false;
-                return WorkBatch {
-                    requests: Vec::new(),
-                    stopped: state.stopped,
-                };
+            if !self.is_empty() {
+                // A producer is mid-push (depth reserved, node not yet
+                // linked): the work is instants away, spin for it.
+                std::thread::yield_now();
+                continue;
             }
-            match timeout {
-                None => state = self.available.wait(state).expect("queue wait"),
-                Some(limit) => {
-                    let (next, result) = self
-                        .available
-                        .wait_timeout(state, limit)
-                        .expect("queue wait");
-                    state = next;
-                    if result.timed_out() {
-                        state.kicked = false;
+            let guard = self.sleeper.lock().expect("sleeper lock");
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            // Re-check after registering: a producer that saw no
+            // sleeper has already made one of these true.
+            if !self.is_empty()
+                || self.kicked.load(Ordering::SeqCst)
+                || self.stopped.load(Ordering::SeqCst)
+            {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            match deadline {
+                None => {
+                    let _guard = self.available.wait(guard).expect("queue wait");
+                    self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                        self.kicked.store(false, Ordering::SeqCst);
                         return WorkBatch {
                             requests: Vec::new(),
-                            stopped: state.stopped,
+                            stopped: self.stopped.load(Ordering::SeqCst),
+                        };
+                    }
+                    let (_guard, result) = self
+                        .available
+                        .wait_timeout(guard, deadline - now)
+                        .expect("queue wait");
+                    self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                    if result.timed_out() {
+                        self.kicked.store(false, Ordering::SeqCst);
+                        return WorkBatch {
+                            requests: Vec::new(),
+                            stopped: self.stopped.load(Ordering::SeqCst),
                         };
                     }
                 }
@@ -443,9 +717,9 @@ impl ShardQueue {
 
     /// Pops up to `max` pending requests without blocking.
     pub fn try_drain(&self, max: usize) -> Vec<Request> {
-        let mut state = self.state.lock().expect("queue lock");
-        let take = state.items.len().min(max.max(1));
-        state.items.drain(..take).collect()
+        let mut requests = Vec::new();
+        self.fill(&mut requests, max.max(1));
+        requests
     }
 
     /// Pops up to `max` requests, blocking while the queue is empty and
@@ -458,6 +732,13 @@ impl ShardQueue {
                 return Some(batch.requests);
             }
             if batch.stopped {
+                if !self.is_empty() {
+                    // A push that raced the stop is still landing (its
+                    // depth reservation is visible, its node not yet);
+                    // stay and drain it.
+                    std::thread::yield_now();
+                    continue;
+                }
                 return None;
             }
             // Spurious kick with nothing queued: keep waiting.
@@ -467,16 +748,21 @@ impl ShardQueue {
     /// Wakes the worker without enqueueing a request (e.g. a connection
     /// was just assigned to this shard).
     pub fn kick(&self) {
-        self.state.lock().expect("queue lock").kicked = true;
+        self.kicked.store(true, Ordering::SeqCst);
+        let _guard = self.sleeper.lock().expect("sleeper lock");
         self.available.notify_all();
+        drop(_guard);
         self.signal_wakeset();
     }
 
     /// Begins shutdown: no new requests are accepted; the worker drains
     /// what is queued, then exits.
     pub fn stop(&self) {
-        self.state.lock().expect("queue lock").stopped = true;
+        self.stopped.store(true, Ordering::SeqCst);
+        self.inbox.close();
+        let guard = self.sleeper.lock().expect("sleeper lock");
         self.available.notify_all();
+        drop(guard);
         if let Some(wakes) = self.wakes.get() {
             wakes.stop();
         }
@@ -485,7 +771,7 @@ impl ShardQueue {
     /// Whether [`stop`](Self::stop) has been called.
     #[must_use]
     pub fn is_stopped(&self) -> bool {
-        self.state.lock().expect("queue lock").stopped
+        self.stopped.load(Ordering::SeqCst)
     }
 
     /// Requests shed at this shard so far.
@@ -509,10 +795,11 @@ impl ShardQueue {
         self.submitted.load(Ordering::Relaxed)
     }
 
-    /// Pending (accepted, not yet popped) requests.
+    /// Pending (accepted, not yet claimed by a worker) requests,
+    /// including published-but-unstolen work in the steal buffer.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        self.admitted.load(Ordering::SeqCst) + self.routed_pending.load(Ordering::SeqCst)
     }
 
     /// True when nothing is pending.
@@ -527,6 +814,7 @@ impl std::fmt::Debug for ShardQueue {
         f.debug_struct("ShardQueue")
             .field("capacity", &self.capacity)
             .field("pending", &self.len())
+            .field("published", &self.buffer.len())
             .field("shed", &self.shed())
             .finish()
     }
@@ -613,23 +901,133 @@ mod tests {
     }
 
     #[test]
-    fn steal_takes_at_most_half_from_the_head() {
+    fn owner_publishes_at_most_half_and_thieves_split_the_buffer() {
         let queue = ShardQueue::new(16);
         for i in 0..10 {
             queue.try_push(request(i));
         }
-        let stolen = queue.steal(64);
-        let clients: Vec<u64> = stolen.iter().map(|r| r.client.0).collect();
-        assert_eq!(clients, vec![0, 1, 2, 3, 4], "oldest half moves");
-        assert_eq!(queue.len(), 5, "owner keeps the rest");
-        assert_eq!(queue.stolen(), 5);
+        // The owner drains its batch and publishes half the surplus.
+        let own = queue.drain_publishing(2, |_| true);
+        let owners: Vec<u64> = own.iter().map(|r| r.client.0).collect();
+        assert_eq!(owners, vec![0, 1], "owner serves the oldest first");
 
-        // `max` caps the take; an empty queue yields nothing.
-        assert_eq!(queue.steal(2).len(), 2);
-        assert_eq!(queue.steal(64).len(), 2, "ceil(3/2)");
+        // Surplus was 8 → at most 4 published; a thief takes at most
+        // half the buffer per call.
+        let first = queue.steal(64);
+        let clients: Vec<u64> = first.iter().map(|r| r.client.0).collect();
+        assert_eq!(clients, vec![2, 3], "half of the published surplus");
+        assert_eq!(queue.steal(64).len(), 1, "ceil(2/2)");
         assert_eq!(queue.steal(64).len(), 1);
-        assert!(queue.steal(64).is_empty());
-        assert_eq!(queue.stolen(), 10);
+        assert!(queue.steal(64).is_empty(), "buffer exhausted");
+        assert_eq!(queue.stolen(), 4);
+
+        // What was never published stays with the owner, in order.
+        let rest = queue.pop_batch(16).unwrap();
+        let clients: Vec<u64> = rest.iter().map(|r| r.client.0).collect();
+        assert_eq!(clients, vec![6, 7, 8, 9]);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn owner_reclaims_published_work_nobody_stole() {
+        let queue = ShardQueue::new(16);
+        for i in 0..4 {
+            queue.try_push(request(i));
+        }
+        let own = queue.drain_publishing(1, |_| true);
+        assert_eq!(own.len(), 1);
+        assert_eq!(queue.len(), 3, "published work still counts as pending");
+        // No thief showed up: the owner's next drain takes everything,
+        // and none of it counts as stolen.
+        let rest = queue.try_drain(8);
+        assert_eq!(rest.len(), 3);
+        assert_eq!(queue.stolen(), 0);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn publication_respects_the_steal_classification() {
+        let queue = ShardQueue::new(16);
+        for i in 0..10 {
+            queue.try_push(request(i));
+        }
+        // Only even clients are "read-only" in this toy classification:
+        // odd ones must stay in the owner's batch, never the buffer.
+        let own = queue.drain_publishing(2, |r| r.client.0 % 2 == 0);
+        let stolen = queue.steal(64);
+        assert!(stolen.iter().all(|r| r.client.0 % 2 == 0));
+        assert!(own.iter().chain(stolen.iter()).count() <= 10);
+        // Everything is eventually claimed exactly once.
+        let mut seen: Vec<u64> = own
+            .iter()
+            .chain(stolen.iter())
+            .map(|r| r.client.0)
+            .collect();
+        while let Some(batch) = {
+            let b = queue.try_drain(16);
+            if b.is_empty() {
+                None
+            } else {
+                Some(b)
+            }
+        } {
+            seen.extend(batch.iter().map(|r| r.client.0));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn routed_batches_are_bounded_all_or_nothing() {
+        use crate::server::{Connection, RoutedFrame};
+        use sdrad_net::Listener;
+
+        let listener = Listener::new();
+        let _client = listener.connect();
+        let endpoint = listener.accept_blocking().expect("loopback accept");
+        let conn = Connection::new(ClientId(1), endpoint);
+
+        let routed_request = || {
+            Request::owner_routed(
+                ClientId(1),
+                b"set k 1\r\nv\r\n".to_vec(),
+                RoutedFrame {
+                    tray: Arc::clone(&conn.tray),
+                },
+            )
+        };
+
+        // capacity 1 → routed bound is the 16 minimum.
+        let queue = ShardQueue::new(1);
+        let batch: Vec<Request> = (0..16).map(|_| routed_request()).collect();
+        assert_eq!(queue.push_routed_batch(batch).expect("fits"), 16);
+        assert_eq!(queue.routed(), 16);
+
+        // The bound is full: the whole batch comes back, nothing is
+        // half-enqueued, and the refusal is counted.
+        let overflow: Vec<Request> = (0..2).map(|_| routed_request()).collect();
+        let returned = queue
+            .push_routed_batch(overflow)
+            .expect_err("routed bound full");
+        assert_eq!(returned.len(), 2);
+        assert_eq!(queue.routed(), 16, "refused batch never counted");
+        assert_eq!(queue.routed_rejections(), 1);
+        assert_eq!(queue.len(), 16);
+
+        // Routed work is exempt from—and does not consume—the external
+        // capacity bound.
+        assert!(queue.try_push(request(7)));
+        assert_eq!(queue.len(), 17);
+
+        // Draining releases routed reservations and frees the bound.
+        let drained = queue.try_drain(32);
+        assert_eq!(drained.len(), 17);
+        assert_eq!(
+            queue
+                .push_routed_batch(vec![routed_request()])
+                .expect("freed"),
+            1
+        );
     }
 
     #[test]
@@ -663,6 +1061,20 @@ mod tests {
     }
 
     #[test]
+    fn publishing_surplus_rings_a_sibling_bell() {
+        use crate::wake::WakeSet;
+        let queue = ShardQueue::new(16);
+        let bell = Arc::new(WakeSet::new());
+        queue.set_steal_bells(vec![Arc::clone(&bell)], usize::MAX);
+
+        for i in 0..8 {
+            queue.try_push(request(i));
+        }
+        let _ = queue.drain_publishing(2, |_| true);
+        assert!(bell.wait().steal, "publication rings the bell");
+    }
+
+    #[test]
     fn tickets_deliver_completions_across_threads() {
         let ticket = Ticket::new();
         let waiter = ticket.clone();
@@ -675,5 +1087,21 @@ mod tests {
         let completion = handle.join().unwrap();
         assert_eq!(completion.client, ClientId(7));
         assert_eq!(completion.disposition, Disposition::Ok);
+    }
+
+    #[test]
+    fn ticket_wait_deadline_bounds_a_completion_that_never_comes() {
+        let ticket = Ticket::new();
+        let started = Instant::now();
+        assert!(ticket.wait_deadline(Duration::from_millis(5)).is_none());
+        assert!(started.elapsed() >= Duration::from_millis(5));
+        // And still delivers if the completion lands later.
+        ticket.complete(Completion {
+            client: ClientId(1),
+            response: Vec::new(),
+            disposition: Disposition::Ok,
+        });
+        assert!(ticket.wait_deadline(Duration::from_millis(5)).is_some());
+        assert!(ticket.try_take().is_none(), "delivered exactly once");
     }
 }

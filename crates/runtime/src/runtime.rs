@@ -712,6 +712,12 @@ impl Runtime {
         let submitted = self.dispatcher.queues.iter().map(|q| q.submitted()).sum();
         let stolen_submits = self.dispatcher.queues.iter().map(|q| q.stolen()).sum();
         let routed_submits = self.dispatcher.queues.iter().map(|q| q.routed()).sum();
+        let routed_rejections = self
+            .dispatcher
+            .queues
+            .iter()
+            .map(|q| q.routed_rejections())
+            .sum();
         let conn_stolen = self
             .dispatcher
             .registries
@@ -731,6 +737,7 @@ impl Runtime {
             submitted,
             stolen_submits,
             routed_submits,
+            routed_rejections,
             conn_stolen,
             shed_latency,
             control: self.dispatcher.control.as_ref().map(|hub| hub.report()),

@@ -42,12 +42,14 @@
 //! [`StealPolicy::Deep`]: crate::StealPolicy::Deep
 //! [`StreamHandle`]: sdrad_net::StreamHandle
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 use sdrad::ClientId;
 use sdrad_net::{Endpoint, Listener, StreamHandle};
+use sdrad_nolock::MpscQueue;
 
 use crate::handler::SessionHandler;
 use crate::runtime::{Runtime, RuntimeConfig};
@@ -218,23 +220,41 @@ pub(crate) struct RoutedFrame {
 
 /// Hand-off slot for connections newly assigned to a shard. The acceptor
 /// pushes, the worker drains on its next wakeup (the shard queue is
-/// kicked after every push, so a parked worker wakes promptly).
-#[derive(Debug, Default)]
+/// kicked after every push, so a parked worker wakes promptly). Backed
+/// by the lock-free MPSC inbox, so a burst of accepts never serializes
+/// against the adopting worker.
+#[derive(Default)]
 pub(crate) struct ConnInbox {
-    pending: Mutex<Vec<Connection>>,
+    pending: MpscQueue<Connection>,
 }
 
 impl ConnInbox {
     pub(crate) fn push(&self, conn: Connection) {
-        self.pending.lock().expect("conn inbox lock").push(conn);
+        // The inbox is never closed (shutdown drains it instead), so
+        // the push cannot be refused.
+        self.pending.push(conn).expect("conn inbox never closes");
     }
 
     pub(crate) fn drain(&self) -> Vec<Connection> {
-        std::mem::take(&mut *self.pending.lock().expect("conn inbox lock"))
+        let mut drained = Vec::new();
+        while let Some(conn) = self.pending.pop() {
+            drained.push(conn);
+        }
+        drained
     }
 
+    /// Counter-based: also true for a push whose node link is still in
+    /// flight, so the worker's drain loop never misses a hand-off.
     pub(crate) fn is_empty(&self) -> bool {
-        self.pending.lock().expect("conn inbox lock").is_empty()
+        self.pending.is_empty()
+    }
+}
+
+impl fmt::Debug for ConnInbox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConnInbox")
+            .field("pending", &self.pending.len())
+            .finish()
     }
 }
 

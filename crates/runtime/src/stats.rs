@@ -108,6 +108,12 @@ pub struct RuntimeStats {
     /// [`WorkerStats::owner_routed`] and the owners'
     /// [`WorkerStats::routed_served`]).
     pub routed_submits: u64,
+    /// Owner-routed hand-off batches **refused** by a full routed bound
+    /// (the queues' own count). A refusal is not loss: the thief
+    /// restores the run to the connection tray and the owner serves it,
+    /// so refused frames reappear in `conn_served`, never in
+    /// `routed_submits`.
+    pub routed_rejections: u64,
     /// Framing-complete requests lifted off connection buffers by
     /// sibling workers (the shard registries' own count — reconciled
     /// against the thieves' [`WorkerStats::conn_steals`]).
@@ -518,6 +524,7 @@ mod tests {
             submitted,
             stolen_submits: 0,
             routed_submits: 0,
+            routed_rejections: 0,
             conn_stolen: 0,
             shed_latency: LatencyHistogram::new(),
             control: None,

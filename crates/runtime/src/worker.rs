@@ -391,9 +391,9 @@ impl<H: SessionHandler> Worker<H> {
             ready.extend(self.adopt_connections());
 
             // Only a queue signal can mean queue work (pushes latch it
-            // until consumed), so conn-only wakes skip the queue lock.
+            // until consumed), so conn-only wakes skip the queue drain.
             let requests = if signals.queue {
-                self.queue.try_drain(self.batch)
+                self.drain_own_queue()
             } else {
                 Vec::new()
             };
@@ -455,13 +455,27 @@ impl<H: SessionHandler> Worker<H> {
             };
             let polling_conns = timeout.is_some();
             let work = self.queue.wait_work(self.batch, timeout);
-            let had_queue_work = !work.requests.is_empty();
+            let mut had_queue_work = !work.requests.is_empty();
             if had_queue_work {
                 let started = Instant::now();
                 for request in work.requests {
                     self.serve(request);
                 }
                 self.note_busy(started);
+            }
+            if self.steal_policy != StealPolicy::Disabled && !self.queue.is_empty() {
+                // `wait_work` pops without publishing; a backlogged
+                // polling owner publishes its surplus here so siblings
+                // have a buffer to steal from.
+                let extra = self.drain_own_queue();
+                if !extra.is_empty() {
+                    had_queue_work = true;
+                    let started = Instant::now();
+                    for request in extra {
+                        self.serve(request);
+                    }
+                    self.note_busy(started);
+                }
             }
             if polling_conns && !pumped && !had_queue_work {
                 // The pure-waste tick: connections re-polled, nothing
@@ -510,12 +524,17 @@ impl<H: SessionHandler> Worker<H> {
     }
 
     /// Whether any of this worker's connections is gated on in-flight
-    /// stolen or routed frames.
+    /// stolen or routed frames — or holds actionable staged frames a
+    /// thief restored *after* this pass's pump (a refused routed batch
+    /// drops the gate and puts the frames back in the same lock hold,
+    /// so the only way to observe them here is to look).
     fn any_tray_gated(&self) -> bool {
-        self.conns
-            .iter()
-            .flatten()
-            .any(|conn| conn.tray.lock().routed_inflight > 0)
+        self.conns.iter().flatten().any(|conn| {
+            let tray = conn.tray.lock();
+            tray.routed_inflight > 0
+                || (!tray.staged.is_empty()
+                    && !matches!(self.handler.frame(&tray.staged), Framing::Incomplete))
+        })
     }
 
     /// Moves connections newly assigned to this shard into the pump
@@ -655,6 +674,24 @@ impl<H: SessionHandler> Worker<H> {
     /// never move; under the deep policy queue steals are filtered to
     /// read-only requests so shard-state mutations stay with the state
     /// they touch.
+    /// Drains up to one batch from the owned queue, publishing surplus
+    /// into the shard's steal buffer when stealing is enabled. Under
+    /// the deep policy only read-only requests are published — the
+    /// same classification `steal_where` enforces — so thieves popping
+    /// the buffer never race the owner's inbox cursor.
+    fn drain_own_queue(&mut self) -> Vec<Request> {
+        match self.steal_policy {
+            StealPolicy::Disabled => self.queue.try_drain(self.batch),
+            StealPolicy::Queue => self.queue.drain_publishing(self.batch, |_| true),
+            StealPolicy::Deep => {
+                let handler = &self.handler;
+                self.queue.drain_publishing(self.batch, |request| {
+                    handler.steal_class(&request.payload) == StealClass::ReadOnly
+                })
+            }
+        }
+    }
+
     fn try_steal(&mut self) {
         if self.steal_policy == StealPolicy::Disabled || self.peers.is_empty() {
             return;
@@ -884,11 +921,15 @@ impl<H: SessionHandler> Worker<H> {
                                     );
                                 }
                                 Err(requests) => {
-                                    // Shutdown raced us: restore the
-                                    // frames at the head (we held the
-                                    // lock across the extraction, so
-                                    // nobody saw the gap) and let the
-                                    // owner's drain serve them.
+                                    // The owner's routed bound is full
+                                    // (or shutdown raced us): restore
+                                    // the frames at the head (we held
+                                    // the lock across the extraction,
+                                    // so nobody saw the gap) and let
+                                    // the owner serve them — exactly
+                                    // once, since nothing was counted
+                                    // as routed on this path. Both
+                                    // exits below end in wake_owner.
                                     st.routed_inflight -= routed;
                                     let mut restored: Vec<u8> = Vec::new();
                                     for request in requests {

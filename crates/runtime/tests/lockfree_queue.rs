@@ -1,0 +1,187 @@
+//! Regression tests for the lock-free shard queue's isolation
+//! guarantees between the owner and its thieves.
+//!
+//! The mutex-era `steal`/`steal_where` walked the owner's deque in
+//! O(n·stolen) **while holding the queue lock**, so a storm of thieves
+//! could stall the owner's `pop_batch` for an entire walk per steal.
+//! The lock-free plane routes thieves through the published steal
+//! buffer instead: the owner's inbox cursor is never shared, and an
+//! owner drain must stay prompt no matter how hard the buffer is
+//! hammered. These tests pin both properties — bounded owner latency
+//! under a steal storm, and exactly-once conservation of every
+//! accepted request.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sdrad::ClientId;
+use sdrad_runtime::{Request, ShardQueue};
+
+/// Generous stand-in for "one batch period": serving a 16-request
+/// batch takes microseconds, so an owner drain that ever takes this
+/// long under a steal storm means thieves are back on the owner's
+/// critical path.
+const OWNER_STALL_BOUND: Duration = Duration::from_millis(250);
+
+#[test]
+fn a_steal_storm_cannot_stall_the_owner() {
+    let queue = Arc::new(ShardQueue::new(1024));
+    let stop = Arc::new(AtomicBool::new(false));
+    let stolen_total = Arc::new(AtomicU64::new(0));
+    let thieves = 4usize;
+    let gate = Arc::new(Barrier::new(thieves + 2));
+
+    let mut handles = Vec::new();
+    for _ in 0..thieves {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        let stolen_total = Arc::clone(&stolen_total);
+        let gate = Arc::clone(&gate);
+        handles.push(thread::spawn(move || {
+            gate.wait();
+            // Spin as hot as possible: no sleeps, no yields on hits.
+            while !stop.load(Ordering::Relaxed) {
+                let got = queue.steal(8);
+                if got.is_empty() {
+                    thread::yield_now();
+                } else {
+                    stolen_total.fetch_add(got.len() as u64, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+
+    let accepted = Arc::new(AtomicU64::new(0));
+    let producer = {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        let accepted = Arc::clone(&accepted);
+        let gate = Arc::clone(&gate);
+        thread::spawn(move || {
+            gate.wait();
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if queue.try_push(Request::new(ClientId(n), vec![0], None)) {
+                    accepted.fetch_add(1, Ordering::Relaxed);
+                    n += 1;
+                } else {
+                    // Saturated: let the owner catch up.
+                    thread::yield_now();
+                }
+            }
+        })
+    };
+
+    // The owner: keep draining (and publishing surplus, which is what
+    // gives the thieves something to fight over) and time every call.
+    gate.wait();
+    let mut owner_claimed = 0u64;
+    let mut worst = Duration::ZERO;
+    let deadline = Instant::now() + Duration::from_millis(500);
+    while Instant::now() < deadline {
+        let started = Instant::now();
+        let batch = queue.drain_publishing(16, |_| true);
+        worst = worst.max(started.elapsed());
+        owner_claimed += batch.len() as u64;
+        if batch.is_empty() {
+            thread::yield_now();
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    producer.join().unwrap();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    // Thieves are done; whatever is still pending belongs to the owner.
+    loop {
+        let batch = queue.try_drain(64);
+        if batch.is_empty() {
+            if queue.is_empty() {
+                break;
+            }
+            thread::yield_now();
+            continue;
+        }
+        owner_claimed += batch.len() as u64;
+    }
+
+    assert!(
+        worst < OWNER_STALL_BOUND,
+        "owner drain stalled for {worst:?} under a steal storm"
+    );
+    let stolen = stolen_total.load(Ordering::SeqCst);
+    assert_eq!(queue.stolen(), stolen, "steal accounting drifted");
+    assert_eq!(
+        owner_claimed + stolen,
+        accepted.load(Ordering::SeqCst),
+        "requests lost or duplicated under contention"
+    );
+}
+
+#[test]
+fn concurrent_push_steal_and_pop_conserve_every_request() {
+    let queue = Arc::new(ShardQueue::new(256));
+    let total = 8_000u64;
+    let stop = Arc::new(AtomicBool::new(false));
+    let gate = Arc::new(Barrier::new(4));
+
+    let producer = {
+        let queue = Arc::clone(&queue);
+        let gate = Arc::clone(&gate);
+        thread::spawn(move || {
+            gate.wait();
+            let mut accepted = 0u64;
+            let mut n = 0u64;
+            while accepted < total {
+                if queue.try_push(Request::new(ClientId(n), vec![0], None)) {
+                    accepted += 1;
+                } else {
+                    thread::yield_now();
+                }
+                n += 1;
+            }
+        })
+    };
+    let mut thieves = Vec::new();
+    for _ in 0..2 {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        let gate = Arc::clone(&gate);
+        thieves.push(thread::spawn(move || {
+            gate.wait();
+            let mut mine = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let got = queue.steal_where(8, |r| r.client.0 % 2 == 0);
+                if got.is_empty() {
+                    thread::yield_now();
+                } else {
+                    mine.extend(got.into_iter().map(|r| r.client.0));
+                }
+            }
+            mine
+        }));
+    }
+
+    gate.wait();
+    let mut seen = HashSet::new();
+    while (seen.len() as u64) + queue.stolen() < total {
+        for request in queue.drain_publishing(16, |r| r.client.0 % 2 == 0) {
+            assert!(seen.insert(request.client.0), "owner double-claim");
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    producer.join().unwrap();
+    let mut stolen_ids = Vec::new();
+    for thief in thieves {
+        stolen_ids.extend(thief.join().unwrap());
+    }
+    for id in stolen_ids {
+        assert!(id % 2 == 0, "thief claimed a non-stealable request");
+        assert!(seen.insert(id), "request claimed twice");
+    }
+    assert_eq!(seen.len() as u64, total, "requests lost");
+    assert!(queue.is_empty());
+}

@@ -6,11 +6,15 @@
 //!   offered`, nothing lost, nothing invented;
 //! * no request is both: a ticket that was `Enqueued` always completes,
 //!   a `Shed` submit never does (there is no ticket to complete);
-//! * the shed histogram carries exactly one sample per shed request.
+//! * the shed histogram carries exactly one sample per shed request;
+//! * an owner-routed hand-off batch refused by a full routed bound is
+//!   restored and served by the owner **exactly once** — never dropped,
+//!   never double-served, never silently counted as shed.
 
 use proptest::prelude::*;
 use sdrad::ClientId;
-use sdrad_runtime::{IsolationMode, KvHandler, Runtime, RuntimeConfig, SubmitOutcome};
+use sdrad_net::{duplex, Endpoint};
+use sdrad_runtime::{IsolationMode, KvHandler, Runtime, RuntimeConfig, StealPolicy, SubmitOutcome};
 
 /// One offered request: which client, and whether it is an exploit
 /// (~10% of traffic).
@@ -60,5 +64,89 @@ proptest! {
 
         // And the books balance all the way down to the managers.
         prop_assert!(stats.reconciles());
+    }
+}
+
+proptest! {
+    // Each case starts a threaded runtime with live connections, so a
+    // smaller case count keeps the suite inside its time budget while
+    // still sweeping run lengths on both sides of the routed bound.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation across the **routed-batch overflow** path: a tiny
+    /// `queue_capacity` shrinks the routed bound to its floor of 16
+    /// frames, and mutation runs longer than that guarantee any thief
+    /// hand-off is refused whole (`push_routed_batch` is
+    /// all-or-nothing). The refused run must come home: every pipelined
+    /// response arrives exactly once and in order, whether the frames
+    /// travelled the routed path, the restored-to-tray path, or never
+    /// left the owner.
+    #[test]
+    fn routed_overflow_conserves_every_frame(
+        run_len in 2usize..40,
+        conns in 1usize..4,
+        pin in 0usize..1200,
+        capacity in 1usize..5,
+    ) {
+        let mut config = RuntimeConfig::new(2, IsolationMode::PerClientDomain);
+        config.work_stealing = StealPolicy::Deep;
+        config.queue_capacity = capacity;
+        config.batch = 4;
+        config.conn_read_budget = 2;
+        let runtime = Runtime::start(config, |_| KvHandler::default());
+
+        // Pin the owner with queue work so the sibling goes stealing.
+        // The tiny capacity sheds most of it; count what was accepted.
+        let hot: Vec<ClientId> = (0u64..)
+            .map(ClientId)
+            .filter(|c| runtime.shard_of(*c) == 0)
+            .take(conns.max(1))
+            .collect();
+        let mut accepted = 0u64;
+        for _ in 0..pin {
+            if runtime.submit_detached(hot[0], b"set pin 2\r\nok\r\n".to_vec()) {
+                accepted += 1;
+            }
+        }
+
+        // Each connection: one stealable get, then one unbroken run of
+        // sets. With `run_len` past the routed bound the whole batch is
+        // refused; below it, it routes — conservation must hold either
+        // way.
+        let mut endpoints: Vec<(Endpoint, Vec<u8>)> = Vec::new();
+        for (c, client_id) in hot.iter().enumerate() {
+            let (mut client, server) = duplex();
+            runtime.attach(*client_id, server);
+            let mut burst = Vec::new();
+            let mut expected = Vec::new();
+            burst.extend_from_slice(b"get miss\r\n");
+            expected.extend_from_slice(b"END\r\n");
+            for i in 0..run_len {
+                burst.extend_from_slice(format!("set c{c}-k{i} 2\r\nok\r\n").as_bytes());
+                expected.extend_from_slice(b"STORED\r\n");
+            }
+            client.write(&burst);
+            endpoints.push((client, expected));
+        }
+
+        prop_assert!(runtime.quiesce(), "drain barrier failed");
+        for (client, expected) in &mut endpoints {
+            // Exactly-once and in-order: a dropped run truncates this, a
+            // double-served run duplicates bytes within it.
+            prop_assert_eq!(&client.read_available(), expected);
+        }
+        let stats = runtime.shutdown();
+
+        prop_assert_eq!(
+            stats.served(),
+            accepted + (conns * (run_len + 1)) as u64
+        );
+        prop_assert_eq!(stats.thief_mutations(), 0);
+        // A refused batch is restored, not routed: the routed books
+        // still balance, and refusals were never double-counted as shed
+        // (shed tracks only the submit path, which we counted exactly).
+        prop_assert_eq!(stats.shed, pin as u64 - accepted);
+        prop_assert_eq!(stats.owner_routed(), stats.routed_served());
+        prop_assert!(stats.reconciles(), "books drifted: {:?}", stats);
     }
 }
