@@ -3,8 +3,9 @@
 //!
 //! Runs compact, deterministic-workload versions of the key runtime
 //! experiments (isolation submit path, event-driven connection serving,
-//! work stealing, the adaptive-control campaign) plus hot-path
-//! micro-timings, renders every summary through the shared
+//! work stealing, the adaptive-control campaign, frame-buffer
+//! allocation discipline) plus hot-path micro-timings, renders every
+//! summary through the shared
 //! [`sdrad_bench::Report`] formatter, and emits one schema-versioned
 //! JSON artifact. Three metric classes:
 //!
@@ -35,11 +36,17 @@ use std::time::{Duration, Instant};
 use sdrad::ClientId;
 use sdrad_bench::campaign::{self, control_config};
 use sdrad_bench::{banner, measure, measured_rewind_latency, report, Metric, Report};
+use sdrad_nolock::{arena, CountingAlloc};
 use sdrad_runtime::{
     ConnectionServer, IsolationMode, KvHandler, Runtime, RuntimeConfig, RuntimeStats, Scheduling,
     StealPolicy, TelemetryConfig,
 };
 use sdrad_telemetry::{EventKind, Json, LogicalClock, Recorder, Source, TraceRing};
+
+/// Allocation counting for the e22 discipline scenario. Threads that
+/// never opt in pay one thread-local read per allocation event.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 /// Guarded-metric tolerance: a >10 % degradation vs baseline fails.
 const TOLERANCE: f64 = 0.10;
@@ -519,14 +526,23 @@ fn lockfree_cell(workers: usize) -> (RuntimeStats, Duration, Duration) {
 /// Best of three runs per cell — the guard gates the *path cost*
 /// ratio, not one run's host-scheduler luck.
 fn scenario_lockfree() -> Report {
-    let best = |workers: usize| -> (RuntimeStats, Duration, Duration) {
-        (0..3)
-            .map(|_| lockfree_cell(workers))
+    // Engagement is tracked across EVERY run of both cells, not just
+    // the min-rtt run the ratios are taken from: the chosen run can be
+    // one where the owner drained the burst before a thief scheduled,
+    // while the sweep as a whole engaged stealing fine.
+    let best = |workers: usize| -> (RuntimeStats, Duration, Duration, bool) {
+        let runs: Vec<_> = (0..3).map(|_| lockfree_cell(workers)).collect();
+        let engaged = runs
+            .iter()
+            .any(|(stats, _, _)| stats.steals() + stats.conn_steals() > 0);
+        let (stats, submit, rtt) = runs
+            .into_iter()
             .min_by_key(|&(_, _, rtt_p99)| rtt_p99)
-            .expect("three runs")
+            .expect("three runs");
+        (stats, submit, rtt, engaged)
     };
-    let (narrow_stats, narrow_submit, narrow_rtt) = best(2);
-    let (wide_stats, wide_submit, wide_rtt) = best(8);
+    let (narrow_stats, narrow_submit, narrow_rtt, narrow_engaged) = best(2);
+    let (wide_stats, wide_submit, wide_rtt, wide_engaged) = best(8);
 
     // Clamped at the e21 binary's own acceptance band (3.0x): the
     // flatness claim is one-sided (the tail must not GROW with the
@@ -543,10 +559,24 @@ fn scenario_lockfree() -> Report {
     // stays raw — the true number is more useful than a clamped one.
     let submit_flat =
         wide_submit.as_secs_f64() / narrow_submit.as_secs_f64().max(f64::MIN_POSITIVE);
-    // Engagement is informational here: on a single-core runner the
-    // burst can drain before any thief is scheduled (the e21 binary
-    // retries until it engages; this compact cut does not).
-    let engaged = wide_stats.steals() + wide_stats.conn_steals() > 0;
+    // Engagement gates: across six runs of the two cells a runnable
+    // thief all but always fires at least once, and a few extra wide
+    // cells retry the residual race away (same idiom as the e19
+    // quarantine retry above). A sweep where stealing NEVER engages
+    // means the deep-steal plane is dead — exactly what this metric
+    // exists to catch — so it is exact, not info.
+    let mut engaged = narrow_engaged || wide_engaged;
+    for _ in 0..5 {
+        if engaged {
+            break;
+        }
+        let (retry_stats, _, _) = lockfree_cell(8);
+        engaged = retry_stats.steals() + retry_stats.conn_steals() > 0;
+    }
+    assert!(
+        engaged,
+        "work stealing never engaged across any e21 cell — the deep-steal plane is dead"
+    );
 
     let mut r = Report::new("e21", "lock-free hand-off tails across a worker sweep");
     r.begin_table(
@@ -582,13 +612,135 @@ fn scenario_lockfree() -> Report {
         (narrow_stats.crashes() + wide_stats.crashes()) as f64,
         "count",
     )
+    .exact("steals_engaged", f64::from(u8::from(engaged)), "bool")
     .guarded("handoff_p99_flatness", rtt_flat, "ratio", false)
-    .info("steals_engaged", f64::from(u8::from(engaged)), "bool")
     .info("submit_p99_flatness", submit_flat, "ratio")
     .info("handoff_p99_ns_w8", wide_rtt.as_nanos() as f64, "ns")
     .note(format!(
         "hand-off RTT p99 at 8 workers is {rtt_flat:.2}x the 2-worker tail (submit p99 \
          {submit_flat:.2}x): quadrupling the steal fleet must not tax the hand-off path"
+    ));
+    r
+}
+
+/// E22-style: allocation discipline on the e17 closed-loop hot path.
+/// One cell per `frame_pooling` setting — the code path is identical;
+/// the config bit only decides whether `FrameBuf::acquire` recycles
+/// worker-local storage or falls through to a fresh heap allocation.
+/// Workers opt into the counting allocator from their handler factory,
+/// so allocs-per-request charges the serving path, not the load
+/// generator; counting spans only the post-warm-up window (domain-pool
+/// setup, store growth and arena prefill are excluded).
+fn scenario_alloc_discipline() -> Report {
+    const REQUESTS: usize = 2_000;
+    const WARMUP: usize = 500;
+    const CONNS: usize = 8;
+    // One-sided latency clamp, same discipline as the e21 flatness
+    // guard: pooling must not tax the tail, but µs-scale closed-loop
+    // p99 ratios on a loaded host are scheduler noise below this band,
+    // so everything inside it collapses to the band edge and the guard
+    // fires only on a real collapse.
+    const P99_BAND: f64 = 2.0;
+
+    let cell = |pooling: bool| -> (RuntimeStats, u64) {
+        let mut config = RuntimeConfig::new(4, IsolationMode::PerClientDomain);
+        config.scheduling = Scheduling::EventDriven;
+        config.frame_pooling = pooling;
+        let server = ConnectionServer::start(config, |_| {
+            // Runs on the worker's own thread: its allocations are
+            // counted from here on.
+            arena::count_allocs_on_this_thread(true);
+            KvHandler::default()
+        });
+        let mut clients: Vec<_> = (0..CONNS).map(|_| server.connect()).collect();
+        let mut drive = |from: usize, count: usize| {
+            for i in from..from + count {
+                let c = i % CONNS;
+                clients[c].write(&benign(i));
+                let _ = server.await_response(&mut clients[c], 1);
+            }
+        };
+        drive(0, WARMUP);
+        let before = arena::counted_allocs();
+        drive(WARMUP, REQUESTS);
+        let allocs = arena::counted_allocs() - before;
+        (server.shutdown(), allocs)
+    };
+    // Best of three per arm — allocation counts are near-deterministic,
+    // but a background steal or amortized growth spike in one run must
+    // not become the baseline.
+    let best = |pooling: bool| -> (RuntimeStats, f64) {
+        (0..3)
+            .map(|_| {
+                let (stats, allocs) = cell(pooling);
+                (stats, allocs as f64 / REQUESTS as f64)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("three runs")
+    };
+    let (pooled, pooled_apr) = best(true);
+    let (unpooled, unpooled_apr) = best(false);
+
+    assert!(pooled.reconciles() && unpooled.reconciles());
+    assert_eq!(
+        pooled.arena_acquires(),
+        pooled.arena_reuses() + pooled.arena_fresh_allocs(),
+        "arena books must balance"
+    );
+    assert_eq!(unpooled.arena_reuses(), 0, "pooling off must never recycle");
+    let reuse_ratio = pooled.arena_reuses() as f64 / pooled.arena_acquires().max(1) as f64;
+    assert!(
+        reuse_ratio > 0.5,
+        "a warmed arena must serve most acquires from recycled storage, got {reuse_ratio:.2}"
+    );
+    let alloc_ratio = pooled_apr / unpooled_apr.max(f64::EPSILON);
+    let p99_ratio = (pooled.ok_latency().p99().as_secs_f64()
+        / unpooled
+            .ok_latency()
+            .p99()
+            .as_secs_f64()
+            .max(f64::MIN_POSITIVE))
+    .max(P99_BAND);
+
+    let mut r = Report::new("e22", "frame-buffer arena vs malloc-per-frame");
+    r.begin_table(
+        format!("{REQUESTS} counted round trips after {WARMUP} warm-up, {CONNS} conns, 4 workers, best of 3 runs per arm"),
+        &["arena", "allocs/req", "acquires", "reuses", "fresh", "ok p99"],
+    );
+    for (label, stats, apr) in [
+        ("pooled", &pooled, pooled_apr),
+        ("malloc", &unpooled, unpooled_apr),
+    ] {
+        r.row(&[
+            label.into(),
+            format!("{apr:.2}"),
+            stats.arena_acquires().to_string(),
+            stats.arena_reuses().to_string(),
+            stats.arena_fresh_allocs().to_string(),
+            format!("{:.1}us", stats.ok_latency().p99().as_nanos() as f64 / 1e3),
+        ]);
+    }
+    r.exact(
+        "crashes",
+        (pooled.crashes() + unpooled.crashes()) as f64,
+        "count",
+    )
+    .exact(
+        "pool_conserves",
+        f64::from(u8::from(
+            pooled.arena_acquires() == pooled.arena_reuses() + pooled.arena_fresh_allocs(),
+        )),
+        "bool",
+    )
+    .guarded("allocs_per_request", pooled_apr, "allocs", false)
+    .guarded("alloc_ratio", alloc_ratio, "ratio", false)
+    .guarded("reuse_ratio", reuse_ratio, "ratio", true)
+    .guarded("p99_ratio", p99_ratio, "ratio", false)
+    .info("allocs_per_request_unpooled", unpooled_apr, "allocs")
+    .note(format!(
+        "pooled serving path makes {pooled_apr:.2} allocs/request vs {unpooled_apr:.2} with \
+         pooling off ({alloc_ratio:.2}x); {:.0}% of pooled acquires reused recycled storage",
+        reuse_ratio * 100.0
     ));
     r
 }
@@ -629,6 +781,7 @@ fn main() {
         scenario_stealing(),
         scenario_campaign(),
         scenario_lockfree(),
+        scenario_alloc_discipline(),
         scenario_micro(),
     ];
     let mut metrics: Vec<Metric> = Vec::new();

@@ -107,13 +107,24 @@ impl HttpResponse {
     /// Serializes the response.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = format!("HTTP/1.1 {}\r\n", self.status).into_bytes();
-        for (name, value) in &self.headers {
-            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
-        }
-        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
-        out.extend_from_slice(&self.body);
+        let mut out = Vec::new();
+        self.write_to(&mut out);
         out
+    }
+
+    /// Serializes the response into an existing buffer, appending to it.
+    ///
+    /// Formats directly into `out` (no intermediate `String`), so the
+    /// serving hot path can reuse response storage across requests.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        use std::io::Write as _;
+        // Writing into a Vec<u8> is infallible.
+        let _ = write!(out, "HTTP/1.1 {}\r\n", self.status);
+        for (name, value) in &self.headers {
+            let _ = write!(out, "{name}: {value}\r\n");
+        }
+        let _ = write!(out, "Content-Length: {}\r\n\r\n", self.body.len());
+        out.extend_from_slice(&self.body);
     }
 }
 

@@ -3,24 +3,33 @@
 
 use std::fmt;
 
-/// A parsed client command.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Command {
+/// A parsed client command, borrowing the request buffer.
+///
+/// Borrowed on purpose: the serving hot path frames, classifies and
+/// parses every request (sometimes more than once — framing happens per
+/// pump pass), and an owned command would charge a key `String` and a
+/// value `Vec` per parse. Owned copies are made only where data actually
+/// crosses a boundary — [`stage_command`] copies through the domain
+/// heap, exactly as the SDRaD retrofit does.
+///
+/// [`stage_command`]: crate::stage_command
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command<'req> {
     /// `get <key>` — look up one key.
-    Get(String),
+    Get(&'req str),
     /// `set <key> <len> [ttl]` followed by `<len>` data bytes. The
     /// optional `ttl` is a logical-clock lifetime (0 = immortal, matching
     /// memcached's exptime 0).
     Set {
         /// Key to store under.
-        key: String,
+        key: &'req str,
         /// Value payload.
-        value: Vec<u8>,
+        value: &'req [u8],
         /// Lifetime in server ticks; `None` = immortal.
         ttl: Option<u64>,
     },
     /// `delete <key>`.
-    Delete(String),
+    Delete(&'req str),
     /// `stats` — server counters.
     Stats,
     /// `flush_all` — drop all entries.
@@ -33,7 +42,7 @@ pub enum Command {
         /// Length the client *claims* the blob has (trusted, unchecked).
         declared: usize,
         /// The actual blob bytes received.
-        data: Vec<u8>,
+        data: &'req [u8],
     },
     /// `quit` — close the session.
     Quit,
@@ -100,42 +109,55 @@ impl Response {
     /// Renders the response in memcached text form.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out);
+        out
+    }
+
+    /// Renders the response into an existing buffer, appending to it.
+    ///
+    /// Formats directly into `out` (no intermediate `String`), so callers
+    /// serving the hot path can reuse response storage across requests.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        use std::io::Write as _;
         match self {
             Response::Value { key, value } => {
-                let mut out = format!("VALUE {key} {len}\r\n", len = value.len()).into_bytes();
+                // Writing into a Vec<u8> is infallible.
+                let _ = write!(out, "VALUE {key} {len}\r\n", len = value.len());
                 out.extend_from_slice(value);
                 out.extend_from_slice(b"\r\nEND\r\n");
-                out
             }
-            Response::Miss => b"END\r\n".to_vec(),
-            Response::Stored => b"STORED\r\n".to_vec(),
-            Response::Deleted => b"DELETED\r\n".to_vec(),
-            Response::NotFound => b"NOT_FOUND\r\n".to_vec(),
-            Response::Ok => b"OK\r\n".to_vec(),
+            Response::Miss => out.extend_from_slice(b"END\r\n"),
+            Response::Stored => out.extend_from_slice(b"STORED\r\n"),
+            Response::Deleted => out.extend_from_slice(b"DELETED\r\n"),
+            Response::NotFound => out.extend_from_slice(b"NOT_FOUND\r\n"),
+            Response::Ok => out.extend_from_slice(b"OK\r\n"),
             Response::Stats(pairs) => {
-                let mut out = Vec::new();
                 for (name, value) in pairs {
-                    out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
+                    let _ = write!(out, "STAT {name} {value}\r\n");
                 }
                 out.extend_from_slice(b"END\r\n");
-                out
             }
-            Response::Error => b"ERROR\r\n".to_vec(),
-            Response::ServerError(msg) => format!("SERVER_ERROR {msg}\r\n").into_bytes(),
+            Response::Error => out.extend_from_slice(b"ERROR\r\n"),
+            Response::ServerError(msg) => {
+                let _ = write!(out, "SERVER_ERROR {msg}\r\n");
+            }
         }
     }
 }
 
 /// Parses one complete request from the front of `input`.
 ///
-/// Returns the command and the number of bytes consumed.
+/// Returns the command (borrowing `input`) and the number of bytes
+/// consumed. Allocation-free on every well-formed request — only the
+/// [`ProtocolError::UnknownCommand`] cold path owns its verb.
 ///
 /// # Errors
 ///
 /// [`ProtocolError::Incomplete`] when more bytes are needed (callers keep
 /// buffering); other variants for malformed requests (callers answer
 /// `ERROR` and skip the line).
-pub fn parse_command(input: &[u8]) -> Result<(Command, usize), ProtocolError> {
+pub fn parse_command(input: &[u8]) -> Result<(Command<'_>, usize), ProtocolError> {
     let line_end = input
         .iter()
         .position(|&b| b == b'\n')
@@ -155,7 +177,7 @@ pub fn parse_command(input: &[u8]) -> Result<(Command, usize), ProtocolError> {
             if parts.next().is_some() {
                 return Err(ProtocolError::BadArguments("get takes one key"));
             }
-            Ok((Command::Get(key.to_string()), consumed_line))
+            Ok((Command::Get(key), consumed_line))
         }
         "set" => {
             let key = parts
@@ -177,11 +199,7 @@ pub fn parse_command(input: &[u8]) -> Result<(Command, usize), ProtocolError> {
             };
             let (value, data_consumed) = take_data_block(&input[consumed_line..], len)?;
             Ok((
-                Command::Set {
-                    key: key.to_string(),
-                    value,
-                    ttl,
-                },
+                Command::Set { key, value, ttl },
                 consumed_line + data_consumed,
             ))
         }
@@ -189,7 +207,7 @@ pub fn parse_command(input: &[u8]) -> Result<(Command, usize), ProtocolError> {
             let key = parts
                 .next()
                 .ok_or(ProtocolError::BadArguments("delete needs a key"))?;
-            Ok((Command::Delete(key.to_string()), consumed_line))
+            Ok((Command::Delete(key), consumed_line))
         }
         "stats" => Ok((Command::Stats, consumed_line)),
         "flush_all" => Ok((Command::Flush, consumed_line)),
@@ -217,14 +235,14 @@ pub fn parse_command(input: &[u8]) -> Result<(Command, usize), ProtocolError> {
 }
 
 /// Takes a `<len>` data block plus its `\r\n` terminator.
-fn take_data_block(input: &[u8], len: usize) -> Result<(Vec<u8>, usize), ProtocolError> {
+fn take_data_block(input: &[u8], len: usize) -> Result<(&[u8], usize), ProtocolError> {
     if input.len() < len + 2 {
         return Err(ProtocolError::Incomplete);
     }
     if &input[len..len + 2] != b"\r\n" {
         return Err(ProtocolError::BadDataBlock);
     }
-    Ok((input[..len].to_vec(), len + 2))
+    Ok((&input[..len], len + 2))
 }
 
 #[cfg(test)]
@@ -234,7 +252,7 @@ mod tests {
     #[test]
     fn parse_get() {
         let (cmd, used) = parse_command(b"get mykey\r\n").unwrap();
-        assert_eq!(cmd, Command::Get("mykey".into()));
+        assert_eq!(cmd, Command::Get("mykey"));
         assert_eq!(used, 11);
     }
 
@@ -245,14 +263,14 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Set {
-                key: "k".into(),
-                value: b"hello".to_vec(),
+                key: "k",
+                value: b"hello",
                 ttl: None
             }
         );
         // The next command starts right after.
         let (next, _) = parse_command(&input[used..]).unwrap();
-        assert_eq!(next, Command::Get("k".into()));
+        assert_eq!(next, Command::Get("k"));
     }
 
     #[test]
@@ -262,8 +280,8 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Set {
-                key: "k".into(),
-                value: b"a\nb\nc".to_vec(),
+                key: "k",
+                value: b"a\nb\nc",
                 ttl: None
             }
         );
@@ -275,8 +293,8 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Set {
-                key: "k".into(),
-                value: b"ab".to_vec(),
+                key: "k",
+                value: b"ab",
                 ttl: Some(30)
             }
         );
@@ -324,7 +342,7 @@ mod tests {
             cmd,
             Command::XStat {
                 declared: 4096,
-                data: b"boom".to_vec()
+                data: b"boom"
             }
         );
     }

@@ -84,34 +84,44 @@ pub enum StoreOp {
 /// [`Server::execute_for`] performs; it is exposed so executors that own
 /// their own `DomainManager` (per-worker managers in `sdrad-runtime`)
 /// run the identical workload, planted bug included.
-pub fn stage_command(env: &mut sdrad::DomainEnv<'_>, cmd: Command) -> StoreOp {
+pub fn stage_command(env: &mut sdrad::DomainEnv<'_>, cmd: Command<'_>) -> StoreOp {
     match cmd {
         Command::Get(key) => {
             let staged = env.push_bytes(key.as_bytes());
             let back = env.read_bytes(staged, key.len());
             env.free(staged);
-            StoreOp::Get(String::from_utf8_lossy(&back).into_owned())
+            StoreOp::Get(string_from_copy_out(back))
         }
         Command::Set { key, value, ttl } => {
             let k = env.push_bytes(key.as_bytes());
-            let v = env.push_bytes(&value);
+            let v = env.push_bytes(value);
             let key_back = env.read_bytes(k, key.len());
             let value_back = env.read_bytes(v, value.len());
             env.free(v);
             env.free(k);
             StoreOp::Set {
-                key: String::from_utf8_lossy(&key_back).into_owned(),
+                key: string_from_copy_out(key_back),
                 value: value_back,
                 ttl,
             }
         }
-        Command::Delete(key) => StoreOp::Delete(key),
+        Command::Delete(key) => StoreOp::Delete(key.to_string()),
         Command::Stats => StoreOp::Stats,
         Command::Flush => StoreOp::Flush,
         Command::XStat { declared, data } => {
-            StoreOp::XStat(vulnerable_xstat_in_domain(env, declared, &data))
+            StoreOp::XStat(vulnerable_xstat_in_domain(env, declared, data))
         }
         Command::Quit => StoreOp::Quit,
+    }
+}
+
+/// Turns a domain copy-out buffer into a `String`, reusing its storage
+/// when the bytes are valid UTF-8 (always, for keys the parser accepted
+/// as UTF-8 request lines). The lossy copy is the cold fallback only.
+fn string_from_copy_out(bytes: Vec<u8>) -> String {
+    match String::from_utf8(bytes) {
+        Ok(key) => key,
+        Err(err) => String::from_utf8_lossy(err.as_bytes()).into_owned(),
     }
 }
 
@@ -120,7 +130,7 @@ pub fn stage_command(env: &mut sdrad::DomainEnv<'_>, cmd: Command) -> StoreOp {
 /// paper restarts from. Exposed for external executors (see
 /// [`stage_command`]).
 #[must_use]
-pub fn process_unprotected_command(cmd: Command) -> Option<StoreOp> {
+pub fn process_unprotected_command(cmd: Command<'_>) -> Option<StoreOp> {
     Server::process_unprotected(cmd)
 }
 
@@ -288,7 +298,7 @@ impl Server {
     }
 
     /// Executes a parsed command under the configured isolation.
-    pub fn execute(&mut self, cmd: Command) -> Response {
+    pub fn execute(&mut self, cmd: Command<'_>) -> Response {
         self.execute_for(ClientId(0), cmd)
     }
 
@@ -302,7 +312,7 @@ impl Server {
     }
 
     /// Executes a parsed command for a specific client.
-    pub fn execute_for(&mut self, client: ClientId, cmd: Command) -> Response {
+    pub fn execute_for(&mut self, client: ClientId, cmd: Command<'_>) -> Response {
         if self.crashed {
             return Response::ServerError("server is down".into());
         }
@@ -360,11 +370,15 @@ impl Server {
 
     /// The unprotected processing path. `None` models a fatal memory
     /// fault (`SIGSEGV`) in the host process.
-    fn process_unprotected(cmd: Command) -> Option<StoreOp> {
+    fn process_unprotected(cmd: Command<'_>) -> Option<StoreOp> {
         Some(match cmd {
-            Command::Get(key) => StoreOp::Get(key),
-            Command::Set { key, value, ttl } => StoreOp::Set { key, value, ttl },
-            Command::Delete(key) => StoreOp::Delete(key),
+            Command::Get(key) => StoreOp::Get(key.to_string()),
+            Command::Set { key, value, ttl } => StoreOp::Set {
+                key: key.to_string(),
+                value: value.to_vec(),
+                ttl,
+            },
+            Command::Delete(key) => StoreOp::Delete(key.to_string()),
             Command::Stats => StoreOp::Stats,
             Command::Flush => StoreOp::Flush,
             Command::XStat { declared, data } => {
@@ -472,8 +486,10 @@ impl Session {
             }
             match parse_command(&self.buffer) {
                 Ok((cmd, consumed)) => {
-                    self.buffer.drain(..consumed);
+                    // Execute before draining: the command borrows the
+                    // buffer it was parsed from.
                     let response = server.execute_for(self.client, cmd);
+                    self.buffer.drain(..consumed);
                     self.endpoint.write(&response.to_bytes());
                     completed += 1;
                 }

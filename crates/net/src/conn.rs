@@ -76,7 +76,20 @@ impl StreamHandle {
     /// pending.
     #[must_use]
     pub fn drain_pending(&self) -> Vec<u8> {
-        self.incoming.lock().buffer.drain(..).collect()
+        let mut out = Vec::new();
+        self.drain_pending_into(&mut out);
+        out
+    }
+
+    /// Appends every byte currently pending on the endpoint to `out`,
+    /// in arrival order; returns how many were appended. The allocation-
+    /// free sibling of [`drain_pending`](Self::drain_pending) for
+    /// callers that stage into a reused buffer.
+    pub fn drain_pending_into(&self, out: &mut Vec<u8>) -> usize {
+        let mut pipe = self.incoming.lock();
+        let n = pipe.buffer.len();
+        out.extend(pipe.buffer.drain(..));
+        n
     }
 
     /// Bytes currently pending on the endpoint.
@@ -194,13 +207,24 @@ impl Endpoint {
 
     /// Reads and returns everything currently pending.
     pub fn read_available(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.read_available_into(&mut out);
+        out
+    }
+
+    /// Appends everything currently pending to `out`; returns how many
+    /// bytes were read. The allocation-free sibling of
+    /// [`read_available`](Self::read_available) for serving loops that
+    /// stage into a reused buffer.
+    pub fn read_available_into(&mut self, out: &mut Vec<u8>) -> usize {
         let mut pipe = self.incoming.lock();
-        let drained: Vec<u8> = pipe.buffer.drain(..).collect();
-        if !drained.is_empty() {
-            self.stats.bytes_received += drained.len() as u64;
+        let n = pipe.buffer.len();
+        out.extend(pipe.buffer.drain(..));
+        if n > 0 {
+            self.stats.bytes_received += n as u64;
             self.stats.reads += 1;
         }
-        drained
+        n
     }
 
     /// Reads one `\r\n`- or `\n`-terminated line if a complete one is

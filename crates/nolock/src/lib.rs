@@ -18,6 +18,10 @@
 //! * [`WaitSlot`] — a park/unpark cell for the cold blocking path.
 //!   Parks are always time-sliced, so a lost notification degrades to
 //!   one bounded stall instead of a hang.
+//! * [`FrameBuf`] ([`arena`]) — thread-local size-classed recycled
+//!   frame buffers whose `Drop` returns storage to the owning worker's
+//!   pool through a lock-free MPSC return channel, plus the
+//!   [`CountingAlloc`] harness that measures the discipline.
 //!
 //! # Safety model
 //!
@@ -31,11 +35,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod arena;
 pub mod mpmc;
 pub mod mpsc;
 pub mod spsc;
 pub mod wait;
 
+pub use arena::{CountingAlloc, FrameBuf};
 pub use mpmc::Bounded;
 pub use mpsc::MpscQueue;
 pub use spsc::SpscRing;

@@ -18,23 +18,28 @@
 //! heads) instead of receiving pre-framed payloads.
 
 use sdrad::{ClientId, DomainError};
+use sdrad_nolock::FrameBuf;
 
 use crate::isolation::WorkerIsolation;
 use crate::queue::Disposition;
 
 /// The worker's answer for one request.
+///
+/// The response rides in a [`FrameBuf`] so hot-path handlers render into
+/// recycled pool storage; cold paths (protocol errors, alerts) convert
+/// plain `Vec<u8>`s via `Into`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reply {
     /// Raw response bytes for the client.
-    pub response: Vec<u8>,
+    pub response: FrameBuf,
     /// Classification the worker's accounting uses.
     pub disposition: Disposition,
 }
 
 impl Reply {
-    fn ok(response: Vec<u8>) -> Self {
+    fn ok(response: impl Into<FrameBuf>) -> Self {
         Reply {
-            response,
+            response: response.into(),
             disposition: Disposition::Ok,
         }
     }
@@ -178,33 +183,46 @@ impl SessionHandler for KvHandler {
             Ok((cmd, _consumed)) => cmd,
             Err(_) => {
                 return Reply {
-                    response: Response::Error.to_bytes(),
+                    response: Response::Error.to_bytes().into(),
                     disposition: Disposition::ProtocolError,
                 }
             }
         };
         self.store.advance(1);
 
+        // Hot-path responses render straight into a recycled frame buffer
+        // instead of allocating a fresh Vec per request.
+        let render = |response: Response| -> FrameBuf {
+            let mut out = FrameBuf::acquire(64);
+            response.write_to(&mut out);
+            out
+        };
+
         if iso.is_isolated() {
             match iso.call_for(client, move |env| stage_command(env, cmd)) {
-                Ok(op) => Reply::ok(apply_op(&mut self.store, op).to_bytes()),
+                Ok(op) => Reply::ok(render(apply_op(&mut self.store, op))),
                 Err(DomainError::Violation {
                     fault, rewind_ns, ..
                 }) => Reply {
                     response: Response::ServerError(format!("contained: {}", fault.kind()))
-                        .to_bytes(),
+                        .to_bytes()
+                        .into(),
                     disposition: Disposition::ContainedFault { rewind_ns },
                 },
                 Err(other) => Reply {
-                    response: Response::ServerError(format!("isolation error: {other}")).to_bytes(),
+                    response: Response::ServerError(format!("isolation error: {other}"))
+                        .to_bytes()
+                        .into(),
                     disposition: Disposition::InternalError,
                 },
             }
         } else {
             match process_unprotected_command(cmd) {
-                Some(op) => Reply::ok(apply_op(&mut self.store, op).to_bytes()),
+                Some(op) => Reply::ok(render(apply_op(&mut self.store, op))),
                 None => Reply {
-                    response: Response::ServerError("server crashed".into()).to_bytes(),
+                    response: Response::ServerError("server crashed".into())
+                        .to_bytes()
+                        .into(),
                     disposition: Disposition::Crashed,
                 },
             }
@@ -299,6 +317,13 @@ impl Default for HttpHandler {
     }
 }
 
+/// Renders an HTTP response into a recycled frame buffer.
+fn render_http(response: &sdrad_httpd::HttpResponse) -> FrameBuf {
+    let mut out = FrameBuf::acquire(256);
+    response.write_to(&mut out);
+    out
+}
+
 impl SessionHandler for HttpHandler {
     fn handle(&mut self, iso: &mut WorkerIsolation, client: ClientId, request: &[u8]) -> Reply {
         use sdrad_httpd::{
@@ -310,23 +335,24 @@ impl SessionHandler for HttpHandler {
             Ok((parsed, _consumed)) => parsed,
             Err(_) => {
                 return Reply {
-                    response: HttpResponse::text(Status::BadRequest, "bad request").to_bytes(),
+                    response: HttpResponse::text(Status::BadRequest, "bad request")
+                        .to_bytes()
+                        .into(),
                     disposition: Disposition::ProtocolError,
                 }
             }
         };
 
         // The vulnerable path: chunked uploads. Everything else is plain
-        // content serving with no memory-unsafe surface.
+        // content serving with no memory-unsafe surface. The domain call
+        // borrows the parsed body directly — no defensive copy.
         if parsed.method == Method::Post && parsed.path == "/upload" && parsed.chunked {
-            let body = parsed.body.clone();
             return if iso.is_isolated() {
-                match iso.call_for(client, move |env| decode_chunked_in_domain(env, &body)) {
-                    Ok(decoded) => Reply::ok(
-                        HttpResponse::new(Status::Created)
-                            .body(format!("{decoded} bytes").into_bytes())
-                            .to_bytes(),
-                    ),
+                match iso.call_for(client, |env| decode_chunked_in_domain(env, &parsed.body)) {
+                    Ok(decoded) => Reply::ok(render_http(
+                        &HttpResponse::new(Status::Created)
+                            .body(format!("{decoded} bytes").into_bytes()),
+                    )),
                     Err(DomainError::Violation {
                         fault, rewind_ns, ..
                     }) => Reply {
@@ -334,7 +360,8 @@ impl SessionHandler for HttpHandler {
                             Status::BadRequest,
                             format!("contained: {}", fault.kind()),
                         )
-                        .to_bytes(),
+                        .to_bytes()
+                        .into(),
                         disposition: Disposition::ContainedFault { rewind_ns },
                     },
                     Err(other) => Reply {
@@ -342,20 +369,21 @@ impl SessionHandler for HttpHandler {
                             Status::InternalServerError,
                             format!("isolation error: {other}"),
                         )
-                        .to_bytes(),
+                        .to_bytes()
+                        .into(),
                         disposition: Disposition::InternalError,
                     },
                 }
             } else {
-                match decode_chunked_unprotected(&body) {
-                    Some(decoded) => Reply::ok(
-                        HttpResponse::new(Status::Created)
-                            .body(format!("{} bytes", decoded.len()).into_bytes())
-                            .to_bytes(),
-                    ),
+                match decode_chunked_unprotected(&parsed.body) {
+                    Some(decoded) => Reply::ok(render_http(
+                        &HttpResponse::new(Status::Created)
+                            .body(format!("{} bytes", decoded.len()).into_bytes()),
+                    )),
                     None => Reply {
                         response: HttpResponse::text(Status::ServiceUnavailable, "server crashed")
-                            .to_bytes(),
+                            .to_bytes()
+                            .into(),
                         disposition: Disposition::Crashed,
                     },
                 }
@@ -368,7 +396,7 @@ impl SessionHandler for HttpHandler {
             _ => Disposition::ProtocolError,
         };
         Reply {
-            response: response.to_bytes(),
+            response: render_http(&response),
             disposition,
         }
     }
@@ -487,6 +515,16 @@ impl TlsHandler {
             .unwrap_or_default()
     }
 
+    /// Assembles one record into a recycled frame buffer; an oversized
+    /// payload yields an empty response, as `to_bytes` did.
+    fn record_reply(content_type: sdrad_tls::ContentType, payload: Vec<u8>) -> FrameBuf {
+        let mut out = FrameBuf::acquire(payload.len() + 8);
+        if let Ok(record) = sdrad_tls::Record::new(content_type, payload) {
+            record.write_to(&mut out);
+        }
+        out
+    }
+
     fn heartbeat_reply(
         &mut self,
         iso: &mut WorkerIsolation,
@@ -495,36 +533,35 @@ impl TlsHandler {
     ) -> Reply {
         use sdrad_tls::{
             heartbeat_response, parse_heartbeat_request, respond_in_domain, ContentType,
-            HeartbeatEngine, HeartbeatOutcome, Record,
+            HeartbeatEngine, HeartbeatOutcome,
         };
 
         let Some((declared, data)) = parse_heartbeat_request(bytes) else {
             return Reply {
-                response: Self::alert("malformed heartbeat".into()),
+                response: Self::alert("malformed heartbeat".into()).into(),
                 disposition: Disposition::ProtocolError,
             };
         };
         self.heartbeats += 1;
 
         if iso.is_isolated() {
-            let payload = data.to_vec();
-            return match iso.call_for(client, move |env| {
-                respond_in_domain(env, declared, &payload)
-            }) {
-                Ok(echo) => {
-                    let response = Record::new(ContentType::Heartbeat, heartbeat_response(&echo))
-                        .map(|r| r.to_bytes())
-                        .unwrap_or_default();
-                    Reply::ok(response)
-                }
+            // The domain call borrows the request slice directly — the
+            // staging copy into the domain heap happens inside
+            // `respond_in_domain`, so a defensive clone here would be a
+            // second copy of the same bytes.
+            return match iso.call_for(client, |env| respond_in_domain(env, declared, data)) {
+                Ok(echo) => Reply::ok(Self::record_reply(
+                    ContentType::Heartbeat,
+                    heartbeat_response(&echo),
+                )),
                 Err(DomainError::Violation {
                     fault, rewind_ns, ..
                 }) => Reply {
-                    response: Self::alert(format!("contained:{}", fault.kind())),
+                    response: Self::alert(format!("contained:{}", fault.kind())).into(),
                     disposition: Disposition::ContainedFault { rewind_ns },
                 },
                 Err(other) => Reply {
-                    response: Self::alert(format!("isolation error: {other}")),
+                    response: Self::alert(format!("isolation error: {other}")).into(),
                     disposition: Disposition::InternalError,
                 },
             };
@@ -538,9 +575,8 @@ impl TlsHandler {
         match engine.respond(declared, data) {
             HeartbeatOutcome::Response(echo) => {
                 let leaked = engine.leaks_secret(&echo);
-                let response = Record::new(ContentType::Heartbeat, heartbeat_response(&echo))
-                    .map(|r| r.to_bytes())
-                    .unwrap_or_default();
+                let response =
+                    Self::record_reply(ContentType::Heartbeat, heartbeat_response(&echo));
                 Reply {
                     response,
                     disposition: if leaked {
@@ -553,7 +589,7 @@ impl TlsHandler {
             // The unprotected engine never contains; unreachable, but
             // answered defensively rather than panicking a worker.
             HeartbeatOutcome::Contained { kind } => Reply {
-                response: Self::alert(format!("contained:{kind}")),
+                response: Self::alert(format!("contained:{kind}")).into(),
                 disposition: Disposition::InternalError,
             },
         }
@@ -572,7 +608,7 @@ impl SessionHandler for TlsHandler {
 
         let Ok((record, _consumed)) = Record::parse(request) else {
             return Reply {
-                response: Self::alert("bad record".into()),
+                response: Self::alert("bad record".into()).into(),
                 disposition: Disposition::ProtocolError,
             };
         };
@@ -580,19 +616,16 @@ impl SessionHandler for TlsHandler {
             ContentType::Heartbeat => self.heartbeat_reply(iso, client, &record.payload),
             ContentType::ApplicationData => {
                 // Echo service, as in `TlsSession`.
-                let response = Record::new(ContentType::ApplicationData, record.payload)
-                    .map(|r| r.to_bytes())
-                    .unwrap_or_default();
-                Reply::ok(response)
+                Reply::ok(Self::record_reply(
+                    ContentType::ApplicationData,
+                    record.payload,
+                ))
             }
             ContentType::Handshake => {
                 // Stateless ack: shard sessions are pre-established (the
                 // harness measures the heartbeat surface, not key
                 // exchange).
-                let response = Record::new(ContentType::Handshake, record.payload)
-                    .map(|r| r.to_bytes())
-                    .unwrap_or_default();
-                Reply::ok(response)
+                Reply::ok(Self::record_reply(ContentType::Handshake, record.payload))
             }
             ContentType::Alert => Reply::ok(Vec::new()),
         }

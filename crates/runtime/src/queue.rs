@@ -53,7 +53,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use sdrad::ClientId;
-use sdrad_nolock::{Bounded, MpscQueue, SpscRing, WaitSlot};
+use sdrad_nolock::{Bounded, FrameBuf, MpscQueue, SpscRing, WaitSlot};
 
 use crate::wake::WakeSet;
 use sdrad_telemetry::LatencyHistogram;
@@ -63,8 +63,10 @@ use sdrad_telemetry::LatencyHistogram;
 pub struct Request {
     /// The client the request belongs to (selects shard and domain).
     pub client: ClientId,
-    /// Raw protocol bytes of one complete request.
-    pub payload: Vec<u8>,
+    /// Raw protocol bytes of one complete request, carried in a
+    /// recyclable [`FrameBuf`] so hot-path extraction reuses pooled
+    /// storage (a plain `Vec<u8>` converts in, detached).
+    pub payload: FrameBuf,
     /// Completion slot the worker fills, if the submitter kept one.
     pub ticket: Option<Ticket>,
     /// When the request entered the runtime (latency measurements count
@@ -82,10 +84,10 @@ pub struct Request {
 impl Request {
     /// A request stamped with the current instant.
     #[must_use]
-    pub fn new(client: ClientId, payload: Vec<u8>, ticket: Option<Ticket>) -> Self {
+    pub fn new(client: ClientId, payload: impl Into<FrameBuf>, ticket: Option<Ticket>) -> Self {
         Request {
             client,
-            payload,
+            payload: payload.into(),
             ticket,
             accepted_at: Instant::now(),
             routed: None,
@@ -95,12 +97,12 @@ impl Request {
     /// An owner-routed mutation frame (see [`Request::routed`]).
     pub(crate) fn owner_routed(
         client: ClientId,
-        payload: Vec<u8>,
+        payload: impl Into<FrameBuf>,
         frame: crate::server::RoutedFrame,
     ) -> Self {
         Request {
             client,
-            payload,
+            payload: payload.into(),
             ticket: None,
             accepted_at: Instant::now(),
             routed: Some(frame),
@@ -145,8 +147,9 @@ pub enum Disposition {
 pub struct Completion {
     /// The client that sent the request.
     pub client: ClientId,
-    /// Raw response bytes.
-    pub response: Vec<u8>,
+    /// Raw response bytes — a [`FrameBuf`] so a pooled response buffer
+    /// returns to its worker's arena once the submitter drops it.
+    pub response: FrameBuf,
     /// What happened.
     pub disposition: Disposition,
 }
@@ -1081,7 +1084,7 @@ mod tests {
         let handle = std::thread::spawn(move || waiter.wait());
         ticket.complete(Completion {
             client: ClientId(7),
-            response: b"ok".to_vec(),
+            response: b"ok".to_vec().into(),
             disposition: Disposition::Ok,
         });
         let completion = handle.join().unwrap();
@@ -1098,7 +1101,7 @@ mod tests {
         // And still delivers if the completion lands later.
         ticket.complete(Completion {
             client: ClientId(1),
-            response: Vec::new(),
+            response: FrameBuf::default(),
             disposition: Disposition::Ok,
         });
         assert!(ticket.wait_deadline(Duration::from_millis(5)).is_some());

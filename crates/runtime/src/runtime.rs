@@ -132,6 +132,12 @@ pub struct RuntimeConfig {
     ///
     /// [`RuntimeStats::control`]: crate::RuntimeStats::control
     pub control: Option<ControlConfig>,
+    /// Whether worker threads recycle frame buffers through their
+    /// thread-local arenas (default: on). Off makes every
+    /// [`FrameBuf`](sdrad_nolock::FrameBuf) acquire a fresh detached
+    /// heap `Vec` — the identical code path minus reuse, which is what
+    /// `e22_alloc_discipline` measures the arena against.
+    pub frame_pooling: bool,
     /// The flight recorder ([`TelemetryConfig::Off`] by default). When
     /// enabled, every worker records structured trace events into its
     /// own lock-free SPSC ring (the dispatcher and control plane get
@@ -162,6 +168,7 @@ impl RuntimeConfig {
             work_stealing: StealPolicy::Disabled,
             idle_reap_after: None,
             control: None,
+            frame_pooling: true,
             telemetry: TelemetryConfig::Off,
         }
     }
@@ -496,6 +503,10 @@ impl Runtime {
                 std::thread::Builder::new()
                     .name(format!("sdrad-worker-{index}"))
                     .spawn(move || {
+                        // Arm (or disarm) this thread's frame-buffer
+                        // arena before the handler exists, so every
+                        // pooled acquire on this worker obeys the config.
+                        sdrad_nolock::arena::set_thread_pooling(config.frame_pooling);
                         let iso = WorkerIsolation::new(
                             config.isolation,
                             config.domains_per_worker,
@@ -794,6 +805,14 @@ fn close_telemetry(stats: &RuntimeStats, rings: &[(String, Arc<TraceRing>)]) -> 
     registry.counter("runtime.polls").add(stats.polls());
     registry.counter("runtime.reaped").add(stats.reaped());
     registry.counter("runtime.rewind_ns").add(stats.rewind_ns());
+    registry
+        .counter("arena.acquires")
+        .add(stats.arena_acquires());
+    registry.counter("arena.reuses").add(stats.arena_reuses());
+    registry.counter("arena.returns").add(stats.arena_returns());
+    registry
+        .counter("arena.fresh_allocs")
+        .add(stats.arena_fresh_allocs());
     registry
         .gauge("runtime.workers")
         .set(stats.workers.len() as u64);

@@ -286,6 +286,31 @@ impl RuntimeStats {
         self.workers.iter().map(|w| w.rewind_ns).sum()
     }
 
+    /// Frame buffers acquired from worker arenas across all workers.
+    #[must_use]
+    pub fn arena_acquires(&self) -> u64 {
+        self.workers.iter().map(|w| w.arena_acquires).sum()
+    }
+
+    /// Arena acquires satisfied by recycled storage across all workers.
+    #[must_use]
+    pub fn arena_reuses(&self) -> u64 {
+        self.workers.iter().map(|w| w.arena_reuses).sum()
+    }
+
+    /// Frame buffers returned to worker pools across all workers.
+    #[must_use]
+    pub fn arena_returns(&self) -> u64 {
+        self.workers.iter().map(|w| w.arena_returns).sum()
+    }
+
+    /// Arena acquires that fell through to a fresh heap allocation,
+    /// across all workers.
+    #[must_use]
+    pub fn arena_fresh_allocs(&self) -> u64 {
+        self.workers.iter().map(|w| w.arena_fresh_allocs).sum()
+    }
+
     /// Mean rewind latency over all contained faults (zero if none).
     #[must_use]
     pub fn mean_rewind(&self) -> Duration {
@@ -372,6 +397,9 @@ impl RuntimeStats {
             // batch (a batch carries ≥ 1 frame).
             && self.conn_steals() + self.routed_served() <= self.conn_served()
             && self.routed_batches() <= self.owner_routed()
+            // Arena books balance: every acquire was satisfied either by
+            // recycled storage or by a fresh heap allocation.
+            && self.arena_acquires() == self.arena_reuses() + self.arena_fresh_allocs()
             // The control plane's books, when it ran: its own
             // billed-vs-counted invariant holds, and the rungs the
             // plane decided are exactly the rungs the workers executed

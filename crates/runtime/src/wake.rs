@@ -36,7 +36,6 @@
 //!
 //! [`Runtime::quiesce`]: crate::Runtime::quiesce
 
-use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -62,7 +61,14 @@ struct WakeState {
     queue: bool,
     steal: bool,
     stopped: bool,
-    conns: BTreeSet<usize>,
+    /// Pending connection tokens, kept sorted and deduplicated on
+    /// insert (a plain `Vec` beats a `BTreeSet` here: no node
+    /// allocation per token, and the storage recycles through `spare`).
+    conns: Vec<usize>,
+    /// Recycled token storage: the vector a previous `take` handed out,
+    /// returned empty via [`WakeSet::recycle_conns`] so steady-state
+    /// passes allocate nothing.
+    spare: Vec<usize>,
     parked: bool,
     /// Runtime generation at the moment the worker parked (0 when no
     /// generation counter is bound) — the witness
@@ -84,7 +90,9 @@ impl WakeState {
             // `stopped` stays latched: once shutdown begins every
             // subsequent wait must still report it.
             stopped: self.stopped,
-            conns: std::mem::take(&mut self.conns).into_iter().collect(),
+            // Hand out the pending tokens and swap the recycled spare in
+            // as the next accumulation buffer.
+            conns: std::mem::replace(&mut self.conns, std::mem::take(&mut self.spare)),
         }
     }
 }
@@ -152,8 +160,21 @@ impl WakeSet {
     /// Connection `token` has observable new state.
     pub(crate) fn mark_conn(&self, token: usize) {
         self.signal(|s| {
-            s.conns.insert(token);
+            if let Err(pos) = s.conns.binary_search(&token) {
+                s.conns.insert(pos, token);
+            }
         });
+    }
+
+    /// Returns a consumed [`WakeSignals::conns`] vector so its capacity
+    /// cycles back into the next [`wait`](Self::wait) instead of being
+    /// reallocated every pass. Keeps whichever buffer is larger.
+    pub(crate) fn recycle_conns(&self, mut conns: Vec<usize>) {
+        conns.clear();
+        let mut state = self.state.lock().expect("wakeset lock");
+        if state.spare.capacity() < conns.capacity() {
+            state.spare = conns;
+        }
     }
 
     /// Shutdown: latched — every subsequent [`wait`](Self::wait) reports

@@ -60,6 +60,7 @@ use std::time::{Duration, Instant};
 
 use sdrad_control::RecoveryRung;
 use sdrad_energy::restart::RestartModel;
+use sdrad_nolock::FrameBuf;
 use sdrad_telemetry::{EventKind, LatencyHistogram, Recorder};
 
 use crate::control_hub::ControlHub;
@@ -168,6 +169,16 @@ pub struct WorkerStats {
     /// consecutive mutation frames routed home in one queue operation
     /// (`owner_routed` counts the frames, this counts the hand-offs).
     pub routed_batches: u64,
+    /// Frame buffers this worker's thread acquired from its arena
+    /// (every payload extraction and response render on the hot path).
+    pub arena_acquires: u64,
+    /// Acquires satisfied by recycled storage (no allocator call).
+    pub arena_reuses: u64,
+    /// Buffers returned to this thread's pool — same-thread drops plus
+    /// cross-thread returns drained from the MPSC return channel.
+    pub arena_returns: u64,
+    /// Acquires that fell through to a fresh heap allocation.
+    pub arena_fresh_allocs: u64,
     /// Domains the worker's pool instantiated.
     pub domains_created: usize,
     /// Rewinds reported by the worker's own `DomainManager` — must equal
@@ -362,6 +373,11 @@ impl<H: SessionHandler> Worker<H> {
         self.stats.manager_rewinds = self.iso.rewinds();
         self.stats.parks = self.wakes.parks();
         self.stats.wakeups = self.wakes.wakeups();
+        let arena = sdrad_nolock::arena::thread_stats();
+        self.stats.arena_acquires = arena.acquires;
+        self.stats.arena_reuses = arena.reuses;
+        self.stats.arena_returns = arena.returns;
+        self.stats.arena_fresh_allocs = arena.fresh_allocs;
         self.flush_live();
         self.stats
     }
@@ -412,7 +428,7 @@ impl<H: SessionHandler> Worker<H> {
             }
 
             let mut pumped = false;
-            for token in ready {
+            for &token in &ready {
                 let outcome = self.pump_token(token);
                 pumped |= outcome.progressed;
                 if outcome.more {
@@ -425,6 +441,9 @@ impl<H: SessionHandler> Worker<H> {
                     self.wakes.mark_conn(token);
                 }
             }
+            // The token vector's capacity cycles back into the wake set
+            // rather than being reallocated next pass.
+            self.wakes.recycle_conns(ready);
             self.reap_idle();
 
             if signals.steal || (!had_queue_work && !pumped && !signals.stopped) {
@@ -844,7 +863,10 @@ impl<H: SessionHandler> Worker<H> {
         // queue within a pump pass.
         let arrived = Instant::now();
         // -- phase 1: extract a run under the lock ------------------------
-        let mut batch: Vec<Vec<u8>> = Vec::new();
+        // Extracted frames ride in pooled buffers from the *thief's*
+        // arena; owner-routed frames drop on the owner's thread and come
+        // home through the MPSC return channel.
+        let mut batch: Vec<FrameBuf> = Vec::new();
         let mut leftovers = false;
         {
             let Some(mut st) = tray.try_lock() else {
@@ -855,7 +877,7 @@ impl<H: SessionHandler> Worker<H> {
             if st.retired || st.routed_inflight > 0 {
                 return 0;
             }
-            st.staged.extend(tray.stream().drain_pending());
+            tray.stream().drain_pending_into(&mut st.staged);
             while batch.len() < limit {
                 let Framing::Complete(n) = self.handler.frame(&st.staged) else {
                     // Incomplete, malformed or fatal heads are the
@@ -866,7 +888,10 @@ impl<H: SessionHandler> Worker<H> {
                 let n = n.clamp(1, st.staged.len());
                 match self.handler.steal_class(&st.staged[..n]) {
                     StealClass::ReadOnly => {
-                        batch.push(st.staged.drain(..n).collect());
+                        let mut frame = FrameBuf::acquire(n);
+                        frame.extend_from_slice(&st.staged[..n]);
+                        st.staged.drain(..n);
+                        batch.push(frame);
                     }
                     StealClass::Mutation => {
                         if batch.is_empty() && !self.peers[victim].is_stopped() {
@@ -877,10 +902,13 @@ impl<H: SessionHandler> Worker<H> {
                             // run, not one per frame — the gate only
                             // reopens when the *last* routed response
                             // has been written.
-                            let mut run: Vec<Vec<u8>> = Vec::new();
+                            let mut run: Vec<FrameBuf> = Vec::new();
                             let mut take = n;
                             loop {
-                                run.push(st.staged.drain(..take).collect());
+                                let mut frame = FrameBuf::acquire(take);
+                                frame.extend_from_slice(&st.staged[..take]);
+                                st.staged.drain(..take);
+                                run.push(frame);
                                 let Framing::Complete(next) = self.handler.frame(&st.staged) else {
                                     break;
                                 };
@@ -1034,9 +1062,9 @@ impl<H: SessionHandler> Worker<H> {
         // exactly as queue-path requests start at `accepted_at`.
         let arrived = Instant::now();
         let mut tray = conn.tray.lock();
-        let fresh = conn.endpoint.read_available();
-        let mut progressed = !fresh.is_empty();
-        tray.staged.extend(fresh);
+        // Stage straight into the tray buffer — no intermediate Vec.
+        let fresh = conn.endpoint.read_available_into(&mut tray.staged);
+        let mut progressed = fresh > 0;
         if std::mem::take(&mut tray.thief_progress) {
             // A thief served frames since our last pass: this
             // connection is live, not idle.
@@ -1073,7 +1101,13 @@ impl<H: SessionHandler> Worker<H> {
                 Framing::Complete(n) => {
                     let serve_started = Instant::now();
                     let n = n.clamp(1, tray.staged.len());
-                    let payload: Vec<u8> = tray.staged.drain(..n).collect();
+                    // Recycled extraction: copy the frame into a pooled
+                    // buffer instead of `drain().collect()`-ing a fresh
+                    // Vec per request; the buffer returns to this
+                    // thread's pool when the reply is written.
+                    let mut payload = FrameBuf::acquire(n);
+                    payload.extend_from_slice(&tray.staged[..n]);
+                    tray.staged.drain(..n);
                     let reply = self.handler.handle(&mut self.iso, conn.client, &payload);
                     conn.endpoint.write(&reply.response);
                     self.account(conn.client, &reply.disposition, elapsed_ns(arrived));

@@ -209,7 +209,7 @@ impl SessionHandler for SlowHandler {
     fn handle(&mut self, _iso: &mut WorkerIsolation, client: ClientId, _req: &[u8]) -> Reply {
         std::thread::sleep(self.delay);
         Reply {
-            response: format!("done {client}").into_bytes(),
+            response: format!("done {client}").into_bytes().into(),
             disposition: Disposition::Ok,
         }
     }

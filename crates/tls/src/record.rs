@@ -113,11 +113,20 @@ impl Record {
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(5 + self.payload.len());
+        self.write_to(&mut out);
+        out
+    }
+
+    /// Serializes the record into an existing buffer, appending to it.
+    ///
+    /// Lets callers reuse response storage instead of allocating a fresh
+    /// `Vec` per record.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.reserve(5 + self.payload.len());
         out.push(self.content_type.to_wire());
         out.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
         out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
         out.extend_from_slice(&self.payload);
-        out
     }
 
     /// Parses one record from the front of `input`, returning it and the
