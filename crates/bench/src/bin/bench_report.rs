@@ -4,7 +4,8 @@
 //! Runs compact, deterministic-workload versions of the key runtime
 //! experiments (isolation submit path, event-driven connection serving,
 //! work stealing, the adaptive-control campaign, frame-buffer
-//! allocation discipline) plus hot-path micro-timings, renders every
+//! allocation discipline, zero-pause pool rebuilds) plus hot-path
+//! micro-timings, renders every
 //! summary through the shared
 //! [`sdrad_bench::Report`] formatter, and emits one schema-versioned
 //! JSON artifact. Three metric classes:
@@ -35,11 +36,11 @@ use std::time::{Duration, Instant};
 
 use sdrad::ClientId;
 use sdrad_bench::campaign::{self, control_config};
-use sdrad_bench::{banner, measure, measured_rewind_latency, report, Metric, Report};
+use sdrad_bench::{banner, measure, measured_rewind_latency, rebuild, report, Metric, Report};
 use sdrad_nolock::{arena, CountingAlloc};
 use sdrad_runtime::{
-    ConnectionServer, IsolationMode, KvHandler, Runtime, RuntimeConfig, RuntimeStats, Scheduling,
-    StealPolicy, TelemetryConfig,
+    ConnectionServer, IsolationMode, KvHandler, RebuildMode, Runtime, RuntimeConfig, RuntimeStats,
+    Scheduling, StealPolicy, TelemetryConfig,
 };
 use sdrad_telemetry::{EventKind, Json, LogicalClock, Recorder, Source, TraceRing};
 
@@ -745,6 +746,75 @@ fn scenario_alloc_discipline() -> Report {
     r
 }
 
+/// E23-style: the zero-pause rebuild contract. A ladder-driven rebuild
+/// storm runs on the benign probe's own shard under the deferred
+/// (publish-and-retire) and synchronous (stop-the-world) lifecycles;
+/// the storm-over-steady p99 ratio is the trajectory metric. Both
+/// sides of the ratio are floored at one modeled pause quantum
+/// (`rebuild::TAIL_FLOOR`) and the guarded value is clamped at the 1.1
+/// acceptance band — anything inside the band collapses to the band
+/// edge, so the guard fires only when the deferred path actually grows
+/// a pause past the quantum the synchronous rung cannot get under.
+/// The reclamation conservation law is exact: every
+/// cell must close `retired == reclaimed + pending` with pending
+/// drained to zero and the shared-view hazard domain conserving.
+fn scenario_zero_pause() -> Report {
+    const PROBES: usize = 384;
+    const RUNS: usize = 3;
+    /// The acceptance band on the deferred storm ratio: within it, the
+    /// rebuild rung is invisible to the benign tail.
+    const BAND: f64 = 1.1;
+    let deferred = rebuild::best_cell(RebuildMode::Deferred, RUNS, PROBES);
+    let synchronous = rebuild::best_cell(RebuildMode::Synchronous, RUNS, PROBES);
+    let conserves = deferred.reclaim_conserves() && synchronous.reclaim_conserves();
+    let deferred_ratio = deferred.storm_ratio().max(BAND);
+    let sync_ratio = synchronous.storm_ratio();
+    assert!(
+        synchronous.storm_p99 >= rebuild::TAIL_FLOOR && synchronous.storm_p99 > deferred.storm_p99,
+        "the synchronous pause must show in the storm tail: sync {:?} vs deferred {:?}",
+        synchronous.storm_p99,
+        deferred.storm_p99
+    );
+
+    let mut r = Report::new("e23", "zero-pause pool rebuilds (trajectory cut)");
+    r.begin_table(
+        format!(
+            "{PROBES} closed-loop probes per phase, a pool rebuild every 3rd storm probe, \
+             best of {RUNS} runs per cell"
+        ),
+        &["rebuild", "steady p99", "storm p99", "ratio", "rebuilds"],
+    );
+    for (label, cell) in [("deferred", &deferred), ("synchronous", &synchronous)] {
+        r.row(&[
+            label.into(),
+            format!("{:.1}us", cell.steady_p99.as_nanos() as f64 / 1e3),
+            format!("{:.1}us", cell.storm_p99.as_nanos() as f64 / 1e3),
+            format!("{:.2}x", cell.storm_ratio()),
+            cell.stats.pool_rebuilds().to_string(),
+        ]);
+    }
+    r.exact("reclaim_conserves", f64::from(u8::from(conserves)), "bool")
+        .exact(
+            "crashes",
+            (deferred.stats.crashes() + synchronous.stats.crashes()) as f64,
+            "count",
+        )
+        .exact(
+            "thief_mutations",
+            (deferred.stats.thief_mutations() + synchronous.stats.thief_mutations()) as f64,
+            "count",
+        )
+        .guarded("rebuild_p99_ratio", deferred_ratio, "ratio", false)
+        .info("sync_p99_ratio", sync_ratio, "ratio")
+        .info("storm_p99_ns", deferred.storm_p99.as_nanos() as f64, "ns")
+        .note(format!(
+            "deferred storm p99 {:.2}x steady (band-clamped to {deferred_ratio:.2}) vs \
+             {sync_ratio:.2}x on the stop-the-world path; reclamation books reconciled exactly",
+            deferred.storm_ratio()
+        ));
+    r
+}
+
 /// Hot-path micro-timings (host-dependent, info only).
 fn scenario_micro() -> Report {
     let rewind_ns = measured_rewind_latency(200).as_nanos() as f64;
@@ -782,6 +852,7 @@ fn main() {
         scenario_campaign(),
         scenario_lockfree(),
         scenario_alloc_discipline(),
+        scenario_zero_pause(),
         scenario_micro(),
     ];
     let mut metrics: Vec<Metric> = Vec::new();

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod rebuild;
 pub mod report;
 
 use std::time::{Duration, Instant};

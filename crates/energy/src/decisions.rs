@@ -55,6 +55,16 @@ pub struct RungModels {
     /// Per-domain teardown + re-create cost of a pool rebuild (the pool
     /// rung bills `domains ×` this).
     pub pool_domain_rebuild: Duration,
+    /// Serving-visible pause of a *deferred* pool rebuild: swap the
+    /// pool pointer, push the old pool onto the retire list. Pointer-
+    /// scale work, independent of how many domains the old pool held.
+    pub pool_publish: Duration,
+    /// Whether pool rebuilds run deferred (hazard-pointer lifecycle:
+    /// publish new, retire old, reclaim amortized off the serving path)
+    /// rather than as a synchronous stop-the-world teardown. Changes
+    /// how [`RecoveryBill::bill`] splits the pool rung's cost, not how
+    /// much total work the rung does.
+    pub deferred_rebuild: bool,
     /// The restart rung (and the cost a restart-only policy pays for
     /// *every* fault).
     pub restart: RestartModel,
@@ -63,13 +73,26 @@ pub struct RungModels {
 impl RungModels {
     /// Paper-calibrated defaults: 3.5 µs rewinds, 20 µs per re-created
     /// domain (allocation + key assignment, the `e10` lifecycle scale),
-    /// and the Memcached-calibrated process restart.
+    /// a 2 µs deferred-publish pause, and the Memcached-calibrated
+    /// process restart. Rebuilds bill synchronously by default.
     #[must_use]
     pub fn calibrated() -> Self {
         RungModels {
             rewind: RestartModel::sdrad_rewind(),
             pool_domain_rebuild: Duration::from_micros(20),
+            pool_publish: Duration::from_micros(2),
+            deferred_rebuild: false,
             restart: RestartModel::process_restart(),
+        }
+    }
+
+    /// The same models with the pool rung billed as a deferred
+    /// (publish-new/retire-old) rebuild.
+    #[must_use]
+    pub fn deferred(self) -> Self {
+        RungModels {
+            deferred_rebuild: true,
+            ..self
         }
     }
 
@@ -119,6 +142,19 @@ pub struct RecoveryBill {
     pub pool_time: Duration,
     /// Modeled time spent in the restart rung.
     pub restart_time: Duration,
+    /// Pool rebuilds billed on the deferred (publish/retire) path — a
+    /// subset of `pool_rebuilds`, split out so the books can show how
+    /// the same rung count moved from `pool_time` (a serving-visible
+    /// pause) to `publish_time + reclaim_time`.
+    pub deferred_rebuilds: u64,
+    /// Serving-visible pause of deferred rebuilds: the pointer swap
+    /// that publishes the fresh pool and retires the old one.
+    pub publish_time: Duration,
+    /// Amortized reclamation cost of deferred rebuilds: the retired
+    /// pool's domains torn down off the serving path. Same per-domain
+    /// model as a synchronous rebuild — deferral moves the joules, it
+    /// does not delete them.
+    pub reclaim_time: Duration,
     /// What a restart-only policy would have spent on the same faults:
     /// one full worker restart per billed decision, any rung.
     pub restart_only_time: Duration,
@@ -139,6 +175,16 @@ impl RecoveryBill {
             RecoveryRung::Rewind => {
                 self.rewinds += 1;
                 self.rewind_time += time;
+            }
+            RecoveryRung::PoolRebuild if models.deferred_rebuild => {
+                // The deferred lifecycle splits the same total work:
+                // a pointer-swap pause now, the per-domain teardown
+                // amortized behind it. `pool_rebuilds` still counts the
+                // decision, so counted == billed survives the split.
+                self.pool_rebuilds += 1;
+                self.deferred_rebuilds += 1;
+                self.publish_time += models.pool_publish;
+                self.reclaim_time += time;
             }
             RecoveryRung::PoolRebuild => {
                 self.pool_rebuilds += 1;
@@ -168,10 +214,24 @@ impl RecoveryBill {
         }
     }
 
-    /// Total modeled recovery time of the ladder policy.
+    /// Total modeled recovery time of the ladder policy — deferred
+    /// rebuilds included in full (pause plus amortized reclamation), so
+    /// the energy totals stay comparable across rebuild modes.
     #[must_use]
     pub fn ladder_time(&self) -> Duration {
-        self.rewind_time + self.pool_time + self.restart_time
+        self.rewind_time
+            + self.pool_time
+            + self.restart_time
+            + self.publish_time
+            + self.reclaim_time
+    }
+
+    /// The serving-visible portion of the pool rung's bill: the whole
+    /// `pool_time` when rebuilds are synchronous, only `publish_time`
+    /// when deferred — the pause contrast `e23` measures.
+    #[must_use]
+    pub fn rebuild_pause_time(&self) -> Duration {
+        self.pool_time + self.publish_time
     }
 
     /// Modeled recovery time the ladder saved versus restart-only
@@ -216,7 +276,16 @@ impl RecoveryBill {
         registry
             .counter("energy.bill.worker_restarts")
             .add(self.worker_restarts);
+        registry
+            .counter("energy.bill.deferred_rebuilds")
+            .add(self.deferred_rebuilds);
         let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        registry
+            .counter("energy.recovery_ns.publish")
+            .add(ns(self.publish_time));
+        registry
+            .counter("energy.recovery_ns.reclaim")
+            .add(ns(self.reclaim_time));
         registry
             .counter("energy.recovery_ns.ladder")
             .add(ns(self.ladder_time()));
@@ -293,6 +362,50 @@ mod tests {
         }
         assert_eq!(bill.time_saved(), Duration::ZERO);
         assert_eq!(bill.ladder_time(), bill.restart_only_time);
+    }
+
+    #[test]
+    fn deferred_rebuilds_split_pause_from_reclamation() {
+        let sync_models = RungModels::calibrated();
+        let deferred_models = sync_models.deferred();
+        let mut sync_bill = RecoveryBill::default();
+        let mut deferred_bill = RecoveryBill::default();
+        for _ in 0..5 {
+            sync_bill.bill(&sync_models, RecoveryRung::PoolRebuild, 1 << 20, 8);
+            deferred_bill.bill(&deferred_models, RecoveryRung::PoolRebuild, 1 << 20, 8);
+        }
+        // Same decision count, same total work: deferral moves the
+        // joules off the serving path, it does not delete them.
+        assert_eq!(sync_bill.pool_rebuilds, deferred_bill.pool_rebuilds);
+        assert_eq!(sync_bill.deferred_rebuilds, 0);
+        assert_eq!(deferred_bill.deferred_rebuilds, 5);
+        assert_eq!(deferred_bill.pool_time, Duration::ZERO);
+        assert_eq!(deferred_bill.reclaim_time, sync_bill.pool_time);
+        assert_eq!(
+            deferred_bill.publish_time,
+            Duration::from_micros(2) * 5,
+            "the pause is the pointer swap, not the teardown"
+        );
+        // The e23 contrast: the serving-visible pause collapses by the
+        // domains-per-publish ratio (20 µs × 8 vs 2 µs per rebuild).
+        assert!(deferred_bill.rebuild_pause_time() * 10 < sync_bill.rebuild_pause_time());
+        // And the full energy books stay comparable across modes.
+        assert_eq!(
+            deferred_bill.ladder_time() - deferred_bill.publish_time,
+            sync_bill.ladder_time()
+        );
+    }
+
+    #[test]
+    fn deferred_billing_preserves_counted_equals_billed() {
+        let models = RungModels::calibrated().deferred();
+        let mut bill = RecoveryBill::default();
+        bill.bill(&models, RecoveryRung::Rewind, 1 << 20, 8);
+        bill.bill(&models, RecoveryRung::PoolRebuild, 1 << 20, 8);
+        bill.bill(&models, RecoveryRung::WorkerRestart, 1 << 20, 8);
+        assert_eq!(bill.decisions(), 3);
+        assert_eq!(bill.count_of(RecoveryRung::PoolRebuild), 1);
+        assert!(bill.time_saved() > Duration::ZERO);
     }
 
     #[test]

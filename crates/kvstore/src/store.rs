@@ -163,6 +163,15 @@ impl Snapshot {
         self.entries.is_empty()
     }
 
+    /// The captured entries, borrowed — what a read-only view (a
+    /// hazard-published shard snapshot) indexes without re-cloning the
+    /// whole payload a second time.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.entries
+            .iter()
+            .map(|(key, value)| (key.as_str(), value.as_slice()))
+    }
+
     /// Total payload bytes (keys + values) captured.
     #[must_use]
     pub fn bytes(&self) -> u64 {

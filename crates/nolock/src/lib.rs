@@ -22,6 +22,12 @@
 //!   frame buffers whose `Drop` returns storage to the owning worker's
 //!   pool through a lock-free MPSC return channel, plus the
 //!   [`CountingAlloc`] harness that measures the discipline.
+//! * [`HazardDomain`] / [`Shared`] ([`hazard`]) — hazard-pointer
+//!   deferred reclamation for read-mostly shared state: readers guard
+//!   the pointer they dereference, writers retire what they replace,
+//!   and an amortized reclaimer frees retirees only when no guard
+//!   covers them. This is what turns pool rebuilds from a
+//!   stop-the-world pause into publish-new/retire-old.
 //!
 //! # Safety model
 //!
@@ -36,12 +42,16 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod arena;
+pub mod hazard;
 pub mod mpmc;
 pub mod mpsc;
 pub mod spsc;
 pub mod wait;
 
 pub use arena::{CountingAlloc, FrameBuf};
+pub use hazard::{
+    Domain as HazardDomain, DomainStats as HazardStats, Guard as HazardGuard, Shared,
+};
 pub use mpmc::Bounded;
 pub use mpsc::MpscQueue;
 pub use spsc::SpscRing;

@@ -1,0 +1,335 @@
+//! Interleaving storms for the hazard-pointer domain
+//! (`sdrad_nolock::hazard`), in the style of `interleaving.rs`: many
+//! real threads, a barrier start gate, and oracles that convert every
+//! reclamation bug class into a deterministic assertion:
+//!
+//! * **No reclaim-under-guard** — every retired object carries a
+//!   freed-flag + patterned payload; a reader holding a guard asserts
+//!   the flag is unset and the payload intact. A reclaimer freeing a
+//!   still-guarded object trips the flag (use-after-retire observed
+//!   without undefined behaviour, because the flag lives *outside* the
+//!   retired allocation).
+//! * **Exactly-once reclamation** — a shared drop counter must equal
+//!   the retire count after the drain: a double-free increments twice,
+//!   a leak never increments.
+//! * **Drain-after-close** — once writers stop and guards release,
+//!   reclaim scans drain `pending` to exactly zero.
+//! * **Guard-leak detector** — all slots released ⇒ `active_guards()`
+//!   is 0 and nothing can block the drain.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use sdrad_nolock::hazard::{Domain, Shared};
+
+/// A retired object instrumented for the storms. The oracle state
+/// (`freed`, `drops`) lives in `Arc`s *outside* the allocation, so a
+/// premature free is observed as a tripped flag, not as UB.
+struct Probe {
+    seq: u64,
+    payload: [u8; 32],
+    freed: Arc<AtomicBool>,
+    drops: Arc<AtomicUsize>,
+}
+
+impl Probe {
+    fn new(seq: u64, drops: &Arc<AtomicUsize>) -> (Box<Probe>, Arc<AtomicBool>) {
+        let freed = Arc::new(AtomicBool::new(false));
+        let probe = Box::new(Probe {
+            seq,
+            payload: Self::pattern(seq),
+            freed: Arc::clone(&freed),
+            drops: Arc::clone(drops),
+        });
+        (probe, freed)
+    }
+
+    /// Payload bytes are a pure function of `seq`, so a reader can
+    /// verify integrity without any side channel.
+    fn pattern(seq: u64) -> [u8; 32] {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (seq as u8).wrapping_mul(31).wrapping_add(i as u8);
+        }
+        bytes
+    }
+
+    /// The reader-side oracle: called only under a live guard.
+    fn verify(&self) {
+        assert!(
+            !self.freed.load(Ordering::SeqCst),
+            "reclaim-under-guard: object {} freed while protected",
+            self.seq
+        );
+        assert_eq!(
+            self.payload,
+            Self::pattern(self.seq),
+            "payload of object {} corrupted while protected",
+            self.seq
+        );
+    }
+}
+
+impl Drop for Probe {
+    fn drop(&mut self) {
+        let already = self.freed.swap(true, Ordering::SeqCst);
+        assert!(!already, "double-free: object {} dropped twice", self.seq);
+        self.drops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// N readers × M retirers over M shared cells in one domain. Readers
+/// hammer loads and run the probe oracle under guard; retirers publish
+/// replacement probes (retiring the old) as fast as they can. Ends with
+/// a full drain and the complete set of books.
+#[test]
+fn readers_vs_retirers_storm() {
+    const READERS: usize = 4;
+    const RETIRERS: usize = 3;
+    const STORES_PER_RETIRER: u64 = 2_000;
+
+    let domain = Arc::new(Domain::new());
+    let drops = Arc::new(AtomicUsize::new(0));
+    let cells: Arc<Vec<Shared<Probe>>> = Arc::new(
+        (0..RETIRERS as u64)
+            .map(|i| Shared::new(Probe::new(i, &drops).0, &domain))
+            .collect(),
+    );
+    let live_retirers = Arc::new(AtomicUsize::new(RETIRERS));
+    let start = Arc::new(Barrier::new(READERS + RETIRERS));
+
+    let mut handles = Vec::new();
+    for reader in 0..READERS {
+        let cells = Arc::clone(&cells);
+        let domain = Arc::clone(&domain);
+        let live = Arc::clone(&live_retirers);
+        let start = Arc::clone(&start);
+        handles.push(thread::spawn(move || {
+            start.wait();
+            let mut guard = domain.guard();
+            let mut observed = 0u64;
+            let mut slot = reader;
+            while live.load(Ordering::Acquire) > 0 {
+                let cell = &cells[slot % cells.len()];
+                cell.load(&mut guard).verify();
+                observed += 1;
+                slot = slot.wrapping_add(1);
+            }
+            // One more sweep after close: the final values must still
+            // be readable and intact. (A reader that lost the startup
+            // race entirely still verifies every cell here.)
+            for cell in cells.iter() {
+                cell.load(&mut guard).verify();
+                observed += 1;
+            }
+            observed
+        }));
+    }
+    let mut retirer_handles = Vec::new();
+    for (retirer, _) in (0..RETIRERS).enumerate() {
+        let cells = Arc::clone(&cells);
+        let drops = Arc::clone(&drops);
+        let live = Arc::clone(&live_retirers);
+        let start = Arc::clone(&start);
+        retirer_handles.push(thread::spawn(move || {
+            start.wait();
+            for seq in 0..STORES_PER_RETIRER {
+                let tag = (retirer as u64) << 32 | seq;
+                cells[retirer].store(Probe::new(tag, &drops).0);
+            }
+            live.fetch_sub(1, Ordering::Release);
+        }));
+    }
+    for handle in retirer_handles {
+        handle.join().unwrap();
+    }
+    for handle in handles {
+        let observed = handle.join().unwrap();
+        assert!(observed > 0, "reader never got a look in");
+    }
+
+    // Drain-after-close: cells retire their final values, guards are
+    // all released, so scans must reach pending == 0.
+    let total_retired = RETIRERS as u64 * STORES_PER_RETIRER + RETIRERS as u64;
+    drop(cells);
+    while domain.reclaim() > 0 {}
+    let stats = domain.stats();
+    assert!(stats.conserves(), "books broken: {stats:?}");
+    assert_eq!(stats.pending, 0, "guard-free domain failed to drain");
+    assert_eq!(stats.retired, total_retired);
+    assert_eq!(stats.reclaimed, total_retired);
+    // Exactly-once: every probe dropped exactly one time.
+    assert_eq!(drops.load(Ordering::SeqCst), total_retired as usize);
+    assert_eq!(domain.active_guards(), 0);
+}
+
+/// Readers that hold one value for a long stretch while the writer
+/// races far ahead: the held generation must survive an arbitrary
+/// number of scans, and release it does reclaim it.
+#[test]
+fn long_held_guard_pins_exactly_its_generation() {
+    const STORES: u64 = 1_000;
+
+    let domain = Arc::new(Domain::new());
+    let drops = Arc::new(AtomicUsize::new(0));
+    let cell = Arc::new(Shared::new(Probe::new(0, &drops).0, &domain));
+    let hold_started = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let held_seq = Arc::new(AtomicU64::new(u64::MAX));
+
+    let holder = {
+        let cell = Arc::clone(&cell);
+        let domain = Arc::clone(&domain);
+        let hold_started = Arc::clone(&hold_started);
+        let release = Arc::clone(&release);
+        let held_seq = Arc::clone(&held_seq);
+        thread::spawn(move || {
+            let mut guard = domain.guard();
+            let value = cell.load(&mut guard);
+            held_seq.store(value.seq, Ordering::SeqCst);
+            hold_started.store(true, Ordering::SeqCst);
+            // Pin the value across the writer's whole run.
+            while !release.load(Ordering::SeqCst) {
+                value.verify();
+                std::hint::spin_loop();
+            }
+            value.verify();
+        })
+    };
+
+    while !hold_started.load(Ordering::SeqCst) {
+        std::hint::spin_loop();
+    }
+    for seq in 1..=STORES {
+        cell.store(Probe::new(seq, &drops).0);
+    }
+    // The writer retired STORES values; every generation except the
+    // held one must be reclaimable right now.
+    while domain.reclaim() > 0 {}
+    let mid = domain.stats();
+    assert!(mid.conserves());
+    let held = held_seq.load(Ordering::SeqCst);
+    if held < STORES {
+        // The holder pinned a generation the writer has since retired:
+        // exactly that one survives every scan.
+        assert_eq!(mid.pending, 1, "only the guarded generation survives");
+    }
+    release.store(true, Ordering::SeqCst);
+    holder.join().unwrap();
+    while domain.reclaim() > 0 {}
+    drop(cell);
+    while domain.reclaim() > 0 {}
+    let stats = domain.stats();
+    assert!(stats.conserves());
+    assert_eq!(stats.pending, 0);
+    assert_eq!(drops.load(Ordering::SeqCst), STORES as usize + 1);
+}
+
+/// Guard-leak detector: a swarm of threads acquire and drop guards
+/// concurrently with retires. After every thread joins, all slots must
+/// be released and the pending list must drain fully — a guard whose
+/// slot was not released on drop would pin garbage forever.
+#[test]
+fn released_guards_never_block_the_drain() {
+    const THREADS: usize = 6;
+    const ROUNDS: u64 = 1_500;
+
+    let domain = Arc::new(Domain::new());
+    let drops = Arc::new(AtomicUsize::new(0));
+    let cell = Arc::new(Shared::new(Probe::new(0, &drops).0, &domain));
+    let start = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let domain = Arc::clone(&domain);
+            let cell = Arc::clone(&cell);
+            let drops = Arc::clone(&drops);
+            let start = Arc::clone(&start);
+            thread::spawn(move || {
+                start.wait();
+                for round in 0..ROUNDS {
+                    // Fresh guard every round: exercises slot recycling
+                    // under contention.
+                    let mut guard = domain.guard();
+                    cell.load(&mut guard).verify();
+                    drop(guard);
+                    if t % 2 == 0 {
+                        let tag = (t as u64) << 32 | round;
+                        cell.store(Probe::new(tag, &drops).0);
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    assert_eq!(domain.active_guards(), 0, "a guard leaked its slot");
+    let retired_while_live = THREADS.div_ceil(2) as u64 * ROUNDS;
+    drop(cell);
+    while domain.reclaim() > 0 {}
+    let stats = domain.stats();
+    assert!(stats.conserves(), "books broken: {stats:?}");
+    assert_eq!(stats.pending, 0, "slot-free domain failed to drain");
+    assert_eq!(stats.retired, retired_while_live + 1);
+    assert_eq!(drops.load(Ordering::SeqCst), stats.retired as usize);
+}
+
+/// Concurrent explicit reclaimers: scans racing each other (and the
+/// retirers) must neither double-free nor lose a node. The detached-
+/// list design makes concurrent scans disjoint; this storm proves it.
+#[test]
+fn racing_reclaimers_free_exactly_once() {
+    const RETIRERS: usize = 3;
+    const RECLAIMERS: usize = 3;
+    const PER_RETIRER: u64 = 3_000;
+
+    let domain = Arc::new(Domain::new());
+    let drops = Arc::new(AtomicUsize::new(0));
+    let live = Arc::new(AtomicUsize::new(RETIRERS));
+    let start = Arc::new(Barrier::new(RETIRERS + RECLAIMERS));
+
+    let mut handles = Vec::new();
+    for retirer in 0..RETIRERS {
+        let domain = Arc::clone(&domain);
+        let drops = Arc::clone(&drops);
+        let live = Arc::clone(&live);
+        let start = Arc::clone(&start);
+        handles.push(thread::spawn(move || {
+            start.wait();
+            for seq in 0..PER_RETIRER {
+                let tag = (retirer as u64) << 32 | seq;
+                domain.retire(Probe::new(tag, &drops).0);
+            }
+            live.fetch_sub(1, Ordering::Release);
+        }));
+    }
+    for _ in 0..RECLAIMERS {
+        let domain = Arc::clone(&domain);
+        let live = Arc::clone(&live);
+        let start = Arc::clone(&start);
+        handles.push(thread::spawn(move || {
+            start.wait();
+            while live.load(Ordering::Acquire) > 0 {
+                domain.reclaim();
+            }
+            // Final drain race: every reclaimer keeps scanning until
+            // the list stays empty.
+            while domain.reclaim() > 0 {}
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    while domain.reclaim() > 0 {}
+    let total = RETIRERS as u64 * PER_RETIRER;
+    let stats = domain.stats();
+    assert!(stats.conserves(), "books broken: {stats:?}");
+    assert_eq!(stats.retired, total);
+    assert_eq!(stats.reclaimed, total);
+    assert_eq!(stats.pending, 0);
+    assert_eq!(drops.load(Ordering::SeqCst), total as usize, "exactly-once");
+}

@@ -29,6 +29,7 @@ use sdrad::ClientId;
 use sdrad_control::{
     Admission, ControlConfig, ControlPlane, ControlReport, RecoveryRung, Standing,
 };
+use sdrad_energy::decisions::RungModels;
 use sdrad_energy::power::PowerModel;
 use sdrad_telemetry::{EventKind, Recorder, ShedReason};
 
@@ -66,9 +67,14 @@ pub(crate) enum Routing {
 }
 
 impl ControlHub {
-    pub(crate) fn new(config: ControlConfig, blast_pit: usize, recorder: Recorder) -> Self {
+    pub(crate) fn new(
+        config: ControlConfig,
+        models: RungModels,
+        blast_pit: usize,
+        recorder: Recorder,
+    ) -> Self {
         ControlHub {
-            plane: Mutex::new(ControlPlane::new(config)),
+            plane: Mutex::new(ControlPlane::with_models(config, models)),
             started: Instant::now(),
             blast_pit,
             recorder,
@@ -86,6 +92,13 @@ impl ControlHub {
     /// The blast-pit shard index.
     pub(crate) fn blast_pit(&self) -> usize {
         self.blast_pit
+    }
+
+    /// The rung cost models the plane bills with — workers consult them
+    /// to make the synchronous rebuild's modeled pause *physical* (the
+    /// e23 contrast run) without a second source of truth for its size.
+    pub(crate) fn rung_models(&self) -> RungModels {
+        self.plane.lock().expect("control lock").models()
     }
 
     /// Admission control for one request/connection from `client`.

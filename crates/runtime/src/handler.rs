@@ -91,6 +91,22 @@ pub enum StealClass {
     Mutation,
 }
 
+/// An immutable snapshot of one shard's read-servable state, published
+/// by the owner worker through a hazard-protected cell so **thieves can
+/// answer reads against the owner's live data** instead of their own
+/// (different) shard.
+///
+/// A view is a value frozen at publish time: it crosses threads
+/// (`Send + Sync`), never mutates, and is reclaimed through the hazard
+/// domain once every reader guard has moved on — the worker never
+/// blocks on readers to republish.
+pub trait ReadView: Send + Sync {
+    /// Serves one complete request against the snapshot, or `None` when
+    /// the request is not answerable from this view (the thief then
+    /// falls back to its own handler, the pre-view behaviour).
+    fn serve_read(&self, client: ClientId, request: &[u8]) -> Option<Reply>;
+}
+
 /// A protocol workload served by runtime workers.
 ///
 /// Handlers are created **on the worker thread** by the factory passed
@@ -127,6 +143,24 @@ pub trait SessionHandler {
         }
     }
 
+    /// Monotonic counter bumped whenever shard state changes in a way
+    /// that invalidates a published [`ReadView`]. The worker republishes
+    /// a view only when this (or the pool generation) moved, so a
+    /// read-heavy shard publishes once and serves thieves for free.
+    ///
+    /// The default never changes — correct for handlers that publish no
+    /// views.
+    fn state_version(&self) -> u64 {
+        0
+    }
+
+    /// Freezes the shard's current read-servable state into a
+    /// [`ReadView`], or `None` when the handler does not support shared
+    /// reads (the default — thieves then keep the own-shard fallback).
+    fn read_view(&self) -> Option<Box<dyn ReadView>> {
+        None
+    }
+
     /// Bytes of state a full restart of this shard would reload — the
     /// input to the baseline's modeled restart cost.
     fn state_bytes(&self) -> u64;
@@ -143,6 +177,9 @@ pub trait SessionHandler {
 pub struct KvHandler {
     store: sdrad_kvstore::Store,
     config: sdrad_kvstore::StoreConfig,
+    /// Bumped on every request that can mutate the store — the
+    /// staleness stamp for published [`KvReadView`]s.
+    version: u64,
 }
 
 impl KvHandler {
@@ -152,6 +189,7 @@ impl KvHandler {
         KvHandler {
             store: sdrad_kvstore::Store::new(config),
             config,
+            version: 0,
         }
     }
 
@@ -161,9 +199,39 @@ impl KvHandler {
         &self.store
     }
 
-    /// Write access for bulk setup before load starts.
+    /// Write access for bulk setup before load starts. Conservatively
+    /// counts as a state change — any view published before the caller's
+    /// edits must go stale.
     pub fn store_mut(&mut self) -> &mut sdrad_kvstore::Store {
+        self.version += 1;
         &mut self.store
+    }
+}
+
+/// [`ReadView`] over a frozen snapshot of one `KvHandler` shard: `get`s
+/// are answered from a plain `HashMap` copy, everything else returns
+/// `None` so the thief's own-shard fallback (and its accounting)
+/// handles it.
+struct KvReadView {
+    entries: std::collections::HashMap<String, Vec<u8>>,
+}
+
+impl ReadView for KvReadView {
+    fn serve_read(&self, _client: ClientId, request: &[u8]) -> Option<Reply> {
+        use sdrad_kvstore::{parse_command, Command, Response};
+        let (Command::Get(key), _) = parse_command(request).ok()? else {
+            return None;
+        };
+        let response = match self.entries.get(key) {
+            Some(value) => Response::Value {
+                key: key.to_string(),
+                value: value.clone(),
+            },
+            None => Response::Miss,
+        };
+        let mut out = FrameBuf::acquire(64);
+        response.write_to(&mut out);
+        Some(Reply::ok(out))
     }
 }
 
@@ -176,7 +244,7 @@ impl Default for KvHandler {
 impl SessionHandler for KvHandler {
     fn handle(&mut self, iso: &mut WorkerIsolation, client: ClientId, request: &[u8]) -> Reply {
         use sdrad_kvstore::{
-            apply_op, parse_command, process_unprotected_command, stage_command, Response,
+            apply_op, parse_command, process_unprotected_command, stage_command, Command, Response,
         };
 
         let cmd = match parse_command(request) {
@@ -188,6 +256,12 @@ impl SessionHandler for KvHandler {
                 }
             }
         };
+        // Anything that can mutate the store goes stale-stamps any
+        // published read view. Conservative: a mutation that faults and
+        // rewinds bumps too, costing at worst one spare republish.
+        if !matches!(cmd, Command::Get(_) | Command::Stats) {
+            self.version += 1;
+        }
         self.store.advance(1);
 
         // Hot-path responses render straight into a recycled frame buffer
@@ -262,6 +336,19 @@ impl SessionHandler for KvHandler {
             // accounting; anything unparseable is the owner's problem.
             _ => StealClass::Mutation,
         }
+    }
+
+    fn state_version(&self) -> u64 {
+        self.version
+    }
+
+    fn read_view(&self) -> Option<Box<dyn ReadView>> {
+        let snapshot = self.store.snapshot();
+        let entries = snapshot
+            .entries()
+            .map(|(key, value)| (key.to_string(), value.to_vec()))
+            .collect();
+        Some(Box::new(KvReadView { entries }))
     }
 
     fn state_bytes(&self) -> u64 {
@@ -698,6 +785,52 @@ mod tests {
         let got = handler.handle(&mut iso, client, b"get k\r\n");
         assert_eq!(got.response, b"VALUE k 3\r\nabc\r\nEND\r\n");
         assert_eq!(got.disposition, Disposition::Ok);
+    }
+
+    #[test]
+    fn kv_read_view_serves_gets_byte_identical_to_the_owner() {
+        let mut handler = KvHandler::default();
+        let mut iso = iso(IsolationMode::PerClientDomain);
+        let client = ClientId(3);
+        handler.handle(&mut iso, client, b"set k 3\r\nabc\r\n");
+
+        let view = handler.read_view().expect("kv shards publish views");
+        let shared = view
+            .serve_read(ClientId(99), b"get k\r\n")
+            .expect("gets are view-servable");
+        let owner = handler.handle(&mut iso, client, b"get k\r\n");
+        assert_eq!(shared.response, owner.response, "byte-identical answers");
+        assert_eq!(shared.disposition, Disposition::Ok);
+
+        let miss = view.serve_read(ClientId(99), b"get absent\r\n").unwrap();
+        assert_eq!(miss.response, b"END\r\n");
+        assert!(
+            view.serve_read(ClientId(99), b"stats\r\n").is_none(),
+            "stats falls back to the thief's own handler"
+        );
+        assert!(
+            view.serve_read(ClientId(99), b"set k 1\r\nx\r\n").is_none(),
+            "mutations are never view-servable"
+        );
+    }
+
+    #[test]
+    fn kv_state_version_moves_only_on_mutations() {
+        let mut handler = KvHandler::default();
+        let mut iso = iso(IsolationMode::PerClientDomain);
+        let v0 = handler.state_version();
+        handler.handle(&mut iso, ClientId(1), b"get k\r\n");
+        handler.handle(&mut iso, ClientId(1), b"stats\r\n");
+        assert_eq!(handler.state_version(), v0, "reads leave views fresh");
+        handler.handle(&mut iso, ClientId(1), b"set k 1\r\nv\r\n");
+        assert!(handler.state_version() > v0, "writes stale-stamp views");
+
+        // A view frozen before a write answers from the old state —
+        // stale but consistent — until republished.
+        let view = handler.read_view().unwrap();
+        handler.handle(&mut iso, ClientId(1), b"set k 1\r\nw\r\n");
+        let old = view.serve_read(ClientId(9), b"get k\r\n").unwrap();
+        assert_eq!(old.response, b"VALUE k 1\r\nv\r\nEND\r\n");
     }
 
     #[test]

@@ -125,10 +125,14 @@ mod stats;
 mod wake;
 mod worker;
 
-pub use handler::{Framing, HttpHandler, KvHandler, Reply, SessionHandler, StealClass, TlsHandler};
+pub use handler::{
+    Framing, HttpHandler, KvHandler, ReadView, Reply, SessionHandler, StealClass, TlsHandler,
+};
 pub use isolation::{IsolationMode, WorkerIsolation};
 pub use queue::{Completion, Disposition, Request, ShardQueue, Ticket, WorkBatch};
-pub use runtime::{Dispatcher, Runtime, RuntimeConfig, Scheduling, StealPolicy, SubmitOutcome};
+pub use runtime::{
+    Dispatcher, RebuildMode, Runtime, RuntimeConfig, Scheduling, StealPolicy, SubmitOutcome,
+};
 // The control-plane vocabulary a runtime embedder needs, re-exported so
 // harnesses configure admission control and read the closed books
 // without a direct `sdrad-control` dependency.

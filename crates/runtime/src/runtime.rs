@@ -7,9 +7,11 @@ use std::time::{Duration, Instant};
 
 use sdrad::ClientId;
 use sdrad_control::ControlConfig;
+use sdrad_energy::decisions::RungModels;
 use sdrad_energy::power::PowerModel;
 use sdrad_energy::restart::RestartModel;
 use sdrad_net::Endpoint;
+use sdrad_nolock::{HazardDomain, Shared};
 use sdrad_telemetry::{
     EventKind, LatencyHistogram, LogicalClock, MetricsRegistry, Recorder, ShedReason, Source,
     TelemetryConfig, TelemetrySnapshot, TraceLog, TraceRing,
@@ -22,7 +24,7 @@ use crate::queue::{Request, ShardQueue, Ticket};
 use crate::server::{ConnInbox, ConnRegistry, Connection};
 use crate::stats::{LiveCounters, RuntimeStats, StatsSnapshot, TelemetryReport};
 use crate::wake::WakeSet;
-use crate::worker::Worker;
+use crate::worker::{ShardView, Worker};
 
 /// How workers learn that work arrived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,6 +84,24 @@ impl StealPolicy {
     }
 }
 
+/// How a worker executes the control ladder's pool-rebuild rung
+/// ([`RuntimeConfig::rebuild`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RebuildMode {
+    /// Stop-the-world: every pooled domain is torn down inside the
+    /// serving path, and the rung's modeled teardown window is
+    /// physically waited out before the next request — the latency
+    /// spike `e23_zero_pause_rebuild` prices.
+    Synchronous,
+    /// Publish-and-retire (the default): a fresh pool is published in
+    /// pointer-scale time, the old one is retired, and its domains are
+    /// torn down a few per pump pass. No request ever waits behind a
+    /// rebuild; the same total work is billed as amortized reclamation
+    /// time instead of pause time.
+    #[default]
+    Deferred,
+}
+
 /// Configuration of one runtime instance.
 #[derive(Debug, Clone, Copy)]
 pub struct RuntimeConfig {
@@ -132,6 +152,11 @@ pub struct RuntimeConfig {
     ///
     /// [`RuntimeStats::control`]: crate::RuntimeStats::control
     pub control: Option<ControlConfig>,
+    /// How the control ladder's pool-rebuild rung executes (default:
+    /// [`RebuildMode::Deferred`], the zero-pause publish-and-retire
+    /// lifecycle). Also selects the matching billing models, so the
+    /// energy report prices whichever variant actually ran.
+    pub rebuild: RebuildMode,
     /// Whether worker threads recycle frame buffers through their
     /// thread-local arenas (default: on). Off makes every
     /// [`FrameBuf`](sdrad_nolock::FrameBuf) acquire a fresh detached
@@ -168,6 +193,7 @@ impl RuntimeConfig {
             work_stealing: StealPolicy::Disabled,
             idle_reap_after: None,
             control: None,
+            rebuild: RebuildMode::default(),
             frame_pooling: true,
             telemetry: TelemetryConfig::Off,
         }
@@ -387,6 +413,13 @@ pub struct Runtime {
     /// (`worker-N` / `dispatcher` / `control`). `None` when telemetry
     /// is off.
     rings: Option<Vec<(String, Arc<TraceRing>)>>,
+    /// The shared-read hazard domain (deep stealing only): shutdown
+    /// drains it after the final views retire and closes its books
+    /// into [`RuntimeStats::hazard`](crate::RuntimeStats::hazard).
+    hazard: Option<Arc<HazardDomain>>,
+    /// Every shard's published read-view cell, dropped at shutdown so
+    /// the final views retire through the domain before it is drained.
+    view_cells: Vec<Arc<Shared<ShardView>>>,
     handles: Vec<JoinHandle<crate::worker::WorkerStats>>,
     started: Instant,
 }
@@ -434,9 +467,34 @@ impl Runtime {
                 )
             })
             .collect();
-        let hub = config
-            .control
-            .map(|control| Arc::new(ControlHub::new(control, workers - 1, control_recorder)));
+        // The ladder's rung cost models follow the rebuild mode, so the
+        // energy bill prices the variant that actually runs: deferred
+        // rebuilds split into publish (pause) + reclamation (amortized).
+        let rung_models = match config.rebuild {
+            RebuildMode::Synchronous => RungModels::calibrated(),
+            RebuildMode::Deferred => RungModels::calibrated().deferred(),
+        };
+        let hub = config.control.map(|control| {
+            Arc::new(ControlHub::new(
+                control,
+                rung_models,
+                workers - 1,
+                control_recorder,
+            ))
+        });
+        // One hazard domain for the whole runtime (deep stealing only):
+        // every shard's published read view retires through it, and
+        // shutdown reconciles its retire/reclaim books exactly.
+        let hazard =
+            (config.work_stealing == StealPolicy::Deep).then(|| Arc::new(HazardDomain::new()));
+        let view_cells: Vec<Arc<Shared<ShardView>>> = hazard
+            .as_ref()
+            .map(|domain| {
+                (0..workers)
+                    .map(|_| Arc::new(Shared::new(Box::new(ShardView::empty()), domain)))
+                    .collect()
+            })
+            .unwrap_or_default();
         let live: Vec<Arc<LiveCounters>> = (0..workers)
             .map(|_| Arc::new(LiveCounters::default()))
             .collect();
@@ -500,6 +558,8 @@ impl Runtime {
                 let shared_generation = Arc::clone(&generation);
                 let recorder = worker_recorders[index].clone();
                 let live = Arc::clone(&live[index]);
+                let hazard = hazard.clone();
+                let view_cells = view_cells.clone();
                 std::thread::Builder::new()
                     .name(format!("sdrad-worker-{index}"))
                     .spawn(move || {
@@ -525,6 +585,8 @@ impl Runtime {
                             control: hub,
                             recorder,
                             live,
+                            hazard,
+                            view_cells,
                         };
                         Worker::new(index, channels, iso, handler, &config).run()
                     })
@@ -546,6 +608,8 @@ impl Runtime {
             generation,
             live,
             rings,
+            hazard,
+            view_cells,
             handles,
             started: Instant::now(),
         }
@@ -739,6 +803,15 @@ impl Runtime {
         for queue in &self.dispatcher.queues {
             shed_latency.merge(&queue.shed_latency());
         }
+        // Close the shared-read books: dropping the cells retires the
+        // final published views, and with every worker joined no guard
+        // can be live, so the drain completes and the domain's
+        // `retired == reclaimed + pending` law must balance exactly.
+        drop(self.view_cells);
+        let hazard = self.hazard.map(|domain| {
+            while domain.reclaim() > 0 {}
+            domain.stats()
+        });
         // The aggregate shed count derives from the merged histogram, so
         // the two can never disagree even if a racing submitter sheds
         // between per-queue reads.
@@ -752,6 +825,7 @@ impl Runtime {
             conn_stolen,
             shed_latency,
             control: self.dispatcher.control.as_ref().map(|hub| hub.report()),
+            hazard,
             telemetry: None,
             wall: self.started.elapsed(),
         };
@@ -800,6 +874,18 @@ fn close_telemetry(stats: &RuntimeStats, rings: &[(String, Arc<TraceRing>)]) -> 
     registry
         .counter("runtime.stranded_stalls")
         .add(stats.stranded_stalls());
+    registry
+        .counter("runtime.shared_reads")
+        .add(stats.shared_reads());
+    registry
+        .counter("runtime.views_published")
+        .add(stats.views_published());
+    registry
+        .counter("runtime.domains_retired")
+        .add(stats.domains_retired());
+    registry
+        .counter("runtime.domains_reclaimed")
+        .add(stats.domains_reclaimed());
     registry.counter("runtime.parks").add(stats.parks());
     registry.counter("runtime.wakeups").add(stats.wakeups());
     registry.counter("runtime.polls").add(stats.polls());

@@ -126,6 +126,13 @@ pub struct RuntimeStats {
     /// runtime ran with the static reflexes
     /// ([`RuntimeConfig::control`](crate::RuntimeConfig::control) unset).
     pub control: Option<ControlReport>,
+    /// The shared-read hazard domain's closed books (view objects
+    /// retired, reclaimed and pending) — `None` unless the runtime ran
+    /// with [`StealPolicy::Deep`](crate::StealPolicy::Deep). After a
+    /// clean shutdown the conservation law `retired == reclaimed`
+    /// (pending zero) must hold: the runtime drained the domain with
+    /// no guards left alive.
+    pub hazard: Option<sdrad_nolock::HazardStats>,
     /// The telemetry layer's closed books — snapshot plus drained
     /// flight-recorder log — `None` when the runtime ran with
     /// [`TelemetryConfig::Off`](crate::TelemetryConfig).
@@ -252,6 +259,34 @@ impl RuntimeStats {
     #[must_use]
     pub fn reaped(&self) -> u64 {
         self.workers.iter().map(|w| w.reaped).sum()
+    }
+
+    /// Stolen reads served against a victim's hazard-protected read
+    /// view (the owner's live shard state) across all thieves — a
+    /// subset of `conn_steals`.
+    #[must_use]
+    pub fn shared_reads(&self) -> u64 {
+        self.workers.iter().map(|w| w.shared_reads).sum()
+    }
+
+    /// Read views published (and republished) across all workers.
+    #[must_use]
+    pub fn views_published(&self) -> u64 {
+        self.workers.iter().map(|w| w.views_published).sum()
+    }
+
+    /// Domains handed to teardown by rebuild/restart rungs across all
+    /// workers.
+    #[must_use]
+    pub fn domains_retired(&self) -> u64 {
+        self.workers.iter().map(|w| w.domains_retired).sum()
+    }
+
+    /// Domains actually torn down (synchronously or by amortized
+    /// reclaim steps) across all workers.
+    #[must_use]
+    pub fn domains_reclaimed(&self) -> u64 {
+        self.workers.iter().map(|w| w.domains_reclaimed).sum()
     }
 
     /// Escalation-ladder decisions that stopped at the rewind rung,
@@ -400,6 +435,12 @@ impl RuntimeStats {
             // Arena books balance: every acquire was satisfied either by
             // recycled storage or by a fresh heap allocation.
             && self.arena_acquires() == self.arena_reuses() + self.arena_fresh_allocs()
+            // Shared reads are a subset of connection-buffer steals
+            // (every one travelled the deep-steal path).
+            && self.shared_reads() <= self.conn_steals()
+            // The hazard domain's books, when deep stealing ran: after
+            // the shutdown drain every retired view was reclaimed.
+            && self.hazard.as_ref().is_none_or(|h| h.conserves() && h.pending == 0)
             // The control plane's books, when it ran: its own
             // billed-vs-counted invariant holds, and the rungs the
             // plane decided are exactly the rungs the workers executed
@@ -556,6 +597,7 @@ mod tests {
             conn_stolen: 0,
             shed_latency: LatencyHistogram::new(),
             control: None,
+            hazard: None,
             telemetry: None,
             wall: Duration::from_secs(2),
         }

@@ -60,14 +60,14 @@ use std::time::{Duration, Instant};
 
 use sdrad_control::RecoveryRung;
 use sdrad_energy::restart::RestartModel;
-use sdrad_nolock::FrameBuf;
+use sdrad_nolock::{FrameBuf, HazardDomain, Shared};
 use sdrad_telemetry::{EventKind, LatencyHistogram, Recorder};
 
 use crate::control_hub::ControlHub;
-use crate::handler::{Framing, SessionHandler, StealClass};
+use crate::handler::{Framing, ReadView, Reply, SessionHandler, StealClass};
 use crate::isolation::WorkerIsolation;
 use crate::queue::{Completion, Disposition, Request, ShardQueue};
-use crate::runtime::{RuntimeConfig, Scheduling, StealPolicy};
+use crate::runtime::{RebuildMode, RuntimeConfig, Scheduling, StealPolicy};
 use crate::server::{ConnInbox, ConnRegistry, ConnTray, Connection, RoutedFrame};
 use crate::stats::LiveCounters;
 use crate::wake::WakeSet;
@@ -139,6 +139,25 @@ pub struct WorkerStats {
     /// (under [`StealPolicy::Queue`](crate::StealPolicy::Queue) it
     /// counts the hazard of classification-blind stealing).
     pub thief_mutations: u64,
+    /// Stolen reads this worker (as a thief) answered from a victim's
+    /// hazard-protected read view — i.e. against the **owner's live
+    /// shard state** — instead of its own shard. A subset of
+    /// `conn_steals`; the remainder fell back to own-shard serving
+    /// (nothing published yet, or a frame the view cannot answer).
+    pub shared_reads: u64,
+    /// Read views this worker published: the first publish plus every
+    /// republish after a state change or pool rebuild moved the
+    /// `(pool generation, state version)` stamp.
+    pub views_published: u64,
+    /// Domains this worker's rebuild/restart rungs handed to teardown —
+    /// the retire side of the reclamation books.
+    pub domains_retired: u64,
+    /// Domains actually torn down, synchronously or by amortized
+    /// reclaim steps.
+    pub domains_reclaimed: u64,
+    /// Domains still awaiting reclaim steps when the worker exited
+    /// (zero after a clean shutdown drain).
+    pub domains_pending: u64,
     /// Stranded-request stalls: budget deferrals that left
     /// framing-complete requests waiting in a connection buffer while
     /// at least one sibling worker sat parked — capacity wasted by a
@@ -208,6 +227,8 @@ impl WorkerStats {
             && self.contained_faults == self.contained_latency.len()
             && self.contained_faults == self.rewind_latency.len()
             && self.ok == self.ok_latency.len()
+            && self.domains_retired == self.domains_reclaimed + self.domains_pending
+            && self.shared_reads <= self.conn_steals
     }
 }
 
@@ -221,6 +242,31 @@ struct PumpOutcome {
     /// frame buffered — the worker must come back (after giving other
     /// ready connections their turn).
     more: bool,
+}
+
+/// What one shard publishes for hazard-protected shared reads: the
+/// handler's frozen [`ReadView`] stamped with the pool generation and
+/// state version it was frozen at. Thieves read the whole value under
+/// one hazard guard, so a stamp never mismatches its view.
+pub(crate) struct ShardView {
+    /// `WorkerIsolation::pool_generation` at publish time.
+    pub(crate) pool_generation: u64,
+    /// `SessionHandler::state_version` at publish time.
+    pub(crate) version: u64,
+    /// The frozen view (`None` before the first publish, or for
+    /// handlers that publish none).
+    pub(crate) view: Option<Box<dyn ReadView>>,
+}
+
+impl ShardView {
+    /// The pre-publish placeholder every cell starts from.
+    pub(crate) fn empty() -> Self {
+        ShardView {
+            pool_generation: 0,
+            version: 0,
+            view: None,
+        }
+    }
 }
 
 /// The channels one worker serves: its own queue, connection inbox,
@@ -258,6 +304,14 @@ pub(crate) struct ShardChannels {
     /// The live-counter mailbox `Runtime::stats_snapshot` reads; the
     /// worker flushes its counters here once per pump pass.
     pub(crate) live: Arc<LiveCounters>,
+    /// The runtime-wide hazard domain published read views retire
+    /// through (`Some` only under
+    /// [`StealPolicy::Deep`](crate::StealPolicy::Deep)).
+    pub(crate) hazard: Option<Arc<HazardDomain>>,
+    /// Every shard's published read view, **self included**, indexed by
+    /// shard — hazard-protected so thieves read a victim's live shard
+    /// state without locks. Empty unless the policy is deep.
+    pub(crate) view_cells: Vec<Arc<Shared<ShardView>>>,
 }
 
 /// One worker: drains its shard queue and pumps its connections until
@@ -285,6 +339,21 @@ pub struct Worker<H: SessionHandler> {
     recorder: Recorder,
     /// See [`ShardChannels::live`].
     live: Arc<LiveCounters>,
+    /// See [`ShardChannels::hazard`].
+    hazard: Option<Arc<HazardDomain>>,
+    /// See [`ShardChannels::view_cells`].
+    view_cells: Vec<Arc<Shared<ShardView>>>,
+    /// The `(pool generation, state version)` stamp of the view this
+    /// worker last published — republish only when it moves.
+    published: Option<(u64, u64)>,
+    /// Highest view stamp observed per victim shard. Publishes only
+    /// move stamps forward, so a backwards step would mean a shared
+    /// read landed on a retired (reclaimed-and-stale) view — the
+    /// use-after-free the hazard protocol exists to prevent.
+    view_stamps: Vec<(u64, u64)>,
+    /// How the pool-rebuild rung executes: stop-the-world teardown or
+    /// publish-new/retire-old.
+    rebuild: RebuildMode,
     /// This worker's shard index as the event-field width.
     shard_u16: u16,
     /// Token-addressed connection slab; `None` slots are free.
@@ -338,6 +407,11 @@ impl<H: SessionHandler> Worker<H> {
             control: channels.control,
             recorder: channels.recorder,
             live: channels.live,
+            hazard: channels.hazard,
+            view_stamps: vec![(0, 0); channels.view_cells.len()],
+            view_cells: channels.view_cells,
+            published: None,
+            rebuild: config.rebuild,
             shard_u16: u16::try_from(index).unwrap_or(u16::MAX),
             conns: Vec::new(),
             free_tokens: Vec::new(),
@@ -368,9 +442,15 @@ impl<H: SessionHandler> Worker<H> {
             Scheduling::Polling => self.run_polling(),
         }
         self.drain();
+        // Close the reclamation books: drain the deferred teardown
+        // queue so a clean exit leaves nothing pending.
+        while self.iso.reclaim_step(16) > 0 {}
         self.stats.shed = self.queue.shed();
         self.stats.domains_created = self.iso.domains_created();
         self.stats.manager_rewinds = self.iso.rewinds();
+        self.stats.domains_retired = self.iso.domains_retired();
+        self.stats.domains_reclaimed = self.iso.domains_reclaimed();
+        self.stats.domains_pending = self.iso.pending_domains() as u64;
         self.stats.parks = self.wakes.parks();
         self.stats.wakeups = self.wakes.wakeups();
         let arena = sdrad_nolock::arena::thread_stats();
@@ -403,6 +483,11 @@ impl<H: SessionHandler> Worker<H> {
                 // tick per pass, zero ticks while the shard is idle.
                 hub.tick();
             }
+            // Amortized teardown: a couple of retired domains go per
+            // pass, so a deferred rebuild's cost never lands on one
+            // request. Cheap no-op when nothing is pending.
+            self.iso.reclaim_step(2);
+            self.maybe_publish_view();
             let mut ready = signals.conns;
             ready.extend(self.adopt_connections());
 
@@ -462,6 +547,8 @@ impl<H: SessionHandler> Worker<H> {
         loop {
             self.flush_live();
             self.pass += 1;
+            self.iso.reclaim_step(2);
+            self.maybe_publish_view();
             self.adopt_connections();
             let pumped = self.pump_live_connections();
             self.reap_idle();
@@ -518,6 +605,7 @@ impl<H: SessionHandler> Worker<H> {
         loop {
             self.flush_live();
             self.pass += 1;
+            self.iso.reclaim_step(2);
             self.adopt_connections();
             let queued = self.queue.try_drain(self.batch);
             let drained_queue = !queued.is_empty();
@@ -993,7 +1081,10 @@ impl<H: SessionHandler> Worker<H> {
         // -- phase 2: serve the run, lock-free ----------------------------
         let served = batch.len();
         for payload in batch {
-            let reply = self.handler.handle(&mut self.iso, client, &payload);
+            let reply = match self.shared_read(victim, client, &payload) {
+                Some(reply) => reply,
+                None => self.handler.handle(&mut self.iso, client, &payload),
+            };
             tray.stream().write(&reply.response);
             self.account(client, &reply.disposition, elapsed_ns(arrived));
             self.stats.conn_served += 1;
@@ -1017,6 +1108,63 @@ impl<H: SessionHandler> Worker<H> {
         }
         tray.wake_owner();
         served
+    }
+
+    /// Publishes (or republishes) this shard's read view when the
+    /// `(pool generation, state version)` stamp moved since the last
+    /// publish. Readers are never waited on: the old view is *retired*
+    /// through the hazard domain and freed once the last reader guard
+    /// moves on. Called once per pump pass, so a read-heavy shard
+    /// publishes once and serves thieves for free; no-op without deep
+    /// stealing (no cells exist).
+    fn maybe_publish_view(&mut self) {
+        let Some(cell) = self.view_cells.get(self.index) else {
+            return;
+        };
+        let stamp = (self.iso.pool_generation(), self.handler.state_version());
+        if self.published == Some(stamp) {
+            return;
+        }
+        let view = self.handler.read_view();
+        cell.store(Box::new(ShardView {
+            pool_generation: stamp.0,
+            version: stamp.1,
+            view,
+        }));
+        self.published = Some(stamp);
+        self.stats.views_published += 1;
+    }
+
+    /// Tries to serve one stolen read against the victim's published
+    /// read view — the **owner's live shard state** — instead of this
+    /// worker's own shard. `None` (no deep-steal cells, nothing
+    /// published yet, or a frame the view cannot answer) falls back to
+    /// the thief's own handler: the pre-view behaviour with its honest
+    /// cache-miss semantics.
+    fn shared_read(
+        &mut self,
+        victim: usize,
+        client: sdrad::ClientId,
+        request: &[u8],
+    ) -> Option<Reply> {
+        let cell = self.view_cells.get(victim)?;
+        let domain = self.hazard.as_ref()?;
+        let mut guard = domain.guard();
+        let view = cell.load(&mut guard);
+        // Publishes only move a shard's stamp forward; observing a
+        // rollback would mean this read landed on a retired view.
+        let stamp = (view.pool_generation, view.version);
+        debug_assert!(
+            stamp >= self.view_stamps[victim],
+            "shared read observed a rolled-back view stamp"
+        );
+        self.view_stamps[victim] = stamp;
+        let reply = view.view.as_ref()?.serve_read(client, request)?;
+        // The reply is owned, so the guard — and with it the borrow of
+        // the protected view — drops before the books are touched.
+        drop(guard);
+        self.stats.shared_reads += 1;
+        Some(reply)
     }
 
     /// Counts a budget deferral that stranded complete frames while a
@@ -1303,7 +1451,29 @@ impl<H: SessionHandler> Worker<H> {
                 self.stats.ladder_rewinds += 1;
             }
             Some(RecoveryRung::PoolRebuild) => {
-                self.iso.rebuild_pool();
+                match self.rebuild {
+                    // Zero-pause rung: publish a fresh pool, retire the
+                    // old one; teardown is amortized over later passes
+                    // by `reclaim_step` and billed as reclamation time
+                    // by the (deferred) rung models.
+                    RebuildMode::Deferred => self.iso.rebuild_pool_deferred(),
+                    RebuildMode::Synchronous => {
+                        self.iso.rebuild_pool();
+                        // Make the modeled stop-the-world window
+                        // physical: every request behind this one on
+                        // the shard really waits it out — the pause
+                        // e23 prices against publish-and-retire.
+                        let pause = hub.rung_models().time_of(
+                            RecoveryRung::PoolRebuild,
+                            0,
+                            self.domains_per_worker,
+                        );
+                        let started = Instant::now();
+                        while started.elapsed() < pause {
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
                 self.stats.pool_rebuilds += 1;
             }
             Some(RecoveryRung::WorkerRestart) => {

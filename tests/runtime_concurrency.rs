@@ -94,3 +94,103 @@ fn concurrent_attack_contained_and_fed_into_fleet_models() {
         "one protected server beats the redundant pair on energy"
     );
 }
+
+#[test]
+fn pool_rebuilds_race_deep_steals_and_every_ledger_closes() {
+    // The cross-case the hazard protocol exists for: an offender climbs
+    // the escalation ladder to repeated *deferred* pool rebuilds on the
+    // hot shard while an idle sibling deep-steals read frames off that
+    // same shard's connection buffers. Whatever interleaving the race
+    // produces, responses stay complete and in frame order, mutations
+    // stay on the owner, and the reclamation books reconcile exactly.
+    use sdrad_repro::net::{duplex, Endpoint};
+    use sdrad_repro::runtime::{
+        ControlConfig, LadderParams, RebuildMode, ReputationParams, StealPolicy,
+    };
+
+    let mut config = RuntimeConfig::new(2, IsolationMode::PerClientDomain);
+    config.work_stealing = StealPolicy::Deep;
+    config.rebuild = RebuildMode::Deferred;
+    config.queue_capacity = 4096;
+    config.batch = 16;
+    config.conn_read_budget = 4;
+    // Scores the offender can never reach: it is neither quarantined
+    // nor banned, so every third consecutive fault rebuilds the pool
+    // right on the shard the thief is stealing from.
+    config.control = Some(ControlConfig {
+        reputation: ReputationParams {
+            half_life_ns: 60_000_000_000,
+            throttle_score: 1e12,
+            quarantine_score: 1e15,
+            ban_score: 1e18,
+            throttle_rate_per_sec: 1e9,
+            throttle_burst: 1e9,
+        },
+        ladder: LadderParams {
+            pool_after: 3,
+            restart_after_rebuilds: 1_000_000,
+        },
+        ..ControlConfig::default()
+    });
+    let runtime = Runtime::start(config, |_| KvHandler::default());
+    let shard0: Vec<ClientId> = (0u64..)
+        .map(ClientId)
+        .filter(|c| runtime.shard_of(*c) == 0)
+        .take(5)
+        .collect();
+    let (pin, offender) = (shard0[0], shard0[1]);
+
+    // A mutation backlog pins the owner, with an attack every 50 frames
+    // climbing the ladder while the backlog drains.
+    for i in 0..1500 {
+        if i % 50 == 0 {
+            assert!(runtime.submit_detached(offender, b"xstat 65536 4\r\nboom\r\n".to_vec()));
+        }
+        assert!(runtime.submit_detached(pin, b"set pin 2\r\nok\r\n".to_vec()));
+    }
+
+    // Get-only pipelines sit in the hot shard's connection buffers for
+    // the idle sibling to lift mid-rebuild.
+    let mut conns: Vec<(Endpoint, Vec<u8>)> = Vec::new();
+    for &client_id in &shard0[2..] {
+        let (mut client, server) = duplex();
+        runtime.attach(client_id, server);
+        let mut burst = Vec::new();
+        let mut expected = Vec::new();
+        for i in 0..96 {
+            burst.extend_from_slice(format!("get miss-{i}\r\n").as_bytes());
+            expected.extend_from_slice(b"END\r\n");
+        }
+        client.write(&burst);
+        conns.push((client, expected));
+    }
+
+    assert!(runtime.quiesce(), "barrier must observe the drain");
+    for (client, expected) in &mut conns {
+        assert_eq!(
+            client.read_available(),
+            *expected,
+            "stolen reads answer completely through the rebuild race"
+        );
+    }
+    let stats = runtime.shutdown();
+
+    assert!(stats.pool_rebuilds() > 0, "pool rung engaged: {stats:?}");
+    assert_eq!(stats.thief_mutations(), 0, "no mutation ran on a thief");
+    assert!(
+        stats.domains_retired() > 0,
+        "deferred rebuilds retired live domains"
+    );
+    assert_eq!(
+        stats.domains_retired(),
+        stats.domains_reclaimed(),
+        "every retired domain was reclaimed by shutdown"
+    );
+    let hazard = stats
+        .hazard
+        .as_ref()
+        .expect("deep stealing runs a hazard domain");
+    assert!(hazard.conserves(), "hazard books: {hazard:?}");
+    assert_eq!(hazard.pending, 0, "no view outlived the runtime");
+    assert!(stats.reconciles(), "books balance: {stats:?}");
+}

@@ -61,10 +61,46 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = self.size.pick(rng);
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first (most aggressive): cut to the
+        // minimum length, halve, then drop single elements — enough to
+        // localize which ops in a schedule actually matter.
+        if value.len() > self.size.min {
+            out.push(value[..self.size.min].to_vec());
+            let half = self.size.min.max(value.len() / 2);
+            if half < value.len() && half > self.size.min {
+                out.push(value[..half].to_vec());
+            }
+            let mut removals = vec![value.len() - 1];
+            if value.len() > 1 {
+                removals.push(0);
+                removals.push(value.len() / 2);
+            }
+            removals.dedup();
+            for index in removals {
+                let mut next = value.clone();
+                next.remove(index);
+                out.push(next);
+            }
+        }
+        // Then element-wise shrinks, position by position.
+        for (index, element) in value.iter().enumerate() {
+            for candidate in self.element.shrink(element) {
+                let mut next = value.clone();
+                next[index] = candidate;
+                out.push(next);
+            }
+        }
+        out
     }
 }

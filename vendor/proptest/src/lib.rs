@@ -8,9 +8,14 @@
 //!
 //! Differences from real proptest, by design:
 //!
-//! * **No shrinking.** A failing case panics with the generated inputs
-//!   unshrunk (cases are deterministic per test name, so failures still
-//!   reproduce exactly).
+//! * **Greedy bounded shrinking.** A failing case is minimized by
+//!   re-running the body against [`Strategy::shrink`] candidates (a
+//!   bounded number of probes, greedily taking the first candidate that
+//!   still fails), then the test panics with the *minimal* failing
+//!   input. `prop_map` outputs don't shrink (the mapping can't be
+//!   inverted), but the collection/range/tuple layers around them do —
+//!   a `vec(...)` of mapped ops still shrinks by dropping and
+//!   truncating ops.
 //! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of
 //!   returning a `TestCaseError`.
 //! * String strategies support the character-class-with-repetition
@@ -93,6 +98,15 @@ pub trait Strategy {
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes strictly-simpler candidates for a value this strategy
+    /// generated, most aggressive first. An empty vector means the
+    /// value cannot shrink further. The default is no shrinking —
+    /// combinators that can't invert their transformation (`prop_map`)
+    /// keep it.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -151,12 +165,16 @@ pub trait Strategy {
 trait DynStrategy {
     type Value;
     fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+    fn dyn_shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
 }
 
 impl<S: Strategy> DynStrategy for S {
     type Value = S::Value;
     fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
+    }
+    fn dyn_shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -173,6 +191,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         self.0.dyn_generate(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.dyn_shrink(value)
     }
 }
 
@@ -221,6 +242,15 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
             self.reason
         );
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Inner shrinks that still satisfy the filter — a candidate
+        // outside the filtered domain would be a spurious minimum.
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|candidate| (self.pred)(candidate))
+            .collect()
+    }
 }
 
 /// See [`Strategy::prop_recursive`].
@@ -239,6 +269,11 @@ impl<T> Strategy for Recursive<T> {
             strategy = (self.expand)(strategy);
         }
         strategy.generate(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // The base strategy is the depth-0 case: whatever it can do for
+        // this value is a flattening step.
+        self.base.shrink(value)
     }
 }
 
@@ -262,9 +297,36 @@ impl<T> Strategy for Union<T> {
         let pick = rng.below(self.options.len() as u64) as usize;
         self.options[pick].generate(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // Which arm generated the value isn't tracked; every arm's
+        // candidates are valid values of the union type, and the runner
+        // only keeps ones that still fail.
+        self.options
+            .iter()
+            .flat_map(|option| option.shrink(value))
+            .collect()
+    }
 }
 
 // ------------------------------------------------------- std strategies
+
+/// Candidates for shrinking an integer toward the low end of its
+/// range: the floor itself, the halfway point, and one step down.
+fn shrink_toward<T: Copy>(start: i128, value: i128, narrow: impl Fn(i128) -> T) -> Vec<T> {
+    if value <= start {
+        return Vec::new();
+    }
+    let mut out = vec![narrow(start)];
+    let half = start + (value - start) / 2;
+    if half != start && half != value {
+        out.push(narrow(half));
+    }
+    let step = value - 1;
+    if step != start && step != half {
+        out.push(narrow(step));
+    }
+    out
+}
 
 macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
@@ -275,6 +337,9 @@ macro_rules! int_range_strategy {
                 let span = (self.end as u128).wrapping_sub(self.start as u128);
                 let draw = (u128::from(rng.next_u64()) % span) as $t;
                 self.start.wrapping_add(draw)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *value as i128, |v| v as $t)
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -289,6 +354,9 @@ macro_rules! int_range_strategy {
                 let draw = (u128::from(rng.next_u64()) % span) as $t;
                 start.wrapping_add(draw)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as i128, *value as i128, |v| v as $t)
+            }
         }
     )*};
 }
@@ -301,6 +369,13 @@ impl Strategy for Range<f64> {
         assert!(self.start < self.end, "empty range strategy");
         self.start + rng.unit_f64() * (self.end - self.start)
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        // NaN has no ordering, so it is unshrinkable by construction.
+        if value.partial_cmp(&self.start) != Some(core::cmp::Ordering::Greater) {
+            return Vec::new();
+        }
+        vec![self.start, self.start + (*value - self.start) / 2.0]
+    }
 }
 
 impl Strategy for Range<f32> {
@@ -309,14 +384,43 @@ impl Strategy for Range<f32> {
         assert!(self.start < self.end, "empty range strategy");
         self.start + (rng.unit_f64() as f32) * (self.end - self.start)
     }
+    fn shrink(&self, value: &f32) -> Vec<f32> {
+        // NaN has no ordering, so it is unshrinkable by construction.
+        if value.partial_cmp(&self.start) != Some(core::cmp::Ordering::Greater) {
+            return Vec::new();
+        }
+        vec![self.start, self.start + (*value - self.start) / 2.0]
+    }
+}
+
+/// The empty-binding case of the [`proptest!`] runner tuple.
+impl Strategy for () {
+    type Value = ();
+    fn generate(&self, _rng: &mut TestRng) -> Self::Value {}
 }
 
 macro_rules! tuple_strategy {
     ($(($name:ident $idx:tt))+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component shrinks at a time, the others held
+                // fixed — the runner keeps whichever candidate fails.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
@@ -330,6 +434,8 @@ tuple_strategy!((A 0) (B 1) (C 2) (D 3) (E 4));
 tuple_strategy!((A 0) (B 1) (C 2) (D 3) (E 4) (F 5));
 tuple_strategy!((A 0) (B 1) (C 2) (D 3) (E 4) (F 5) (G 6));
 tuple_strategy!((A 0) (B 1) (C 2) (D 3) (E 4) (F 5) (G 6) (H 7));
+tuple_strategy!((A 0) (B 1) (C 2) (D 3) (E 4) (F 5) (G 6) (H 7) (I 8));
+tuple_strategy!((A 0) (B 1) (C 2) (D 3) (E 4) (F 5) (G 6) (H 7) (I 8) (J 9));
 
 impl Strategy for &'static str {
     type Value = String;
@@ -358,6 +464,25 @@ macro_rules! arbitrary_int {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Toward zero from either side: zero, the halfway
+                // point (integer division truncates toward zero), one
+                // step closer.
+                let v = *value as i128;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0 as $t];
+                let half = v / 2;
+                if half != 0 {
+                    out.push(half as $t);
+                }
+                let step = v - v.signum();
+                if step != 0 && step != half {
+                    out.push(step as $t);
+                }
+                out
+            }
         }
         impl Arbitrary for $t {
             type Strategy = Any<$t>;
@@ -374,6 +499,13 @@ impl Strategy for Any<bool> {
     type Value = bool;
     fn generate(&self, rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -397,6 +529,15 @@ impl Strategy for Any<f64> {
             _ => f64::from_bits(rng.next_u64()),
         }
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        // `NaN != 0.0` holds, so even NaN offers the zero candidate —
+        // the runner discards it unless the property still fails.
+        if *value == 0.0 {
+            Vec::new()
+        } else {
+            vec![0.0]
+        }
+    }
 }
 
 impl Arbitrary for f64 {
@@ -410,6 +551,13 @@ impl Strategy for Any<f32> {
     type Value = f32;
     fn generate(&self, rng: &mut TestRng) -> f32 {
         f32::from_bits(rng.next_u64() as u32)
+    }
+    fn shrink(&self, value: &f32) -> Vec<f32> {
+        if *value == 0.0 {
+            Vec::new()
+        } else {
+            vec![0.0]
+        }
     }
 }
 
@@ -456,6 +604,87 @@ thread_local! {
     pub static REJECTS: RefCell<u32> = const { RefCell::new(0) };
 }
 
+// -------------------------------------------------------------- runner
+
+/// Runs one property test: `config.cases` generated cases, and on the
+/// first failure a greedy bounded shrink pass before panicking with the
+/// minimal failing input. Called by the [`proptest!`] macro — the
+/// strategies are packed into one tuple so the whole input shrinks as a
+/// unit.
+pub fn run_cases<S, F>(config: &ProptestConfig, name: &str, strategy: S, body: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    for _case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        let Some(payload) = failure_of(&body, value.clone()) else {
+            continue;
+        };
+        // The original failure already printed its panic message; keep
+        // the hook quiet while probing shrink candidates so dozens of
+        // speculative re-runs don't bury it. (The hook is process-wide:
+        // a concurrently failing test may lose its message during this
+        // window — cosmetic, and the window is bounded.)
+        let previous_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let minimal = minimize(&strategy, value, |candidate| {
+            failure_of(&body, candidate).is_some()
+        });
+        std::panic::set_hook(previous_hook);
+        panic!(
+            "proptest case for `{name}` failed\nminimal failing input (after shrinking): {minimal:#?}\noriginal failure: {}",
+            panic_text(payload.as_ref()),
+        );
+    }
+}
+
+/// Greedily minimizes `failing` against `is_failure`, taking the first
+/// shrink candidate that still fails and restarting from it, under a
+/// global probe budget (shrinking must terminate even when a strategy
+/// proposes many candidates per step).
+pub fn minimize<S, F>(strategy: &S, mut failing: S::Value, mut is_failure: F) -> S::Value
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> bool,
+{
+    let mut budget = 512u32;
+    'descend: loop {
+        for candidate in strategy.shrink(&failing) {
+            if budget == 0 {
+                return failing;
+            }
+            budget -= 1;
+            if is_failure(candidate.clone()) {
+                failing = candidate;
+                continue 'descend;
+            }
+        }
+        return failing;
+    }
+}
+
+/// Runs `body(value)` and captures its panic, if any. `prop_assume!`
+/// rejections return `Ok`-like (a rejected case is not a failure).
+fn failure_of<F, V>(body: &F, value: V) -> Option<Box<dyn std::any::Any + Send>>
+where
+    F: Fn(V) -> Result<(), TestCaseError>,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value))).err()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
 // -------------------------------------------------------------- macros
 
 /// Declares property tests: each function runs its body once per
@@ -481,23 +710,22 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
-                let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
-                for __case in 0..__config.cases {
-                    let _ = __case;
-                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut __rng);)*
-                    // The body runs in a closure returning `Result` so
-                    // `return Ok(())` and `prop_assume!` rejections work
-                    // like real proptest's TestCaseResult; assertion
-                    // macros panic directly instead of returning `Err`.
-                    #[allow(clippy::redundant_closure_call)]
-                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                // All bindings pack into one tuple strategy so the
+                // runner can shrink a failing case as a unit. The body
+                // runs in a `Fn` closure returning `Result` so `return
+                // Ok(())` and `prop_assume!` rejections work like real
+                // proptest's TestCaseResult — and so the shrinker can
+                // re-invoke it on candidate inputs; assertion macros
+                // panic directly instead of returning `Err`.
+                $crate::run_cases(
+                    &__config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    ($( ($strategy), )*),
+                    |($($pat,)*)| -> ::std::result::Result<(), $crate::TestCaseError> {
                         $body
                         Ok(())
-                    })();
-                    match __outcome {
-                        Ok(()) | Err($crate::TestCaseError::Reject) => {}
-                    }
-                }
+                    },
+                );
             }
         )*
     };
@@ -570,5 +798,71 @@ mod tests {
             prop_assert!(!s.is_empty() && s.len() <= 8);
             prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
         }
+    }
+
+    #[test]
+    fn integers_minimize_to_the_failure_threshold() {
+        // The property "v < 37" fails for 37..1000; greedy descent must
+        // land exactly on the smallest counterexample.
+        let strategy = 0u64..1000;
+        let minimal = crate::minimize(&strategy, 912, |v| v >= 37);
+        assert_eq!(minimal, 37);
+    }
+
+    #[test]
+    fn vectors_drop_irrelevant_elements() {
+        // Failure depends only on containing a 9: everything else is
+        // noise the shrinker must strip, down to the single witness.
+        let strategy = prop::collection::vec(0u8..10, 0..64);
+        let failing = vec![3, 9, 1, 4, 9, 2, 8, 7];
+        let minimal = crate::minimize(&strategy, failing, |v| v.contains(&9));
+        assert_eq!(minimal, vec![9]);
+    }
+
+    #[test]
+    fn vector_minimum_length_is_respected() {
+        let strategy = prop::collection::vec(0u8..10, 3..64);
+        let minimal = crate::minimize(&strategy, vec![5, 5, 5, 5, 5, 5], |v| v.len() >= 3);
+        assert_eq!(minimal.len(), 3, "shrinking never violates the size floor");
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let strategy = (0u32..100, 0u32..100);
+        let minimal = crate::minimize(&strategy, (70, 80), |(a, b)| a >= 10 && b >= 20);
+        assert_eq!(minimal, (10, 20));
+    }
+
+    #[test]
+    fn filtered_shrinks_stay_inside_the_filter() {
+        let strategy = (0u64..1000).prop_filter("even only", |v| v % 2 == 0);
+        let minimal = crate::minimize(&strategy, 800, |v| v % 2 == 0 && v >= 37);
+        // Greedy descent over even-only candidates: the exact floor
+        // depends on the halving path, but the result must stay even
+        // (inside the filter), still failing, and far below the start.
+        assert!(minimal % 2 == 0 && (37..100).contains(&minimal));
+    }
+
+    #[test]
+    fn a_failing_case_reports_the_minimal_input() {
+        let config = ProptestConfig::with_cases(16);
+        let outcome = std::panic::catch_unwind(|| {
+            crate::run_cases(&config, "shrink::reporting", (0u64..1000,), |(v,)| {
+                assert!(v < 5, "boom at {v}");
+                Ok(())
+            });
+        });
+        let payload = outcome.expect_err("the property must fail");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("formatted panic message");
+        assert!(
+            message.contains("minimal failing input"),
+            "report names the shrunk input: {message}"
+        );
+        assert!(
+            message.contains("5"),
+            "greedy descent reaches the boundary: {message}"
+        );
     }
 }

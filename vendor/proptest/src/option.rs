@@ -22,4 +22,12 @@ impl<S: Strategy> Strategy for OptionStrategy<S> {
             Some(self.inner.generate(rng))
         }
     }
+    fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+        match value {
+            None => Vec::new(),
+            Some(inner) => std::iter::once(None)
+                .chain(self.inner.shrink(inner).into_iter().map(Some))
+                .collect(),
+        }
+    }
 }

@@ -21,6 +21,16 @@ impl Strategy for Any<Index> {
     fn generate(&self, rng: &mut TestRng) -> Index {
         Index(rng.next_u64())
     }
+    fn shrink(&self, value: &Index) -> Vec<Index> {
+        if value.0 == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![Index(0)];
+        if value.0 > 1 {
+            out.push(Index(value.0 / 2));
+        }
+        out
+    }
 }
 
 impl Arbitrary for Index {
