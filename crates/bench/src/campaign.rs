@@ -87,13 +87,12 @@ pub struct Cell {
     pub wall: Duration,
 }
 
-/// Drives the identical seeded campaign through one runtime. The
-/// producer runs full speed; bounded queues and (adaptive cell)
-/// admission control decide what survives. `telemetry` turns the
-/// flight recorder on without touching anything else, so traced and
-/// untraced cells stay comparable.
+/// The campaign cell's runtime configuration. Split out from
+/// [`run_cell`] so variants that layer extra config on top (the
+/// streaming-telemetry cells in [`crate::streaming`]) provably start
+/// from the same runtime as every other harness.
 #[must_use]
-pub fn run_cell(control: Option<ControlConfig>, telemetry: TelemetryConfig, events: usize) -> Cell {
+pub fn cell_config(control: Option<ControlConfig>, telemetry: TelemetryConfig) -> RuntimeConfig {
     let mut config = RuntimeConfig::new(WORKERS, IsolationMode::PerClientDomain);
     config.queue_capacity = QUEUE_CAPACITY;
     // Small domain heaps: the xstat exploit (declared 64 KB) still
@@ -103,6 +102,24 @@ pub fn run_cell(control: Option<ControlConfig>, telemetry: TelemetryConfig, even
     config.domain_heap = 32 * 1024;
     config.control = control;
     config.telemetry = telemetry;
+    config
+}
+
+/// Drives the identical seeded campaign through one runtime. The
+/// producer runs full speed; bounded queues and (adaptive cell)
+/// admission control decide what survives. `telemetry` turns the
+/// flight recorder on without touching anything else, so traced and
+/// untraced cells stay comparable.
+#[must_use]
+pub fn run_cell(control: Option<ControlConfig>, telemetry: TelemetryConfig, events: usize) -> Cell {
+    drive_campaign(cell_config(control, telemetry), events)
+}
+
+/// Replays the seeded campaign against an already-built configuration —
+/// the producer loop every cell shares, regardless of which knobs the
+/// caller layered on top of [`cell_config`].
+#[must_use]
+pub fn drive_campaign(config: RuntimeConfig, events: usize) -> Cell {
     let runtime = Runtime::start(config, |_| sdrad_runtime::KvHandler::default());
 
     let mut mix = HostileMix::new(SEED, campaign_config());

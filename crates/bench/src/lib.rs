@@ -19,6 +19,7 @@
 pub mod campaign;
 pub mod rebuild;
 pub mod report;
+pub mod streaming;
 
 use std::time::{Duration, Instant};
 

@@ -78,6 +78,10 @@ pub enum Decision {
     Admission(Admission),
     /// An escalation-ladder decision (on a fault).
     Ladder(RecoveryRung),
+    /// A telemetry-evidence decision: this many trace-observed faults
+    /// arrived as one windowed spike from the streaming collector and
+    /// were scored against the client.
+    Evidence(u64),
 }
 
 /// Decision counts per family — the "counted" side of the books.
@@ -99,6 +103,8 @@ pub struct DecisionCounts {
     pub pool_rebuilds: u64,
     /// Ladder decisions that escalated to a worker restart.
     pub worker_restarts: u64,
+    /// Telemetry-evidence decisions (windowed fault spikes scored).
+    pub evidence: u64,
 }
 
 impl DecisionCounts {
@@ -113,6 +119,7 @@ impl DecisionCounts {
             + self.rewinds
             + self.pool_rebuilds
             + self.worker_restarts
+            + self.evidence
     }
 
     /// Admission decisions that refused work (any reason).
@@ -286,6 +293,22 @@ impl ControlPlane {
         rung
     }
 
+    /// Telemetry-side corroborating evidence against `client`: `faults`
+    /// trace-observed faults arriving as one windowed spike from the
+    /// streaming collector. Scored into the reputation book with the
+    /// same decay as per-request faults (see
+    /// [`ReputationBook::observe_evidence`]); counted and logged like
+    /// every other decision, so the books still reconcile. A zero-fault
+    /// report is a no-op — not a decision, not logged.
+    pub fn observe_evidence(&mut self, client: u64, faults: u64, now_ns: u64) {
+        if faults == 0 {
+            return;
+        }
+        self.book.observe_evidence(client, faults, now_ns);
+        self.counts.evidence += 1;
+        self.log(now_ns, client, Decision::Evidence(faults));
+    }
+
     /// One control-loop tick: prunes decayed reputation records (the
     /// memory bound for long runs). Wired into the runtime's wake
     /// machinery; harmless to call at any cadence — the
@@ -417,6 +440,9 @@ impl ControlReport {
             .add(self.counts.quarantines);
         registry.counter("control.denies").add(self.counts.denies);
         registry
+            .counter("control.evidence_reports")
+            .add(self.counts.evidence);
+        registry
             .counter("control.clients_quarantined")
             .add(self.quarantined_clients.len() as u64);
         registry
@@ -510,6 +536,51 @@ mod tests {
             plane.decision_log().to_vec()
         };
         assert_eq!(drive(), drive(), "identical inputs, identical decisions");
+    }
+
+    #[test]
+    fn telemetry_evidence_accelerates_the_ban_and_still_reconciles() {
+        // Two identical attack streams; one plane also receives the
+        // trace-side spikes. The fed plane must deny strictly earlier.
+        let drive = |telemetry_fed: bool| {
+            let mut plane = plane();
+            let mut now = 0u64;
+            let mut faults_before_deny = 0u64;
+            let mut pending_spike = 0u64;
+            for _ in 0..400 {
+                now += MS / 10;
+                match plane.admit(666, now) {
+                    Admission::Deny => break,
+                    Admission::Admit | Admission::Quarantine => {
+                        plane.observe_fault(0, 666, 200_000, now, 1 << 20, 8);
+                        faults_before_deny += 1;
+                        pending_spike += 1;
+                        // The collector reports windowed spikes of 4.
+                        if telemetry_fed && pending_spike >= 4 {
+                            plane.observe_evidence(666, pending_spike, now);
+                            pending_spike = 0;
+                        }
+                    }
+                    Admission::ShedThrottle | Admission::ShedOverload => {}
+                }
+            }
+            let report = plane.report(&PowerModel::rack_server());
+            assert!(report.reconciles(), "evidence is counted and logged");
+            (faults_before_deny, report)
+        };
+        let (books_only, baseline) = drive(false);
+        let (fed, fed_report) = drive(true);
+        assert!(baseline.counts.evidence == 0);
+        assert!(fed_report.counts.evidence > 0);
+        assert_eq!(fed_report.banned_clients, vec![666]);
+        assert!(
+            fed < books_only,
+            "telemetry-fed admission must ban earlier ({fed} vs {books_only} faults absorbed)"
+        );
+        // Zero-fault evidence is not a decision.
+        let mut plane = plane();
+        plane.observe_evidence(1, 0, MS);
+        assert_eq!(plane.report(&PowerModel::rack_server()).counts.total(), 0);
     }
 
     #[test]

@@ -106,9 +106,11 @@ impl ReputationBook {
         record.score * 0.5_f64.powf(half_lives)
     }
 
-    /// Records one fault attributed to `client` (contained fault,
-    /// secret leak, crash). Returns the new decayed score.
-    pub fn observe_fault(&mut self, client: u64, now_ns: u64) -> f64 {
+    /// Adds `weight` to `client`'s decayed score — the shared core of
+    /// [`observe_fault`](Self::observe_fault) and
+    /// [`observe_evidence`](Self::observe_evidence). Returns the new
+    /// decayed score and updates the quarantine/ban history sets.
+    fn add_score(&mut self, client: u64, weight: f64, now_ns: u64) -> f64 {
         let params = self.params;
         let record = self.clients.entry(client).or_insert(ClientRecord {
             score: 0.0,
@@ -121,7 +123,7 @@ impl ReputationBook {
             let half_lives = dt as f64 / params.half_life_ns.max(1) as f64;
             record.score * 0.5_f64.powf(half_lives)
         };
-        record.score = decayed + 1.0;
+        record.score = decayed + weight;
         record.scored_at_ns = now_ns;
         let score = record.score;
         if score >= params.ban_score {
@@ -130,6 +132,25 @@ impl ReputationBook {
             self.ever_quarantined.insert(client);
         }
         score
+    }
+
+    /// Records one fault attributed to `client` (contained fault,
+    /// secret leak, crash). Returns the new decayed score.
+    pub fn observe_fault(&mut self, client: u64, now_ns: u64) -> f64 {
+        self.add_score(client, 1.0, now_ns)
+    }
+
+    /// Records telemetry-side corroborating evidence against `client`:
+    /// `faults` trace-observed faults arriving as one windowed spike
+    /// from the streaming collector. Scored with the same unit weight
+    /// as per-request faults and the same decay, so a fault reported
+    /// through both channels counts twice — deliberate double-weighting
+    /// of clients whose fault *rate* spikes, which is what lets
+    /// telemetry-fed admission ban a burst attacker measurably earlier
+    /// than the per-request books alone. Returns the new decayed score.
+    pub fn observe_evidence(&mut self, client: u64, faults: u64, now_ns: u64) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        self.add_score(client, faults as f64, now_ns)
     }
 
     /// Records one normally-served request for `client`. Serving does
@@ -311,6 +332,32 @@ mod tests {
         assert!(book.take_token(9, now));
         assert!(book.take_token(9, now));
         assert!(!book.take_token(9, now));
+    }
+
+    #[test]
+    fn evidence_scores_like_a_batch_of_faults() {
+        let mut per_request = book();
+        let mut fed = book();
+        let mut now = 0u64;
+        for _ in 0..6 {
+            now += MS;
+            per_request.observe_fault(11, now);
+            fed.observe_fault(11, now);
+        }
+        // A windowed spike of 6 corroborating trace faults lands as one
+        // evidence report: the fed book is now ~2x the per-request one.
+        let fed_score = fed.observe_evidence(11, 6, now);
+        let base_score = per_request.score(11, now);
+        assert!(fed_score > 1.9 * base_score, "{fed_score} vs {base_score}");
+        assert_eq!(fed.standing(11, now), Standing::Quarantined);
+        assert_eq!(per_request.standing(11, now), Standing::Throttled);
+        assert_eq!(fed.ever_quarantined(), vec![11]);
+        // Zero-fault evidence is a no-op on the score.
+        let unchanged = fed.observe_evidence(11, 0, now);
+        assert!((unchanged - fed_score).abs() < 1e-9);
+        // Evidence decays exactly like fault score: forgiveness intact.
+        now += 4_000 * MS;
+        assert_eq!(fed.standing(11, now), Standing::Good);
     }
 
     #[test]

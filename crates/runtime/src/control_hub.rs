@@ -192,6 +192,25 @@ impl ControlHub {
         }
     }
 
+    /// Telemetry-side corroborating evidence: a windowed fault spike
+    /// from the streaming collector, scored against `client` through
+    /// [`ControlPlane::observe_evidence`]. The before/after standing
+    /// compare runs under the plane mutex like every fault observation,
+    /// so evidence-driven crossings are traced exactly once too.
+    pub(crate) fn observe_evidence(&self, shard: usize, client: ClientId, faults: u64) {
+        if faults == 0 {
+            return;
+        }
+        let now = self.now_ns();
+        let mut plane = self.plane.lock().expect("control lock");
+        let before = plane.standing(client.0, now);
+        plane.observe_evidence(client.0, faults, now);
+        let after = plane.standing(client.0, now);
+        if self.recorder.is_on() && after != before {
+            self.emit_crossing(shard, client, before, after);
+        }
+    }
+
     /// One control-loop tick (wired into the workers' wake passes).
     pub(crate) fn tick(&self) {
         let now = self.now_ns();

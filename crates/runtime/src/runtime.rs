@@ -13,8 +13,8 @@ use sdrad_energy::restart::RestartModel;
 use sdrad_net::Endpoint;
 use sdrad_nolock::{HazardDomain, Shared};
 use sdrad_telemetry::{
-    EventKind, LatencyHistogram, LogicalClock, MetricsRegistry, Recorder, ShedReason, Source,
-    TelemetryConfig, TelemetrySnapshot, TraceLog, TraceRing,
+    Collector, EventKind, LatencyHistogram, LogicalClock, MetricsRegistry, Recorder, ShedReason,
+    Source, StreamingConfig, TelemetryConfig, TelemetrySnapshot, TraceLog, TraceRing,
 };
 
 use crate::control_hub::{ControlHub, Routing};
@@ -174,6 +174,20 @@ pub struct RuntimeConfig {
     ///
     /// [`RuntimeStats::telemetry`]: crate::RuntimeStats::telemetry
     pub telemetry: TelemetryConfig,
+    /// Streaming telemetry (`None` by default; requires
+    /// [`telemetry`](Self::telemetry) enabled to have any effect). When
+    /// set, the runtime builds one in-process
+    /// [`Collector`](sdrad_telemetry::Collector) and every worker ships
+    /// it a [`DeltaFrame`](sdrad_telemetry::DeltaFrame) — cumulative
+    /// counter totals plus its ring's drained events — from its pump
+    /// passes, riding the existing wake machinery (no extra threads).
+    /// The collector maintains windowed rollups; with a control plane
+    /// also enabled, windowed per-client fault spikes feed back into
+    /// admission as corroborating evidence
+    /// ([`ControlPlane::observe_evidence`](sdrad_control::ControlPlane::observe_evidence)),
+    /// banning a burst offender measurably earlier than the per-request
+    /// books alone.
+    pub streaming: Option<StreamingConfig>,
 }
 
 impl RuntimeConfig {
@@ -196,6 +210,7 @@ impl RuntimeConfig {
             rebuild: RebuildMode::default(),
             frame_pooling: true,
             telemetry: TelemetryConfig::Off,
+            streaming: None,
         }
     }
 
@@ -413,6 +428,12 @@ pub struct Runtime {
     /// (`worker-N` / `dispatcher` / `control`). `None` when telemetry
     /// is off.
     rings: Option<Vec<(String, Arc<TraceRing>)>>,
+    /// The streaming collector workers ship delta frames to (`None`
+    /// unless both [`RuntimeConfig::streaming`] and the flight recorder
+    /// are enabled). Shutdown merges its buffered events into the final
+    /// [`TraceLog`] and closes its delivery books into
+    /// [`TelemetryReport::streaming`].
+    collector: Option<Arc<Collector>>,
     /// The shared-read hazard domain (deep stealing only): shutdown
     /// drains it after the final views retire and closes its books
     /// into [`RuntimeStats::hazard`](crate::RuntimeStats::hazard).
@@ -467,6 +488,13 @@ impl Runtime {
                 )
             })
             .collect();
+        // The streaming collector (one per runtime): only built when the
+        // flight recorder is on too — without rings there are no events
+        // or drain counters for delta frames to ship.
+        let collector = match (config.streaming, rings.is_some()) {
+            (Some(streaming), true) => Some(Arc::new(Collector::new(streaming))),
+            _ => None,
+        };
         // The ladder's rung cost models follow the rebuild mode, so the
         // energy bill prices the variant that actually runs: deferred
         // rebuilds split into publish (pause) + reclamation (amortized).
@@ -560,6 +588,7 @@ impl Runtime {
                 let live = Arc::clone(&live[index]);
                 let hazard = hazard.clone();
                 let view_cells = view_cells.clone();
+                let collector = collector.clone();
                 std::thread::Builder::new()
                     .name(format!("sdrad-worker-{index}"))
                     .spawn(move || {
@@ -587,6 +616,7 @@ impl Runtime {
                             live,
                             hazard,
                             view_cells,
+                            collector,
                         };
                         Worker::new(index, channels, iso, handler, &config).run()
                     })
@@ -608,6 +638,7 @@ impl Runtime {
             generation,
             live,
             rings,
+            collector,
             hazard,
             view_cells,
             handles,
@@ -705,6 +736,15 @@ impl Runtime {
     #[must_use]
     pub fn dispatcher(&self) -> Dispatcher {
         self.dispatcher.clone()
+    }
+
+    /// The streaming collector, when [`RuntimeConfig::streaming`] and
+    /// the flight recorder are both enabled — live windowed rollups
+    /// ([`Collector::rollup`]) and delivery books are readable mid-run
+    /// without quiescing anything.
+    #[must_use]
+    pub fn collector(&self) -> Option<&Arc<Collector>> {
+        self.collector.as_ref()
     }
 
     /// The shard serving `client` (see [`Dispatcher::shard_of`]).
@@ -830,7 +870,7 @@ impl Runtime {
             wall: self.started.elapsed(),
         };
         if let Some(rings) = self.rings {
-            stats.telemetry = Some(close_telemetry(&stats, &rings));
+            stats.telemetry = Some(close_telemetry(&stats, &rings, self.collector.as_deref()));
         }
         stats
     }
@@ -843,8 +883,19 @@ impl Runtime {
 /// drains every flight-recorder ring into one stamp-merged
 /// [`TraceLog`], and cuts the serializable [`TelemetrySnapshot`] —
 /// ring conservation counters included, read *after* the drain so
-/// `emitted == drained + dropped` is checkable.
-fn close_telemetry(stats: &RuntimeStats, rings: &[(String, Arc<TraceRing>)]) -> TelemetryReport {
+/// `recorded == drained + dropped + sampled_out` is checkable.
+///
+/// With a streaming collector, events the workers already shipped in
+/// delta frames (booked as `drained` at flush time) are merged back in
+/// *before* the final ring drains, so the log still carries every
+/// drained event exactly once, and the collector's delivery books
+/// (frames, losses, regressions) close into `streaming.*` counters and
+/// [`TelemetryReport::streaming`].
+fn close_telemetry(
+    stats: &RuntimeStats,
+    rings: &[(String, Arc<TraceRing>)],
+    collector: Option<&Collector>,
+) -> TelemetryReport {
     let registry = MetricsRegistry::default();
     registry.counter("runtime.served").add(stats.served());
     registry.counter("runtime.ok").add(stats.ok());
@@ -918,15 +969,40 @@ fn close_telemetry(stats: &RuntimeStats, rings: &[(String, Arc<TraceRing>)]) -> 
         report.register_metrics(&registry, &PowerModel::rack_server());
     }
     let mut events = Vec::new();
+    let mut streaming = None;
+    if let Some(collector) = collector {
+        registry.counter("streaming.frames").add(collector.frames());
+        registry
+            .counter("streaming.lost_frames")
+            .add(collector.lost_frames());
+        registry
+            .counter("streaming.regressions")
+            .add(collector.regressions());
+        registry
+            .counter("streaming.events_streamed")
+            .add(collector.events_received());
+        streaming = Some(crate::stats::StreamingReport {
+            frames: collector.frames(),
+            lost_frames: collector.lost_frames(),
+            regressions: collector.regressions(),
+            events_streamed: collector.events_received(),
+        });
+        // Events the workers already streamed were booked `drained` when
+        // their flush tick drained them; pulling them back here keeps
+        // `log.len() == Σ drained` exact.
+        events.extend(collector.drain_events());
+    }
     let mut snapshot = TelemetrySnapshot::from_metrics(registry.read());
     for (name, ring) in rings {
         events.extend(ring.drain());
         snapshot.add_ring(name, ring.counters(), ring.len());
+        snapshot.tally_sampled_out(ring.sampled_out_by_kind());
     }
     snapshot.tally_events(&events);
     TelemetryReport {
         snapshot,
         log: TraceLog::new(events),
+        streaming,
     }
 }
 

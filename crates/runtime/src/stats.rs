@@ -23,6 +23,32 @@ pub struct TelemetryReport {
     pub snapshot: TelemetrySnapshot,
     /// Every drained trace event, merged on the shared logical clock.
     pub log: TraceLog,
+    /// The streaming collector's closed delivery books — `None` unless
+    /// the runtime ran with
+    /// [`RuntimeConfig::streaming`](crate::RuntimeConfig::streaming) set
+    /// (and the flight recorder on).
+    pub streaming: Option<StreamingReport>,
+}
+
+/// What the in-process streaming collector saw over the run: the
+/// delta-frame delivery books, closed at shutdown. Mirrored into the
+/// metrics registry as `streaming.*` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamingReport {
+    /// Delta frames delivered (all sources).
+    pub frames: u64,
+    /// Frames detected lost by per-source sequence gaps. Losses are
+    /// recoverable — frames carry cumulative totals, so the next
+    /// delivery resynchronizes the books — but each gap is counted.
+    pub lost_frames: u64,
+    /// Counter regressions observed (a source's cumulative total moved
+    /// backwards — only a restarted source that lost its baseline would
+    /// do this, and the runtime retains baselines across worker
+    /// restarts, so any nonzero value is a bug surfaced).
+    pub regressions: u64,
+    /// Trace events that arrived inside delta frames (drained by their
+    /// source's flush tick rather than at shutdown).
+    pub events_streamed: u64,
 }
 
 /// A cheap, **non-quiescing** live view of a running runtime
@@ -453,8 +479,13 @@ impl RuntimeStats {
                     && report.counts.worker_restarts == self.worker_restarts()
             })
             // The flight recorder's own books, when it ran: every ring
-            // obeys `emitted == drained + dropped + in_ring`, and the
-            // drained log holds exactly what the rings say was drained.
+            // obeys `recorded == drained + dropped + sampled_out +
+            // in_ring`, and the drained log holds exactly what the rings
+            // say was drained — whether an event reached the log through
+            // a streamed delta frame or the final shutdown drain. The
+            // streaming books, when a collector ran, are a subset of the
+            // drained total and must show zero counter regressions (the
+            // runtime retains per-source baselines across restarts).
             && self.telemetry.as_ref().is_none_or(|t| {
                 t.snapshot.conserves()
                     && t.log.len() as u64
@@ -463,6 +494,9 @@ impl RuntimeStats {
                             .values()
                             .map(|r| r.counters.drained)
                             .sum::<u64>()
+                    && t.streaming.is_none_or(|s| {
+                        s.events_streamed <= t.log.len() as u64 && s.regressions == 0
+                    })
             })
     }
 

@@ -61,7 +61,9 @@ use std::time::{Duration, Instant};
 use sdrad_control::RecoveryRung;
 use sdrad_energy::restart::RestartModel;
 use sdrad_nolock::{FrameBuf, HazardDomain, Shared};
-use sdrad_telemetry::{EventKind, LatencyHistogram, Recorder};
+use sdrad_telemetry::{
+    Collector, DeltaFrame, EventKind, LatencyHistogram, Recorder, TelemetrySink,
+};
 
 use crate::control_hub::ControlHub;
 use crate::handler::{Framing, ReadView, Reply, SessionHandler, StealClass};
@@ -312,6 +314,10 @@ pub(crate) struct ShardChannels {
     /// shard — hazard-protected so thieves read a victim's live shard
     /// state without locks. Empty unless the policy is deep.
     pub(crate) view_cells: Vec<Arc<Shared<ShardView>>>,
+    /// The streaming collector this worker ships delta frames to
+    /// (`None` unless [`RuntimeConfig::streaming`] and the flight
+    /// recorder are both enabled).
+    pub(crate) collector: Option<Arc<Collector>>,
 }
 
 /// One worker: drains its shard queue and pumps its connections until
@@ -343,6 +349,15 @@ pub struct Worker<H: SessionHandler> {
     hazard: Option<Arc<HazardDomain>>,
     /// See [`ShardChannels::view_cells`].
     view_cells: Vec<Arc<Shared<ShardView>>>,
+    /// See [`ShardChannels::collector`]. Frames ride the pump passes —
+    /// no flush thread, no timer: an idle shard ships nothing.
+    collector: Option<Arc<Collector>>,
+    /// Ship a delta frame every this many pump passes (0 = never, when
+    /// no collector is wired).
+    flush_every: u64,
+    /// This worker's monotonic frame sequence (the collector's
+    /// loss-detection key).
+    flush_seq: u64,
     /// The `(pool generation, state version)` stamp of the view this
     /// worker last published — republish only when it moves.
     published: Option<(u64, u64)>,
@@ -410,6 +425,12 @@ impl<H: SessionHandler> Worker<H> {
             hazard: channels.hazard,
             view_stamps: vec![(0, 0); channels.view_cells.len()],
             view_cells: channels.view_cells,
+            flush_every: match (&channels.collector, config.streaming) {
+                (Some(_), Some(streaming)) => streaming.flush_every_passes.max(1),
+                _ => 0,
+            },
+            flush_seq: 0,
+            collector: channels.collector,
             published: None,
             rebuild: config.rebuild,
             shard_u16: u16::try_from(index).unwrap_or(u16::MAX),
@@ -483,6 +504,9 @@ impl<H: SessionHandler> Worker<H> {
                 // tick per pass, zero ticks while the shard is idle.
                 hub.tick();
             }
+            // The streaming flush rides the same machinery: one delta
+            // frame per `flush_every` passes, zero while idle.
+            self.maybe_flush_telemetry();
             // Amortized teardown: a couple of retired domains go per
             // pass, so a deferred rebuild's cost never lands on one
             // request. Cheap no-op when nothing is pending.
@@ -547,6 +571,7 @@ impl<H: SessionHandler> Worker<H> {
         loop {
             self.flush_live();
             self.pass += 1;
+            self.maybe_flush_telemetry();
             self.iso.reclaim_step(2);
             self.maybe_publish_view();
             self.adopt_connections();
@@ -1353,6 +1378,50 @@ impl<H: SessionHandler> Worker<H> {
 
     fn note_busy(&mut self, since: Instant) {
         self.stats.busy_ns = self.stats.busy_ns.saturating_add(elapsed_ns(since));
+    }
+
+    /// Ships one delta frame to the streaming collector when the pass
+    /// counter hits the flush cadence: this worker's **cumulative**
+    /// counter totals (the collector owns the diffing, so a lost frame
+    /// never desynchronizes the books) plus everything drained from its
+    /// own trace ring — the drain is booked on the ring's `drained`
+    /// counter right here, which is what keeps the shutdown log merge
+    /// exact. Any windowed fault spikes the collector has accumulated
+    /// are fed straight back into admission as corroborating evidence.
+    fn maybe_flush_telemetry(&mut self) {
+        if self.flush_every == 0 || !self.pass.is_multiple_of(self.flush_every) {
+            return;
+        }
+        let Some(collector) = self.collector.clone() else {
+            return;
+        };
+        let events = self
+            .recorder
+            .ring()
+            .map_or_else(Vec::new, |ring| ring.drain());
+        collector.deliver(DeltaFrame {
+            source: format!("worker-{}", self.index),
+            seq: self.flush_seq,
+            totals: vec![
+                ("served".to_string(), self.stats.served),
+                ("ok".to_string(), self.stats.ok),
+                ("contained_faults".to_string(), self.stats.contained_faults),
+                ("crashes".to_string(), self.stats.crashes),
+                ("conn_served".to_string(), self.stats.conn_served),
+                ("steals".to_string(), self.stats.steals),
+            ],
+            events,
+        });
+        self.flush_seq += 1;
+        if let Some(hub) = &self.control {
+            for spike in collector.take_spikes() {
+                hub.observe_evidence(
+                    usize::from(spike.shard),
+                    sdrad::ClientId(spike.client),
+                    spike.new_faults,
+                );
+            }
+        }
     }
 
     /// Publishes the pass's counters to the live mailbox

@@ -64,6 +64,17 @@ impl EventKind {
         Self::ALL.get(usize::from(raw)).copied()
     }
 
+    /// True for the high-volume kinds the overload-adaptive sampler may
+    /// head-sample under ring pressure (submits and park/wake chatter).
+    /// Control-relevant evidence — rewinds, rung decisions, standing
+    /// crossings, sheds, steal traffic — is **never** sampled: losing it
+    /// would blind exactly the post-mortems and the admission evidence
+    /// channel the recorder exists to feed.
+    #[must_use]
+    pub fn is_sampleable(self) -> bool {
+        matches!(self, EventKind::Submit | EventKind::Park | EventKind::Wake)
+    }
+
     /// The stable lower-case name used in snapshots and query output.
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -243,6 +254,29 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), EventKind::ALL.len());
+    }
+
+    #[test]
+    fn only_high_volume_kinds_are_sampleable() {
+        let sampleable: Vec<EventKind> = EventKind::ALL
+            .into_iter()
+            .filter(|k| k.is_sampleable())
+            .collect();
+        assert_eq!(
+            sampleable,
+            vec![EventKind::Submit, EventKind::Park, EventKind::Wake]
+        );
+        // The control-relevant evidence set is always kept.
+        for kind in [
+            EventKind::Rewind,
+            EventKind::Rung,
+            EventKind::Throttle,
+            EventKind::Quarantine,
+            EventKind::Ban,
+            EventKind::Shed,
+        ] {
+            assert!(!kind.is_sampleable(), "{kind:?} must never be sampled");
+        }
     }
 
     #[test]

@@ -20,8 +20,17 @@
 //!   runtime/control/energy components, read into one serializable
 //!   [`TelemetrySnapshot`] with byte-deterministic JSON output.
 //! * **Post-mortem queries** ([`TraceLog`], [`TraceQuery`]) — filter a
-//!   drained log by client/shard/kind/stamp and reconstruct a client's
+//!   drained log by client/shard/kind/stamp, bucket matches into stamp
+//!   windows ([`TraceQuery::windowed`]) and reconstruct a client's
 //!   escalation ladder ([`BanPath`]) from trace data alone.
+//! * **Streaming** ([`TelemetrySink`], [`Collector`], [`Sampler`],
+//!   [`WindowBook`]) — periodic cumulative-total delta frames shipped
+//!   from the runtime's pump passes into an in-process collector that
+//!   maintains incremental sliding-window rollups and feeds windowed
+//!   fault spikes back to admission; an overload-adaptive head sampler
+//!   thins high-volume chatter under ring pressure with exact per-kind
+//!   `sampled_out` books (the extended conservation law
+//!   `recorded == drained + dropped + sampled_out + in_ring`).
 //!
 //! When telemetry is [`TelemetryConfig::Off`] (the default), every
 //! emit point is a single discriminant test — no allocation, no
@@ -62,13 +71,17 @@ mod query;
 mod recorder;
 mod registry;
 mod ring;
+mod sink;
 mod snapshot;
+mod window;
 
 pub use event::{EventKind, ShedReason, Source, TraceEvent};
 pub use histogram::LatencyHistogram;
 pub use json::{Json, JsonError};
-pub use query::{BanPath, TraceLog, TraceQuery};
-pub use recorder::{LogicalClock, Recorder, TelemetryConfig};
+pub use query::{BanPath, TraceLog, TraceQuery, WindowCounts};
+pub use recorder::{LogicalClock, Recorder, Sampler, TelemetryConfig};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricsRegistry, RegistryReading};
 pub use ring::{RingCounters, TraceRing};
+pub use sink::{Collector, DeltaFrame, Spike, StreamingConfig, TelemetrySink};
 pub use snapshot::{RingStat, TelemetrySnapshot, SNAPSHOT_SCHEMA_VERSION};
+pub use window::{recompute_rollup, WindowBook, WindowRollup};

@@ -194,6 +194,54 @@ impl TraceQuery<'_> {
         let query = self;
         query.log.events.iter().filter(|e| query.matches(e)).count()
     }
+
+    /// The matching events bucketed into consecutive stamp windows of
+    /// `width` (floored at 1): window `w` covers stamps
+    /// `[w*width, (w+1)*width)`, so a stamp landing exactly on a
+    /// boundary belongs to the *next* window and logical-clock ties
+    /// land in the same window together. Empty windows between the
+    /// first and last match are included (count 0) so rates plotted
+    /// from the result do not silently skip quiet spans; no matches at
+    /// all yields an empty vec.
+    #[must_use]
+    pub fn windowed(self, width: u64) -> Vec<WindowCounts> {
+        let width = width.max(1);
+        let query = self;
+        let matches: Vec<u64> = query
+            .log
+            .events
+            .iter()
+            .filter(|e| query.matches(e))
+            .map(|e| e.stamp)
+            .collect();
+        let (Some(&first), Some(&last)) = (matches.first(), matches.last()) else {
+            return Vec::new();
+        };
+        let first_window = first / width;
+        let last_window = last / width;
+        let mut windows: Vec<WindowCounts> = (first_window..=last_window)
+            .map(|w| WindowCounts {
+                start: w * width,
+                end: (w + 1) * width,
+                count: 0,
+            })
+            .collect();
+        for stamp in matches {
+            windows[(stamp / width - first_window) as usize].count += 1;
+        }
+        windows
+    }
+}
+
+/// One stamp window of a [`TraceQuery::windowed`] rollup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowCounts {
+    /// First stamp the window covers (inclusive).
+    pub start: u64,
+    /// First stamp past the window (exclusive).
+    pub end: u64,
+    /// Matching events stamped within `[start, end)`.
+    pub count: u64,
 }
 
 /// One client's reconstructed escalation ladder.
@@ -332,6 +380,67 @@ mod tests {
         let path = log.ban_path(9).unwrap();
         assert!(!path.is_complete());
         assert!(path.describe().contains("missing"));
+    }
+
+    #[test]
+    fn windowed_rollups_include_empty_windows() {
+        // Matches at stamps 10, 15 and 60 with width 10: windows
+        // [10,20) [20,30) [30,40) [40,50) [50,60) [60,70) — the four
+        // quiet windows in the middle must appear with count 0.
+        let log = TraceLog::new(vec![
+            worker(10, EventKind::Submit, 0, 1),
+            worker(15, EventKind::Submit, 0, 1),
+            worker(60, EventKind::Submit, 0, 1),
+        ]);
+        let windows = log.query().windowed(10);
+        assert_eq!(windows.len(), 6);
+        let counts: Vec<u64> = windows.iter().map(|w| w.count).collect();
+        assert_eq!(counts, vec![2, 0, 0, 0, 0, 1]);
+        assert_eq!(windows[0].start, 10);
+        assert_eq!(windows[0].end, 20);
+        assert_eq!(windows[5].start, 60);
+    }
+
+    #[test]
+    fn boundary_stamps_belong_to_the_next_window() {
+        // Stamp 20 sits exactly on the [10,20)/[20,30) boundary: it
+        // must land in the second window, never straddle or double.
+        let log = TraceLog::new(vec![
+            worker(19, EventKind::Submit, 0, 1),
+            worker(20, EventKind::Submit, 0, 1),
+        ]);
+        let windows = log.query().windowed(10);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].count, 1);
+        assert_eq!(windows[1].count, 1);
+        assert_eq!(windows[1].start, 20);
+        let total: u64 = windows.iter().map(|w| w.count).sum();
+        assert_eq!(total, 2, "every match counted exactly once");
+    }
+
+    #[test]
+    fn logical_clock_ties_share_one_window() {
+        // Three events at the same stamp (merged from rings that raced
+        // on the shared clock in a crash drill) count together.
+        let log = TraceLog::new(vec![
+            worker(7, EventKind::Submit, 0, 1),
+            worker(7, EventKind::Submit, 1, 2),
+            control(7, EventKind::Throttle, 2),
+        ]);
+        let windows = log.query().windowed(5);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].count, 3);
+        assert_eq!(windows[0].start, 5);
+    }
+
+    #[test]
+    fn windowed_respects_the_query_filters() {
+        let log = sample_log();
+        let windows = log.query().client(7).windowed(25);
+        let total: u64 = windows.iter().map(|w| w.count).sum();
+        assert_eq!(total as usize, log.query().client(7).count());
+        // Degenerate width clamps to 1 instead of dividing by zero.
+        assert!(!log.query().windowed(0).is_empty());
     }
 
     #[test]

@@ -19,14 +19,21 @@
 //! CAS discipline makes that safe without a separate implementation.
 //!
 //! **Overflow sheds, never blocks**: a full ring drops the event and
-//! counts the drop. The conservation invariant every drain is checked
-//! against is `emitted == drained + dropped + in_ring` (and after a
-//! final drain, `in_ring == 0`) — exactly the style of book-balancing
-//! the runtime applies to every other statistic.
+//! counts the drop. A third refusal class exists since the streaming
+//! telemetry work: the overload-adaptive sampler may decide *before*
+//! the push that a high-volume event is not worth a slot — those are
+//! counted per kind as `sampled_out` (deliberate, policy) and are
+//! distinct from `dropped` (overflow, evidence lost). The conservation
+//! invariant every drain is checked against is the extended law
+//! `recorded == drained + dropped + sampled_out + in_ring`, where
+//! `recorded = emitted + sampled_out` covers every emit attempt the
+//! recorder saw (and after a final drain, `in_ring == 0`) — exactly
+//! the style of book-balancing the runtime applies to every other
+//! statistic.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::event::TraceEvent;
+use crate::event::{EventKind, TraceEvent};
 
 /// One ring slot: a sequence word and the four event words.
 struct Slot {
@@ -48,6 +55,11 @@ pub struct TraceRing {
     dropped: AtomicU64,
     /// Events consumed by [`pop`](Self::pop).
     drained: AtomicU64,
+    /// Emit attempts the sampler deliberately declined before the push.
+    sampled_out: AtomicU64,
+    /// Per-[`EventKind`] sampled-out books (indexed by discriminant) so
+    /// query answers can state exactly what the sampler hid, by kind.
+    sampled_by_kind: [AtomicU64; 11],
 }
 
 /// Producer/consumer counters of one ring, snapshot together.
@@ -59,16 +71,26 @@ pub struct RingCounters {
     pub dropped: u64,
     /// Events consumed by the drain side.
     pub drained: u64,
+    /// Attempts the sampler deliberately declined (never pushed).
+    pub sampled_out: u64,
 }
 
 impl RingCounters {
-    /// Ring-overflow conservation: every emit attempt is either still
-    /// in the ring, was drained, or was dropped — nothing is invented
+    /// Every emit attempt the recorder saw: pushes (accepted or
+    /// overflow-dropped) plus sampler refusals.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.emitted + self.sampled_out
+    }
+
+    /// Ring conservation, extended for the sampler: every recorded
+    /// attempt is either still in the ring, was drained, was dropped on
+    /// overflow, or was deliberately sampled out — nothing is invented
     /// and nothing vanishes. `in_ring` is the caller's current
     /// occupancy observation (0 after a final drain).
     #[must_use]
     pub fn conserves(&self, in_ring: u64) -> bool {
-        self.emitted == self.drained + self.dropped + in_ring
+        self.recorded() == self.drained + self.dropped + self.sampled_out + in_ring
     }
 }
 
@@ -97,6 +119,8 @@ impl TraceRing {
             emitted: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             drained: AtomicU64::new(0),
+            sampled_out: AtomicU64::new(0),
+            sampled_by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -210,6 +234,21 @@ impl TraceRing {
         self.len() == 0
     }
 
+    /// Books one sampler refusal: the event was deliberately declined
+    /// before any push attempt, so it is counted here (total and per
+    /// kind) instead of in `emitted`/`dropped`.
+    pub fn note_sampled_out(&self, kind: EventKind) {
+        self.sampled_out.fetch_add(1, Ordering::Relaxed);
+        self.sampled_by_kind[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-kind sampled-out counts, indexed by [`EventKind`]
+    /// discriminant (same order as [`EventKind::ALL`]).
+    #[must_use]
+    pub fn sampled_out_by_kind(&self) -> [u64; 11] {
+        std::array::from_fn(|i| self.sampled_by_kind[i].load(Ordering::SeqCst))
+    }
+
     /// The ring's conservation counters, snapshot together.
     #[must_use]
     pub fn counters(&self) -> RingCounters {
@@ -217,6 +256,7 @@ impl TraceRing {
             emitted: self.emitted.load(Ordering::SeqCst),
             dropped: self.dropped.load(Ordering::SeqCst),
             drained: self.drained.load(Ordering::SeqCst),
+            sampled_out: self.sampled_out.load(Ordering::SeqCst),
         }
     }
 }
@@ -330,6 +370,31 @@ mod tests {
         assert_eq!(counters.emitted, 20_000);
         assert_eq!(counters.drained, live + tail);
         assert!(counters.conserves(0), "{counters:?}");
+    }
+
+    #[test]
+    fn sampled_out_is_booked_separately_from_drops() {
+        let ring = TraceRing::new(8);
+        for i in 0..6 {
+            assert!(ring.push(&event(i)));
+        }
+        // The sampler declines three submits and one wake before push.
+        ring.note_sampled_out(EventKind::Submit);
+        ring.note_sampled_out(EventKind::Submit);
+        ring.note_sampled_out(EventKind::Submit);
+        ring.note_sampled_out(EventKind::Wake);
+        let counters = ring.counters();
+        assert_eq!(counters.emitted, 6);
+        assert_eq!(counters.dropped, 0, "deliberate refusals are not drops");
+        assert_eq!(counters.sampled_out, 4);
+        assert_eq!(counters.recorded(), 10);
+        assert!(counters.conserves(ring.len()));
+        let by_kind = ring.sampled_out_by_kind();
+        assert_eq!(by_kind[EventKind::Submit as usize], 3);
+        assert_eq!(by_kind[EventKind::Wake as usize], 1);
+        assert_eq!(by_kind.iter().sum::<u64>(), counters.sampled_out);
+        ring.drain();
+        assert!(ring.counters().conserves(0));
     }
 
     #[test]

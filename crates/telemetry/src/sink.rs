@@ -1,0 +1,448 @@
+//! The streaming side of the flight recorder: periodic delta frames
+//! shipped from the runtime's wake machinery into an in-process
+//! collector.
+//!
+//! The protocol is deliberately loss-tolerant. Each source (one per
+//! worker) ships [`DeltaFrame`]s carrying **cumulative totals**, not
+//! diffs, keyed by a per-source monotonic sequence number. The
+//! collector diffs each frame against the baseline it retained from the
+//! last frame of the *same source name* — so a lost frame is detectable
+//! (a gap in `seq`, counted in [`Collector::lost_frames`]) and
+//! automatically recovered by the next frame, whose totals subsume
+//! everything the lost one carried. Baselines are keyed by source
+//! *name* and retained forever, which is what makes a ladder
+//! `restart_worker` rung safe: the restarted worker keeps its stats
+//! (worker books survive restarts by design), and even if a future
+//! change reset them, the collector clamps with a saturating subtract
+//! and books the anomaly in [`Collector::regressions`] rather than
+//! producing a negative delta.
+//!
+//! The collector also maintains the incremental
+//! [`WindowBook`](crate::WindowBook) rollups and the spike watermarks
+//! that feed the control plane's telemetry evidence channel — see
+//! [`Collector::take_spikes`].
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::{EventKind, TraceEvent};
+use crate::window::{WindowBook, WindowRollup};
+
+/// Streaming-telemetry tuning: how often workers flush, how wide the
+/// collector's rollup window is, and when a client's windowed fault
+/// count counts as a spike worth reporting to admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingConfig {
+    /// Ship a delta frame every this many pump passes (floored at 1).
+    pub flush_every_passes: u64,
+    /// Sliding-window span for collector rollups, in nanoseconds.
+    pub window_ns: u64,
+    /// Number of buckets the window is quantized into.
+    pub window_buckets: usize,
+    /// Windowed per-client fault count at or above which the collector
+    /// reports a spike to the admission evidence channel.
+    pub spike_faults: u64,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig::enabled()
+    }
+}
+
+impl StreamingConfig {
+    /// The conventional streaming configuration: flush every pass, a
+    /// 50 ms window in 16 buckets, spike at 8 windowed faults.
+    #[must_use]
+    pub fn enabled() -> Self {
+        StreamingConfig {
+            flush_every_passes: 1,
+            window_ns: 50_000_000,
+            window_buckets: 16,
+            spike_faults: 8,
+        }
+    }
+}
+
+/// One periodic delivery from a source: cumulative counter totals plus
+/// the events drained from the source's ring since the last frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaFrame {
+    /// Stable source name ("worker-0", …) — the baseline key.
+    pub source: String,
+    /// Per-source monotonic frame sequence, starting at 0. A gap means
+    /// frames were lost; totals make the loss recoverable.
+    pub seq: u64,
+    /// Cumulative (name, total) counter pairs as of this frame. Totals,
+    /// not diffs: the collector owns the diffing so a lost frame never
+    /// desynchronizes the books.
+    pub totals: Vec<(String, u64)>,
+    /// Events drained from the source's ring for this frame. These were
+    /// already counted `drained` on the ring at drain time, so the
+    /// conservation law stays exact end to end.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Where delta frames go. The in-process [`Collector`] is the only
+/// implementation in-tree; the trait is the seam a network exporter
+/// would implement.
+pub trait TelemetrySink: Send + Sync {
+    /// Accepts one frame. Must not block the caller meaningfully — the
+    /// runtime ships frames from worker pump passes.
+    fn deliver(&self, frame: DeltaFrame);
+}
+
+/// One client's windowed fault spike, reported at most once per fault
+/// via the per-client watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Spike {
+    /// The offending client.
+    pub client: u64,
+    /// The shard that last absorbed one of its faults.
+    pub shard: u16,
+    /// Faults accumulated since the last spike report for this client.
+    pub new_faults: u64,
+}
+
+/// Per-source reception state: last sequence seen and the cumulative
+/// baselines totals are diffed against. Keyed by source *name* and
+/// never discarded, so worker restarts cannot produce negative deltas.
+#[derive(Debug, Default)]
+struct SourceState {
+    last_seq: Option<u64>,
+    baseline: BTreeMap<String, u64>,
+}
+
+#[derive(Debug)]
+struct CollectorInner {
+    sources: BTreeMap<String, SourceState>,
+    /// Aggregate per-counter deltas accumulated across all sources.
+    totals: BTreeMap<String, u64>,
+    /// Every event received, retained for the shutdown log merge.
+    events: Vec<TraceEvent>,
+    /// Incremental sliding-window rollups.
+    window: WindowBook,
+    /// Cumulative fault (rewind) count per client, ever.
+    faults_by_client: BTreeMap<u64, u64>,
+    /// The shard that last absorbed a fault per client.
+    fault_shard: BTreeMap<u64, u16>,
+    /// Faults already reported through [`Collector::take_spikes`].
+    reported: BTreeMap<u64, u64>,
+    frames: u64,
+    lost_frames: u64,
+    regressions: u64,
+}
+
+/// The in-process streaming collector: receives [`DeltaFrame`]s,
+/// maintains aggregate books, windowed rollups and spike watermarks.
+#[derive(Debug)]
+pub struct Collector {
+    inner: Mutex<CollectorInner>,
+    epoch: Instant,
+    config: StreamingConfig,
+}
+
+impl Collector {
+    /// A fresh collector with the given streaming configuration.
+    #[must_use]
+    pub fn new(config: StreamingConfig) -> Self {
+        Collector {
+            inner: Mutex::new(CollectorInner {
+                sources: BTreeMap::new(),
+                totals: BTreeMap::new(),
+                events: Vec::new(),
+                window: WindowBook::new(config.window_ns, config.window_buckets),
+                faults_by_client: BTreeMap::new(),
+                fault_shard: BTreeMap::new(),
+                reported: BTreeMap::new(),
+                frames: 0,
+                lost_frames: 0,
+                regressions: 0,
+            }),
+            epoch: Instant::now(),
+            config,
+        }
+    }
+
+    /// The configuration this collector was built with.
+    #[must_use]
+    pub fn config(&self) -> StreamingConfig {
+        self.config
+    }
+
+    /// [`deliver`](TelemetrySink::deliver) with an explicit collector
+    /// timestamp — the deterministic entry tests use.
+    pub fn deliver_at(&self, frame: DeltaFrame, now_ns: u64) {
+        let mut inner = self.inner.lock().expect("collector poisoned");
+        inner.frames += 1;
+        // Per-source bookkeeping: sequence-gap detection (a jump of k
+        // past the expected next seq means k frames were lost — their
+        // counter content is recovered by this frame's totals) and
+        // per-counter deltas against the retained baseline, clamping
+        // regressions to a zero delta.
+        let mut lost = 0u64;
+        let mut regressions = 0u64;
+        let mut deltas: Vec<(String, u64)> = Vec::with_capacity(frame.totals.len());
+        {
+            let state = inner.sources.entry(frame.source.clone()).or_default();
+            match state.last_seq {
+                Some(last) => {
+                    let expected = last.wrapping_add(1);
+                    if frame.seq > expected {
+                        lost = frame.seq - expected;
+                    }
+                }
+                None => lost = frame.seq,
+            }
+            state.last_seq = Some(frame.seq);
+            for (name, total) in &frame.totals {
+                let baseline = state.baseline.get(name).copied().unwrap_or(0);
+                if *total < baseline {
+                    regressions += 1;
+                }
+                deltas.push((name.clone(), total.saturating_sub(baseline)));
+                state.baseline.insert(name.clone(), *total);
+            }
+        }
+        inner.lost_frames += lost;
+        inner.regressions += regressions;
+        for (name, delta) in deltas {
+            *inner.totals.entry(name).or_insert(0) += delta;
+        }
+        for event in &frame.events {
+            inner.window.observe(now_ns, event);
+            if event.kind == EventKind::Rewind {
+                *inner.faults_by_client.entry(event.client).or_insert(0) += 1;
+                inner.fault_shard.insert(event.client, event.shard);
+            }
+        }
+        inner.events.extend(frame.events);
+    }
+
+    /// Frames received so far.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.inner.lock().expect("collector poisoned").frames
+    }
+
+    /// Frames detected as lost via sequence gaps (their counter content
+    /// was recovered from the next frame's totals; their events were
+    /// not, which is why events ride the frame that drained them).
+    #[must_use]
+    pub fn lost_frames(&self) -> u64 {
+        self.inner.lock().expect("collector poisoned").lost_frames
+    }
+
+    /// Counter regressions observed (a total below its retained
+    /// baseline — clamped to a zero delta rather than underflowing).
+    #[must_use]
+    pub fn regressions(&self) -> u64 {
+        self.inner.lock().expect("collector poisoned").regressions
+    }
+
+    /// Events received across all frames so far.
+    #[must_use]
+    pub fn events_received(&self) -> u64 {
+        self.inner.lock().expect("collector poisoned").events.len() as u64
+    }
+
+    /// The aggregate counter deltas accumulated across all sources.
+    #[must_use]
+    pub fn totals(&self) -> BTreeMap<String, u64> {
+        self.inner
+            .lock()
+            .expect("collector poisoned")
+            .totals
+            .clone()
+    }
+
+    /// The windowed rollup as of now.
+    #[must_use]
+    pub fn rollup(&self) -> WindowRollup {
+        self.rollup_at(self.now_ns())
+    }
+
+    /// The windowed rollup at an explicit collector time.
+    #[must_use]
+    pub fn rollup_at(&self, now_ns: u64) -> WindowRollup {
+        self.inner
+            .lock()
+            .expect("collector poisoned")
+            .window
+            .rollup(now_ns)
+    }
+
+    /// Clients whose *windowed* fault count is at or above the spike
+    /// threshold, each reporting the faults accumulated since its last
+    /// report (watermarked, so every fault is reported at most once).
+    pub fn take_spikes(&self) -> Vec<Spike> {
+        self.take_spikes_at(self.now_ns())
+    }
+
+    /// [`take_spikes`](Self::take_spikes) at an explicit collector
+    /// time — the deterministic entry tests use.
+    pub fn take_spikes_at(&self, now_ns: u64) -> Vec<Spike> {
+        let mut inner = self.inner.lock().expect("collector poisoned");
+        let rollup = inner.window.rollup(now_ns);
+        let spike_clients: Vec<u64> = rollup
+            .faults_by_client
+            .iter()
+            .filter(|&(_, &count)| count >= self.config.spike_faults)
+            .map(|(&client, _)| client)
+            .collect();
+        let mut spikes = Vec::with_capacity(spike_clients.len());
+        for client in spike_clients {
+            let total = inner.faults_by_client.get(&client).copied().unwrap_or(0);
+            let reported = inner.reported.get(&client).copied().unwrap_or(0);
+            let new_faults = total.saturating_sub(reported);
+            if new_faults == 0 {
+                continue; // already fully reported
+            }
+            inner.reported.insert(client, total);
+            spikes.push(Spike {
+                client,
+                shard: inner.fault_shard.get(&client).copied().unwrap_or(0),
+                new_faults,
+            });
+        }
+        spikes
+    }
+
+    /// Takes every event received so far (the shutdown log merge).
+    pub fn drain_events(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.inner.lock().expect("collector poisoned").events)
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl TelemetrySink for Collector {
+    fn deliver(&self, frame: DeltaFrame) {
+        self.deliver_at(frame, self.now_ns());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Source;
+
+    fn frame(source: &str, seq: u64, totals: &[(&str, u64)]) -> DeltaFrame {
+        DeltaFrame {
+            source: source.to_string(),
+            seq,
+            totals: totals
+                .iter()
+                .map(|(name, total)| ((*name).to_string(), *total))
+                .collect(),
+            events: Vec::new(),
+        }
+    }
+
+    fn rewind(client: u64, shard: u16) -> TraceEvent {
+        TraceEvent {
+            stamp: 0,
+            kind: EventKind::Rewind,
+            source: Source::Worker(shard),
+            shard,
+            client,
+            detail: 1_000,
+        }
+    }
+
+    #[test]
+    fn totals_diff_against_retained_baselines() {
+        let collector = Collector::new(StreamingConfig::enabled());
+        collector.deliver_at(frame("worker-0", 0, &[("served", 10)]), 0);
+        collector.deliver_at(frame("worker-0", 1, &[("served", 25)]), 1);
+        collector.deliver_at(frame("worker-1", 0, &[("served", 5)]), 2);
+        assert_eq!(collector.totals().get("served"), Some(&30));
+        assert_eq!(collector.frames(), 3);
+        assert_eq!(collector.lost_frames(), 0);
+        assert_eq!(collector.regressions(), 0);
+    }
+
+    #[test]
+    fn a_lost_frame_is_detected_and_its_counters_recovered() {
+        let collector = Collector::new(StreamingConfig::enabled());
+        collector.deliver_at(frame("worker-0", 0, &[("served", 10)]), 0);
+        // Frames 1 and 2 are lost; frame 3's cumulative total subsumes
+        // everything they carried.
+        collector.deliver_at(frame("worker-0", 3, &[("served", 40)]), 1);
+        assert_eq!(collector.lost_frames(), 2);
+        assert_eq!(collector.totals().get("served"), Some(&40));
+    }
+
+    #[test]
+    fn restart_style_counter_regression_clamps_and_is_booked() {
+        // The satellite fix: if a restarted source ever re-shipped a
+        // *smaller* total (worker books survive restarts by design, so
+        // this is defensive), the delta must clamp to zero — never
+        // underflow into a giant bogus delta — and the anomaly must be
+        // visible in the books.
+        let collector = Collector::new(StreamingConfig::enabled());
+        collector.deliver_at(frame("worker-0", 0, &[("served", 100)]), 0);
+        collector.deliver_at(frame("worker-0", 1, &[("served", 3)]), 1);
+        assert_eq!(collector.regressions(), 1);
+        assert_eq!(collector.totals().get("served"), Some(&100), "clamped");
+        // The shrunken total becomes the new baseline, so growth from
+        // there is credited normally.
+        collector.deliver_at(frame("worker-0", 2, &[("served", 10)]), 2);
+        assert_eq!(collector.totals().get("served"), Some(&107));
+    }
+
+    #[test]
+    fn spikes_are_windowed_thresholded_and_watermarked() {
+        let config = StreamingConfig {
+            flush_every_passes: 1,
+            window_ns: 1_000,
+            window_buckets: 4,
+            spike_faults: 3,
+        };
+        let collector = Collector::new(config);
+        // Two faults: below the threshold, no spike.
+        let mut f = frame("worker-0", 0, &[]);
+        f.events = vec![rewind(666, 1), rewind(666, 1)];
+        collector.deliver_at(f, 100);
+        assert!(collector.take_spikes_at(100).is_empty());
+        // A third fault crosses the threshold: one spike carrying all
+        // three unreported faults.
+        let mut f = frame("worker-0", 1, &[]);
+        f.events = vec![rewind(666, 2)];
+        collector.deliver_at(f, 200);
+        let spikes = collector.take_spikes_at(200);
+        assert_eq!(
+            spikes,
+            vec![Spike {
+                client: 666,
+                shard: 2,
+                new_faults: 3
+            }]
+        );
+        // Watermarked: the same faults are never reported twice.
+        assert!(collector.take_spikes_at(250).is_empty());
+        // Window expiry: faults far in the past no longer spike even
+        // though the cumulative books remember them.
+        let mut f = frame("worker-0", 2, &[]);
+        f.events = vec![rewind(666, 2)];
+        collector.deliver_at(f, 300);
+        assert!(
+            collector.take_spikes_at(10_000).is_empty(),
+            "expired window must not spike"
+        );
+    }
+
+    #[test]
+    fn drained_events_hand_off_exactly_once() {
+        let collector = Collector::new(StreamingConfig::enabled());
+        let mut f = frame("worker-0", 0, &[]);
+        f.events = vec![rewind(1, 0), rewind(2, 0)];
+        collector.deliver_at(f, 0);
+        assert_eq!(collector.events_received(), 2);
+        assert_eq!(collector.drain_events().len(), 2);
+        assert!(collector.drain_events().is_empty());
+    }
+}

@@ -18,7 +18,11 @@ use crate::ring::RingCounters;
 
 /// Version stamped into every serialized snapshot. Bump on any
 /// key/semantic change; see README §Observability for the policy.
-pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: rings carry `sampled_out` (deliberate sampler refusals,
+/// distinct from overflow `dropped`) and the snapshot carries a
+/// top-level `sampled_out_by_kind` tally.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 2;
 
 /// One ring's counters plus its occupancy at snapshot time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,6 +51,10 @@ pub struct TelemetrySnapshot {
     pub rings: BTreeMap<String, RingStat>,
     /// Drained-event tallies by [`EventKind`](crate::EventKind) name.
     pub events_by_kind: BTreeMap<String, u64>,
+    /// Sampler refusals by [`EventKind`](crate::EventKind) name —
+    /// what the overload-adaptive sampler deliberately hid, so query
+    /// answers over the drained log stay honest about their blind spot.
+    pub sampled_out_by_kind: BTreeMap<String, u64>,
 }
 
 impl TelemetrySnapshot {
@@ -75,6 +83,20 @@ impl TelemetrySnapshot {
         }
     }
 
+    /// Tallies a ring's per-kind sampler refusals (from
+    /// [`TraceRing::sampled_out_by_kind`](crate::TraceRing::sampled_out_by_kind))
+    /// into [`sampled_out_by_kind`](Self::sampled_out_by_kind).
+    pub fn tally_sampled_out(&mut self, by_kind: [u64; 11]) {
+        for (kind, count) in crate::EventKind::ALL.iter().zip(by_kind) {
+            if count > 0 {
+                *self
+                    .sampled_out_by_kind
+                    .entry(kind.name().to_string())
+                    .or_insert(0) += count;
+            }
+        }
+    }
+
     /// True when every ring satisfies the conservation law.
     #[must_use]
     pub fn conserves(&self) -> bool {
@@ -91,6 +113,12 @@ impl TelemetrySnapshot {
     #[must_use]
     pub fn total_dropped(&self) -> u64 {
         self.rings.values().map(|r| r.counters.dropped).sum()
+    }
+
+    /// Sum of deliberate sampler refusals across all rings.
+    #[must_use]
+    pub fn total_sampled_out(&self) -> u64 {
+        self.rings.values().map(|r| r.counters.sampled_out).sum()
     }
 
     /// The snapshot as a JSON tree (sorted keys throughout).
@@ -125,6 +153,7 @@ impl TelemetrySnapshot {
                 .set("emitted", Json::U64(stat.counters.emitted))
                 .set("dropped", Json::U64(stat.counters.dropped))
                 .set("drained", Json::U64(stat.counters.drained))
+                .set("sampled_out", Json::U64(stat.counters.sampled_out))
                 .set("in_ring", Json::U64(stat.in_ring));
             rings.set(name, entry);
         }
@@ -135,6 +164,12 @@ impl TelemetrySnapshot {
             kinds.set(name, Json::U64(*count));
         }
         root.set("events_by_kind", kinds);
+
+        let mut sampled = Json::object();
+        for (name, count) in &self.sampled_out_by_kind {
+            sampled.set(name, Json::U64(*count));
+        }
+        root.set("sampled_out_by_kind", sampled);
         root
     }
 
@@ -193,9 +228,11 @@ mod tests {
                 emitted: 10,
                 dropped: 2,
                 drained: 8,
+                sampled_out: 4,
             },
             0,
         );
+        snapshot.tally_sampled_out([3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
         snapshot.tally_events(&[
             TraceEvent {
                 stamp: 0,
@@ -233,7 +270,7 @@ mod tests {
     #[test]
     fn serialized_form_carries_schema_version_and_sorted_keys() {
         let text = sample_snapshot().to_pretty();
-        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"schema_version\": 2"));
         let parsed = Json::parse(&text).unwrap();
         assert_eq!(
             parsed
@@ -266,11 +303,36 @@ mod tests {
                 emitted: 5,
                 dropped: 0,
                 drained: 3,
+                sampled_out: 0,
             },
             1, // 5 != 3 + 0 + 1
         );
         assert!(!snapshot.conserves());
         assert_eq!(snapshot.total_emitted(), 15);
         assert_eq!(snapshot.total_dropped(), 2);
+        assert_eq!(snapshot.total_sampled_out(), 4);
+    }
+
+    #[test]
+    fn sampled_out_is_distinguished_from_drops_in_serialized_form() {
+        let text = sample_snapshot().to_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        let ring = parsed.get("rings").and_then(|r| r.get("worker-0")).unwrap();
+        assert_eq!(ring.get("dropped").and_then(Json::as_u64), Some(2));
+        assert_eq!(ring.get("sampled_out").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            parsed
+                .get("sampled_out_by_kind")
+                .and_then(|s| s.get("submit"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            parsed
+                .get("sampled_out_by_kind")
+                .and_then(|s| s.get("wake"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
     }
 }
